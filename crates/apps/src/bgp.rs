@@ -1,0 +1,679 @@
+//! A path-vector BGP engine standing in for Quagga (§6.3), driven through an
+//! external-specification proxy.
+//!
+//! Each AS is one node.  The engine implements the parts of BGP the paper's
+//! forensic scenarios exercise:
+//!
+//! * route announcements and withdrawals carrying full AS paths,
+//! * per-prefix best-route selection (local preference by business
+//!   relationship, then shortest AS path, then lowest neighbor id),
+//! * optional per-prefix next-hop preferences (used to build BadGadget [11]),
+//! * Gao–Rexford-style export policies (routes learned from a provider or a
+//!   peer are only exported to customers).
+//!
+//! The machine reports the provenance of every selected route and every
+//! advertisement (the proxy's external specification: an advertisement is
+//! either originated locally or extends an advertisement previously received
+//! — the `maybe` rule of §6.3 — and at most one route per prefix is exported
+//! to a neighbor at any time).
+
+use crate::testbed::Testbed;
+use snp_crypto::keys::NodeId;
+use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
+use snp_sim::rng::DetRng;
+use snp_sim::{NetworkConfig, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Business relationship of a neighbor, from the local AS's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Relation {
+    /// The neighbor is our customer (we provide transit to it).
+    Customer,
+    /// The neighbor is a peer.
+    Peer,
+    /// The neighbor is our provider.
+    Provider,
+}
+
+impl Relation {
+    fn as_str(&self) -> &'static str {
+        match self {
+            Relation::Customer => "customer",
+            Relation::Peer => "peer",
+            Relation::Provider => "provider",
+        }
+    }
+
+    fn from_str(s: &str) -> Option<Relation> {
+        match s {
+            "customer" => Some(Relation::Customer),
+            "peer" => Some(Relation::Peer),
+            "provider" => Some(Relation::Provider),
+            _ => None,
+        }
+    }
+
+    /// Local preference: customer routes are preferred over peer routes over
+    /// provider routes (higher is better).
+    fn local_pref(&self) -> i64 {
+        match self {
+            Relation::Customer => 3,
+            Relation::Peer => 2,
+            Relation::Provider => 1,
+        }
+    }
+}
+
+// ---- tuple constructors -------------------------------------------------------
+
+/// `originate(@a, prefix)` — the AS originates the prefix (base tuple).
+pub fn originate(asn: NodeId, prefix: &str) -> Tuple {
+    Tuple::new("originate", asn, vec![Value::str(prefix)])
+}
+
+/// `neighbor(@a, b, relation)` — static neighbor configuration (base tuple).
+pub fn neighbor(asn: NodeId, other: NodeId, relation: Relation) -> Tuple {
+    Tuple::new("neighbor", asn, vec![Value::Node(other), Value::str(relation.as_str())])
+}
+
+/// `prefer(@a, prefix, nexthop)` — optional next-hop preference (base tuple;
+/// this is what creates BadGadget-style oscillation potential).
+pub fn prefer(asn: NodeId, prefix: &str, nexthop: NodeId) -> Tuple {
+    Tuple::new("prefer", asn, vec![Value::str(prefix), Value::Node(nexthop)])
+}
+
+/// `advRoute(@a, prefix, path, from)` — an advertisement received by (or sent
+/// to) AS `a`: `path` is the AS path (nearest first), `from` the neighbor it
+/// came from.
+pub fn adv_route(asn: NodeId, prefix: &str, path: &[NodeId], from: NodeId) -> Tuple {
+    Tuple::new(
+        "advRoute",
+        asn,
+        vec![
+            Value::str(prefix),
+            Value::List(path.iter().map(|n| Value::Node(*n)).collect()),
+            Value::Node(from),
+        ],
+    )
+}
+
+/// `route(@a, prefix, path, via)` — the currently selected best route.
+pub fn route(asn: NodeId, prefix: &str, path: &[NodeId], via: NodeId) -> Tuple {
+    Tuple::new(
+        "route",
+        asn,
+        vec![
+            Value::str(prefix),
+            Value::List(path.iter().map(|n| Value::Node(*n)).collect()),
+            Value::Node(via),
+        ],
+    )
+}
+
+fn path_of(tuple: &Tuple, arg: usize) -> Vec<NodeId> {
+    tuple
+        .args
+        .get(arg)
+        .and_then(Value::as_list)
+        .map(|l| l.iter().filter_map(Value::as_node).collect())
+        .unwrap_or_default()
+}
+
+// ---- the BGP speaker ------------------------------------------------------------
+
+/// A candidate route for a prefix.
+#[derive(Clone, Debug)]
+struct Candidate {
+    path: Vec<NodeId>,
+    via: NodeId,
+    relation: Relation,
+    /// The tuple that justifies the candidate (originate or believed advRoute).
+    witness: Tuple,
+}
+
+/// The deterministic BGP speaker machine.
+#[derive(Clone, Debug, Default)]
+pub struct BgpSpeaker {
+    node: NodeId,
+    /// All tuples currently visible on the node (base + believed).
+    tuples: BTreeSet<Tuple>,
+    /// Currently selected best route per prefix (tuple + witness).
+    selected: BTreeMap<String, (Tuple, Candidate)>,
+    /// Advertisements currently exported, per (neighbor, prefix).
+    exported: BTreeMap<(NodeId, String), Tuple>,
+}
+
+impl BgpSpeaker {
+    /// Create a speaker for an AS.
+    pub fn new(node: NodeId) -> BgpSpeaker {
+        BgpSpeaker { node, ..Default::default() }
+    }
+
+    fn neighbors(&self) -> Vec<(NodeId, Relation)> {
+        self.tuples
+            .iter()
+            .filter(|t| t.relation == "neighbor")
+            .filter_map(|t| Some((t.node_arg(0)?, Relation::from_str(t.str_arg(1)?)?)))
+            .collect()
+    }
+
+    fn relation_of(&self, other: NodeId) -> Option<Relation> {
+        self.neighbors().into_iter().find(|(n, _)| *n == other).map(|(_, r)| r)
+    }
+
+    fn preferred_nexthop(&self, prefix: &str) -> Option<NodeId> {
+        self.tuples
+            .iter()
+            .find(|t| t.relation == "prefer" && t.str_arg(0) == Some(prefix))
+            .and_then(|t| t.node_arg(1))
+    }
+
+    /// Collect the candidate routes for a prefix from the current tuple set.
+    fn candidates(&self, prefix: &str) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            if t.relation == "originate" && t.str_arg(0) == Some(prefix) {
+                out.push(Candidate { path: vec![], via: self.node, relation: Relation::Customer, witness: t.clone() });
+            }
+            if t.relation == "advRoute" && t.str_arg(0) == Some(prefix) {
+                let path = path_of(t, 1);
+                let Some(from) = t.node_arg(2) else { continue };
+                // Loop prevention: discard paths containing ourselves.
+                if path.contains(&self.node) {
+                    continue;
+                }
+                let Some(relation) = self.relation_of(from) else { continue };
+                out.push(Candidate { path, via: from, relation, witness: t.clone() });
+            }
+        }
+        out
+    }
+
+    /// Pick the best candidate: next-hop preference, then origination, then
+    /// local-pref, then shortest path, then lowest neighbor id.
+    fn best(&self, prefix: &str) -> Option<Candidate> {
+        let preferred = self.preferred_nexthop(prefix);
+        self.candidates(prefix).into_iter().min_by_key(|c| {
+            let preferred_bonus = if Some(c.via) == preferred && c.via != self.node { 0 } else { 1 };
+            let origin_bonus = if c.via == self.node { 0 } else { 1 };
+            (
+                preferred_bonus,
+                origin_bonus,
+                -c.relation.local_pref(),
+                c.path.len(),
+                c.via.0,
+            )
+        })
+    }
+
+    /// Export policy (Gao–Rexford): to whom may a route learned via
+    /// `learned_from_relation` be exported?
+    fn may_export(&self, learned_from: Relation, to_relation: Relation, originated: bool) -> bool {
+        if originated || learned_from == Relation::Customer {
+            true
+        } else {
+            // Peer / provider routes go to customers only.
+            to_relation == Relation::Customer
+        }
+    }
+
+    /// Recompute the selected route and the export set for `prefix`, emitting
+    /// derive / underive / send outputs for everything that changed.
+    fn refresh_prefix(&mut self, prefix: &str, out: &mut Vec<SmOutput>) {
+        let new_best = self.best(prefix);
+        let old = self.selected.get(prefix).cloned();
+
+        let new_route_tuple = new_best.as_ref().map(|c| route(self.node, prefix, &c.path, c.via));
+        let old_route_tuple = old.as_ref().map(|(t, _)| t.clone());
+        if new_route_tuple != old_route_tuple {
+            if let Some((old_tuple, old_cand)) = &old {
+                out.push(SmOutput::Underive { tuple: old_tuple.clone(), rule: "bgp-select".into(), body: vec![old_cand.witness.clone()] });
+                self.selected.remove(prefix);
+            }
+            if let (Some(tuple), Some(cand)) = (&new_route_tuple, &new_best) {
+                out.push(SmOutput::Derive { tuple: tuple.clone(), rule: "bgp-select".into(), body: vec![cand.witness.clone()] });
+                self.selected.insert(prefix.to_string(), (tuple.clone(), cand.clone()));
+            }
+        }
+
+        // Recompute exports.
+        let neighbors = self.neighbors();
+        for (peer, peer_relation) in neighbors {
+            let key = (peer, prefix.to_string());
+            let desired: Option<Tuple> = match &new_best {
+                Some(cand) if peer != cand.via => {
+                    let originated = cand.via == self.node;
+                    if self.may_export(cand.relation, peer_relation, originated) {
+                        let mut exported_path = vec![self.node];
+                        exported_path.extend(cand.path.iter().copied());
+                        Some(adv_route(peer, prefix, &exported_path, self.node))
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            };
+            let current = self.exported.get(&key).cloned();
+            if desired != current {
+                if let Some(old_adv) = current {
+                    // Withdraw the previously exported route (BGP constraint:
+                    // at most one route per prefix per neighbor, and its
+                    // replacement is causally tied to the withdrawal).
+                    out.push(SmOutput::Underive {
+                        tuple: old_adv.clone(),
+                        rule: "bgp-export".into(),
+                        body: self.selected.get(prefix).map(|(t, _)| vec![t.clone()]).unwrap_or_default(),
+                    });
+                    out.push(SmOutput::Send { to: key.0, delta: TupleDelta::minus(old_adv) });
+                    self.exported.remove(&key);
+                }
+                if let Some(new_adv) = desired {
+                    let body = self.selected.get(prefix).map(|(t, _)| vec![t.clone()]).unwrap_or_default();
+                    out.push(SmOutput::Derive { tuple: new_adv.clone(), rule: "bgp-export".into(), body });
+                    out.push(SmOutput::Send { to: key.0, delta: TupleDelta::plus(new_adv.clone()) });
+                    self.exported.insert(key, new_adv);
+                }
+            }
+        }
+    }
+
+    fn affected_prefix(tuple: &Tuple) -> Option<String> {
+        match tuple.relation.as_str() {
+            "originate" | "prefer" | "advRoute" => tuple.str_arg(0).map(|s| s.to_string()),
+            _ => None,
+        }
+    }
+
+    fn all_known_prefixes(&self) -> BTreeSet<String> {
+        self.tuples.iter().filter_map(Self::affected_prefix).collect()
+    }
+}
+
+impl StateMachine for BgpSpeaker {
+    fn handle(&mut self, input: SmInput) -> Vec<SmOutput> {
+        let mut out = Vec::new();
+        let (tuple, added) = match input {
+            SmInput::InsertBase(t) => (t, true),
+            SmInput::DeleteBase(t) => (t, false),
+            SmInput::Receive { delta, .. } => {
+                let added = delta.polarity == Polarity::Plus;
+                (delta.tuple, added)
+            }
+        };
+        if added {
+            self.tuples.insert(tuple.clone());
+        } else {
+            self.tuples.remove(&tuple);
+        }
+        match Self::affected_prefix(&tuple) {
+            Some(prefix) => self.refresh_prefix(&prefix, &mut out),
+            None => {
+                // A neighbor change affects every prefix.
+                let prefixes = self.all_known_prefixes();
+                for prefix in prefixes {
+                    self.refresh_prefix(&prefix, &mut out);
+                }
+            }
+        }
+        out
+    }
+
+    fn fresh(&self) -> Box<dyn StateMachine> {
+        Box::new(BgpSpeaker::new(self.node))
+    }
+
+    fn current_tuples(&self) -> Vec<Tuple> {
+        let mut all: Vec<Tuple> = self.tuples.iter().cloned().collect();
+        all.extend(self.selected.values().map(|(t, _)| t.clone()));
+        all
+    }
+
+    fn name(&self) -> String {
+        format!("bgp-as@{}", self.node)
+    }
+}
+
+// ---- scenarios -------------------------------------------------------------------
+
+/// The Quagga-style experiment configuration (§7.1: 35 daemons, 10 ASes,
+/// RouteViews-driven updates).  The topology here is a provider/customer/peer
+/// hierarchy over `ases` ASes.
+#[derive(Clone, Copy, Debug)]
+pub struct BgpScenario {
+    /// Number of ASes.
+    pub ases: u64,
+    /// Number of distinct prefixes churned by the synthetic RouteViews trace.
+    pub prefixes: usize,
+    /// Number of announce/withdraw updates injected.
+    pub updates: usize,
+    /// Simulated duration in seconds.
+    pub duration_s: u64,
+}
+
+impl BgpScenario {
+    /// A scaled-down version of the paper's Quagga setup.
+    pub fn quagga_like() -> BgpScenario {
+        BgpScenario { ases: 10, prefixes: 40, updates: 400, duration_s: 120 }
+    }
+
+    /// AS ids (1..=ases).
+    pub fn as_ids(&self) -> Vec<NodeId> {
+        (1..=self.ases).map(NodeId).collect()
+    }
+
+    /// A mixed provider/customer/peer topology: AS 1 and 2 are tier-1 peers;
+    /// every other AS `i` buys transit from `i/2` (its provider), and
+    /// consecutive stubs peer with each other.
+    pub fn topology(&self) -> Vec<(NodeId, NodeId, Relation)> {
+        let mut links = Vec::new();
+        if self.ases >= 2 {
+            links.push((NodeId(1), NodeId(2), Relation::Peer));
+        }
+        for i in 3..=self.ases {
+            let provider = NodeId((i / 2).max(1));
+            links.push((NodeId(i), provider, Relation::Provider));
+        }
+        for i in (3..self.ases).step_by(2) {
+            links.push((NodeId(i), NodeId(i + 1), Relation::Peer));
+        }
+        links
+    }
+
+    /// Build the testbed with the topology installed (no updates yet).
+    pub fn build(&self, secure: bool, seed: u64) -> Testbed {
+        let mut tb = Testbed::new(NetworkConfig::default(), seed, self.ases + 1, secure);
+        for asn in self.as_ids() {
+            tb.add_node(asn, Box::new(BgpSpeaker::new(asn)), Box::new(BgpSpeaker::new(asn)));
+            // The paper's proxy re-encodes BGP messages as tuples; charge a
+            // small constant per message (Figure 5's "Proxy" component).
+            tb.set_proxy_overhead(asn, 24);
+        }
+        for (i, (a, b, rel_ab)) in self.topology().into_iter().enumerate() {
+            let at = SimTime::from_millis(5 + i as u64);
+            let rel_ba = match rel_ab {
+                Relation::Provider => Relation::Customer,
+                Relation::Customer => Relation::Provider,
+                Relation::Peer => Relation::Peer,
+            };
+            tb.insert_at(at, a, neighbor(a, b, rel_ab));
+            tb.insert_at(at, b, neighbor(b, a, rel_ba));
+        }
+        tb
+    }
+
+    /// Inject a synthetic RouteViews-like update trace: random ASes originate
+    /// and withdraw prefixes over the run.
+    pub fn inject_updates(&self, tb: &mut Testbed, seed: u64) {
+        let mut rng = DetRng::new(seed ^ 0xbeef);
+        let ases = self.as_ids();
+        let mut originated: Vec<(NodeId, String)> = Vec::new();
+        for u in 0..self.updates {
+            let at = SimTime::from_millis(1_000 + (u as u64 * self.duration_s * 1_000) / self.updates.max(1) as u64);
+            let withdraw = !originated.is_empty() && rng.chance(0.3);
+            if withdraw {
+                let idx = rng.next_below(originated.len() as u64) as usize;
+                let (asn, prefix) = originated.remove(idx);
+                tb.delete_at(at, asn, originate(asn, &prefix));
+            } else {
+                let asn = *rng.choose(&ases).expect("non-empty");
+                let prefix = format!("10.{}.0.0/16", rng.next_below(self.prefixes as u64));
+                tb.insert_at(at, asn, originate(asn, &prefix));
+                originated.push((asn, prefix));
+            }
+        }
+    }
+}
+
+/// Build the classic BadGadget gadget [11]: ASes 1, 2, 3 around destination
+/// AS 0 (here AS 4 to keep ids positive), where each of the three prefers the
+/// route through its clockwise neighbor over its direct route.
+pub fn badgadget_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, String) {
+    let dest = NodeId(4);
+    let prefix = "203.0.113.0/24".to_string();
+    let mut tb = Testbed::new(NetworkConfig::default(), seed, 5, secure);
+    for i in 1..=4u64 {
+        tb.add_node(NodeId(i), Box::new(BgpSpeaker::new(NodeId(i))), Box::new(BgpSpeaker::new(NodeId(i))));
+    }
+    let at = SimTime::from_millis(5);
+    // Everyone peers with everyone (so export policies do not filter).
+    for (a, b) in [(1u64, 2u64), (2, 3), (3, 1), (1, 4), (2, 4), (3, 4)] {
+        tb.insert_at(at, NodeId(a), neighbor(NodeId(a), NodeId(b), Relation::Customer));
+        tb.insert_at(at, NodeId(b), neighbor(NodeId(b), NodeId(a), Relation::Customer));
+    }
+    // The cyclic preferences: 1 prefers via 2, 2 prefers via 3, 3 prefers via 1.
+    tb.insert_at(at, NodeId(1), prefer(NodeId(1), &prefix, NodeId(2)));
+    tb.insert_at(at, NodeId(2), prefer(NodeId(2), &prefix, NodeId(3)));
+    tb.insert_at(at, NodeId(3), prefer(NodeId(3), &prefix, NodeId(1)));
+    // The destination originates the prefix.
+    tb.insert_at(SimTime::from_millis(50), dest, originate(dest, &prefix));
+    (tb, dest, prefix)
+}
+
+/// Build the Quagga-Disappear scenario (§7.2, after Teixeira et al.): AS `j`
+/// first reaches the prefix through its customer and exports it to its peer
+/// `i`; when a shorter route appears at `j` via its *provider*, `j` switches
+/// to it and — because provider routes are not exported to peers — withdraws
+/// the route from `i`, whose routing-table entry disappears.
+pub fn disappear_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, NodeId, String) {
+    let prefix = "198.51.100.0/24".to_string();
+    let i = NodeId(1); // the AS that observes the disappearance
+    let j = NodeId(2); // the AS whose policy causes it
+    let customer = NodeId(3); // j's customer, original path to the origin
+    let provider = NodeId(4); // j's provider, later offers a better route
+    let origin = NodeId(5); // the prefix owner, customer of 3 and of 4
+
+    let mut tb = Testbed::new(NetworkConfig::default(), seed, 6, secure);
+    for n in [i, j, customer, provider, origin] {
+        tb.add_node(n, Box::new(BgpSpeaker::new(n)), Box::new(BgpSpeaker::new(n)));
+    }
+    let at = SimTime::from_millis(5);
+    let pairs = [
+        (i, j, Relation::Peer),
+        (j, customer, Relation::Customer),
+        (j, provider, Relation::Provider),
+        (customer, origin, Relation::Customer),
+        (provider, origin, Relation::Customer),
+    ];
+    for (a, b, rel_ab) in pairs {
+        let rel_ba = match rel_ab {
+            Relation::Provider => Relation::Customer,
+            Relation::Customer => Relation::Provider,
+            Relation::Peer => Relation::Peer,
+        };
+        tb.insert_at(at, a, neighbor(a, b, rel_ab));
+        tb.insert_at(at, b, neighbor(b, a, rel_ba));
+    }
+    // Phase 1: the origin announces the prefix; it reaches i via
+    // origin → customer → j → i (customer routes are exported to peers).
+    tb.insert_at(SimTime::from_millis(100), origin, originate(origin, &prefix));
+    // Phase 2 happens later (see [`disappear_trigger`]): a policy change makes
+    // j prefer the provider route, which it may NOT export to its peer i, so
+    // the route disappears from i.
+    (tb, i, j, prefix)
+}
+
+/// Second phase of the disappear scenario: a traffic-engineering decision at
+/// AS `j` (AS 2) makes it prefer the route through its provider (AS 4).  The
+/// provider route may not be exported to peers, so AS 1 receives a
+/// withdrawal — the event the Quagga-Disappear query investigates.
+pub fn disappear_trigger(tb: &mut Testbed, at: SimTime) {
+    let j = NodeId(2);
+    let provider = NodeId(4);
+    let prefix = "198.51.100.0/24";
+    tb.insert_at(at, j, prefer(j, prefix, provider));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_core::query::MacroQuery;
+
+    #[test]
+    fn routes_propagate_through_the_hierarchy() {
+        let scenario = BgpScenario { ases: 6, prefixes: 2, updates: 0, duration_s: 10 };
+        let mut tb = scenario.build(true, 1);
+        let prefix = "10.0.0.0/16";
+        tb.insert_at(SimTime::from_millis(500), NodeId(6), originate(NodeId(6), prefix));
+        tb.run_until(SimTime::from_secs(30));
+        // Every AS should end up with a route to the prefix (customer routes
+        // are exported upward and then back down).
+        for asn in scenario.as_ids() {
+            if asn == NodeId(6) {
+                continue;
+            }
+            let has_route = tb.handles[&asn]
+                .with(|n| n.current_tuples())
+                .iter()
+                .any(|t| t.relation == "route" && t.str_arg(0) == Some(prefix));
+            assert!(has_route, "AS {asn} must have a route to {prefix}");
+        }
+    }
+
+    #[test]
+    fn export_policy_respects_gao_rexford() {
+        // origin (customer of 2) announces; 2 exports to everyone; but a route
+        // learned from its *peer* 1 must not be exported to its other peer.
+        let speaker = BgpSpeaker::new(NodeId(2));
+        assert!(speaker.may_export(Relation::Customer, Relation::Peer, false));
+        assert!(speaker.may_export(Relation::Customer, Relation::Provider, false));
+        assert!(!speaker.may_export(Relation::Peer, Relation::Peer, false));
+        assert!(!speaker.may_export(Relation::Provider, Relation::Peer, false));
+        assert!(speaker.may_export(Relation::Provider, Relation::Customer, false));
+        assert!(speaker.may_export(Relation::Peer, Relation::Peer, true), "originated routes go everywhere");
+    }
+
+    #[test]
+    fn withdrawals_remove_routes() {
+        let scenario = BgpScenario { ases: 4, prefixes: 1, updates: 0, duration_s: 10 };
+        let mut tb = scenario.build(true, 2);
+        let prefix = "10.1.0.0/16";
+        tb.insert_at(SimTime::from_millis(500), NodeId(4), originate(NodeId(4), prefix));
+        tb.delete_at(SimTime::from_secs(10), NodeId(4), originate(NodeId(4), prefix));
+        tb.run_until(SimTime::from_secs(30));
+        for asn in scenario.as_ids() {
+            let has_route = tb.handles[&asn]
+                .with(|n| n.current_tuples())
+                .iter()
+                .any(|t| t.relation == "route" && t.str_arg(0) == Some(prefix));
+            assert!(!has_route, "AS {asn} must have withdrawn the route");
+        }
+    }
+
+    #[test]
+    fn disappear_scenario_explains_the_withdrawal() {
+        let (mut tb, i, j, prefix) = disappear_scenario(true, 3);
+        tb.run_until(SimTime::from_secs(20));
+        // Phase 1: i has the route via j.
+        let had_route = tb.handles[&i]
+            .with(|n| n.current_tuples())
+            .iter()
+            .any(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()));
+        assert!(had_route, "AS {i} must first learn the route via {j}");
+
+        disappear_trigger(&mut tb, SimTime::from_secs(25));
+        tb.run_until(SimTime::from_secs(60));
+        let still_has = tb.handles[&i]
+            .with(|n| n.current_tuples())
+            .iter()
+            .any(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()));
+        assert!(!still_has, "the route at {i} must have disappeared");
+
+        // Dynamic query: why did the advertised route disappear from i?
+        let gone = tb.handles[&i]
+            .with(|n| n.current_tuples())
+            .iter()
+            .find(|t| t.relation == "advRoute" && t.str_arg(0) == Some(prefix.as_str()))
+            .cloned();
+        assert!(gone.is_none());
+        // Query the disappearance of the believed advertisement from j.
+        let result = tb.querier.macroquery(
+            MacroQuery::WhyDisappeared {
+                tuple: adv_route(i, &prefix, &[j, NodeId(3), NodeId(5)], j),
+            },
+            i,
+            None,
+        );
+        assert!(result.root.is_some(), "the believe-disappear vertex must be found");
+        assert!(result.implicated_nodes().is_empty(), "a policy-driven withdrawal is not a fault");
+        // The explanation crosses into AS j.
+        let touches_j = result
+            .traversal
+            .as_ref()
+            .unwrap()
+            .depths
+            .keys()
+            .any(|id| result.graph.vertex(id).map(|v| v.host() == j).unwrap_or(false));
+        assert!(touches_j, "the withdrawal must be traced into AS {j}:\n{}", result.render());
+    }
+
+    #[test]
+    fn badgadget_routes_flutter_or_converge_with_provenance() {
+        let (mut tb, dest, prefix) = badgadget_scenario(true, 5);
+        tb.run_until(SimTime::from_secs(30));
+        // Whatever the final state, node 1 must have processed announcements,
+        // and the provenance of its current (or last) route must reach the
+        // destination's originate tuple.
+        let node1_routes: Vec<Tuple> = tb.handles[&NodeId(1)]
+            .with(|n| n.current_tuples())
+            .into_iter()
+            .filter(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()))
+            .collect();
+        assert!(!node1_routes.is_empty(), "AS 1 must have a route to the BadGadget prefix");
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: node1_routes[0].clone() }, NodeId(1), None);
+        assert!(result.root.is_some());
+        let reaches_origin = result
+            .traversal
+            .as_ref()
+            .unwrap()
+            .depths
+            .keys()
+            .any(|id| {
+                result
+                    .graph
+                    .vertex(id)
+                    .map(|v| v.host() == dest && v.kind.tuple().relation == "originate")
+                    .unwrap_or(false)
+            });
+        assert!(reaches_origin, "route provenance must reach the origin AS:\n{}", result.render());
+        assert!(result.implicated_nodes().is_empty(), "BadGadget is a configuration problem, not node misbehavior");
+    }
+
+    #[test]
+    fn fabricated_route_announcement_is_traced_to_the_hijacker() {
+        // Route hijacking: AS 3 advertises a prefix it does not own and has no
+        // route to (prefix hijack), by fabricating an advRoute notification.
+        let scenario = BgpScenario { ases: 4, prefixes: 1, updates: 0, duration_s: 10 };
+        let mut tb = scenario.build(true, 7);
+        let prefix = "192.0.2.0/24";
+        let hijacker = NodeId(3);
+        let victim_view = NodeId(1); // 3's provider is 1
+        tb.set_byzantine(
+            hijacker,
+            snp_core::ByzantineConfig::fabricating(victim_view, TupleDelta::plus(adv_route(victim_view, prefix, &[hijacker], hijacker))),
+        );
+        tb.run_until(SimTime::from_secs(30));
+        let bogus_route = tb.handles[&victim_view]
+            .with(|n| n.current_tuples())
+            .into_iter()
+            .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix));
+        let bogus_route = bogus_route.expect("the hijacked route must be installed at AS 1");
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus_route }, victim_view, None);
+        assert!(
+            result.implicated_nodes().contains(&hijacker),
+            "the hijacker must be implicated: {:?}",
+            result.implicated_nodes()
+        );
+        assert!(!result.implicated_nodes().contains(&victim_view));
+    }
+
+    #[test]
+    fn quagga_like_trace_generates_traffic() {
+        let scenario = BgpScenario { ases: 10, prefixes: 10, updates: 60, duration_s: 30 };
+        let mut tb = scenario.build(true, 11);
+        scenario.inject_updates(&mut tb, 11);
+        tb.run_until(SimTime::from_secs(60));
+        let traffic = tb.total_traffic();
+        assert!(traffic.data_messages > 50, "update churn must generate BGP traffic, got {}", traffic.data_messages);
+        assert!(traffic.proxy_bytes > 0, "proxy overhead must be accounted");
+    }
+}

@@ -1,0 +1,580 @@
+//! A Chord DHT on the SNP substrate (§6.1, §7.2's Chord-Lookup / Chord-Finger
+//! queries and the Eclipse-attack scenario).
+//!
+//! The paper runs a declarative Chord whose provenance is inferred
+//! automatically.  Here the Chord logic is written directly against the
+//! deterministic state-machine API (the restricted rule language of
+//! `snp-datalog` would make the ring arithmetic awkward), and provenance is
+//! inferred from its tuple operations in the same way: every derivation
+//! reports the tuples it used.
+//!
+//! The ring is static (a stable ring is installed as base tuples), and the
+//! runtime traffic mirrors the paper's setup: periodic stabilization probes,
+//! keep-alives and finger probes (all answered by the peer), plus iterative
+//! key lookups forwarded through fingers.
+
+use crate::testbed::Testbed;
+use snp_crypto::keys::NodeId;
+use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
+use snp_sim::{NetworkConfig, SimTime};
+use std::collections::BTreeSet;
+
+/// Number of bits in the identifier space (small, to keep finger tables short
+/// but non-trivial).
+pub const ID_BITS: u32 = 16;
+/// Size of the identifier space.
+pub const ID_SPACE: u64 = 1 << ID_BITS;
+
+/// The Chord identifier of a node (derived from its NodeId, as in a real
+/// deployment where it would be a hash of the IP address).
+pub fn chord_id(node: NodeId) -> u64 {
+    snp_crypto::hash(&node.to_bytes()).to_u64() % ID_SPACE
+}
+
+/// The Chord identifier of a key (hash of the key string).
+pub fn key_id(key: &str) -> u64 {
+    snp_crypto::hash(key.as_bytes()).to_u64() % ID_SPACE
+}
+
+/// Whether `x` lies in the half-open ring interval `(a, b]`.
+pub fn in_interval(x: u64, a: u64, b: u64) -> bool {
+    if a == b {
+        true
+    } else if a < b {
+        x > a && x <= b
+    } else {
+        x > a || x <= b
+    }
+}
+
+// ---- tuple constructors -----------------------------------------------------
+
+/// `me(@n, id)` — the node's own identifier (base tuple).
+pub fn me(node: NodeId, id: u64) -> Tuple {
+    Tuple::new("me", node, vec![Value::Int(id as i64)])
+}
+
+/// `succ(@n, succId, succNode)` — the node's successor (base tuple).
+pub fn succ(node: NodeId, succ_id: u64, succ_node: NodeId) -> Tuple {
+    Tuple::new("succ", node, vec![Value::Int(succ_id as i64), Value::Node(succ_node)])
+}
+
+/// `finger(@n, idx, targetId, targetNode)` — a finger-table entry (base tuple).
+pub fn finger(node: NodeId, idx: u32, target_id: u64, target: NodeId) -> Tuple {
+    Tuple::new("finger", node, vec![Value::Int(idx as i64), Value::Int(target_id as i64), Value::Node(target)])
+}
+
+/// `lookup(@n, keyId, origin, reqId)` — a lookup request (base tuple at the
+/// origin, believed tuple when forwarded).
+pub fn lookup(node: NodeId, key: u64, origin: NodeId, req: u64) -> Tuple {
+    Tuple::new("lookup", node, vec![Value::Int(key as i64), Value::Node(origin), Value::Int(req as i64)])
+}
+
+/// `lookupResult(@origin, reqId, keyId, owner, ownerId)` — the answer.
+pub fn lookup_result(origin: NodeId, req: u64, key: u64, owner: NodeId, owner_id: u64) -> Tuple {
+    Tuple::new(
+        "lookupResult",
+        origin,
+        vec![Value::Int(req as i64), Value::Int(key as i64), Value::Node(owner), Value::Int(owner_id as i64)],
+    )
+}
+
+/// `stabTick(@n, seq)` / `keepTick(@n, seq)` / `fixTick(@n, seq)` — periodic
+/// maintenance triggers injected by the workload driver.
+pub fn tick(kind: &str, node: NodeId, seq: u64) -> Tuple {
+    Tuple::new(kind, node, vec![Value::Int(seq as i64)])
+}
+
+fn probe(kind: &str, to: NodeId, from: NodeId, seq: u64) -> Tuple {
+    Tuple::new(kind, to, vec![Value::Node(from), Value::Int(seq as i64)])
+}
+
+fn reply(kind: &str, to: NodeId, from: NodeId, seq: u64) -> Tuple {
+    Tuple::new(kind, to, vec![Value::Node(from), Value::Int(seq as i64)])
+}
+
+// ---- the Chord state machine -------------------------------------------------
+
+/// The deterministic Chord node machine.
+#[derive(Clone, Debug)]
+pub struct ChordMachine {
+    node: NodeId,
+    /// When true the node mounts an Eclipse attack: every lookup it handles
+    /// is answered with itself as the owner (§7.2/§7.3).
+    pub eclipse: bool,
+    tuples: BTreeSet<Tuple>,
+}
+
+impl ChordMachine {
+    /// Create an honest Chord machine.
+    pub fn new(node: NodeId) -> ChordMachine {
+        ChordMachine { node, eclipse: false, tuples: BTreeSet::new() }
+    }
+
+    /// Create an Eclipse-attacking machine.
+    pub fn eclipse(node: NodeId) -> ChordMachine {
+        ChordMachine { node, eclipse: true, tuples: BTreeSet::new() }
+    }
+
+    fn my_id(&self) -> Option<u64> {
+        self.tuples.iter().find(|t| t.relation == "me").and_then(|t| t.int_arg(0)).map(|v| v as u64)
+    }
+
+    fn successor(&self) -> Option<(u64, NodeId)> {
+        self.tuples
+            .iter()
+            .find(|t| t.relation == "succ")
+            .and_then(|t| Some((t.int_arg(0)? as u64, t.node_arg(1)?)))
+    }
+
+    fn succ_tuple(&self) -> Option<Tuple> {
+        self.tuples.iter().find(|t| t.relation == "succ").cloned()
+    }
+
+    fn me_tuple(&self) -> Option<Tuple> {
+        self.tuples.iter().find(|t| t.relation == "me").cloned()
+    }
+
+    fn fingers(&self) -> Vec<(u64, NodeId, Tuple)> {
+        self.tuples
+            .iter()
+            .filter(|t| t.relation == "finger")
+            .filter_map(|t| Some((t.int_arg(1)? as u64, t.node_arg(2)?, t.clone())))
+            .collect()
+    }
+
+    /// The closest finger preceding `key` (Chord's routing step), together
+    /// with the finger tuple used (for provenance).
+    fn closest_preceding(&self, key: u64) -> Option<(NodeId, Tuple)> {
+        let my_id = self.my_id()?;
+        let mut best: Option<(u64, NodeId, Tuple)> = None;
+        for (fid, fnode, ftuple) in self.fingers() {
+            if fnode == self.node {
+                continue;
+            }
+            if in_interval(fid, my_id, key.wrapping_sub(1) % ID_SPACE) {
+                let better = match &best {
+                    None => true,
+                    Some((bid, _, _)) => in_interval(fid, *bid, key.wrapping_sub(1) % ID_SPACE),
+                };
+                if better {
+                    best = Some((fid, fnode, ftuple));
+                }
+            }
+        }
+        best.map(|(_, n, t)| (n, t)).or_else(|| {
+            let (sid, snode) = self.successor()?;
+            let _ = sid;
+            if snode == self.node {
+                None
+            } else {
+                Some((snode, self.succ_tuple()?))
+            }
+        })
+    }
+
+    /// Handle a lookup for `key` from `origin` (request id `req`), triggered
+    /// by `trigger` (the lookup tuple).  Produces the derivation outputs.
+    fn route_lookup(&self, trigger: &Tuple, key: u64, origin: NodeId, req: u64) -> Vec<SmOutput> {
+        let mut out = Vec::new();
+        let (Some(my_id), Some((succ_id, succ_node))) = (self.my_id(), self.successor()) else {
+            return out;
+        };
+        if self.eclipse {
+            // The attacker claims to own every key it hears about.
+            let result = lookup_result(origin, req, key, self.node, my_id);
+            out.push(SmOutput::Derive {
+                tuple: result.clone(),
+                rule: "eclipse".into(),
+                body: vec![trigger.clone(), self.me_tuple().expect("me tuple present")],
+            });
+            if origin != self.node {
+                out.push(SmOutput::Send { to: origin, delta: TupleDelta::plus(result) });
+            }
+            return out;
+        }
+        if in_interval(key, my_id, succ_id) {
+            // The key is owned by our successor.
+            let result = lookup_result(origin, req, key, succ_node, succ_id);
+            let body = vec![trigger.clone(), self.succ_tuple().expect("succ tuple present")];
+            out.push(SmOutput::Derive { tuple: result.clone(), rule: "chord-resolve".into(), body });
+            if origin != self.node {
+                out.push(SmOutput::Send { to: origin, delta: TupleDelta::plus(result) });
+            }
+        } else if let Some((next, finger_tuple)) = self.closest_preceding(key) {
+            let forwarded = lookup(next, key, origin, req);
+            out.push(SmOutput::Derive {
+                tuple: forwarded.clone(),
+                rule: "chord-forward".into(),
+                body: vec![trigger.clone(), finger_tuple],
+            });
+            out.push(SmOutput::Send { to: next, delta: TupleDelta::plus(forwarded) });
+        }
+        out
+    }
+
+    /// React to a tuple that has just become visible on this node.
+    fn on_tuple(&self, tuple: &Tuple) -> Vec<SmOutput> {
+        let mut out = Vec::new();
+        match tuple.relation.as_str() {
+            "lookup" => {
+                if let (Some(key), Some(origin), Some(req)) = (tuple.int_arg(0), tuple.node_arg(1), tuple.int_arg(2)) {
+                    out.extend(self.route_lookup(tuple, key as u64, origin, req as u64));
+                }
+            }
+            // Periodic maintenance: each tick sends a probe to the successor
+            // (stabilize / keep-alive) or to every finger (fix-fingers); each
+            // probe is answered by the peer, mirroring the paper's traffic mix.
+            "stabTick" | "keepTick" => {
+                if let (Some(seq), Some((_, succ_node)), Some(succ_t)) = (tuple.int_arg(0), self.successor(), self.succ_tuple()) {
+                    if succ_node != self.node {
+                        let kind = if tuple.relation == "stabTick" { "stabProbe" } else { "keepProbe" };
+                        let p = probe(kind, succ_node, self.node, seq as u64);
+                        out.push(SmOutput::Derive { tuple: p.clone(), rule: "chord-probe".into(), body: vec![tuple.clone(), succ_t] });
+                        out.push(SmOutput::Send { to: succ_node, delta: TupleDelta::plus(p) });
+                    }
+                }
+            }
+            "fixTick" => {
+                if let Some(seq) = tuple.int_arg(0) {
+                    // Probe each *distinct* finger target once: a real Chord
+                    // node has O(log N) distinct fingers, which is what gives
+                    // the per-node traffic its O(log N) growth (Figure 9).
+                    let mut probed = BTreeSet::new();
+                    for (_, fnode, ftuple) in self.fingers() {
+                        if fnode == self.node || !probed.insert(fnode) {
+                            continue;
+                        }
+                        let p = probe("fingerProbe", fnode, self.node, seq as u64);
+                        out.push(SmOutput::Derive { tuple: p.clone(), rule: "chord-fix".into(), body: vec![tuple.clone(), ftuple] });
+                        out.push(SmOutput::Send { to: fnode, delta: TupleDelta::plus(p) });
+                    }
+                }
+            }
+            "stabProbe" | "keepProbe" | "fingerProbe" => {
+                if let (Some(from), Some(seq), Some(me_t)) = (tuple.node_arg(0), tuple.int_arg(1), self.me_tuple()) {
+                    let kind = match tuple.relation.as_str() {
+                        "stabProbe" => "stabReply",
+                        "keepProbe" => "keepReply",
+                        _ => "fingerReply",
+                    };
+                    let r = reply(kind, from, self.node, seq as u64);
+                    out.push(SmOutput::Derive { tuple: r.clone(), rule: "chord-reply".into(), body: vec![tuple.clone(), me_t] });
+                    out.push(SmOutput::Send { to: from, delta: TupleDelta::plus(r) });
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+impl StateMachine for ChordMachine {
+    fn handle(&mut self, input: SmInput) -> Vec<SmOutput> {
+        let outputs = match input {
+            SmInput::InsertBase(tuple) => {
+                if self.tuples.insert(tuple.clone()) {
+                    self.on_tuple(&tuple)
+                } else {
+                    Vec::new()
+                }
+            }
+            SmInput::DeleteBase(tuple) => {
+                self.tuples.remove(&tuple);
+                Vec::new()
+            }
+            SmInput::Receive { delta, .. } => match delta.polarity {
+                Polarity::Plus => {
+                    if self.tuples.insert(delta.tuple.clone()) {
+                        self.on_tuple(&delta.tuple)
+                    } else {
+                        Vec::new()
+                    }
+                }
+                Polarity::Minus => {
+                    self.tuples.remove(&delta.tuple);
+                    Vec::new()
+                }
+            },
+        };
+        // Locally derived tuples (e.g. a lookup result resolved by the origin
+        // itself) remain part of the node's state.
+        for output in &outputs {
+            if let SmOutput::Derive { tuple, .. } = output {
+                if tuple.location == self.node {
+                    self.tuples.insert(tuple.clone());
+                }
+            }
+        }
+        outputs
+    }
+
+    fn fresh(&self) -> Box<dyn StateMachine> {
+        Box::new(ChordMachine { node: self.node, eclipse: false, tuples: BTreeSet::new() })
+    }
+
+    fn current_tuples(&self) -> Vec<Tuple> {
+        self.tuples.iter().cloned().collect()
+    }
+
+    fn name(&self) -> String {
+        format!("chord@{}", self.node)
+    }
+}
+
+// ---- scenario construction ----------------------------------------------------
+
+/// A constructed Chord ring: node ids sorted by Chord identifier.
+pub struct ChordRing {
+    /// `(chord id, node)` pairs sorted by id.
+    pub members: Vec<(u64, NodeId)>,
+}
+
+impl ChordRing {
+    /// Build a ring over nodes `1..=n`.
+    pub fn new(n: u64) -> ChordRing {
+        let mut members: Vec<(u64, NodeId)> = (1..=n).map(|i| (chord_id(NodeId(i)), NodeId(i))).collect();
+        members.sort();
+        ChordRing { members }
+    }
+
+    /// The successor (id, node) of the member with Chord id `id`.
+    pub fn successor_of(&self, id: u64) -> (u64, NodeId) {
+        *self
+            .members
+            .iter()
+            .find(|(mid, _)| *mid > id)
+            .unwrap_or(&self.members[0])
+    }
+
+    /// The owner of `key` (the first member at or after the key).
+    pub fn owner_of(&self, key: u64) -> (u64, NodeId) {
+        *self
+            .members
+            .iter()
+            .find(|(mid, _)| *mid >= key)
+            .unwrap_or(&self.members[0])
+    }
+
+    /// The finger table of the member with Chord id `id`.
+    pub fn fingers_of(&self, id: u64) -> Vec<(u32, u64, NodeId)> {
+        (0..ID_BITS)
+            .map(|i| {
+                let target = (id + (1u64 << i)) % ID_SPACE;
+                let (owner_id, owner) = self.owner_of(target);
+                (i, owner_id, owner)
+            })
+            .collect()
+    }
+
+    /// Install the static ring (me / succ / finger base tuples) into a testbed
+    /// at time `at`.
+    pub fn install(&self, tb: &mut Testbed, at: SimTime) {
+        for (id, node) in &self.members {
+            tb.insert_at(at, *node, me(*node, *id));
+            let (succ_id, succ_node) = self.successor_of(*id);
+            tb.insert_at(at, *node, succ(*node, succ_id, succ_node));
+            for (idx, fid, fnode) in self.fingers_of(*id) {
+                tb.insert_at(at, *node, finger(*node, idx, fid, fnode));
+            }
+        }
+    }
+}
+
+/// Parameters for the Chord experiment configurations of §7.1.
+#[derive(Clone, Copy, Debug)]
+pub struct ChordScenario {
+    /// Number of nodes (50 = Chord-Small, 250 = Chord-Large).
+    pub nodes: u64,
+    /// Stabilization period in seconds (50 s in the paper).
+    pub stabilize_every_s: u64,
+    /// Finger-fixing period in seconds (50 s in the paper).
+    pub fix_fingers_every_s: u64,
+    /// Keep-alive period in seconds (10 s in the paper).
+    pub keepalive_every_s: u64,
+    /// Number of random lookups injected per minute.
+    pub lookups_per_minute: u64,
+    /// Total simulated duration in seconds (15 min in the paper).
+    pub duration_s: u64,
+}
+
+impl ChordScenario {
+    /// The paper's Chord-Small configuration (scaled duration).
+    pub fn small(duration_s: u64) -> ChordScenario {
+        ChordScenario {
+            nodes: 50,
+            stabilize_every_s: 50,
+            fix_fingers_every_s: 50,
+            keepalive_every_s: 10,
+            lookups_per_minute: 30,
+            duration_s,
+        }
+    }
+
+    /// The paper's Chord-Large configuration (scaled duration).
+    pub fn large(duration_s: u64) -> ChordScenario {
+        ChordScenario { nodes: 250, ..ChordScenario::small(duration_s) }
+    }
+
+    /// Build and load the scenario into a testbed.  `eclipse_attacker`
+    /// optionally turns one node into an Eclipse attacker.
+    pub fn build(&self, secure: bool, seed: u64, eclipse_attacker: Option<NodeId>) -> (Testbed, ChordRing) {
+        let mut tb = Testbed::new(NetworkConfig::default(), seed, self.nodes + 1, secure);
+        let ring = ChordRing::new(self.nodes);
+        for i in 1..=self.nodes {
+            let node = NodeId(i);
+            let app: Box<dyn StateMachine> = if eclipse_attacker == Some(node) {
+                Box::new(ChordMachine::eclipse(node))
+            } else {
+                Box::new(ChordMachine::new(node))
+            };
+            tb.add_node(node, app, Box::new(ChordMachine::new(node)));
+        }
+        ring.install(&mut tb, SimTime::from_millis(5));
+
+        // Periodic maintenance ticks for every node.
+        let mut seq = 0u64;
+        for t in (self.stabilize_every_s..=self.duration_s).step_by(self.stabilize_every_s as usize) {
+            for (_, node) in &ring.members {
+                tb.insert_at(SimTime::from_secs(t), *node, tick("stabTick", *node, seq));
+            }
+            seq += 1;
+        }
+        for t in (self.keepalive_every_s..=self.duration_s).step_by(self.keepalive_every_s as usize) {
+            for (_, node) in &ring.members {
+                tb.insert_at(SimTime::from_secs(t), *node, tick("keepTick", *node, seq));
+            }
+            seq += 1;
+        }
+        for t in (self.fix_fingers_every_s..=self.duration_s).step_by(self.fix_fingers_every_s as usize) {
+            for (_, node) in &ring.members {
+                tb.insert_at(SimTime::from_secs(t), *node, tick("fixTick", *node, seq));
+            }
+            seq += 1;
+        }
+
+        // Random lookups from random origins.
+        let mut rng = snp_sim::rng::DetRng::new(seed ^ 0xc0ffee);
+        let total_lookups = self.lookups_per_minute * self.duration_s / 60;
+        for req in 0..total_lookups {
+            let origin = ring.members[rng.next_below(ring.members.len() as u64) as usize].1;
+            let key = rng.next_below(ID_SPACE);
+            let at = SimTime::from_millis(1_000 + rng.next_below(self.duration_s.saturating_mul(1_000).max(1)));
+            tb.insert_at(at, origin, lookup(origin, key, origin, req));
+        }
+        (tb, ring)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_core::query::MacroQuery;
+
+    #[test]
+    fn ring_helpers_are_consistent() {
+        let ring = ChordRing::new(20);
+        assert_eq!(ring.members.len(), 20);
+        for window in ring.members.windows(2) {
+            assert!(window[0].0 < window[1].0, "ids sorted and unique");
+        }
+        let (id, node) = ring.members[3];
+        let (sid, snode) = ring.successor_of(id);
+        assert_ne!(node, snode);
+        assert!(sid > id || snode == ring.members[0].1);
+        // The owner of a key equal to a member id is that member.
+        assert_eq!(ring.owner_of(id), (id, node));
+    }
+
+    #[test]
+    fn interval_arithmetic_wraps() {
+        assert!(in_interval(5, 3, 8));
+        assert!(!in_interval(2, 3, 8));
+        assert!(in_interval(1, 60000, 10)); // wrap-around
+        assert!(in_interval(8, 8, 8)); // full circle
+    }
+
+    #[test]
+    fn lookup_resolves_to_ring_owner() {
+        let scenario = ChordScenario { nodes: 12, stabilize_every_s: 1000, fix_fingers_every_s: 1000, keepalive_every_s: 1000, lookups_per_minute: 0, duration_s: 10 };
+        let (mut tb, ring) = scenario.build(true, 3, None);
+        let key = key_id("some-object");
+        let (owner_id, owner) = ring.owner_of(key);
+        let origin = ring.members[0].1;
+        tb.insert_at(SimTime::from_secs(1), origin, lookup(origin, key, origin, 77));
+        tb.run_until(SimTime::from_secs(60));
+        let expected = lookup_result(origin, 77, key, owner, owner_id);
+        assert!(
+            tb.handles[&origin].with(|n| n.has_tuple(&expected)),
+            "origin must learn the owner of the key"
+        );
+    }
+
+    #[test]
+    fn maintenance_traffic_flows() {
+        let scenario = ChordScenario { nodes: 8, stabilize_every_s: 2, fix_fingers_every_s: 4, keepalive_every_s: 1, lookups_per_minute: 0, duration_s: 8 };
+        let (mut tb, _) = scenario.build(true, 3, None);
+        tb.run_until(SimTime::from_secs(20));
+        let traffic = tb.total_traffic();
+        assert!(traffic.data_messages > 8 * 4, "probes and replies must flow");
+    }
+
+    #[test]
+    fn eclipse_attacker_is_identified() {
+        let scenario = ChordScenario { nodes: 10, stabilize_every_s: 1000, fix_fingers_every_s: 1000, keepalive_every_s: 1000, lookups_per_minute: 0, duration_s: 10 };
+        let ring_preview = ChordRing::new(10);
+        // Pick an origin and a key owned by somebody far from the origin, and
+        // make the first hop of the lookup the attacker.
+        let origin = ring_preview.members[0].1;
+        let key = (ring_preview.members[5].0 + 1) % ID_SPACE;
+        let (_, owner) = ring_preview.owner_of(key);
+        assert_ne!(owner, origin);
+
+        // Make the origin's successor the attacker so the lie is easy to place:
+        // actually any node that handles the lookup works; we use the owner
+        // itself is fine too.  Choose the node the origin will forward to.
+        let attacker = ring_preview.members[3].1;
+        let (mut tb, _) = scenario.build(true, 3, Some(attacker));
+        tb.insert_at(SimTime::from_secs(1), attacker, lookup(attacker, key, attacker, 5));
+        // Also a lookup that actually routes through the attacker:
+        tb.insert_at(SimTime::from_secs(1), origin, lookup(origin, key, origin, 6));
+        tb.run_until(SimTime::from_secs(60));
+
+        // The attacker answered some lookup with itself; querying the bogus
+        // result's provenance implicates the attacker.
+        let bogus = lookup_result(attacker, 5, key, attacker, chord_id(attacker));
+        assert!(tb.handles[&attacker].with(|n| n.has_tuple(&bogus)));
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus }, attacker, None);
+        assert!(
+            result.suspect_nodes().contains(&attacker) || result.implicated_nodes().contains(&attacker),
+            "the Eclipse attacker must be implicated: {:?}",
+            result.suspect_nodes()
+        );
+    }
+
+    #[test]
+    fn clean_lookup_has_legitimate_cross_node_provenance() {
+        let scenario = ChordScenario { nodes: 10, stabilize_every_s: 1000, fix_fingers_every_s: 1000, keepalive_every_s: 1000, lookups_per_minute: 0, duration_s: 10 };
+        let (mut tb, ring) = scenario.build(true, 9, None);
+        let origin = ring.members[0].1;
+        let key = (ring.members[7].0 + 1) % ID_SPACE;
+        let (owner_id, owner) = ring.owner_of(key);
+        tb.insert_at(SimTime::from_secs(1), origin, lookup(origin, key, origin, 42));
+        tb.run_until(SimTime::from_secs(60));
+        let expected = lookup_result(origin, 42, key, owner, owner_id);
+        assert!(tb.handles[&origin].with(|n| n.has_tuple(&expected)));
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: expected }, origin, None);
+        assert!(result.root.is_some());
+        assert!(result.implicated_nodes().is_empty(), "clean lookup must implicate nobody");
+        // The explanation involves more than one node (the lookup was routed).
+        let hosts: std::collections::BTreeSet<NodeId> = result
+            .traversal
+            .as_ref()
+            .unwrap()
+            .depths
+            .keys()
+            .filter_map(|id| result.graph.vertex(id).map(|v| v.host()))
+            .collect();
+        assert!(hosts.len() >= 2, "lookup provenance should span nodes: {hosts:?}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # snp-apps — example applications instrumented with SNooPy
+//!
+//! Section 6 of the paper applies SNooPy to three applications, each using a
+//! different provenance-extraction method.  This crate rebuilds all three (on
+//! the simulated substrate) plus the MinCost routing example of §3.3:
+//!
+//! * [`mincost`] — the five-router MinCost example (Figure 2), written in the
+//!   rule language and evaluated by the `snp-datalog` engine (inferred
+//!   provenance).
+//! * [`chord`] — a Chord DHT (successors, fingers, iterative lookups,
+//!   stabilization/keep-alive traffic) written directly against the
+//!   deterministic state-machine API; provenance is inferred from its tuple
+//!   operations.  Includes the Eclipse-attack scenario of §7.2.
+//! * [`mapreduce`] — a mini MapReduce (splits → map → combine → shuffle →
+//!   reduce) with *reported* provenance at key-value granularity (§6.2), a
+//!   synthetic text corpus generator, and the corrupt-mapper scenario behind
+//!   the Hadoop-Squirrel query (Figure 4).
+//! * [`bgp`] — a path-vector BGP engine with Gao–Rexford-style export
+//!   policies standing in for Quagga, driven through an external
+//!   specification proxy (§6.3); includes the BadGadget and
+//!   disappearing-route scenarios and a RouteViews-like update generator.
+//! * [`testbed`] — shared scaffolding that wires application state machines
+//!   into SNooPy nodes, a simulator and a querier.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod chord;
+pub mod mapreduce;
+pub mod mincost;
+pub mod testbed;
+
+pub use testbed::Testbed;

@@ -1,0 +1,47 @@
+//! Benchmark of the graph construction algorithm over synthetic histories —
+//! the dominant cost of a microquery's replay phase (§7.7).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use snp_crypto::keys::NodeId;
+use snp_datalog::{Atom, Engine, Rule, RuleSet, Term, Tuple, Value};
+use snp_graph::history::{Event, EventKind, History};
+use snp_graph::GraphBuilder;
+
+fn rules() -> RuleSet {
+    RuleSet::new(vec![Rule::standard(
+        "R1",
+        Atom::new("reach", Term::var("X"), vec![Term::var("Y")]),
+        vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+        vec![],
+    )])
+    .unwrap()
+}
+
+fn history(events: u64) -> History {
+    let mut h = History::new();
+    for i in 0..events {
+        let tuple = Tuple::new("link", NodeId(1), vec![Value::node(i + 2)]);
+        if i % 3 == 2 {
+            h.push(Event::new(i * 10, NodeId(1), EventKind::Del(tuple)));
+        } else {
+            h.push(Event::new(i * 10, NodeId(1), EventKind::Ins(tuple)));
+        }
+    }
+    h
+}
+
+fn bench_gca(c: &mut Criterion) {
+    for size in [100u64, 500] {
+        let h = history(size);
+        c.bench_function(&format!("gca_replay_{size}_events"), |b| {
+            b.iter(|| {
+                let mut builder = GraphBuilder::new(1_000_000);
+                builder.register_machine(NodeId(1), Box::new(Engine::new(NodeId(1), rules())));
+                builder.build(std::hint::black_box(&h))
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_gca);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Figure 8: query turnaround time (download + authenticator checks + replay)
+//! and downloaded bytes, for the five example queries of §7.2.
+
+use snp_apps::bgp;
+use snp_apps::chord::{self, ChordScenario};
+use snp_apps::mapreduce::{reduce_out, reducer_for, MapReduceScenario};
+use snp_bench::print_row;
+use snp_core::query::{MacroQuery, QueryResult};
+use snp_crypto::keys::NodeId;
+use snp_sim::SimTime;
+
+/// The paper assumes a 10 Mbps download link when estimating turnaround.
+const BANDWIDTH_BPS: f64 = 10_000_000.0;
+
+fn report(name: &str, result: &QueryResult, widths: &[usize]) {
+    let s = &result.stats;
+    print_row(
+        &[
+            name.to_string(),
+            format!("{:.3}", s.turnaround_seconds(BANDWIDTH_BPS)),
+            format!("{:.3}", s.auth_check_seconds),
+            format!("{:.3}", s.replay_seconds),
+            format!("{}", s.log_bytes),
+            format!("{}", s.authenticator_bytes),
+            format!("{}", s.checkpoint_bytes),
+            format!("{}", s.audits),
+        ],
+        widths,
+    );
+}
+
+fn quagga_disappear() -> QueryResult {
+    let (mut tb, i, _j, prefix) = bgp::disappear_scenario(true, 3);
+    tb.enable_checkpoints(30_000_000);
+    tb.run_until(SimTime::from_secs(20));
+    bgp::disappear_trigger(&mut tb, SimTime::from_secs(25));
+    tb.run_until(SimTime::from_secs(60));
+    tb.querier.macroquery(
+        MacroQuery::WhyDisappeared { tuple: bgp::adv_route(i, &prefix, &[NodeId(2), NodeId(3), NodeId(5)], NodeId(2)) },
+        i,
+        None,
+    )
+}
+
+fn quagga_badgadget() -> QueryResult {
+    let (mut tb, _dest, prefix) = bgp::badgadget_scenario(true, 5);
+    tb.run_until(SimTime::from_secs(30));
+    let route = tb.handles[&NodeId(1)]
+        .with(|n| n.current_tuples())
+        .into_iter()
+        .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()))
+        .expect("AS 1 has a route to the gadget prefix");
+    tb.querier.macroquery(MacroQuery::WhyExists { tuple: route }, NodeId(1), None)
+}
+
+fn chord_lookup(nodes: u64) -> QueryResult {
+    let scenario = ChordScenario { nodes, lookups_per_minute: 0, ..ChordScenario::small(60) };
+    let (mut tb, ring) = scenario.build(true, 9, None);
+    let origin = ring.members[0].1;
+    let key = (ring.members[ring.members.len() / 2].0 + 1) % chord::ID_SPACE;
+    let (owner_id, owner) = ring.owner_of(key);
+    tb.insert_at(SimTime::from_secs(1), origin, chord::lookup(origin, key, origin, 1));
+    tb.run_until(SimTime::from_secs(90));
+    let result_tuple = chord::lookup_result(origin, 1, key, owner, owner_id);
+    tb.querier.macroquery(MacroQuery::WhyExists { tuple: result_tuple }, origin, None)
+}
+
+fn hadoop_squirrel() -> QueryResult {
+    let scenario = MapReduceScenario { mappers: 8, reducers: 4, splits: 8, words_per_split: 200 };
+    let corrupt = NodeId(3);
+    let mut tb = scenario.build(true, 7, Some(corrupt), 93);
+    tb.run_until(SimTime::from_secs(60));
+    let reducer = reducer_for("squirrel", &scenario.reducer_ids());
+    let total = tb.handles[&reducer]
+        .with(|n| n.current_tuples())
+        .into_iter()
+        .find(|t| t.relation == "reduceOut" && t.str_arg(0) == Some("squirrel"))
+        .and_then(|t| t.int_arg(1))
+        .expect("squirrel count");
+    tb.querier.macroquery(MacroQuery::WhyExists { tuple: reduce_out(reducer, "squirrel", total) }, reducer, None)
+}
+
+fn main() {
+    println!("Figure 8 — query turnaround time and downloaded data (10 Mbps assumed)\n");
+    let widths = [20, 12, 12, 10, 12, 10, 12, 8];
+    print_row(
+        &["query", "turnaround s", "auth-chk s", "replay s", "log B", "auth B", "chkpt B", "audits"].map(String::from).to_vec(),
+        &widths,
+    );
+    report("Quagga-Disappear", &quagga_disappear(), &widths);
+    report("Quagga-BadGadget", &quagga_badgadget(), &widths);
+    report("Chord-Lookup (S)", &chord_lookup(50), &widths);
+    report("Chord-Lookup (L)", &chord_lookup(250), &widths);
+    report("Hadoop-Squirrel", &hadoop_squirrel(), &widths);
+    println!(
+        "\nExpected shape (paper): queries complete interactively (seconds); the\n\
+         MapReduce query downloads and replays the most data; the BGP dynamic query\n\
+         additionally pays for checkpoint verification."
+    );
+}

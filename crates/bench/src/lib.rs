@@ -1,0 +1,200 @@
+//! # snp-bench — evaluation harnesses reproducing the SNP paper's figures
+//!
+//! One binary per figure (see DESIGN.md's per-experiment index):
+//!
+//! | Binary            | Paper artifact | What it prints                                    |
+//! |--------------------|---------------|---------------------------------------------------|
+//! | `fig4_squirrel`    | Figure 4      | the Hadoop-Squirrel provenance tree               |
+//! | `fig5_traffic`     | Figure 5      | traffic overhead vs. baseline, by cause           |
+//! | `fig6_log_growth`  | Figure 6      | per-node log growth, by component                 |
+//! | `fig7_cpu`         | Figure 7      | crypto operation counts × measured per-op cost    |
+//! | `fig8_query`       | Figure 8      | query turnaround time and downloaded bytes        |
+//! | `fig9_scalability` | Figure 9      | Chord per-node traffic / log growth vs. N         |
+//! | `fig_usability`    | §7.3          | does each forensic query identify the culprit?    |
+//!
+//! The library part contains the five workload configurations of §7.1 (scaled
+//! down so every harness completes in seconds on a laptop) and shared metric
+//! collection used both by the binaries and by the Criterion benchmarks.
+
+use snp_apps::bgp::BgpScenario;
+use snp_apps::chord::ChordScenario;
+use snp_apps::mapreduce::MapReduceScenario;
+use snp_apps::Testbed;
+use snp_core::node::NodeTraffic;
+use snp_sim::SimTime;
+
+/// The five experiment configurations of §7.1 (scaled down).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Config {
+    /// 10 ASes driven by a synthetic RouteViews-like trace (≈ "Quagga").
+    Quagga,
+    /// 50-node Chord.
+    ChordSmall,
+    /// 250-node Chord.
+    ChordLarge,
+    /// 20 mappers / 10 reducers WordCount.
+    HadoopSmall,
+    /// Same cluster, 3× the input.
+    HadoopLarge,
+}
+
+impl Config {
+    /// All five configurations in Figure 5/6 order.
+    pub const ALL: [Config; 5] =
+        [Config::Quagga, Config::ChordSmall, Config::ChordLarge, Config::HadoopSmall, Config::HadoopLarge];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Config::Quagga => "Quagga",
+            Config::ChordSmall => "Chord-Small",
+            Config::ChordLarge => "Chord-Large",
+            Config::HadoopSmall => "Hadoop-Small",
+            Config::HadoopLarge => "Hadoop-Large",
+        }
+    }
+
+    /// Simulated duration of the run, in seconds.
+    pub fn duration_s(&self) -> u64 {
+        match self {
+            Config::Quagga => 120,
+            Config::ChordSmall | Config::ChordLarge => 120,
+            Config::HadoopSmall | Config::HadoopLarge => 60,
+        }
+    }
+
+    /// Build the testbed with the workload scheduled (but not yet run).
+    pub fn build(&self, secure: bool, seed: u64) -> Testbed {
+        match self {
+            Config::Quagga => {
+                let scenario = BgpScenario { duration_s: self.duration_s(), ..BgpScenario::quagga_like() };
+                let mut tb = scenario.build(secure, seed);
+                scenario.inject_updates(&mut tb, seed);
+                tb
+            }
+            Config::ChordSmall => ChordScenario::small(self.duration_s()).build(secure, seed, None).0,
+            Config::ChordLarge => ChordScenario::large(self.duration_s()).build(secure, seed, None).0,
+            Config::HadoopSmall => MapReduceScenario::small().build(secure, seed, None, 0),
+            Config::HadoopLarge => MapReduceScenario::large().build(secure, seed, None, 0),
+        }
+    }
+
+    /// Run the configuration to completion and return the metrics.
+    pub fn run(&self, secure: bool, seed: u64) -> RunMetrics {
+        let mut tb = self.build(secure, seed);
+        if secure {
+            // Periodic checkpoints every 30 simulated seconds (§5.6).
+            tb.enable_checkpoints(30_000_000);
+        }
+        tb.run_until(SimTime::from_secs(self.duration_s() + 30));
+        RunMetrics::collect(&tb, self.duration_s())
+    }
+}
+
+/// Metrics collected from one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunMetrics {
+    /// SNP-level traffic counters summed over all nodes.
+    pub traffic: NodeTraffic,
+    /// Total log bytes across nodes.
+    pub log_bytes: u64,
+    /// Per-node log statistics.
+    pub per_node_log: Vec<snp_log::LogStats>,
+    /// Total checkpoint bytes across nodes.
+    pub checkpoint_bytes: u64,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Simulated duration in seconds.
+    pub duration_s: u64,
+}
+
+impl RunMetrics {
+    /// Collect metrics from a finished testbed.
+    pub fn collect(tb: &Testbed, duration_s: u64) -> RunMetrics {
+        RunMetrics {
+            traffic: tb.total_traffic(),
+            log_bytes: tb.total_log_bytes(),
+            per_node_log: tb.handles.values().map(|h| h.with(|n| n.log_stats())).collect(),
+            checkpoint_bytes: tb.handles.values().map(|h| h.with(|n| n.checkpoint_bytes()) as u64).sum(),
+            nodes: tb.node_count(),
+            duration_s,
+        }
+    }
+
+    /// Average per-node traffic rate in bytes per simulated second.
+    pub fn per_node_bytes_per_s(&self) -> f64 {
+        if self.nodes == 0 || self.duration_s == 0 {
+            0.0
+        } else {
+            self.traffic.total() as f64 / self.nodes as f64 / self.duration_s as f64
+        }
+    }
+
+    /// Average per-node log growth in MB per simulated minute (Figure 6).
+    pub fn per_node_log_mb_per_min(&self) -> f64 {
+        if self.nodes == 0 || self.duration_s == 0 {
+            0.0
+        } else {
+            let minutes = self.duration_s as f64 / 60.0;
+            self.log_bytes as f64 / (1024.0 * 1024.0) / self.nodes as f64 / minutes
+        }
+    }
+}
+
+/// Format a ratio as the "normalized to baseline" factor used in Figure 5.
+pub fn normalized(snp_bytes: u64, baseline_bytes: u64) -> f64 {
+    if baseline_bytes == 0 {
+        0.0
+    } else {
+        snp_bytes as f64 / baseline_bytes as f64
+    }
+}
+
+/// Simple fixed-width table row printing used by all harness binaries.
+pub fn print_row(cells: &[String], widths: &[usize]) {
+    let line: Vec<String> = cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{:>width$}", c, width = w))
+        .collect();
+    println!("{}", line.join("  "));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_durations() {
+        for config in Config::ALL {
+            assert!(!config.label().is_empty());
+            assert!(config.duration_s() > 0);
+        }
+    }
+
+    #[test]
+    fn normalization_helper() {
+        assert_eq!(normalized(200, 100), 2.0);
+        assert_eq!(normalized(100, 0), 0.0);
+    }
+
+    #[test]
+    fn quagga_metrics_show_overhead_over_baseline() {
+        // A very small sanity run: SNP traffic must exceed baseline traffic
+        // and produce a non-empty log.
+        let scenario = BgpScenario { ases: 5, prefixes: 4, updates: 30, duration_s: 20 };
+        let build = |secure: bool| {
+            let mut tb = scenario.build(secure, 3);
+            scenario.inject_updates(&mut tb, 3);
+            tb.run_until(SimTime::from_secs(40));
+            RunMetrics::collect(&tb, 20)
+        };
+        let baseline = build(false);
+        let snp = build(true);
+        assert!(snp.traffic.total() > baseline.traffic.total());
+        assert_eq!(baseline.log_bytes, 0);
+        assert!(snp.log_bytes > 0);
+        assert!(snp.per_node_bytes_per_s() > 0.0);
+        assert!(snp.per_node_log_mb_per_min() > 0.0);
+    }
+}

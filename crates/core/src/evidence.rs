@@ -1,0 +1,238 @@
+//! The formal evidence / view model of Appendix C.
+//!
+//! SNooPy implements the history map `ϕ(m)` efficiently with authenticators;
+//! this module implements the *abstract* model directly — every message
+//! carries its sender's full history prefix — so that the SNP properties
+//! (monotonicity, accuracy, completeness) can be tested exactly as they are
+//! stated in the appendix, independently of the log machinery.
+
+use snp_crypto::keys::NodeId;
+use snp_datalog::StateMachine;
+use snp_graph::history::{History, Message};
+use snp_graph::{GraphBuilder, ProvenanceGraph};
+use std::collections::BTreeMap;
+
+/// A message together with its history map `ϕ(m)`: the sender's claimed
+/// history prefix at the time the message was sent.
+#[derive(Clone, Debug)]
+pub struct EvidencedMessage {
+    /// The message itself.
+    pub message: Message,
+    /// The sender's claimed local history up to (and including) the send.
+    pub history_map: History,
+}
+
+/// An ordered evidence set `ε := (m_1, m_2, …, m_k)`.
+#[derive(Clone, Debug, Default)]
+pub struct EvidenceSet {
+    messages: Vec<EvidencedMessage>,
+}
+
+impl EvidenceSet {
+    /// Create an empty evidence set.
+    pub fn new() -> EvidenceSet {
+        EvidenceSet::default()
+    }
+
+    /// Append a message (order matters: the first message from a node is its
+    /// *primary* message).
+    pub fn push(&mut self, message: EvidencedMessage) {
+        self.messages.push(message);
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// The *primary* message for a node: the first message from it in ε.
+    pub fn primary(&self, node: NodeId) -> Option<&EvidencedMessage> {
+        self.messages.iter().find(|m| m.message.from == node)
+    }
+
+    /// The *dominant* message for a node: the message whose history map is
+    /// the longest extension of the primary message's map (Appendix C.3).
+    pub fn dominant(&self, node: NodeId) -> Option<&EvidencedMessage> {
+        let primary = self.primary(node)?;
+        let mut best = primary;
+        for candidate in self.messages.iter().filter(|m| m.message.from == node) {
+            if primary.history_map.is_prefix_of(&candidate.history_map)
+                && best.history_map.is_prefix_of(&candidate.history_map)
+            {
+                best = candidate;
+            }
+        }
+        Some(best)
+    }
+
+    /// Messages from `node` that are *inconsistent* with the dominant view
+    /// (neither a prefix nor an extension of it); these are fed to
+    /// `handle-extra-msg` and produce red vertices.
+    pub fn extras(&self, node: NodeId) -> Vec<&EvidencedMessage> {
+        let Some(dominant) = self.dominant(node) else { return Vec::new() };
+        self.messages
+            .iter()
+            .filter(|m| m.message.from == node)
+            .filter(|m| {
+                !(m.history_map.is_prefix_of(&dominant.history_map)
+                    || dominant.history_map.is_prefix_of(&m.history_map))
+            })
+            .collect()
+    }
+
+    /// The view `ν(ε)`: the concatenation of the dominant history maps of all
+    /// nodes appearing in ε.
+    pub fn view(&self) -> History {
+        let mut nodes: Vec<NodeId> = self.messages.iter().map(|m| m.message.from).collect();
+        nodes.sort();
+        nodes.dedup();
+        let mut view = History::new();
+        for node in nodes {
+            if let Some(dominant) = self.dominant(node) {
+                view.merge(&dominant.history_map);
+            }
+        }
+        view
+    }
+
+    /// Construct `Gν(ε)`: run the GCA on the view, then register every
+    /// inconsistent message via `handle-extra-msg` (Appendix C.3).
+    pub fn g_nu(&self, machines: &BTreeMap<NodeId, Box<dyn StateMachine>>, t_prop: u64) -> ProvenanceGraph {
+        let view = self.view();
+        let mut builder = GraphBuilder::new(t_prop);
+        for (node, machine) in machines {
+            builder.register_machine(*node, machine.fresh());
+        }
+        let extras: Vec<Message> = {
+            let mut nodes: Vec<NodeId> = self.messages.iter().map(|m| m.message.from).collect();
+            nodes.sort();
+            nodes.dedup();
+            nodes
+                .into_iter()
+                .flat_map(|n| self.extras(n).into_iter().map(|m| m.message.clone()).collect::<Vec<_>>())
+                .collect()
+        };
+        builder.build_with_extra(&view, &extras)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::{Atom, Engine, Rule, RuleSet, Term, Tuple, TupleDelta, Value};
+    use snp_graph::history::{Event, EventKind};
+
+    fn rules() -> RuleSet {
+        RuleSet::new(vec![Rule::standard(
+            "R2",
+            Atom::new("reach", Term::var("Y"), vec![Term::var("X")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+            vec![],
+        )])
+        .unwrap()
+    }
+
+    fn machines() -> BTreeMap<NodeId, Box<dyn StateMachine>> {
+        let mut m: BTreeMap<NodeId, Box<dyn StateMachine>> = BTreeMap::new();
+        for i in 1..=2u64 {
+            m.insert(NodeId(i), Box::new(Engine::new(NodeId(i), rules())));
+        }
+        m
+    }
+
+    fn link(x: u64, y: u64) -> Tuple {
+        Tuple::new("link", NodeId(x), vec![Value::node(y)])
+    }
+
+    fn reach(x: u64, y: u64) -> Tuple {
+        Tuple::new("reach", NodeId(x), vec![Value::node(y)])
+    }
+
+    /// An honest sender's message with a truthful history map.
+    fn honest_evidence() -> EvidencedMessage {
+        let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 1)), 10, 0);
+        let mut history = History::new();
+        history.push(Event::new(10, NodeId(1), EventKind::Ins(link(1, 2))));
+        history.push(Event::new(10, NodeId(1), EventKind::Snd(msg.clone())));
+        EvidencedMessage { message: msg, history_map: history }
+    }
+
+    #[test]
+    fn primary_and_dominant_selection() {
+        let mut evidence = EvidenceSet::new();
+        let short = honest_evidence();
+        let mut long = short.clone();
+        long.history_map.push(Event::new(20, NodeId(1), EventKind::Ins(link(1, 3))));
+        evidence.push(short.clone());
+        evidence.push(long.clone());
+        assert_eq!(evidence.primary(NodeId(1)).unwrap().history_map.len(), 2);
+        assert_eq!(evidence.dominant(NodeId(1)).unwrap().history_map.len(), 3, "the longer extension dominates");
+        assert!(evidence.extras(NodeId(1)).is_empty());
+        assert!(evidence.primary(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn honest_evidence_builds_clean_graph() {
+        let mut evidence = EvidenceSet::new();
+        evidence.push(honest_evidence());
+        let graph = evidence.g_nu(&machines(), 1_000_000);
+        assert!(graph.faulty_nodes().is_empty());
+        assert!(graph.vertex_count() > 0);
+    }
+
+    #[test]
+    fn lying_history_map_yields_red_vertex() {
+        // The sender claims a history that does not justify the message it sent.
+        let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 1)), 10, 0);
+        let mut history = History::new();
+        history.push(Event::new(10, NodeId(1), EventKind::Snd(msg.clone())));
+        let mut evidence = EvidenceSet::new();
+        evidence.push(EvidencedMessage { message: msg, history_map: history });
+        let graph = evidence.g_nu(&machines(), 1_000_000);
+        assert!(graph.faulty_nodes().contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn equivocating_messages_are_flagged_as_extras() {
+        let honest = honest_evidence();
+        // A second message whose claimed history is *inconsistent* with the
+        // first (different first event), i.e. equivocation.
+        let msg2 = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 3)), 12, 1);
+        let mut other_history = History::new();
+        other_history.push(Event::new(10, NodeId(1), EventKind::Ins(link(1, 3))));
+        other_history.push(Event::new(12, NodeId(1), EventKind::Snd(msg2.clone())));
+        let mut evidence = EvidenceSet::new();
+        evidence.push(honest);
+        evidence.push(EvidencedMessage { message: msg2, history_map: other_history });
+        assert_eq!(evidence.extras(NodeId(1)).len(), 1);
+        let graph = evidence.g_nu(&machines(), 1_000_000);
+        assert!(graph.faulty_nodes().contains(&NodeId(1)), "equivocation must produce a red vertex");
+    }
+
+    #[test]
+    fn monotonicity_adding_evidence_only_grows_the_graph() {
+        // Theorem 4: Gν(ε) ⊆* Gν(ε + m).
+        let mut evidence = EvidenceSet::new();
+        evidence.push(honest_evidence());
+        let g1 = evidence.g_nu(&machines(), 1_000_000);
+
+        let mut longer = honest_evidence();
+        longer.history_map.push(Event::new(20, NodeId(1), EventKind::Ins(link(1, 3))));
+        evidence.push(longer);
+        let g2 = evidence.g_nu(&machines(), 1_000_000);
+        assert!(g1.is_subgraph_of(&g2));
+    }
+
+    #[test]
+    fn view_is_empty_for_empty_evidence() {
+        let evidence = EvidenceSet::new();
+        assert!(evidence.is_empty());
+        assert!(evidence.view().is_empty());
+        assert_eq!(evidence.g_nu(&machines(), 1_000_000).vertex_count(), 0);
+    }
+}

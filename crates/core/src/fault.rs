@@ -1,0 +1,89 @@
+//! Byzantine fault injection (§2.1 threat model).
+//!
+//! The adversary "can change both the primary system and the provenance
+//! system on [compromised] nodes, and he can read, forge, tamper with, or
+//! destroy any information they are holding."  [`ByzantineConfig`] exposes
+//! the concrete misbehaviours the evaluation needs; application-level
+//! misbehaviour (an Eclipse-attacking Chord node, a corrupt mapper) is
+//! modelled by giving the node a *different state machine* than the one the
+//! querier replays with.
+
+use snp_crypto::keys::NodeId;
+use snp_datalog::TupleDelta;
+use std::collections::BTreeSet;
+
+/// Per-node Byzantine behaviour knobs.
+#[derive(Clone, Debug, Default)]
+pub struct ByzantineConfig {
+    /// Do not transmit data messages to these destinations (message
+    /// suppression, "passive evasion").  Acks are still sent so the fault is
+    /// only detectable through provenance.
+    pub suppress_sends_to: BTreeSet<NodeId>,
+    /// Fabricate and send these unjustified notifications when the node
+    /// starts (the classic "lie" — e.g. advertising a route that was never
+    /// derived).
+    pub fabricate_on_start: Vec<(NodeId, TupleDelta)>,
+    /// Do not acknowledge received messages.
+    pub suppress_acks: bool,
+    /// Refuse to answer `retrieve` requests (the querier's vertices for this
+    /// node stay yellow).
+    pub refuse_retrieve: bool,
+    /// When answering `retrieve`, tamper with the returned log: drop the entry
+    /// at this index (evidence destruction; detected by the hash chain).
+    pub tamper_log_drop_entry: Option<usize>,
+    /// When answering `retrieve`, truncate the log to this many entries and
+    /// return a *freshly signed* authenticator for the shorter prefix
+    /// (equivocation: inconsistent with authenticators other nodes hold).
+    pub equivocate_truncate_to: Option<usize>,
+}
+
+impl ByzantineConfig {
+    /// A fully correct node.
+    pub fn honest() -> ByzantineConfig {
+        ByzantineConfig::default()
+    }
+
+    /// Whether any misbehaviour is configured.
+    pub fn is_byzantine(&self) -> bool {
+        !self.suppress_sends_to.is_empty()
+            || !self.fabricate_on_start.is_empty()
+            || self.suppress_acks
+            || self.refuse_retrieve
+            || self.tamper_log_drop_entry.is_some()
+            || self.equivocate_truncate_to.is_some()
+    }
+
+    /// Convenience: suppress every data message to one destination.
+    pub fn suppressing(to: NodeId) -> ByzantineConfig {
+        let mut cfg = ByzantineConfig::default();
+        cfg.suppress_sends_to.insert(to);
+        cfg
+    }
+
+    /// Convenience: fabricate one notification at startup.
+    pub fn fabricating(to: NodeId, delta: TupleDelta) -> ByzantineConfig {
+        ByzantineConfig { fabricate_on_start: vec![(to, delta)], ..Default::default() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::{Tuple, Value};
+
+    #[test]
+    fn honest_config_is_not_byzantine() {
+        assert!(!ByzantineConfig::honest().is_byzantine());
+    }
+
+    #[test]
+    fn any_knob_marks_the_node_byzantine() {
+        assert!(ByzantineConfig::suppressing(NodeId(2)).is_byzantine());
+        let delta = TupleDelta::plus(Tuple::new("r", NodeId(2), vec![Value::Int(1)]));
+        assert!(ByzantineConfig::fabricating(NodeId(2), delta).is_byzantine());
+        assert!(ByzantineConfig { refuse_retrieve: true, ..Default::default() }.is_byzantine());
+        assert!(ByzantineConfig { suppress_acks: true, ..Default::default() }.is_byzantine());
+        assert!(ByzantineConfig { tamper_log_drop_entry: Some(0), ..Default::default() }.is_byzantine());
+        assert!(ByzantineConfig { equivocate_truncate_to: Some(1), ..Default::default() }.is_byzantine());
+    }
+}

@@ -1,0 +1,41 @@
+//! # snp-core — SNooPy, the secure network provenance runtime
+//!
+//! This crate ties the substrates together into the system described in
+//! Section 5 of the paper:
+//!
+//! * [`wire`] — the on-the-wire packets of the commitment protocol: every
+//!   tuple notification travels with an authenticator and is acknowledged
+//!   (§5.4), with byte-level accounting for the Figure 5 breakdown.
+//! * [`node`] — [`node::SnoopyNode`]: wraps a primary-system state machine
+//!   with the graph recorder (tamper-evident log, checkpoints) and the
+//!   commitment protocol, and exposes `retrieve` to queriers.  Byzantine
+//!   behaviour can be injected per node via [`fault::ByzantineConfig`].
+//! * [`replay`] — converts a retrieved log segment back into a history and
+//!   replays it through the node's *expected* state machine to reconstruct
+//!   its partition of the provenance graph (§5.5).
+//! * [`query`] — the microquery module and the macroquery processor
+//!   (causal, historical and dynamic queries with a scope parameter),
+//!   including the per-query cost accounting used by Figure 8.
+//! * [`evidence`] — the formal evidence/view model of Appendix C, used by the
+//!   property tests for monotonicity, accuracy and completeness.
+//! * [`fault`] — Byzantine fault injection knobs used by the attack
+//!   scenarios and the evaluation.
+//! * [`properties`] — checkers for the SNP guarantees, shared by integration
+//!   tests and the usability experiment (E7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod evidence;
+pub mod fault;
+pub mod node;
+pub mod properties;
+pub mod query;
+pub mod replay;
+pub mod wire;
+
+pub use fault::ByzantineConfig;
+pub use node::{SnoopyHandle, SnoopyNode, OPERATOR};
+pub use query::{MacroQuery, QueryResult, QueryStats, Querier};
+pub use snp_crypto::keys::NodeId;
+pub use wire::SnoopyWire;

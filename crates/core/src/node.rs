@@ -1,0 +1,660 @@
+//! The SNooPy node: primary system + graph recorder + commitment protocol.
+//!
+//! A [`SnoopyNode`] wraps the node's primary-system state machine (§5.3's
+//! provenance extraction happens inside that machine) and adds the provenance
+//! system of Figure 3: every base-tuple change and every message is recorded
+//! in the tamper-evident log, outgoing messages carry authenticators, and
+//! incoming messages are acknowledged.  The node also answers `retrieve`
+//! requests from queriers.
+//!
+//! The same type runs the *baseline* configuration of Figures 5 and 9 (no
+//! log, no authenticators, no acks) when constructed with
+//! [`SnoopyNode::baseline`], so that overhead comparisons use identical
+//! application logic.
+
+use crate::fault::ByzantineConfig;
+use crate::wire::SnoopyWire;
+use parking_lot::Mutex;
+use snp_crypto::counters;
+use snp_crypto::keys::{KeyPair, KeyRegistry, NodeId};
+use snp_crypto::Digest;
+use snp_datalog::{SmInput, SmOutput, StateMachine, Tuple, TupleDelta};
+use snp_graph::history::Message;
+use snp_graph::vertex::Timestamp;
+use snp_log::checkpoint::CheckpointEntry;
+use snp_log::entry::EntryKind;
+use snp_log::log::LogSegment;
+use snp_log::{Authenticator, AuthenticatorSet, Checkpoint, SecureLog};
+use snp_sim::{Context, SimNode, TimerId};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+/// Pseudo node id used as the "from" of operator / workload commands.
+pub const OPERATOR: NodeId = NodeId(u64::MAX);
+
+/// Timer used for periodic checkpoints.
+const TIMER_CHECKPOINT: TimerId = TimerId(1);
+/// Timer used to check for missing acknowledgments (2·Tprop sweep).
+const TIMER_ACK_SWEEP: TimerId = TimerId(2);
+
+/// Per-node traffic counters, split the way Figure 5 stacks its bars.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Bytes the unmodified primary system would have sent (tuple payloads).
+    pub baseline_bytes: u64,
+    /// Extra bytes added by an application proxy re-encoding (BGP only).
+    pub proxy_bytes: u64,
+    /// Per-message provenance metadata (timestamps, reference counts).
+    pub provenance_bytes: u64,
+    /// Authenticators attached to outgoing data messages.
+    pub authenticator_bytes: u64,
+    /// Acknowledgment packets.
+    pub ack_bytes: u64,
+    /// Number of data messages sent.
+    pub data_messages: u64,
+    /// Number of acknowledgments sent.
+    pub ack_messages: u64,
+}
+
+impl NodeTraffic {
+    /// Total bytes sent by the node.
+    pub fn total(&self) -> u64 {
+        self.baseline_bytes + self.proxy_bytes + self.provenance_bytes + self.authenticator_bytes + self.ack_bytes
+    }
+
+    /// Merge another counter into this one.
+    pub fn merge(&mut self, other: &NodeTraffic) {
+        self.baseline_bytes += other.baseline_bytes;
+        self.proxy_bytes += other.proxy_bytes;
+        self.provenance_bytes += other.provenance_bytes;
+        self.authenticator_bytes += other.authenticator_bytes;
+        self.ack_bytes += other.ack_bytes;
+        self.data_messages += other.data_messages;
+        self.ack_messages += other.ack_messages;
+    }
+}
+
+/// A SNooPy node (Figure 3: application, graph recorder, microquery module).
+pub struct SnoopyNode {
+    id: NodeId,
+    keys: KeyPair,
+    registry: KeyRegistry,
+    app: Box<dyn StateMachine>,
+    log: SecureLog,
+    auths: AuthenticatorSet,
+    checkpoints: Vec<Checkpoint>,
+    checkpoint_interval: Option<Timestamp>,
+    seq: u64,
+    /// Messages sent but not yet acknowledged: (message, digest, sent_at).
+    unacked: Vec<(Message, Digest, Timestamp)>,
+    /// Messages whose missing acknowledgment was reported to the maintainer.
+    maintainer_notified: BTreeSet<Digest>,
+    /// Whether SNP machinery is enabled (false = baseline configuration).
+    secure: bool,
+    /// Extra bytes charged per outgoing message for application proxies
+    /// (the Quagga proxy of §6.3).
+    pub proxy_overhead_per_message: usize,
+    byz: ByzantineConfig,
+    traffic: NodeTraffic,
+    t_prop: Timestamp,
+}
+
+impl SnoopyNode {
+    /// Create a SNooPy-enabled node.
+    pub fn new(id: NodeId, app: Box<dyn StateMachine>, registry: KeyRegistry, t_prop: Timestamp) -> SnoopyNode {
+        let keys = KeyPair::for_node(id);
+        SnoopyNode {
+            id,
+            log: SecureLog::new(keys.clone()),
+            keys,
+            registry,
+            app,
+            auths: AuthenticatorSet::new(),
+            checkpoints: Vec::new(),
+            checkpoint_interval: None,
+            seq: 0,
+            unacked: Vec::new(),
+            maintainer_notified: BTreeSet::new(),
+            secure: true,
+            proxy_overhead_per_message: 0,
+            byz: ByzantineConfig::honest(),
+            traffic: NodeTraffic::default(),
+            t_prop,
+        }
+    }
+
+    /// Create a baseline node: same application, no SNP machinery.
+    pub fn baseline(id: NodeId, app: Box<dyn StateMachine>) -> SnoopyNode {
+        let mut node = SnoopyNode::new(id, app, KeyRegistry::default(), 1);
+        node.secure = false;
+        node
+    }
+
+    /// Configure Byzantine behaviour for this node.
+    pub fn set_byzantine(&mut self, config: ByzantineConfig) {
+        self.byz = config;
+    }
+
+    /// Enable periodic checkpoints every `interval` microseconds (§5.6).
+    pub fn set_checkpoint_interval(&mut self, interval: Timestamp) {
+        self.checkpoint_interval = Some(interval);
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The wrapped application's current tuples.
+    pub fn current_tuples(&self) -> Vec<Tuple> {
+        self.app.current_tuples()
+    }
+
+    /// Whether the application currently holds `tuple`.
+    pub fn has_tuple(&self, tuple: &Tuple) -> bool {
+        self.app.current_tuples().contains(tuple)
+    }
+
+    /// Traffic counters for Figures 5 and 9.
+    pub fn traffic(&self) -> NodeTraffic {
+        self.traffic
+    }
+
+    /// Storage statistics of the log for Figure 6.
+    pub fn log_stats(&self) -> snp_log::LogStats {
+        self.log.stats()
+    }
+
+    /// Number of log entries.
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Total size of the node's checkpoints in bytes (§7.5).
+    pub fn checkpoint_bytes(&self) -> usize {
+        self.checkpoints.iter().map(|c| c.storage_size()).sum()
+    }
+
+    /// Latest checkpoint, if any.
+    pub fn latest_checkpoint(&self) -> Option<&Checkpoint> {
+        self.checkpoints.last()
+    }
+
+    /// Digests of messages whose missing acks were reported to the maintainer.
+    pub fn maintainer_notifications(&self) -> &BTreeSet<Digest> {
+        &self.maintainer_notified
+    }
+
+    /// A freshly signed authenticator over the node's current log head.
+    pub fn latest_authenticator(&self) -> Option<Authenticator> {
+        if self.byz.refuse_retrieve {
+            return None;
+        }
+        self.log.authenticator()
+    }
+
+    /// Authenticators this node holds that were signed by `peer` (used by the
+    /// querier's consistency check, §5.5).
+    pub fn authenticators_from(&self, peer: NodeId) -> Vec<Authenticator> {
+        self.auths.from_peer(peer).to_vec()
+    }
+
+    /// The `retrieve` primitive (§5.4): return the log prefix through
+    /// `through_seq` (or the whole log) together with an authenticator that
+    /// covers it.  Byzantine nodes may refuse, tamper, or equivocate.
+    pub fn retrieve(&self, through_seq: Option<u64>) -> Option<(LogSegment, Authenticator)> {
+        if self.byz.refuse_retrieve {
+            return None;
+        }
+        let mut segment = match through_seq {
+            Some(seq) => self.log.segment_through(seq),
+            None => self.log.full_segment(),
+        };
+        let mut auth = self.log.authenticator()?;
+
+        if let Some(truncate_to) = self.byz.equivocate_truncate_to {
+            // Equivocation: pretend the log ends earlier and sign that prefix.
+            segment.entries.truncate(truncate_to);
+            let mut chain = snp_crypto::HashChain::new();
+            for e in &segment.entries {
+                chain.append(&e.encode());
+            }
+            let last = segment.entries.last();
+            auth = Authenticator::issue(
+                &self.keys,
+                last.map(|e| e.seq).unwrap_or(0),
+                last.map(|e| e.timestamp).unwrap_or(0),
+                chain.head(),
+            );
+        }
+        if let Some(drop_at) = self.byz.tamper_log_drop_entry {
+            if drop_at < segment.entries.len() {
+                segment.entries.remove(drop_at);
+            }
+        }
+        Some((segment, auth))
+    }
+
+    // ----- internal helpers ---------------------------------------------------
+
+    fn now_micros(ctx: &Context<SnoopyWire>) -> Timestamp {
+        ctx.now.as_micros()
+    }
+
+    fn send_data(&mut self, ctx: &mut Context<SnoopyWire>, to: NodeId, delta: TupleDelta) {
+        let now = Self::now_micros(ctx);
+        if !self.secure {
+            let message = Message::delta(self.id, to, delta, now, self.next_seq());
+            self.traffic.baseline_bytes += message.wire_size() as u64;
+            self.traffic.data_messages += 1;
+            ctx.send(to, SnoopyWire::Plain { message });
+            return;
+        }
+        if self.byz.suppress_sends_to.contains(&to) {
+            // Passive evasion: neither send nor log.  Deterministic replay of
+            // this node's log will show the missing send (red vertex).
+            return;
+        }
+        let message = Message::delta(self.id, to, delta, now, self.next_seq());
+        let (_, auth) = self.log.append(now, EntryKind::Snd { message: message.clone() });
+        self.unacked.push((message.clone(), message.digest(), now));
+        self.traffic.baseline_bytes += message.wire_size() as u64;
+        self.traffic.provenance_bytes += crate::wire::PROVENANCE_METADATA_BYTES as u64;
+        self.traffic.authenticator_bytes += auth.wire_size() as u64;
+        self.traffic.proxy_bytes += self.proxy_overhead_per_message as u64;
+        self.traffic.data_messages += 1;
+        ctx.send(to, SnoopyWire::Data { message, auth });
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn process_outputs(&mut self, ctx: &mut Context<SnoopyWire>, outputs: Vec<SmOutput>) {
+        for output in outputs {
+            if let SmOutput::Send { to, delta } = output {
+                self.send_data(ctx, to, delta);
+            }
+            // Derive / Underive outputs need no runtime action: deterministic
+            // replay regenerates them on demand (§5.9: "the provenance graph
+            // is not maintained at runtime").
+        }
+    }
+
+    fn handle_operator(&mut self, ctx: &mut Context<SnoopyWire>, input: SmInput) {
+        let now = Self::now_micros(ctx);
+        if self.secure {
+            match &input {
+                SmInput::InsertBase(tuple) => {
+                    self.log.append(now, EntryKind::Ins { tuple: tuple.clone() });
+                }
+                SmInput::DeleteBase(tuple) => {
+                    self.log.append(now, EntryKind::Del { tuple: tuple.clone() });
+                }
+                SmInput::Receive { .. } => {}
+            }
+        }
+        let outputs = self.app.handle(input);
+        self.process_outputs(ctx, outputs);
+    }
+
+    fn handle_data(&mut self, ctx: &mut Context<SnoopyWire>, message: Message, auth: Authenticator) {
+        let now = Self::now_micros(ctx);
+        let Some(delta) = message.as_delta().cloned() else { return };
+        // Commitment checks (§5.4): the authenticator must be properly signed
+        // by the claimed sender and must belong to that sender.
+        if auth.node != message.from {
+            return;
+        }
+        let Some(public) = self.registry.public_key(auth.node) else { return };
+        if !auth.verify(&public) {
+            return;
+        }
+        self.auths.add(auth);
+        let (_, my_auth) = self
+            .log
+            .append(now, EntryKind::Rcv { message: message.clone(), sender_auth_digest: auth.digest() });
+        if !self.byz.suppress_acks {
+            let ack = Message::ack(&message, now, self.next_seq());
+            self.traffic.ack_bytes += (ack.wire_size() + my_auth.wire_size()) as u64;
+            self.traffic.ack_messages += 1;
+            ctx.send(message.from, SnoopyWire::Ack { message: ack, auth: my_auth });
+        }
+        let outputs = self.app.handle(SmInput::Receive { from: message.from, delta });
+        self.process_outputs(ctx, outputs);
+    }
+
+    fn handle_ack(&mut self, _ctx: &mut Context<SnoopyWire>, message: Message, auth: Authenticator, now: Timestamp) {
+        let snp_graph::history::MessageBody::Ack { of } = &message.body else { return };
+        if auth.node != message.from {
+            return;
+        }
+        let Some(public) = self.registry.public_key(auth.node) else { return };
+        if !auth.verify(&public) {
+            return;
+        }
+        self.auths.add(auth);
+        if let Some(pos) = self.unacked.iter().position(|(_, digest, _)| digest == of) {
+            self.unacked.remove(pos);
+            self.log.append(now, EntryKind::Ack { of: *of, peer_auth_digest: auth.digest() });
+        }
+    }
+
+    fn handle_plain(&mut self, ctx: &mut Context<SnoopyWire>, message: Message) {
+        let Some(delta) = message.as_delta().cloned() else { return };
+        let outputs = self.app.handle(SmInput::Receive { from: message.from, delta });
+        self.process_outputs(ctx, outputs);
+    }
+
+    fn take_checkpoint(&mut self, now: Timestamp) {
+        let entries: Vec<CheckpointEntry> = self
+            .app
+            .current_tuples()
+            .into_iter()
+            .map(|tuple| CheckpointEntry { tuple, appeared_at: now })
+            .collect();
+        let checkpoint = Checkpoint::build(self.id, self.log.len() as u64, now, entries);
+        self.checkpoints.push(checkpoint);
+    }
+
+    fn sweep_unacked(&mut self, now: Timestamp) {
+        let deadline = now.saturating_sub(2 * self.t_prop);
+        for (_, digest, sent_at) in &self.unacked {
+            if *sent_at < deadline {
+                // "i immediately notifies the maintainer of the distributed
+                // system" (§5.4).
+                self.maintainer_notified.insert(*digest);
+            }
+        }
+    }
+}
+
+impl SimNode<SnoopyWire> for SnoopyNode {
+    fn on_start(&mut self, ctx: &mut Context<SnoopyWire>) {
+        if self.secure {
+            if let Some(interval) = self.checkpoint_interval {
+                ctx.set_timer(snp_sim::SimDuration::from_micros(interval), TIMER_CHECKPOINT);
+            }
+            ctx.set_timer(snp_sim::SimDuration::from_micros(2 * self.t_prop), TIMER_ACK_SWEEP);
+        }
+        // Fabricated notifications (lying about state that was never derived).
+        let fabrications = self.byz.fabricate_on_start.clone();
+        for (to, delta) in fabrications {
+            // A lying node still logs the send so its log remains internally
+            // consistent; replay then shows a send without a derivation.
+            self.send_data(ctx, to, delta);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<SnoopyWire>, _from: NodeId, payload: SnoopyWire) {
+        match payload {
+            SnoopyWire::Operator { input } => self.handle_operator(ctx, input),
+            SnoopyWire::Data { message, auth } => self.handle_data(ctx, message, auth),
+            SnoopyWire::Ack { message, auth } => {
+                let now = Self::now_micros(ctx);
+                self.handle_ack(ctx, message, auth, now)
+            }
+            SnoopyWire::Plain { message } => self.handle_plain(ctx, message),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<SnoopyWire>, timer: TimerId) {
+        let now = Self::now_micros(ctx);
+        match timer {
+            TIMER_CHECKPOINT => {
+                self.take_checkpoint(now);
+                if let Some(interval) = self.checkpoint_interval {
+                    ctx.set_timer(snp_sim::SimDuration::from_micros(interval), TIMER_CHECKPOINT);
+                }
+            }
+            TIMER_ACK_SWEEP => {
+                self.sweep_unacked(now);
+                ctx.set_timer(snp_sim::SimDuration::from_micros(2 * self.t_prop), TIMER_ACK_SWEEP);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A cloneable handle to a [`SnoopyNode`], shared between the simulator and
+/// the querier (Alice needs to call `retrieve` on nodes after the run).
+#[derive(Clone)]
+pub struct SnoopyHandle {
+    inner: Arc<Mutex<SnoopyNode>>,
+}
+
+impl SnoopyHandle {
+    /// Wrap a node in a shared handle.
+    pub fn new(node: SnoopyNode) -> SnoopyHandle {
+        SnoopyHandle { inner: Arc::new(Mutex::new(node)) }
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> NodeId {
+        self.inner.lock().id()
+    }
+
+    /// Run a closure with exclusive access to the node.
+    pub fn with<R>(&self, f: impl FnOnce(&mut SnoopyNode) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// `retrieve` as invoked by the querier.
+    pub fn retrieve(&self, through_seq: Option<u64>) -> Option<(LogSegment, Authenticator)> {
+        self.inner.lock().retrieve(through_seq)
+    }
+
+    /// Authenticators this node holds from `peer`.
+    pub fn authenticators_from(&self, peer: NodeId) -> Vec<Authenticator> {
+        self.inner.lock().authenticators_from(peer)
+    }
+
+    /// The node's freshest authenticator.
+    pub fn latest_authenticator(&self) -> Option<Authenticator> {
+        self.inner.lock().latest_authenticator()
+    }
+
+    /// Traffic counters.
+    pub fn traffic(&self) -> NodeTraffic {
+        self.inner.lock().traffic()
+    }
+}
+
+impl SimNode<SnoopyWire> for SnoopyHandle {
+    fn on_start(&mut self, ctx: &mut Context<SnoopyWire>) {
+        self.inner.lock().on_start(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<SnoopyWire>, from: NodeId, payload: SnoopyWire) {
+        self.inner.lock().on_message(ctx, from, payload);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<SnoopyWire>, timer: TimerId) {
+        self.inner.lock().on_timer(ctx, timer);
+    }
+}
+
+/// Record crypto-op counters observed during a closure (used by Figure 7).
+pub fn with_crypto_counting<R>(f: impl FnOnce() -> R) -> (R, counters::CryptoOpCounts) {
+    let before = counters::snapshot();
+    let result = f();
+    let after = counters::snapshot();
+    (result, after.since(&before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::{Engine, RuleSet, Value};
+    use snp_datalog::{Atom, Rule, Term};
+
+    fn rules() -> RuleSet {
+        // reach(@Y, X) :- link(@X, Y): derived locally, shipped to the neighbor.
+        RuleSet::new(vec![Rule::standard(
+            "R2",
+            Atom::new("reach", Term::var("Y"), vec![Term::var("X")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+            vec![],
+        )])
+        .unwrap()
+    }
+
+    fn link(x: u64, y: u64) -> Tuple {
+        Tuple::new("link", NodeId(x), vec![Value::node(y)])
+    }
+
+    fn reach(x: u64, y: u64) -> Tuple {
+        Tuple::new("reach", NodeId(x), vec![Value::node(y)])
+    }
+
+    fn build_pair() -> (snp_sim::Simulator<SnoopyWire>, SnoopyHandle, SnoopyHandle) {
+        let (_, _, registry) = KeyRegistry::deployment(4);
+        let t_prop = snp_sim::NetworkConfig::default().t_prop.as_micros();
+        let mut sim = snp_sim::Simulator::new(snp_sim::NetworkConfig::default(), 7);
+        let n1 = SnoopyHandle::new(SnoopyNode::new(NodeId(1), Box::new(Engine::new(NodeId(1), rules())), registry.clone(), t_prop));
+        let n2 = SnoopyHandle::new(SnoopyNode::new(NodeId(2), Box::new(Engine::new(NodeId(2), rules())), registry, t_prop));
+        sim.add_node(NodeId(1), Box::new(n1.clone()));
+        sim.add_node(NodeId(2), Box::new(n2.clone()));
+        (sim, n1, n2)
+    }
+
+    #[test]
+    fn tuple_propagates_and_both_logs_grow() {
+        let (mut sim, n1, n2) = build_pair();
+        sim.inject_message(
+            snp_sim::SimTime::from_millis(10),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+        );
+        sim.run_until(snp_sim::SimTime::from_secs(5));
+        assert!(n2.with(|n| n.has_tuple(&reach(2, 1))), "derived tuple must arrive at node 2");
+        assert!(n1.with(|n| n.log_len()) >= 2, "node 1 logs ins + snd + ack");
+        assert!(n2.with(|n| n.log_len()) >= 1, "node 2 logs rcv");
+        // The ack made it back: nothing outstanding, no maintainer notification.
+        assert!(n1.with(|n| n.maintainer_notifications().is_empty()));
+    }
+
+    #[test]
+    fn retrieved_segment_verifies_against_authenticator() {
+        let (mut sim, n1, _) = build_pair();
+        sim.inject_message(
+            snp_sim::SimTime::from_millis(10),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+        );
+        sim.run_until(snp_sim::SimTime::from_secs(5));
+        let (segment, auth) = n1.retrieve(None).expect("honest node answers");
+        let public = KeyPair::for_node(NodeId(1)).public;
+        assert!(segment.verify(&auth, &public).is_ok());
+        assert!(segment.entries.iter().any(|e| matches!(e.kind, EntryKind::Ins { .. })));
+        assert!(segment.entries.iter().any(|e| matches!(e.kind, EntryKind::Snd { .. })));
+        assert!(segment.entries.iter().any(|e| matches!(e.kind, EntryKind::Ack { .. })));
+    }
+
+    #[test]
+    fn traffic_counters_cover_all_components() {
+        let (mut sim, n1, n2) = build_pair();
+        for i in 0..5u64 {
+            sim.inject_message(
+                snp_sim::SimTime::from_millis(10 + i),
+                OPERATOR,
+                NodeId(1),
+                SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            );
+        }
+        sim.run_until(snp_sim::SimTime::from_secs(5));
+        let t1 = n1.traffic();
+        let t2 = n2.traffic();
+        assert!(t1.baseline_bytes > 0);
+        assert!(t1.authenticator_bytes > 0);
+        assert!(t1.provenance_bytes > 0);
+        assert!(t2.ack_bytes > 0, "receiver pays for acknowledgments");
+        assert_eq!(t1.data_messages, 1, "duplicate inserts are reference-counted, only one +τ is sent");
+    }
+
+    #[test]
+    fn baseline_node_has_no_log_and_no_overhead() {
+        let mut sim: snp_sim::Simulator<SnoopyWire> = snp_sim::Simulator::new(snp_sim::NetworkConfig::default(), 7);
+        let n1 = SnoopyHandle::new(SnoopyNode::baseline(NodeId(1), Box::new(Engine::new(NodeId(1), rules()))));
+        let n2 = SnoopyHandle::new(SnoopyNode::baseline(NodeId(2), Box::new(Engine::new(NodeId(2), rules()))));
+        sim.add_node(NodeId(1), Box::new(n1.clone()));
+        sim.add_node(NodeId(2), Box::new(n2.clone()));
+        sim.inject_message(
+            snp_sim::SimTime::from_millis(10),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+        );
+        sim.run_until(snp_sim::SimTime::from_secs(5));
+        assert!(n2.with(|n| n.has_tuple(&reach(2, 1))));
+        assert_eq!(n1.with(|n| n.log_len()), 0);
+        let t = n1.traffic();
+        assert!(t.baseline_bytes > 0);
+        assert_eq!(t.authenticator_bytes, 0);
+        assert_eq!(t.ack_bytes + t.provenance_bytes, 0);
+    }
+
+    #[test]
+    fn suppressed_ack_triggers_maintainer_notification() {
+        let (mut sim, n1, n2) = build_pair();
+        n2.with(|n| n.set_byzantine(ByzantineConfig { suppress_acks: true, ..Default::default() }));
+        sim.inject_message(
+            snp_sim::SimTime::from_millis(10),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+        );
+        sim.run_until(snp_sim::SimTime::from_secs(10));
+        assert!(!n1.with(|n| n.maintainer_notifications().is_empty()), "sender must report the missing ack");
+    }
+
+    #[test]
+    fn checkpoints_are_taken_periodically() {
+        let (mut sim, n1, _) = build_pair();
+        n1.with(|n| n.set_checkpoint_interval(1_000_000)); // every simulated second
+        sim.inject_message(
+            snp_sim::SimTime::from_millis(10),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+        );
+        sim.run_until(snp_sim::SimTime::from_secs(5));
+        assert!(n1.with(|n| n.latest_checkpoint().is_some()));
+        assert!(n1.with(|n| n.checkpoint_bytes()) > 0);
+    }
+
+    #[test]
+    fn refusing_node_returns_nothing() {
+        let (mut sim, n1, _) = build_pair();
+        n1.with(|n| n.set_byzantine(ByzantineConfig { refuse_retrieve: true, ..Default::default() }));
+        sim.inject_message(
+            snp_sim::SimTime::from_millis(10),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+        );
+        sim.run_until(snp_sim::SimTime::from_secs(5));
+        assert!(n1.retrieve(None).is_none());
+        assert!(n1.latest_authenticator().is_none());
+    }
+
+    #[test]
+    fn tampered_retrieve_fails_verification() {
+        let (mut sim, n1, _) = build_pair();
+        sim.inject_message(
+            snp_sim::SimTime::from_millis(10),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+        );
+        sim.run_until(snp_sim::SimTime::from_secs(5));
+        n1.with(|n| n.set_byzantine(ByzantineConfig { tamper_log_drop_entry: Some(0), ..Default::default() }));
+        let (segment, auth) = n1.retrieve(None).expect("still answers");
+        let public = KeyPair::for_node(NodeId(1)).public;
+        assert!(segment.verify(&auth, &public).is_err(), "dropping a log entry must be detected");
+    }
+}

@@ -1,0 +1,95 @@
+//! Checkers for the SNP guarantees (§4.3), shared by integration tests and
+//! the usability experiment (E7 in DESIGN.md).
+
+use crate::query::QueryResult;
+use snp_crypto::keys::NodeId;
+use snp_graph::vertex::Color;
+use snp_graph::ProvenanceGraph;
+use std::collections::BTreeSet;
+
+/// Accuracy check: no vertex hosted on a node outside `byzantine` may be red.
+///
+/// This is the graph-level form of Theorem 5 ("the adversary cannot cause
+/// Alice to believe that a correct node is faulty").
+pub fn check_accuracy(graph: &ProvenanceGraph, byzantine: &BTreeSet<NodeId>) -> Result<(), String> {
+    for (_, vertex) in graph.vertices() {
+        if vertex.color == Color::Red && !byzantine.contains(&vertex.host()) {
+            return Err(format!("correct node {} has a red vertex: {}", vertex.host(), vertex.kind));
+        }
+    }
+    Ok(())
+}
+
+/// Completeness check: at least one of the `byzantine` nodes appears among
+/// the suspects (red or yellow) of the query result.
+///
+/// This is the practical form of Theorem 6: when a detectable fault occurred
+/// and Alice queries one of its symptoms, recursive microqueries eventually
+/// reach a red or yellow vertex on a faulty node.
+pub fn check_completeness(result: &QueryResult, byzantine: &BTreeSet<NodeId>) -> Result<(), String> {
+    if byzantine.is_empty() {
+        return Ok(());
+    }
+    let suspects = result.suspect_nodes();
+    if suspects.iter().any(|s| byzantine.contains(s)) {
+        Ok(())
+    } else {
+        Err(format!("no byzantine node among suspects {suspects:?} (byzantine: {byzantine:?})"))
+    }
+}
+
+/// Combined check used by the usability experiment: a clean run must produce
+/// a legitimate explanation; an attacked run must implicate a byzantine node
+/// and must never implicate a correct one.
+pub fn check_forensics(result: &QueryResult, byzantine: &BTreeSet<NodeId>) -> Result<(), String> {
+    for node in result.implicated_nodes() {
+        if !byzantine.contains(&node) {
+            return Err(format!("correct node {node} was implicated"));
+        }
+    }
+    if byzantine.is_empty() {
+        if !result.is_legitimate() {
+            return Err("clean run did not produce a legitimate explanation".to_string());
+        }
+        Ok(())
+    } else {
+        check_completeness(result, byzantine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_graph::vertex::{Vertex, VertexKind};
+    use snp_datalog::{Tuple, Value};
+
+    fn graph_with_red_on(node: u64) -> ProvenanceGraph {
+        let mut g = ProvenanceGraph::new();
+        let tuple = Tuple::new("x", NodeId(node), vec![Value::Int(1)]);
+        let v = Vertex::new(VertexKind::Appear { node: NodeId(node), tuple, time: 1 }, Color::Red);
+        g.upsert(v);
+        g
+    }
+
+    #[test]
+    fn accuracy_flags_red_on_correct_nodes() {
+        let graph = graph_with_red_on(1);
+        let byz: BTreeSet<NodeId> = [NodeId(1)].into();
+        assert!(check_accuracy(&graph, &byz).is_ok());
+        assert!(check_accuracy(&graph, &BTreeSet::new()).is_err());
+    }
+
+    #[test]
+    fn completeness_trivially_holds_without_byzantine_nodes() {
+        let result = QueryResult {
+            root: None,
+            graph: ProvenanceGraph::new(),
+            traversal: None,
+            audits: Default::default(),
+            stats: Default::default(),
+        };
+        assert!(check_completeness(&result, &BTreeSet::new()).is_ok());
+        let byz: BTreeSet<NodeId> = [NodeId(3)].into();
+        assert!(check_completeness(&result, &byz).is_err());
+    }
+}

@@ -1,0 +1,694 @@
+//! The microquery module and the macroquery processor (§5.1, §5.5).
+//!
+//! The querier ("Alice") holds the key registry, the expected state machine
+//! for every node, and handles to the nodes (so it can invoke `retrieve`).
+//! To answer a macroquery it repeatedly *audits* nodes — retrieve, verify,
+//! replay, consistency-check — merges the reconstructed per-node subgraphs
+//! into its approximation `Gν`, and finally walks the merged graph.
+//!
+//! Every audit records the download volume and the time spent checking
+//! authenticators and replaying, which is exactly the cost breakdown that
+//! Figure 8 reports.
+
+use crate::node::SnoopyHandle;
+use crate::replay;
+use snp_crypto::keys::{KeyRegistry, NodeId};
+use snp_datalog::{StateMachine, Tuple};
+use snp_graph::query::{self, Direction, Traversal};
+use snp_graph::vertex::{Color, Timestamp, VertexId, VertexKind};
+use snp_graph::ProvenanceGraph;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
+
+/// Cumulative cost accounting for a query (Figure 8).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Bytes of log segments downloaded.
+    pub log_bytes: u64,
+    /// Bytes of authenticators downloaded.
+    pub authenticator_bytes: u64,
+    /// Bytes of checkpoints downloaded.
+    pub checkpoint_bytes: u64,
+    /// Wall-clock seconds spent verifying authenticators and hash chains.
+    pub auth_check_seconds: f64,
+    /// Wall-clock seconds spent in deterministic replay.
+    pub replay_seconds: f64,
+    /// Number of node audits (≈ microquery batches).
+    pub audits: u64,
+    /// Number of individual microqueries issued.
+    pub microqueries: u64,
+}
+
+impl QueryStats {
+    /// Total bytes downloaded.
+    pub fn total_bytes(&self) -> u64 {
+        self.log_bytes + self.authenticator_bytes + self.checkpoint_bytes
+    }
+
+    /// Estimated turnaround time given a download bandwidth in bits/s
+    /// (the paper assumes 10 Mbps in §7.7).
+    pub fn turnaround_seconds(&self, bandwidth_bps: f64) -> f64 {
+        let download = self.total_bytes() as f64 * 8.0 / bandwidth_bps;
+        download + self.auth_check_seconds + self.replay_seconds
+    }
+}
+
+/// The outcome of auditing a single node.
+#[derive(Clone, Debug)]
+pub struct NodeAudit {
+    /// The audited node.
+    pub node: NodeId,
+    /// Overall color: black (clean), yellow (no response), red (tampering,
+    /// inconsistency, or replay divergence).
+    pub color: Color,
+    /// Human-readable notes on what was found.
+    pub notes: Vec<String>,
+}
+
+/// A macroquery (§3, §5.1).
+#[derive(Clone, Debug)]
+pub enum MacroQuery {
+    /// "Why does τ exist?"
+    WhyExists {
+        /// The tuple in question.
+        tuple: Tuple,
+    },
+    /// "Why did τ exist at time t?" (historical query)
+    WhyExistedAt {
+        /// The tuple in question.
+        tuple: Tuple,
+        /// The time of interest.
+        at: Timestamp,
+    },
+    /// "Why did τ appear?" (dynamic query)
+    WhyAppeared {
+        /// The tuple in question.
+        tuple: Tuple,
+    },
+    /// "Why did τ disappear?" (dynamic query)
+    WhyDisappeared {
+        /// The tuple in question.
+        tuple: Tuple,
+    },
+    /// "What was derived from τ?" (causal query, for damage assessment)
+    Effects {
+        /// The tuple in question.
+        tuple: Tuple,
+    },
+}
+
+/// The result of a macroquery.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The vertex the query was anchored at (if it could be located).
+    pub root: Option<VertexId>,
+    /// The merged approximation `Gν` restricted to the audited nodes.
+    pub graph: ProvenanceGraph,
+    /// The traversal (explanation subtree or forward slice).
+    pub traversal: Option<Traversal>,
+    /// Audit outcome per node touched by the query.
+    pub audits: BTreeMap<NodeId, NodeAudit>,
+    /// Cost accounting.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Nodes with red evidence (either a red vertex or a failed audit).
+    pub fn implicated_nodes(&self) -> BTreeSet<NodeId> {
+        let mut out = self.graph.faulty_nodes();
+        for (node, audit) in &self.audits {
+            if audit.color == Color::Red {
+                out.insert(*node);
+            }
+        }
+        out
+    }
+
+    /// Nodes that are red *or* yellow — the set Alice should investigate.
+    pub fn suspect_nodes(&self) -> BTreeSet<NodeId> {
+        let mut out = self.graph.suspect_nodes();
+        for (node, audit) in &self.audits {
+            if audit.color != Color::Black {
+                out.insert(*node);
+            }
+        }
+        out
+    }
+
+    /// Whether the explanation is complete and entirely legitimate.
+    pub fn is_legitimate(&self) -> bool {
+        match &self.traversal {
+            Some(t) => {
+                self.audits.values().all(|a| a.color == Color::Black)
+                    && query::is_legitimate_explanation(&self.graph, t)
+            }
+            None => false,
+        }
+    }
+
+    /// Render the explanation as an indented text tree.
+    pub fn render(&self) -> String {
+        match (&self.traversal, self.root) {
+            (Some(t), Some(_)) => query::render_tree(&self.graph, t, Direction::Causes),
+            _ => "(no explanation available)".to_string(),
+        }
+    }
+}
+
+/// The querier ("Alice").
+pub struct Querier {
+    registry: KeyRegistry,
+    nodes: BTreeMap<NodeId, SnoopyHandle>,
+    expected: BTreeMap<NodeId, Box<dyn StateMachine>>,
+    t_prop: Timestamp,
+    /// Cached per-node subgraphs from previous audits (§5.6: "the querier can
+    /// cache previously retrieved log segments … and even previously
+    /// regenerated provenance graphs").
+    cache: BTreeMap<NodeId, (ProvenanceGraph, NodeAudit)>,
+    /// Cumulative statistics across all queries issued by this querier.
+    pub stats: QueryStats,
+}
+
+impl Querier {
+    /// Create a querier.
+    pub fn new(registry: KeyRegistry, t_prop: Timestamp) -> Querier {
+        Querier {
+            registry,
+            nodes: BTreeMap::new(),
+            expected: BTreeMap::new(),
+            t_prop,
+            cache: BTreeMap::new(),
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Register a node handle and the state machine the node is *expected*
+    /// to run (used for deterministic replay).
+    pub fn register(&mut self, handle: SnoopyHandle, expected: Box<dyn StateMachine>) {
+        let id = handle.id();
+        self.nodes.insert(id, handle);
+        self.expected.insert(id, expected);
+    }
+
+    /// Forget cached audits (e.g. after nodes have made progress).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Audit a node: retrieve + verify + replay + consistency check.
+    /// Results are cached.
+    pub fn audit(&mut self, node: NodeId) -> NodeAudit {
+        if let Some((_, audit)) = self.cache.get(&node) {
+            return audit.clone();
+        }
+        self.audit_uncached(node)
+    }
+
+    fn audit_uncached(&mut self, node: NodeId) -> NodeAudit {
+        self.stats.audits += 1;
+        let mut notes = Vec::new();
+        let Some(handle) = self.nodes.get(&node).cloned() else {
+            let audit = NodeAudit { node, color: Color::Yellow, notes: vec!["node unknown to querier".into()] };
+            self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
+            return audit;
+        };
+
+        // retrieve(v, a): ask the node for its log prefix and authenticator.
+        let Some((segment, auth)) = handle.retrieve(None) else {
+            // A node with an empty log has nothing to retrieve; that is not
+            // suspicious by itself.
+            if handle.with(|n| n.log_len()) == 0 {
+                let audit = NodeAudit { node, color: Color::Black, notes: vec!["empty log".into()] };
+                self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
+                return audit;
+            }
+            // No response: everything hosted here stays yellow (§4.2, fourth
+            // limitation).
+            let audit = NodeAudit { node, color: Color::Yellow, notes: vec!["node did not respond to retrieve".into()] };
+            self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
+            return audit;
+        };
+        self.stats.log_bytes += segment.download_size() as u64;
+        self.stats.authenticator_bytes += auth.wire_size() as u64;
+
+        // Also download the latest checkpoint (counted for Figure 8).
+        let checkpoint_bytes = handle.with(|n| n.checkpoint_bytes());
+        self.stats.checkpoint_bytes += checkpoint_bytes as u64;
+
+        // Verify the segment against the authenticator.
+        let auth_started = Instant::now();
+        let public = self.registry.public_key(node);
+        let verification = match public {
+            Some(pk) => segment.verify(&auth, &pk).map_err(|e| e.to_string()),
+            None => Err("no certified public key for node".to_string()),
+        };
+        self.stats.auth_check_seconds += auth_started.elapsed().as_secs_f64();
+
+        let mut color = Color::Black;
+        if let Err(reason) = verification {
+            notes.push(format!("log verification failed: {reason}"));
+            color = Color::Red;
+        }
+
+        // Consistency check (§5.5): compare the retrieved log against
+        // authenticators other nodes hold from this node.
+        let consistency_started = Instant::now();
+        if color == Color::Black {
+            let mut chain = snp_crypto::HashChain::new();
+            let heads: Vec<snp_crypto::Digest> = segment.entries.iter().map(|e| chain.append(&e.encode())).collect();
+            'outer: for (peer_id, peer) in &self.nodes {
+                if *peer_id == node {
+                    continue;
+                }
+                for peer_auth in peer.authenticators_from(node) {
+                    self.stats.authenticator_bytes += peer_auth.wire_size() as u64;
+                    if public.map(|pk| peer_auth.verify(&pk)) != Some(true) {
+                        continue;
+                    }
+                    let idx = peer_auth.seq as usize;
+                    match heads.get(idx) {
+                        Some(head) if *head == peer_auth.head => {}
+                        _ => {
+                            notes.push(format!(
+                                "log is inconsistent with an authenticator held by {peer_id} (seq {})",
+                                peer_auth.seq
+                            ));
+                            color = Color::Red;
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        self.stats.auth_check_seconds += consistency_started.elapsed().as_secs_f64();
+
+        // Deterministic replay through the expected state machine.
+        let replay_started = Instant::now();
+        let graph = match self.expected.get(&node) {
+            Some(machine) => replay::replay_segment(&segment, machine.fresh(), self.t_prop),
+            None => ProvenanceGraph::new(),
+        };
+        self.stats.replay_seconds += replay_started.elapsed().as_secs_f64();
+
+        // Excuse missing acks that the node reported to the maintainer
+        // (§5.4): those sends are a known link problem, not forensic evidence.
+        let notified = handle.with(|n| n.maintainer_notifications().clone());
+        let mut graph = graph;
+        if !notified.is_empty() {
+            let excused: Vec<VertexId> = graph
+                .vertices()
+                .filter(|(_, v)| {
+                    v.color == Color::Red && matches!(v.kind, VertexKind::Send { .. }) && v.host() == node
+                })
+                .map(|(id, _)| *id)
+                .collect();
+            for id in excused {
+                graph.force_color(id, Color::Black);
+                notes.push("missing ack excused by maintainer notification".into());
+            }
+        }
+
+        if color == Color::Black && !graph.faulty_nodes().is_empty() && graph.faulty_nodes().contains(&node) {
+            notes.push("replay revealed misbehavior (red vertices)".into());
+            color = Color::Red;
+        }
+
+        let audit = NodeAudit { node, color, notes };
+        self.cache.insert(node, (graph, audit.clone()));
+        audit
+    }
+
+    /// The subgraph reconstructed for a node (auditing it first if needed).
+    pub fn node_graph(&mut self, node: NodeId) -> ProvenanceGraph {
+        self.audit(node);
+        self.cache.get(&node).map(|(g, _)| g.clone()).unwrap_or_default()
+    }
+
+    /// Issue a microquery for a vertex: returns its color and its direct
+    /// predecessors and successors in `Gν` (§4.3).
+    pub fn microquery(&mut self, vertex: VertexId, host: NodeId) -> (Color, Vec<VertexId>, Vec<VertexId>) {
+        self.stats.microqueries += 1;
+        let audit = self.audit(host);
+        let Some((graph, _)) = self.cache.get(&host) else {
+            return (Color::Yellow, Vec::new(), Vec::new());
+        };
+        match graph.vertex(&vertex) {
+            None => {
+                // The node's verified log does not contain this vertex: if the
+                // node answered at all, that is evidence of misbehavior.
+                let color = if audit.color == Color::Yellow { Color::Yellow } else { Color::Red };
+                (color, Vec::new(), Vec::new())
+            }
+            Some(v) => {
+                let color = if audit.color == Color::Black { v.color } else { audit.color };
+                (color, graph.predecessors(&vertex), graph.successors(&vertex))
+            }
+        }
+    }
+
+    /// Locate the anchor vertex for a macroquery in the host node's subgraph.
+    fn locate_root(&mut self, query: &MacroQuery, host: NodeId) -> Option<VertexId> {
+        let graph = self.node_graph(host);
+        let find_last = |pred: &dyn Fn(&VertexKind) -> bool| -> Option<VertexId> {
+            graph
+                .vertices()
+                .filter(|(_, v)| pred(&v.kind))
+                .max_by_key(|(_, v)| v.kind.time())
+                .map(|(id, _)| *id)
+        };
+        match query {
+            MacroQuery::WhyExists { tuple } => graph
+                .open_exist(host, tuple)
+                .or_else(|| graph.open_believe(host, tuple))
+                .or_else(|| find_last(&|k| matches!(k, VertexKind::Exist { tuple: t, .. } if t == tuple))),
+            MacroQuery::WhyExistedAt { tuple, at } => graph.exist_covering(host, tuple, *at),
+            MacroQuery::WhyAppeared { tuple } => {
+                find_last(&|k| matches!(k, VertexKind::Appear { tuple: t, .. } | VertexKind::BelieveAppear { tuple: t, .. } if t == tuple))
+            }
+            MacroQuery::WhyDisappeared { tuple } => {
+                find_last(&|k| matches!(k, VertexKind::Disappear { tuple: t, .. } | VertexKind::BelieveDisappear { tuple: t, .. } if t == tuple))
+            }
+            // For forward slices, anchor at the appearance event: outgoing
+            // derivations and sends hang off the `appear` vertex, not the
+            // `exist` vertex (Figure 2 / Table 1).
+            MacroQuery::Effects { tuple } => {
+                find_last(&|k| matches!(k, VertexKind::Appear { tuple: t, .. } if t == tuple))
+                    .or_else(|| graph.open_exist(host, tuple))
+            }
+        }
+    }
+
+    /// Run a macroquery anchored at `host`, exploring at most `scope` hops
+    /// (None = unbounded).
+    pub fn macroquery(&mut self, query: MacroQuery, host: NodeId, scope: Option<usize>) -> QueryResult {
+        let stats_before = self.stats;
+        let direction = match query {
+            MacroQuery::Effects { .. } => Direction::Effects,
+            _ => Direction::Causes,
+        };
+        let root = self.locate_root(&query, host);
+        let mut merged = self.node_graph(host);
+        let mut audits = BTreeMap::new();
+        audits.insert(host, self.audit(host));
+
+        let Some(root) = root else {
+            let delta = diff_stats(&self.stats, &stats_before);
+            return QueryResult { root: None, graph: merged, traversal: None, audits, stats: delta };
+        };
+
+        // Iteratively expand: traverse, find frontier vertices hosted on nodes
+        // not yet audited, audit + merge, repeat until fixpoint or scope.
+        loop {
+            let traversal = query::traverse(&merged, root, direction, scope);
+            let mut new_hosts = BTreeSet::new();
+            for vertex_id in traversal.depths.keys() {
+                if let Some(vertex) = merged.vertex(vertex_id) {
+                    let h = vertex.host();
+                    if !audits.contains_key(&h) && self.nodes.contains_key(&h) {
+                        new_hosts.insert(h);
+                    }
+                }
+            }
+            if new_hosts.is_empty() {
+                let delta = diff_stats(&self.stats, &stats_before);
+                return QueryResult { root: Some(root), graph: merged, traversal: Some(traversal), audits, stats: delta };
+            }
+            for h in new_hosts {
+                audits.insert(h, self.audit(h));
+                let subgraph = self.node_graph(h);
+                merged = merged.union(&subgraph);
+            }
+        }
+    }
+}
+
+fn diff_stats(after: &QueryStats, before: &QueryStats) -> QueryStats {
+    QueryStats {
+        log_bytes: after.log_bytes - before.log_bytes,
+        authenticator_bytes: after.authenticator_bytes - before.authenticator_bytes,
+        checkpoint_bytes: after.checkpoint_bytes - before.checkpoint_bytes,
+        auth_check_seconds: after.auth_check_seconds - before.auth_check_seconds,
+        replay_seconds: after.replay_seconds - before.replay_seconds,
+        audits: after.audits - before.audits,
+        microqueries: after.microqueries - before.microqueries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::ByzantineConfig;
+    use crate::node::{SnoopyHandle, SnoopyNode, OPERATOR};
+    use crate::wire::SnoopyWire;
+    use snp_datalog::{Atom, Engine, Rule, RuleSet, SmInput, Term, TupleDelta, Value};
+    use snp_sim::{NetworkConfig, SimTime, Simulator};
+
+    fn rules() -> RuleSet {
+        RuleSet::new(vec![
+            Rule::standard(
+                "R1",
+                Atom::new("reach", Term::var("X"), vec![Term::var("Y")]),
+                vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+                vec![],
+            ),
+            Rule::standard(
+                "R2",
+                Atom::new("reach", Term::var("Y"), vec![Term::var("X")]),
+                vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+                vec![],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn link(x: u64, y: u64) -> Tuple {
+        Tuple::new("link", NodeId(x), vec![Value::node(y)])
+    }
+
+    fn reach(x: u64, y: u64) -> Tuple {
+        Tuple::new("reach", NodeId(x), vec![Value::node(y)])
+    }
+
+    struct TestBed {
+        sim: Simulator<SnoopyWire>,
+        handles: BTreeMap<NodeId, SnoopyHandle>,
+        querier: Querier,
+    }
+
+    fn testbed(num_nodes: u64) -> TestBed {
+        let (_, _, registry) = KeyRegistry::deployment(num_nodes + 1);
+        let config = NetworkConfig::default();
+        let t_prop = config.t_prop.as_micros();
+        let mut sim = Simulator::new(config, 11);
+        let mut handles = BTreeMap::new();
+        let mut querier = Querier::new(registry.clone(), t_prop);
+        for i in 1..=num_nodes {
+            let node = SnoopyNode::new(NodeId(i), Box::new(Engine::new(NodeId(i), rules())), registry.clone(), t_prop);
+            let handle = SnoopyHandle::new(node);
+            sim.add_node(NodeId(i), Box::new(handle.clone()));
+            querier.register(handle.clone(), Box::new(Engine::new(NodeId(i), rules())));
+            handles.insert(NodeId(i), handle);
+        }
+        TestBed { sim, handles, querier }
+    }
+
+    fn insert(sim: &mut Simulator<SnoopyWire>, at_ms: u64, node: u64, tuple: Tuple) {
+        sim.inject_message(
+            SimTime::from_millis(at_ms),
+            OPERATOR,
+            NodeId(node),
+            SnoopyWire::Operator { input: SmInput::InsertBase(tuple) },
+        );
+    }
+
+    #[test]
+    fn clean_run_yields_legitimate_cross_node_explanation() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        assert!(tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 1))));
+
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        assert!(result.root.is_some(), "the tuple's vertex must be found");
+        assert!(result.implicated_nodes().is_empty(), "no fault in a clean run");
+        assert!(result.is_legitimate(), "explanation must bottom out at base inserts: {}", result.render());
+        // The explanation spans both nodes: node 2's believe chain and node
+        // 1's insert/derive chain.
+        let hosts: BTreeSet<NodeId> = result
+            .traversal
+            .as_ref()
+            .unwrap()
+            .depths
+            .keys()
+            .filter_map(|id| result.graph.vertex(id).map(|v| v.host()))
+            .collect();
+        assert!(hosts.contains(&NodeId(1)) && hosts.contains(&NodeId(2)), "cross-node provenance expected, got {hosts:?}");
+        assert!(result.stats.log_bytes > 0);
+        assert!(result.stats.audits >= 2);
+    }
+
+    #[test]
+    fn fabricated_tuple_is_traced_to_the_liar() {
+        let mut tb = testbed(3);
+        // Node 3 fabricates reach(@2, 9) — a tuple its machine never derived.
+        tb.handles[&NodeId(3)]
+            .with(|n| n.set_byzantine(ByzantineConfig::fabricating(NodeId(2), TupleDelta::plus(reach(2, 9)))));
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        assert!(tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 9))), "the lie reaches node 2");
+
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 9) }, NodeId(2), None);
+        assert!(!result.is_legitimate());
+        assert!(result.implicated_nodes().contains(&NodeId(3)), "the fabricator must be implicated: {:?}", result.implicated_nodes());
+        assert!(!result.implicated_nodes().contains(&NodeId(1)), "correct nodes must not be implicated (accuracy)");
+        assert!(!result.implicated_nodes().contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn refusing_node_shows_up_yellow() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        tb.handles[&NodeId(1)].with(|n| n.set_byzantine(ByzantineConfig { refuse_retrieve: true, ..Default::default() }));
+
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        assert!(!result.is_legitimate());
+        assert!(result.suspect_nodes().contains(&NodeId(1)), "the silent node must at least be a suspect");
+        assert!(!result.implicated_nodes().contains(&NodeId(2)));
+    }
+
+    #[test]
+    fn tampered_log_is_detected_as_red() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        tb.handles[&NodeId(1)].with(|n| n.set_byzantine(ByzantineConfig { tamper_log_drop_entry: Some(0), ..Default::default() }));
+
+        let audit = tb.querier.audit(NodeId(1));
+        assert_eq!(audit.color, Color::Red, "log tampering must be detected: {:?}", audit.notes);
+    }
+
+    #[test]
+    fn equivocation_is_caught_by_consistency_check() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        insert(&mut tb.sim, 500, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        // Node 1 now pretends its log stopped after the first entry, signing a
+        // fresh (shorter) prefix.  Node 2 however holds an authenticator from
+        // the +reach message that covers a later entry.
+        tb.handles[&NodeId(1)].with(|n| n.set_byzantine(ByzantineConfig { equivocate_truncate_to: Some(1), ..Default::default() }));
+
+        let audit = tb.querier.audit(NodeId(1));
+        assert_eq!(audit.color, Color::Red, "equivocation must be detected: {:?}", audit.notes);
+    }
+
+    #[test]
+    fn dynamic_query_why_disappeared() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.inject_message(
+            SimTime::from_secs(2),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::DeleteBase(link(1, 2)) },
+        );
+        tb.sim.run_until(SimTime::from_secs(5));
+        assert!(!tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 1))), "tuple must be gone after the delete");
+
+        let result = tb.querier.macroquery(MacroQuery::WhyDisappeared { tuple: reach(2, 1) }, NodeId(2), None);
+        assert!(result.root.is_some(), "believe-disappear vertex must be found");
+        assert!(result.implicated_nodes().is_empty());
+        // The cause chain must reach node 1's delete event.
+        let has_delete = result
+            .traversal
+            .as_ref()
+            .unwrap()
+            .depths
+            .keys()
+            .any(|id| matches!(result.graph.vertex(id).map(|v| &v.kind), Some(VertexKind::Delete { .. })));
+        assert!(has_delete, "explanation of the disappearance must include the base-tuple delete:\n{}", result.render());
+    }
+
+    #[test]
+    fn historical_query_finds_past_state() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.inject_message(
+            SimTime::from_secs(2),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator { input: SmInput::DeleteBase(link(1, 2)) },
+        );
+        tb.sim.run_until(SimTime::from_secs(5));
+        // Ask about the link tuple while it still existed (t = 1s).
+        let result = tb.querier.macroquery(
+            MacroQuery::WhyExistedAt { tuple: link(1, 2), at: 1_000_000 },
+            NodeId(1),
+            None,
+        );
+        assert!(result.root.is_some(), "historical exist vertex must be found");
+        assert!(result.is_legitimate());
+        // Asking about a time after the deletion finds nothing.
+        let result_after = tb.querier.macroquery(
+            MacroQuery::WhyExistedAt { tuple: link(1, 2), at: 4_000_000 },
+            NodeId(1),
+            None,
+        );
+        assert!(result_after.root.is_none());
+    }
+
+    #[test]
+    fn causal_query_reports_effects_across_nodes() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        let result = tb.querier.macroquery(MacroQuery::Effects { tuple: link(1, 2) }, NodeId(1), None);
+        assert!(result.root.is_some());
+        let traversal = result.traversal.as_ref().unwrap();
+        // The forward slice must include node 2's believed reach tuple.
+        let reaches_node2 = traversal
+            .depths
+            .keys()
+            .any(|id| result.graph.vertex(id).map(|v| v.host() == NodeId(2)).unwrap_or(false));
+        assert!(reaches_node2, "effects must propagate to node 2");
+    }
+
+    #[test]
+    fn scope_limits_exploration() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        let narrow = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), Some(1));
+        let wide = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        assert!(narrow.traversal.unwrap().len() < wide.traversal.unwrap().len());
+    }
+
+    #[test]
+    fn microquery_reports_preds_and_succs() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        let graph = tb.querier.node_graph(NodeId(1));
+        let exist = graph.open_exist(NodeId(1), &link(1, 2)).expect("link exists");
+        let (color, preds, succs) = tb.querier.microquery(exist, NodeId(1));
+        assert_eq!(color, Color::Black);
+        assert!(!preds.is_empty());
+        let _ = succs;
+        // Unknown vertex on an honest node is red (the node cannot justify it).
+        let bogus = VertexKind::Appear { node: NodeId(1), tuple: link(9, 9), time: 1 }.identity();
+        let (color, _, _) = tb.querier.microquery(bogus, NodeId(1));
+        assert_eq!(color, Color::Red);
+    }
+
+    #[test]
+    fn query_stats_accumulate() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        assert!(result.stats.total_bytes() > 0);
+        assert!(result.stats.turnaround_seconds(10_000_000.0) > 0.0);
+        assert!(result.stats.audits >= 1);
+    }
+}

@@ -1,0 +1,194 @@
+//! Deterministic replay of retrieved log segments (§5.5).
+//!
+//! The microquery module does not trust the contents of a log segment beyond
+//! what the hash chain and authenticator guarantee: it converts the segment
+//! back into a history and replays it through the node's *expected* state
+//! machine with the graph construction algorithm.  Any divergence between
+//! what the node logged and what the correct machine would have done shows up
+//! as a red vertex.
+
+use snp_crypto::Digest;
+use snp_graph::history::{Event, EventKind, History, Message, MessageBody};
+use snp_graph::vertex::Timestamp;
+use snp_graph::{GraphBuilder, ProvenanceGraph};
+use snp_log::entry::EntryKind;
+use snp_log::log::LogSegment;
+use snp_datalog::StateMachine;
+use std::collections::BTreeMap;
+
+/// Convert a log segment into the node-local history it claims to describe.
+///
+/// * `snd` entries become `Snd` events.
+/// * `rcv` entries become `Rcv` events, immediately followed by the `Snd` of
+///   the acknowledgment (a correct node acknowledges right away, Appendix
+///   A.3; the ack itself is not logged separately by the receiver).
+/// * `ack` entries become the `Rcv` of the acknowledgment.
+/// * `ins` / `del` entries become `Ins` / `Del` events.
+pub fn history_from_segment(segment: &LogSegment) -> History {
+    let mut history = History::new();
+    let mut sent: BTreeMap<Digest, Message> = BTreeMap::new();
+    let mut ack_seq: u64 = 1_000_000; // synthetic sequence numbers for acks
+    for entry in &segment.entries {
+        let t: Timestamp = entry.timestamp;
+        match &entry.kind {
+            EntryKind::Snd { message } => {
+                sent.insert(message.digest(), message.clone());
+                history.push(Event::new(t, segment.node, EventKind::Snd(message.clone())));
+            }
+            EntryKind::Rcv { message, .. } => {
+                history.push(Event::new(t, segment.node, EventKind::Rcv(message.clone())));
+                let ack = Message::ack(message, t, ack_seq);
+                ack_seq += 1;
+                history.push(Event::new(t, segment.node, EventKind::Snd(ack)));
+            }
+            EntryKind::Ack { of, .. } => {
+                // Reconstruct the acknowledgment we received for message `of`.
+                if let Some(original) = sent.get(of) {
+                    let ack = Message {
+                        from: original.to,
+                        to: original.from,
+                        body: MessageBody::Ack { of: *of },
+                        sent_at: t,
+                        seq: ack_seq,
+                    };
+                    ack_seq += 1;
+                    history.push(Event::new(t, segment.node, EventKind::Rcv(ack)));
+                }
+            }
+            EntryKind::Ins { tuple } => history.push(Event::new(t, segment.node, EventKind::Ins(tuple.clone()))),
+            EntryKind::Del { tuple } => history.push(Event::new(t, segment.node, EventKind::Del(tuple.clone()))),
+        }
+    }
+    history
+}
+
+/// Replay a log segment through the node's expected state machine and return
+/// the reconstructed partition of the provenance graph.
+pub fn replay_segment(segment: &LogSegment, expected: Box<dyn StateMachine>, t_prop: Timestamp) -> ProvenanceGraph {
+    let history = history_from_segment(segment);
+    let mut builder = GraphBuilder::new(t_prop);
+    builder.register_machine(segment.node, expected);
+    // A retrieved log prefix is complete up to the authenticator (log entries
+    // for one event are appended atomically before the authenticator is
+    // issued), so the history is quiescent: a send the expected machine
+    // produces but the log never records is evidence of suppression.
+    builder.set_quiescent(true);
+    builder.build(&history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_crypto::keys::{KeyPair, NodeId};
+    use snp_datalog::{Atom, Engine, Rule, RuleSet, SmInput, StateMachine, Term, Tuple, TupleDelta, Value};
+    use snp_log::SecureLog;
+
+    fn rules() -> RuleSet {
+        RuleSet::new(vec![Rule::standard(
+            "R2",
+            Atom::new("reach", Term::var("Y"), vec![Term::var("X")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+            vec![],
+        )])
+        .unwrap()
+    }
+
+    fn link(x: u64, y: u64) -> Tuple {
+        Tuple::new("link", NodeId(x), vec![Value::node(y)])
+    }
+
+    fn reach(x: u64, y: u64) -> Tuple {
+        Tuple::new("reach", NodeId(x), vec![Value::node(y)])
+    }
+
+    /// Build a log for node 1 the way an honest node would: ins link(1,2),
+    /// snd +reach(@2,1), ack received.
+    fn honest_log() -> SecureLog {
+        let mut log = SecureLog::new(KeyPair::for_node(NodeId(1)));
+        log.append(10, EntryKind::Ins { tuple: link(1, 2) });
+        let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 1)), 10, 0);
+        log.append(10, EntryKind::Snd { message: msg.clone() });
+        log.append(40, EntryKind::Ack { of: msg.digest(), peer_auth_digest: Digest::ZERO });
+        log
+    }
+
+    #[test]
+    fn honest_log_replays_without_red_vertices() {
+        let log = honest_log();
+        let graph = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
+        assert!(graph.faulty_nodes().is_empty(), "honest log must replay clean: {:?}", graph.faulty_nodes());
+        assert!(graph.vertices().any(|(_, v)| matches!(&v.kind, snp_graph::VertexKind::Derive { tuple, .. } if *tuple == reach(2, 1))));
+        // The acknowledged send is black.
+        let send = graph
+            .find_send(NodeId(1), NodeId(2), &reach(2, 1), snp_datalog::Polarity::Plus, None)
+            .expect("send vertex");
+        assert_eq!(graph.vertex(&send).unwrap().color, snp_graph::Color::Black);
+    }
+
+    #[test]
+    fn log_missing_a_send_replays_red() {
+        // The node logged the insertion but not the +reach send its machine
+        // would have produced (suppression).
+        let mut log = SecureLog::new(KeyPair::for_node(NodeId(1)));
+        log.append(10, EntryKind::Ins { tuple: link(1, 2) });
+        log.append(5_000_000, EntryKind::Ins { tuple: link(1, 3) });
+        let graph = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 50_000);
+        assert!(graph.faulty_nodes().contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn log_with_fabricated_send_replays_red() {
+        let mut log = SecureLog::new(KeyPair::for_node(NodeId(1)));
+        let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 9)), 10, 0);
+        log.append(10, EntryKind::Snd { message: msg });
+        let graph = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
+        assert!(graph.faulty_nodes().contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn rcv_entries_synthesize_prompt_acks() {
+        // A log with a rcv entry replays with the receive vertex black
+        // (because the synthesized ack follows immediately).
+        let mut log = SecureLog::new(KeyPair::for_node(NodeId(2)));
+        let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 1)), 10, 0);
+        log.append(20, EntryKind::Rcv { message: msg, sender_auth_digest: Digest::ZERO });
+        log.append(60, EntryKind::Ins { tuple: link(2, 3) });
+        let history = history_from_segment(&log.full_segment());
+        assert_eq!(history.len(), 3, "rcv + synthesized ack snd + ins");
+        let graph = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(2), rules())), 1_000_000);
+        let recv = graph
+            .find_receive(NodeId(2), NodeId(1), &reach(2, 1), snp_datalog::Polarity::Plus)
+            .expect("receive vertex");
+        assert_eq!(graph.vertex(&recv).unwrap().color, snp_graph::Color::Black);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let log = honest_log();
+        let a = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
+        let b = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
+        assert_eq!(a.vertex_count(), b.vertex_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert!(a.is_subgraph_of(&b) && b.is_subgraph_of(&a));
+    }
+
+    #[test]
+    fn machine_state_matches_after_replay() {
+        // Replaying the log's inputs through a fresh machine reproduces the
+        // node's final tuple set (determinism, assumption 6).
+        let log = honest_log();
+        let mut machine = Engine::new(NodeId(1), rules());
+        for entry in log.entries() {
+            match &entry.kind {
+                EntryKind::Ins { tuple } => {
+                    machine.handle(SmInput::InsertBase(tuple.clone()));
+                }
+                EntryKind::Del { tuple } => {
+                    machine.handle(SmInput::DeleteBase(tuple.clone()));
+                }
+                _ => {}
+            }
+        }
+        assert!(machine.current_tuples().contains(&link(1, 2)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Hash chains.
+//!
+//! §5.4: "Each entry is associated with a hash value
+//! `h_k = H(h_{k-1} || t_k || y_k || c_k)` with `h_0 := 0`.  Together, the
+//! `h_k` form a hash chain."  The chain makes the log tamper-evident: an
+//! authenticator over `h_k` commits the signer to every earlier entry.
+
+use crate::digest::Digest;
+use crate::hash_concat;
+use serde::{Deserialize, Serialize};
+
+/// An append-only hash chain.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HashChain {
+    /// Hash value after each appended entry; `links[k]` is `h_{k+1}` in the
+    /// paper's 1-based numbering.
+    links: Vec<Digest>,
+}
+
+impl Default for HashChain {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HashChain {
+    /// Create an empty chain (`h_0 = 0`).
+    pub fn new() -> HashChain {
+        HashChain { links: Vec::new() }
+    }
+
+    /// The most recent link, or `Digest::ZERO` for an empty chain.
+    pub fn head(&self) -> Digest {
+        self.links.last().copied().unwrap_or(Digest::ZERO)
+    }
+
+    /// Number of entries that have been absorbed.
+    pub fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Whether the chain has absorbed any entries.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+    }
+
+    /// Absorb an entry (already serialized to bytes) and return the new head.
+    pub fn append(&mut self, entry_bytes: &[u8]) -> Digest {
+        let next = Self::link(self.head(), entry_bytes);
+        self.links.push(next);
+        next
+    }
+
+    /// The link value after entry `index` (0-based), if it exists.
+    pub fn link_at(&self, index: usize) -> Option<Digest> {
+        self.links.get(index).copied()
+    }
+
+    /// Compute a single chain step without mutating anything.
+    pub fn link(previous: Digest, entry_bytes: &[u8]) -> Digest {
+        hash_concat(&[b"snp-chain", previous.as_bytes(), entry_bytes])
+    }
+
+    /// Recompute the chain over a sequence of serialized entries and return
+    /// the resulting head.  Used by verifiers that receive a log prefix and an
+    /// authenticator and must check they match (§5.5).
+    pub fn replay<'a>(entries: impl IntoIterator<Item = &'a [u8]>) -> Digest {
+        let mut head = Digest::ZERO;
+        for entry in entries {
+            head = Self::link(head, entry);
+        }
+        head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_chain_head_is_zero() {
+        assert_eq!(HashChain::new().head(), Digest::ZERO);
+    }
+
+    #[test]
+    fn append_changes_head() {
+        let mut chain = HashChain::new();
+        let h1 = chain.append(b"entry-1");
+        let h2 = chain.append(b"entry-2");
+        assert_ne!(h1, h2);
+        assert_eq!(chain.head(), h2);
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn replay_matches_incremental_append() {
+        let entries: Vec<&[u8]> = vec![b"a", b"bb", b"ccc"];
+        let mut chain = HashChain::new();
+        for e in &entries {
+            chain.append(e);
+        }
+        assert_eq!(HashChain::replay(entries.iter().copied()), chain.head());
+    }
+
+    #[test]
+    fn tampering_with_middle_entry_changes_head() {
+        let good: Vec<&[u8]> = vec![b"a", b"b", b"c"];
+        let bad: Vec<&[u8]> = vec![b"a", b"x", b"c"];
+        assert_ne!(HashChain::replay(good), HashChain::replay(bad));
+    }
+
+    #[test]
+    fn reordering_entries_changes_head() {
+        let forward: Vec<&[u8]> = vec![b"a", b"b"];
+        let backward: Vec<&[u8]> = vec![b"b", b"a"];
+        assert_ne!(HashChain::replay(forward), HashChain::replay(backward));
+    }
+
+    proptest! {
+        /// Prefix property: the chain head after k entries only depends on the
+        /// first k entries — the basis for prefix authentication in SNooPy.
+        #[test]
+        fn prop_prefix_commitment(entries in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..20), cut in any::<usize>()) {
+            let cut = cut % entries.len();
+            let mut full = HashChain::new();
+            let mut heads = Vec::new();
+            for e in &entries {
+                heads.push(full.append(e));
+            }
+            let prefix_head = HashChain::replay(entries[..=cut].iter().map(|v| v.as_slice()));
+            prop_assert_eq!(prefix_head, heads[cut]);
+        }
+
+        /// Appending any extra entry never reproduces an earlier head
+        /// (collision resistance in practice).
+        #[test]
+        fn prop_extension_changes_head(entries in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..10), extra in proptest::collection::vec(any::<u8>(), 0..16)) {
+            let mut chain = HashChain::new();
+            for e in &entries {
+                chain.append(e);
+            }
+            let before = chain.head();
+            chain.append(&extra);
+            prop_assert_ne!(before, chain.head());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! The [`Digest`] type: a 32-byte SHA-256 output with ergonomic helpers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 32-byte cryptographic digest.
+///
+/// Used throughout the workspace for hash-chain links, message commitments,
+/// Merkle tree nodes and content references (e.g. MapReduce input files are
+/// logged by digest rather than by value, mirroring §6.2 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 32]);
+
+impl Digest {
+    /// The all-zero digest, used as the genesis link `h_0 := 0` of hash
+    /// chains (§5.4).
+    pub const ZERO: Digest = Digest([0u8; 32]);
+
+    /// Number of bytes in a digest.
+    pub const LEN: usize = 32;
+
+    /// Render the digest as lowercase hex.
+    pub fn to_hex(&self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// A short (8 hex char) prefix, convenient for logs and display output.
+    pub fn short(&self) -> String {
+        self.to_hex()[..8].to_string()
+    }
+
+    /// Parse a digest from a 64-character hex string.
+    pub fn from_hex(s: &str) -> Option<Digest> {
+        let s = s.trim();
+        if s.len() != 64 {
+            return None;
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = (chunk[0] as char).to_digit(16)?;
+            let lo = (chunk[1] as char).to_digit(16)?;
+            out[i] = ((hi << 4) | lo) as u8;
+        }
+        Some(Digest(out))
+    }
+
+    /// Raw bytes of the digest.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Interpret the first 8 bytes as a big-endian integer.  Used to derive
+    /// deterministic pseudo-random values (e.g. Chord identifiers) from
+    /// hashes.
+    pub fn to_u64(&self) -> u64 {
+        u64::from_be_bytes(self.0[..8].try_into().expect("digest has at least 8 bytes"))
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; 32]> for Digest {
+    fn from(value: [u8; 32]) -> Self {
+        Digest(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash;
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = hash(b"roundtrip");
+        let parsed = Digest::from_hex(&d.to_hex()).expect("parse");
+        assert_eq!(d, parsed);
+    }
+
+    #[test]
+    fn from_hex_rejects_bad_input() {
+        assert!(Digest::from_hex("abc").is_none());
+        assert!(Digest::from_hex(&"zz".repeat(32)).is_none());
+    }
+
+    #[test]
+    fn zero_digest_is_all_zero() {
+        assert_eq!(Digest::ZERO.to_hex(), "0".repeat(64));
+    }
+
+    #[test]
+    fn short_is_prefix_of_hex() {
+        let d = hash(b"prefix");
+        assert!(d.to_hex().starts_with(&d.short()));
+    }
+
+    #[test]
+    fn to_u64_is_deterministic() {
+        let a = hash(b"value").to_u64();
+        let b = hash(b"value").to_u64();
+        assert_eq!(a, b);
+        assert_ne!(a, hash(b"other").to_u64());
+    }
+}

@@ -1,0 +1,244 @@
+//! Node identities, keypairs, certificates and the key registry.
+//!
+//! Assumption 2 of §5.2: "Each node i has a certificate that securely binds a
+//! keypair to the node's identity … it could be satisfied by installing each
+//! node with a certificate that is signed by an offline CA."  This module
+//! provides exactly that: an offline [`CertificateAuthority`] issues
+//! [`NodeCertificate`]s, and a [`KeyRegistry`] lets any node (or the querier,
+//! Alice) resolve a node identifier to its verified public key.
+
+use crate::digest::Digest;
+use crate::hash_concat;
+use crate::sign::{PublicKey, SecretKey, Signature};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A node identifier.
+///
+/// Node identifiers are small integers in the simulator; display names are
+/// kept alongside in the registry for readable forensic output.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// Byte encoding used when hashing or signing identity-bound material.
+    pub fn to_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u64> for NodeId {
+    fn from(value: u64) -> Self {
+        NodeId(value)
+    }
+}
+
+/// A node's keypair (secret + public half).
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    /// The node this keypair belongs to.
+    pub node: NodeId,
+    /// Private signing key.
+    pub secret: SecretKey,
+    /// Public verification key.
+    pub public: PublicKey,
+}
+
+impl KeyPair {
+    /// Deterministically generate the keypair for a node.
+    pub fn for_node(node: NodeId) -> KeyPair {
+        let secret = SecretKey::from_seed(&node.to_bytes());
+        let public = secret.public_key();
+        KeyPair { node, secret, public }
+    }
+
+    /// Sign a digest with this node's secret key.
+    pub fn sign(&self, message: &Digest) -> Signature {
+        self.secret.sign(message)
+    }
+}
+
+/// A certificate binding a node identity to a public key, signed by the CA.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeCertificate {
+    /// The node identity being certified.
+    pub node: NodeId,
+    /// The node's public key.
+    pub public: PublicKey,
+    /// CA signature over `(node, public)`.
+    pub ca_signature: Signature,
+}
+
+impl NodeCertificate {
+    /// The digest the CA signs.
+    fn binding_digest(node: NodeId, public: PublicKey) -> Digest {
+        hash_concat(&[b"snp-node-cert", &node.to_bytes(), &public.y.to_be_bytes()])
+    }
+
+    /// Verify the certificate against the CA's public key.
+    pub fn verify(&self, ca_public: &PublicKey) -> bool {
+        ca_public.verify(&Self::binding_digest(self.node, self.public), &self.ca_signature)
+    }
+}
+
+/// The offline certificate authority.
+///
+/// Created once when the deployment is set up; it never participates in the
+/// protocol afterwards (so it is not a runtime trusted component).
+#[derive(Clone, Debug)]
+pub struct CertificateAuthority {
+    secret: SecretKey,
+    /// The CA's public key, distributed to every node out of band.
+    pub public: PublicKey,
+}
+
+impl CertificateAuthority {
+    /// Create a CA from seed material.
+    pub fn new(seed: &[u8]) -> CertificateAuthority {
+        let secret = SecretKey::from_seed(&[b"snp-ca".as_slice(), seed].concat());
+        let public = secret.public_key();
+        CertificateAuthority { secret, public }
+    }
+
+    /// Issue a certificate for a node's public key.
+    pub fn issue(&self, node: NodeId, public: PublicKey) -> NodeCertificate {
+        let digest = NodeCertificate::binding_digest(node, public);
+        NodeCertificate { node, public, ca_signature: self.secret.sign(&digest) }
+    }
+}
+
+/// A registry of certified node keys, available to every node and to the
+/// querier.
+#[derive(Clone, Debug, Default)]
+pub struct KeyRegistry {
+    ca_public: Option<PublicKey>,
+    entries: BTreeMap<NodeId, NodeCertificate>,
+}
+
+impl KeyRegistry {
+    /// Create an empty registry trusting the given CA.
+    pub fn new(ca_public: PublicKey) -> KeyRegistry {
+        KeyRegistry { ca_public: Some(ca_public), entries: BTreeMap::new() }
+    }
+
+    /// Register a certificate.  Returns `false` (and ignores the entry) if the
+    /// certificate does not verify against the CA key.
+    pub fn register(&mut self, cert: NodeCertificate) -> bool {
+        match self.ca_public {
+            Some(ca) if cert.verify(&ca) => {
+                self.entries.insert(cert.node, cert);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Look up the verified public key for a node.
+    pub fn public_key(&self, node: NodeId) -> Option<PublicKey> {
+        self.entries.get(&node).map(|c| c.public)
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All registered node ids, in ascending order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// Build a complete deployment: a CA, one keypair per node, and a registry
+    /// holding everyone's certificates.  This is the common setup path used
+    /// by the simulator and the benchmarks.
+    pub fn deployment(num_nodes: u64) -> (CertificateAuthority, Vec<KeyPair>, KeyRegistry) {
+        let ca = CertificateAuthority::new(b"deployment");
+        let mut registry = KeyRegistry::new(ca.public);
+        let mut keypairs = Vec::with_capacity(num_nodes as usize);
+        for id in 0..num_nodes {
+            let kp = KeyPair::for_node(NodeId(id));
+            let cert = ca.issue(kp.node, kp.public);
+            assert!(registry.register(cert), "freshly issued certificate must verify");
+            keypairs.push(kp);
+        }
+        (ca, keypairs, registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash;
+
+    #[test]
+    fn certificate_roundtrip() {
+        let ca = CertificateAuthority::new(b"test");
+        let kp = KeyPair::for_node(NodeId(7));
+        let cert = ca.issue(kp.node, kp.public);
+        assert!(cert.verify(&ca.public));
+    }
+
+    #[test]
+    fn certificate_from_other_ca_rejected() {
+        let ca1 = CertificateAuthority::new(b"one");
+        let ca2 = CertificateAuthority::new(b"two");
+        let kp = KeyPair::for_node(NodeId(7));
+        let cert = ca1.issue(kp.node, kp.public);
+        assert!(!cert.verify(&ca2.public));
+    }
+
+    #[test]
+    fn registry_rejects_forged_binding() {
+        let ca = CertificateAuthority::new(b"test");
+        let mut registry = KeyRegistry::new(ca.public);
+        let kp = KeyPair::for_node(NodeId(1));
+        let mut cert = ca.issue(kp.node, kp.public);
+        // Adversary tries to rebind the certified key to a different node id.
+        cert.node = NodeId(2);
+        assert!(!registry.register(cert));
+        assert!(registry.public_key(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn deployment_builds_complete_registry() {
+        let (_, keypairs, registry) = KeyRegistry::deployment(5);
+        assert_eq!(keypairs.len(), 5);
+        assert_eq!(registry.len(), 5);
+        for kp in &keypairs {
+            assert_eq!(registry.public_key(kp.node), Some(kp.public));
+        }
+    }
+
+    #[test]
+    fn registry_keys_verify_node_signatures() {
+        let (_, keypairs, registry) = KeyRegistry::deployment(3);
+        let msg = hash(b"evidence");
+        let sig = keypairs[1].sign(&msg);
+        let pk = registry.public_key(NodeId(1)).expect("registered");
+        assert!(pk.verify(&msg, &sig));
+        assert!(!registry.public_key(NodeId(0)).expect("registered").verify(&msg, &sig));
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(42).to_string(), "n42");
+    }
+}

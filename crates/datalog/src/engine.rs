@@ -1,0 +1,730 @@
+//! The incremental rule-evaluation engine.
+//!
+//! [`Engine`] implements [`StateMachine`] for a [`RuleSet`].  It maintains a
+//! reference-counted tuple store and, on every input, propagates changes
+//! through the rules with a work-list algorithm:
+//!
+//! * A tuple is *present* on the node when it has at least one support:
+//!   a base insertion, a local derivation, or a believed copy received from
+//!   another node (`+τ`).
+//! * A rule whose head lives on another node emits the derivation locally
+//!   (the `derive` vertex belongs to the deriving node, cf. Figure 2) and
+//!   ships the head to its home node with a `+τ` / `-τ` notification.
+//! * Aggregation rules (`Min` / `Max` / `Count`) are recomputed per group
+//!   whenever their body relation changes.
+//! * `maybe` rules are rewritten, exactly as in Appendix A.1, into standard
+//!   rules guarded by a synthetic base tuple `__maybe_<rule>` that the
+//!   application inserts when it decides to trigger the rule.
+//!
+//! Following the simplification of Appendix A.1 ("we assume that tuples have
+//! unique derivations"), `Derive` / `Underive` outputs are emitted only on a
+//! tuple's 0→1 / 1→0 support transitions; additional derivations of an
+//! already-present tuple are tracked internally by reference count.
+
+use crate::machine::{Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
+use crate::rule::{AggKind, Atom, Bindings, Rule, RuleKind, Term};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use snp_crypto::keys::NodeId;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// The relation-name prefix of the synthetic guard tuples that drive
+/// rewritten `maybe` rules.
+pub const MAYBE_GUARD_PREFIX: &str = "__maybe_";
+
+/// A validated set of rules shared by all nodes running the same protocol.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    rules: Vec<Rule>,
+}
+
+impl RuleSet {
+    /// Build a rule set, validating that every rule is localizable (all body
+    /// atoms at one site) and rewriting `maybe` rules into guarded standard
+    /// rules.
+    pub fn new(rules: Vec<Rule>) -> Result<RuleSet, String> {
+        let mut out = Vec::with_capacity(rules.len());
+        for mut rule in rules {
+            if rule.body.is_empty() {
+                return Err(format!("rule {}: empty body is not allowed", rule.id));
+            }
+            if rule.kind == RuleKind::Maybe {
+                // Appendix A.1: replace the maybe rule with a standard rule
+                // guarded by an extra base tuple inserted by the application.
+                let site = rule.evaluation_site()?.clone();
+                let guard_args: Vec<Term> = rule.head.args.clone();
+                let guard =
+                    Atom::new(format!("{MAYBE_GUARD_PREFIX}{}", rule.id), site, guard_args);
+                rule.body.push(guard);
+                rule.kind = RuleKind::Standard;
+            }
+            rule.evaluation_site()?;
+            if rule.aggregate.is_some() && rule.body.len() != 1 {
+                return Err(format!("rule {}: aggregation rules must have exactly one body atom", rule.id));
+            }
+            out.push(rule);
+        }
+        Ok(RuleSet { rules: out })
+    }
+
+    /// The rules in the set (after `maybe` rewriting).
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The guard relation name for a `maybe` rule id.
+    pub fn maybe_guard_relation(rule_id: &str) -> String {
+        format!("{MAYBE_GUARD_PREFIX}{rule_id}")
+    }
+}
+
+/// A recorded derivation: `head` was derived via `rule` from `body`.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Derivation {
+    rule: String,
+    head: Tuple,
+    body: Vec<Tuple>,
+}
+
+/// Why a tuple is present on the node.
+#[derive(Clone, Debug, Default)]
+struct Support {
+    base_count: u32,
+    derivation_count: u32,
+    /// Believed copies per sender.
+    believed: BTreeMap<NodeId, u32>,
+}
+
+impl Support {
+    fn total(&self) -> u32 {
+        self.base_count + self.derivation_count + self.believed.values().sum::<u32>()
+    }
+}
+
+/// A change propagated through the work list.
+#[derive(Clone, Debug)]
+enum Change {
+    Appeared(Tuple),
+    Disappeared(Tuple),
+}
+
+/// The incremental evaluation engine for one node.
+pub struct Engine {
+    node: NodeId,
+    ruleset: RuleSet,
+    /// Support for every tuple currently present at this node.
+    ///
+    /// This includes tuples homed at other nodes that were derived here:
+    /// following Figure 2, `cost(@c,…)` derived on `b` appears and exists on
+    /// `b` (and is shipped to `c`), but only tuples homed at *this* node are
+    /// visible to rule bodies.
+    store: BTreeMap<Tuple, Support>,
+    /// All recorded derivations made at this node, keyed by head.
+    derivations: BTreeMap<Tuple, BTreeSet<Derivation>>,
+    /// Reverse index: body tuple → derivations that use it.
+    deps: BTreeMap<Tuple, BTreeSet<Derivation>>,
+    /// For each aggregation rule id, the currently derived heads and the body
+    /// tuple that justifies each.
+    agg_current: BTreeMap<String, BTreeMap<Tuple, Tuple>>,
+}
+
+impl Engine {
+    /// Create an engine for `node` running `ruleset`.
+    pub fn new(node: NodeId, ruleset: RuleSet) -> Engine {
+        Engine {
+            node,
+            ruleset,
+            store: BTreeMap::new(),
+            derivations: BTreeMap::new(),
+            deps: BTreeMap::new(),
+            agg_current: BTreeMap::new(),
+        }
+    }
+
+    /// The node this engine runs on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Whether a tuple is currently present on this node.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.store.get(tuple).map(|s| s.total() > 0).unwrap_or(false)
+    }
+
+    /// All present tuples of a relation.
+    pub fn tuples_of(&self, relation: &str) -> Vec<Tuple> {
+        self.store
+            .iter()
+            .filter(|(t, s)| t.relation == relation && s.total() > 0)
+            .map(|(t, _)| t.clone())
+            .collect()
+    }
+
+    /// Convenience: insert the guard tuple that triggers `maybe` rule
+    /// `rule_id` with the given head arguments (see [`RuleSet::new`]).
+    pub fn maybe_guard(&self, rule_id: &str, args: Vec<Value>) -> Tuple {
+        Tuple::new(RuleSet::maybe_guard_relation(rule_id), self.node, args)
+    }
+
+    // ----- support management -------------------------------------------------
+
+    fn add_support(&mut self, tuple: &Tuple, f: impl FnOnce(&mut Support)) -> bool {
+        let entry = self.store.entry(tuple.clone()).or_default();
+        let was_absent = entry.total() == 0;
+        f(entry);
+        was_absent && entry.total() > 0
+    }
+
+    fn remove_support(&mut self, tuple: &Tuple, f: impl FnOnce(&mut Support)) -> bool {
+        let Some(entry) = self.store.get_mut(tuple) else { return false };
+        let was_present = entry.total() > 0;
+        f(entry);
+        let now_absent = entry.total() == 0;
+        if now_absent {
+            self.store.remove(tuple);
+        }
+        was_present && now_absent
+    }
+
+    // ----- rule evaluation ----------------------------------------------------
+
+    /// Join the remaining body atoms (all except `skip_index`) against the
+    /// store, starting from `bindings`.  Returns complete binding sets.
+    fn join_rest(&self, rule: &Rule, skip_index: usize, bindings: Bindings) -> Vec<(Bindings, Vec<Option<Tuple>>)> {
+        // Each result carries the matched tuple per body position (None at skip_index,
+        // to be filled by the caller).
+        let mut partials: Vec<(Bindings, Vec<Option<Tuple>>)> =
+            vec![(bindings, vec![None; rule.body.len()])];
+        for (i, atom) in rule.body.iter().enumerate() {
+            if i == skip_index {
+                continue;
+            }
+            let mut next = Vec::new();
+            for (bound, matched) in &partials {
+                for (candidate, support) in &self.store {
+                    // Rule bodies only see tuples homed at this node (NDlog
+                    // localization): remote-headed tuples derived here are
+                    // stored for provenance but are not joinable.
+                    if support.total() == 0
+                        || candidate.relation != atom.relation
+                        || candidate.location != self.node
+                    {
+                        continue;
+                    }
+                    let mut extended = bound.clone();
+                    if atom.matches(candidate, &mut extended) {
+                        let mut matched = matched.clone();
+                        matched[i] = Some(candidate.clone());
+                        next.push((extended, matched));
+                    }
+                }
+            }
+            partials = next;
+            if partials.is_empty() {
+                break;
+            }
+        }
+        partials
+    }
+
+    /// Find all new derivations triggered by the appearance of `trigger`.
+    fn derivations_for(&self, trigger: &Tuple) -> Vec<Derivation> {
+        let mut found = Vec::new();
+        if trigger.location != self.node {
+            // Tuples homed elsewhere never participate in local joins.
+            return found;
+        }
+        for rule in self.ruleset.rules() {
+            if rule.aggregate.is_some() {
+                continue;
+            }
+            for (i, atom) in rule.body.iter().enumerate() {
+                if atom.relation != trigger.relation {
+                    continue;
+                }
+                let mut bindings = Bindings::new();
+                if !atom.matches(trigger, &mut bindings) {
+                    continue;
+                }
+                for (mut complete, mut matched) in self.join_rest(rule, i, bindings) {
+                    matched[i] = Some(trigger.clone());
+                    if !rule.constraints.iter().all(|c| c.apply(&mut complete)) {
+                        continue;
+                    }
+                    let Some(head) = rule.head.instantiate(&complete) else { continue };
+                    let body: Vec<Tuple> = matched.into_iter().map(|t| t.expect("all positions matched")).collect();
+                    found.push(Derivation { rule: rule.id.clone(), head, body });
+                }
+            }
+        }
+        found.sort();
+        found.dedup();
+        found
+    }
+
+    fn record_derivation(&mut self, derivation: Derivation, outputs: &mut Vec<SmOutput>, worklist: &mut VecDeque<Change>) {
+        let entry = self.derivations.entry(derivation.head.clone()).or_default();
+        if !entry.insert(derivation.clone()) {
+            return; // already known
+        }
+        for body_tuple in &derivation.body {
+            self.deps.entry(body_tuple.clone()).or_default().insert(derivation.clone());
+        }
+        let appeared = self.add_support(&derivation.head, |s| s.derivation_count += 1);
+        if appeared {
+            // Appendix A.1 simplification: report a derivation only when the
+            // tuple actually appears (support 0→1).
+            outputs.push(SmOutput::Derive {
+                tuple: derivation.head.clone(),
+                rule: derivation.rule.clone(),
+                body: derivation.body.clone(),
+            });
+            if derivation.head.location != self.node {
+                // The head is homed elsewhere: ship it (Figure 2's
+                // DERIVE/APPEAR on b followed by SEND b→c).
+                outputs.push(SmOutput::Send {
+                    to: derivation.head.location,
+                    delta: TupleDelta::plus(derivation.head.clone()),
+                });
+            }
+            worklist.push_back(Change::Appeared(derivation.head.clone()));
+        }
+    }
+
+    fn retract_derivation(&mut self, derivation: &Derivation, outputs: &mut Vec<SmOutput>, worklist: &mut VecDeque<Change>) {
+        let Some(entry) = self.derivations.get_mut(&derivation.head) else { return };
+        if !entry.remove(derivation) {
+            return;
+        }
+        if entry.is_empty() {
+            self.derivations.remove(&derivation.head);
+        }
+        for body_tuple in &derivation.body {
+            if let Some(set) = self.deps.get_mut(body_tuple) {
+                set.remove(derivation);
+                if set.is_empty() {
+                    self.deps.remove(body_tuple);
+                }
+            }
+        }
+        let disappeared = self.remove_support(&derivation.head, |s| {
+            s.derivation_count = s.derivation_count.saturating_sub(1)
+        });
+        if disappeared {
+            outputs.push(SmOutput::Underive {
+                tuple: derivation.head.clone(),
+                rule: derivation.rule.clone(),
+                body: derivation.body.clone(),
+            });
+            if derivation.head.location != self.node {
+                outputs.push(SmOutput::Send {
+                    to: derivation.head.location,
+                    delta: TupleDelta::minus(derivation.head.clone()),
+                });
+            }
+            worklist.push_back(Change::Disappeared(derivation.head.clone()));
+        }
+    }
+
+    /// Recompute an aggregation rule after its body relation changed.
+    fn refresh_aggregate(&mut self, rule: &Rule, outputs: &mut Vec<SmOutput>, worklist: &mut VecDeque<Change>) {
+        let (kind, agg_var) = rule.aggregate.clone().expect("aggregate rule");
+        let body_atom = &rule.body[0];
+
+        // Compute, for each group (instantiated head), the winning body tuple.
+        let mut groups: BTreeMap<Tuple, (i64, Tuple, i64)> = BTreeMap::new(); // head -> (agg value, witness, count)
+        for (candidate, support) in &self.store {
+            if support.total() == 0
+                || candidate.relation != body_atom.relation
+                || candidate.location != self.node
+            {
+                continue;
+            }
+            let mut bindings = Bindings::new();
+            if !body_atom.matches(candidate, &mut bindings) {
+                continue;
+            }
+            if !rule.constraints.iter().all(|c| c.apply(&mut bindings)) {
+                continue;
+            }
+            let Some(agg_value) = bindings.get(&agg_var).and_then(Value::as_int) else { continue };
+            // The head's aggregate argument is bound to the aggregated value
+            // below; remove it so grouping only depends on the other args.
+            let mut group_bindings = bindings.clone();
+            group_bindings.insert(agg_var.clone(), Value::Int(0));
+            let Some(group_key) = rule.head.instantiate(&group_bindings) else { continue };
+            let entry = groups.entry(group_key).or_insert((agg_value, candidate.clone(), 0));
+            entry.2 += 1;
+            let better = match kind {
+                AggKind::Min => agg_value < entry.0 || (agg_value == entry.0 && *candidate < entry.1),
+                AggKind::Max => agg_value > entry.0 || (agg_value == entry.0 && *candidate < entry.1),
+                AggKind::Count => false,
+            };
+            if better {
+                entry.0 = agg_value;
+                entry.1 = candidate.clone();
+            }
+        }
+
+        // Materialize the new heads with the aggregate value substituted in.
+        let mut new_heads: BTreeMap<Tuple, Tuple> = BTreeMap::new();
+        for (group_key, (value, witness, count)) in groups {
+            let mut head = group_key;
+            let agg_result = match kind {
+                AggKind::Min | AggKind::Max => value,
+                AggKind::Count => count,
+            };
+            if let Some(last) = head.args.last_mut() {
+                *last = Value::Int(agg_result);
+            }
+            new_heads.insert(head, witness);
+        }
+
+        let current = self.agg_current.entry(rule.id.clone()).or_default().clone();
+
+        // Underive heads that are no longer justified.
+        for (head, witness) in &current {
+            if !new_heads.contains_key(head) {
+                self.agg_current.get_mut(&rule.id).expect("entry exists").remove(head);
+                let disappeared = self.remove_support(head, |s| s.derivation_count = s.derivation_count.saturating_sub(1));
+                if disappeared {
+                    outputs.push(SmOutput::Underive {
+                        tuple: head.clone(),
+                        rule: rule.id.clone(),
+                        body: vec![witness.clone()],
+                    });
+                    worklist.push_back(Change::Disappeared(head.clone()));
+                }
+            }
+        }
+        // Derive new heads.
+        for (head, witness) in new_heads {
+            if !current.contains_key(&head) {
+                self.agg_current.get_mut(&rule.id).expect("entry exists").insert(head.clone(), witness.clone());
+                let appeared = self.add_support(&head, |s| s.derivation_count += 1);
+                if appeared {
+                    outputs.push(SmOutput::Derive {
+                        tuple: head.clone(),
+                        rule: rule.id.clone(),
+                        body: vec![witness],
+                    });
+                    worklist.push_back(Change::Appeared(head));
+                }
+            }
+        }
+    }
+
+    fn process(&mut self, mut worklist: VecDeque<Change>) -> Vec<SmOutput> {
+        let mut outputs = Vec::new();
+        let mut steps = 0usize;
+        while let Some(change) = worklist.pop_front() {
+            steps += 1;
+            assert!(steps < 100_000, "derivation propagation did not terminate; check rules for cycles");
+            match change {
+                Change::Appeared(tuple) => {
+                    for derivation in self.derivations_for(&tuple) {
+                        self.record_derivation(derivation, &mut outputs, &mut worklist);
+                    }
+                    let agg_rules: Vec<Rule> = self
+                        .ruleset
+                        .rules()
+                        .iter()
+                        .filter(|r| r.aggregate.is_some() && r.body[0].relation == tuple.relation)
+                        .cloned()
+                        .collect();
+                    for rule in agg_rules {
+                        self.refresh_aggregate(&rule, &mut outputs, &mut worklist);
+                    }
+                }
+                Change::Disappeared(tuple) => {
+                    let dependent: Vec<Derivation> =
+                        self.deps.get(&tuple).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+                    for derivation in dependent {
+                        self.retract_derivation(&derivation, &mut outputs, &mut worklist);
+                    }
+                    let agg_rules: Vec<Rule> = self
+                        .ruleset
+                        .rules()
+                        .iter()
+                        .filter(|r| r.aggregate.is_some() && r.body[0].relation == tuple.relation)
+                        .cloned()
+                        .collect();
+                    for rule in agg_rules {
+                        self.refresh_aggregate(&rule, &mut outputs, &mut worklist);
+                    }
+                }
+            }
+        }
+        outputs
+    }
+}
+
+impl StateMachine for Engine {
+    fn handle(&mut self, input: SmInput) -> Vec<SmOutput> {
+        let mut worklist = VecDeque::new();
+        match input {
+            SmInput::InsertBase(tuple) => {
+                if self.add_support(&tuple, |s| s.base_count += 1) {
+                    worklist.push_back(Change::Appeared(tuple));
+                }
+            }
+            SmInput::DeleteBase(tuple) => {
+                if self.remove_support(&tuple, |s| s.base_count = s.base_count.saturating_sub(1)) {
+                    worklist.push_back(Change::Disappeared(tuple));
+                }
+            }
+            SmInput::Receive { from, delta } => match delta.polarity {
+                Polarity::Plus => {
+                    if self.add_support(&delta.tuple, |s| *s.believed.entry(from).or_default() += 1) {
+                        worklist.push_back(Change::Appeared(delta.tuple));
+                    }
+                }
+                Polarity::Minus => {
+                    if self.remove_support(&delta.tuple, |s| {
+                        if let Some(count) = s.believed.get_mut(&from) {
+                            *count = count.saturating_sub(1);
+                            if *count == 0 {
+                                s.believed.remove(&from);
+                            }
+                        }
+                    }) {
+                        worklist.push_back(Change::Disappeared(delta.tuple));
+                    }
+                }
+            },
+        }
+        self.process(worklist)
+    }
+
+    fn fresh(&self) -> Box<dyn StateMachine> {
+        Box::new(Engine::new(self.node, self.ruleset.clone()))
+    }
+
+    fn current_tuples(&self) -> Vec<Tuple> {
+        self.store.iter().filter(|(_, s)| s.total() > 0).map(|(t, _)| t.clone()).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("engine@{}", self.node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{CmpOp, Constraint, Expr};
+
+    /// The MinCost rule set from §3.3 of the paper.
+    ///
+    /// R1: cost(@X,Y,Y,K)  :- link(@X,Y,K)
+    /// R2: cost(@C,D,B,K3) :- link(@B,C,K1), bestCost(@B,D,K2), K3 := K1+K2, C != D
+    /// R3: bestCost(@X,Y,min K) :- cost(@X,Y,Z,K)
+    pub fn mincost_rules() -> RuleSet {
+        let r1 = Rule::standard(
+            "R1",
+            Atom::new("cost", Term::var("X"), vec![Term::var("Y"), Term::var("Y"), Term::var("K")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y"), Term::var("K")])],
+            vec![],
+        );
+        let r2 = Rule::standard(
+            "R2",
+            Atom::new("cost", Term::var("C"), vec![Term::var("D"), Term::var("B"), Term::var("K3")]),
+            vec![
+                Atom::new("link", Term::var("B"), vec![Term::var("C"), Term::var("K1")]),
+                Atom::new("bestCost", Term::var("B"), vec![Term::var("D"), Term::var("K2")]),
+            ],
+            vec![
+                Constraint::Assign { var: "K3".into(), expr: Expr::var("K1").add(Expr::var("K2")) },
+                Constraint::Compare { lhs: Expr::var("C"), op: CmpOp::Ne, rhs: Expr::var("D") },
+            ],
+        );
+        let r3 = Rule::aggregate(
+            "R3",
+            Atom::new("bestCost", Term::var("X"), vec![Term::var("Y"), Term::var("K")]),
+            Atom::new("cost", Term::var("X"), vec![Term::var("Y"), Term::var("Z"), Term::var("K")]),
+            AggKind::Min,
+            "K",
+        );
+        RuleSet::new(vec![r1, r2, r3]).expect("valid rules")
+    }
+
+    fn link(at: u64, to: u64, cost: i64) -> Tuple {
+        Tuple::new("link", NodeId(at), vec![Value::node(to), Value::Int(cost)])
+    }
+
+    fn best_cost(at: u64, to: u64, cost: i64) -> Tuple {
+        Tuple::new("bestCost", NodeId(at), vec![Value::node(to), Value::Int(cost)])
+    }
+
+    #[test]
+    fn direct_link_produces_cost_and_best_cost() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        let outputs = engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        assert!(engine.contains(&best_cost(1, 2, 5)));
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R1")));
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R3")));
+    }
+
+    #[test]
+    fn remote_head_is_derived_locally_and_shipped() {
+        // Node 2 has a link to node 1 and a best cost to node 3; rule R2 derives
+        // cost(@1, 3, 2, …) which appears on node 2 (Figure 2) and is shipped to
+        // node 1 with a +τ notification.
+        let mut engine = Engine::new(NodeId(2), mincost_rules());
+        engine.handle(SmInput::InsertBase(link(2, 1, 1)));
+        let outputs = engine.handle(SmInput::InsertBase(link(2, 3, 4)));
+        let sends: Vec<_> = outputs
+            .iter()
+            .filter_map(|o| match o {
+                SmOutput::Send { to, delta } if delta.polarity == Polarity::Plus => Some((*to, delta.tuple.clone())),
+                _ => None,
+            })
+            .collect();
+        let shipped = Tuple::new("cost", NodeId(1), vec![Value::node(3u64), Value::node(2u64), Value::Int(5)]);
+        assert!(sends.iter().any(|(to, t)| *to == NodeId(1) && *t == shipped),
+            "expected {shipped} shipped to node 1, got {sends:?}");
+        // The remote-headed tuple is stored locally for provenance…
+        assert!(engine.contains(&shipped));
+        // …but must not feed node 2's own rule evaluation: node 2 must not
+        // compute node 1's bestCost.
+        assert!(!engine.contains(&Tuple::new("bestCost", NodeId(1), vec![Value::node(3u64), Value::Int(5)])));
+        // A derive vertex for the remote head is produced locally (Fig. 2).
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { tuple, .. } if *tuple == shipped)));
+    }
+
+    #[test]
+    fn received_tuple_feeds_local_rules() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        engine.handle(SmInput::InsertBase(link(1, 4, 10)));
+        assert!(engine.contains(&best_cost(1, 4, 10)));
+        // A cheaper remote-derived cost arrives; bestCost must improve.
+        let remote_cost = Tuple::new("cost", NodeId(1), vec![Value::node(4u64), Value::node(2u64), Value::Int(3)]);
+        let outputs = engine.handle(SmInput::Receive { from: NodeId(2), delta: TupleDelta::plus(remote_cost) });
+        assert!(engine.contains(&best_cost(1, 4, 3)));
+        assert!(!engine.contains(&best_cost(1, 4, 10)));
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Underive { tuple, .. } if *tuple == best_cost(1, 4, 10))));
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { tuple, .. } if *tuple == best_cost(1, 4, 3))));
+    }
+
+    #[test]
+    fn deleting_base_tuple_cascades() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        assert!(engine.contains(&best_cost(1, 2, 5)));
+        let outputs = engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
+        assert!(!engine.contains(&best_cost(1, 2, 5)));
+        assert!(!engine.contains(&Tuple::new("cost", NodeId(1), vec![Value::node(2u64), Value::node(2u64), Value::Int(5)])));
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Underive { rule, .. } if rule == "R3")));
+    }
+
+    #[test]
+    fn minus_notification_retracts_believed_support() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        let remote_cost = Tuple::new("cost", NodeId(1), vec![Value::node(4u64), Value::node(2u64), Value::Int(3)]);
+        engine.handle(SmInput::Receive { from: NodeId(2), delta: TupleDelta::plus(remote_cost.clone()) });
+        assert!(engine.contains(&best_cost(1, 4, 3)));
+        engine.handle(SmInput::Receive { from: NodeId(2), delta: TupleDelta::minus(remote_cost) });
+        assert!(!engine.contains(&best_cost(1, 4, 3)));
+    }
+
+    #[test]
+    fn duplicate_insert_is_reference_counted() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        let first = engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        let second = engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        assert!(!first.is_empty());
+        assert!(second.is_empty(), "second identical insert should not re-derive");
+        engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
+        assert!(engine.contains(&best_cost(1, 2, 5)), "still supported by the remaining base copy");
+        engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
+        assert!(!engine.contains(&best_cost(1, 2, 5)));
+    }
+
+    #[test]
+    fn reinsertion_after_deletion_rederives() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
+        let outputs = engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        assert!(engine.contains(&best_cost(1, 2, 5)));
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R3")));
+    }
+
+    #[test]
+    fn aggregate_switches_to_next_best_on_removal() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        let cheap = Tuple::new("cost", NodeId(1), vec![Value::node(2u64), Value::node(3u64), Value::Int(2)]);
+        engine.handle(SmInput::Receive { from: NodeId(3), delta: TupleDelta::plus(cheap.clone()) });
+        assert!(engine.contains(&best_cost(1, 2, 2)));
+        engine.handle(SmInput::Receive { from: NodeId(3), delta: TupleDelta::minus(cheap) });
+        assert!(engine.contains(&best_cost(1, 2, 5)), "falls back to the direct link");
+    }
+
+    #[test]
+    fn maybe_rule_requires_guard() {
+        let maybe = Rule::maybe(
+            "M1",
+            Atom::new("adv", Term::var("X"), vec![Term::var("P")]),
+            vec![Atom::new("route", Term::var("X"), vec![Term::var("P")])],
+            vec![],
+        );
+        let ruleset = RuleSet::new(vec![maybe]).expect("valid");
+        let mut engine = Engine::new(NodeId(1), ruleset);
+        let route = Tuple::new("route", NodeId(1), vec![Value::str("p1")]);
+        engine.handle(SmInput::InsertBase(route));
+        assert!(!engine.contains(&Tuple::new("adv", NodeId(1), vec![Value::str("p1")])), "maybe rule must not fire on its own");
+        let guard = engine.maybe_guard("M1", vec![Value::str("p1")]);
+        let outputs = engine.handle(SmInput::InsertBase(guard));
+        assert!(engine.contains(&Tuple::new("adv", NodeId(1), vec![Value::str("p1")])));
+        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "M1")));
+    }
+
+    #[test]
+    fn fresh_machine_starts_empty() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        let fresh = engine.fresh();
+        assert!(fresh.current_tuples().is_empty());
+        assert_eq!(engine.current_tuples().len(), 3); // link, cost, bestCost
+    }
+
+    #[test]
+    fn determinism_same_inputs_same_outputs() {
+        let inputs = vec![
+            SmInput::InsertBase(link(1, 2, 5)),
+            SmInput::InsertBase(link(1, 3, 2)),
+            SmInput::Receive {
+                from: NodeId(3),
+                delta: TupleDelta::plus(Tuple::new("cost", NodeId(1), vec![Value::node(2u64), Value::node(3u64), Value::Int(4)])),
+            },
+            SmInput::DeleteBase(link(1, 2, 5)),
+        ];
+        let mut a = Engine::new(NodeId(1), mincost_rules());
+        let mut b = Engine::new(NodeId(1), mincost_rules());
+        let out_a: Vec<_> = inputs.iter().cloned().flat_map(|i| a.handle(i)).collect();
+        let out_b: Vec<_> = inputs.iter().cloned().flat_map(|i| b.handle(i)).collect();
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.current_tuples(), b.current_tuples());
+    }
+
+    #[test]
+    fn ruleset_rejects_non_localizable_rules() {
+        let bad = Rule::standard(
+            "B",
+            Atom::new("x", Term::var("A"), vec![]),
+            vec![
+                Atom::new("p", Term::var("A"), vec![Term::var("V")]),
+                Atom::new("q", Term::var("B"), vec![Term::var("V")]),
+            ],
+            vec![],
+        );
+        assert!(RuleSet::new(vec![bad]).is_err());
+    }
+
+    #[test]
+    fn ruleset_rejects_empty_body() {
+        let bad = Rule::standard("B", Atom::new("x", Term::var("A"), vec![]), vec![], vec![]);
+        assert!(RuleSet::new(vec![bad]).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # snp-datalog — the tuple / derivation-rule system model
+//!
+//! Section 3.1 of the SNP paper models the primary system in the style used
+//! by declarative networking: node state is a set of *tuples*, and the
+//! algorithm is a set of *derivation rules* of the form
+//! `τ@n ← τ1@n1 ∧ τ2@n2 ∧ … ∧ τk@nk`.  This crate implements that model:
+//!
+//! * [`value`] / [`tuple`] — the data model ([`Value`], [`Tuple`]).
+//! * [`rule`] — derivation rules, `maybe` rules (§3.4), aggregation rules and
+//!   the constraint/expression language.
+//! * [`parser`] — a small text syntax ("DDlog"-style) for writing rule sets.
+//! * [`machine`] — the deterministic state-machine interface `A_i`
+//!   (Appendix A.2): inputs are base-tuple insertions/deletions and received
+//!   tuple notifications; outputs are derivations, underivations and messages.
+//! * [`engine`] — an incremental, reference-counted evaluation engine that
+//!   implements [`machine::StateMachine`] for a rule set.  Rules are
+//!   *localized*: all body atoms of a rule must live on one node, and if the
+//!   head lives elsewhere the derived tuple is shipped there as a `+τ` / `-τ`
+//!   notification, exactly as in the paper's MinCost example (Figure 2).
+//!
+//! The provenance of every derivation (rule id plus instantiated body tuples)
+//! is reported on the outputs, which is what `snp-graph`'s graph construction
+//! algorithm consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod machine;
+pub mod parser;
+pub mod rule;
+pub mod tuple;
+pub mod value;
+
+pub use engine::{Engine, RuleSet};
+pub use machine::{Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
+pub use rule::{AggKind, Atom, Constraint, Expr, Rule, RuleKind, Term};
+pub use snp_crypto::keys::NodeId;
+pub use tuple::Tuple;
+pub use value::Value;

@@ -1,0 +1,182 @@
+//! The deterministic state-machine interface `A_i` (Appendix A.2).
+//!
+//! "We can model the expected behavior of a node i as a state machine A_i,
+//! whose inputs are incoming messages and changes to base tuples, and whose
+//! outputs are messages that need to be sent to other nodes."
+//!
+//! Appendix A.2 makes the interface precise: `A_i` accepts the inputs
+//! `ins(β)`, `del(β)` and `rcv(m)`, and produces the outputs `der(τ)`,
+//! `und(τ)` and `snd(m)`.  Both the rule-driven [`crate::engine::Engine`] and
+//! the hand-written application state machines (MapReduce, the BGP proxy)
+//! implement this trait; the graph construction algorithm and SNooPy's replay
+//! are written against it, which is what lets a single provenance pipeline
+//! serve all three provenance-extraction methods of §5.3.
+
+use crate::tuple::Tuple;
+use serde::{Deserialize, Serialize};
+use snp_crypto::keys::NodeId;
+use std::fmt;
+
+/// Whether a tuple notification announces appearance or disappearance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Polarity {
+    /// `+τ`: the tuple appeared on the sender.
+    Plus,
+    /// `-τ`: the tuple disappeared from the sender.
+    Minus,
+}
+
+impl fmt::Display for Polarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Polarity::Plus => write!(f, "+"),
+            Polarity::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// A tuple-change notification `+τ` / `-τ` exchanged between nodes (§3.1:
+/// "the nodes must notify each other of relevant tuple changes").
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TupleDelta {
+    /// Appearance or disappearance.
+    pub polarity: Polarity,
+    /// The tuple in question.
+    pub tuple: Tuple,
+}
+
+impl TupleDelta {
+    /// A `+τ` notification.
+    pub fn plus(tuple: Tuple) -> TupleDelta {
+        TupleDelta { polarity: Polarity::Plus, tuple }
+    }
+
+    /// A `-τ` notification.
+    pub fn minus(tuple: Tuple) -> TupleDelta {
+        TupleDelta { polarity: Polarity::Minus, tuple }
+    }
+
+    /// Approximate wire size in bytes (1 byte polarity + encoded tuple).
+    pub fn wire_size(&self) -> usize {
+        1 + self.tuple.wire_size()
+    }
+}
+
+impl fmt::Display for TupleDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.polarity, self.tuple)
+    }
+}
+
+/// An input to the state machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmInput {
+    /// `ins(β)`: a base tuple was inserted locally.
+    InsertBase(Tuple),
+    /// `del(β)`: a base tuple was deleted locally.
+    DeleteBase(Tuple),
+    /// `rcv(m)`: a tuple notification arrived from another node.
+    Receive {
+        /// The sending node.
+        from: NodeId,
+        /// The notification.
+        delta: TupleDelta,
+    },
+}
+
+/// An output of the state machine.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SmOutput {
+    /// `der(τ)`: a tuple was derived locally via `rule` from `body`.
+    ///
+    /// The body tuples are reported so that the provenance graph can connect
+    /// the `derive` vertex to the `appear`/`exist`/`believe` vertices of its
+    /// inputs (Appendix B, `handle-output-der`).
+    Derive {
+        /// The derived tuple.
+        tuple: Tuple,
+        /// Identifier of the rule that fired.
+        rule: String,
+        /// Instantiated body tuples the derivation used.
+        body: Vec<Tuple>,
+    },
+    /// `und(τ)`: a previously derived tuple was underived.
+    Underive {
+        /// The underived tuple.
+        tuple: Tuple,
+        /// Identifier of the rule whose derivation vanished.
+        rule: String,
+        /// The body tuples of the vanished derivation.
+        body: Vec<Tuple>,
+    },
+    /// `snd(m)`: a tuple notification must be sent to another node.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// The notification to send.
+        delta: TupleDelta,
+    },
+}
+
+impl SmOutput {
+    /// The tuple this output is about.
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            SmOutput::Derive { tuple, .. } | SmOutput::Underive { tuple, .. } => tuple,
+            SmOutput::Send { delta, .. } => &delta.tuple,
+        }
+    }
+}
+
+/// A deterministic per-node state machine (`A_i`).
+///
+/// Determinism (assumption 6 of §5.2) is essential: SNooPy's microquery
+/// module re-runs the machine from a checkpoint during replay and expects to
+/// obtain exactly the same outputs that were logged at runtime.
+pub trait StateMachine {
+    /// Feed one input and collect the outputs it produces.
+    fn handle(&mut self, input: SmInput) -> Vec<SmOutput>;
+
+    /// Create a fresh copy of this machine in its *initial* state.
+    ///
+    /// Used by replay: the querier reconstructs a node's provenance subgraph
+    /// by running a fresh instance of the node's machine over the logged
+    /// inputs (§5.5).
+    fn fresh(&self) -> Box<dyn StateMachine>;
+
+    /// Tuples currently present on the node (base, derived and believed).
+    /// Used for checkpointing (§5.6) and state inspection in tests.
+    fn current_tuples(&self) -> Vec<Tuple>;
+
+    /// A short name identifying the machine type (for diagnostics).
+    fn name(&self) -> String {
+        "state-machine".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn delta_constructors_and_size() {
+        let t = Tuple::new("link", NodeId(1), vec![Value::Int(5)]);
+        let plus = TupleDelta::plus(t.clone());
+        let minus = TupleDelta::minus(t.clone());
+        assert_eq!(plus.polarity, Polarity::Plus);
+        assert_eq!(minus.polarity, Polarity::Minus);
+        assert_eq!(plus.wire_size(), 1 + t.wire_size());
+        assert_eq!(format!("{plus}"), format!("+{t}"));
+        assert_eq!(format!("{minus}"), format!("-{t}"));
+    }
+
+    #[test]
+    fn output_tuple_accessor() {
+        let t = Tuple::new("x", NodeId(1), vec![]);
+        let out = SmOutput::Send { to: NodeId(2), delta: TupleDelta::plus(t.clone()) };
+        assert_eq!(out.tuple(), &t);
+        let der = SmOutput::Derive { tuple: t.clone(), rule: "R1".into(), body: vec![] };
+        assert_eq!(der.tuple(), &t);
+    }
+}

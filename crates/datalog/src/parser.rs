@@ -1,0 +1,329 @@
+//! A small text syntax for rule sets ("DDlog"-style).
+//!
+//! The SNooPy prototype expresses macroqueries and application rules in
+//! Distributed Datalog (§5.9).  This parser accepts a compact, line-oriented
+//! syntax sufficient for the applications in this repository:
+//!
+//! ```text
+//! # MinCost routing (§3.3)
+//! R1 cost(@X, Y, Y, K)    :- link(@X, Y, K).
+//! R2 cost(@C, D, B, K3)   :- link(@B, C, K1), bestCost(@B, D, K2), K3 := K1 + K2, C != D.
+//! R3 bestCost(@X, Y, min<K>) :- cost(@X, Y, Z, K).
+//! M1 advertise(@X, P) maybe :- route(@X, P).
+//! ```
+//!
+//! * Upper-case identifiers are variables, lower-case identifiers and quoted
+//!   strings are constants, integers are integer constants, `nN` is node N.
+//! * The head location is marked with `@`; a `min<K>` / `max<K>` / `count<K>`
+//!   head argument turns the rule into an aggregation.
+//! * Constraints are comparisons (`=`, `!=`, `<`, `<=`, `>`, `>=`) or
+//!   assignments (`X := A + B`).
+//! * A `maybe` marker before `:-` produces a [`RuleKind::Maybe`] rule.
+
+use crate::rule::{AggKind, Atom, CmpOp, Constraint, Expr, Rule, RuleKind, Term};
+use crate::value::Value;
+use snp_crypto::keys::NodeId;
+
+/// Parse a whole rule program (one rule per `.`-terminated statement).
+pub fn parse_program(source: &str) -> Result<Vec<Rule>, String> {
+    let mut rules = Vec::new();
+    // Strip comments, join lines, split on '.'
+    let cleaned: String = source
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    for statement in cleaned.split('.') {
+        let statement = statement.trim();
+        if statement.is_empty() {
+            continue;
+        }
+        rules.push(parse_rule(statement)?);
+    }
+    Ok(rules)
+}
+
+/// Parse a single rule of the form `ID head [maybe] :- body`.
+pub fn parse_rule(statement: &str) -> Result<Rule, String> {
+    let (lhs, rhs) = statement
+        .split_once(":-")
+        .ok_or_else(|| format!("rule must contain ':-': {statement}"))?;
+    let lhs = lhs.trim();
+    let rhs = rhs.trim();
+
+    let (lhs, kind) = match lhs.strip_suffix("maybe") {
+        Some(rest) => (rest.trim(), RuleKind::Maybe),
+        None => (lhs, RuleKind::Standard),
+    };
+
+    // The rule id is the first whitespace-separated token before the head atom.
+    let (id, head_text) = lhs
+        .split_once(char::is_whitespace)
+        .ok_or_else(|| format!("rule must start with an identifier: {lhs}"))?;
+    let (head, aggregate) = parse_head(head_text.trim())?;
+
+    let mut body = Vec::new();
+    let mut constraints = Vec::new();
+    for part in split_top_level(rhs) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if part.contains(":=") || is_comparison(part) {
+            constraints.push(parse_constraint(part)?);
+        } else {
+            body.push(parse_atom(part)?);
+        }
+    }
+
+    let mut rule = match aggregate {
+        Some((agg_kind, var)) => {
+            if body.len() != 1 {
+                return Err(format!("aggregation rule {id} must have exactly one body atom"));
+            }
+            let mut r = Rule::aggregate(id, head, body.remove(0), agg_kind, var);
+            r.constraints = constraints;
+            r
+        }
+        None => Rule { id: id.to_string(), kind: RuleKind::Standard, head, body, constraints, aggregate: None },
+    };
+    rule.kind = kind;
+    Ok(rule)
+}
+
+/// Split a rule body on commas that are not inside parentheses or `<>`.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in text.chars() {
+        match c {
+            '(' | '<' => {
+                depth += 1;
+                current.push(c);
+            }
+            ')' | '>' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn is_comparison(part: &str) -> bool {
+    // A comparison constraint contains an operator outside parentheses and is
+    // not an atom (atoms contain '(' before any operator).
+    let paren = part.find('(').unwrap_or(usize::MAX);
+    for op in ["!=", "<=", ">=", "=", "<", ">"] {
+        if let Some(pos) = part.find(op) {
+            if pos < paren {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn parse_head(text: &str) -> Result<(Atom, Option<(AggKind, String)>), String> {
+    let atom = parse_atom(text)?;
+    // Look for an aggregate marker in the last argument: it parses as a
+    // variable named "min<K>" etc. because parse_term doesn't know about it,
+    // so detect it on the raw text instead.
+    let open = text.find('(').ok_or_else(|| format!("head must be an atom: {text}"))?;
+    let inner = &text[open + 1..text.rfind(')').ok_or("missing )")?];
+    let raw_args: Vec<String> = split_top_level(inner).iter().map(|s| s.trim().to_string()).collect();
+    let mut aggregate = None;
+    if let Some(last) = raw_args.last() {
+        for (prefix, kind) in [("min<", AggKind::Min), ("max<", AggKind::Max), ("count<", AggKind::Count)] {
+            if let Some(rest) = last.strip_prefix(prefix) {
+                let var = rest.trim_end_matches('>').trim().to_string();
+                aggregate = Some((kind, var.clone()));
+            }
+        }
+    }
+    if let Some((_, ref var)) = aggregate {
+        // Replace the aggregate marker argument with the plain variable.
+        let mut fixed = atom.clone();
+        if let Some(last) = fixed.args.last_mut() {
+            *last = Term::var(var.clone());
+        }
+        return Ok((fixed, aggregate));
+    }
+    Ok((atom, None))
+}
+
+fn parse_atom(text: &str) -> Result<Atom, String> {
+    let text = text.trim();
+    let open = text.find('(').ok_or_else(|| format!("atom must have arguments: {text}"))?;
+    let close = text.rfind(')').ok_or_else(|| format!("atom missing ')': {text}"))?;
+    let relation = text[..open].trim();
+    if relation.is_empty() {
+        return Err(format!("atom missing relation name: {text}"));
+    }
+    let inner = &text[open + 1..close];
+    let raw_args = split_top_level(inner);
+    if raw_args.is_empty() {
+        return Err(format!("atom must have at least the @location argument: {text}"));
+    }
+    let mut location = None;
+    let mut args = Vec::new();
+    for (i, raw) in raw_args.iter().enumerate() {
+        let raw = raw.trim();
+        if i == 0 {
+            let loc = raw
+                .strip_prefix('@')
+                .ok_or_else(|| format!("first atom argument must be the @location: {text}"))?;
+            location = Some(parse_term(loc)?);
+        } else {
+            args.push(parse_term(raw)?);
+        }
+    }
+    Ok(Atom { relation: relation.to_string(), location: location.expect("location parsed"), args })
+}
+
+fn parse_term(text: &str) -> Result<Term, String> {
+    let text = text.trim();
+    if text.is_empty() {
+        return Err("empty term".to_string());
+    }
+    if let Some(stripped) = text.strip_prefix('"') {
+        let content = stripped.strip_suffix('"').ok_or_else(|| format!("unterminated string: {text}"))?;
+        return Ok(Term::val(content));
+    }
+    if let Ok(int) = text.parse::<i64>() {
+        return Ok(Term::val(int));
+    }
+    if let Some(node) = text.strip_prefix('n') {
+        if let Ok(id) = node.parse::<u64>() {
+            return Ok(Term::Const(Value::Node(NodeId(id))));
+        }
+    }
+    let first = text.chars().next().expect("non-empty");
+    if first.is_ascii_uppercase() || first == '_' {
+        Ok(Term::var(text))
+    } else {
+        // Lower-case bare identifiers are string constants.
+        Ok(Term::val(text))
+    }
+}
+
+fn parse_expr(text: &str) -> Result<Expr, String> {
+    let text = text.trim();
+    // Only binary +/- with left-to-right association is needed.
+    if let Some(pos) = text.rfind('+') {
+        let (l, r) = text.split_at(pos);
+        return Ok(Expr::Add(Box::new(parse_expr(l)?), Box::new(parse_expr(&r[1..])?)));
+    }
+    if let Some(pos) = text.rfind('-') {
+        // Avoid treating a leading minus (negative literal) as subtraction.
+        if pos > 0 {
+            let (l, r) = text.split_at(pos);
+            return Ok(Expr::Sub(Box::new(parse_expr(l)?), Box::new(parse_expr(&r[1..])?)));
+        }
+    }
+    Ok(Expr::Term(parse_term(text)?))
+}
+
+fn parse_constraint(text: &str) -> Result<Constraint, String> {
+    let text = text.trim();
+    if let Some((var, expr)) = text.split_once(":=") {
+        return Ok(Constraint::Assign { var: var.trim().to_string(), expr: parse_expr(expr)? });
+    }
+    for (symbol, op) in [
+        ("!=", CmpOp::Ne),
+        ("<=", CmpOp::Le),
+        (">=", CmpOp::Ge),
+        ("=", CmpOp::Eq),
+        ("<", CmpOp::Lt),
+        (">", CmpOp::Gt),
+    ] {
+        if let Some((l, r)) = text.split_once(symbol) {
+            return Ok(Constraint::Compare { lhs: parse_expr(l)?, op, rhs: parse_expr(r)? });
+        }
+    }
+    Err(format!("unrecognized constraint: {text}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, RuleSet};
+    use crate::machine::{SmInput, StateMachine};
+    use crate::tuple::Tuple;
+
+    const MINCOST: &str = r#"
+        # MinCost routing (Section 3.3)
+        R1 cost(@X, Y, Y, K)      :- link(@X, Y, K).
+        R2 cost(@C, D, B, K3)     :- link(@B, C, K1), bestCost(@B, D, K2), K3 := K1 + K2, C != D.
+        R3 bestCost(@X, Y, min<K>) :- cost(@X, Y, Z, K).
+    "#;
+
+    #[test]
+    fn parses_mincost_program() {
+        let rules = parse_program(MINCOST).expect("parse");
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].id, "R1");
+        assert_eq!(rules[1].constraints.len(), 2);
+        assert_eq!(rules[2].aggregate, Some((AggKind::Min, "K".to_string())));
+    }
+
+    #[test]
+    fn parsed_rules_run_in_engine() {
+        let rules = parse_program(MINCOST).expect("parse");
+        let ruleset = RuleSet::new(rules).expect("valid");
+        let mut engine = Engine::new(NodeId(1), ruleset);
+        engine.handle(SmInput::InsertBase(Tuple::new(
+            "link",
+            NodeId(1),
+            vec![Value::Node(NodeId(2)), Value::Int(7)],
+        )));
+        assert!(engine.contains(&Tuple::new("bestCost", NodeId(1), vec![Value::Node(NodeId(2)), Value::Int(7)])));
+    }
+
+    #[test]
+    fn parses_maybe_rule() {
+        let rule = parse_rule(r#"M1 advertise(@X, P) maybe :- route(@X, P)"#).expect("parse");
+        assert_eq!(rule.kind, RuleKind::Maybe);
+        assert_eq!(rule.head.relation, "advertise");
+    }
+
+    #[test]
+    fn parses_constants_and_variables() {
+        let rule = parse_rule(r#"R route(@n3, "10.0.0.0/8", X, 5) :- adv(@n3, X), X != origin"#).expect("parse");
+        assert_eq!(rule.head.location, Term::Const(Value::Node(NodeId(3))));
+        assert_eq!(rule.head.args[0], Term::val("10.0.0.0/8"));
+        assert_eq!(rule.head.args[2], Term::val(5i64));
+        assert!(matches!(rule.constraints[0], Constraint::Compare { op: CmpOp::Ne, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        assert!(parse_rule("no arrow here").is_err());
+        assert!(parse_rule("R1 head(@X) :- body").is_err());
+        assert!(parse_rule("R1 head() :- body(@X)").is_err());
+        assert!(parse_rule("head(@X) :- body(@X)").is_err(), "missing rule id");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let rules = parse_program("# only a comment\n\n").expect("parse");
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn expression_parsing_handles_subtraction() {
+        let rule = parse_rule("R x(@A, K2) :- y(@A, K), K2 := K - 1").expect("parse");
+        match &rule.constraints[0] {
+            Constraint::Assign { expr, .. } => assert!(matches!(expr, Expr::Sub(_, _))),
+            other => panic!("unexpected constraint {other:?}"),
+        }
+    }
+}

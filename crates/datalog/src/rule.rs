@@ -1,0 +1,458 @@
+//! Derivation rules, `maybe` rules, aggregation rules and constraints.
+//!
+//! A rule has the shape
+//!
+//! ```text
+//! head(@H, …) :- body1(@B, …), body2(@B, …), constraint, …
+//! ```
+//!
+//! All body atoms must share a single location (the *evaluation site*); the
+//! head may be located elsewhere, in which case the engine ships the derived
+//! tuple to its home node with a `+τ` notification — exactly the structure of
+//! the paper's MinCost rule R2, whose derivation happens on `b` and whose
+//! result `cost(@c,…)` is sent to `c` (Figure 2).
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable binding environment produced while matching body atoms.
+pub type Bindings = BTreeMap<String, Value>;
+
+/// A term: either a variable or a constant.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Term {
+    /// A variable, e.g. `X`.
+    Var(String),
+    /// A constant value.
+    Const(Value),
+}
+
+impl Term {
+    /// Shorthand for a variable term.
+    pub fn var(name: impl Into<String>) -> Term {
+        Term::Var(name.into())
+    }
+
+    /// Shorthand for a constant term.
+    pub fn val(value: impl Into<Value>) -> Term {
+        Term::Const(value.into())
+    }
+
+    /// Resolve the term under a binding environment.
+    pub fn resolve(&self, bindings: &Bindings) -> Option<Value> {
+        match self {
+            Term::Const(v) => Some(v.clone()),
+            Term::Var(name) => bindings.get(name).cloned(),
+        }
+    }
+
+    /// Try to unify the term with a concrete value, extending `bindings`.
+    pub fn unify(&self, value: &Value, bindings: &mut Bindings) -> bool {
+        match self {
+            Term::Const(v) => v == value,
+            Term::Var(name) => match bindings.get(name) {
+                Some(bound) => bound == value,
+                None => {
+                    bindings.insert(name.clone(), value.clone());
+                    true
+                }
+            },
+        }
+    }
+}
+
+/// An arithmetic / value expression used in constraints and head arguments.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A term (variable or constant).
+    Term(Term),
+    /// Integer addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Integer subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Integer minimum.
+    Min(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A variable expression.
+    pub fn var(name: impl Into<String>) -> Expr {
+        Expr::Term(Term::var(name))
+    }
+
+    /// A constant expression.
+    pub fn val(value: impl Into<Value>) -> Expr {
+        Expr::Term(Term::val(value))
+    }
+
+    /// `self + other`.
+    pub fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate under a binding environment.  Arithmetic on non-integers
+    /// yields `None` (the rule simply does not fire).
+    pub fn eval(&self, bindings: &Bindings) -> Option<Value> {
+        match self {
+            Expr::Term(t) => t.resolve(bindings),
+            Expr::Add(a, b) => Some(Value::Int(a.eval(bindings)?.as_int()?.checked_add(b.eval(bindings)?.as_int()?)?)),
+            Expr::Sub(a, b) => Some(Value::Int(a.eval(bindings)?.as_int()?.checked_sub(b.eval(bindings)?.as_int()?)?)),
+            Expr::Min(a, b) => {
+                Some(Value::Int(a.eval(bindings)?.as_int()?.min(b.eval(bindings)?.as_int()?)))
+            }
+        }
+    }
+}
+
+/// Comparison operators usable in constraints.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than (integers only).
+    Lt,
+    /// Less than or equal (integers only).
+    Le,
+    /// Strictly greater than (integers only).
+    Gt,
+    /// Greater than or equal (integers only).
+    Ge,
+}
+
+/// A body constraint: either a comparison or an assignment that binds a new
+/// variable to the value of an expression.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `lhs op rhs` must hold.
+    Compare {
+        /// Left-hand side.
+        lhs: Expr,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand side.
+        rhs: Expr,
+    },
+    /// `var := expr` binds a fresh variable.
+    Assign {
+        /// Variable to bind.
+        var: String,
+        /// Expression whose value is bound.
+        expr: Expr,
+    },
+}
+
+impl Constraint {
+    /// Apply the constraint under the bindings.  Returns `false` if the
+    /// constraint fails; assignments extend the bindings and return `true`.
+    pub fn apply(&self, bindings: &mut Bindings) -> bool {
+        match self {
+            Constraint::Assign { var, expr } => match expr.eval(bindings) {
+                Some(value) => {
+                    // An assignment to an already-bound variable degenerates
+                    // to an equality check.
+                    match bindings.get(var) {
+                        Some(existing) => *existing == value,
+                        None => {
+                            bindings.insert(var.clone(), value);
+                            true
+                        }
+                    }
+                }
+                None => false,
+            },
+            Constraint::Compare { lhs, op, rhs } => {
+                let (Some(l), Some(r)) = (lhs.eval(bindings), rhs.eval(bindings)) else {
+                    return false;
+                };
+                match op {
+                    CmpOp::Eq => l == r,
+                    CmpOp::Ne => l != r,
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                        let (Some(li), Some(ri)) = (l.as_int(), r.as_int()) else {
+                            return false;
+                        };
+                        match op {
+                            CmpOp::Lt => li < ri,
+                            CmpOp::Le => li <= ri,
+                            CmpOp::Gt => li > ri,
+                            CmpOp::Ge => li >= ri,
+                            _ => unreachable!(),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An atom `rel(@Loc, t1, …, tk)` appearing in a rule head or body.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Location term (`@Loc`).
+    pub location: Term,
+    /// Argument terms.
+    pub args: Vec<Term>,
+}
+
+impl Atom {
+    /// Construct an atom.
+    pub fn new(relation: impl Into<String>, location: Term, args: Vec<Term>) -> Atom {
+        Atom { relation: relation.into(), location, args }
+    }
+
+    /// Try to match this atom against a concrete tuple, extending `bindings`.
+    pub fn matches(&self, tuple: &Tuple, bindings: &mut Bindings) -> bool {
+        if self.relation != tuple.relation || self.args.len() != tuple.args.len() {
+            return false;
+        }
+        if !self.location.unify(&Value::Node(tuple.location), bindings) {
+            return false;
+        }
+        self.args.iter().zip(&tuple.args).all(|(term, value)| term.unify(value, bindings))
+    }
+
+    /// Instantiate the atom into a tuple under complete bindings.
+    pub fn instantiate(&self, bindings: &Bindings) -> Option<Tuple> {
+        let location = self.location.resolve(bindings)?.as_node()?;
+        let args = self.args.iter().map(|t| t.resolve(bindings)).collect::<Option<Vec<_>>>()?;
+        Some(Tuple::new(self.relation.clone(), location, args))
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(@{:?}", self.relation, self.location)?;
+        for a in &self.args {
+            write!(f, ",{a:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// The kind of a rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// A standard rule: the head *must* be derived whenever the body holds.
+    Standard,
+    /// A `maybe` rule (§3.4): the head *may* be derived while the body holds;
+    /// the decision is made by the application, not by the engine.
+    Maybe,
+}
+
+/// Aggregation functions supported by aggregation rules.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggKind {
+    /// Minimum of the aggregated column (e.g. `bestCost`).
+    Min,
+    /// Maximum of the aggregated column.
+    Max,
+    /// Count of matching tuples.
+    Count,
+}
+
+/// A derivation rule.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Rule identifier (e.g. `"R2"`); recorded in `derive` vertices.
+    pub id: String,
+    /// Standard or `maybe`.
+    pub kind: RuleKind,
+    /// Head atom.
+    pub head: Atom,
+    /// Body atoms (all at the same location).
+    pub body: Vec<Atom>,
+    /// Constraints and assignments evaluated after the body joins.
+    pub constraints: Vec<Constraint>,
+    /// If set, the rule is an aggregation over the single body atom: the last
+    /// head argument is the aggregate of the body variable named here, grouped
+    /// by the remaining head arguments.
+    pub aggregate: Option<(AggKind, String)>,
+}
+
+impl Rule {
+    /// Construct a standard (non-aggregate) rule.
+    pub fn standard(id: impl Into<String>, head: Atom, body: Vec<Atom>, constraints: Vec<Constraint>) -> Rule {
+        Rule { id: id.into(), kind: RuleKind::Standard, head, body, constraints, aggregate: None }
+    }
+
+    /// Construct a `maybe` rule.
+    pub fn maybe(id: impl Into<String>, head: Atom, body: Vec<Atom>, constraints: Vec<Constraint>) -> Rule {
+        Rule { id: id.into(), kind: RuleKind::Maybe, head, body, constraints, aggregate: None }
+    }
+
+    /// Construct an aggregation rule (`Min`/`Max`/`Count` over `agg_var`).
+    pub fn aggregate(id: impl Into<String>, head: Atom, body: Atom, kind: AggKind, agg_var: impl Into<String>) -> Rule {
+        Rule {
+            id: id.into(),
+            kind: RuleKind::Standard,
+            head,
+            body: vec![body],
+            constraints: Vec::new(),
+            aggregate: Some((kind, agg_var.into())),
+        }
+    }
+
+    /// The body location variable/constant.  Returns an error string if the
+    /// body atoms do not share a single location term (the engine requires
+    /// localized rules).
+    pub fn evaluation_site(&self) -> Result<&Term, String> {
+        let mut site: Option<&Term> = None;
+        for atom in &self.body {
+            match site {
+                None => site = Some(&atom.location),
+                Some(existing) if *existing == atom.location => {}
+                Some(existing) => {
+                    return Err(format!(
+                        "rule {}: body atoms at different locations ({existing:?} vs {:?}); localize the rule first",
+                        self.id, atom.location
+                    ))
+                }
+            }
+        }
+        site.ok_or_else(|| format!("rule {}: empty body", self.id))
+    }
+
+    /// Whether the head is (syntactically) at the same location as the body.
+    pub fn is_local(&self) -> bool {
+        match self.evaluation_site() {
+            Ok(site) => *site == self.head.location,
+            Err(_) => false,
+        }
+    }
+
+    /// Relations mentioned in the body.
+    pub fn body_relations(&self) -> impl Iterator<Item = &str> {
+        self.body.iter().map(|a| a.relation.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_crypto::keys::NodeId;
+
+    fn link_atom() -> Atom {
+        Atom::new("link", Term::var("B"), vec![Term::var("C"), Term::var("K1")])
+    }
+
+    #[test]
+    fn term_unification() {
+        let mut b = Bindings::new();
+        assert!(Term::var("X").unify(&Value::Int(3), &mut b));
+        assert!(Term::var("X").unify(&Value::Int(3), &mut b));
+        assert!(!Term::var("X").unify(&Value::Int(4), &mut b));
+        assert!(Term::val(5i64).unify(&Value::Int(5), &mut b));
+        assert!(!Term::val(5i64).unify(&Value::Int(6), &mut b));
+    }
+
+    #[test]
+    fn atom_matching_binds_location_and_args() {
+        let atom = link_atom();
+        let tuple = Tuple::new("link", NodeId(2), vec![Value::node(3u64), Value::Int(7)]);
+        let mut b = Bindings::new();
+        assert!(atom.matches(&tuple, &mut b));
+        assert_eq!(b["B"], Value::Node(NodeId(2)));
+        assert_eq!(b["C"], Value::Node(NodeId(3)));
+        assert_eq!(b["K1"], Value::Int(7));
+    }
+
+    #[test]
+    fn atom_matching_rejects_wrong_relation_or_arity() {
+        let atom = link_atom();
+        let mut b = Bindings::new();
+        assert!(!atom.matches(&Tuple::new("route", NodeId(2), vec![Value::Int(1), Value::Int(2)]), &mut b));
+        assert!(!atom.matches(&Tuple::new("link", NodeId(2), vec![Value::Int(1)]), &mut b));
+    }
+
+    #[test]
+    fn atom_instantiation() {
+        let atom = Atom::new("cost", Term::var("C"), vec![Term::var("D"), Term::var("K")]);
+        let mut b = Bindings::new();
+        b.insert("C".into(), Value::node(1u64));
+        b.insert("D".into(), Value::node(2u64));
+        b.insert("K".into(), Value::Int(9));
+        let t = atom.instantiate(&b).unwrap();
+        assert_eq!(t, Tuple::new("cost", NodeId(1), vec![Value::node(2u64), Value::Int(9)]));
+        b.remove("K");
+        assert!(atom.instantiate(&b).is_none());
+    }
+
+    #[test]
+    fn expressions_evaluate() {
+        let mut b = Bindings::new();
+        b.insert("K1".into(), Value::Int(2));
+        b.insert("K2".into(), Value::Int(3));
+        assert_eq!(Expr::var("K1").add(Expr::var("K2")).eval(&b), Some(Value::Int(5)));
+        assert_eq!(Expr::Sub(Box::new(Expr::val(10i64)), Box::new(Expr::var("K1"))).eval(&b), Some(Value::Int(8)));
+        assert_eq!(Expr::Min(Box::new(Expr::var("K1")), Box::new(Expr::var("K2"))).eval(&b), Some(Value::Int(2)));
+        assert_eq!(Expr::var("missing").eval(&b), None);
+    }
+
+    #[test]
+    fn arithmetic_on_strings_fails_gracefully() {
+        let mut b = Bindings::new();
+        b.insert("S".into(), Value::str("x"));
+        assert_eq!(Expr::var("S").add(Expr::val(1i64)).eval(&b), None);
+    }
+
+    #[test]
+    fn constraints_compare_and_assign() {
+        let mut b = Bindings::new();
+        b.insert("K1".into(), Value::Int(2));
+        b.insert("K2".into(), Value::Int(3));
+        assert!(Constraint::Compare { lhs: Expr::var("K1"), op: CmpOp::Lt, rhs: Expr::var("K2") }.apply(&mut b));
+        assert!(!Constraint::Compare { lhs: Expr::var("K1"), op: CmpOp::Gt, rhs: Expr::var("K2") }.apply(&mut b));
+        assert!(Constraint::Assign { var: "K3".into(), expr: Expr::var("K1").add(Expr::var("K2")) }.apply(&mut b));
+        assert_eq!(b["K3"], Value::Int(5));
+        // Re-assigning to the same value is fine; to a different value fails.
+        assert!(Constraint::Assign { var: "K3".into(), expr: Expr::val(5i64) }.apply(&mut b));
+        assert!(!Constraint::Assign { var: "K3".into(), expr: Expr::val(6i64) }.apply(&mut b));
+    }
+
+    #[test]
+    fn string_comparison_only_supports_eq_ne() {
+        let mut b = Bindings::new();
+        b.insert("A".into(), Value::str("x"));
+        b.insert("B".into(), Value::str("y"));
+        assert!(Constraint::Compare { lhs: Expr::var("A"), op: CmpOp::Ne, rhs: Expr::var("B") }.apply(&mut b));
+        assert!(!Constraint::Compare { lhs: Expr::var("A"), op: CmpOp::Lt, rhs: Expr::var("B") }.apply(&mut b));
+    }
+
+    #[test]
+    fn evaluation_site_detection() {
+        let local = Rule::standard(
+            "R1",
+            Atom::new("cost", Term::var("X"), vec![Term::var("Y"), Term::var("K")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y"), Term::var("K")])],
+            vec![],
+        );
+        assert!(local.is_local());
+        assert_eq!(local.evaluation_site().unwrap(), &Term::var("X"));
+
+        let remote_head = Rule::standard(
+            "R2",
+            Atom::new("cost", Term::var("C"), vec![Term::var("D"), Term::var("K")]),
+            vec![Atom::new("link", Term::var("B"), vec![Term::var("C"), Term::var("K")])],
+            vec![],
+        );
+        assert!(!remote_head.is_local());
+
+        let bad = Rule::standard(
+            "R3",
+            Atom::new("x", Term::var("A"), vec![]),
+            vec![
+                Atom::new("p", Term::var("A"), vec![]),
+                Atom::new("q", Term::var("B"), vec![]),
+            ],
+            vec![],
+        );
+        assert!(bad.evaluation_site().is_err());
+    }
+}

@@ -1,0 +1,202 @@
+//! The value domain of tuple fields.
+
+use serde::{Deserialize, Serialize};
+use snp_crypto::keys::NodeId;
+use std::fmt;
+
+/// A single field of a tuple.
+///
+/// The domain is deliberately small: integers, strings, node identifiers and
+/// opaque digests cover every application in the paper (routing costs,
+/// prefixes/AS paths, Chord identifiers, MapReduce keys and values, file
+/// hashes).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A signed integer (costs, counts, Chord ids, offsets…).
+    Int(i64),
+    /// A string (prefixes, words, task names…).
+    Str(String),
+    /// A node identifier.
+    Node(NodeId),
+    /// A list of values (e.g. a BGP AS path).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Build a node value.
+    pub fn node(n: impl Into<NodeId>) -> Value {
+        Value::Node(n.into())
+    }
+
+    /// Integer content, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// String content, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Node content, if this is a [`Value::Node`].
+    pub fn as_node(&self) -> Option<NodeId> {
+        match self {
+            Value::Node(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// List content, if this is a [`Value::List`].
+    pub fn as_list(&self) -> Option<&[Value]> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Stable byte encoding used for hashing tuples into digests.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Int(i) => {
+                out.push(0x01);
+                out.extend_from_slice(&i.to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(0x02);
+                out.extend_from_slice(&(s.len() as u64).to_be_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Node(n) => {
+                out.push(0x03);
+                out.extend_from_slice(&n.to_bytes());
+            }
+            Value::List(items) => {
+                out.push(0x04);
+                out.extend_from_slice(&(items.len() as u64).to_be_bytes());
+                for item in items {
+                    item.encode(out);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Node(n) => write!(f, "{n}"),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "{s}"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(value: i64) -> Self {
+        Value::Int(value)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(value: &str) -> Self {
+        Value::Str(value.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(value: String) -> Self {
+        Value::Str(value)
+    }
+}
+
+impl From<NodeId> for Value {
+    fn from(value: NodeId) -> Self {
+        Value::Node(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(5).as_int(), Some(5));
+        assert_eq!(Value::str("x").as_str(), Some("x"));
+        assert_eq!(Value::node(3u64).as_node(), Some(NodeId(3)));
+        assert_eq!(Value::Int(5).as_str(), None);
+        let list = Value::List(vec![Value::Int(1)]);
+        assert_eq!(list.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn encoding_distinguishes_types_and_boundaries() {
+        let mut a = Vec::new();
+        Value::str("ab").encode(&mut a);
+        let mut b = Vec::new();
+        Value::str("a").encode(&mut b);
+        Value::str("b").encode(&mut b);
+        assert_ne!(a, b);
+
+        let mut int_enc = Vec::new();
+        Value::Int(3).encode(&mut int_enc);
+        let mut node_enc = Vec::new();
+        Value::node(3u64).encode(&mut node_enc);
+        assert_ne!(int_enc, node_enc);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(format!("{}", Value::str("hello")), "hello");
+        assert_eq!(format!("{:?}", Value::str("hello")), "\"hello\"");
+        assert_eq!(format!("{}", Value::Int(7)), "7");
+        assert_eq!(format!("{:?}", Value::List(vec![Value::Int(1), Value::Int(2)])), "[1,2]");
+    }
+
+    #[test]
+    fn conversions() {
+        let v: Value = 42i64.into();
+        assert_eq!(v, Value::Int(42));
+        let v: Value = "s".into();
+        assert_eq!(v, Value::str("s"));
+        let v: Value = NodeId(9).into();
+        assert_eq!(v, Value::Node(NodeId(9)));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut values = vec![Value::str("b"), Value::Int(2), Value::Int(1), Value::str("a")];
+        values.sort();
+        assert_eq!(values, vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::str("b")]);
+    }
+}

@@ -1,0 +1,550 @@
+//! The provenance graph and the operations from Appendix B.2.
+
+use crate::vertex::{Color, Timestamp, Vertex, VertexId, VertexKind};
+use serde::{Deserialize, Serialize};
+use snp_crypto::keys::NodeId;
+use snp_datalog::{Polarity, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Table 1 of the paper: which edge types may appear in the graph.
+///
+/// Returns `true` when an edge from a vertex of kind `from` to a vertex of
+/// kind `to` is permitted.
+pub fn edge_allowed(from: &str, to: &str) -> bool {
+    matches!(
+        (from, to),
+        ("insert", "appear")
+            | ("delete", "disappear")
+            | ("appear", "exist")
+            | ("appear", "send")
+            | ("appear", "derive")
+            | ("disappear", "exist")
+            | ("disappear", "send")
+            | ("disappear", "underive")
+            | ("exist", "derive")
+            | ("exist", "underive")
+            | ("derive", "appear")
+            | ("underive", "disappear")
+            | ("send", "receive")
+            | ("receive", "believe-appear")
+            | ("receive", "believe-disappear")
+            | ("believe-appear", "believe")
+            | ("believe-appear", "derive")
+            | ("believe-disappear", "believe")
+            | ("believe-disappear", "underive")
+            | ("believe", "derive")
+            | ("believe", "underive")
+            // §3.4 constraint extension: a causally-related replacement links
+            // the appearance of the new tuple to the disappearance of the old.
+            | ("disappear", "appear")
+            | ("appear", "disappear")
+    )
+}
+
+/// The provenance graph `G = (V, E)`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProvenanceGraph {
+    vertices: BTreeMap<VertexId, Vertex>,
+    /// Forward edges `(v1, v2)`: v1 is part of the provenance of v2.
+    edges: BTreeSet<(VertexId, VertexId)>,
+    /// Reverse adjacency for successor queries.
+    reverse: BTreeSet<(VertexId, VertexId)>,
+}
+
+impl ProvenanceGraph {
+    /// Create an empty graph.
+    pub fn new() -> ProvenanceGraph {
+        ProvenanceGraph::default()
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// Insert (or merge) a vertex.  If a vertex with the same identity is
+    /// already present, its color is upgraded to the dominant one and an
+    /// open interval may be narrowed (Appendix B.2's union semantics);
+    /// otherwise the vertex is added as-is.  Returns its id.
+    pub fn upsert(&mut self, vertex: Vertex) -> VertexId {
+        let id = vertex.id();
+        match self.vertices.get_mut(&id) {
+            Some(existing) => {
+                existing.color = existing.color.dominant(vertex.color);
+                // Interval intersection: a closed interval wins over an open one,
+                // and of two closed ones the earlier end wins.
+                let new_until = match (&existing.kind, &vertex.kind) {
+                    (
+                        VertexKind::Exist { until: a, .. } | VertexKind::Believe { until: a, .. },
+                        VertexKind::Exist { until: b, .. } | VertexKind::Believe { until: b, .. },
+                    ) => match (a, b) {
+                        (Some(x), Some(y)) => Some(Some(*x.min(y))),
+                        (Some(x), None) => Some(Some(*x)),
+                        (None, Some(y)) => Some(Some(*y)),
+                        (None, None) => Some(None),
+                    },
+                    _ => None,
+                };
+                if let Some(until) = new_until {
+                    match &mut existing.kind {
+                        VertexKind::Exist { until: u, .. } | VertexKind::Believe { until: u, .. } => *u = until,
+                        _ => {}
+                    }
+                }
+            }
+            None => {
+                self.vertices.insert(id, vertex);
+            }
+        }
+        id
+    }
+
+    /// Set (upgrade) the color of a vertex.  Downgrades are ignored, matching
+    /// the monotonic color transitions proven in Theorem 1.
+    pub fn set_color(&mut self, id: VertexId, color: Color) {
+        if let Some(vertex) = self.vertices.get_mut(&id) {
+            vertex.color = vertex.color.dominant(color);
+        }
+    }
+
+    /// Force a color even if it is a downgrade.  Only used when a repaired
+    /// node is re-audited (§4.4 allows recoloring a repaired node black).
+    pub fn force_color(&mut self, id: VertexId, color: Color) {
+        if let Some(vertex) = self.vertices.get_mut(&id) {
+            vertex.color = color;
+        }
+    }
+
+    /// Close the interval of an `exist` / `believe` vertex.
+    pub fn close_interval(&mut self, id: VertexId, end: Timestamp) {
+        if let Some(vertex) = self.vertices.get_mut(&id) {
+            match &mut vertex.kind {
+                VertexKind::Exist { until, .. } | VertexKind::Believe { until, .. } => {
+                    if until.is_none() {
+                        *until = Some(end);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Add a directed edge.  Edges whose endpoint kinds violate Table 1 are
+    /// rejected with an error in debug builds and ignored in release builds.
+    pub fn add_edge(&mut self, from: VertexId, to: VertexId) {
+        if let (Some(vf), Some(vt)) = (self.vertices.get(&from), self.vertices.get(&to)) {
+            debug_assert!(
+                edge_allowed(vf.kind.kind_name(), vt.kind.kind_name()),
+                "edge {} -> {} violates Table 1",
+                vf.kind.kind_name(),
+                vt.kind.kind_name()
+            );
+        }
+        if from == to {
+            return;
+        }
+        self.edges.insert((from, to));
+        self.reverse.insert((to, from));
+    }
+
+    /// Fetch a vertex by id.
+    pub fn vertex(&self, id: &VertexId) -> Option<&Vertex> {
+        self.vertices.get(id)
+    }
+
+    /// Whether the graph contains a vertex with this identity.
+    pub fn contains(&self, id: &VertexId) -> bool {
+        self.vertices.contains_key(id)
+    }
+
+    /// Whether the graph contains the edge `(from, to)`.
+    pub fn has_edge(&self, from: &VertexId, to: &VertexId) -> bool {
+        self.edges.contains(&(*from, *to))
+    }
+
+    /// Iterate over all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = (&VertexId, &Vertex)> {
+        self.vertices.iter()
+    }
+
+    /// Iterate over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = &(VertexId, VertexId)> {
+        self.edges.iter()
+    }
+
+    /// Direct predecessors of a vertex (its immediate provenance).
+    pub fn predecessors(&self, id: &VertexId) -> Vec<VertexId> {
+        self.reverse
+            .range((*id, VertexId(snp_crypto::Digest::ZERO))..)
+            .take_while(|(to, _)| to == id)
+            .map(|(_, from)| *from)
+            .collect()
+    }
+
+    /// Direct successors of a vertex (what it contributed to).
+    pub fn successors(&self, id: &VertexId) -> Vec<VertexId> {
+        self.edges
+            .range((*id, VertexId(snp_crypto::Digest::ZERO))..)
+            .take_while(|(from, _)| from == id)
+            .map(|(_, to)| *to)
+            .collect()
+    }
+
+    /// All vertices hosted on `node`.
+    pub fn vertices_on(&self, node: NodeId) -> impl Iterator<Item = (&VertexId, &Vertex)> {
+        self.vertices.iter().filter(move |(_, v)| v.host() == node)
+    }
+
+    /// All vertices of a given color.
+    pub fn vertices_with_color(&self, color: Color) -> Vec<VertexId> {
+        self.vertices.iter().filter(|(_, v)| v.color == color).map(|(id, _)| *id).collect()
+    }
+
+    /// Nodes that host at least one red vertex (Theorem 3: exactly the faulty
+    /// nodes).
+    pub fn faulty_nodes(&self) -> BTreeSet<NodeId> {
+        self.vertices.values().filter(|v| v.color == Color::Red).map(|v| v.host()).collect()
+    }
+
+    /// Nodes that host at least one red *or yellow* vertex — the set a
+    /// forensic investigator should examine (§4.3 completeness).
+    pub fn suspect_nodes(&self) -> BTreeSet<NodeId> {
+        self.vertices
+            .values()
+            .filter(|v| v.color != Color::Black)
+            .map(|v| v.host())
+            .collect()
+    }
+
+    // ----- lookups used by the graph construction algorithm ----------------
+
+    fn find_kind(&self, f: impl Fn(&VertexKind) -> bool) -> Option<VertexId> {
+        self.vertices.iter().find(|(_, v)| f(&v.kind)).map(|(id, _)| *id)
+    }
+
+    /// The open `exist` vertex for a tuple on a node, if any.
+    pub fn open_exist(&self, node: NodeId, tuple: &Tuple) -> Option<VertexId> {
+        self.find_kind(|k| {
+            matches!(k, VertexKind::Exist { node: n, tuple: t, until: None, .. } if *n == node && t == tuple)
+        })
+    }
+
+    /// The open `believe` vertex for a tuple on a node (from any peer).
+    pub fn open_believe(&self, node: NodeId, tuple: &Tuple) -> Option<VertexId> {
+        self.find_kind(|k| {
+            matches!(k, VertexKind::Believe { node: n, tuple: t, until: None, .. } if *n == node && t == tuple)
+        })
+    }
+
+    /// The `appear` vertex for a tuple on a node at exactly `time`.
+    pub fn appear_at(&self, node: NodeId, tuple: &Tuple, time: Timestamp) -> Option<VertexId> {
+        self.find_kind(|k| {
+            matches!(k, VertexKind::Appear { node: n, tuple: t, time: tt } if *n == node && t == tuple && *tt == time)
+        })
+    }
+
+    /// The `disappear` vertex for a tuple on a node at exactly `time`.
+    pub fn disappear_at(&self, node: NodeId, tuple: &Tuple, time: Timestamp) -> Option<VertexId> {
+        self.find_kind(|k| {
+            matches!(k, VertexKind::Disappear { node: n, tuple: t, time: tt } if *n == node && t == tuple && *tt == time)
+        })
+    }
+
+    /// The `believe-appear` vertex for a tuple on a node at exactly `time`.
+    pub fn believe_appear_at(&self, node: NodeId, tuple: &Tuple, time: Timestamp) -> Option<VertexId> {
+        self.find_kind(|k| {
+            matches!(k, VertexKind::BelieveAppear { node: n, tuple: t, time: tt, .. } if *n == node && t == tuple && *tt == time)
+        })
+    }
+
+    /// The `believe-disappear` vertex for a tuple on a node at exactly `time`.
+    pub fn believe_disappear_at(&self, node: NodeId, tuple: &Tuple, time: Timestamp) -> Option<VertexId> {
+        self.find_kind(|k| {
+            matches!(k, VertexKind::BelieveDisappear { node: n, tuple: t, time: tt, .. } if *n == node && t == tuple && *tt == time)
+        })
+    }
+
+    /// The `exist` vertex (open or closed) covering a tuple at a given time.
+    pub fn exist_covering(&self, node: NodeId, tuple: &Tuple, time: Timestamp) -> Option<VertexId> {
+        self.find_kind(|k| match k {
+            VertexKind::Exist { node: n, tuple: t, from, until } if *n == node && t == tuple => {
+                *from <= time && until.map(|u| time <= u).unwrap_or(true)
+            }
+            _ => false,
+        })
+    }
+
+    /// Find a `send` vertex for a specific notification (any timestamp).
+    pub fn find_send(&self, node: NodeId, peer: NodeId, tuple: &Tuple, polarity: Polarity, time: Option<Timestamp>) -> Option<VertexId> {
+        self.find_kind(|k| match k {
+            VertexKind::Send { node: n, peer: p, delta, time: t } => {
+                *n == node && *p == peer && delta.tuple == *tuple && delta.polarity == polarity && time.map(|x| x == *t).unwrap_or(true)
+            }
+            _ => false,
+        })
+    }
+
+    /// Find a `receive` vertex for a specific notification (any timestamp).
+    pub fn find_receive(&self, node: NodeId, peer: NodeId, tuple: &Tuple, polarity: Polarity) -> Option<VertexId> {
+        self.find_kind(|k| match k {
+            VertexKind::Receive { node: n, peer: p, delta, .. } => {
+                *n == node && *p == peer && delta.tuple == *tuple && delta.polarity == polarity
+            }
+            _ => false,
+        })
+    }
+
+    // ----- Appendix B.2 graph operations ------------------------------------
+
+    /// Graph union `∪*`: vertices are merged by identity (dominant color,
+    /// intersected intervals), edges are unioned.
+    pub fn union(&self, other: &ProvenanceGraph) -> ProvenanceGraph {
+        let mut out = self.clone();
+        for (_, vertex) in other.vertices() {
+            out.upsert(vertex.clone());
+        }
+        for (from, to) in other.edges() {
+            out.edges.insert((*from, *to));
+            out.reverse.insert((*to, *from));
+        }
+        out
+    }
+
+    /// Projection `G | i`: all vertices hosted on `i`, plus any `send` /
+    /// `receive` vertices on other nodes that are connected to them by an
+    /// edge (those are colored yellow in the projection).
+    pub fn project(&self, node: NodeId) -> ProvenanceGraph {
+        let mut out = ProvenanceGraph::new();
+        let local: BTreeSet<VertexId> = self
+            .vertices
+            .iter()
+            .filter(|(_, v)| v.host() == node)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in &local {
+            out.vertices.insert(*id, self.vertices[id].clone());
+        }
+        for (from, to) in &self.edges {
+            let from_local = local.contains(from);
+            let to_local = local.contains(to);
+            if !from_local && !to_local {
+                continue;
+            }
+            for (endpoint, is_local) in [(from, from_local), (to, to_local)] {
+                if !is_local {
+                    let vertex = &self.vertices[endpoint];
+                    if matches!(vertex.kind, VertexKind::Send { .. } | VertexKind::Receive { .. }) {
+                        out.vertices
+                            .entry(*endpoint)
+                            .or_insert_with(|| Vertex::new(vertex.kind.clone(), Color::Yellow));
+                    }
+                }
+            }
+            if out.vertices.contains_key(from) && out.vertices.contains_key(to) {
+                out.edges.insert((*from, *to));
+                out.reverse.insert((*to, *from));
+            }
+        }
+        out
+    }
+
+    /// Subgraph relation `⊆*`: every vertex of `self` appears in `other`
+    /// (with a color at least as dominant and a compatible interval) and every
+    /// edge of `self` appears in `other`.
+    pub fn is_subgraph_of(&self, other: &ProvenanceGraph) -> bool {
+        for (id, vertex) in &self.vertices {
+            match other.vertices.get(id) {
+                None => return false,
+                Some(theirs) => {
+                    if theirs.color.dominant(vertex.color) != theirs.color {
+                        return false;
+                    }
+                }
+            }
+        }
+        self.edges.iter().all(|e| other.edges.contains(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::Value;
+
+    fn tup(n: u64) -> Tuple {
+        Tuple::new("t", NodeId(n), vec![Value::Int(n as i64)])
+    }
+
+    fn appear(n: u64, time: Timestamp) -> Vertex {
+        Vertex::new(VertexKind::Appear { node: NodeId(n), tuple: tup(n), time }, Color::Black)
+    }
+
+    fn exist_open(n: u64, from: Timestamp) -> Vertex {
+        Vertex::new(VertexKind::Exist { node: NodeId(n), tuple: tup(n), from, until: None }, Color::Black)
+    }
+
+    #[test]
+    fn upsert_merges_by_identity() {
+        let mut g = ProvenanceGraph::new();
+        let id1 = g.upsert(appear(1, 5));
+        let id2 = g.upsert(appear(1, 5));
+        assert_eq!(id1, id2);
+        assert_eq!(g.vertex_count(), 1);
+        let id3 = g.upsert(appear(1, 6));
+        assert_ne!(id1, id3);
+        assert_eq!(g.vertex_count(), 2);
+    }
+
+    #[test]
+    fn color_upgrades_but_never_downgrades() {
+        let mut g = ProvenanceGraph::new();
+        let mut v = appear(1, 5);
+        v.color = Color::Yellow;
+        let id = g.upsert(v);
+        g.set_color(id, Color::Black);
+        assert_eq!(g.vertex(&id).unwrap().color, Color::Black);
+        g.set_color(id, Color::Yellow);
+        assert_eq!(g.vertex(&id).unwrap().color, Color::Black);
+        g.set_color(id, Color::Red);
+        assert_eq!(g.vertex(&id).unwrap().color, Color::Red);
+        g.set_color(id, Color::Black);
+        assert_eq!(g.vertex(&id).unwrap().color, Color::Red);
+        g.force_color(id, Color::Black);
+        assert_eq!(g.vertex(&id).unwrap().color, Color::Black);
+    }
+
+    #[test]
+    fn close_interval_only_once() {
+        let mut g = ProvenanceGraph::new();
+        let id = g.upsert(exist_open(1, 10));
+        g.close_interval(id, 20);
+        g.close_interval(id, 30);
+        match &g.vertex(&id).unwrap().kind {
+            VertexKind::Exist { until, .. } => assert_eq!(*until, Some(20)),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn edges_and_adjacency() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.upsert(appear(1, 5));
+        let e = g.upsert(exist_open(1, 5));
+        g.add_edge(a, e);
+        assert!(g.has_edge(&a, &e));
+        assert_eq!(g.successors(&a), vec![e]);
+        assert_eq!(g.predecessors(&e), vec![a]);
+        assert!(g.predecessors(&a).is_empty());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn union_keeps_dominant_color_and_intersects_intervals() {
+        let mut g1 = ProvenanceGraph::new();
+        let mut v = exist_open(1, 10);
+        v.color = Color::Yellow;
+        let id = g1.upsert(v);
+
+        let mut g2 = ProvenanceGraph::new();
+        let mut closed = exist_open(1, 10);
+        closed.color = Color::Red;
+        if let VertexKind::Exist { until, .. } = &mut closed.kind {
+            *until = Some(42);
+        }
+        g2.upsert(closed);
+
+        let merged = g1.union(&g2);
+        let vertex = merged.vertex(&id).unwrap();
+        assert_eq!(vertex.color, Color::Red);
+        match &vertex.kind {
+            VertexKind::Exist { until, .. } => assert_eq!(*until, Some(42)),
+            _ => panic!("wrong kind"),
+        }
+    }
+
+    #[test]
+    fn union_is_superset_of_both() {
+        let mut g1 = ProvenanceGraph::new();
+        g1.upsert(appear(1, 1));
+        let mut g2 = ProvenanceGraph::new();
+        g2.upsert(appear(2, 2));
+        let merged = g1.union(&g2);
+        assert!(g1.is_subgraph_of(&merged));
+        assert!(g2.is_subgraph_of(&merged));
+        assert!(!merged.is_subgraph_of(&g1));
+    }
+
+    #[test]
+    fn projection_keeps_local_vertices_and_boundary_messages() {
+        let mut g = ProvenanceGraph::new();
+        let send = g.upsert(Vertex::new(
+            VertexKind::Send { node: NodeId(1), peer: NodeId(2), delta: snp_datalog::TupleDelta::plus(tup(1)), time: 3 },
+            Color::Black,
+        ));
+        let recv = g.upsert(Vertex::new(
+            VertexKind::Receive { node: NodeId(2), peer: NodeId(1), delta: snp_datalog::TupleDelta::plus(tup(1)), time: 4 },
+            Color::Black,
+        ));
+        g.add_edge(send, recv);
+        let appear2 = g.upsert(appear(2, 4));
+        let _ = appear2;
+
+        let proj = g.project(NodeId(2));
+        assert!(proj.contains(&recv));
+        assert!(proj.contains(&send), "boundary send vertex must be kept");
+        assert_eq!(proj.vertex(&send).unwrap().color, Color::Yellow, "remote boundary vertex is yellow");
+        assert!(proj.contains(&appear2));
+
+        let proj1 = g.project(NodeId(1));
+        assert!(proj1.contains(&send));
+        assert!(proj1.contains(&recv));
+        assert!(!proj1.contains(&appear2));
+    }
+
+    #[test]
+    fn faulty_and_suspect_nodes() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.upsert(appear(1, 1));
+        let mut yellow = appear(2, 2);
+        yellow.color = Color::Yellow;
+        g.upsert(yellow);
+        g.set_color(a, Color::Red);
+        assert_eq!(g.faulty_nodes(), BTreeSet::from([NodeId(1)]));
+        assert_eq!(g.suspect_nodes(), BTreeSet::from([NodeId(1), NodeId(2)]));
+    }
+
+    #[test]
+    fn lookup_helpers() {
+        let mut g = ProvenanceGraph::new();
+        let a = g.upsert(appear(1, 5));
+        let e = g.upsert(exist_open(1, 5));
+        assert_eq!(g.appear_at(NodeId(1), &tup(1), 5), Some(a));
+        assert_eq!(g.appear_at(NodeId(1), &tup(1), 6), None);
+        assert_eq!(g.open_exist(NodeId(1), &tup(1)), Some(e));
+        assert_eq!(g.exist_covering(NodeId(1), &tup(1), 100), Some(e));
+        g.close_interval(e, 50);
+        assert_eq!(g.open_exist(NodeId(1), &tup(1)), None);
+        assert_eq!(g.exist_covering(NodeId(1), &tup(1), 100), None);
+        assert_eq!(g.exist_covering(NodeId(1), &tup(1), 30), Some(e));
+    }
+
+    #[test]
+    fn table1_edge_rules() {
+        assert!(edge_allowed("insert", "appear"));
+        assert!(edge_allowed("send", "receive"));
+        assert!(edge_allowed("believe", "derive"));
+        assert!(!edge_allowed("insert", "exist"));
+        assert!(!edge_allowed("receive", "derive"));
+        assert!(!edge_allowed("exist", "appear"));
+    }
+}

@@ -1,0 +1,35 @@
+//! # snp-graph — the provenance graph model and construction algorithm
+//!
+//! This crate implements Section 3 and Appendix B of the SNP paper:
+//!
+//! * [`vertex`] — the twelve vertex types (`insert`, `delete`, `appear`,
+//!   `disappear`, `exist`, `derive`, `underive`, `send`, `receive`,
+//!   `believe-appear`, `believe-disappear`, `believe`), the three colors
+//!   (black / red / yellow) with their dominance order, and `host(v)`.
+//! * [`graph`] — the provenance graph with the operations used in the
+//!   appendix: union `∪*`, projection `G | i`, the subgraph relation `⊆*`,
+//!   and the edge-type compatibility table (Table 1).
+//! * [`history`] — histories and executions (Appendix A.3): sequences of
+//!   `snd` / `rcv` / `ins` / `del` events, plus the message model.
+//! * [`gca`] — the Graph Construction Algorithm (Appendix B, Figures 10/11):
+//!   replays a history through per-node deterministic state machines and
+//!   produces the colored provenance graph; red vertices appear exactly on
+//!   nodes that misbehaved (Theorem 3).
+//! * [`query`] — traversal helpers: the provenance subtree rooted at a vertex
+//!   (the "why" explanation), forward slices (the "effects"), and scope-`k`
+//!   neighborhoods used by macroqueries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gca;
+pub mod graph;
+pub mod history;
+pub mod query;
+pub mod vertex;
+
+pub use gca::GraphBuilder;
+pub use graph::ProvenanceGraph;
+pub use history::{Event, EventKind, History, Message, MessageBody};
+pub use snp_crypto::keys::NodeId;
+pub use vertex::{Color, Timestamp, Vertex, VertexId, VertexKind};

@@ -1,0 +1,151 @@
+//! Message batching (§5.6).
+//!
+//! "The overhead of the commitment protocol can be reduced by sending
+//! messages in batches … each outgoing message is delayed by a short time
+//! `Tbatch`, and then processed together with any other messages that may
+//! have been sent to the same destination within this time window.  Thus, the
+//! rate of signature generations/verifications is limited to `1/Tbatch` per
+//! destination."
+//!
+//! The batcher is a pure data structure: callers push outgoing notifications
+//! with their local timestamps and poll for flushes.  The Figure 5/7 batching
+//! ablation uses it to measure how many signatures and authenticator bytes
+//! batching saves on the BGP workload.
+
+use snp_crypto::keys::NodeId;
+use snp_datalog::TupleDelta;
+use snp_graph::vertex::Timestamp;
+use std::collections::BTreeMap;
+
+/// A batch of notifications flushed to one destination.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Batch {
+    /// Destination node.
+    pub to: NodeId,
+    /// The notifications in send order.
+    pub deltas: Vec<TupleDelta>,
+    /// The time at which the batch was flushed.
+    pub flushed_at: Timestamp,
+}
+
+/// The Nagle-style batcher.
+#[derive(Clone, Debug)]
+pub struct MessageBatcher {
+    t_batch: Timestamp,
+    queues: BTreeMap<NodeId, (Timestamp, Vec<TupleDelta>)>,
+}
+
+impl MessageBatcher {
+    /// Create a batcher with window `t_batch` (microseconds).  A window of 0
+    /// disables batching: every push flushes immediately.
+    pub fn new(t_batch: Timestamp) -> MessageBatcher {
+        MessageBatcher { t_batch, queues: BTreeMap::new() }
+    }
+
+    /// The configured window.
+    pub fn window(&self) -> Timestamp {
+        self.t_batch
+    }
+
+    /// Queue a notification for `to` at local time `now`.  Returns a batch if
+    /// this push itself triggers an immediate flush (window 0).
+    pub fn push(&mut self, to: NodeId, delta: TupleDelta, now: Timestamp) -> Option<Batch> {
+        if self.t_batch == 0 {
+            return Some(Batch { to, deltas: vec![delta], flushed_at: now });
+        }
+        let entry = self.queues.entry(to).or_insert_with(|| (now, Vec::new()));
+        entry.1.push(delta);
+        None
+    }
+
+    /// Flush every queue whose window has expired at `now`.
+    pub fn poll(&mut self, now: Timestamp) -> Vec<Batch> {
+        let mut flushed = Vec::new();
+        let expired: Vec<NodeId> = self
+            .queues
+            .iter()
+            .filter(|(_, (since, deltas))| !deltas.is_empty() && now.saturating_sub(*since) >= self.t_batch)
+            .map(|(to, _)| *to)
+            .collect();
+        for to in expired {
+            let (since, deltas) = self.queues.remove(&to).expect("present");
+            flushed.push(Batch { to, deltas, flushed_at: since + self.t_batch });
+        }
+        flushed
+    }
+
+    /// Flush everything unconditionally (end of run).
+    pub fn flush_all(&mut self, now: Timestamp) -> Vec<Batch> {
+        let mut flushed = Vec::new();
+        for (to, (_, deltas)) in std::mem::take(&mut self.queues) {
+            if !deltas.is_empty() {
+                flushed.push(Batch { to, deltas, flushed_at: now });
+            }
+        }
+        flushed
+    }
+
+    /// Notifications currently waiting.
+    pub fn pending(&self) -> usize {
+        self.queues.values().map(|(_, v)| v.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::{Tuple, Value};
+
+    fn delta(i: i64) -> TupleDelta {
+        TupleDelta::plus(Tuple::new("r", NodeId(9), vec![Value::Int(i)]))
+    }
+
+    #[test]
+    fn window_zero_flushes_immediately() {
+        let mut b = MessageBatcher::new(0);
+        let batch = b.push(NodeId(1), delta(1), 100).expect("immediate flush");
+        assert_eq!(batch.deltas.len(), 1);
+        assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn messages_within_window_share_a_batch() {
+        let mut b = MessageBatcher::new(100_000); // 100 ms
+        assert!(b.push(NodeId(1), delta(1), 0).is_none());
+        assert!(b.push(NodeId(1), delta(2), 50_000).is_none());
+        assert!(b.push(NodeId(2), delta(3), 60_000).is_none());
+        assert!(b.poll(90_000).is_empty(), "window not yet expired");
+        let batches = b.poll(100_000);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].to, NodeId(1));
+        assert_eq!(batches[0].deltas.len(), 2);
+        let batches2 = b.poll(160_000);
+        assert_eq!(batches2.len(), 1);
+        assert_eq!(batches2[0].to, NodeId(2));
+    }
+
+    #[test]
+    fn batching_reduces_flush_count() {
+        // 1000 messages to one destination over 1 second with a 100 ms window
+        // flush at most ~10 times instead of 1000.
+        let mut b = MessageBatcher::new(100_000);
+        let mut flushes = 0;
+        for i in 0..1000u64 {
+            let now = i * 1_000; // 1 ms apart
+            b.push(NodeId(1), delta(i as i64), now);
+            flushes += b.poll(now).len();
+        }
+        flushes += b.flush_all(1_000_000).len();
+        assert!(flushes <= 12, "expected ~10 flushes, got {flushes}");
+    }
+
+    #[test]
+    fn flush_all_empties_queues() {
+        let mut b = MessageBatcher::new(1_000_000);
+        b.push(NodeId(1), delta(1), 0);
+        b.push(NodeId(2), delta(2), 0);
+        let batches = b.flush_all(10);
+        assert_eq!(batches.len(), 2);
+        assert_eq!(b.pending(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Checkpoints (§5.6) with Merkle-authenticated partial retrieval (§7.7).
+//!
+//! A checkpoint records, at a given log position, every tuple that currently
+//! exists or is believed on the node, together with the time it appeared.
+//! The checkpoint commits to its contents with a Merkle root, so a querier
+//! can download and verify only the entries relevant to a query instead of
+//! the whole checkpoint ("partial checkpoints").
+
+use serde::{Deserialize, Serialize};
+use snp_crypto::keys::NodeId;
+use snp_crypto::merkle::{MerkleProof, MerkleTree};
+use snp_crypto::Digest;
+use snp_datalog::Tuple;
+use snp_graph::vertex::Timestamp;
+
+/// One checkpointed tuple: the tuple and the local time it appeared.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// The tuple that existed when the checkpoint was taken.
+    pub tuple: Tuple,
+    /// The local time at which it (most recently) appeared.
+    pub appeared_at: Timestamp,
+}
+
+impl CheckpointEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = self.tuple.encode();
+        out.extend_from_slice(&self.appeared_at.to_be_bytes());
+        out
+    }
+}
+
+/// A checkpoint of a node's state at a log position.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The node the checkpoint belongs to.
+    pub node: NodeId,
+    /// Log sequence number after which the checkpoint was taken.
+    pub at_seq: u64,
+    /// Local time the checkpoint was taken.
+    pub timestamp: Timestamp,
+    /// The checkpointed tuples, in deterministic (sorted) order.
+    pub entries: Vec<CheckpointEntry>,
+    /// Merkle root over the encoded entries.
+    pub root: Digest,
+}
+
+impl Checkpoint {
+    /// Build a checkpoint from the current tuple set.
+    pub fn build(node: NodeId, at_seq: u64, timestamp: Timestamp, mut entries: Vec<CheckpointEntry>) -> Checkpoint {
+        entries.sort_by(|a, b| a.tuple.cmp(&b.tuple).then(a.appeared_at.cmp(&b.appeared_at)));
+        let encoded: Vec<Vec<u8>> = entries.iter().map(|e| e.encode()).collect();
+        let tree = MerkleTree::build(encoded.iter().map(|v| v.as_slice()));
+        Checkpoint { node, at_seq, timestamp, entries, root: tree.root() }
+    }
+
+    /// Number of tuples in the checkpoint.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serialized size in bytes (for the storage accounting of §7.5).
+    pub fn storage_size(&self) -> usize {
+        Digest::LEN + 8 + 8 + self.entries.iter().map(|e| e.encode().len()).sum::<usize>()
+    }
+
+    /// Produce a partial checkpoint: the entries whose tuples satisfy the
+    /// predicate, each with a Merkle inclusion proof against `self.root`.
+    pub fn partial(&self, select: impl Fn(&Tuple) -> bool) -> PartialCheckpoint {
+        let encoded: Vec<Vec<u8>> = self.entries.iter().map(|e| e.encode()).collect();
+        let tree = MerkleTree::build(encoded.iter().map(|v| v.as_slice()));
+        let mut selected = Vec::new();
+        for (index, entry) in self.entries.iter().enumerate() {
+            if select(&entry.tuple) {
+                let proof = tree.prove(index).expect("index in range");
+                selected.push((entry.clone(), proof));
+            }
+        }
+        PartialCheckpoint { node: self.node, at_seq: self.at_seq, root: self.root, entries: selected }
+    }
+
+    /// Verify that the checkpoint's root matches its contents (a querier does
+    /// this after downloading a full checkpoint).
+    pub fn verify_root(&self) -> bool {
+        let encoded: Vec<Vec<u8>> = self.entries.iter().map(|e| e.encode()).collect();
+        MerkleTree::build(encoded.iter().map(|v| v.as_slice())).root() == self.root
+    }
+}
+
+/// A partial checkpoint: a subset of entries with inclusion proofs.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PartialCheckpoint {
+    /// The node the checkpoint belongs to.
+    pub node: NodeId,
+    /// Log position of the full checkpoint.
+    pub at_seq: u64,
+    /// Merkle root of the full checkpoint.
+    pub root: Digest,
+    /// Selected entries with their proofs.
+    pub entries: Vec<(CheckpointEntry, MerkleProof)>,
+}
+
+impl PartialCheckpoint {
+    /// Verify every included entry against the root.
+    pub fn verify(&self) -> bool {
+        self.entries.iter().all(|(entry, proof)| MerkleTree::verify(&self.root, &entry.encode(), proof))
+    }
+
+    /// Serialized size in bytes (for Figure 8's download accounting).
+    pub fn download_size(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(e, p)| e.encode().len() + p.siblings.len() * Digest::LEN + 16)
+            .sum::<usize>()
+            + Digest::LEN
+            + 16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::Value;
+
+    fn entries(n: usize) -> Vec<CheckpointEntry> {
+        (0..n)
+            .map(|i| CheckpointEntry {
+                tuple: Tuple::new("route", NodeId(1), vec![Value::Int(i as i64)]),
+                appeared_at: (i as u64) * 10,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn checkpoint_root_verifies() {
+        let cp = Checkpoint::build(NodeId(1), 42, 1000, entries(20));
+        assert_eq!(cp.len(), 20);
+        assert!(cp.verify_root());
+    }
+
+    #[test]
+    fn tampered_checkpoint_fails_root_verification() {
+        let mut cp = Checkpoint::build(NodeId(1), 42, 1000, entries(20));
+        cp.entries[3].appeared_at = 999_999;
+        assert!(!cp.verify_root());
+    }
+
+    #[test]
+    fn entries_are_sorted_deterministically() {
+        let mut shuffled = entries(10);
+        shuffled.reverse();
+        let a = Checkpoint::build(NodeId(1), 0, 0, entries(10));
+        let b = Checkpoint::build(NodeId(1), 0, 0, shuffled);
+        assert_eq!(a.root, b.root);
+    }
+
+    #[test]
+    fn partial_checkpoint_verifies_and_is_smaller() {
+        let cp = Checkpoint::build(NodeId(1), 42, 1000, entries(50));
+        let partial = cp.partial(|t| t.int_arg(0).map(|v| v < 5).unwrap_or(false));
+        assert_eq!(partial.entries.len(), 5);
+        assert!(partial.verify());
+        assert!(partial.download_size() < cp.storage_size());
+    }
+
+    #[test]
+    fn forged_partial_entry_fails() {
+        let cp = Checkpoint::build(NodeId(1), 42, 1000, entries(10));
+        let mut partial = cp.partial(|t| t.int_arg(0) == Some(3));
+        partial.entries[0].0.tuple = Tuple::new("route", NodeId(1), vec![Value::Int(777)]);
+        assert!(!partial.verify());
+    }
+
+    #[test]
+    fn empty_checkpoint() {
+        let cp = Checkpoint::build(NodeId(1), 0, 0, vec![]);
+        assert!(cp.is_empty());
+        assert!(cp.verify_root());
+        assert!(cp.storage_size() > 0);
+    }
+}

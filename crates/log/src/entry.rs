@@ -1,0 +1,147 @@
+//! Log entry types (§5.4): `e_k := (t_k, y_k, c_k)`.
+
+use serde::{Deserialize, Serialize};
+use snp_crypto::Digest;
+use snp_datalog::Tuple;
+use snp_graph::history::Message;
+use snp_graph::vertex::Timestamp;
+
+/// The type-specific content `c_k` of a log entry.
+///
+/// §5.4: "There are five types of entries: `snd` and `rcv` record messages,
+/// `ack` records acknowledgments, and `ins` and `del` record insertions and
+/// deletions of base tuples and, where applicable, tuples derived from
+/// 'maybe' rules."
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EntryKind {
+    /// The node sent `message`.
+    Snd {
+        /// The transmitted message.
+        message: Message,
+    },
+    /// The node received `message`; `sender_head` / `sender_signature_hint`
+    /// identify the authenticator that accompanied it (kept so that replay can
+    /// re-verify the commitment).
+    Rcv {
+        /// The received message.
+        message: Message,
+        /// Digest of the sender's authenticator that accompanied the message.
+        sender_auth_digest: Digest,
+    },
+    /// The node received an acknowledgment for the message with digest
+    /// `of`; `peer_auth_digest` identifies the receiver's authenticator.
+    Ack {
+        /// Digest of the acknowledged (originally sent) message.
+        of: Digest,
+        /// Digest of the acknowledging peer's authenticator.
+        peer_auth_digest: Digest,
+    },
+    /// A base tuple (or a `maybe`-derived tuple) was inserted.
+    Ins {
+        /// The inserted tuple.
+        tuple: Tuple,
+    },
+    /// A base tuple (or a `maybe`-derived tuple) was deleted.
+    Del {
+        /// The deleted tuple.
+        tuple: Tuple,
+    },
+}
+
+impl EntryKind {
+    /// Short label (`snd`, `rcv`, `ack`, `ins`, `del`).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            EntryKind::Snd { .. } => "snd",
+            EntryKind::Rcv { .. } => "rcv",
+            EntryKind::Ack { .. } => "ack",
+            EntryKind::Ins { .. } => "ins",
+            EntryKind::Del { .. } => "del",
+        }
+    }
+}
+
+/// A log entry `e_k := (t_k, y_k, c_k)` plus its position in the log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Position in the log (0-based `k`).
+    pub seq: u64,
+    /// The node-local timestamp `t_k`.
+    pub timestamp: Timestamp,
+    /// The entry type and content.
+    pub kind: EntryKind,
+}
+
+impl LogEntry {
+    /// Stable byte encoding hashed into the chain.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.timestamp.to_be_bytes());
+        out.extend_from_slice(self.kind.kind_name().as_bytes());
+        out.push(0);
+        match &self.kind {
+            EntryKind::Snd { message } => out.extend_from_slice(&message.encode()),
+            EntryKind::Rcv { message, sender_auth_digest } => {
+                out.extend_from_slice(&message.encode());
+                out.extend_from_slice(sender_auth_digest.as_bytes());
+            }
+            EntryKind::Ack { of, peer_auth_digest } => {
+                out.extend_from_slice(of.as_bytes());
+                out.extend_from_slice(peer_auth_digest.as_bytes());
+            }
+            EntryKind::Ins { tuple } | EntryKind::Del { tuple } => out.extend_from_slice(&tuple.encode()),
+        }
+        out
+    }
+
+    /// Size of the entry on disk, in bytes (used for Figure 6's log-growth
+    /// accounting).
+    pub fn storage_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_crypto::keys::NodeId;
+    use snp_datalog::{TupleDelta, Value};
+
+    fn tuple() -> Tuple {
+        Tuple::new("link", NodeId(1), vec![Value::Int(5)])
+    }
+
+    fn message() -> Message {
+        Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(tuple()), 10, 1)
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(EntryKind::Ins { tuple: tuple() }.kind_name(), "ins");
+        assert_eq!(EntryKind::Snd { message: message() }.kind_name(), "snd");
+        assert_eq!(
+            EntryKind::Ack { of: Digest::ZERO, peer_auth_digest: Digest::ZERO }.kind_name(),
+            "ack"
+        );
+    }
+
+    #[test]
+    fn encoding_differs_by_seq_time_and_content() {
+        let base = LogEntry { seq: 0, timestamp: 10, kind: EntryKind::Ins { tuple: tuple() } };
+        let other_seq = LogEntry { seq: 1, ..base.clone() };
+        let other_time = LogEntry { timestamp: 11, ..base.clone() };
+        let other_kind = LogEntry { kind: EntryKind::Del { tuple: tuple() }, ..base.clone() };
+        assert_ne!(base.encode(), other_seq.encode());
+        assert_ne!(base.encode(), other_time.encode());
+        assert_ne!(base.encode(), other_kind.encode());
+    }
+
+    #[test]
+    fn storage_size_tracks_payload() {
+        let small = LogEntry { seq: 0, timestamp: 0, kind: EntryKind::Ins { tuple: tuple() } };
+        let big_tuple = Tuple::new("data", NodeId(1), vec![Value::str("x".repeat(1000))]);
+        let big = LogEntry { seq: 0, timestamp: 0, kind: EntryKind::Ins { tuple: big_tuple } };
+        assert!(big.storage_size() > small.storage_size() + 900);
+    }
+}

@@ -1,0 +1,32 @@
+//! # snp-log — the tamper-evident log (§5.4)
+//!
+//! SNooPy's graph recorder stores provenance information in a per-node log
+//! whose entries are linked by a hash chain and committed to with signed
+//! *authenticators*.  This crate provides:
+//!
+//! * [`entry`] — the five entry types (`snd`, `rcv`, `ack`, `ins`, `del`) and
+//!   their stable byte encoding.
+//! * [`auth`] — authenticators `a_k := (t_k, h_k, σ_i(t_k || h_k))` and the
+//!   per-peer authenticator sets `U_{i,j}`.
+//! * [`log`] — the append-only [`log::SecureLog`], log segments, and segment
+//!   verification against an authenticator (the `retrieve` primitive's
+//!   integrity check).
+//! * [`checkpoint`] — periodic state checkpoints committed to with a Merkle
+//!   root so that queriers can verify partial checkpoints (§5.6, §7.7).
+//! * [`batch`] — the Nagle-style message batching optimization (`Tbatch`,
+//!   §5.6) that trades latency for fewer signatures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auth;
+pub mod batch;
+pub mod checkpoint;
+pub mod entry;
+pub mod log;
+
+pub use auth::{Authenticator, AuthenticatorSet};
+pub use checkpoint::Checkpoint;
+pub use entry::{EntryKind, LogEntry};
+pub use log::{LogSegment, LogStats, SecureLog};
+pub use snp_crypto::keys::NodeId;

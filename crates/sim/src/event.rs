@@ -1,0 +1,160 @@
+//! The simulator's event queue.
+//!
+//! Events are ordered by global simulation time with a monotonically
+//! increasing sequence number as a tiebreaker, which makes event processing
+//! fully deterministic even when many events share a timestamp.
+
+use crate::node::TimerId;
+use crate::time::SimTime;
+use snp_crypto::keys::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happens when an event fires.
+#[derive(Clone, Debug)]
+pub enum EventKind<P> {
+    /// Deliver a message to `to`.
+    Deliver {
+        /// Sender of the message.
+        from: NodeId,
+        /// Recipient of the message.
+        to: NodeId,
+        /// The payload.
+        payload: P,
+    },
+    /// Fire a timer on `node`.
+    Timer {
+        /// Node whose timer fires.
+        node: NodeId,
+        /// The timer identifier the node supplied.
+        id: TimerId,
+    },
+    /// Start a node (delivered once at simulation start).
+    Start {
+        /// The node to start.
+        node: NodeId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Clone, Debug)]
+pub struct Event<P> {
+    /// Global simulation time at which the event fires.
+    pub at: SimTime,
+    /// Tiebreaker preserving insertion order among equal timestamps.
+    pub seq: u64,
+    /// The action to perform.
+    pub kind: EventKind<P>,
+}
+
+impl<P> PartialEq for Event<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for Event<P> {}
+
+impl<P> PartialOrd for Event<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P> Ord for Event<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of events.
+#[derive(Debug)]
+pub struct EventQueue<P> {
+    heap: BinaryHeap<Event<P>>,
+    next_seq: u64,
+}
+
+impl<P> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> EventQueue<P> {
+    /// Create an empty queue.
+    pub fn new() -> EventQueue<P> {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, at: SimTime, kind: EventKind<P>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    /// Pop the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<P>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
+        q.push(SimTime::from_millis(30), EventKind::Start { node: NodeId(3) });
+        q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(1) });
+        q.push(SimTime::from_millis(20), EventKind::Start { node: NodeId(2) });
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_preserve_insertion_order() {
+        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_millis(5), EventKind::Start { node: NodeId(i) });
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Start { node } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(1), EventKind::Start { node: NodeId(0) });
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # snp-sim — deterministic discrete-event network simulator
+//!
+//! The SNP paper evaluates SNooPy on real deployments (35 Quagga daemons, a
+//! RapidNet Chord simulation, Hadoop on EC2).  This crate is the substitute
+//! substrate: a deterministic discrete-event simulator in which every node is
+//! a state machine driven by message deliveries and timers.
+//!
+//! Properties the SNP protocols rely on (§5.2) and how the simulator provides
+//! them:
+//!
+//! * *Assumption 1* (reliable retransmission) — the default network delivers
+//!   every message; loss can be injected explicitly for fault experiments.
+//! * *Assumption 4* (messages arrive within `Tprop`) — per-link delay is
+//!   bounded by [`network::NetworkConfig::t_prop`].
+//! * *Assumption 5* (clocks synchronized within `Δclock`) — each node has a
+//!   fixed clock offset bounded by [`network::NetworkConfig::clock_skew`].
+//! * Determinism — all randomness is derived from a seed carried in the
+//!   simulator, so any run can be reproduced exactly (needed for replay-based
+//!   microqueries and for the reproducibility of the benchmarks).
+//!
+//! The simulator also performs the byte accounting needed by Figures 5, 6 and
+//! 9: every payload reports its wire size and a [`stats::TrafficCategory`]
+//! (baseline, authenticator, acknowledgment, provenance, proxy).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod network;
+pub mod node;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use network::NetworkConfig;
+pub use node::{Context, Payload, SimNode, TimerId};
+pub use sim::Simulator;
+pub use snp_crypto::keys::NodeId;
+pub use stats::{TrafficCategory, TrafficStats};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,159 @@
+//! Network model: propagation delay, clock skew and fault injection knobs.
+
+use crate::rng::DetRng;
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use snp_crypto::keys::NodeId;
+use std::collections::BTreeSet;
+
+/// Configuration of the simulated network.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Upper bound on one-way propagation delay (`Tprop` in §5.2).
+    pub t_prop: SimDuration,
+    /// Minimum one-way delay; actual delays are drawn uniformly from
+    /// `[min_delay, t_prop]`.
+    pub min_delay: SimDuration,
+    /// Maximum absolute clock offset of any node (`Δclock` in §5.2).
+    pub clock_skew: SimDuration,
+    /// Probability that a message is silently dropped (0 by default; used to
+    /// model lossy links or a node suppressing traffic).
+    pub drop_probability: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            // The paper says Tprop and Δclock "can be large, e.g., on the
+            // order of seconds"; we default to 50 ms / 10 ms which is typical
+            // for the LAN-style deployments in the evaluation.
+            t_prop: SimDuration::from_millis(50),
+            min_delay: SimDuration::from_millis(1),
+            clock_skew: SimDuration::from_millis(10),
+            drop_probability: 0.0,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A network with zero delay and perfectly synchronized clocks; useful in
+    /// unit tests where timing is irrelevant.
+    pub fn instantaneous() -> NetworkConfig {
+        NetworkConfig {
+            t_prop: SimDuration::from_micros(1),
+            min_delay: SimDuration::from_micros(1),
+            clock_skew: SimDuration::ZERO,
+            drop_probability: 0.0,
+        }
+    }
+
+    /// Draw a delivery delay for one message.
+    pub fn draw_delay(&self, rng: &mut DetRng) -> SimDuration {
+        let lo = self.min_delay.as_micros().min(self.t_prop.as_micros());
+        let hi = self.t_prop.as_micros();
+        SimDuration::from_micros(rng.next_range(lo, hi))
+    }
+
+    /// Draw a clock offset (in signed microseconds) for one node.
+    pub fn draw_clock_offset(&self, rng: &mut DetRng) -> i64 {
+        let bound = self.clock_skew.as_micros();
+        if bound == 0 {
+            return 0;
+        }
+        let magnitude = rng.next_below(bound + 1) as i64;
+        if rng.chance(0.5) {
+            magnitude
+        } else {
+            -magnitude
+        }
+    }
+}
+
+/// Runtime fault-injection state of the network.
+///
+/// These knobs let the benchmarks and tests model partitions, crashed nodes
+/// and targeted message suppression without touching application code.
+#[derive(Clone, Debug, Default)]
+pub struct NetworkFaults {
+    /// Nodes that no longer receive or send anything (crash-stop).
+    pub crashed: BTreeSet<NodeId>,
+    /// Directed links `(from, to)` on which messages are silently dropped.
+    pub severed_links: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl NetworkFaults {
+    /// Crash a node.
+    pub fn crash(&mut self, node: NodeId) {
+        self.crashed.insert(node);
+    }
+
+    /// Sever the directed link `from -> to`.
+    pub fn sever(&mut self, from: NodeId, to: NodeId) {
+        self.severed_links.insert((from, to));
+    }
+
+    /// Sever both directions between two nodes.
+    pub fn sever_both(&mut self, a: NodeId, b: NodeId) {
+        self.sever(a, b);
+        self.sever(b, a);
+    }
+
+    /// Whether a message from `from` to `to` should be delivered.
+    pub fn allows(&self, from: NodeId, to: NodeId) -> bool {
+        !self.crashed.contains(&from)
+            && !self.crashed.contains(&to)
+            && !self.severed_links.contains(&(from, to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_within_bounds() {
+        let cfg = NetworkConfig::default();
+        let mut rng = DetRng::new(1);
+        for _ in 0..1000 {
+            let d = cfg.draw_delay(&mut rng);
+            assert!(d >= cfg.min_delay && d <= cfg.t_prop);
+        }
+    }
+
+    #[test]
+    fn clock_offset_within_skew() {
+        let cfg = NetworkConfig::default();
+        let mut rng = DetRng::new(2);
+        for _ in 0..1000 {
+            let off = cfg.draw_clock_offset(&mut rng);
+            assert!(off.unsigned_abs() <= cfg.clock_skew.as_micros());
+        }
+    }
+
+    #[test]
+    fn zero_skew_gives_zero_offset() {
+        let cfg = NetworkConfig::instantaneous();
+        let mut rng = DetRng::new(3);
+        assert_eq!(cfg.draw_clock_offset(&mut rng), 0);
+    }
+
+    #[test]
+    fn faults_block_traffic() {
+        let mut faults = NetworkFaults::default();
+        assert!(faults.allows(NodeId(1), NodeId(2)));
+        faults.sever(NodeId(1), NodeId(2));
+        assert!(!faults.allows(NodeId(1), NodeId(2)));
+        assert!(faults.allows(NodeId(2), NodeId(1)));
+        faults.crash(NodeId(3));
+        assert!(!faults.allows(NodeId(3), NodeId(1)));
+        assert!(!faults.allows(NodeId(1), NodeId(3)));
+    }
+
+    #[test]
+    fn sever_both_blocks_both_directions() {
+        let mut faults = NetworkFaults::default();
+        faults.sever_both(NodeId(1), NodeId(2));
+        assert!(!faults.allows(NodeId(1), NodeId(2)));
+        assert!(!faults.allows(NodeId(2), NodeId(1)));
+    }
+}

@@ -1,0 +1,131 @@
+//! The node abstraction and the context handed to node callbacks.
+//!
+//! A simulated node implements [`SimNode`] and reacts to three kinds of
+//! stimuli: a start event, message deliveries and timer expirations.  All
+//! interaction with the outside world goes through the [`Context`], which the
+//! simulator drains after each callback (sends become delivery events, timer
+//! requests become timer events).
+
+use crate::rng::DetRng;
+use crate::stats::TrafficCategory;
+use crate::time::{SimDuration, SimTime};
+use snp_crypto::keys::NodeId;
+
+/// Identifier of a timer set by a node.  The meaning of the value is
+/// application-defined (e.g. "stabilize", "keepalive", "batch flush").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimerId(pub u64);
+
+/// A payload that can travel through the simulated network.
+///
+/// The wire size feeds the traffic accounting (Figures 5/6/9); the category
+/// attributes the bytes to one of Figure 5's stacked-bar components.
+pub trait Payload: Clone {
+    /// Serialized size of the payload on the wire, in bytes.
+    fn wire_size(&self) -> usize;
+
+    /// Which overhead bucket the payload belongs to.
+    fn category(&self) -> TrafficCategory {
+        TrafficCategory::Baseline
+    }
+}
+
+impl Payload for Vec<u8> {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+/// An outgoing message queued by a node during a callback.
+#[derive(Clone, Debug)]
+pub struct Outgoing<P> {
+    /// Destination node.
+    pub to: NodeId,
+    /// Payload to deliver.
+    pub payload: P,
+}
+
+/// A timer request queued by a node during a callback.
+#[derive(Clone, Copy, Debug)]
+pub struct TimerRequest {
+    /// When the timer should fire (local node time).
+    pub fire_at: SimTime,
+    /// The identifier passed back to `on_timer`.
+    pub id: TimerId,
+}
+
+/// Execution context passed to every node callback.
+pub struct Context<P> {
+    /// The node the callback is running on.
+    pub node: NodeId,
+    /// Current *local* time at this node (global time plus clock skew).
+    pub now: SimTime,
+    /// Deterministic per-node random stream.
+    pub rng: DetRng,
+    pub(crate) outbox: Vec<Outgoing<P>>,
+    pub(crate) timers: Vec<TimerRequest>,
+    pub(crate) halted: bool,
+}
+
+impl<P: Payload> Context<P> {
+    pub(crate) fn new(node: NodeId, now: SimTime, rng: DetRng) -> Context<P> {
+        Context { node, now, rng, outbox: Vec::new(), timers: Vec::new(), halted: false }
+    }
+
+    /// Queue a message for delivery to another node.
+    pub fn send(&mut self, to: NodeId, payload: P) {
+        self.outbox.push(Outgoing { to, payload });
+    }
+
+    /// Request a timer callback after `delay` (relative to local time).
+    pub fn set_timer(&mut self, delay: SimDuration, id: TimerId) {
+        self.timers.push(TimerRequest { fire_at: self.now + delay, id });
+    }
+
+    /// Ask the simulator to stop delivering events to this node (crash-stop).
+    pub fn halt(&mut self) {
+        self.halted = true;
+    }
+
+    pub(crate) fn take_outputs(self) -> (Vec<Outgoing<P>>, Vec<TimerRequest>, bool) {
+        (self.outbox, self.timers, self.halted)
+    }
+}
+
+/// A node participating in the simulation.
+pub trait SimNode<P: Payload> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context<P>) {}
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Context<P>, from: NodeId, payload: P);
+
+    /// Called when a previously set timer fires.
+    fn on_timer(&mut self, _ctx: &mut Context<P>, _timer: TimerId) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_collects_outputs() {
+        let mut ctx: Context<Vec<u8>> = Context::new(NodeId(1), SimTime::from_secs(1), DetRng::new(0));
+        ctx.send(NodeId(2), vec![1, 2, 3]);
+        ctx.set_timer(SimDuration::from_millis(10), TimerId(7));
+        ctx.halt();
+        let (out, timers, halted) = ctx.take_outputs();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].to, NodeId(2));
+        assert_eq!(timers.len(), 1);
+        assert_eq!(timers[0].fire_at, SimTime::from_secs(1) + SimDuration::from_millis(10));
+        assert!(halted);
+    }
+
+    #[test]
+    fn vec_payload_size_and_category() {
+        let p = vec![0u8; 42];
+        assert_eq!(p.wire_size(), 42);
+        assert_eq!(Payload::category(&p), TrafficCategory::Baseline);
+    }
+}

@@ -1,0 +1,180 @@
+//! Traffic accounting.
+//!
+//! Figure 5 breaks the runtime network overhead down by cause (baseline
+//! traffic, acknowledgments, authenticators, provenance, proxy); Figures 6
+//! and 9 need per-node byte counts.  Every payload delivered through the
+//! simulator is attributed to one [`TrafficCategory`], and the simulator
+//! accumulates a [`TrafficStats`] that the benchmark harnesses read out.
+
+use serde::{Deserialize, Serialize};
+use snp_crypto::keys::NodeId;
+use std::collections::BTreeMap;
+
+/// The cause a byte on the wire is attributed to (Figure 5's legend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TrafficCategory {
+    /// Traffic the unmodified primary system would have sent anyway.
+    Baseline,
+    /// Extra bytes added by the SNooPy proxy re-encoding (BGP only).
+    Proxy,
+    /// Provenance payload carried alongside application data (tuple deltas).
+    Provenance,
+    /// Authenticators attached to outgoing messages (§5.4).
+    Authenticator,
+    /// Acknowledgments sent back by receivers (§5.4).
+    Acknowledgment,
+}
+
+impl TrafficCategory {
+    /// All categories, in the order Figure 5 stacks them.
+    pub const ALL: [TrafficCategory; 5] = [
+        TrafficCategory::Baseline,
+        TrafficCategory::Proxy,
+        TrafficCategory::Provenance,
+        TrafficCategory::Authenticator,
+        TrafficCategory::Acknowledgment,
+    ];
+
+    /// Human-readable label used in benchmark output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficCategory::Baseline => "baseline",
+            TrafficCategory::Proxy => "proxy",
+            TrafficCategory::Provenance => "provenance",
+            TrafficCategory::Authenticator => "authenticators",
+            TrafficCategory::Acknowledgment => "acknowledgments",
+        }
+    }
+}
+
+/// Accumulated traffic statistics for one simulation run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    /// Total bytes per category.
+    pub bytes_by_category: BTreeMap<TrafficCategory, u64>,
+    /// Total messages per category.
+    pub messages_by_category: BTreeMap<TrafficCategory, u64>,
+    /// Bytes sent, per sending node (all categories).
+    pub bytes_by_sender: BTreeMap<NodeId, u64>,
+    /// Messages sent, per sending node.
+    pub messages_by_sender: BTreeMap<NodeId, u64>,
+}
+
+impl TrafficStats {
+    /// Record one transmitted payload.
+    pub fn record(&mut self, sender: NodeId, category: TrafficCategory, bytes: usize) {
+        *self.bytes_by_category.entry(category).or_default() += bytes as u64;
+        *self.messages_by_category.entry(category).or_default() += 1;
+        *self.bytes_by_sender.entry(sender).or_default() += bytes as u64;
+        *self.messages_by_sender.entry(sender).or_default() += 1;
+    }
+
+    /// Total bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_by_category.values().sum()
+    }
+
+    /// Total messages across all categories.
+    pub fn total_messages(&self) -> u64 {
+        self.messages_by_category.values().sum()
+    }
+
+    /// Bytes for one category (0 if none recorded).
+    pub fn bytes(&self, category: TrafficCategory) -> u64 {
+        self.bytes_by_category.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Messages for one category (0 if none recorded).
+    pub fn messages(&self, category: TrafficCategory) -> u64 {
+        self.messages_by_category.get(&category).copied().unwrap_or(0)
+    }
+
+    /// Total bytes divided by the number of nodes that sent anything.
+    pub fn mean_bytes_per_sender(&self) -> f64 {
+        if self.bytes_by_sender.is_empty() {
+            0.0
+        } else {
+            self.total_bytes() as f64 / self.bytes_by_sender.len() as f64
+        }
+    }
+
+    /// Overhead of this run relative to a baseline run, as a factor
+    /// (e.g. 16.1 for the paper's Quagga configuration).
+    pub fn overhead_factor_vs(&self, baseline_total_bytes: u64) -> f64 {
+        if baseline_total_bytes == 0 {
+            0.0
+        } else {
+            (self.total_bytes() as f64 - baseline_total_bytes as f64) / baseline_total_bytes as f64
+        }
+    }
+
+    /// Merge another stats object into this one.
+    pub fn merge(&mut self, other: &TrafficStats) {
+        for (k, v) in &other.bytes_by_category {
+            *self.bytes_by_category.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.messages_by_category {
+            *self.messages_by_category.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.bytes_by_sender {
+            *self.bytes_by_sender.entry(*k).or_default() += v;
+        }
+        for (k, v) in &other.messages_by_sender {
+            *self.messages_by_sender.entry(*k).or_default() += v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates() {
+        let mut stats = TrafficStats::default();
+        stats.record(NodeId(1), TrafficCategory::Baseline, 100);
+        stats.record(NodeId(1), TrafficCategory::Authenticator, 156);
+        stats.record(NodeId(2), TrafficCategory::Baseline, 50);
+        assert_eq!(stats.total_bytes(), 306);
+        assert_eq!(stats.total_messages(), 3);
+        assert_eq!(stats.bytes(TrafficCategory::Baseline), 150);
+        assert_eq!(stats.bytes_by_sender[&NodeId(1)], 256);
+    }
+
+    #[test]
+    fn overhead_factor() {
+        let mut stats = TrafficStats::default();
+        stats.record(NodeId(1), TrafficCategory::Baseline, 100);
+        stats.record(NodeId(1), TrafficCategory::Acknowledgment, 100);
+        assert!((stats.overhead_factor_vs(100) - 1.0).abs() < 1e-9);
+        assert_eq!(stats.overhead_factor_vs(0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counts() {
+        let mut a = TrafficStats::default();
+        a.record(NodeId(1), TrafficCategory::Baseline, 10);
+        let mut b = TrafficStats::default();
+        b.record(NodeId(1), TrafficCategory::Baseline, 20);
+        b.record(NodeId(3), TrafficCategory::Proxy, 5);
+        a.merge(&b);
+        assert_eq!(a.total_bytes(), 35);
+        assert_eq!(a.bytes_by_sender[&NodeId(1)], 30);
+    }
+
+    #[test]
+    fn mean_bytes_per_sender() {
+        let mut stats = TrafficStats::default();
+        assert_eq!(stats.mean_bytes_per_sender(), 0.0);
+        stats.record(NodeId(1), TrafficCategory::Baseline, 100);
+        stats.record(NodeId(2), TrafficCategory::Baseline, 300);
+        assert!((stats.mean_bytes_per_sender() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::BTreeSet<_> =
+            TrafficCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), TrafficCategory::ALL.len());
+    }
+}

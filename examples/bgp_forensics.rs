@@ -1,0 +1,59 @@
+//! BGP forensics (§6.3, §7.2): investigate a route hijack and a mysterious
+//! route disappearance in a small inter-domain routing deployment.
+//!
+//! ```text
+//! cargo run --example bgp_forensics
+//! ```
+
+use snp::apps::bgp;
+use snp::core::query::MacroQuery;
+use snp::core::ByzantineConfig;
+use snp::crypto::keys::NodeId;
+use snp::datalog::TupleDelta;
+use snp::sim::SimTime;
+
+fn hijack_investigation() {
+    println!("=== Scenario 1: prefix hijack ===\n");
+    let scenario = bgp::BgpScenario { ases: 6, prefixes: 2, updates: 0, duration_s: 20 };
+    let mut tb = scenario.build(true, 7);
+    let hijacker = NodeId(3);
+    let victim = NodeId(1);
+    let prefix = "192.0.2.0/24";
+    // AS 3 advertises a prefix it has no route to.
+    tb.set_byzantine(
+        hijacker,
+        ByzantineConfig::fabricating(victim, TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker))),
+    );
+    tb.run_until(SimTime::from_secs(40));
+
+    let bogus = tb.handles[&victim]
+        .with(|n| n.current_tuples())
+        .into_iter()
+        .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix))
+        .expect("the hijacked route is installed at AS 1");
+    println!("suspicious routing-table entry at AS 1: {bogus}\n");
+    let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus }, victim, None);
+    println!("{}", result.render());
+    println!("implicated nodes: {:?}\n", result.implicated_nodes());
+}
+
+fn disappearance_investigation() {
+    println!("=== Scenario 2: why did that route disappear? ===\n");
+    let (mut tb, i, j, prefix) = bgp::disappear_scenario(true, 3);
+    tb.run_until(SimTime::from_secs(20));
+    bgp::disappear_trigger(&mut tb, SimTime::from_secs(25));
+    tb.run_until(SimTime::from_secs(60));
+
+    let result = tb.querier.macroquery(
+        MacroQuery::WhyDisappeared { tuple: bgp::adv_route(i, &prefix, &[j, NodeId(3), NodeId(5)], j) },
+        i,
+        None,
+    );
+    println!("{}", result.render());
+    println!("implicated nodes: {:?} (none — this was a legitimate policy change)", result.implicated_nodes());
+}
+
+fn main() {
+    hijack_investigation();
+    disappearance_investigation();
+}

@@ -1,0 +1,34 @@
+//! Chord forensics (§6.1, §7.2): investigate an Eclipse attack in a DHT —
+//! a node that answers lookups with itself to capture traffic.
+//!
+//! ```text
+//! cargo run --example chord_eclipse
+//! ```
+
+use snp::apps::chord::{self, ChordRing, ChordScenario};
+use snp::core::query::MacroQuery;
+use snp::sim::SimTime;
+
+fn main() {
+    let scenario = ChordScenario { nodes: 12, lookups_per_minute: 0, ..ChordScenario::small(30) };
+    let ring = ChordRing::new(scenario.nodes);
+    let attacker = ring.members[4].1;
+    println!("building a {}-node Chord ring; node {attacker} mounts an Eclipse attack\n", scenario.nodes);
+
+    let (mut tb, ring) = scenario.build(true, 3, Some(attacker));
+    // A client (the attacker itself, in the simplest variant) issues a lookup.
+    let key = (ring.members[8].0 + 3) % chord::ID_SPACE;
+    tb.insert_at(SimTime::from_secs(1), attacker, chord::lookup(attacker, key, attacker, 1));
+    tb.run_until(SimTime::from_secs(60));
+
+    let bogus = chord::lookup_result(attacker, 1, key, attacker, chord::chord_id(attacker));
+    let (_, real_owner) = ring.owner_of(key);
+    println!("key {key:#x} is really owned by {real_owner}, but the lookup returned {attacker}\n");
+
+    let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus }, attacker, None);
+    println!("{}", result.render());
+    println!("suspect nodes:    {:?}", result.suspect_nodes());
+    println!("implicated nodes: {:?}", result.implicated_nodes());
+    println!("\nReplaying the attacker's own log with the *correct* Chord routine does not");
+    println!("reproduce the answer it gave, so the querier flags the node (§5.5).");
+}

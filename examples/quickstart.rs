@@ -1,0 +1,32 @@
+//! Quickstart: run the paper's MinCost routing example (§3.3) under SNooPy
+//! and ask why router c's best route to d costs 5.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use snp::apps::mincost::{best_cost, build_scenario, C, D};
+use snp::core::query::MacroQuery;
+use snp::sim::SimTime;
+
+fn main() {
+    // 1. Build the five-router MinCost deployment with SNP enabled and run it.
+    let mut tb = build_scenario(true, 42);
+    tb.run_until(SimTime::from_secs(30));
+
+    // 2. The operator notices bestCost(@c, d, 5) and asks: why does it exist?
+    let query = MacroQuery::WhyExists { tuple: best_cost(C, D, 5) };
+    let result = tb.querier.macroquery(query, C, None);
+
+    // 3. The answer is a provenance tree that bottoms out at base link tuples.
+    println!("Why does {} exist?\n", best_cost(C, D, 5));
+    println!("{}", result.render());
+    println!("explanation is legitimate: {}", result.is_legitimate());
+    println!("implicated nodes:          {:?}", result.implicated_nodes());
+    println!(
+        "query cost:                {} bytes downloaded, {} node audits, {:.1} ms replay",
+        result.stats.total_bytes(),
+        result.stats.audits,
+        result.stats.replay_seconds * 1e3,
+    );
+}

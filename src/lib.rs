@@ -1,0 +1,24 @@
+//! # snp — Secure Network Provenance
+//!
+//! Facade crate that re-exports the whole SNP / SNooPy workspace:
+//!
+//! * [`crypto`] — hashing, signatures, hash chains, Merkle trees.
+//! * [`sim`] — deterministic discrete-event network simulator.
+//! * [`datalog`] — tuples, derivation rules and the deterministic per-node engine.
+//! * [`graph`] — the provenance graph model and the graph construction algorithm.
+//! * [`log`] — the tamper-evident log, authenticators and the commitment protocol.
+//! * [`core`] — the SNooPy runtime: graph recorder, microqueries and macroqueries.
+//! * [`apps`] — example applications: MinCost routing, Chord, MapReduce and BGP.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use snp_apps as apps;
+pub use snp_core as core;
+pub use snp_crypto as crypto;
+pub use snp_datalog as datalog;
+pub use snp_graph as graph;
+pub use snp_log as log;
+pub use snp_sim as sim;
+
+/// Crate version of the facade, re-exported for convenience.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
