@@ -17,11 +17,11 @@
 //! — the `maybe` rule of §6.3 — and at most one route per prefix is exported
 //! to a neighbor at any time).
 
-use crate::testbed::Testbed;
+use snp_core::deploy::{AppNode, Application, Deployment, WorkloadEvent};
 use snp_crypto::keys::NodeId;
 use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
 use snp_sim::rng::DetRng;
-use snp_sim::{NetworkConfig, SimTime};
+use snp_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Business relationship of a neighbor, from the local AS's point of view.
@@ -146,7 +146,10 @@ pub struct BgpSpeaker {
 impl BgpSpeaker {
     /// Create a speaker for an AS.
     pub fn new(node: NodeId) -> BgpSpeaker {
-        BgpSpeaker { node, ..Default::default() }
+        BgpSpeaker {
+            node,
+            ..Default::default()
+        }
     }
 
     fn neighbors(&self) -> Vec<(NodeId, Relation)> {
@@ -173,7 +176,12 @@ impl BgpSpeaker {
         let mut out = Vec::new();
         for t in &self.tuples {
             if t.relation == "originate" && t.str_arg(0) == Some(prefix) {
-                out.push(Candidate { path: vec![], via: self.node, relation: Relation::Customer, witness: t.clone() });
+                out.push(Candidate {
+                    path: vec![],
+                    via: self.node,
+                    relation: Relation::Customer,
+                    witness: t.clone(),
+                });
             }
             if t.relation == "advRoute" && t.str_arg(0) == Some(prefix) {
                 let path = path_of(t, 1);
@@ -182,8 +190,15 @@ impl BgpSpeaker {
                 if path.contains(&self.node) {
                     continue;
                 }
-                let Some(relation) = self.relation_of(from) else { continue };
-                out.push(Candidate { path, via: from, relation, witness: t.clone() });
+                let Some(relation) = self.relation_of(from) else {
+                    continue;
+                };
+                out.push(Candidate {
+                    path,
+                    via: from,
+                    relation,
+                    witness: t.clone(),
+                });
             }
         }
         out
@@ -194,7 +209,11 @@ impl BgpSpeaker {
     fn best(&self, prefix: &str) -> Option<Candidate> {
         let preferred = self.preferred_nexthop(prefix);
         self.candidates(prefix).into_iter().min_by_key(|c| {
-            let preferred_bonus = if Some(c.via) == preferred && c.via != self.node { 0 } else { 1 };
+            let preferred_bonus = if Some(c.via) == preferred && c.via != self.node {
+                0
+            } else {
+                1
+            };
             let origin_bonus = if c.via == self.node { 0 } else { 1 };
             (
                 preferred_bonus,
@@ -227,11 +246,19 @@ impl BgpSpeaker {
         let old_route_tuple = old.as_ref().map(|(t, _)| t.clone());
         if new_route_tuple != old_route_tuple {
             if let Some((old_tuple, old_cand)) = &old {
-                out.push(SmOutput::Underive { tuple: old_tuple.clone(), rule: "bgp-select".into(), body: vec![old_cand.witness.clone()] });
+                out.push(SmOutput::Underive {
+                    tuple: old_tuple.clone(),
+                    rule: "bgp-select".into(),
+                    body: vec![old_cand.witness.clone()],
+                });
                 self.selected.remove(prefix);
             }
             if let (Some(tuple), Some(cand)) = (&new_route_tuple, &new_best) {
-                out.push(SmOutput::Derive { tuple: tuple.clone(), rule: "bgp-select".into(), body: vec![cand.witness.clone()] });
+                out.push(SmOutput::Derive {
+                    tuple: tuple.clone(),
+                    rule: "bgp-select".into(),
+                    body: vec![cand.witness.clone()],
+                });
                 self.selected.insert(prefix.to_string(), (tuple.clone(), cand.clone()));
             }
         }
@@ -262,15 +289,33 @@ impl BgpSpeaker {
                     out.push(SmOutput::Underive {
                         tuple: old_adv.clone(),
                         rule: "bgp-export".into(),
-                        body: self.selected.get(prefix).map(|(t, _)| vec![t.clone()]).unwrap_or_default(),
+                        body: self
+                            .selected
+                            .get(prefix)
+                            .map(|(t, _)| vec![t.clone()])
+                            .unwrap_or_default(),
                     });
-                    out.push(SmOutput::Send { to: key.0, delta: TupleDelta::minus(old_adv) });
+                    out.push(SmOutput::Send {
+                        to: key.0,
+                        delta: TupleDelta::minus(old_adv),
+                    });
                     self.exported.remove(&key);
                 }
                 if let Some(new_adv) = desired {
-                    let body = self.selected.get(prefix).map(|(t, _)| vec![t.clone()]).unwrap_or_default();
-                    out.push(SmOutput::Derive { tuple: new_adv.clone(), rule: "bgp-export".into(), body });
-                    out.push(SmOutput::Send { to: key.0, delta: TupleDelta::plus(new_adv.clone()) });
+                    let body = self
+                        .selected
+                        .get(prefix)
+                        .map(|(t, _)| vec![t.clone()])
+                        .unwrap_or_default();
+                    out.push(SmOutput::Derive {
+                        tuple: new_adv.clone(),
+                        rule: "bgp-export".into(),
+                        body,
+                    });
+                    out.push(SmOutput::Send {
+                        to: key.0,
+                        delta: TupleDelta::plus(new_adv.clone()),
+                    });
                     self.exported.insert(key, new_adv);
                 }
             }
@@ -353,7 +398,12 @@ pub struct BgpScenario {
 impl BgpScenario {
     /// A scaled-down version of the paper's Quagga setup.
     pub fn quagga_like() -> BgpScenario {
-        BgpScenario { ases: 10, prefixes: 40, updates: 400, duration_s: 120 }
+        BgpScenario {
+            ases: 10,
+            prefixes: 40,
+            updates: 400,
+            duration_s: 120,
+        }
     }
 
     /// AS ids (1..=ases).
@@ -379,73 +429,124 @@ impl BgpScenario {
         links
     }
 
-    /// Build the testbed with the topology installed (no updates yet).
-    pub fn build(&self, secure: bool, seed: u64) -> Testbed {
-        let mut tb = Testbed::new(NetworkConfig::default(), seed, self.ases + 1, secure);
-        for asn in self.as_ids() {
-            tb.add_node(asn, Box::new(BgpSpeaker::new(asn)), Box::new(BgpSpeaker::new(asn)));
-            // The paper's proxy re-encodes BGP messages as tuples; charge a
-            // small constant per message (Figure 5's "Proxy" component).
-            tb.set_proxy_overhead(asn, 24);
+    /// The deployable application: the AS topology, optionally with the
+    /// synthetic RouteViews-like update trace as workload.
+    pub fn app(&self, with_updates: bool) -> BgpApp {
+        BgpApp {
+            scenario: *self,
+            with_updates,
         }
-        for (i, (a, b, rel_ab)) in self.topology().into_iter().enumerate() {
-            let at = SimTime::from_millis(5 + i as u64);
-            let rel_ba = match rel_ab {
-                Relation::Provider => Relation::Customer,
-                Relation::Customer => Relation::Provider,
-                Relation::Peer => Relation::Peer,
-            };
-            tb.insert_at(at, a, neighbor(a, b, rel_ab));
-            tb.insert_at(at, b, neighbor(b, a, rel_ba));
-        }
-        tb
     }
 
-    /// Inject a synthetic RouteViews-like update trace: random ASes originate
-    /// and withdraw prefixes over the run.
-    pub fn inject_updates(&self, tb: &mut Testbed, seed: u64) {
+    /// Build a deployment with the topology installed (no updates yet).
+    pub fn build(&self, secure: bool, seed: u64) -> Deployment {
+        Deployment::builder()
+            .seed(seed)
+            .secure(secure)
+            .app(self.app(false))
+            .build()
+    }
+
+    /// The synthetic RouteViews-like update trace: random ASes originate and
+    /// withdraw prefixes over the run.
+    pub fn update_trace(&self, seed: u64) -> Vec<WorkloadEvent> {
         let mut rng = DetRng::new(seed ^ 0xbeef);
         let ases = self.as_ids();
         let mut originated: Vec<(NodeId, String)> = Vec::new();
+        let mut events = Vec::new();
         for u in 0..self.updates {
             let at = SimTime::from_millis(1_000 + (u as u64 * self.duration_s * 1_000) / self.updates.max(1) as u64);
             let withdraw = !originated.is_empty() && rng.chance(0.3);
             if withdraw {
                 let idx = rng.next_below(originated.len() as u64) as usize;
                 let (asn, prefix) = originated.remove(idx);
-                tb.delete_at(at, asn, originate(asn, &prefix));
+                events.push(WorkloadEvent::delete(at, asn, originate(asn, &prefix)));
             } else {
                 let asn = *rng.choose(&ases).expect("non-empty");
                 let prefix = format!("10.{}.0.0/16", rng.next_below(self.prefixes as u64));
-                tb.insert_at(at, asn, originate(asn, &prefix));
+                events.push(WorkloadEvent::insert(at, asn, originate(asn, &prefix)));
                 originated.push((asn, prefix));
             }
         }
+        events
+    }
+
+    /// Inject the update trace into an already-built deployment.
+    pub fn inject_updates(&self, deployment: &mut Deployment, seed: u64) {
+        for event in self.update_trace(seed) {
+            deployment.schedule(event);
+        }
+    }
+}
+
+/// The deployable BGP application: speakers over the [`BgpScenario`]
+/// topology, each behind a proxy, plus (optionally) the update trace.
+pub struct BgpApp {
+    /// The experiment parameters.
+    pub scenario: BgpScenario,
+    /// Whether the RouteViews-like update trace is part of the workload.
+    pub with_updates: bool,
+}
+
+impl Application for BgpApp {
+    fn name(&self) -> String {
+        format!("bgp-{}", self.scenario.ases)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.scenario.as_ids()
+    }
+
+    fn node(&self, id: NodeId) -> AppNode {
+        // The paper's proxy re-encodes BGP messages as tuples; charge a small
+        // constant per message (Figure 5's "Proxy" component).
+        AppNode::new(Box::new(BgpSpeaker::new(id))).proxy_overhead(24)
+    }
+
+    fn workload(&self, seed: u64) -> Vec<WorkloadEvent> {
+        let mut events = Vec::new();
+        for (i, (a, b, rel_ab)) in self.scenario.topology().into_iter().enumerate() {
+            let at = SimTime::from_millis(5 + i as u64);
+            let rel_ba = match rel_ab {
+                Relation::Provider => Relation::Customer,
+                Relation::Customer => Relation::Provider,
+                Relation::Peer => Relation::Peer,
+            };
+            events.push(WorkloadEvent::insert(at, a, neighbor(a, b, rel_ab)));
+            events.push(WorkloadEvent::insert(at, b, neighbor(b, a, rel_ba)));
+        }
+        if self.with_updates {
+            events.extend(self.scenario.update_trace(seed));
+        }
+        events
     }
 }
 
 /// Build the classic BadGadget gadget [11]: ASes 1, 2, 3 around destination
 /// AS 0 (here AS 4 to keep ids positive), where each of the three prefers the
 /// route through its clockwise neighbor over its direct route.
-pub fn badgadget_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, String) {
+pub fn badgadget_scenario(secure: bool, seed: u64) -> (Deployment, NodeId, String) {
     let dest = NodeId(4);
     let prefix = "203.0.113.0/24".to_string();
-    let mut tb = Testbed::new(NetworkConfig::default(), seed, 5, secure);
+    let mut builder = Deployment::builder().seed(seed).secure(secure);
     for i in 1..=4u64 {
-        tb.add_node(NodeId(i), Box::new(BgpSpeaker::new(NodeId(i))), Box::new(BgpSpeaker::new(NodeId(i))));
+        builder = builder.node(NodeId(i), |id| Box::new(BgpSpeaker::new(id)));
     }
     let at = SimTime::from_millis(5);
     // Everyone peers with everyone (so export policies do not filter).
     for (a, b) in [(1u64, 2u64), (2, 3), (3, 1), (1, 4), (2, 4), (3, 4)] {
-        tb.insert_at(at, NodeId(a), neighbor(NodeId(a), NodeId(b), Relation::Customer));
-        tb.insert_at(at, NodeId(b), neighbor(NodeId(b), NodeId(a), Relation::Customer));
+        builder = builder
+            .insert_at(at, NodeId(a), neighbor(NodeId(a), NodeId(b), Relation::Customer))
+            .insert_at(at, NodeId(b), neighbor(NodeId(b), NodeId(a), Relation::Customer));
     }
-    // The cyclic preferences: 1 prefers via 2, 2 prefers via 3, 3 prefers via 1.
-    tb.insert_at(at, NodeId(1), prefer(NodeId(1), &prefix, NodeId(2)));
-    tb.insert_at(at, NodeId(2), prefer(NodeId(2), &prefix, NodeId(3)));
-    tb.insert_at(at, NodeId(3), prefer(NodeId(3), &prefix, NodeId(1)));
-    // The destination originates the prefix.
-    tb.insert_at(SimTime::from_millis(50), dest, originate(dest, &prefix));
+    let tb = builder
+        // The cyclic preferences: 1 prefers via 2, 2 prefers via 3, 3 prefers via 1.
+        .insert_at(at, NodeId(1), prefer(NodeId(1), &prefix, NodeId(2)))
+        .insert_at(at, NodeId(2), prefer(NodeId(2), &prefix, NodeId(3)))
+        .insert_at(at, NodeId(3), prefer(NodeId(3), &prefix, NodeId(1)))
+        // The destination originates the prefix.
+        .insert_at(SimTime::from_millis(50), dest, originate(dest, &prefix))
+        .build();
     (tb, dest, prefix)
 }
 
@@ -454,7 +555,7 @@ pub fn badgadget_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, String) 
 /// `i`; when a shorter route appears at `j` via its *provider*, `j` switches
 /// to it and — because provider routes are not exported to peers — withdraws
 /// the route from `i`, whose routing-table entry disappears.
-pub fn disappear_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, NodeId, String) {
+pub fn disappear_scenario(secure: bool, seed: u64) -> (Deployment, NodeId, NodeId, String) {
     let prefix = "198.51.100.0/24".to_string();
     let i = NodeId(1); // the AS that observes the disappearance
     let j = NodeId(2); // the AS whose policy causes it
@@ -462,9 +563,9 @@ pub fn disappear_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, NodeId, 
     let provider = NodeId(4); // j's provider, later offers a better route
     let origin = NodeId(5); // the prefix owner, customer of 3 and of 4
 
-    let mut tb = Testbed::new(NetworkConfig::default(), seed, 6, secure);
+    let mut builder = Deployment::builder().seed(seed).secure(secure);
     for n in [i, j, customer, provider, origin] {
-        tb.add_node(n, Box::new(BgpSpeaker::new(n)), Box::new(BgpSpeaker::new(n)));
+        builder = builder.node(n, |id| Box::new(BgpSpeaker::new(id)));
     }
     let at = SimTime::from_millis(5);
     let pairs = [
@@ -480,15 +581,18 @@ pub fn disappear_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, NodeId, 
             Relation::Customer => Relation::Provider,
             Relation::Peer => Relation::Peer,
         };
-        tb.insert_at(at, a, neighbor(a, b, rel_ab));
-        tb.insert_at(at, b, neighbor(b, a, rel_ba));
+        builder = builder
+            .insert_at(at, a, neighbor(a, b, rel_ab))
+            .insert_at(at, b, neighbor(b, a, rel_ba));
     }
     // Phase 1: the origin announces the prefix; it reaches i via
     // origin → customer → j → i (customer routes are exported to peers).
-    tb.insert_at(SimTime::from_millis(100), origin, originate(origin, &prefix));
     // Phase 2 happens later (see [`disappear_trigger`]): a policy change makes
     // j prefer the provider route, which it may NOT export to its peer i, so
     // the route disappears from i.
+    let tb = builder
+        .insert_at(SimTime::from_millis(100), origin, originate(origin, &prefix))
+        .build();
     (tb, i, j, prefix)
 }
 
@@ -496,7 +600,7 @@ pub fn disappear_scenario(secure: bool, seed: u64) -> (Testbed, NodeId, NodeId, 
 /// AS `j` (AS 2) makes it prefer the route through its provider (AS 4).  The
 /// provider route may not be exported to peers, so AS 1 receives a
 /// withdrawal — the event the Quagga-Disappear query investigates.
-pub fn disappear_trigger(tb: &mut Testbed, at: SimTime) {
+pub fn disappear_trigger(tb: &mut Deployment, at: SimTime) {
     let j = NodeId(2);
     let provider = NodeId(4);
     let prefix = "198.51.100.0/24";
@@ -506,11 +610,15 @@ pub fn disappear_trigger(tb: &mut Testbed, at: SimTime) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snp_core::query::MacroQuery;
 
     #[test]
     fn routes_propagate_through_the_hierarchy() {
-        let scenario = BgpScenario { ases: 6, prefixes: 2, updates: 0, duration_s: 10 };
+        let scenario = BgpScenario {
+            ases: 6,
+            prefixes: 2,
+            updates: 0,
+            duration_s: 10,
+        };
         let mut tb = scenario.build(true, 1);
         let prefix = "10.0.0.0/16";
         tb.insert_at(SimTime::from_millis(500), NodeId(6), originate(NodeId(6), prefix));
@@ -539,12 +647,20 @@ mod tests {
         assert!(!speaker.may_export(Relation::Peer, Relation::Peer, false));
         assert!(!speaker.may_export(Relation::Provider, Relation::Peer, false));
         assert!(speaker.may_export(Relation::Provider, Relation::Customer, false));
-        assert!(speaker.may_export(Relation::Peer, Relation::Peer, true), "originated routes go everywhere");
+        assert!(
+            speaker.may_export(Relation::Peer, Relation::Peer, true),
+            "originated routes go everywhere"
+        );
     }
 
     #[test]
     fn withdrawals_remove_routes() {
-        let scenario = BgpScenario { ases: 4, prefixes: 1, updates: 0, duration_s: 10 };
+        let scenario = BgpScenario {
+            ases: 4,
+            prefixes: 1,
+            updates: 0,
+            duration_s: 10,
+        };
         let mut tb = scenario.build(true, 2);
         let prefix = "10.1.0.0/16";
         tb.insert_at(SimTime::from_millis(500), NodeId(4), originate(NodeId(4), prefix));
@@ -586,15 +702,16 @@ mod tests {
             .cloned();
         assert!(gone.is_none());
         // Query the disappearance of the believed advertisement from j.
-        let result = tb.querier.macroquery(
-            MacroQuery::WhyDisappeared {
-                tuple: adv_route(i, &prefix, &[j, NodeId(3), NodeId(5)], j),
-            },
-            i,
-            None,
-        );
+        let result = tb
+            .querier
+            .why_disappeared(adv_route(i, &prefix, &[j, NodeId(3), NodeId(5)], j))
+            .at(i)
+            .run();
         assert!(result.root.is_some(), "the believe-disappear vertex must be found");
-        assert!(result.implicated_nodes().is_empty(), "a policy-driven withdrawal is not a fault");
+        assert!(
+            result.implicated_nodes().is_empty(),
+            "a policy-driven withdrawal is not a fault"
+        );
         // The explanation crosses into AS j.
         let touches_j = result
             .traversal
@@ -603,7 +720,11 @@ mod tests {
             .depths
             .keys()
             .any(|id| result.graph.vertex(id).map(|v| v.host() == j).unwrap_or(false));
-        assert!(touches_j, "the withdrawal must be traced into AS {j}:\n{}", result.render());
+        assert!(
+            touches_j,
+            "the withdrawal must be traced into AS {j}:\n{}",
+            result.render()
+        );
     }
 
     #[test]
@@ -618,38 +739,50 @@ mod tests {
             .into_iter()
             .filter(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()))
             .collect();
-        assert!(!node1_routes.is_empty(), "AS 1 must have a route to the BadGadget prefix");
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: node1_routes[0].clone() }, NodeId(1), None);
+        assert!(
+            !node1_routes.is_empty(),
+            "AS 1 must have a route to the BadGadget prefix"
+        );
+        let result = tb.querier.why_exists(node1_routes[0].clone()).at(NodeId(1)).run();
         assert!(result.root.is_some());
-        let reaches_origin = result
-            .traversal
-            .as_ref()
-            .unwrap()
-            .depths
-            .keys()
-            .any(|id| {
-                result
-                    .graph
-                    .vertex(id)
-                    .map(|v| v.host() == dest && v.kind.tuple().relation == "originate")
-                    .unwrap_or(false)
-            });
-        assert!(reaches_origin, "route provenance must reach the origin AS:\n{}", result.render());
-        assert!(result.implicated_nodes().is_empty(), "BadGadget is a configuration problem, not node misbehavior");
+        let reaches_origin = result.traversal.as_ref().unwrap().depths.keys().any(|id| {
+            result
+                .graph
+                .vertex(id)
+                .map(|v| v.host() == dest && v.kind.tuple().relation == "originate")
+                .unwrap_or(false)
+        });
+        assert!(
+            reaches_origin,
+            "route provenance must reach the origin AS:\n{}",
+            result.render()
+        );
+        assert!(
+            result.implicated_nodes().is_empty(),
+            "BadGadget is a configuration problem, not node misbehavior"
+        );
     }
 
     #[test]
     fn fabricated_route_announcement_is_traced_to_the_hijacker() {
         // Route hijacking: AS 3 advertises a prefix it does not own and has no
         // route to (prefix hijack), by fabricating an advRoute notification.
-        let scenario = BgpScenario { ases: 4, prefixes: 1, updates: 0, duration_s: 10 };
+        let scenario = BgpScenario {
+            ases: 4,
+            prefixes: 1,
+            updates: 0,
+            duration_s: 10,
+        };
         let mut tb = scenario.build(true, 7);
         let prefix = "192.0.2.0/24";
         let hijacker = NodeId(3);
         let victim_view = NodeId(1); // 3's provider is 1
         tb.set_byzantine(
             hijacker,
-            snp_core::ByzantineConfig::fabricating(victim_view, TupleDelta::plus(adv_route(victim_view, prefix, &[hijacker], hijacker))),
+            snp_core::ByzantineConfig::fabricating(
+                victim_view,
+                TupleDelta::plus(adv_route(victim_view, prefix, &[hijacker], hijacker)),
+            ),
         );
         tb.run_until(SimTime::from_secs(30));
         let bogus_route = tb.handles[&victim_view]
@@ -657,7 +790,7 @@ mod tests {
             .into_iter()
             .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix));
         let bogus_route = bogus_route.expect("the hijacked route must be installed at AS 1");
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus_route }, victim_view, None);
+        let result = tb.querier.why_exists(bogus_route).at(victim_view).run();
         assert!(
             result.implicated_nodes().contains(&hijacker),
             "the hijacker must be implicated: {:?}",
@@ -668,12 +801,21 @@ mod tests {
 
     #[test]
     fn quagga_like_trace_generates_traffic() {
-        let scenario = BgpScenario { ases: 10, prefixes: 10, updates: 60, duration_s: 30 };
+        let scenario = BgpScenario {
+            ases: 10,
+            prefixes: 10,
+            updates: 60,
+            duration_s: 30,
+        };
         let mut tb = scenario.build(true, 11);
         scenario.inject_updates(&mut tb, 11);
         tb.run_until(SimTime::from_secs(60));
         let traffic = tb.total_traffic();
-        assert!(traffic.data_messages > 50, "update churn must generate BGP traffic, got {}", traffic.data_messages);
+        assert!(
+            traffic.data_messages > 50,
+            "update churn must generate BGP traffic, got {}",
+            traffic.data_messages
+        );
         assert!(traffic.proxy_bytes > 0, "proxy overhead must be accounted");
     }
 }

@@ -13,10 +13,10 @@
 //! keep-alives and finger probes (all answered by the peer), plus iterative
 //! key lookups forwarded through fingers.
 
-use crate::testbed::Testbed;
+use snp_core::deploy::{AppNode, Application, Deployment, WorkloadEvent};
 use snp_crypto::keys::NodeId;
 use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
-use snp_sim::{NetworkConfig, SimTime};
+use snp_sim::SimTime;
 use std::collections::BTreeSet;
 
 /// Number of bits in the identifier space (small, to keep finger tables short
@@ -61,13 +61,25 @@ pub fn succ(node: NodeId, succ_id: u64, succ_node: NodeId) -> Tuple {
 
 /// `finger(@n, idx, targetId, targetNode)` — a finger-table entry (base tuple).
 pub fn finger(node: NodeId, idx: u32, target_id: u64, target: NodeId) -> Tuple {
-    Tuple::new("finger", node, vec![Value::Int(idx as i64), Value::Int(target_id as i64), Value::Node(target)])
+    Tuple::new(
+        "finger",
+        node,
+        vec![
+            Value::Int(idx as i64),
+            Value::Int(target_id as i64),
+            Value::Node(target),
+        ],
+    )
 }
 
 /// `lookup(@n, keyId, origin, reqId)` — a lookup request (base tuple at the
 /// origin, believed tuple when forwarded).
 pub fn lookup(node: NodeId, key: u64, origin: NodeId, req: u64) -> Tuple {
-    Tuple::new("lookup", node, vec![Value::Int(key as i64), Value::Node(origin), Value::Int(req as i64)])
+    Tuple::new(
+        "lookup",
+        node,
+        vec![Value::Int(key as i64), Value::Node(origin), Value::Int(req as i64)],
+    )
 }
 
 /// `lookupResult(@origin, reqId, keyId, owner, ownerId)` — the answer.
@@ -75,7 +87,12 @@ pub fn lookup_result(origin: NodeId, req: u64, key: u64, owner: NodeId, owner_id
     Tuple::new(
         "lookupResult",
         origin,
-        vec![Value::Int(req as i64), Value::Int(key as i64), Value::Node(owner), Value::Int(owner_id as i64)],
+        vec![
+            Value::Int(req as i64),
+            Value::Int(key as i64),
+            Value::Node(owner),
+            Value::Int(owner_id as i64),
+        ],
     )
 }
 
@@ -108,16 +125,28 @@ pub struct ChordMachine {
 impl ChordMachine {
     /// Create an honest Chord machine.
     pub fn new(node: NodeId) -> ChordMachine {
-        ChordMachine { node, eclipse: false, tuples: BTreeSet::new() }
+        ChordMachine {
+            node,
+            eclipse: false,
+            tuples: BTreeSet::new(),
+        }
     }
 
     /// Create an Eclipse-attacking machine.
     pub fn eclipse(node: NodeId) -> ChordMachine {
-        ChordMachine { node, eclipse: true, tuples: BTreeSet::new() }
+        ChordMachine {
+            node,
+            eclipse: true,
+            tuples: BTreeSet::new(),
+        }
     }
 
     fn my_id(&self) -> Option<u64> {
-        self.tuples.iter().find(|t| t.relation == "me").and_then(|t| t.int_arg(0)).map(|v| v as u64)
+        self.tuples
+            .iter()
+            .find(|t| t.relation == "me")
+            .and_then(|t| t.int_arg(0))
+            .map(|v| v as u64)
     }
 
     fn successor(&self) -> Option<(u64, NodeId)> {
@@ -189,7 +218,10 @@ impl ChordMachine {
                 body: vec![trigger.clone(), self.me_tuple().expect("me tuple present")],
             });
             if origin != self.node {
-                out.push(SmOutput::Send { to: origin, delta: TupleDelta::plus(result) });
+                out.push(SmOutput::Send {
+                    to: origin,
+                    delta: TupleDelta::plus(result),
+                });
             }
             return out;
         }
@@ -197,9 +229,16 @@ impl ChordMachine {
             // The key is owned by our successor.
             let result = lookup_result(origin, req, key, succ_node, succ_id);
             let body = vec![trigger.clone(), self.succ_tuple().expect("succ tuple present")];
-            out.push(SmOutput::Derive { tuple: result.clone(), rule: "chord-resolve".into(), body });
+            out.push(SmOutput::Derive {
+                tuple: result.clone(),
+                rule: "chord-resolve".into(),
+                body,
+            });
             if origin != self.node {
-                out.push(SmOutput::Send { to: origin, delta: TupleDelta::plus(result) });
+                out.push(SmOutput::Send {
+                    to: origin,
+                    delta: TupleDelta::plus(result),
+                });
             }
         } else if let Some((next, finger_tuple)) = self.closest_preceding(key) {
             let forwarded = lookup(next, key, origin, req);
@@ -208,7 +247,10 @@ impl ChordMachine {
                 rule: "chord-forward".into(),
                 body: vec![trigger.clone(), finger_tuple],
             });
-            out.push(SmOutput::Send { to: next, delta: TupleDelta::plus(forwarded) });
+            out.push(SmOutput::Send {
+                to: next,
+                delta: TupleDelta::plus(forwarded),
+            });
         }
         out
     }
@@ -226,12 +268,25 @@ impl ChordMachine {
             // (stabilize / keep-alive) or to every finger (fix-fingers); each
             // probe is answered by the peer, mirroring the paper's traffic mix.
             "stabTick" | "keepTick" => {
-                if let (Some(seq), Some((_, succ_node)), Some(succ_t)) = (tuple.int_arg(0), self.successor(), self.succ_tuple()) {
+                if let (Some(seq), Some((_, succ_node)), Some(succ_t)) =
+                    (tuple.int_arg(0), self.successor(), self.succ_tuple())
+                {
                     if succ_node != self.node {
-                        let kind = if tuple.relation == "stabTick" { "stabProbe" } else { "keepProbe" };
+                        let kind = if tuple.relation == "stabTick" {
+                            "stabProbe"
+                        } else {
+                            "keepProbe"
+                        };
                         let p = probe(kind, succ_node, self.node, seq as u64);
-                        out.push(SmOutput::Derive { tuple: p.clone(), rule: "chord-probe".into(), body: vec![tuple.clone(), succ_t] });
-                        out.push(SmOutput::Send { to: succ_node, delta: TupleDelta::plus(p) });
+                        out.push(SmOutput::Derive {
+                            tuple: p.clone(),
+                            rule: "chord-probe".into(),
+                            body: vec![tuple.clone(), succ_t],
+                        });
+                        out.push(SmOutput::Send {
+                            to: succ_node,
+                            delta: TupleDelta::plus(p),
+                        });
                     }
                 }
             }
@@ -246,8 +301,15 @@ impl ChordMachine {
                             continue;
                         }
                         let p = probe("fingerProbe", fnode, self.node, seq as u64);
-                        out.push(SmOutput::Derive { tuple: p.clone(), rule: "chord-fix".into(), body: vec![tuple.clone(), ftuple] });
-                        out.push(SmOutput::Send { to: fnode, delta: TupleDelta::plus(p) });
+                        out.push(SmOutput::Derive {
+                            tuple: p.clone(),
+                            rule: "chord-fix".into(),
+                            body: vec![tuple.clone(), ftuple],
+                        });
+                        out.push(SmOutput::Send {
+                            to: fnode,
+                            delta: TupleDelta::plus(p),
+                        });
                     }
                 }
             }
@@ -259,8 +321,15 @@ impl ChordMachine {
                         _ => "fingerReply",
                     };
                     let r = reply(kind, from, self.node, seq as u64);
-                    out.push(SmOutput::Derive { tuple: r.clone(), rule: "chord-reply".into(), body: vec![tuple.clone(), me_t] });
-                    out.push(SmOutput::Send { to: from, delta: TupleDelta::plus(r) });
+                    out.push(SmOutput::Derive {
+                        tuple: r.clone(),
+                        rule: "chord-reply".into(),
+                        body: vec![tuple.clone(), me_t],
+                    });
+                    out.push(SmOutput::Send {
+                        to: from,
+                        delta: TupleDelta::plus(r),
+                    });
                 }
             }
             _ => {}
@@ -310,7 +379,11 @@ impl StateMachine for ChordMachine {
     }
 
     fn fresh(&self) -> Box<dyn StateMachine> {
-        Box::new(ChordMachine { node: self.node, eclipse: false, tuples: BTreeSet::new() })
+        Box::new(ChordMachine {
+            node: self.node,
+            eclipse: false,
+            tuples: BTreeSet::new(),
+        })
     }
 
     fn current_tuples(&self) -> Vec<Tuple> {
@@ -325,6 +398,7 @@ impl StateMachine for ChordMachine {
 // ---- scenario construction ----------------------------------------------------
 
 /// A constructed Chord ring: node ids sorted by Chord identifier.
+#[derive(Clone)]
 pub struct ChordRing {
     /// `(chord id, node)` pairs sorted by id.
     pub members: Vec<(u64, NodeId)>,
@@ -367,16 +441,25 @@ impl ChordRing {
             .collect()
     }
 
-    /// Install the static ring (me / succ / finger base tuples) into a testbed
-    /// at time `at`.
-    pub fn install(&self, tb: &mut Testbed, at: SimTime) {
+    /// The static ring (me / succ / finger base tuples) as workload events
+    /// scheduled at time `at`.
+    pub fn base_tuples(&self, at: SimTime) -> Vec<WorkloadEvent> {
+        let mut events = Vec::new();
         for (id, node) in &self.members {
-            tb.insert_at(at, *node, me(*node, *id));
+            events.push(WorkloadEvent::insert(at, *node, me(*node, *id)));
             let (succ_id, succ_node) = self.successor_of(*id);
-            tb.insert_at(at, *node, succ(*node, succ_id, succ_node));
+            events.push(WorkloadEvent::insert(at, *node, succ(*node, succ_id, succ_node)));
             for (idx, fid, fnode) in self.fingers_of(*id) {
-                tb.insert_at(at, *node, finger(*node, idx, fid, fnode));
+                events.push(WorkloadEvent::insert(at, *node, finger(*node, idx, fid, fnode)));
             }
+        }
+        events
+    }
+
+    /// Install the static ring into a deployment at time `at`.
+    pub fn install(&self, deployment: &mut Deployment, at: SimTime) {
+        for event in self.base_tuples(at) {
+            deployment.schedule(event);
         }
     }
 }
@@ -413,63 +496,102 @@ impl ChordScenario {
 
     /// The paper's Chord-Large configuration (scaled duration).
     pub fn large(duration_s: u64) -> ChordScenario {
-        ChordScenario { nodes: 250, ..ChordScenario::small(duration_s) }
+        ChordScenario {
+            nodes: 250,
+            ..ChordScenario::small(duration_s)
+        }
     }
 
-    /// Build and load the scenario into a testbed.  `eclipse_attacker`
+    /// The deployable application for this scenario.  `eclipse_attacker`
     /// optionally turns one node into an Eclipse attacker.
-    pub fn build(&self, secure: bool, seed: u64, eclipse_attacker: Option<NodeId>) -> (Testbed, ChordRing) {
-        let mut tb = Testbed::new(NetworkConfig::default(), seed, self.nodes + 1, secure);
-        let ring = ChordRing::new(self.nodes);
-        for i in 1..=self.nodes {
-            let node = NodeId(i);
-            let app: Box<dyn StateMachine> = if eclipse_attacker == Some(node) {
-                Box::new(ChordMachine::eclipse(node))
-            } else {
-                Box::new(ChordMachine::new(node))
-            };
-            tb.add_node(node, app, Box::new(ChordMachine::new(node)));
+    pub fn app(&self, eclipse_attacker: Option<NodeId>) -> ChordApp {
+        ChordApp {
+            scenario: *self,
+            ring: ChordRing::new(self.nodes),
+            eclipse_attacker,
         }
-        ring.install(&mut tb, SimTime::from_millis(5));
+    }
+
+    /// Build the scenario into a ready-to-run deployment.
+    pub fn build(&self, secure: bool, seed: u64, eclipse_attacker: Option<NodeId>) -> (Deployment, ChordRing) {
+        let app = self.app(eclipse_attacker);
+        let ring = app.ring.clone();
+        let deployment = Deployment::builder().seed(seed).secure(secure).app(app).build();
+        (deployment, ring)
+    }
+}
+
+/// The deployable Chord application: the static ring plus the maintenance and
+/// lookup workload of a [`ChordScenario`].
+pub struct ChordApp {
+    /// The experiment parameters.
+    pub scenario: ChordScenario,
+    /// The precomputed ring (public so callers can pick origins/keys).
+    pub ring: ChordRing,
+    /// If set, this node mounts an Eclipse attack.
+    pub eclipse_attacker: Option<NodeId>,
+}
+
+impl Application for ChordApp {
+    fn name(&self) -> String {
+        format!("chord-{}", self.scenario.nodes)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        (1..=self.scenario.nodes).map(NodeId).collect()
+    }
+
+    fn node(&self, id: NodeId) -> AppNode {
+        // `ChordMachine::fresh` always returns the honest machine, so the
+        // attacker is still replayed against correct Chord behaviour.
+        if self.eclipse_attacker == Some(id) {
+            AppNode::new(Box::new(ChordMachine::eclipse(id)))
+        } else {
+            AppNode::new(Box::new(ChordMachine::new(id)))
+        }
+    }
+
+    fn workload(&self, seed: u64) -> Vec<WorkloadEvent> {
+        let scenario = &self.scenario;
+        let mut events = self.ring.base_tuples(SimTime::from_millis(5));
 
         // Periodic maintenance ticks for every node.
         let mut seq = 0u64;
-        for t in (self.stabilize_every_s..=self.duration_s).step_by(self.stabilize_every_s as usize) {
-            for (_, node) in &ring.members {
-                tb.insert_at(SimTime::from_secs(t), *node, tick("stabTick", *node, seq));
+        let mut ticks = |kind: &str, every_s: u64, seq: &mut u64| {
+            if every_s == 0 {
+                return;
             }
-            seq += 1;
-        }
-        for t in (self.keepalive_every_s..=self.duration_s).step_by(self.keepalive_every_s as usize) {
-            for (_, node) in &ring.members {
-                tb.insert_at(SimTime::from_secs(t), *node, tick("keepTick", *node, seq));
+            for t in (every_s..=scenario.duration_s).step_by(every_s as usize) {
+                for (_, node) in &self.ring.members {
+                    events.push(WorkloadEvent::insert(
+                        SimTime::from_secs(t),
+                        *node,
+                        tick(kind, *node, *seq),
+                    ));
+                }
+                *seq += 1;
             }
-            seq += 1;
-        }
-        for t in (self.fix_fingers_every_s..=self.duration_s).step_by(self.fix_fingers_every_s as usize) {
-            for (_, node) in &ring.members {
-                tb.insert_at(SimTime::from_secs(t), *node, tick("fixTick", *node, seq));
-            }
-            seq += 1;
-        }
+        };
+        ticks("stabTick", scenario.stabilize_every_s, &mut seq);
+        ticks("keepTick", scenario.keepalive_every_s, &mut seq);
+        ticks("fixTick", scenario.fix_fingers_every_s, &mut seq);
 
         // Random lookups from random origins.
         let mut rng = snp_sim::rng::DetRng::new(seed ^ 0xc0ffee);
-        let total_lookups = self.lookups_per_minute * self.duration_s / 60;
+        let total_lookups = scenario.lookups_per_minute * scenario.duration_s / 60;
         for req in 0..total_lookups {
-            let origin = ring.members[rng.next_below(ring.members.len() as u64) as usize].1;
+            let origin = self.ring.members[rng.next_below(self.ring.members.len() as u64) as usize].1;
             let key = rng.next_below(ID_SPACE);
-            let at = SimTime::from_millis(1_000 + rng.next_below(self.duration_s.saturating_mul(1_000).max(1)));
-            tb.insert_at(at, origin, lookup(origin, key, origin, req));
+            let at = SimTime::from_millis(1_000 + rng.next_below(scenario.duration_s.saturating_mul(1_000).max(1)));
+            events.push(WorkloadEvent::insert(at, origin, lookup(origin, key, origin, req)));
         }
-        (tb, ring)
+        events
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snp_core::query::MacroQuery;
 
     #[test]
     fn ring_helpers_are_consistent() {
@@ -496,7 +618,14 @@ mod tests {
 
     #[test]
     fn lookup_resolves_to_ring_owner() {
-        let scenario = ChordScenario { nodes: 12, stabilize_every_s: 1000, fix_fingers_every_s: 1000, keepalive_every_s: 1000, lookups_per_minute: 0, duration_s: 10 };
+        let scenario = ChordScenario {
+            nodes: 12,
+            stabilize_every_s: 1000,
+            fix_fingers_every_s: 1000,
+            keepalive_every_s: 1000,
+            lookups_per_minute: 0,
+            duration_s: 10,
+        };
         let (mut tb, ring) = scenario.build(true, 3, None);
         let key = key_id("some-object");
         let (owner_id, owner) = ring.owner_of(key);
@@ -512,7 +641,14 @@ mod tests {
 
     #[test]
     fn maintenance_traffic_flows() {
-        let scenario = ChordScenario { nodes: 8, stabilize_every_s: 2, fix_fingers_every_s: 4, keepalive_every_s: 1, lookups_per_minute: 0, duration_s: 8 };
+        let scenario = ChordScenario {
+            nodes: 8,
+            stabilize_every_s: 2,
+            fix_fingers_every_s: 4,
+            keepalive_every_s: 1,
+            lookups_per_minute: 0,
+            duration_s: 8,
+        };
         let (mut tb, _) = scenario.build(true, 3, None);
         tb.run_until(SimTime::from_secs(20));
         let traffic = tb.total_traffic();
@@ -521,7 +657,14 @@ mod tests {
 
     #[test]
     fn eclipse_attacker_is_identified() {
-        let scenario = ChordScenario { nodes: 10, stabilize_every_s: 1000, fix_fingers_every_s: 1000, keepalive_every_s: 1000, lookups_per_minute: 0, duration_s: 10 };
+        let scenario = ChordScenario {
+            nodes: 10,
+            stabilize_every_s: 1000,
+            fix_fingers_every_s: 1000,
+            keepalive_every_s: 1000,
+            lookups_per_minute: 0,
+            duration_s: 10,
+        };
         let ring_preview = ChordRing::new(10);
         // Pick an origin and a key owned by somebody far from the origin, and
         // make the first hop of the lookup the attacker.
@@ -544,7 +687,7 @@ mod tests {
         // result's provenance implicates the attacker.
         let bogus = lookup_result(attacker, 5, key, attacker, chord_id(attacker));
         assert!(tb.handles[&attacker].with(|n| n.has_tuple(&bogus)));
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus }, attacker, None);
+        let result = tb.querier.why_exists(bogus).at(attacker).run();
         assert!(
             result.suspect_nodes().contains(&attacker) || result.implicated_nodes().contains(&attacker),
             "the Eclipse attacker must be implicated: {:?}",
@@ -554,7 +697,14 @@ mod tests {
 
     #[test]
     fn clean_lookup_has_legitimate_cross_node_provenance() {
-        let scenario = ChordScenario { nodes: 10, stabilize_every_s: 1000, fix_fingers_every_s: 1000, keepalive_every_s: 1000, lookups_per_minute: 0, duration_s: 10 };
+        let scenario = ChordScenario {
+            nodes: 10,
+            stabilize_every_s: 1000,
+            fix_fingers_every_s: 1000,
+            keepalive_every_s: 1000,
+            lookups_per_minute: 0,
+            duration_s: 10,
+        };
         let (mut tb, ring) = scenario.build(true, 9, None);
         let origin = ring.members[0].1;
         let key = (ring.members[7].0 + 1) % ID_SPACE;
@@ -563,9 +713,12 @@ mod tests {
         tb.run_until(SimTime::from_secs(60));
         let expected = lookup_result(origin, 42, key, owner, owner_id);
         assert!(tb.handles[&origin].with(|n| n.has_tuple(&expected)));
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: expected }, origin, None);
+        let result = tb.querier.why_exists(expected).at(origin).run();
         assert!(result.root.is_some());
-        assert!(result.implicated_nodes().is_empty(), "clean lookup must implicate nobody");
+        assert!(
+            result.implicated_nodes().is_empty(),
+            "clean lookup must implicate nobody"
+        );
         // The explanation involves more than one node (the lookup was routed).
         let hosts: std::collections::BTreeSet<NodeId> = result
             .traversal

@@ -15,11 +15,11 @@
 //! "reported provenance" method: the UID of every key-value pair is its
 //! content plus execution context (§6.2).
 
-use crate::testbed::Testbed;
+use snp_core::deploy::{AppNode, Application, Deployment, WorkloadEvent};
 use snp_crypto::keys::NodeId;
 use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
 use snp_sim::rng::DetRng;
-use snp_sim::{NetworkConfig, SimTime};
+use snp_sim::SimTime;
 use std::collections::BTreeMap;
 
 // ---- tuple constructors -------------------------------------------------------
@@ -31,12 +31,20 @@ pub fn map_input(mapper: NodeId, split: i64, text: &str) -> Tuple {
 
 /// `mapOut(@m, splitId, word, offset)`.
 pub fn map_out(mapper: NodeId, split: i64, word: &str, offset: i64) -> Tuple {
-    Tuple::new("mapOut", mapper, vec![Value::Int(split), Value::str(word), Value::Int(offset)])
+    Tuple::new(
+        "mapOut",
+        mapper,
+        vec![Value::Int(split), Value::str(word), Value::Int(offset)],
+    )
 }
 
 /// `combineOut(@m, splitId, word, count)`.
 pub fn combine_out(mapper: NodeId, split: i64, word: &str, count: i64) -> Tuple {
-    Tuple::new("combineOut", mapper, vec![Value::Int(split), Value::str(word), Value::Int(count)])
+    Tuple::new(
+        "combineOut",
+        mapper,
+        vec![Value::Int(split), Value::str(word), Value::Int(count)],
+    )
 }
 
 /// `shuffle(@r, word, count, mapper, splitId)`.
@@ -44,7 +52,12 @@ pub fn shuffle(reducer: NodeId, word: &str, count: i64, mapper: NodeId, split: i
     Tuple::new(
         "shuffle",
         reducer,
-        vec![Value::str(word), Value::Int(count), Value::Node(mapper), Value::Int(split)],
+        vec![
+            Value::str(word),
+            Value::Int(count),
+            Value::Node(mapper),
+            Value::Int(split),
+        ],
     )
 }
 
@@ -74,17 +87,27 @@ pub struct MapperMachine {
 impl MapperMachine {
     /// An honest mapper.
     pub fn new(node: NodeId, reducers: Vec<NodeId>) -> MapperMachine {
-        MapperMachine { node, reducers, corrupt: None }
+        MapperMachine {
+            node,
+            reducers,
+            corrupt: None,
+        }
     }
 
     /// A corrupt mapper injecting `extra` bogus occurrences of `word`.
     pub fn corrupt(node: NodeId, reducers: Vec<NodeId>, word: &str, extra: i64) -> MapperMachine {
-        MapperMachine { node, reducers, corrupt: Some((word.to_string(), extra)) }
+        MapperMachine {
+            node,
+            reducers,
+            corrupt: Some((word.to_string(), extra)),
+        }
     }
 
     fn process_split(&self, input: &Tuple) -> Vec<SmOutput> {
         let mut out = Vec::new();
-        let (Some(split), Some(text)) = (input.int_arg(0), input.str_arg(1)) else { return out };
+        let (Some(split), Some(text)) = (input.int_arg(0), input.str_arg(1)) else {
+            return out;
+        };
         let text = text.to_string();
 
         // Map phase: one mapOut per word occurrence, provenance = the split.
@@ -92,7 +115,11 @@ impl MapperMachine {
         for (offset, word) in text.split_whitespace().enumerate() {
             let word = word.to_lowercase();
             let m = map_out(self.node, split, &word, offset as i64);
-            out.push(SmOutput::Derive { tuple: m.clone(), rule: "map".into(), body: vec![input.clone()] });
+            out.push(SmOutput::Derive {
+                tuple: m.clone(),
+                rule: "map".into(),
+                body: vec![input.clone()],
+            });
             per_word.entry(word).or_default().push(m);
         }
         // A corrupt mapper fabricates additional occurrences.
@@ -101,7 +128,11 @@ impl MapperMachine {
             let start = per_word.get(&word).map(|v| v.len()).unwrap_or(0) as i64;
             for k in 0..*extra {
                 let m = map_out(self.node, split, &word, 1_000_000 + start + k);
-                out.push(SmOutput::Derive { tuple: m.clone(), rule: "map".into(), body: vec![input.clone()] });
+                out.push(SmOutput::Derive {
+                    tuple: m.clone(),
+                    rule: "map".into(),
+                    body: vec![input.clone()],
+                });
                 per_word.entry(word.clone()).or_default().push(m);
             }
         }
@@ -110,11 +141,22 @@ impl MapperMachine {
         for (word, occurrences) in per_word {
             let count = occurrences.len() as i64;
             let c = combine_out(self.node, split, &word, count);
-            out.push(SmOutput::Derive { tuple: c.clone(), rule: "combine".into(), body: occurrences });
+            out.push(SmOutput::Derive {
+                tuple: c.clone(),
+                rule: "combine".into(),
+                body: occurrences,
+            });
             let reducer = reducer_for(&word, &self.reducers);
             let s = shuffle(reducer, &word, count, self.node, split);
-            out.push(SmOutput::Derive { tuple: s.clone(), rule: "shuffle".into(), body: vec![c] });
-            out.push(SmOutput::Send { to: reducer, delta: TupleDelta::plus(s) });
+            out.push(SmOutput::Derive {
+                tuple: s.clone(),
+                rule: "shuffle".into(),
+                body: vec![c],
+            });
+            out.push(SmOutput::Send {
+                to: reducer,
+                delta: TupleDelta::plus(s),
+            });
         }
         out
     }
@@ -129,7 +171,11 @@ impl StateMachine for MapperMachine {
     }
 
     fn fresh(&self) -> Box<dyn StateMachine> {
-        Box::new(MapperMachine { node: self.node, reducers: self.reducers.clone(), corrupt: None })
+        Box::new(MapperMachine {
+            node: self.node,
+            reducers: self.reducers.clone(),
+            corrupt: None,
+        })
     }
 
     fn current_tuples(&self) -> Vec<Tuple> {
@@ -156,14 +202,20 @@ pub struct ReducerMachine {
 impl ReducerMachine {
     /// Create a reducer.
     pub fn new(node: NodeId) -> ReducerMachine {
-        ReducerMachine { node, received: BTreeMap::new(), totals: BTreeMap::new() }
+        ReducerMachine {
+            node,
+            received: BTreeMap::new(),
+            totals: BTreeMap::new(),
+        }
     }
 }
 
 impl StateMachine for ReducerMachine {
     fn handle(&mut self, input: SmInput) -> Vec<SmOutput> {
         let mut out = Vec::new();
-        let SmInput::Receive { delta, .. } = input else { return out };
+        let SmInput::Receive { delta, .. } = input else {
+            return out;
+        };
         if delta.polarity != Polarity::Plus || delta.tuple.relation != "shuffle" {
             return out;
         }
@@ -197,7 +249,10 @@ impl StateMachine for ReducerMachine {
     }
 
     fn current_tuples(&self) -> Vec<Tuple> {
-        self.totals.iter().map(|(word, total)| reduce_out(self.node, word, *total)).collect()
+        self.totals
+            .iter()
+            .map(|(word, total)| reduce_out(self.node, word, *total))
+            .collect()
     }
 
     fn name(&self) -> String {
@@ -212,8 +267,26 @@ impl StateMachine for ReducerMachine {
 /// rarely (so that a large count is suspicious, as in §7.3).
 pub fn generate_corpus(splits: usize, words_per_split: usize, seed: u64) -> Vec<String> {
     const VOCAB: &[&str] = &[
-        "the", "quick", "brown", "fox", "jumps", "over", "lazy", "dog", "network", "provenance",
-        "secure", "system", "node", "route", "query", "log", "replay", "evidence", "graph", "tuple",
+        "the",
+        "quick",
+        "brown",
+        "fox",
+        "jumps",
+        "over",
+        "lazy",
+        "dog",
+        "network",
+        "provenance",
+        "secure",
+        "system",
+        "node",
+        "route",
+        "query",
+        "log",
+        "replay",
+        "evidence",
+        "graph",
+        "tuple",
     ];
     let mut rng = DetRng::new(seed);
     (0..splits)
@@ -247,12 +320,22 @@ pub struct MapReduceScenario {
 impl MapReduceScenario {
     /// A scaled-down Hadoop-Small (20 mappers, 10 reducers).
     pub fn small() -> MapReduceScenario {
-        MapReduceScenario { mappers: 20, reducers: 10, splits: 20, words_per_split: 400 }
+        MapReduceScenario {
+            mappers: 20,
+            reducers: 10,
+            splits: 20,
+            words_per_split: 400,
+        }
     }
 
     /// A scaled-down Hadoop-Large (more splits per mapper).
     pub fn large() -> MapReduceScenario {
-        MapReduceScenario { mappers: 20, reducers: 10, splits: 60, words_per_split: 800 }
+        MapReduceScenario {
+            mappers: 20,
+            reducers: 10,
+            splits: 60,
+            words_per_split: 800,
+        }
     }
 
     /// Mapper node ids (1..=mappers).
@@ -265,40 +348,98 @@ impl MapReduceScenario {
         (self.mappers + 1..=self.mappers + self.reducers).map(NodeId).collect()
     }
 
-    /// Build the job.  `corrupt_mapper` optionally makes one mapper inject
-    /// `extra_squirrels` bogus occurrences of "squirrel" per split.
-    pub fn build(&self, secure: bool, seed: u64, corrupt_mapper: Option<NodeId>, extra_squirrels: i64) -> Testbed {
-        let mut tb = Testbed::new(NetworkConfig::default(), seed, self.mappers + self.reducers + 1, secure);
-        let reducers = self.reducer_ids();
-        for m in self.mapper_ids() {
-            let app: Box<dyn StateMachine> = if corrupt_mapper == Some(m) {
-                Box::new(MapperMachine::corrupt(m, reducers.clone(), "squirrel", extra_squirrels))
-            } else {
-                Box::new(MapperMachine::new(m, reducers.clone()))
-            };
-            tb.add_node(m, app, Box::new(MapperMachine::new(m, reducers.clone())));
+    /// The deployable job.  `corrupt_mapper` optionally makes one mapper
+    /// inject `extra_squirrels` bogus occurrences of "squirrel" per split.
+    pub fn job(&self, corrupt_mapper: Option<NodeId>, extra_squirrels: i64) -> MapReduceJob {
+        MapReduceJob {
+            scenario: *self,
+            corrupt_mapper,
+            extra_squirrels,
         }
-        for r in &reducers {
-            tb.add_node(*r, Box::new(ReducerMachine::new(*r)), Box::new(ReducerMachine::new(*r)));
+    }
+
+    /// Build the job into a ready-to-run deployment.
+    pub fn build(&self, secure: bool, seed: u64, corrupt_mapper: Option<NodeId>, extra_squirrels: i64) -> Deployment {
+        Deployment::builder()
+            .seed(seed)
+            .secure(secure)
+            .app(self.job(corrupt_mapper, extra_squirrels))
+            .build()
+    }
+}
+
+/// The deployable WordCount job: mapper and reducer machines plus the
+/// synthetic-corpus workload of a [`MapReduceScenario`].
+pub struct MapReduceJob {
+    /// The job parameters.
+    pub scenario: MapReduceScenario,
+    /// If set, this mapper is corrupt.
+    pub corrupt_mapper: Option<NodeId>,
+    /// Bogus "squirrel" occurrences the corrupt mapper injects per split.
+    pub extra_squirrels: i64,
+}
+
+impl Application for MapReduceJob {
+    fn name(&self) -> String {
+        format!("mapreduce-{}x{}", self.scenario.mappers, self.scenario.reducers)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        let mut ids = self.scenario.mapper_ids();
+        ids.extend(self.scenario.reducer_ids());
+        ids
+    }
+
+    fn node(&self, id: NodeId) -> AppNode {
+        // Reducer ids are the contiguous range above the mappers.
+        if id.0 > self.scenario.mappers {
+            return AppNode::new(Box::new(ReducerMachine::new(id)));
         }
+        let reducers = self.scenario.reducer_ids();
+        if self.corrupt_mapper == Some(id) {
+            // `MapperMachine::fresh` drops the corruption, so replay uses the
+            // honest map function.
+            AppNode::new(Box::new(MapperMachine::corrupt(
+                id,
+                reducers,
+                "squirrel",
+                self.extra_squirrels,
+            )))
+        } else {
+            AppNode::new(Box::new(MapperMachine::new(id, reducers)))
+        }
+    }
+
+    fn workload(&self, seed: u64) -> Vec<WorkloadEvent> {
         // Assign splits to mappers round-robin and schedule the inputs.
-        let corpus = generate_corpus(self.splits, self.words_per_split, seed);
-        let mapper_ids = self.mapper_ids();
-        for (i, text) in corpus.iter().enumerate() {
-            let mapper = mapper_ids[i % mapper_ids.len()];
-            tb.insert_at(SimTime::from_millis(10 + i as u64), mapper, map_input(mapper, i as i64, text));
-        }
-        tb
+        let corpus = generate_corpus(self.scenario.splits, self.scenario.words_per_split, seed);
+        let mapper_ids = self.scenario.mapper_ids();
+        corpus
+            .iter()
+            .enumerate()
+            .map(|(i, text)| {
+                let mapper = mapper_ids[i % mapper_ids.len()];
+                WorkloadEvent::insert(
+                    SimTime::from_millis(10 + i as u64),
+                    mapper,
+                    map_input(mapper, i as i64, text),
+                )
+            })
+            .collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snp_core::query::MacroQuery;
 
     fn tiny() -> MapReduceScenario {
-        MapReduceScenario { mappers: 4, reducers: 2, splits: 4, words_per_split: 60 }
+        MapReduceScenario {
+            mappers: 4,
+            reducers: 2,
+            splits: 4,
+            words_per_split: 60,
+        }
     }
 
     #[test]
@@ -343,11 +484,11 @@ mod tests {
             .expect("squirrel total present");
         assert!(total >= 50, "corrupt mapper must inflate the count (got {total})");
 
-        let result = tb.querier.macroquery(
-            MacroQuery::WhyExists { tuple: reduce_out(reducer, "squirrel", total) },
-            reducer,
-            None,
-        );
+        let result = tb
+            .querier
+            .why_exists(reduce_out(reducer, "squirrel", total))
+            .at(reducer)
+            .run();
         assert!(result.root.is_some());
         assert!(
             result.implicated_nodes().contains(&corrupt) || result.suspect_nodes().contains(&corrupt),
@@ -376,20 +517,20 @@ mod tests {
             .find(|t| t.relation == "reduceOut" && t.str_arg(0) == Some("provenance"))
             .and_then(|t| t.int_arg(1))
             .expect("the word appears somewhere in the corpus");
-        let result = tb.querier.macroquery(
-            MacroQuery::WhyExists { tuple: reduce_out(reducer, "provenance", total) },
-            reducer,
-            None,
-        );
+        let result = tb
+            .querier
+            .why_exists(reduce_out(reducer, "provenance", total))
+            .at(reducer)
+            .run();
         assert!(result.implicated_nodes().is_empty());
         // The explanation must include mapInput tuples on mapper nodes.
-        let has_map_input = result
-            .traversal
-            .as_ref()
-            .unwrap()
-            .depths
-            .keys()
-            .any(|id| result.graph.vertex(id).map(|v| v.kind.tuple().relation == "mapInput").unwrap_or(false));
+        let has_map_input = result.traversal.as_ref().unwrap().depths.keys().any(|id| {
+            result
+                .graph
+                .vertex(id)
+                .map(|v| v.kind.tuple().relation == "mapInput")
+                .unwrap_or(false)
+        });
         assert!(has_map_input, "provenance must reach the input splits");
     }
 

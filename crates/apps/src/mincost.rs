@@ -5,11 +5,11 @@
 //! DDlog-style text syntax and evaluated by the `snp-datalog` engine, so the
 //! provenance of every `bestCost` tuple is inferred automatically.
 
-use crate::testbed::Testbed;
+use snp_core::deploy::{AppNode, Application, Deployment, WorkloadEvent};
 use snp_crypto::keys::NodeId;
 use snp_datalog::parser::parse_program;
-use snp_datalog::{Engine, RuleSet, Tuple, Value};
-use snp_sim::{NetworkConfig, SimTime};
+use snp_datalog::{Engine, RuleSet, StateMachine, Tuple, Value};
+use snp_sim::SimTime;
 
 /// Router identifiers matching the figure: a=1, b=2, c=3, d=4, e=5.
 pub const A: NodeId = NodeId(1);
@@ -61,25 +61,75 @@ pub fn example_topology() -> Vec<(NodeId, NodeId, i64)> {
     ]
 }
 
-/// Build a five-router SNP testbed running MinCost and schedule the insertion
-/// of all link base tuples shortly after start.
-pub fn build_scenario(secure: bool, seed: u64) -> Testbed {
-    let mut tb = Testbed::new(NetworkConfig::default(), seed, 6, secure);
-    for node in [A, B, C, D, E] {
-        tb.add_node(node, Box::new(Engine::new(node, mincost_rules())), Box::new(Engine::new(node, mincost_rules())));
+/// A machine factory for one MinCost router, for
+/// [`snp_core::DeploymentBuilder::node`]:
+/// `Deployment::builder().node(C, mincost::router())`.
+pub fn router() -> impl Fn(NodeId) -> Box<dyn StateMachine> {
+    |id| Box::new(Engine::new(id, mincost_rules()))
+}
+
+/// The MinCost routing application: a set of routers evaluating
+/// [`MINCOST_PROGRAM`] over a link topology installed as base tuples.
+pub struct MinCost {
+    routers: Vec<NodeId>,
+    topology: Vec<(NodeId, NodeId, i64)>,
+}
+
+impl MinCost {
+    /// The five-router example of §3.3 (Figure 2).
+    pub fn example() -> MinCost {
+        MinCost {
+            routers: vec![A, B, C, D, E],
+            topology: example_topology(),
+        }
     }
-    for (i, (x, y, cost)) in example_topology().into_iter().enumerate() {
-        let at = SimTime::from_millis(10 + i as u64);
-        tb.insert_at(at, x, link(x, y, cost));
-        tb.insert_at(at, y, link(y, x, cost));
+
+    /// The example routers over a custom (symmetric) link topology.
+    pub fn with_topology(topology: Vec<(NodeId, NodeId, i64)>) -> MinCost {
+        MinCost {
+            routers: vec![A, B, C, D, E],
+            topology,
+        }
     }
-    tb
+}
+
+impl Application for MinCost {
+    fn name(&self) -> String {
+        "mincost".into()
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.routers.clone()
+    }
+
+    fn node(&self, id: NodeId) -> AppNode {
+        AppNode::new(Box::new(Engine::new(id, mincost_rules())))
+    }
+
+    fn workload(&self, _seed: u64) -> Vec<WorkloadEvent> {
+        let mut events = Vec::new();
+        for (i, (x, y, cost)) in self.topology.iter().enumerate() {
+            let at = SimTime::from_millis(10 + i as u64);
+            events.push(WorkloadEvent::insert(at, *x, link(*x, *y, *cost)));
+            events.push(WorkloadEvent::insert(at, *y, link(*y, *x, *cost)));
+        }
+        events
+    }
+}
+
+/// Build the five-router MinCost deployment with all link base tuples
+/// scheduled shortly after start.
+pub fn build_scenario(secure: bool, seed: u64) -> Deployment {
+    Deployment::builder()
+        .seed(seed)
+        .secure(secure)
+        .app(MinCost::example())
+        .build()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snp_core::query::MacroQuery;
 
     #[test]
     fn rules_parse_and_validate() {
@@ -92,7 +142,10 @@ mod tests {
         let mut tb = build_scenario(true, 42);
         tb.run_until(SimTime::from_secs(30));
         // Figure 2: bestCost(@c, d, 5) — c's cheapest path to d costs 5 (via b).
-        assert!(tb.handles[&C].with(|n| n.has_tuple(&best_cost(C, D, 5))), "c must know a cost-5 path to d");
+        assert!(
+            tb.handles[&C].with(|n| n.has_tuple(&best_cost(C, D, 5))),
+            "c must know a cost-5 path to d"
+        );
         // b's direct link to d costs 3 and is the best.
         assert!(tb.handles[&B].with(|n| n.has_tuple(&best_cost(B, D, 3))));
         // a reaches d via b (6+3=9) or via e… a-e(2), e-d(5) = 7, so 7.
@@ -103,57 +156,49 @@ mod tests {
     fn provenance_of_best_cost_bottoms_out_at_link_insertions() {
         let mut tb = build_scenario(true, 42);
         tb.run_until(SimTime::from_secs(30));
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: best_cost(C, D, 5) }, C, None);
+        let result = tb.querier.why_exists(best_cost(C, D, 5)).at(C).run();
         assert!(result.root.is_some());
-        assert!(result.is_legitimate(), "clean MinCost run must explain bestCost legitimately:\n{}", result.render());
+        assert!(
+            result.is_legitimate(),
+            "clean MinCost run must explain bestCost legitimately:\n{}",
+            result.render()
+        );
         // Figure 2: bestCost(@c,d,5) can be derived either from c's direct
         // link to d or from b's advertisement; with the unique-derivation
         // simplification the engine keeps one of them, and either way the
         // explanation must bottom out at a base link insertion of cost 5 or 3.
-        let mentions_link = result
-            .traversal
-            .as_ref()
-            .unwrap()
-            .depths
-            .keys()
-            .any(|id| {
-                result
-                    .graph
-                    .vertex(id)
-                    .map(|v| v.kind.tuple() == &link(C, D, 5) || v.kind.tuple() == &link(B, D, 3))
-                    .unwrap_or(false)
-            });
-        assert!(mentions_link, "explanation must include a base link tuple:\n{}", result.render());
+        let mentions_link = result.mentions(&link(C, D, 5)) || result.mentions(&link(B, D, 3));
+        assert!(
+            mentions_link,
+            "explanation must include a base link tuple:\n{}",
+            result.render()
+        );
     }
 
     #[test]
     fn provenance_crosses_nodes_when_no_direct_link_exists() {
         // Remove the direct c–d link so the only way c learns a route to d is
         // through b's advertisement; the explanation must then cross into b.
-        let mut tb = Testbed::new(NetworkConfig::default(), 42, 6, true);
-        for node in [A, B, C, D, E] {
-            tb.add_node(node, Box::new(Engine::new(node, mincost_rules())), Box::new(Engine::new(node, mincost_rules())));
-        }
-        for (i, (x, y, cost)) in example_topology().into_iter().enumerate() {
-            if (x, y) == (C, D) {
-                continue;
-            }
-            let at = SimTime::from_millis(10 + i as u64);
-            tb.insert_at(at, x, link(x, y, cost));
-            tb.insert_at(at, y, link(y, x, cost));
-        }
+        let sparse: Vec<_> = example_topology()
+            .into_iter()
+            .filter(|(x, y, _)| (*x, *y) != (C, D))
+            .collect();
+        let mut tb = Deployment::builder()
+            .seed(42)
+            .app(MinCost::with_topology(sparse))
+            .build();
         tb.run_until(SimTime::from_secs(30));
-        assert!(tb.handles[&C].with(|n| n.has_tuple(&best_cost(C, D, 5))), "c still reaches d via b at cost 5");
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: best_cost(C, D, 5) }, C, None);
+        assert!(
+            tb.handles[&C].with(|n| n.has_tuple(&best_cost(C, D, 5))),
+            "c still reaches d via b at cost 5"
+        );
+        let result = tb.querier.why_exists(best_cost(C, D, 5)).at(C).run();
         assert!(result.is_legitimate(), "explanation:\n{}", result.render());
-        let mentions_b_link = result
-            .traversal
-            .as_ref()
-            .unwrap()
-            .depths
-            .keys()
-            .any(|id| result.graph.vertex(id).map(|v| v.kind.tuple() == &link(B, D, 3)).unwrap_or(false));
-        assert!(mentions_b_link, "explanation must include link(@b,d,3):\n{}", result.render());
+        assert!(
+            result.mentions(&link(B, D, 3)),
+            "explanation must include link(@b,d,3):\n{}",
+            result.render()
+        );
     }
 
     #[test]

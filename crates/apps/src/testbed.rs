@@ -1,156 +1,14 @@
-//! Shared scaffolding: SNooPy nodes + simulator + querier in one bundle.
+//! Legacy shim: [`Testbed`] is now [`snp_core::Deployment`].
+//!
+//! The shared scaffolding that used to live here — SNooPy nodes + simulator +
+//! querier in one bundle — moved into `snp-core` as the unified deployment
+//! API ([`snp_core::Deployment`], [`snp_core::DeploymentBuilder`] and the
+//! [`snp_core::Application`] trait).  This module keeps the old name alive
+//! for one release; new code should use `Deployment::builder()`.
 
-use snp_core::node::{SnoopyHandle, SnoopyNode, OPERATOR};
-use snp_core::query::Querier;
-use snp_core::wire::SnoopyWire;
-use snp_core::ByzantineConfig;
-use snp_crypto::keys::{KeyRegistry, NodeId};
-use snp_datalog::{SmInput, StateMachine, Tuple};
-use snp_sim::{NetworkConfig, SimTime, Simulator};
-use std::collections::BTreeMap;
-
-/// A complete experimental setup: simulator, node handles and a querier.
-pub struct Testbed {
-    /// The discrete-event simulator driving the run.
-    pub sim: Simulator<SnoopyWire>,
-    /// Handles to every node, for inspection and `retrieve`.
-    pub handles: BTreeMap<NodeId, SnoopyHandle>,
-    /// The querier ("Alice").
-    pub querier: Querier,
-    /// Whether nodes run with SNP enabled (false = baseline configuration).
-    pub secure: bool,
-    registry: KeyRegistry,
-    t_prop_micros: u64,
-}
-
-impl Testbed {
-    /// Create a testbed.  `secure = false` builds the baseline configuration
-    /// used as the denominator in Figures 5 and 9.
-    pub fn new(config: NetworkConfig, seed: u64, max_nodes: u64, secure: bool) -> Testbed {
-        let (_, _, registry) = KeyRegistry::deployment(max_nodes + 1);
-        let t_prop_micros = config.t_prop.as_micros();
-        Testbed {
-            sim: Simulator::new(config, seed),
-            handles: BTreeMap::new(),
-            querier: Querier::new(registry.clone(), t_prop_micros),
-            secure,
-            registry,
-            t_prop_micros,
-        }
-    }
-
-    /// Add a node running `app`; `expected` is the machine the querier will
-    /// replay with (pass a fresh copy of the *correct* machine even when the
-    /// node itself runs a corrupted one).
-    pub fn add_node(&mut self, id: NodeId, app: Box<dyn StateMachine>, expected: Box<dyn StateMachine>) -> SnoopyHandle {
-        let node = if self.secure {
-            SnoopyNode::new(id, app, self.registry.clone(), self.t_prop_micros)
-        } else {
-            SnoopyNode::baseline(id, app)
-        };
-        let handle = SnoopyHandle::new(node);
-        self.sim.add_node(id, Box::new(handle.clone()));
-        self.querier.register(handle.clone(), expected);
-        self.handles.insert(id, handle.clone());
-        handle
-    }
-
-    /// Configure Byzantine behaviour on a node.
-    pub fn set_byzantine(&mut self, id: NodeId, config: ByzantineConfig) {
-        if let Some(handle) = self.handles.get(&id) {
-            handle.with(|n| n.set_byzantine(config));
-        }
-    }
-
-    /// Charge `bytes` of proxy re-encoding overhead per outgoing message on a
-    /// node (the Quagga proxy of §6.3).
-    pub fn set_proxy_overhead(&mut self, id: NodeId, bytes: usize) {
-        if let Some(handle) = self.handles.get(&id) {
-            handle.with(|n| n.proxy_overhead_per_message = bytes);
-        }
-    }
-
-    /// Enable periodic checkpoints on every node.
-    pub fn enable_checkpoints(&mut self, interval_micros: u64) {
-        for handle in self.handles.values() {
-            handle.with(|n| n.set_checkpoint_interval(interval_micros));
-        }
-    }
-
-    /// Schedule the insertion of a base tuple at `at` on `node`.
-    pub fn insert_at(&mut self, at: SimTime, node: NodeId, tuple: Tuple) {
-        self.sim.inject_message(at, OPERATOR, node, SnoopyWire::Operator { input: SmInput::InsertBase(tuple) });
-    }
-
-    /// Schedule the deletion of a base tuple at `at` on `node`.
-    pub fn delete_at(&mut self, at: SimTime, node: NodeId, tuple: Tuple) {
-        self.sim.inject_message(at, OPERATOR, node, SnoopyWire::Operator { input: SmInput::DeleteBase(tuple) });
-    }
-
-    /// Run the simulation until `deadline`.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        self.sim.run_until(deadline);
-        // Past runs invalidate cached audits.
-        self.querier.clear_cache();
-    }
-
-    /// Sum of all nodes' SNP-level traffic counters.
-    pub fn total_traffic(&self) -> snp_core::node::NodeTraffic {
-        let mut total = snp_core::node::NodeTraffic::default();
-        for handle in self.handles.values() {
-            total.merge(&handle.traffic());
-        }
-        total
-    }
-
-    /// Sum of all nodes' log sizes in bytes.
-    pub fn total_log_bytes(&self) -> u64 {
-        self.handles.values().map(|h| h.with(|n| n.log_stats().total())).sum()
-    }
-
-    /// Number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.handles.len()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use snp_datalog::{Atom, Engine, Rule, RuleSet, Term, Value};
-
-    fn rules() -> RuleSet {
-        RuleSet::new(vec![Rule::standard(
-            "R",
-            Atom::new("reach", Term::var("Y"), vec![Term::var("X")]),
-            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
-            vec![],
-        )])
-        .unwrap()
-    }
-
-    #[test]
-    fn testbed_wires_nodes_and_tracks_traffic() {
-        let mut tb = Testbed::new(NetworkConfig::default(), 3, 4, true);
-        for i in 1..=2u64 {
-            tb.add_node(NodeId(i), Box::new(Engine::new(NodeId(i), rules())), Box::new(Engine::new(NodeId(i), rules())));
-        }
-        tb.insert_at(SimTime::from_millis(5), NodeId(1), Tuple::new("link", NodeId(1), vec![Value::node(2u64)]));
-        tb.run_until(SimTime::from_secs(2));
-        assert_eq!(tb.node_count(), 2);
-        assert!(tb.total_traffic().total() > 0);
-        assert!(tb.total_log_bytes() > 0);
-    }
-
-    #[test]
-    fn baseline_testbed_has_zero_log() {
-        let mut tb = Testbed::new(NetworkConfig::default(), 3, 4, false);
-        for i in 1..=2u64 {
-            tb.add_node(NodeId(i), Box::new(Engine::new(NodeId(i), rules())), Box::new(Engine::new(NodeId(i), rules())));
-        }
-        tb.insert_at(SimTime::from_millis(5), NodeId(1), Tuple::new("link", NodeId(1), vec![Value::node(2u64)]));
-        tb.run_until(SimTime::from_secs(2));
-        assert_eq!(tb.total_log_bytes(), 0);
-        assert!(tb.total_traffic().total() > 0);
-    }
-}
+/// The old name of [`snp_core::Deployment`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `snp_core::Deployment` (via `Deployment::builder()`) instead"
+)]
+pub type Testbed = snp_core::Deployment;

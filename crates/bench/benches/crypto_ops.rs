@@ -1,22 +1,18 @@
 //! Microbenchmarks of the crypto substrate (feeds Figure 7's per-op costs).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use snp_bench::harness::bench;
 use snp_crypto::keys::{KeyPair, NodeId};
+use std::hint::black_box;
 
-fn bench_crypto(c: &mut Criterion) {
+fn main() {
     let keys = KeyPair::for_node(NodeId(1));
     let digest = snp_crypto::hash(b"benchmark message");
     let sig = keys.secret.sign(&digest);
     let payload_1k = vec![0xabu8; 1024];
     let payload_64k = vec![0xabu8; 64 * 1024];
 
-    c.bench_function("sign", |b| b.iter(|| keys.secret.sign(std::hint::black_box(&digest))));
-    c.bench_function("verify", |b| {
-        b.iter(|| keys.public.verify(std::hint::black_box(&digest), std::hint::black_box(&sig)))
-    });
-    c.bench_function("sha256_1KiB", |b| b.iter(|| snp_crypto::sha256::sha256(std::hint::black_box(&payload_1k))));
-    c.bench_function("sha256_64KiB", |b| b.iter(|| snp_crypto::sha256::sha256(std::hint::black_box(&payload_64k))));
+    bench("sign", || keys.secret.sign(black_box(&digest)));
+    bench("verify", || keys.public.verify(black_box(&digest), black_box(&sig)));
+    bench("sha256_1KiB", || snp_crypto::sha256::sha256(black_box(&payload_1k)));
+    bench("sha256_64KiB", || snp_crypto::sha256::sha256(black_box(&payload_64k)));
 }
-
-criterion_group!(benches, bench_crypto);
-criterion_main!(benches);

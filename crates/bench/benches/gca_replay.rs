@@ -1,11 +1,12 @@
 //! Benchmark of the graph construction algorithm over synthetic histories —
 //! the dominant cost of a microquery's replay phase (§7.7).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use snp_bench::harness::bench;
 use snp_crypto::keys::NodeId;
 use snp_datalog::{Atom, Engine, Rule, RuleSet, Term, Tuple, Value};
 use snp_graph::history::{Event, EventKind, History};
 use snp_graph::GraphBuilder;
+use std::hint::black_box;
 
 fn rules() -> RuleSet {
     RuleSet::new(vec![Rule::standard(
@@ -30,18 +31,13 @@ fn history(events: u64) -> History {
     h
 }
 
-fn bench_gca(c: &mut Criterion) {
+fn main() {
     for size in [100u64, 500] {
         let h = history(size);
-        c.bench_function(&format!("gca_replay_{size}_events"), |b| {
-            b.iter(|| {
-                let mut builder = GraphBuilder::new(1_000_000);
-                builder.register_machine(NodeId(1), Box::new(Engine::new(NodeId(1), rules())));
-                builder.build(std::hint::black_box(&h))
-            })
+        bench(&format!("gca_replay_{size}_events"), || {
+            let mut builder = GraphBuilder::new(1_000_000);
+            builder.register_machine(NodeId(1), Box::new(Engine::new(NodeId(1), rules())));
+            builder.build(black_box(&h))
         });
     }
 }
-
-criterion_group!(benches, bench_gca);
-criterion_main!(benches);

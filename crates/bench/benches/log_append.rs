@@ -1,31 +1,38 @@
 //! Microbenchmarks of the tamper-evident log: append (commit) and segment
 //! verification — the per-message runtime cost of the graph recorder (§7.4).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use snp_bench::harness::{bench, bench_batched};
 use snp_crypto::keys::{KeyPair, NodeId};
 use snp_datalog::{Tuple, TupleDelta, Value};
 use snp_graph::history::Message;
 use snp_log::entry::EntryKind;
 use snp_log::SecureLog;
+use std::hint::black_box;
 
 fn message(seq: u64) -> Message {
     Message::delta(
         NodeId(1),
         NodeId(2),
-        TupleDelta::plus(Tuple::new("route", NodeId(2), vec![Value::str("10.0.0.0/8"), Value::Int(seq as i64)])),
+        TupleDelta::plus(Tuple::new(
+            "route",
+            NodeId(2),
+            vec![Value::str("10.0.0.0/8"), Value::Int(seq as i64)],
+        )),
         seq,
         seq,
     )
 }
 
-fn bench_log(c: &mut Criterion) {
-    c.bench_function("log_append_snd", |b| {
-        b.iter_batched(
-            || SecureLog::new(KeyPair::for_node(NodeId(1))),
-            |mut log| log.append(1, EntryKind::Snd { message: message(1) }),
-            BatchSize::SmallInput,
-        )
-    });
+fn main() {
+    bench_batched(
+        "log_append_snd",
+        || SecureLog::new(KeyPair::for_node(NodeId(1))),
+        // Return the log so its deallocation is not part of the measurement.
+        |mut log| {
+            log.append(1, EntryKind::Snd { message: message(1) });
+            log
+        },
+    );
 
     // Verify a 200-entry segment against its authenticator.
     let mut log = SecureLog::new(KeyPair::for_node(NodeId(1)));
@@ -35,8 +42,5 @@ fn bench_log(c: &mut Criterion) {
     let auth = log.authenticator().unwrap();
     let segment = log.full_segment();
     let public = KeyPair::for_node(NodeId(1)).public;
-    c.bench_function("log_verify_200_entries", |b| b.iter(|| segment.verify(std::hint::black_box(&auth), &public)));
+    bench("log_verify_200_entries", || segment.verify(black_box(&auth), &public));
 }
-
-criterion_group!(benches, bench_log);
-criterion_main!(benches);

@@ -1,24 +1,19 @@
 //! End-to-end benchmark of a macroquery (audit + replay + traversal) on a
 //! small MinCost deployment — the interactive-forensics path of Figure 8.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use snp_apps::mincost::{best_cost, build_scenario, C, D};
-use snp_core::query::MacroQuery;
+use snp_bench::harness::bench;
 use snp_sim::SimTime;
 
-fn bench_microquery(c: &mut Criterion) {
-    let mut tb = build_scenario(true, 42);
-    tb.run_until(SimTime::from_secs(30));
-    c.bench_function("mincost_why_exists_query", |b| {
-        b.iter(|| {
-            tb.querier.clear_cache();
-            tb.querier.macroquery(MacroQuery::WhyExists { tuple: best_cost(C, D, 5) }, C, None)
-        })
+fn main() {
+    let mut deployment = build_scenario(true, 42);
+    deployment.run_until(SimTime::from_secs(30));
+    let querier = &mut deployment.querier;
+    bench("mincost_why_exists_query", || {
+        querier.clear_cache();
+        querier.why_exists(best_cost(C, D, 5)).at(C).run()
     });
-    c.bench_function("mincost_why_exists_query_cached", |b| {
-        b.iter(|| tb.querier.macroquery(MacroQuery::WhyExists { tuple: best_cost(C, D, 5) }, C, None))
+    bench("mincost_why_exists_query_cached", || {
+        querier.why_exists(best_cost(C, D, 5)).at(C).run()
     });
 }
-
-criterion_group!(benches, bench_microquery);
-criterion_main!(benches);

@@ -3,13 +3,17 @@
 //! contribution standing out.
 
 use snp_apps::mapreduce::{reduce_out, reducer_for, MapReduceScenario};
-use snp_core::query::MacroQuery;
 use snp_crypto::keys::NodeId;
 use snp_sim::SimTime;
 
 fn main() {
     println!("Figure 4 — Hadoop-Squirrel provenance tree\n");
-    let scenario = MapReduceScenario { mappers: 8, reducers: 4, splits: 8, words_per_split: 200 };
+    let scenario = MapReduceScenario {
+        mappers: 8,
+        reducers: 4,
+        splits: 8,
+        words_per_split: 200,
+    };
     let corrupt = NodeId(3);
     let extra = 93; // the corrupt mapper injects 93 bogus "squirrel" pairs per split
     let mut tb = scenario.build(true, 7, Some(corrupt), extra);
@@ -24,11 +28,19 @@ fn main() {
         .expect("a squirrel count must exist");
     println!("suspicious output tuple: reduceOut(@{reducer}, \"squirrel\", {total})\n");
 
-    let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reduce_out(reducer, "squirrel", total) }, reducer, None);
+    let result = tb
+        .querier
+        .why_exists(reduce_out(reducer, "squirrel", total))
+        .at(reducer)
+        .run();
     println!("{}", result.render());
     println!("implicated nodes: {:?}", result.implicated_nodes());
     println!("suspect nodes:    {:?}", result.suspect_nodes());
-    println!("query cost:       {} bytes downloaded, {} audits", result.stats.total_bytes(), result.stats.audits);
+    println!(
+        "query cost:       {} bytes downloaded, {} audits",
+        result.stats.total_bytes(),
+        result.stats.audits
+    );
     println!(
         "\nExpected shape (paper Fig. 4): one mapper contributes an implausibly large\n\
          share of the count; its subtree is flagged (red) because replaying its log\n\

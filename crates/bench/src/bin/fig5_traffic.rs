@@ -8,9 +8,18 @@ fn main() {
     println!("(columns are the stacked components of the paper's Figure 5)\n");
     let widths = [14, 10, 10, 10, 10, 10, 12, 12];
     print_row(
-        &["config", "baseline", "proxy", "provenance", "auth", "acks", "total", "normalized"]
-            .map(String::from)
-            .to_vec(),
+        [
+            "config",
+            "baseline",
+            "proxy",
+            "provenance",
+            "auth",
+            "acks",
+            "total",
+            "normalized",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
     for config in Config::ALL {

@@ -8,7 +8,17 @@ fn main() {
     println!("Figure 6 — per-node log growth (MB per simulated minute)\n");
     let widths = [14, 12, 12, 12, 12, 12, 14];
     print_row(
-        &["config", "messages", "signatures", "auths", "index", "total MB/min", "checkpoint B"].map(String::from).to_vec(),
+        [
+            "config",
+            "messages",
+            "signatures",
+            "auths",
+            "index",
+            "total MB/min",
+            "checkpoint B",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
     for config in Config::ALL {

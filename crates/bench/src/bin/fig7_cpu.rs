@@ -46,7 +46,16 @@ fn main() {
     );
     let widths = [14, 12, 12, 12, 14, 16];
     print_row(
-        &["config", "signs", "verifies", "hash ops", "hashed MiB", "CPU load (%core)"].map(String::from).to_vec(),
+        [
+            "config",
+            "signs",
+            "verifies",
+            "hash ops",
+            "hashed MiB",
+            "CPU load (%core)",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
     for config in Config::ALL {

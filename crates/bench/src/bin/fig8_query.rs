@@ -5,7 +5,7 @@ use snp_apps::bgp;
 use snp_apps::chord::{self, ChordScenario};
 use snp_apps::mapreduce::{reduce_out, reducer_for, MapReduceScenario};
 use snp_bench::print_row;
-use snp_core::query::{MacroQuery, QueryResult};
+use snp_core::query::QueryResult;
 use snp_crypto::keys::NodeId;
 use snp_sim::SimTime;
 
@@ -35,11 +35,15 @@ fn quagga_disappear() -> QueryResult {
     tb.run_until(SimTime::from_secs(20));
     bgp::disappear_trigger(&mut tb, SimTime::from_secs(25));
     tb.run_until(SimTime::from_secs(60));
-    tb.querier.macroquery(
-        MacroQuery::WhyDisappeared { tuple: bgp::adv_route(i, &prefix, &[NodeId(2), NodeId(3), NodeId(5)], NodeId(2)) },
-        i,
-        None,
-    )
+    tb.querier
+        .why_disappeared(bgp::adv_route(
+            i,
+            &prefix,
+            &[NodeId(2), NodeId(3), NodeId(5)],
+            NodeId(2),
+        ))
+        .at(i)
+        .run()
 }
 
 fn quagga_badgadget() -> QueryResult {
@@ -50,11 +54,15 @@ fn quagga_badgadget() -> QueryResult {
         .into_iter()
         .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()))
         .expect("AS 1 has a route to the gadget prefix");
-    tb.querier.macroquery(MacroQuery::WhyExists { tuple: route }, NodeId(1), None)
+    tb.querier.why_exists(route).at(NodeId(1)).run()
 }
 
 fn chord_lookup(nodes: u64) -> QueryResult {
-    let scenario = ChordScenario { nodes, lookups_per_minute: 0, ..ChordScenario::small(60) };
+    let scenario = ChordScenario {
+        nodes,
+        lookups_per_minute: 0,
+        ..ChordScenario::small(60)
+    };
     let (mut tb, ring) = scenario.build(true, 9, None);
     let origin = ring.members[0].1;
     let key = (ring.members[ring.members.len() / 2].0 + 1) % chord::ID_SPACE;
@@ -62,11 +70,16 @@ fn chord_lookup(nodes: u64) -> QueryResult {
     tb.insert_at(SimTime::from_secs(1), origin, chord::lookup(origin, key, origin, 1));
     tb.run_until(SimTime::from_secs(90));
     let result_tuple = chord::lookup_result(origin, 1, key, owner, owner_id);
-    tb.querier.macroquery(MacroQuery::WhyExists { tuple: result_tuple }, origin, None)
+    tb.querier.why_exists(result_tuple).at(origin).run()
 }
 
 fn hadoop_squirrel() -> QueryResult {
-    let scenario = MapReduceScenario { mappers: 8, reducers: 4, splits: 8, words_per_split: 200 };
+    let scenario = MapReduceScenario {
+        mappers: 8,
+        reducers: 4,
+        splits: 8,
+        words_per_split: 200,
+    };
     let corrupt = NodeId(3);
     let mut tb = scenario.build(true, 7, Some(corrupt), 93);
     tb.run_until(SimTime::from_secs(60));
@@ -77,14 +90,28 @@ fn hadoop_squirrel() -> QueryResult {
         .find(|t| t.relation == "reduceOut" && t.str_arg(0) == Some("squirrel"))
         .and_then(|t| t.int_arg(1))
         .expect("squirrel count");
-    tb.querier.macroquery(MacroQuery::WhyExists { tuple: reduce_out(reducer, "squirrel", total) }, reducer, None)
+    tb.querier
+        .why_exists(reduce_out(reducer, "squirrel", total))
+        .at(reducer)
+        .run()
 }
 
 fn main() {
     println!("Figure 8 — query turnaround time and downloaded data (10 Mbps assumed)\n");
     let widths = [20, 12, 12, 10, 12, 10, 12, 8];
     print_row(
-        &["query", "turnaround s", "auth-chk s", "replay s", "log B", "auth B", "chkpt B", "audits"].map(String::from).to_vec(),
+        [
+            "query",
+            "turnaround s",
+            "auth-chk s",
+            "replay s",
+            "log B",
+            "auth B",
+            "chkpt B",
+            "audits",
+        ]
+        .map(String::from)
+        .as_ref(),
         &widths,
     );
     report("Quagga-Disappear", &quagga_disappear(), &widths);

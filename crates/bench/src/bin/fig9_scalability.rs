@@ -8,7 +8,11 @@ use snp_sim::SimTime;
 
 fn run(nodes: u64, secure: bool) -> RunMetrics {
     let duration = 60;
-    let scenario = ChordScenario { nodes, lookups_per_minute: 30, ..ChordScenario::small(duration) };
+    let scenario = ChordScenario {
+        nodes,
+        lookups_per_minute: 30,
+        ..ChordScenario::small(duration)
+    };
     let (mut tb, _) = scenario.build(secure, 17, None);
     tb.run_until(SimTime::from_secs(duration + 30));
     RunMetrics::collect(&tb, duration)
@@ -18,7 +22,9 @@ fn main() {
     println!("Figure 9 — Chord scalability: per-node traffic (left) and log growth (right)\n");
     let widths = [8, 18, 18, 20];
     print_row(
-        &["N", "baseline B/s/node", "SNP B/s/node", "log kB/min/node"].map(String::from).to_vec(),
+        ["N", "baseline B/s/node", "SNP B/s/node", "log kB/min/node"]
+            .map(String::from)
+            .as_ref(),
         &widths,
     );
     for nodes in [10u64, 50, 100, 250, 500] {

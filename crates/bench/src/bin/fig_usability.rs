@@ -6,7 +6,6 @@ use snp_apps::bgp;
 use snp_apps::chord::{self, ChordScenario};
 use snp_apps::mapreduce::{reduce_out, reducer_for, MapReduceScenario};
 use snp_core::properties;
-use snp_core::query::MacroQuery;
 use snp_crypto::keys::NodeId;
 use snp_datalog::TupleDelta;
 use snp_sim::SimTime;
@@ -24,14 +23,22 @@ fn main() {
 
     // 1. BGP prefix hijack (fabricated advertisement).
     {
-        let scenario = bgp::BgpScenario { ases: 6, prefixes: 2, updates: 0, duration_s: 20 };
+        let scenario = bgp::BgpScenario {
+            ases: 6,
+            prefixes: 2,
+            updates: 0,
+            duration_s: 20,
+        };
         let mut tb = scenario.build(true, 7);
         let hijacker = NodeId(3);
         let victim = NodeId(1);
         let prefix = "192.0.2.0/24";
         tb.set_byzantine(
             hijacker,
-            snp_core::ByzantineConfig::fabricating(victim, TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker))),
+            snp_core::ByzantineConfig::fabricating(
+                victim,
+                TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker)),
+            ),
         );
         tb.run_until(SimTime::from_secs(40));
         let bogus = tb.handles[&victim]
@@ -40,9 +47,12 @@ fn main() {
             .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix));
         match bogus {
             Some(route) => {
-                let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: route }, victim, None);
+                let result = tb.querier.why_exists(route).at(victim).run();
                 let byz: BTreeSet<NodeId> = [hijacker].into();
-                verdict("BGP route hijack traced to the hijacker", properties::check_forensics(&result, &byz));
+                verdict(
+                    "BGP route hijack traced to the hijacker",
+                    properties::check_forensics(&result, &byz),
+                );
             }
             None => println!("  [FAIL] BGP hijack: bogus route never installed"),
         }
@@ -54,36 +64,65 @@ fn main() {
         tb.run_until(SimTime::from_secs(20));
         bgp::disappear_trigger(&mut tb, SimTime::from_secs(25));
         tb.run_until(SimTime::from_secs(60));
-        let result = tb.querier.macroquery(
-            MacroQuery::WhyDisappeared { tuple: bgp::adv_route(i, &prefix, &[NodeId(2), NodeId(3), NodeId(5)], NodeId(2)) },
-            i,
-            None,
-        );
+        let result = tb
+            .querier
+            .why_disappeared(bgp::adv_route(
+                i,
+                &prefix,
+                &[NodeId(2), NodeId(3), NodeId(5)],
+                NodeId(2),
+            ))
+            .at(i)
+            .run();
         let ok = result.root.is_some() && result.implicated_nodes().is_empty();
         verdict(
             "Quagga-Disappear explains a policy-driven withdrawal without blaming anyone",
-            if ok { Ok(()) } else { Err(format!("root={:?} implicated={:?}", result.root.is_some(), result.implicated_nodes())) },
+            if ok {
+                Ok(())
+            } else {
+                Err(format!(
+                    "root={:?} implicated={:?}",
+                    result.root.is_some(),
+                    result.implicated_nodes()
+                ))
+            },
         );
     }
 
     // 3. Chord Eclipse attack.
     {
-        let scenario = ChordScenario { nodes: 10, lookups_per_minute: 0, ..ChordScenario::small(20) };
+        let scenario = ChordScenario {
+            nodes: 10,
+            lookups_per_minute: 0,
+            ..ChordScenario::small(20)
+        };
         let ring_preview = chord::ChordRing::new(10);
         let attacker = ring_preview.members[3].1;
         let (mut tb, _) = scenario.build(true, 3, Some(attacker));
         let key = (ring_preview.members[5].0 + 1) % chord::ID_SPACE;
-        tb.insert_at(SimTime::from_secs(1), attacker, chord::lookup(attacker, key, attacker, 5));
+        tb.insert_at(
+            SimTime::from_secs(1),
+            attacker,
+            chord::lookup(attacker, key, attacker, 5),
+        );
         tb.run_until(SimTime::from_secs(60));
         let bogus = chord::lookup_result(attacker, 5, key, attacker, chord::chord_id(attacker));
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus }, attacker, None);
+        let result = tb.querier.why_exists(bogus).at(attacker).run();
         let byz: BTreeSet<NodeId> = [attacker].into();
-        verdict("Chord Eclipse attacker identified", properties::check_completeness(&result, &byz));
+        verdict(
+            "Chord Eclipse attacker identified",
+            properties::check_completeness(&result, &byz),
+        );
     }
 
     // 4. Hadoop corrupt mapper.
     {
-        let scenario = MapReduceScenario { mappers: 8, reducers: 4, splits: 8, words_per_split: 200 };
+        let scenario = MapReduceScenario {
+            mappers: 8,
+            reducers: 4,
+            splits: 8,
+            words_per_split: 200,
+        };
         let corrupt = NodeId(3);
         let mut tb = scenario.build(true, 7, Some(corrupt), 93);
         tb.run_until(SimTime::from_secs(60));
@@ -94,9 +133,16 @@ fn main() {
             .find(|t| t.relation == "reduceOut" && t.str_arg(0) == Some("squirrel"))
             .and_then(|t| t.int_arg(1))
             .unwrap_or(0);
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reduce_out(reducer, "squirrel", total) }, reducer, None);
+        let result = tb
+            .querier
+            .why_exists(reduce_out(reducer, "squirrel", total))
+            .at(reducer)
+            .run();
         let byz: BTreeSet<NodeId> = [corrupt].into();
-        verdict("Hadoop-Squirrel corrupt mapper identified", properties::check_forensics(&result, &byz));
+        verdict(
+            "Hadoop-Squirrel corrupt mapper identified",
+            properties::check_forensics(&result, &byz),
+        );
     }
 
     println!("\nAll scenarios above mirror §7.3: clean behavior explains legitimately, and");

@@ -1,0 +1,76 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The container this repo builds in has no network access, so the Criterion
+//! dependency cannot be resolved; this module provides the small subset the
+//! `benches/` targets need: warm-up, batched timing, and a stable one-line
+//! report per benchmark.  Benchmarks are ordinary binaries (`harness = false`)
+//! and run with `cargo bench`.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const MEASURE: Duration = Duration::from_millis(400);
+/// Warm-up time before measuring.
+const WARMUP: Duration = Duration::from_millis(100);
+
+fn report(name: &str, iters: u64, elapsed: Duration) {
+    let per_iter = elapsed.as_secs_f64() / iters.max(1) as f64;
+    let (value, unit) = if per_iter < 1e-6 {
+        (per_iter * 1e9, "ns")
+    } else if per_iter < 1e-3 {
+        (per_iter * 1e6, "µs")
+    } else {
+        (per_iter * 1e3, "ms")
+    };
+    println!("{name:<40} {value:>10.2} {unit}/iter  ({iters} iters)");
+}
+
+/// Time `f` repeatedly and print the average cost per iteration.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let warm_until = Instant::now() + WARMUP;
+    while Instant::now() < warm_until {
+        black_box(f());
+    }
+    let started = Instant::now();
+    let mut iters = 0u64;
+    while started.elapsed() < MEASURE {
+        black_box(f());
+        iters += 1;
+    }
+    report(name, iters, started.elapsed());
+}
+
+/// Time `routine` on fresh inputs produced by `setup`; only the routine is
+/// measured — neither the setup nor the drop of the routine's output.  A
+/// routine that consumes its input should return it so its deallocation is
+/// excluded from the measurement too.
+pub fn bench_batched<S, R>(name: &str, mut setup: impl FnMut() -> S, mut routine: impl FnMut(S) -> R) {
+    let warm_until = Instant::now() + WARMUP;
+    while Instant::now() < warm_until {
+        let input = setup();
+        black_box(routine(input));
+    }
+    let mut measured = Duration::ZERO;
+    let mut iters = 0u64;
+    while measured < MEASURE {
+        let input = setup();
+        let started = Instant::now();
+        let output = black_box(routine(input));
+        measured += started.elapsed();
+        drop(output);
+        iters += 1;
+    }
+    report(name, iters, measured);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_without_panicking() {
+        bench("noop", || 1 + 1);
+        bench_batched("noop_batched", || 21, |x| x * 2);
+    }
+}

@@ -13,14 +13,17 @@
 //! | `fig_usability`    | §7.3          | does each forensic query identify the culprit?    |
 //!
 //! The library part contains the five workload configurations of §7.1 (scaled
-//! down so every harness completes in seconds on a laptop) and shared metric
-//! collection used both by the binaries and by the Criterion benchmarks.
+//! down so every harness completes in seconds on a laptop), shared metric
+//! collection used both by the binaries and by the micro-benchmarks under
+//! `benches/`, and the tiny wall-clock [`harness`] those benchmarks run on.
+
+pub mod harness;
 
 use snp_apps::bgp::BgpScenario;
 use snp_apps::chord::ChordScenario;
 use snp_apps::mapreduce::MapReduceScenario;
-use snp_apps::Testbed;
 use snp_core::node::NodeTraffic;
+use snp_core::Deployment;
 use snp_sim::SimTime;
 
 /// The five experiment configurations of §7.1 (scaled down).
@@ -40,8 +43,13 @@ pub enum Config {
 
 impl Config {
     /// All five configurations in Figure 5/6 order.
-    pub const ALL: [Config; 5] =
-        [Config::Quagga, Config::ChordSmall, Config::ChordLarge, Config::HadoopSmall, Config::HadoopLarge];
+    pub const ALL: [Config; 5] = [
+        Config::Quagga,
+        Config::ChordSmall,
+        Config::ChordLarge,
+        Config::HadoopSmall,
+        Config::HadoopLarge,
+    ];
 
     /// Display label.
     pub fn label(&self) -> &'static str {
@@ -64,13 +72,18 @@ impl Config {
     }
 
     /// Build the testbed with the workload scheduled (but not yet run).
-    pub fn build(&self, secure: bool, seed: u64) -> Testbed {
+    pub fn build(&self, secure: bool, seed: u64) -> Deployment {
         match self {
             Config::Quagga => {
-                let scenario = BgpScenario { duration_s: self.duration_s(), ..BgpScenario::quagga_like() };
-                let mut tb = scenario.build(secure, seed);
-                scenario.inject_updates(&mut tb, seed);
-                tb
+                let scenario = BgpScenario {
+                    duration_s: self.duration_s(),
+                    ..BgpScenario::quagga_like()
+                };
+                Deployment::builder()
+                    .seed(seed)
+                    .secure(secure)
+                    .app(scenario.app(true))
+                    .build()
             }
             Config::ChordSmall => ChordScenario::small(self.duration_s()).build(secure, seed, None).0,
             Config::ChordLarge => ChordScenario::large(self.duration_s()).build(secure, seed, None).0,
@@ -110,12 +123,16 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// Collect metrics from a finished testbed.
-    pub fn collect(tb: &Testbed, duration_s: u64) -> RunMetrics {
+    pub fn collect(tb: &Deployment, duration_s: u64) -> RunMetrics {
         RunMetrics {
             traffic: tb.total_traffic(),
             log_bytes: tb.total_log_bytes(),
             per_node_log: tb.handles.values().map(|h| h.with(|n| n.log_stats())).collect(),
-            checkpoint_bytes: tb.handles.values().map(|h| h.with(|n| n.checkpoint_bytes()) as u64).sum(),
+            checkpoint_bytes: tb
+                .handles
+                .values()
+                .map(|h| h.with(|n| n.checkpoint_bytes()) as u64)
+                .sum(),
             nodes: tb.node_count(),
             duration_s,
         }
@@ -182,7 +199,12 @@ mod tests {
     fn quagga_metrics_show_overhead_over_baseline() {
         // A very small sanity run: SNP traffic must exceed baseline traffic
         // and produce a non-empty log.
-        let scenario = BgpScenario { ases: 5, prefixes: 4, updates: 30, duration_s: 20 };
+        let scenario = BgpScenario {
+            ases: 5,
+            prefixes: 4,
+            updates: 30,
+            duration_s: 20,
+        };
         let build = |secure: bool| {
             let mut tb = scenario.build(secure, 3);
             scenario.inject_updates(&mut tb, 3);

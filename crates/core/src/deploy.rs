@@ -1,0 +1,760 @@
+//! The unified deployment API: [`Application`], [`Deployment`] and
+//! [`DeploymentBuilder`].
+//!
+//! Every SNooPy experiment needs the same pieces wired together: a
+//! deterministic simulator, one [`SnoopyNode`] per participant (each wrapping
+//! a primary-system state machine), a key registry covering everyone, a
+//! [`Querier`] holding the *expected* machine for every node, a base-tuple
+//! workload schedule, and per-node fault/proxy configuration.  Historically
+//! each application hand-rolled this wiring with paired
+//! `(app, expected)` arguments; the [`Application`] trait bundles all of it
+//! behind one interface, and the fluent [`DeploymentBuilder`] assembles any
+//! mix of applications into a runnable [`Deployment`]:
+//!
+//! ```
+//! use snp_core::{Deployment, NodeId};
+//! use snp_datalog::{Engine, RuleSet};
+//!
+//! let rules = || RuleSet::new(snp_datalog::parser::parse_program(
+//!     "R reach(@Y, X) :- link(@X, Y).").unwrap()).unwrap();
+//! let mut deployment = Deployment::builder()
+//!     .seed(42)
+//!     .secure(true)
+//!     .node(NodeId(1), move |id| Box::new(Engine::new(id, rules())))
+//!     .build();
+//! deployment.run_until(snp_sim::SimTime::from_secs(1));
+//! ```
+
+use crate::node::{NodeTraffic, SnoopyHandle, SnoopyNode, OPERATOR};
+use crate::query::Querier;
+use crate::wire::SnoopyWire;
+use crate::ByzantineConfig;
+use snp_crypto::keys::{KeyRegistry, NodeId};
+use snp_datalog::{SmInput, StateMachine, Tuple};
+use snp_sim::{NetworkConfig, SimDuration, SimTime, Simulator};
+use std::collections::BTreeMap;
+
+/// A scheduled base-tuple operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Insert a base tuple.
+    Insert(Tuple),
+    /// Delete a base tuple.
+    Delete(Tuple),
+}
+
+/// One entry of an application's workload schedule: an operator command
+/// delivered to `node` at simulated time `at`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkloadEvent {
+    /// Global simulated delivery time.
+    pub at: SimTime,
+    /// The node receiving the operator command.
+    pub node: NodeId,
+    /// The operation to apply.
+    pub op: WorkloadOp,
+}
+
+impl WorkloadEvent {
+    /// Schedule the insertion of a base tuple.
+    pub fn insert(at: SimTime, node: NodeId, tuple: Tuple) -> WorkloadEvent {
+        WorkloadEvent {
+            at,
+            node,
+            op: WorkloadOp::Insert(tuple),
+        }
+    }
+
+    /// Schedule the deletion of a base tuple.
+    pub fn delete(at: SimTime, node: NodeId, tuple: Tuple) -> WorkloadEvent {
+        WorkloadEvent {
+            at,
+            node,
+            op: WorkloadOp::Delete(tuple),
+        }
+    }
+}
+
+/// Everything one node of an application contributes to a deployment: the
+/// machine it *runs*, the machine the querier *replays with* (§5.5), and
+/// optional fault/proxy configuration.
+pub struct AppNode {
+    /// The state machine the node actually executes (possibly corrupted).
+    pub machine: Box<dyn StateMachine>,
+    /// The machine deterministic replay uses; pass the *correct* machine even
+    /// when `machine` is corrupted — that divergence is what audits detect.
+    pub expected: Box<dyn StateMachine>,
+    /// Byzantine behaviour injected at the SNP layer (below the machine).
+    pub byzantine: Option<ByzantineConfig>,
+    /// Proxy re-encoding overhead charged per outgoing message (§6.3).
+    pub proxy_overhead_bytes: usize,
+}
+
+impl AppNode {
+    /// A node running `machine`, replayed with a fresh (correct) copy of it.
+    ///
+    /// [`StateMachine::fresh`] is specified to return the *honest* machine,
+    /// so this is the right default even for corrupted machines.
+    pub fn new(machine: Box<dyn StateMachine>) -> AppNode {
+        let expected = machine.fresh();
+        AppNode {
+            machine,
+            expected,
+            byzantine: None,
+            proxy_overhead_bytes: 0,
+        }
+    }
+
+    /// A node with an explicitly different replay machine.
+    pub fn with_expected(machine: Box<dyn StateMachine>, expected: Box<dyn StateMachine>) -> AppNode {
+        AppNode {
+            machine,
+            expected,
+            byzantine: None,
+            proxy_overhead_bytes: 0,
+        }
+    }
+
+    /// Inject Byzantine behaviour at the SNP layer of this node.
+    pub fn byzantine(mut self, config: ByzantineConfig) -> AppNode {
+        self.byzantine = Some(config);
+        self
+    }
+
+    /// Charge `bytes` of proxy re-encoding overhead per outgoing message.
+    pub fn proxy_overhead(mut self, bytes: usize) -> AppNode {
+        self.proxy_overhead_bytes = bytes;
+        self
+    }
+}
+
+/// A distributed application that can be dropped into a [`Deployment`].
+///
+/// An application owns a set of nodes and, for each, produces the machine it
+/// runs, the machine the querier replays with, and per-node fault/proxy
+/// configuration — plus the base-tuple workload that drives the scenario.
+/// Implementations exist for all the example scenarios in `snp-apps`
+/// (MinCost, Chord, MapReduce, BGP).
+pub trait Application {
+    /// Human-readable name, used in diagnostics.
+    fn name(&self) -> String;
+
+    /// The node ids this application deploys.
+    fn nodes(&self) -> Vec<NodeId>;
+
+    /// Build the bundle for one of the ids returned by [`Application::nodes`].
+    fn node(&self, id: NodeId) -> AppNode;
+
+    /// The base-tuple schedule driving the scenario.  `seed` is the
+    /// deployment seed, so randomized workloads stay deterministic per
+    /// deployment.
+    fn workload(&self, seed: u64) -> Vec<WorkloadEvent> {
+        let _ = seed;
+        Vec::new()
+    }
+}
+
+/// Fluent builder for a [`Deployment`]; create one with
+/// [`Deployment::builder`].
+pub struct DeploymentBuilder {
+    network: NetworkConfig,
+    seed: u64,
+    secure: bool,
+    checkpoint_interval: Option<SimDuration>,
+    capacity: Option<u64>,
+    apps: Vec<Box<dyn Application>>,
+    byzantine: Vec<(NodeId, ByzantineConfig)>,
+    proxy: Vec<(NodeId, usize)>,
+    schedule: Vec<WorkloadEvent>,
+}
+
+/// A single-node [`Application`] wrapping a machine factory; what
+/// [`DeploymentBuilder::node`] creates under the hood.
+struct SingleNode<F> {
+    id: NodeId,
+    factory: F,
+}
+
+impl<F: Fn(NodeId) -> Box<dyn StateMachine>> Application for SingleNode<F> {
+    fn name(&self) -> String {
+        format!("node-{}", self.id)
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        vec![self.id]
+    }
+
+    fn node(&self, id: NodeId) -> AppNode {
+        AppNode::new((self.factory)(id))
+    }
+}
+
+impl Default for DeploymentBuilder {
+    fn default() -> DeploymentBuilder {
+        DeploymentBuilder {
+            network: NetworkConfig::default(),
+            seed: 0,
+            secure: true,
+            checkpoint_interval: None,
+            capacity: None,
+            apps: Vec::new(),
+            byzantine: Vec::new(),
+            proxy: Vec::new(),
+            schedule: Vec::new(),
+        }
+    }
+}
+
+impl DeploymentBuilder {
+    /// Start from the defaults: `NetworkConfig::default()`, seed 0, SNP
+    /// enabled, no checkpoints, no nodes.
+    pub fn new() -> DeploymentBuilder {
+        DeploymentBuilder::default()
+    }
+
+    /// Use this network model (latency, jitter, clock skew, loss).
+    pub fn network(mut self, config: NetworkConfig) -> DeploymentBuilder {
+        self.network = config;
+        self
+    }
+
+    /// Seed for the simulator RNG and all application workload generators.
+    pub fn seed(mut self, seed: u64) -> DeploymentBuilder {
+        self.seed = seed;
+        self
+    }
+
+    /// Enable (`true`, the default) or disable SNP on every node.
+    /// `secure(false)` builds the baseline configuration used as the
+    /// denominator in Figures 5 and 9.
+    pub fn secure(mut self, secure: bool) -> DeploymentBuilder {
+        self.secure = secure;
+        self
+    }
+
+    /// Shorthand for [`DeploymentBuilder::secure`]`(false)`.
+    pub fn baseline(self) -> DeploymentBuilder {
+        self.secure(false)
+    }
+
+    /// Enable periodic checkpoints on every node (§5.6).
+    pub fn checkpoints_every(mut self, interval: SimDuration) -> DeploymentBuilder {
+        self.checkpoint_interval = Some(interval);
+        self
+    }
+
+    /// Reserve key material for node ids up to `max_id` even if no such node
+    /// is added yet (needed when nodes will be added after `build`).
+    pub fn capacity(mut self, max_id: u64) -> DeploymentBuilder {
+        self.capacity = Some(max_id);
+        self
+    }
+
+    /// Deploy a whole application (all its nodes plus its workload).
+    pub fn app(mut self, app: impl Application + 'static) -> DeploymentBuilder {
+        self.apps.push(Box::new(app));
+        self
+    }
+
+    /// Deploy a single node whose machine is produced by `factory`; the
+    /// querier replays it with a fresh (correct) copy.
+    pub fn node(
+        mut self,
+        id: NodeId,
+        factory: impl Fn(NodeId) -> Box<dyn StateMachine> + 'static,
+    ) -> DeploymentBuilder {
+        self.apps.push(Box::new(SingleNode { id, factory }));
+        self
+    }
+
+    /// Inject Byzantine behaviour on a node (overrides the application's own
+    /// per-node configuration for that node).
+    pub fn byzantine(mut self, id: NodeId, config: ByzantineConfig) -> DeploymentBuilder {
+        self.byzantine.push((id, config));
+        self
+    }
+
+    /// Charge `bytes` of proxy re-encoding overhead per outgoing message on a
+    /// node (the Quagga proxy of §6.3).
+    pub fn proxy_overhead(mut self, id: NodeId, bytes: usize) -> DeploymentBuilder {
+        self.proxy.push((id, bytes));
+        self
+    }
+
+    /// Append one workload event to the schedule.
+    pub fn schedule(mut self, event: WorkloadEvent) -> DeploymentBuilder {
+        self.schedule.push(event);
+        self
+    }
+
+    /// Schedule the insertion of a base tuple.
+    pub fn insert_at(self, at: SimTime, node: NodeId, tuple: Tuple) -> DeploymentBuilder {
+        self.schedule(WorkloadEvent::insert(at, node, tuple))
+    }
+
+    /// Schedule the deletion of a base tuple.
+    pub fn delete_at(self, at: SimTime, node: NodeId, tuple: Tuple) -> DeploymentBuilder {
+        self.schedule(WorkloadEvent::delete(at, node, tuple))
+    }
+
+    /// Assemble the deployment: derive the key registry from the node ids in
+    /// use, install every application's nodes, apply fault/proxy overrides,
+    /// and schedule all workloads.
+    ///
+    /// Panics if two applications claim the same node id, or if a
+    /// `byzantine` / `proxy_overhead` override names a node no application
+    /// deploys (a typo'd id would otherwise silently disable the fault
+    /// injection an experiment depends on).
+    pub fn build(self) -> Deployment {
+        let mut max_id = self.capacity.unwrap_or(0);
+        for app in &self.apps {
+            for id in app.nodes() {
+                assert_ne!(
+                    id,
+                    OPERATOR,
+                    "{}: the operator pseudo-node cannot be deployed",
+                    app.name()
+                );
+                max_id = max_id.max(id.0);
+            }
+        }
+        let (_, _, registry) = KeyRegistry::deployment(max_id + 1);
+        let t_prop_micros = self.network.t_prop.as_micros();
+        let mut deployment = Deployment {
+            sim: Simulator::new(self.network, self.seed),
+            handles: BTreeMap::new(),
+            querier: Querier::new(registry.clone(), t_prop_micros),
+            secure: self.secure,
+            registry,
+            t_prop_micros,
+        };
+
+        for app in &self.apps {
+            for id in app.nodes() {
+                assert!(
+                    !deployment.handles.contains_key(&id),
+                    "node {id} deployed twice (second claim by application {})",
+                    app.name()
+                );
+                deployment.install(id, app.node(id));
+            }
+            for event in app.workload(self.seed) {
+                deployment.schedule(event);
+            }
+        }
+        // The setters panic on undeployed ids, covering builder typos too.
+        for (id, config) in self.byzantine {
+            deployment.set_byzantine(id, config);
+        }
+        for (id, bytes) in self.proxy {
+            deployment.set_proxy_overhead(id, bytes);
+        }
+        for event in self.schedule {
+            deployment.schedule(event);
+        }
+        if let Some(interval) = self.checkpoint_interval {
+            deployment.enable_checkpoints(interval.as_micros());
+        }
+        deployment
+    }
+}
+
+/// A complete experimental setup: simulator, node handles and a querier.
+///
+/// Built with [`Deployment::builder`]; the legacy [`Deployment::new`] /
+/// [`Deployment::add_node`] entry points remain as deprecated shims for one
+/// release.
+pub struct Deployment {
+    /// The discrete-event simulator driving the run.
+    pub sim: Simulator<SnoopyWire>,
+    /// Handles to every node, for inspection and `retrieve`.
+    pub handles: BTreeMap<NodeId, SnoopyHandle>,
+    /// The querier ("Alice").
+    pub querier: Querier,
+    /// Whether nodes run with SNP enabled (false = baseline configuration).
+    pub secure: bool,
+    registry: KeyRegistry,
+    t_prop_micros: u64,
+}
+
+impl Deployment {
+    /// Start building a deployment.
+    pub fn builder() -> DeploymentBuilder {
+        DeploymentBuilder::new()
+    }
+
+    /// Create an empty deployment the old way.
+    #[deprecated(since = "0.2.0", note = "use `Deployment::builder()` instead")]
+    pub fn new(config: NetworkConfig, seed: u64, max_nodes: u64, secure: bool) -> Deployment {
+        let (_, _, registry) = KeyRegistry::deployment(max_nodes + 1);
+        let t_prop_micros = config.t_prop.as_micros();
+        Deployment {
+            sim: Simulator::new(config, seed),
+            handles: BTreeMap::new(),
+            querier: Querier::new(registry.clone(), t_prop_micros),
+            secure,
+            registry,
+            t_prop_micros,
+        }
+    }
+
+    /// Add a node running `app`, replayed with `expected`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "declare nodes up front with `DeploymentBuilder::node` / `DeploymentBuilder::app`"
+    )]
+    pub fn add_node(
+        &mut self,
+        id: NodeId,
+        app: Box<dyn StateMachine>,
+        expected: Box<dyn StateMachine>,
+    ) -> SnoopyHandle {
+        self.install(id, AppNode::with_expected(app, expected))
+    }
+
+    /// Wire one node into the simulator and the querier.
+    fn install(&mut self, id: NodeId, spec: AppNode) -> SnoopyHandle {
+        let node = if self.secure {
+            SnoopyNode::new(id, spec.machine, self.registry.clone(), self.t_prop_micros)
+        } else {
+            SnoopyNode::baseline(id, spec.machine)
+        };
+        let handle = SnoopyHandle::new(node);
+        if let Some(config) = spec.byzantine {
+            handle.with(|n| n.set_byzantine(config));
+        }
+        if spec.proxy_overhead_bytes > 0 {
+            handle.with(|n| n.proxy_overhead_per_message = spec.proxy_overhead_bytes);
+        }
+        self.sim.add_node(id, Box::new(handle.clone()));
+        self.querier.register(handle.clone(), spec.expected);
+        self.handles.insert(id, handle.clone());
+        handle
+    }
+
+    /// Configure Byzantine behaviour on a node.
+    /// Panics if `id` is not a deployed node — a typo'd id would otherwise
+    /// silently disable the fault injection an experiment depends on.
+    pub fn set_byzantine(&mut self, id: NodeId, config: ByzantineConfig) {
+        let handle = self
+            .handles
+            .get(&id)
+            .unwrap_or_else(|| panic!("byzantine config for undeployed node {id}"));
+        handle.with(|n| n.set_byzantine(config));
+        // The node now answers retrieve differently even though the
+        // simulation has not advanced; a cached audit would be stale.
+        self.querier.invalidate(id);
+    }
+
+    /// Charge `bytes` of proxy re-encoding overhead per outgoing message on a
+    /// node (the Quagga proxy of §6.3).
+    /// Panics if `id` is not a deployed node.
+    pub fn set_proxy_overhead(&mut self, id: NodeId, bytes: usize) {
+        let handle = self
+            .handles
+            .get(&id)
+            .unwrap_or_else(|| panic!("proxy overhead for undeployed node {id}"));
+        handle.with(|n| n.proxy_overhead_per_message = bytes);
+    }
+
+    /// Enable periodic checkpoints on every node.
+    pub fn enable_checkpoints(&mut self, interval_micros: u64) {
+        for handle in self.handles.values() {
+            handle.with(|n| n.set_checkpoint_interval(interval_micros));
+        }
+    }
+
+    /// Apply a workload event to the schedule.
+    pub fn schedule(&mut self, event: WorkloadEvent) {
+        let input = match event.op {
+            WorkloadOp::Insert(tuple) => SmInput::InsertBase(tuple),
+            WorkloadOp::Delete(tuple) => SmInput::DeleteBase(tuple),
+        };
+        self.sim
+            .inject_message(event.at, OPERATOR, event.node, SnoopyWire::Operator { input });
+    }
+
+    /// Schedule the insertion of a base tuple at `at` on `node`.
+    pub fn insert_at(&mut self, at: SimTime, node: NodeId, tuple: Tuple) {
+        self.schedule(WorkloadEvent::insert(at, node, tuple));
+    }
+
+    /// Schedule the deletion of a base tuple at `at` on `node`.
+    pub fn delete_at(&mut self, at: SimTime, node: NodeId, tuple: Tuple) {
+        self.schedule(WorkloadEvent::delete(at, node, tuple));
+    }
+
+    /// Run the simulation until `deadline`; returns the number of events
+    /// processed.  Cached audits are invalidated only when the simulation
+    /// actually advanced — repeated no-op calls keep the querier's cache warm
+    /// (the Figure-8 cache accounting depends on this).
+    pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let processed = self.sim.run_until(deadline);
+        if processed > 0 {
+            // Past runs invalidate cached audits.
+            self.querier.clear_cache();
+        }
+        processed
+    }
+
+    /// Run the simulation for `duration` past the current simulated time.
+    pub fn run_for(&mut self, duration: SimDuration) -> u64 {
+        let deadline = SimTime(self.sim.now().as_micros() + duration.as_micros());
+        self.run_until(deadline)
+    }
+
+    /// Sum of all nodes' SNP-level traffic counters.
+    pub fn total_traffic(&self) -> NodeTraffic {
+        let mut total = NodeTraffic::default();
+        for handle in self.handles.values() {
+            total.merge(&handle.traffic());
+        }
+        total
+    }
+
+    /// Sum of all nodes' log sizes in bytes.
+    pub fn total_log_bytes(&self) -> u64 {
+        self.handles.values().map(|h| h.with(|n| n.log_stats().total())).sum()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.handles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_datalog::{Atom, Engine, Rule, RuleSet, Term, Value};
+
+    fn rules() -> RuleSet {
+        RuleSet::new(vec![Rule::standard(
+            "R",
+            Atom::new("reach", Term::var("Y"), vec![Term::var("X")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+            vec![],
+        )])
+        .unwrap()
+    }
+
+    fn engine_factory() -> impl Fn(NodeId) -> Box<dyn StateMachine> {
+        |id| Box::new(Engine::new(id, rules()))
+    }
+
+    fn link(x: u64, y: u64) -> Tuple {
+        Tuple::new("link", NodeId(x), vec![Value::node(y)])
+    }
+
+    /// A two-node Application used by the builder tests.
+    struct Pair;
+
+    impl Application for Pair {
+        fn name(&self) -> String {
+            "pair".into()
+        }
+
+        fn nodes(&self) -> Vec<NodeId> {
+            vec![NodeId(1), NodeId(2)]
+        }
+
+        fn node(&self, id: NodeId) -> AppNode {
+            AppNode::new(Box::new(Engine::new(id, rules())))
+        }
+
+        fn workload(&self, _seed: u64) -> Vec<WorkloadEvent> {
+            vec![WorkloadEvent::insert(SimTime::from_millis(5), NodeId(1), link(1, 2))]
+        }
+    }
+
+    #[test]
+    fn builder_defaults_are_secure_seed_zero_default_network() {
+        let deployment = Deployment::builder().build();
+        assert!(deployment.secure, "SNP must be on by default");
+        assert_eq!(deployment.node_count(), 0);
+        assert_eq!(deployment.sim.now(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn application_nodes_and_workload_are_installed() {
+        let mut deployment = Deployment::builder().seed(3).app(Pair).build();
+        deployment.run_until(SimTime::from_secs(2));
+        assert_eq!(deployment.node_count(), 2);
+        assert!(
+            deployment.total_traffic().total() > 0,
+            "the workload must generate traffic"
+        );
+        assert!(deployment.total_log_bytes() > 0);
+    }
+
+    #[test]
+    fn baseline_deployment_keeps_no_log() {
+        let mut deployment = Deployment::builder().seed(3).baseline().app(Pair).build();
+        deployment.run_until(SimTime::from_secs(2));
+        assert_eq!(deployment.total_log_bytes(), 0);
+        assert!(deployment.total_traffic().total() > 0);
+    }
+
+    #[test]
+    fn single_node_and_schedule_compose_with_apps() {
+        let mut deployment = Deployment::builder()
+            .seed(7)
+            .node(NodeId(5), engine_factory())
+            .insert_at(SimTime::from_millis(5), NodeId(5), link(5, 5))
+            .build();
+        deployment.run_until(SimTime::from_secs(1));
+        assert_eq!(deployment.node_count(), 1);
+        assert!(deployment.handles[&NodeId(5)].with(|n| n.log_len()) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deployed twice")]
+    fn duplicate_node_ids_panic() {
+        let _ = Deployment::builder()
+            .app(Pair)
+            .node(NodeId(2), engine_factory())
+            .build();
+    }
+
+    #[test]
+    fn checkpoints_every_applies_to_all_nodes() {
+        let mut deployment = Deployment::builder()
+            .seed(3)
+            .app(Pair)
+            .checkpoints_every(SimDuration::from_millis(100))
+            .build();
+        deployment.run_until(SimTime::from_secs(2));
+        let bytes: usize = deployment
+            .handles
+            .values()
+            .map(|h| h.with(|n| n.checkpoint_bytes()))
+            .sum();
+        assert!(bytes > 0, "periodic checkpoints must be recorded");
+    }
+
+    #[test]
+    fn run_until_without_progress_preserves_the_audit_cache() {
+        let mut deployment = Deployment::builder().seed(3).app(Pair).build();
+        deployment.run_until(SimTime::from_secs(2));
+        deployment.querier.audit(NodeId(1));
+        let audits_before = deployment.querier.stats.audits;
+        // Re-running up to the same deadline processes nothing and must not
+        // clear the cache.
+        let processed = deployment.run_until(SimTime::from_secs(2));
+        assert_eq!(processed, 0);
+        deployment.querier.audit(NodeId(1));
+        assert_eq!(
+            deployment.querier.stats.audits, audits_before,
+            "cached audit must be reused"
+        );
+        // Advancing the deadline processes events (ack sweeps at least) →
+        // progress → cache invalidated.
+        deployment.insert_at(SimTime::from_secs(4), NodeId(1), link(1, 2));
+        let processed = deployment.run_until(SimTime::from_secs(5));
+        assert!(processed > 0);
+        deployment.querier.audit(NodeId(1));
+        assert!(
+            deployment.querier.stats.audits > audits_before,
+            "progress must invalidate the cache"
+        );
+    }
+
+    #[test]
+    fn run_for_advances_relative_to_now() {
+        let mut deployment = Deployment::builder().seed(3).app(Pair).build();
+        deployment.run_until(SimTime::from_secs(1));
+        assert_eq!(deployment.sim.now(), SimTime::from_secs(1));
+        deployment.run_for(SimDuration::from_secs(2));
+        assert_eq!(deployment.sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn capacity_reserves_key_material_for_late_nodes() {
+        // Key material is derived from the node ids present at build time;
+        // `capacity` reserves ids for nodes added afterwards via the
+        // deprecated shim so their certificates still verify.
+        let mut deployment = Deployment::builder().seed(3).app(Pair).capacity(7).build();
+        deployment.add_node(
+            NodeId(7),
+            Box::new(Engine::new(NodeId(7), rules())),
+            Box::new(Engine::new(NodeId(7), rules())),
+        );
+        deployment.insert_at(SimTime::from_millis(5), NodeId(7), link(7, 1));
+        deployment.run_until(SimTime::from_secs(2));
+        let audit = deployment.querier.audit(NodeId(7));
+        assert_eq!(
+            audit.color,
+            snp_graph::vertex::Color::Black,
+            "late node's log must verify against reserved key material: {:?}",
+            audit.notes
+        );
+    }
+
+    #[test]
+    fn set_byzantine_invalidates_the_nodes_cached_audit() {
+        let mut deployment = Deployment::builder().seed(3).app(Pair).build();
+        deployment.run_until(SimTime::from_secs(2));
+        // Warm the cache with a clean audit while the node is still honest.
+        assert_eq!(
+            deployment.querier.audit(NodeId(1)).color,
+            snp_graph::vertex::Color::Black
+        );
+        // Reconfigure the node without advancing the simulation: the cached
+        // Black verdict is stale and must not be served.
+        let config = ByzantineConfig {
+            tamper_log_drop_entry: Some(0),
+            ..Default::default()
+        };
+        deployment.set_byzantine(NodeId(1), config);
+        let audit = deployment.querier.audit(NodeId(1));
+        assert_eq!(
+            audit.color,
+            snp_graph::vertex::Color::Red,
+            "stale audit served: {:?}",
+            audit.notes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "undeployed node")]
+    fn byzantine_override_for_unknown_node_panics() {
+        let mut config = ByzantineConfig::honest();
+        config.refuse_retrieve = true;
+        let _ = Deployment::builder().app(Pair).byzantine(NodeId(9), config).build();
+    }
+
+    #[test]
+    fn byzantine_and_proxy_overrides_reach_the_nodes() {
+        let mut config = ByzantineConfig::honest();
+        config.refuse_retrieve = true;
+        let deployment = Deployment::builder()
+            .app(Pair)
+            .byzantine(NodeId(1), config)
+            .proxy_overhead(NodeId(2), 24)
+            .build();
+        assert!(deployment.handles[&NodeId(1)].with(|n| n.byzantine_config().refuse_retrieve));
+        assert_eq!(
+            deployment.handles[&NodeId(2)].with(|n| n.proxy_overhead_per_message),
+            24
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_testbed_shim_still_works() {
+        let mut tb = Deployment::new(NetworkConfig::default(), 3, 4, true);
+        for i in 1..=2u64 {
+            tb.add_node(
+                NodeId(i),
+                Box::new(Engine::new(NodeId(i), rules())),
+                Box::new(Engine::new(NodeId(i), rules())),
+            );
+        }
+        tb.insert_at(SimTime::from_millis(5), NodeId(1), link(1, 2));
+        tb.run_until(SimTime::from_secs(2));
+        assert_eq!(tb.node_count(), 2);
+        assert!(tb.total_traffic().total() > 0);
+        assert!(tb.total_log_bytes() > 0);
+    }
+}

@@ -74,7 +74,9 @@ impl EvidenceSet {
     /// (neither a prefix nor an extension of it); these are fed to
     /// `handle-extra-msg` and produce red vertices.
     pub fn extras(&self, node: NodeId) -> Vec<&EvidencedMessage> {
-        let Some(dominant) = self.dominant(node) else { return Vec::new() };
+        let Some(dominant) = self.dominant(node) else {
+            return Vec::new();
+        };
         self.messages
             .iter()
             .filter(|m| m.message.from == node)
@@ -114,7 +116,12 @@ impl EvidenceSet {
             nodes.dedup();
             nodes
                 .into_iter()
-                .flat_map(|n| self.extras(n).into_iter().map(|m| m.message.clone()).collect::<Vec<_>>())
+                .flat_map(|n| {
+                    self.extras(n)
+                        .into_iter()
+                        .map(|m| m.message.clone())
+                        .collect::<Vec<_>>()
+                })
                 .collect()
         };
         builder.build_with_extra(&view, &extras)
@@ -159,7 +166,10 @@ mod tests {
         let mut history = History::new();
         history.push(Event::new(10, NodeId(1), EventKind::Ins(link(1, 2))));
         history.push(Event::new(10, NodeId(1), EventKind::Snd(msg.clone())));
-        EvidencedMessage { message: msg, history_map: history }
+        EvidencedMessage {
+            message: msg,
+            history_map: history,
+        }
     }
 
     #[test]
@@ -167,11 +177,16 @@ mod tests {
         let mut evidence = EvidenceSet::new();
         let short = honest_evidence();
         let mut long = short.clone();
-        long.history_map.push(Event::new(20, NodeId(1), EventKind::Ins(link(1, 3))));
+        long.history_map
+            .push(Event::new(20, NodeId(1), EventKind::Ins(link(1, 3))));
         evidence.push(short.clone());
         evidence.push(long.clone());
         assert_eq!(evidence.primary(NodeId(1)).unwrap().history_map.len(), 2);
-        assert_eq!(evidence.dominant(NodeId(1)).unwrap().history_map.len(), 3, "the longer extension dominates");
+        assert_eq!(
+            evidence.dominant(NodeId(1)).unwrap().history_map.len(),
+            3,
+            "the longer extension dominates"
+        );
         assert!(evidence.extras(NodeId(1)).is_empty());
         assert!(evidence.primary(NodeId(9)).is_none());
     }
@@ -192,7 +207,10 @@ mod tests {
         let mut history = History::new();
         history.push(Event::new(10, NodeId(1), EventKind::Snd(msg.clone())));
         let mut evidence = EvidenceSet::new();
-        evidence.push(EvidencedMessage { message: msg, history_map: history });
+        evidence.push(EvidencedMessage {
+            message: msg,
+            history_map: history,
+        });
         let graph = evidence.g_nu(&machines(), 1_000_000);
         assert!(graph.faulty_nodes().contains(&NodeId(1)));
     }
@@ -208,10 +226,16 @@ mod tests {
         other_history.push(Event::new(12, NodeId(1), EventKind::Snd(msg2.clone())));
         let mut evidence = EvidenceSet::new();
         evidence.push(honest);
-        evidence.push(EvidencedMessage { message: msg2, history_map: other_history });
+        evidence.push(EvidencedMessage {
+            message: msg2,
+            history_map: other_history,
+        });
         assert_eq!(evidence.extras(NodeId(1)).len(), 1);
         let graph = evidence.g_nu(&machines(), 1_000_000);
-        assert!(graph.faulty_nodes().contains(&NodeId(1)), "equivocation must produce a red vertex");
+        assert!(
+            graph.faulty_nodes().contains(&NodeId(1)),
+            "equivocation must produce a red vertex"
+        );
     }
 
     #[test]
@@ -222,7 +246,9 @@ mod tests {
         let g1 = evidence.g_nu(&machines(), 1_000_000);
 
         let mut longer = honest_evidence();
-        longer.history_map.push(Event::new(20, NodeId(1), EventKind::Ins(link(1, 3))));
+        longer
+            .history_map
+            .push(Event::new(20, NodeId(1), EventKind::Ins(link(1, 3))));
         evidence.push(longer);
         let g2 = evidence.g_nu(&machines(), 1_000_000);
         assert!(g1.is_subgraph_of(&g2));

@@ -62,7 +62,10 @@ impl ByzantineConfig {
 
     /// Convenience: fabricate one notification at startup.
     pub fn fabricating(to: NodeId, delta: TupleDelta) -> ByzantineConfig {
-        ByzantineConfig { fabricate_on_start: vec![(to, delta)], ..Default::default() }
+        ByzantineConfig {
+            fabricate_on_start: vec![(to, delta)],
+            ..Default::default()
+        }
     }
 }
 
@@ -81,9 +84,25 @@ mod tests {
         assert!(ByzantineConfig::suppressing(NodeId(2)).is_byzantine());
         let delta = TupleDelta::plus(Tuple::new("r", NodeId(2), vec![Value::Int(1)]));
         assert!(ByzantineConfig::fabricating(NodeId(2), delta).is_byzantine());
-        assert!(ByzantineConfig { refuse_retrieve: true, ..Default::default() }.is_byzantine());
-        assert!(ByzantineConfig { suppress_acks: true, ..Default::default() }.is_byzantine());
-        assert!(ByzantineConfig { tamper_log_drop_entry: Some(0), ..Default::default() }.is_byzantine());
-        assert!(ByzantineConfig { equivocate_truncate_to: Some(1), ..Default::default() }.is_byzantine());
+        assert!(ByzantineConfig {
+            refuse_retrieve: true,
+            ..Default::default()
+        }
+        .is_byzantine());
+        assert!(ByzantineConfig {
+            suppress_acks: true,
+            ..Default::default()
+        }
+        .is_byzantine());
+        assert!(ByzantineConfig {
+            tamper_log_drop_entry: Some(0),
+            ..Default::default()
+        }
+        .is_byzantine());
+        assert!(ByzantineConfig {
+            equivocate_truncate_to: Some(1),
+            ..Default::default()
+        }
+        .is_byzantine());
     }
 }

@@ -3,6 +3,10 @@
 //! This crate ties the substrates together into the system described in
 //! Section 5 of the paper:
 //!
+//! * [`deploy`] — the unified deployment API: the [`Application`] trait
+//!   bundles a scenario's machines, workload and fault configuration, and the
+//!   fluent [`DeploymentBuilder`] assembles applications into a runnable
+//!   [`Deployment`] (simulator + nodes + querier).
 //! * [`wire`] — the on-the-wire packets of the commitment protocol: every
 //!   tuple notification travels with an authenticator and is acknowledged
 //!   (§5.4), with byte-level accounting for the Figure 5 breakdown.
@@ -26,6 +30,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod deploy;
 pub mod evidence;
 pub mod fault;
 pub mod node;
@@ -34,8 +39,9 @@ pub mod query;
 pub mod replay;
 pub mod wire;
 
+pub use deploy::{AppNode, Application, Deployment, DeploymentBuilder, WorkloadEvent, WorkloadOp};
 pub use fault::ByzantineConfig;
 pub use node::{SnoopyHandle, SnoopyNode, OPERATOR};
-pub use query::{MacroQuery, QueryResult, QueryStats, Querier};
+pub use query::{MacroQuery, Querier, QueryBuilder, QueryResult, QueryStats};
 pub use snp_crypto::keys::NodeId;
 pub use wire::SnoopyWire;

@@ -14,7 +14,6 @@
 
 use crate::fault::ByzantineConfig;
 use crate::wire::SnoopyWire;
-use parking_lot::Mutex;
 use snp_crypto::counters;
 use snp_crypto::keys::{KeyPair, KeyRegistry, NodeId};
 use snp_crypto::Digest;
@@ -28,6 +27,7 @@ use snp_log::{Authenticator, AuthenticatorSet, Checkpoint, SecureLog};
 use snp_sim::{Context, SimNode, TimerId};
 use std::collections::BTreeSet;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// Pseudo node id used as the "from" of operator / workload commands.
 pub const OPERATOR: NodeId = NodeId(u64::MAX);
@@ -133,6 +133,11 @@ impl SnoopyNode {
     /// Configure Byzantine behaviour for this node.
     pub fn set_byzantine(&mut self, config: ByzantineConfig) {
         self.byz = config;
+    }
+
+    /// The currently configured Byzantine behaviour.
+    pub fn byzantine_config(&self) -> &ByzantineConfig {
+        &self.byz
     }
 
     /// Enable periodic checkpoints every `interval` microseconds (§5.6).
@@ -256,7 +261,12 @@ impl SnoopyNode {
             return;
         }
         let message = Message::delta(self.id, to, delta, now, self.next_seq());
-        let (_, auth) = self.log.append(now, EntryKind::Snd { message: message.clone() });
+        let (_, auth) = self.log.append(
+            now,
+            EntryKind::Snd {
+                message: message.clone(),
+            },
+        );
         self.unacked.push((message.clone(), message.digest(), now));
         self.traffic.baseline_bytes += message.wire_size() as u64;
         self.traffic.provenance_bytes += crate::wire::PROVENANCE_METADATA_BYTES as u64;
@@ -302,49 +312,81 @@ impl SnoopyNode {
 
     fn handle_data(&mut self, ctx: &mut Context<SnoopyWire>, message: Message, auth: Authenticator) {
         let now = Self::now_micros(ctx);
-        let Some(delta) = message.as_delta().cloned() else { return };
+        let Some(delta) = message.as_delta().cloned() else {
+            return;
+        };
         // Commitment checks (§5.4): the authenticator must be properly signed
         // by the claimed sender and must belong to that sender.
         if auth.node != message.from {
             return;
         }
-        let Some(public) = self.registry.public_key(auth.node) else { return };
+        let Some(public) = self.registry.public_key(auth.node) else {
+            return;
+        };
         if !auth.verify(&public) {
             return;
         }
         self.auths.add(auth);
-        let (_, my_auth) = self
-            .log
-            .append(now, EntryKind::Rcv { message: message.clone(), sender_auth_digest: auth.digest() });
+        let (_, my_auth) = self.log.append(
+            now,
+            EntryKind::Rcv {
+                message: message.clone(),
+                sender_auth_digest: auth.digest(),
+            },
+        );
         if !self.byz.suppress_acks {
             let ack = Message::ack(&message, now, self.next_seq());
             self.traffic.ack_bytes += (ack.wire_size() + my_auth.wire_size()) as u64;
             self.traffic.ack_messages += 1;
-            ctx.send(message.from, SnoopyWire::Ack { message: ack, auth: my_auth });
+            ctx.send(
+                message.from,
+                SnoopyWire::Ack {
+                    message: ack,
+                    auth: my_auth,
+                },
+            );
         }
-        let outputs = self.app.handle(SmInput::Receive { from: message.from, delta });
+        let outputs = self.app.handle(SmInput::Receive {
+            from: message.from,
+            delta,
+        });
         self.process_outputs(ctx, outputs);
     }
 
     fn handle_ack(&mut self, _ctx: &mut Context<SnoopyWire>, message: Message, auth: Authenticator, now: Timestamp) {
-        let snp_graph::history::MessageBody::Ack { of } = &message.body else { return };
+        let snp_graph::history::MessageBody::Ack { of } = &message.body else {
+            return;
+        };
         if auth.node != message.from {
             return;
         }
-        let Some(public) = self.registry.public_key(auth.node) else { return };
+        let Some(public) = self.registry.public_key(auth.node) else {
+            return;
+        };
         if !auth.verify(&public) {
             return;
         }
         self.auths.add(auth);
         if let Some(pos) = self.unacked.iter().position(|(_, digest, _)| digest == of) {
             self.unacked.remove(pos);
-            self.log.append(now, EntryKind::Ack { of: *of, peer_auth_digest: auth.digest() });
+            self.log.append(
+                now,
+                EntryKind::Ack {
+                    of: *of,
+                    peer_auth_digest: auth.digest(),
+                },
+            );
         }
     }
 
     fn handle_plain(&mut self, ctx: &mut Context<SnoopyWire>, message: Message) {
-        let Some(delta) = message.as_delta().cloned() else { return };
-        let outputs = self.app.handle(SmInput::Receive { from: message.from, delta });
+        let Some(delta) = message.as_delta().cloned() else {
+            return;
+        };
+        let outputs = self.app.handle(SmInput::Receive {
+            from: message.from,
+            delta,
+        });
         self.process_outputs(ctx, outputs);
     }
 
@@ -353,7 +395,10 @@ impl SnoopyNode {
             .app
             .current_tuples()
             .into_iter()
-            .map(|tuple| CheckpointEntry { tuple, appeared_at: now })
+            .map(|tuple| CheckpointEntry {
+                tuple,
+                appeared_at: now,
+            })
             .collect();
         let checkpoint = Checkpoint::build(self.id, self.log.len() as u64, now, entries);
         self.checkpoints.push(checkpoint);
@@ -428,51 +473,53 @@ pub struct SnoopyHandle {
 impl SnoopyHandle {
     /// Wrap a node in a shared handle.
     pub fn new(node: SnoopyNode) -> SnoopyHandle {
-        SnoopyHandle { inner: Arc::new(Mutex::new(node)) }
+        SnoopyHandle {
+            inner: Arc::new(Mutex::new(node)),
+        }
     }
 
     /// The node's identity.
     pub fn id(&self) -> NodeId {
-        self.inner.lock().id()
+        self.with(|n| n.id())
     }
 
     /// Run a closure with exclusive access to the node.
     pub fn with<R>(&self, f: impl FnOnce(&mut SnoopyNode) -> R) -> R {
-        f(&mut self.inner.lock())
+        f(&mut self.inner.lock().expect("node mutex poisoned"))
     }
 
     /// `retrieve` as invoked by the querier.
     pub fn retrieve(&self, through_seq: Option<u64>) -> Option<(LogSegment, Authenticator)> {
-        self.inner.lock().retrieve(through_seq)
+        self.with(|n| n.retrieve(through_seq))
     }
 
     /// Authenticators this node holds from `peer`.
     pub fn authenticators_from(&self, peer: NodeId) -> Vec<Authenticator> {
-        self.inner.lock().authenticators_from(peer)
+        self.with(|n| n.authenticators_from(peer))
     }
 
     /// The node's freshest authenticator.
     pub fn latest_authenticator(&self) -> Option<Authenticator> {
-        self.inner.lock().latest_authenticator()
+        self.with(|n| n.latest_authenticator())
     }
 
     /// Traffic counters.
     pub fn traffic(&self) -> NodeTraffic {
-        self.inner.lock().traffic()
+        self.with(|n| n.traffic())
     }
 }
 
 impl SimNode<SnoopyWire> for SnoopyHandle {
     fn on_start(&mut self, ctx: &mut Context<SnoopyWire>) {
-        self.inner.lock().on_start(ctx);
+        self.with(|n| n.on_start(ctx));
     }
 
     fn on_message(&mut self, ctx: &mut Context<SnoopyWire>, from: NodeId, payload: SnoopyWire) {
-        self.inner.lock().on_message(ctx, from, payload);
+        self.with(|n| n.on_message(ctx, from, payload));
     }
 
     fn on_timer(&mut self, ctx: &mut Context<SnoopyWire>, timer: TimerId) {
-        self.inner.lock().on_timer(ctx, timer);
+        self.with(|n| n.on_timer(ctx, timer));
     }
 }
 
@@ -487,8 +534,8 @@ pub fn with_crypto_counting<R>(f: impl FnOnce() -> R) -> (R, counters::CryptoOpC
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snp_datalog::{Engine, RuleSet, Value};
     use snp_datalog::{Atom, Rule, Term};
+    use snp_datalog::{Engine, RuleSet, Value};
 
     fn rules() -> RuleSet {
         // reach(@Y, X) :- link(@X, Y): derived locally, shipped to the neighbor.
@@ -513,8 +560,18 @@ mod tests {
         let (_, _, registry) = KeyRegistry::deployment(4);
         let t_prop = snp_sim::NetworkConfig::default().t_prop.as_micros();
         let mut sim = snp_sim::Simulator::new(snp_sim::NetworkConfig::default(), 7);
-        let n1 = SnoopyHandle::new(SnoopyNode::new(NodeId(1), Box::new(Engine::new(NodeId(1), rules())), registry.clone(), t_prop));
-        let n2 = SnoopyHandle::new(SnoopyNode::new(NodeId(2), Box::new(Engine::new(NodeId(2), rules())), registry, t_prop));
+        let n1 = SnoopyHandle::new(SnoopyNode::new(
+            NodeId(1),
+            Box::new(Engine::new(NodeId(1), rules())),
+            registry.clone(),
+            t_prop,
+        ));
+        let n2 = SnoopyHandle::new(SnoopyNode::new(
+            NodeId(2),
+            Box::new(Engine::new(NodeId(2), rules())),
+            registry,
+            t_prop,
+        ));
         sim.add_node(NodeId(1), Box::new(n1.clone()));
         sim.add_node(NodeId(2), Box::new(n2.clone()));
         (sim, n1, n2)
@@ -527,10 +584,15 @@ mod tests {
             snp_sim::SimTime::from_millis(10),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(link(1, 2)),
+            },
         );
         sim.run_until(snp_sim::SimTime::from_secs(5));
-        assert!(n2.with(|n| n.has_tuple(&reach(2, 1))), "derived tuple must arrive at node 2");
+        assert!(
+            n2.with(|n| n.has_tuple(&reach(2, 1))),
+            "derived tuple must arrive at node 2"
+        );
         assert!(n1.with(|n| n.log_len()) >= 2, "node 1 logs ins + snd + ack");
         assert!(n2.with(|n| n.log_len()) >= 1, "node 2 logs rcv");
         // The ack made it back: nothing outstanding, no maintainer notification.
@@ -544,7 +606,9 @@ mod tests {
             snp_sim::SimTime::from_millis(10),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(link(1, 2)),
+            },
         );
         sim.run_until(snp_sim::SimTime::from_secs(5));
         let (segment, auth) = n1.retrieve(None).expect("honest node answers");
@@ -563,7 +627,9 @@ mod tests {
                 snp_sim::SimTime::from_millis(10 + i),
                 OPERATOR,
                 NodeId(1),
-                SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+                SnoopyWire::Operator {
+                    input: SmInput::InsertBase(link(1, 2)),
+                },
             );
         }
         sim.run_until(snp_sim::SimTime::from_secs(5));
@@ -573,21 +639,32 @@ mod tests {
         assert!(t1.authenticator_bytes > 0);
         assert!(t1.provenance_bytes > 0);
         assert!(t2.ack_bytes > 0, "receiver pays for acknowledgments");
-        assert_eq!(t1.data_messages, 1, "duplicate inserts are reference-counted, only one +τ is sent");
+        assert_eq!(
+            t1.data_messages, 1,
+            "duplicate inserts are reference-counted, only one +τ is sent"
+        );
     }
 
     #[test]
     fn baseline_node_has_no_log_and_no_overhead() {
         let mut sim: snp_sim::Simulator<SnoopyWire> = snp_sim::Simulator::new(snp_sim::NetworkConfig::default(), 7);
-        let n1 = SnoopyHandle::new(SnoopyNode::baseline(NodeId(1), Box::new(Engine::new(NodeId(1), rules()))));
-        let n2 = SnoopyHandle::new(SnoopyNode::baseline(NodeId(2), Box::new(Engine::new(NodeId(2), rules()))));
+        let n1 = SnoopyHandle::new(SnoopyNode::baseline(
+            NodeId(1),
+            Box::new(Engine::new(NodeId(1), rules())),
+        ));
+        let n2 = SnoopyHandle::new(SnoopyNode::baseline(
+            NodeId(2),
+            Box::new(Engine::new(NodeId(2), rules())),
+        ));
         sim.add_node(NodeId(1), Box::new(n1.clone()));
         sim.add_node(NodeId(2), Box::new(n2.clone()));
         sim.inject_message(
             snp_sim::SimTime::from_millis(10),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(link(1, 2)),
+            },
         );
         sim.run_until(snp_sim::SimTime::from_secs(5));
         assert!(n2.with(|n| n.has_tuple(&reach(2, 1))));
@@ -601,15 +678,25 @@ mod tests {
     #[test]
     fn suppressed_ack_triggers_maintainer_notification() {
         let (mut sim, n1, n2) = build_pair();
-        n2.with(|n| n.set_byzantine(ByzantineConfig { suppress_acks: true, ..Default::default() }));
+        n2.with(|n| {
+            n.set_byzantine(ByzantineConfig {
+                suppress_acks: true,
+                ..Default::default()
+            })
+        });
         sim.inject_message(
             snp_sim::SimTime::from_millis(10),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(link(1, 2)),
+            },
         );
         sim.run_until(snp_sim::SimTime::from_secs(10));
-        assert!(!n1.with(|n| n.maintainer_notifications().is_empty()), "sender must report the missing ack");
+        assert!(
+            !n1.with(|n| n.maintainer_notifications().is_empty()),
+            "sender must report the missing ack"
+        );
     }
 
     #[test]
@@ -620,7 +707,9 @@ mod tests {
             snp_sim::SimTime::from_millis(10),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(link(1, 2)),
+            },
         );
         sim.run_until(snp_sim::SimTime::from_secs(5));
         assert!(n1.with(|n| n.latest_checkpoint().is_some()));
@@ -630,12 +719,19 @@ mod tests {
     #[test]
     fn refusing_node_returns_nothing() {
         let (mut sim, n1, _) = build_pair();
-        n1.with(|n| n.set_byzantine(ByzantineConfig { refuse_retrieve: true, ..Default::default() }));
+        n1.with(|n| {
+            n.set_byzantine(ByzantineConfig {
+                refuse_retrieve: true,
+                ..Default::default()
+            })
+        });
         sim.inject_message(
             snp_sim::SimTime::from_millis(10),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(link(1, 2)),
+            },
         );
         sim.run_until(snp_sim::SimTime::from_secs(5));
         assert!(n1.retrieve(None).is_none());
@@ -649,12 +745,22 @@ mod tests {
             snp_sim::SimTime::from_millis(10),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::InsertBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(link(1, 2)),
+            },
         );
         sim.run_until(snp_sim::SimTime::from_secs(5));
-        n1.with(|n| n.set_byzantine(ByzantineConfig { tamper_log_drop_entry: Some(0), ..Default::default() }));
+        n1.with(|n| {
+            n.set_byzantine(ByzantineConfig {
+                tamper_log_drop_entry: Some(0),
+                ..Default::default()
+            })
+        });
         let (segment, auth) = n1.retrieve(None).expect("still answers");
         let public = KeyPair::for_node(NodeId(1)).public;
-        assert!(segment.verify(&auth, &public).is_err(), "dropping a log entry must be detected");
+        assert!(
+            segment.verify(&auth, &public).is_err(),
+            "dropping a log entry must be detected"
+        );
     }
 }

@@ -14,7 +14,11 @@ use std::collections::BTreeSet;
 pub fn check_accuracy(graph: &ProvenanceGraph, byzantine: &BTreeSet<NodeId>) -> Result<(), String> {
     for (_, vertex) in graph.vertices() {
         if vertex.color == Color::Red && !byzantine.contains(&vertex.host()) {
-            return Err(format!("correct node {} has a red vertex: {}", vertex.host(), vertex.kind));
+            return Err(format!(
+                "correct node {} has a red vertex: {}",
+                vertex.host(),
+                vertex.kind
+            ));
         }
     }
     Ok(())
@@ -34,7 +38,9 @@ pub fn check_completeness(result: &QueryResult, byzantine: &BTreeSet<NodeId>) ->
     if suspects.iter().any(|s| byzantine.contains(s)) {
         Ok(())
     } else {
-        Err(format!("no byzantine node among suspects {suspects:?} (byzantine: {byzantine:?})"))
+        Err(format!(
+            "no byzantine node among suspects {suspects:?} (byzantine: {byzantine:?})"
+        ))
     }
 }
 
@@ -60,13 +66,20 @@ pub fn check_forensics(result: &QueryResult, byzantine: &BTreeSet<NodeId>) -> Re
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snp_graph::vertex::{Vertex, VertexKind};
     use snp_datalog::{Tuple, Value};
+    use snp_graph::vertex::{Vertex, VertexKind};
 
     fn graph_with_red_on(node: u64) -> ProvenanceGraph {
         let mut g = ProvenanceGraph::new();
         let tuple = Tuple::new("x", NodeId(node), vec![Value::Int(1)]);
-        let v = Vertex::new(VertexKind::Appear { node: NodeId(node), tuple, time: 1 }, Color::Red);
+        let v = Vertex::new(
+            VertexKind::Appear {
+                node: NodeId(node),
+                tuple,
+                time: 1,
+            },
+            Color::Red,
+        );
         g.upsert(v);
         g
     }

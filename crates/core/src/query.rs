@@ -97,6 +97,19 @@ pub enum MacroQuery {
     },
 }
 
+impl MacroQuery {
+    /// The tuple the query is about.
+    pub fn tuple(&self) -> &Tuple {
+        match self {
+            MacroQuery::WhyExists { tuple }
+            | MacroQuery::WhyExistedAt { tuple, .. }
+            | MacroQuery::WhyAppeared { tuple }
+            | MacroQuery::WhyDisappeared { tuple }
+            | MacroQuery::Effects { tuple } => tuple,
+        }
+    }
+}
+
 /// The result of a macroquery.
 #[derive(Clone, Debug)]
 pub struct QueryResult {
@@ -153,6 +166,87 @@ impl QueryResult {
             _ => "(no explanation available)".to_string(),
         }
     }
+
+    /// Iterate over the vertices of the explanation (or forward slice)
+    /// together with their traversal depth, in vertex-id order.  Empty when
+    /// the query found no anchor.
+    pub fn vertices_with_depth(&self) -> impl Iterator<Item = (&snp_graph::vertex::Vertex, usize)> + '_ {
+        self.traversal
+            .iter()
+            .flat_map(|t| t.depths.iter())
+            .filter_map(move |(id, depth)| self.graph.vertex(id).map(|v| (v, *depth)))
+    }
+
+    /// Iterate over the vertices of the explanation (or forward slice).
+    pub fn vertices(&self) -> impl Iterator<Item = &snp_graph::vertex::Vertex> + '_ {
+        self.vertices_with_depth().map(|(v, _)| v)
+    }
+
+    /// The set of nodes hosting at least one vertex of the explanation.
+    pub fn hosts(&self) -> BTreeSet<NodeId> {
+        self.vertices().map(|v| v.host()).collect()
+    }
+
+    /// Whether the explanation mentions `tuple` anywhere (in any vertex kind:
+    /// exist, appear, believe, send, …).
+    pub fn mentions(&self, tuple: &Tuple) -> bool {
+        self.vertices().any(|v| v.kind.tuple() == tuple)
+    }
+
+    /// Number of vertices in the explanation (0 when no anchor was found).
+    pub fn len(&self) -> usize {
+        self.traversal.as_ref().map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Whether the explanation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A fluent, partially-specified macroquery; created by the `why_*` /
+/// `effects_of` methods on [`Querier`] and executed with
+/// [`QueryBuilder::run`].
+///
+/// ```ignore
+/// let result = querier.why_exists(tuple).at(node).scope(2).run();
+/// ```
+///
+/// The anchor host defaults to the queried tuple's own location and the scope
+/// defaults to unbounded exploration.
+#[must_use = "a QueryBuilder does nothing until `.run()` is called"]
+pub struct QueryBuilder<'q> {
+    querier: &'q mut Querier,
+    query: MacroQuery,
+    host: Option<NodeId>,
+    scope: Option<usize>,
+}
+
+impl QueryBuilder<'_> {
+    /// Anchor the query at `host` instead of the tuple's own location (e.g.
+    /// to ask a node about a tuple it *believes* another node has).
+    pub fn at(mut self, host: NodeId) -> Self {
+        self.host = Some(host);
+        self
+    }
+
+    /// Explore at most `hops` hops from the anchor vertex.
+    pub fn scope(mut self, hops: usize) -> Self {
+        self.scope = Some(hops);
+        self
+    }
+
+    /// Remove any scope bound (the default).
+    pub fn unbounded(mut self) -> Self {
+        self.scope = None;
+        self
+    }
+
+    /// Execute the macroquery.
+    pub fn run(self) -> QueryResult {
+        let host = self.host.unwrap_or(self.query.tuple().location);
+        self.querier.run_macroquery(self.query, host, self.scope)
+    }
 }
 
 /// The querier ("Alice").
@@ -195,6 +289,12 @@ impl Querier {
         self.cache.clear();
     }
 
+    /// Forget the cached audit of a single node (e.g. after its behaviour
+    /// was reconfigured while the simulation stood still).
+    pub fn invalidate(&mut self, node: NodeId) {
+        self.cache.remove(&node);
+    }
+
     /// Audit a node: retrieve + verify + replay + consistency check.
     /// Results are cached.
     pub fn audit(&mut self, node: NodeId) -> NodeAudit {
@@ -208,7 +308,11 @@ impl Querier {
         self.stats.audits += 1;
         let mut notes = Vec::new();
         let Some(handle) = self.nodes.get(&node).cloned() else {
-            let audit = NodeAudit { node, color: Color::Yellow, notes: vec!["node unknown to querier".into()] };
+            let audit = NodeAudit {
+                node,
+                color: Color::Yellow,
+                notes: vec!["node unknown to querier".into()],
+            };
             self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
             return audit;
         };
@@ -218,13 +322,21 @@ impl Querier {
             // A node with an empty log has nothing to retrieve; that is not
             // suspicious by itself.
             if handle.with(|n| n.log_len()) == 0 {
-                let audit = NodeAudit { node, color: Color::Black, notes: vec!["empty log".into()] };
+                let audit = NodeAudit {
+                    node,
+                    color: Color::Black,
+                    notes: vec!["empty log".into()],
+                };
                 self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
                 return audit;
             }
             // No response: everything hosted here stays yellow (§4.2, fourth
             // limitation).
-            let audit = NodeAudit { node, color: Color::Yellow, notes: vec!["node did not respond to retrieve".into()] };
+            let audit = NodeAudit {
+                node,
+                color: Color::Yellow,
+                notes: vec!["node did not respond to retrieve".into()],
+            };
             self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
             return audit;
         };
@@ -297,9 +409,7 @@ impl Querier {
         if !notified.is_empty() {
             let excused: Vec<VertexId> = graph
                 .vertices()
-                .filter(|(_, v)| {
-                    v.color == Color::Red && matches!(v.kind, VertexKind::Send { .. }) && v.host() == node
-                })
+                .filter(|(_, v)| v.color == Color::Red && matches!(v.kind, VertexKind::Send { .. }) && v.host() == node)
                 .map(|(id, _)| *id)
                 .collect();
             for id in excused {
@@ -336,11 +446,19 @@ impl Querier {
             None => {
                 // The node's verified log does not contain this vertex: if the
                 // node answered at all, that is evidence of misbehavior.
-                let color = if audit.color == Color::Yellow { Color::Yellow } else { Color::Red };
+                let color = if audit.color == Color::Yellow {
+                    Color::Yellow
+                } else {
+                    Color::Red
+                };
                 (color, Vec::new(), Vec::new())
             }
             Some(v) => {
-                let color = if audit.color == Color::Black { v.color } else { audit.color };
+                let color = if audit.color == Color::Black {
+                    v.color
+                } else {
+                    audit.color
+                };
                 (color, graph.predecessors(&vertex), graph.successors(&vertex))
             }
         }
@@ -362,12 +480,12 @@ impl Querier {
                 .or_else(|| graph.open_believe(host, tuple))
                 .or_else(|| find_last(&|k| matches!(k, VertexKind::Exist { tuple: t, .. } if t == tuple))),
             MacroQuery::WhyExistedAt { tuple, at } => graph.exist_covering(host, tuple, *at),
-            MacroQuery::WhyAppeared { tuple } => {
-                find_last(&|k| matches!(k, VertexKind::Appear { tuple: t, .. } | VertexKind::BelieveAppear { tuple: t, .. } if t == tuple))
-            }
-            MacroQuery::WhyDisappeared { tuple } => {
-                find_last(&|k| matches!(k, VertexKind::Disappear { tuple: t, .. } | VertexKind::BelieveDisappear { tuple: t, .. } if t == tuple))
-            }
+            MacroQuery::WhyAppeared { tuple } => find_last(
+                &|k| matches!(k, VertexKind::Appear { tuple: t, .. } | VertexKind::BelieveAppear { tuple: t, .. } if t == tuple),
+            ),
+            MacroQuery::WhyDisappeared { tuple } => find_last(
+                &|k| matches!(k, VertexKind::Disappear { tuple: t, .. } | VertexKind::BelieveDisappear { tuple: t, .. } if t == tuple),
+            ),
             // For forward slices, anchor at the appearance event: outgoing
             // derivations and sends hang off the `appear` vertex, not the
             // `exist` vertex (Figure 2 / Table 1).
@@ -378,9 +496,56 @@ impl Querier {
         }
     }
 
+    /// Start a fluent macroquery from an explicit [`MacroQuery`] value.
+    pub fn query(&mut self, query: MacroQuery) -> QueryBuilder<'_> {
+        QueryBuilder {
+            querier: self,
+            query,
+            host: None,
+            scope: None,
+        }
+    }
+
+    /// "Why does τ exist?" — anchored at the tuple's location unless
+    /// [`QueryBuilder::at`] overrides it.
+    pub fn why_exists(&mut self, tuple: Tuple) -> QueryBuilder<'_> {
+        self.query(MacroQuery::WhyExists { tuple })
+    }
+
+    /// "Why did τ exist at time t?" (historical query).
+    pub fn why_existed_at(&mut self, tuple: Tuple, at: Timestamp) -> QueryBuilder<'_> {
+        self.query(MacroQuery::WhyExistedAt { tuple, at })
+    }
+
+    /// "Why did τ appear?" (dynamic query).
+    pub fn why_appeared(&mut self, tuple: Tuple) -> QueryBuilder<'_> {
+        self.query(MacroQuery::WhyAppeared { tuple })
+    }
+
+    /// "Why did τ disappear?" (dynamic query).
+    pub fn why_disappeared(&mut self, tuple: Tuple) -> QueryBuilder<'_> {
+        self.query(MacroQuery::WhyDisappeared { tuple })
+    }
+
+    /// "What was derived from τ?" (causal query, for damage assessment).
+    pub fn effects_of(&mut self, tuple: Tuple) -> QueryBuilder<'_> {
+        self.query(MacroQuery::Effects { tuple })
+    }
+
     /// Run a macroquery anchored at `host`, exploring at most `scope` hops
     /// (None = unbounded).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use the fluent QueryBuilder instead, e.g. `querier.why_exists(tuple).at(host).run()`"
+    )]
     pub fn macroquery(&mut self, query: MacroQuery, host: NodeId, scope: Option<usize>) -> QueryResult {
+        self.run_macroquery(query, host, scope)
+    }
+
+    /// The macroquery processor (§5.1): locate the anchor, then iteratively
+    /// traverse, audit frontier hosts and merge their subgraphs until
+    /// fixpoint or scope exhaustion.
+    fn run_macroquery(&mut self, query: MacroQuery, host: NodeId, scope: Option<usize>) -> QueryResult {
         let stats_before = self.stats;
         let direction = match query {
             MacroQuery::Effects { .. } => Direction::Effects,
@@ -393,7 +558,13 @@ impl Querier {
 
         let Some(root) = root else {
             let delta = diff_stats(&self.stats, &stats_before);
-            return QueryResult { root: None, graph: merged, traversal: None, audits, stats: delta };
+            return QueryResult {
+                root: None,
+                graph: merged,
+                traversal: None,
+                audits,
+                stats: delta,
+            };
         };
 
         // Iteratively expand: traverse, find frontier vertices hosted on nodes
@@ -411,7 +582,13 @@ impl Querier {
             }
             if new_hosts.is_empty() {
                 let delta = diff_stats(&self.stats, &stats_before);
-                return QueryResult { root: Some(root), graph: merged, traversal: Some(traversal), audits, stats: delta };
+                return QueryResult {
+                    root: Some(root),
+                    graph: merged,
+                    traversal: Some(traversal),
+                    audits,
+                    stats: delta,
+                };
             }
             for h in new_hosts {
                 audits.insert(h, self.audit(h));
@@ -483,7 +660,12 @@ mod tests {
         let mut handles = BTreeMap::new();
         let mut querier = Querier::new(registry.clone(), t_prop);
         for i in 1..=num_nodes {
-            let node = SnoopyNode::new(NodeId(i), Box::new(Engine::new(NodeId(i), rules())), registry.clone(), t_prop);
+            let node = SnoopyNode::new(
+                NodeId(i),
+                Box::new(Engine::new(NodeId(i), rules())),
+                registry.clone(),
+                t_prop,
+            );
             let handle = SnoopyHandle::new(node);
             sim.add_node(NodeId(i), Box::new(handle.clone()));
             querier.register(handle.clone(), Box::new(Engine::new(NodeId(i), rules())));
@@ -497,7 +679,9 @@ mod tests {
             SimTime::from_millis(at_ms),
             OPERATOR,
             NodeId(node),
-            SnoopyWire::Operator { input: SmInput::InsertBase(tuple) },
+            SnoopyWire::Operator {
+                input: SmInput::InsertBase(tuple),
+            },
         );
     }
 
@@ -508,10 +692,14 @@ mod tests {
         tb.sim.run_until(SimTime::from_secs(5));
         assert!(tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 1))));
 
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        let result = tb.querier.why_exists(reach(2, 1)).at(NodeId(2)).run();
         assert!(result.root.is_some(), "the tuple's vertex must be found");
         assert!(result.implicated_nodes().is_empty(), "no fault in a clean run");
-        assert!(result.is_legitimate(), "explanation must bottom out at base inserts: {}", result.render());
+        assert!(
+            result.is_legitimate(),
+            "explanation must bottom out at base inserts: {}",
+            result.render()
+        );
         // The explanation spans both nodes: node 2's believe chain and node
         // 1's insert/derive chain.
         let hosts: BTreeSet<NodeId> = result
@@ -522,7 +710,10 @@ mod tests {
             .keys()
             .filter_map(|id| result.graph.vertex(id).map(|v| v.host()))
             .collect();
-        assert!(hosts.contains(&NodeId(1)) && hosts.contains(&NodeId(2)), "cross-node provenance expected, got {hosts:?}");
+        assert!(
+            hosts.contains(&NodeId(1)) && hosts.contains(&NodeId(2)),
+            "cross-node provenance expected, got {hosts:?}"
+        );
         assert!(result.stats.log_bytes > 0);
         assert!(result.stats.audits >= 2);
     }
@@ -535,12 +726,22 @@ mod tests {
             .with(|n| n.set_byzantine(ByzantineConfig::fabricating(NodeId(2), TupleDelta::plus(reach(2, 9)))));
         insert(&mut tb.sim, 10, 1, link(1, 2));
         tb.sim.run_until(SimTime::from_secs(5));
-        assert!(tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 9))), "the lie reaches node 2");
+        assert!(
+            tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 9))),
+            "the lie reaches node 2"
+        );
 
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 9) }, NodeId(2), None);
+        let result = tb.querier.why_exists(reach(2, 9)).at(NodeId(2)).run();
         assert!(!result.is_legitimate());
-        assert!(result.implicated_nodes().contains(&NodeId(3)), "the fabricator must be implicated: {:?}", result.implicated_nodes());
-        assert!(!result.implicated_nodes().contains(&NodeId(1)), "correct nodes must not be implicated (accuracy)");
+        assert!(
+            result.implicated_nodes().contains(&NodeId(3)),
+            "the fabricator must be implicated: {:?}",
+            result.implicated_nodes()
+        );
+        assert!(
+            !result.implicated_nodes().contains(&NodeId(1)),
+            "correct nodes must not be implicated (accuracy)"
+        );
         assert!(!result.implicated_nodes().contains(&NodeId(2)));
     }
 
@@ -549,11 +750,19 @@ mod tests {
         let mut tb = testbed(2);
         insert(&mut tb.sim, 10, 1, link(1, 2));
         tb.sim.run_until(SimTime::from_secs(5));
-        tb.handles[&NodeId(1)].with(|n| n.set_byzantine(ByzantineConfig { refuse_retrieve: true, ..Default::default() }));
+        tb.handles[&NodeId(1)].with(|n| {
+            n.set_byzantine(ByzantineConfig {
+                refuse_retrieve: true,
+                ..Default::default()
+            })
+        });
 
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        let result = tb.querier.why_exists(reach(2, 1)).at(NodeId(2)).run();
         assert!(!result.is_legitimate());
-        assert!(result.suspect_nodes().contains(&NodeId(1)), "the silent node must at least be a suspect");
+        assert!(
+            result.suspect_nodes().contains(&NodeId(1)),
+            "the silent node must at least be a suspect"
+        );
         assert!(!result.implicated_nodes().contains(&NodeId(2)));
     }
 
@@ -562,10 +771,20 @@ mod tests {
         let mut tb = testbed(2);
         insert(&mut tb.sim, 10, 1, link(1, 2));
         tb.sim.run_until(SimTime::from_secs(5));
-        tb.handles[&NodeId(1)].with(|n| n.set_byzantine(ByzantineConfig { tamper_log_drop_entry: Some(0), ..Default::default() }));
+        tb.handles[&NodeId(1)].with(|n| {
+            n.set_byzantine(ByzantineConfig {
+                tamper_log_drop_entry: Some(0),
+                ..Default::default()
+            })
+        });
 
         let audit = tb.querier.audit(NodeId(1));
-        assert_eq!(audit.color, Color::Red, "log tampering must be detected: {:?}", audit.notes);
+        assert_eq!(
+            audit.color,
+            Color::Red,
+            "log tampering must be detected: {:?}",
+            audit.notes
+        );
     }
 
     #[test]
@@ -577,10 +796,20 @@ mod tests {
         // Node 1 now pretends its log stopped after the first entry, signing a
         // fresh (shorter) prefix.  Node 2 however holds an authenticator from
         // the +reach message that covers a later entry.
-        tb.handles[&NodeId(1)].with(|n| n.set_byzantine(ByzantineConfig { equivocate_truncate_to: Some(1), ..Default::default() }));
+        tb.handles[&NodeId(1)].with(|n| {
+            n.set_byzantine(ByzantineConfig {
+                equivocate_truncate_to: Some(1),
+                ..Default::default()
+            })
+        });
 
         let audit = tb.querier.audit(NodeId(1));
-        assert_eq!(audit.color, Color::Red, "equivocation must be detected: {:?}", audit.notes);
+        assert_eq!(
+            audit.color,
+            Color::Red,
+            "equivocation must be detected: {:?}",
+            audit.notes
+        );
     }
 
     #[test]
@@ -591,23 +820,31 @@ mod tests {
             SimTime::from_secs(2),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::DeleteBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::DeleteBase(link(1, 2)),
+            },
         );
         tb.sim.run_until(SimTime::from_secs(5));
-        assert!(!tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 1))), "tuple must be gone after the delete");
+        assert!(
+            !tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 1))),
+            "tuple must be gone after the delete"
+        );
 
-        let result = tb.querier.macroquery(MacroQuery::WhyDisappeared { tuple: reach(2, 1) }, NodeId(2), None);
+        let result = tb.querier.why_disappeared(reach(2, 1)).at(NodeId(2)).run();
         assert!(result.root.is_some(), "believe-disappear vertex must be found");
         assert!(result.implicated_nodes().is_empty());
         // The cause chain must reach node 1's delete event.
-        let has_delete = result
-            .traversal
-            .as_ref()
-            .unwrap()
-            .depths
-            .keys()
-            .any(|id| matches!(result.graph.vertex(id).map(|v| &v.kind), Some(VertexKind::Delete { .. })));
-        assert!(has_delete, "explanation of the disappearance must include the base-tuple delete:\n{}", result.render());
+        let has_delete = result.traversal.as_ref().unwrap().depths.keys().any(|id| {
+            matches!(
+                result.graph.vertex(id).map(|v| &v.kind),
+                Some(VertexKind::Delete { .. })
+            )
+        });
+        assert!(
+            has_delete,
+            "explanation of the disappearance must include the base-tuple delete:\n{}",
+            result.render()
+        );
     }
 
     #[test]
@@ -618,23 +855,17 @@ mod tests {
             SimTime::from_secs(2),
             OPERATOR,
             NodeId(1),
-            SnoopyWire::Operator { input: SmInput::DeleteBase(link(1, 2)) },
+            SnoopyWire::Operator {
+                input: SmInput::DeleteBase(link(1, 2)),
+            },
         );
         tb.sim.run_until(SimTime::from_secs(5));
         // Ask about the link tuple while it still existed (t = 1s).
-        let result = tb.querier.macroquery(
-            MacroQuery::WhyExistedAt { tuple: link(1, 2), at: 1_000_000 },
-            NodeId(1),
-            None,
-        );
+        let result = tb.querier.why_existed_at(link(1, 2), 1_000_000).at(NodeId(1)).run();
         assert!(result.root.is_some(), "historical exist vertex must be found");
         assert!(result.is_legitimate());
         // Asking about a time after the deletion finds nothing.
-        let result_after = tb.querier.macroquery(
-            MacroQuery::WhyExistedAt { tuple: link(1, 2), at: 4_000_000 },
-            NodeId(1),
-            None,
-        );
+        let result_after = tb.querier.why_existed_at(link(1, 2), 4_000_000).at(NodeId(1)).run();
         assert!(result_after.root.is_none());
     }
 
@@ -643,7 +874,7 @@ mod tests {
         let mut tb = testbed(2);
         insert(&mut tb.sim, 10, 1, link(1, 2));
         tb.sim.run_until(SimTime::from_secs(5));
-        let result = tb.querier.macroquery(MacroQuery::Effects { tuple: link(1, 2) }, NodeId(1), None);
+        let result = tb.querier.effects_of(link(1, 2)).at(NodeId(1)).run();
         assert!(result.root.is_some());
         let traversal = result.traversal.as_ref().unwrap();
         // The forward slice must include node 2's believed reach tuple.
@@ -659,8 +890,8 @@ mod tests {
         let mut tb = testbed(2);
         insert(&mut tb.sim, 10, 1, link(1, 2));
         tb.sim.run_until(SimTime::from_secs(5));
-        let narrow = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), Some(1));
-        let wide = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        let narrow = tb.querier.why_exists(reach(2, 1)).at(NodeId(2)).scope(1).run();
+        let wide = tb.querier.why_exists(reach(2, 1)).at(NodeId(2)).run();
         assert!(narrow.traversal.unwrap().len() < wide.traversal.unwrap().len());
     }
 
@@ -676,7 +907,12 @@ mod tests {
         assert!(!preds.is_empty());
         let _ = succs;
         // Unknown vertex on an honest node is red (the node cannot justify it).
-        let bogus = VertexKind::Appear { node: NodeId(1), tuple: link(9, 9), time: 1 }.identity();
+        let bogus = VertexKind::Appear {
+            node: NodeId(1),
+            tuple: link(9, 9),
+            time: 1,
+        }
+        .identity();
         let (color, _, _) = tb.querier.microquery(bogus, NodeId(1));
         assert_eq!(color, Color::Red);
     }
@@ -686,7 +922,7 @@ mod tests {
         let mut tb = testbed(2);
         insert(&mut tb.sim, 10, 1, link(1, 2));
         tb.sim.run_until(SimTime::from_secs(5));
-        let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reach(2, 1) }, NodeId(2), None);
+        let result = tb.querier.why_exists(reach(2, 1)).at(NodeId(2)).run();
         assert!(result.stats.total_bytes() > 0);
         assert!(result.stats.turnaround_seconds(10_000_000.0) > 0.0);
         assert!(result.stats.audits >= 1);

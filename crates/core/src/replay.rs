@@ -8,12 +8,12 @@
 //! as a red vertex.
 
 use snp_crypto::Digest;
+use snp_datalog::StateMachine;
 use snp_graph::history::{Event, EventKind, History, Message, MessageBody};
 use snp_graph::vertex::Timestamp;
 use snp_graph::{GraphBuilder, ProvenanceGraph};
 use snp_log::entry::EntryKind;
 use snp_log::log::LogSegment;
-use snp_datalog::StateMachine;
 use std::collections::BTreeMap;
 
 /// Convert a log segment into the node-local history it claims to describe.
@@ -108,16 +108,32 @@ mod tests {
         log.append(10, EntryKind::Ins { tuple: link(1, 2) });
         let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 1)), 10, 0);
         log.append(10, EntryKind::Snd { message: msg.clone() });
-        log.append(40, EntryKind::Ack { of: msg.digest(), peer_auth_digest: Digest::ZERO });
+        log.append(
+            40,
+            EntryKind::Ack {
+                of: msg.digest(),
+                peer_auth_digest: Digest::ZERO,
+            },
+        );
         log
     }
 
     #[test]
     fn honest_log_replays_without_red_vertices() {
         let log = honest_log();
-        let graph = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
-        assert!(graph.faulty_nodes().is_empty(), "honest log must replay clean: {:?}", graph.faulty_nodes());
-        assert!(graph.vertices().any(|(_, v)| matches!(&v.kind, snp_graph::VertexKind::Derive { tuple, .. } if *tuple == reach(2, 1))));
+        let graph = replay_segment(
+            &log.full_segment(),
+            Box::new(Engine::new(NodeId(1), rules())),
+            1_000_000,
+        );
+        assert!(
+            graph.faulty_nodes().is_empty(),
+            "honest log must replay clean: {:?}",
+            graph.faulty_nodes()
+        );
+        assert!(graph
+            .vertices()
+            .any(|(_, v)| matches!(&v.kind, snp_graph::VertexKind::Derive { tuple, .. } if *tuple == reach(2, 1))));
         // The acknowledged send is black.
         let send = graph
             .find_send(NodeId(1), NodeId(2), &reach(2, 1), snp_datalog::Polarity::Plus, None)
@@ -141,7 +157,11 @@ mod tests {
         let mut log = SecureLog::new(KeyPair::for_node(NodeId(1)));
         let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 9)), 10, 0);
         log.append(10, EntryKind::Snd { message: msg });
-        let graph = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
+        let graph = replay_segment(
+            &log.full_segment(),
+            Box::new(Engine::new(NodeId(1), rules())),
+            1_000_000,
+        );
         assert!(graph.faulty_nodes().contains(&NodeId(1)));
     }
 
@@ -151,11 +171,21 @@ mod tests {
         // (because the synthesized ack follows immediately).
         let mut log = SecureLog::new(KeyPair::for_node(NodeId(2)));
         let msg = Message::delta(NodeId(1), NodeId(2), TupleDelta::plus(reach(2, 1)), 10, 0);
-        log.append(20, EntryKind::Rcv { message: msg, sender_auth_digest: Digest::ZERO });
+        log.append(
+            20,
+            EntryKind::Rcv {
+                message: msg,
+                sender_auth_digest: Digest::ZERO,
+            },
+        );
         log.append(60, EntryKind::Ins { tuple: link(2, 3) });
         let history = history_from_segment(&log.full_segment());
         assert_eq!(history.len(), 3, "rcv + synthesized ack snd + ins");
-        let graph = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(2), rules())), 1_000_000);
+        let graph = replay_segment(
+            &log.full_segment(),
+            Box::new(Engine::new(NodeId(2), rules())),
+            1_000_000,
+        );
         let recv = graph
             .find_receive(NodeId(2), NodeId(1), &reach(2, 1), snp_datalog::Polarity::Plus)
             .expect("receive vertex");
@@ -165,8 +195,16 @@ mod tests {
     #[test]
     fn replay_is_deterministic() {
         let log = honest_log();
-        let a = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
-        let b = replay_segment(&log.full_segment(), Box::new(Engine::new(NodeId(1), rules())), 1_000_000);
+        let a = replay_segment(
+            &log.full_segment(),
+            Box::new(Engine::new(NodeId(1), rules())),
+            1_000_000,
+        );
+        let b = replay_segment(
+            &log.full_segment(),
+            Box::new(Engine::new(NodeId(1), rules())),
+            1_000_000,
+        );
         assert_eq!(a.vertex_count(), b.vertex_count());
         assert_eq!(a.edge_count(), b.edge_count());
         assert!(a.is_subgraph_of(&b) && b.is_subgraph_of(&a));

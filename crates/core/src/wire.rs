@@ -89,25 +89,57 @@ mod tests {
     #[test]
     fn data_packet_is_larger_than_plain() {
         let plain = SnoopyWire::Plain { message: message() };
-        let data = SnoopyWire::Data { message: message(), auth: auth() };
-        assert!(data.wire_size() > plain.wire_size() + 150, "authenticator + metadata overhead");
+        let data = SnoopyWire::Data {
+            message: message(),
+            auth: auth(),
+        };
+        assert!(
+            data.wire_size() > plain.wire_size() + 150,
+            "authenticator + metadata overhead"
+        );
     }
 
     #[test]
     fn categories_match_figure5_breakdown() {
-        assert_eq!(SnoopyWire::Plain { message: message() }.category(), TrafficCategory::Baseline);
-        assert_eq!(SnoopyWire::Data { message: message(), auth: auth() }.category(), TrafficCategory::Provenance);
+        assert_eq!(
+            SnoopyWire::Plain { message: message() }.category(),
+            TrafficCategory::Baseline
+        );
+        assert_eq!(
+            SnoopyWire::Data {
+                message: message(),
+                auth: auth()
+            }
+            .category(),
+            TrafficCategory::Provenance
+        );
         let ack = Message::ack(&message(), 20, 1);
-        assert_eq!(SnoopyWire::Ack { message: ack, auth: auth() }.category(), TrafficCategory::Acknowledgment);
-        let op = SnoopyWire::Operator { input: SmInput::InsertBase(Tuple::new("x", NodeId(1), vec![])) };
+        assert_eq!(
+            SnoopyWire::Ack {
+                message: ack,
+                auth: auth()
+            }
+            .category(),
+            TrafficCategory::Acknowledgment
+        );
+        let op = SnoopyWire::Operator {
+            input: SmInput::InsertBase(Tuple::new("x", NodeId(1), vec![])),
+        };
         assert_eq!(op.category(), TrafficCategory::Baseline);
     }
 
     #[test]
     fn operator_packet_sizes() {
         let t = Tuple::new("x", NodeId(1), vec![Value::Int(1)]);
-        let ins = SnoopyWire::Operator { input: SmInput::InsertBase(t.clone()) };
-        let rcv = SnoopyWire::Operator { input: SmInput::Receive { from: NodeId(2), delta: TupleDelta::plus(t) } };
+        let ins = SnoopyWire::Operator {
+            input: SmInput::InsertBase(t.clone()),
+        };
+        let rcv = SnoopyWire::Operator {
+            input: SmInput::Receive {
+                from: NodeId(2),
+                delta: TupleDelta::plus(t),
+            },
+        };
         assert!(ins.wire_size() > 0);
         assert!(rcv.wire_size() > ins.wire_size());
     }

@@ -7,10 +7,9 @@
 
 use crate::digest::Digest;
 use crate::hash_concat;
-use serde::{Deserialize, Serialize};
 
 /// An append-only hash chain.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HashChain {
     /// Hash value after each appended entry; `links[k]` is `h_{k+1}` in the
     /// paper's 1-based numbering.
@@ -76,7 +75,18 @@ impl HashChain {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+
+    /// Deterministic pseudorandom byte vectors derived from the crate's own
+    /// hash function (proptest is unavailable offline).
+    fn random_entries(seed: u64, count: usize, max_len: usize) -> Vec<Vec<u8>> {
+        (0..count)
+            .map(|i| {
+                let bytes = crate::hash(&[seed.to_be_bytes(), (i as u64).to_be_bytes()].concat());
+                let len = (bytes.to_u64() as usize) % (max_len + 1);
+                bytes.as_bytes().iter().cycle().take(len).copied().collect()
+            })
+            .collect()
+    }
 
     #[test]
     fn empty_chain_head_is_zero() {
@@ -117,32 +127,37 @@ mod tests {
         assert_ne!(HashChain::replay(forward), HashChain::replay(backward));
     }
 
-    proptest! {
-        /// Prefix property: the chain head after k entries only depends on the
-        /// first k entries — the basis for prefix authentication in SNooPy.
-        #[test]
-        fn prop_prefix_commitment(entries in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..32), 1..20), cut in any::<usize>()) {
-            let cut = cut % entries.len();
+    /// Prefix property: the chain head after k entries only depends on the
+    /// first k entries — the basis for prefix authentication in SNooPy.
+    #[test]
+    fn prop_prefix_commitment() {
+        for seed in 0..32u64 {
+            let entries = random_entries(seed, 1 + (seed as usize % 19), 32);
+            let cut = (seed as usize * 7) % entries.len();
             let mut full = HashChain::new();
             let mut heads = Vec::new();
             for e in &entries {
                 heads.push(full.append(e));
             }
             let prefix_head = HashChain::replay(entries[..=cut].iter().map(|v| v.as_slice()));
-            prop_assert_eq!(prefix_head, heads[cut]);
+            assert_eq!(prefix_head, heads[cut], "seed={seed}");
         }
+    }
 
-        /// Appending any extra entry never reproduces an earlier head
-        /// (collision resistance in practice).
-        #[test]
-        fn prop_extension_changes_head(entries in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..16), 1..10), extra in proptest::collection::vec(any::<u8>(), 0..16)) {
+    /// Appending any extra entry never reproduces an earlier head
+    /// (collision resistance in practice).
+    #[test]
+    fn prop_extension_changes_head() {
+        for seed in 0..32u64 {
+            let entries = random_entries(seed, 1 + (seed as usize % 9), 16);
+            let extra = random_entries(seed ^ 0xffff, 1, 16).remove(0);
             let mut chain = HashChain::new();
             for e in &entries {
                 chain.append(e);
             }
             let before = chain.head();
             chain.append(&extra);
-            prop_assert_ne!(before, chain.head());
+            assert_ne!(before, chain.head(), "seed={seed}");
         }
     }
 }

@@ -1,6 +1,5 @@
 //! The [`Digest`] type: a 32-byte SHA-256 output with ergonomic helpers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 32-byte cryptographic digest.
@@ -8,7 +7,7 @@ use std::fmt;
 /// Used throughout the workspace for hash-chain links, message commitments,
 /// Merkle tree nodes and content references (e.g. MapReduce input files are
 /// logged by digest rather than by value, mirroring §6.2 of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Digest(pub [u8; 32]);
 
 impl Digest {

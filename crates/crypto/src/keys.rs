@@ -10,7 +10,6 @@
 use crate::digest::Digest;
 use crate::hash_concat;
 use crate::sign::{PublicKey, SecretKey, Signature};
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -18,7 +17,7 @@ use std::fmt;
 ///
 /// Node identifiers are small integers in the simulator; display names are
 /// kept alongside in the registry for readable forensic output.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(pub u64);
 
 impl NodeId {
@@ -72,7 +71,7 @@ impl KeyPair {
 }
 
 /// A certificate binding a node identity to a public key, signed by the CA.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct NodeCertificate {
     /// The node identity being certified.
     pub node: NodeId,
@@ -116,7 +115,11 @@ impl CertificateAuthority {
     /// Issue a certificate for a node's public key.
     pub fn issue(&self, node: NodeId, public: PublicKey) -> NodeCertificate {
         let digest = NodeCertificate::binding_digest(node, public);
-        NodeCertificate { node, public, ca_signature: self.secret.sign(&digest) }
+        NodeCertificate {
+            node,
+            public,
+            ca_signature: self.secret.sign(&digest),
+        }
     }
 }
 
@@ -131,7 +134,10 @@ pub struct KeyRegistry {
 impl KeyRegistry {
     /// Create an empty registry trusting the given CA.
     pub fn new(ca_public: PublicKey) -> KeyRegistry {
-        KeyRegistry { ca_public: Some(ca_public), entries: BTreeMap::new() }
+        KeyRegistry {
+            ca_public: Some(ca_public),
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Register a certificate.  Returns `false` (and ignores the entry) if the

@@ -7,7 +7,6 @@
 
 use crate::digest::Digest;
 use crate::hash_concat;
-use serde::{Deserialize, Serialize};
 
 /// A Merkle tree over an ordered list of leaves.
 #[derive(Clone, Debug)]
@@ -18,7 +17,7 @@ pub struct MerkleTree {
 }
 
 /// An inclusion proof for one leaf.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MerkleProof {
     /// Index of the proven leaf.
     pub index: usize,
@@ -65,7 +64,11 @@ impl MerkleTree {
 
     /// Root commitment of the tree.
     pub fn root(&self) -> Digest {
-        self.levels.last().and_then(|l| l.first()).copied().unwrap_or(Digest::ZERO)
+        self.levels
+            .last()
+            .and_then(|l| l.first())
+            .copied()
+            .unwrap_or(Digest::ZERO)
     }
 
     /// Number of leaves.
@@ -81,12 +84,16 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut pos = index;
         for level in &self.levels[..self.levels.len().saturating_sub(1)] {
-            let sibling_pos = if pos % 2 == 0 { pos + 1 } else { pos - 1 };
+            let sibling_pos = if pos.is_multiple_of(2) { pos + 1 } else { pos - 1 };
             let sibling = level.get(sibling_pos).copied().unwrap_or(level[pos]);
             siblings.push(sibling);
             pos /= 2;
         }
-        Some(MerkleProof { index, siblings, leaf_count: self.leaf_count() })
+        Some(MerkleProof {
+            index,
+            siblings,
+            leaf_count: self.leaf_count(),
+        })
     }
 
     /// Verify an inclusion proof against a root.
@@ -98,7 +105,11 @@ impl MerkleTree {
         let mut pos = proof.index;
         let mut width = proof.leaf_count;
         for sibling in &proof.siblings {
-            acc = if pos % 2 == 0 { node_hash(&acc, sibling) } else { node_hash(sibling, &acc) };
+            acc = if pos.is_multiple_of(2) {
+                node_hash(&acc, sibling)
+            } else {
+                node_hash(sibling, &acc)
+            };
             pos /= 2;
             width = width.div_ceil(2);
         }
@@ -110,7 +121,6 @@ impl MerkleTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn leaves(n: usize) -> Vec<Vec<u8>> {
         (0..n).map(|i| format!("leaf-{i}").into_bytes()).collect()
@@ -168,24 +178,27 @@ mod tests {
         assert!(tree.prove(4).is_none());
     }
 
-    proptest! {
-        #[test]
-        fn prop_every_leaf_verifies(n in 1usize..40, seed in any::<u64>()) {
+    #[test]
+    fn prop_every_leaf_verifies() {
+        for seed in 0..8u64 {
+            let n = 1 + (seed as usize * 5) % 39;
             let data: Vec<Vec<u8>> = (0..n).map(|i| format!("{seed}-{i}").into_bytes()).collect();
             let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
             for (i, leaf) in data.iter().enumerate() {
                 let proof = tree.prove(i).expect("proof");
-                prop_assert!(MerkleTree::verify(&tree.root(), leaf, &proof));
+                assert!(MerkleTree::verify(&tree.root(), leaf, &proof), "seed={seed}, i={i}");
             }
         }
+    }
 
-        #[test]
-        fn prop_wrong_index_fails(n in 2usize..30) {
+    #[test]
+    fn prop_wrong_index_fails() {
+        for n in 2usize..30 {
             let data: Vec<Vec<u8>> = (0..n).map(|i| format!("leaf{i}").into_bytes()).collect();
             let tree = MerkleTree::build(data.iter().map(|v| v.as_slice()));
             let proof = tree.prove(0).expect("proof");
             // Verifying leaf 1's data with leaf 0's proof must fail.
-            prop_assert!(!MerkleTree::verify(&tree.root(), &data[1], &proof));
+            assert!(!MerkleTree::verify(&tree.root(), &data[1], &proof), "n={n}");
         }
     }
 }

@@ -53,14 +53,16 @@ impl RuleSet {
                 // guarded by an extra base tuple inserted by the application.
                 let site = rule.evaluation_site()?.clone();
                 let guard_args: Vec<Term> = rule.head.args.clone();
-                let guard =
-                    Atom::new(format!("{MAYBE_GUARD_PREFIX}{}", rule.id), site, guard_args);
+                let guard = Atom::new(format!("{MAYBE_GUARD_PREFIX}{}", rule.id), site, guard_args);
                 rule.body.push(guard);
                 rule.kind = RuleKind::Standard;
             }
             rule.evaluation_site()?;
             if rule.aggregate.is_some() && rule.body.len() != 1 {
-                return Err(format!("rule {}: aggregation rules must have exactly one body atom", rule.id));
+                return Err(format!(
+                    "rule {}: aggregation rules must have exactly one body atom",
+                    rule.id
+                ));
             }
             out.push(rule);
         }
@@ -176,7 +178,9 @@ impl Engine {
     }
 
     fn remove_support(&mut self, tuple: &Tuple, f: impl FnOnce(&mut Support)) -> bool {
-        let Some(entry) = self.store.get_mut(tuple) else { return false };
+        let Some(entry) = self.store.get_mut(tuple) else {
+            return false;
+        };
         let was_present = entry.total() > 0;
         f(entry);
         let now_absent = entry.total() == 0;
@@ -193,8 +197,7 @@ impl Engine {
     fn join_rest(&self, rule: &Rule, skip_index: usize, bindings: Bindings) -> Vec<(Bindings, Vec<Option<Tuple>>)> {
         // Each result carries the matched tuple per body position (None at skip_index,
         // to be filled by the caller).
-        let mut partials: Vec<(Bindings, Vec<Option<Tuple>>)> =
-            vec![(bindings, vec![None; rule.body.len()])];
+        let mut partials: Vec<(Bindings, Vec<Option<Tuple>>)> = vec![(bindings, vec![None; rule.body.len()])];
         for (i, atom) in rule.body.iter().enumerate() {
             if i == skip_index {
                 continue;
@@ -205,10 +208,7 @@ impl Engine {
                     // Rule bodies only see tuples homed at this node (NDlog
                     // localization): remote-headed tuples derived here are
                     // stored for provenance but are not joinable.
-                    if support.total() == 0
-                        || candidate.relation != atom.relation
-                        || candidate.location != self.node
-                    {
+                    if support.total() == 0 || candidate.relation != atom.relation || candidate.location != self.node {
                         continue;
                     }
                     let mut extended = bound.clone();
@@ -251,9 +251,15 @@ impl Engine {
                     if !rule.constraints.iter().all(|c| c.apply(&mut complete)) {
                         continue;
                     }
-                    let Some(head) = rule.head.instantiate(&complete) else { continue };
+                    let Some(head) = rule.head.instantiate(&complete) else {
+                        continue;
+                    };
                     let body: Vec<Tuple> = matched.into_iter().map(|t| t.expect("all positions matched")).collect();
-                    found.push(Derivation { rule: rule.id.clone(), head, body });
+                    found.push(Derivation {
+                        rule: rule.id.clone(),
+                        head,
+                        body,
+                    });
                 }
             }
         }
@@ -262,13 +268,21 @@ impl Engine {
         found
     }
 
-    fn record_derivation(&mut self, derivation: Derivation, outputs: &mut Vec<SmOutput>, worklist: &mut VecDeque<Change>) {
+    fn record_derivation(
+        &mut self,
+        derivation: Derivation,
+        outputs: &mut Vec<SmOutput>,
+        worklist: &mut VecDeque<Change>,
+    ) {
         let entry = self.derivations.entry(derivation.head.clone()).or_default();
         if !entry.insert(derivation.clone()) {
             return; // already known
         }
         for body_tuple in &derivation.body {
-            self.deps.entry(body_tuple.clone()).or_default().insert(derivation.clone());
+            self.deps
+                .entry(body_tuple.clone())
+                .or_default()
+                .insert(derivation.clone());
         }
         let appeared = self.add_support(&derivation.head, |s| s.derivation_count += 1);
         if appeared {
@@ -291,8 +305,15 @@ impl Engine {
         }
     }
 
-    fn retract_derivation(&mut self, derivation: &Derivation, outputs: &mut Vec<SmOutput>, worklist: &mut VecDeque<Change>) {
-        let Some(entry) = self.derivations.get_mut(&derivation.head) else { return };
+    fn retract_derivation(
+        &mut self,
+        derivation: &Derivation,
+        outputs: &mut Vec<SmOutput>,
+        worklist: &mut VecDeque<Change>,
+    ) {
+        let Some(entry) = self.derivations.get_mut(&derivation.head) else {
+            return;
+        };
         if !entry.remove(derivation) {
             return;
         }
@@ -334,10 +355,7 @@ impl Engine {
         // Compute, for each group (instantiated head), the winning body tuple.
         let mut groups: BTreeMap<Tuple, (i64, Tuple, i64)> = BTreeMap::new(); // head -> (agg value, witness, count)
         for (candidate, support) in &self.store {
-            if support.total() == 0
-                || candidate.relation != body_atom.relation
-                || candidate.location != self.node
-            {
+            if support.total() == 0 || candidate.relation != body_atom.relation || candidate.location != self.node {
                 continue;
             }
             let mut bindings = Bindings::new();
@@ -347,12 +365,16 @@ impl Engine {
             if !rule.constraints.iter().all(|c| c.apply(&mut bindings)) {
                 continue;
             }
-            let Some(agg_value) = bindings.get(&agg_var).and_then(Value::as_int) else { continue };
+            let Some(agg_value) = bindings.get(&agg_var).and_then(Value::as_int) else {
+                continue;
+            };
             // The head's aggregate argument is bound to the aggregated value
             // below; remove it so grouping only depends on the other args.
             let mut group_bindings = bindings.clone();
             group_bindings.insert(agg_var.clone(), Value::Int(0));
-            let Some(group_key) = rule.head.instantiate(&group_bindings) else { continue };
+            let Some(group_key) = rule.head.instantiate(&group_bindings) else {
+                continue;
+            };
             let entry = groups.entry(group_key).or_insert((agg_value, candidate.clone(), 0));
             entry.2 += 1;
             let better = match kind {
@@ -386,7 +408,8 @@ impl Engine {
         for (head, witness) in &current {
             if !new_heads.contains_key(head) {
                 self.agg_current.get_mut(&rule.id).expect("entry exists").remove(head);
-                let disappeared = self.remove_support(head, |s| s.derivation_count = s.derivation_count.saturating_sub(1));
+                let disappeared =
+                    self.remove_support(head, |s| s.derivation_count = s.derivation_count.saturating_sub(1));
                 if disappeared {
                     outputs.push(SmOutput::Underive {
                         tuple: head.clone(),
@@ -400,7 +423,10 @@ impl Engine {
         // Derive new heads.
         for (head, witness) in new_heads {
             if !current.contains_key(&head) {
-                self.agg_current.get_mut(&rule.id).expect("entry exists").insert(head.clone(), witness.clone());
+                self.agg_current
+                    .get_mut(&rule.id)
+                    .expect("entry exists")
+                    .insert(head.clone(), witness.clone());
                 let appeared = self.add_support(&head, |s| s.derivation_count += 1);
                 if appeared {
                     outputs.push(SmOutput::Derive {
@@ -419,7 +445,10 @@ impl Engine {
         let mut steps = 0usize;
         while let Some(change) = worklist.pop_front() {
             steps += 1;
-            assert!(steps < 100_000, "derivation propagation did not terminate; check rules for cycles");
+            assert!(
+                steps < 100_000,
+                "derivation propagation did not terminate; check rules for cycles"
+            );
             match change {
                 Change::Appeared(tuple) => {
                     for derivation in self.derivations_for(&tuple) {
@@ -437,8 +466,11 @@ impl Engine {
                     }
                 }
                 Change::Disappeared(tuple) => {
-                    let dependent: Vec<Derivation> =
-                        self.deps.get(&tuple).map(|s| s.iter().cloned().collect()).unwrap_or_default();
+                    let dependent: Vec<Derivation> = self
+                        .deps
+                        .get(&tuple)
+                        .map(|s| s.iter().cloned().collect())
+                        .unwrap_or_default();
                     for derivation in dependent {
                         self.retract_derivation(&derivation, &mut outputs, &mut worklist);
                     }
@@ -501,7 +533,11 @@ impl StateMachine for Engine {
     }
 
     fn current_tuples(&self) -> Vec<Tuple> {
-        self.store.iter().filter(|(_, s)| s.total() > 0).map(|(t, _)| t.clone()).collect()
+        self.store
+            .iter()
+            .filter(|(_, s)| s.total() > 0)
+            .map(|(t, _)| t.clone())
+            .collect()
     }
 
     fn name(&self) -> String {
@@ -522,26 +558,45 @@ mod tests {
     pub fn mincost_rules() -> RuleSet {
         let r1 = Rule::standard(
             "R1",
-            Atom::new("cost", Term::var("X"), vec![Term::var("Y"), Term::var("Y"), Term::var("K")]),
+            Atom::new(
+                "cost",
+                Term::var("X"),
+                vec![Term::var("Y"), Term::var("Y"), Term::var("K")],
+            ),
             vec![Atom::new("link", Term::var("X"), vec![Term::var("Y"), Term::var("K")])],
             vec![],
         );
         let r2 = Rule::standard(
             "R2",
-            Atom::new("cost", Term::var("C"), vec![Term::var("D"), Term::var("B"), Term::var("K3")]),
+            Atom::new(
+                "cost",
+                Term::var("C"),
+                vec![Term::var("D"), Term::var("B"), Term::var("K3")],
+            ),
             vec![
                 Atom::new("link", Term::var("B"), vec![Term::var("C"), Term::var("K1")]),
                 Atom::new("bestCost", Term::var("B"), vec![Term::var("D"), Term::var("K2")]),
             ],
             vec![
-                Constraint::Assign { var: "K3".into(), expr: Expr::var("K1").add(Expr::var("K2")) },
-                Constraint::Compare { lhs: Expr::var("C"), op: CmpOp::Ne, rhs: Expr::var("D") },
+                Constraint::Assign {
+                    var: "K3".into(),
+                    expr: Expr::var("K1") + Expr::var("K2"),
+                },
+                Constraint::Compare {
+                    lhs: Expr::var("C"),
+                    op: CmpOp::Ne,
+                    rhs: Expr::var("D"),
+                },
             ],
         );
         let r3 = Rule::aggregate(
             "R3",
             Atom::new("bestCost", Term::var("X"), vec![Term::var("Y"), Term::var("K")]),
-            Atom::new("cost", Term::var("X"), vec![Term::var("Y"), Term::var("Z"), Term::var("K")]),
+            Atom::new(
+                "cost",
+                Term::var("X"),
+                vec![Term::var("Y"), Term::var("Z"), Term::var("K")],
+            ),
             AggKind::Min,
             "K",
         );
@@ -561,8 +616,12 @@ mod tests {
         let mut engine = Engine::new(NodeId(1), mincost_rules());
         let outputs = engine.handle(SmInput::InsertBase(link(1, 2, 5)));
         assert!(engine.contains(&best_cost(1, 2, 5)));
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R1")));
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R3")));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R1")));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R3")));
     }
 
     #[test]
@@ -580,16 +639,28 @@ mod tests {
                 _ => None,
             })
             .collect();
-        let shipped = Tuple::new("cost", NodeId(1), vec![Value::node(3u64), Value::node(2u64), Value::Int(5)]);
-        assert!(sends.iter().any(|(to, t)| *to == NodeId(1) && *t == shipped),
-            "expected {shipped} shipped to node 1, got {sends:?}");
+        let shipped = Tuple::new(
+            "cost",
+            NodeId(1),
+            vec![Value::node(3u64), Value::node(2u64), Value::Int(5)],
+        );
+        assert!(
+            sends.iter().any(|(to, t)| *to == NodeId(1) && *t == shipped),
+            "expected {shipped} shipped to node 1, got {sends:?}"
+        );
         // The remote-headed tuple is stored locally for provenance…
         assert!(engine.contains(&shipped));
         // …but must not feed node 2's own rule evaluation: node 2 must not
         // compute node 1's bestCost.
-        assert!(!engine.contains(&Tuple::new("bestCost", NodeId(1), vec![Value::node(3u64), Value::Int(5)])));
+        assert!(!engine.contains(&Tuple::new(
+            "bestCost",
+            NodeId(1),
+            vec![Value::node(3u64), Value::Int(5)]
+        )));
         // A derive vertex for the remote head is produced locally (Fig. 2).
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { tuple, .. } if *tuple == shipped)));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Derive { tuple, .. } if *tuple == shipped)));
     }
 
     #[test]
@@ -598,12 +669,23 @@ mod tests {
         engine.handle(SmInput::InsertBase(link(1, 4, 10)));
         assert!(engine.contains(&best_cost(1, 4, 10)));
         // A cheaper remote-derived cost arrives; bestCost must improve.
-        let remote_cost = Tuple::new("cost", NodeId(1), vec![Value::node(4u64), Value::node(2u64), Value::Int(3)]);
-        let outputs = engine.handle(SmInput::Receive { from: NodeId(2), delta: TupleDelta::plus(remote_cost) });
+        let remote_cost = Tuple::new(
+            "cost",
+            NodeId(1),
+            vec![Value::node(4u64), Value::node(2u64), Value::Int(3)],
+        );
+        let outputs = engine.handle(SmInput::Receive {
+            from: NodeId(2),
+            delta: TupleDelta::plus(remote_cost),
+        });
         assert!(engine.contains(&best_cost(1, 4, 3)));
         assert!(!engine.contains(&best_cost(1, 4, 10)));
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Underive { tuple, .. } if *tuple == best_cost(1, 4, 10))));
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { tuple, .. } if *tuple == best_cost(1, 4, 3))));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Underive { tuple, .. } if *tuple == best_cost(1, 4, 10))));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Derive { tuple, .. } if *tuple == best_cost(1, 4, 3))));
     }
 
     #[test]
@@ -613,17 +695,33 @@ mod tests {
         assert!(engine.contains(&best_cost(1, 2, 5)));
         let outputs = engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
         assert!(!engine.contains(&best_cost(1, 2, 5)));
-        assert!(!engine.contains(&Tuple::new("cost", NodeId(1), vec![Value::node(2u64), Value::node(2u64), Value::Int(5)])));
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Underive { rule, .. } if rule == "R3")));
+        assert!(!engine.contains(&Tuple::new(
+            "cost",
+            NodeId(1),
+            vec![Value::node(2u64), Value::node(2u64), Value::Int(5)]
+        )));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Underive { rule, .. } if rule == "R3")));
     }
 
     #[test]
     fn minus_notification_retracts_believed_support() {
         let mut engine = Engine::new(NodeId(1), mincost_rules());
-        let remote_cost = Tuple::new("cost", NodeId(1), vec![Value::node(4u64), Value::node(2u64), Value::Int(3)]);
-        engine.handle(SmInput::Receive { from: NodeId(2), delta: TupleDelta::plus(remote_cost.clone()) });
+        let remote_cost = Tuple::new(
+            "cost",
+            NodeId(1),
+            vec![Value::node(4u64), Value::node(2u64), Value::Int(3)],
+        );
+        engine.handle(SmInput::Receive {
+            from: NodeId(2),
+            delta: TupleDelta::plus(remote_cost.clone()),
+        });
         assert!(engine.contains(&best_cost(1, 4, 3)));
-        engine.handle(SmInput::Receive { from: NodeId(2), delta: TupleDelta::minus(remote_cost) });
+        engine.handle(SmInput::Receive {
+            from: NodeId(2),
+            delta: TupleDelta::minus(remote_cost),
+        });
         assert!(!engine.contains(&best_cost(1, 4, 3)));
     }
 
@@ -635,7 +733,10 @@ mod tests {
         assert!(!first.is_empty());
         assert!(second.is_empty(), "second identical insert should not re-derive");
         engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
-        assert!(engine.contains(&best_cost(1, 2, 5)), "still supported by the remaining base copy");
+        assert!(
+            engine.contains(&best_cost(1, 2, 5)),
+            "still supported by the remaining base copy"
+        );
         engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
         assert!(!engine.contains(&best_cost(1, 2, 5)));
     }
@@ -647,17 +748,29 @@ mod tests {
         engine.handle(SmInput::DeleteBase(link(1, 2, 5)));
         let outputs = engine.handle(SmInput::InsertBase(link(1, 2, 5)));
         assert!(engine.contains(&best_cost(1, 2, 5)));
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R3")));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R3")));
     }
 
     #[test]
     fn aggregate_switches_to_next_best_on_removal() {
         let mut engine = Engine::new(NodeId(1), mincost_rules());
         engine.handle(SmInput::InsertBase(link(1, 2, 5)));
-        let cheap = Tuple::new("cost", NodeId(1), vec![Value::node(2u64), Value::node(3u64), Value::Int(2)]);
-        engine.handle(SmInput::Receive { from: NodeId(3), delta: TupleDelta::plus(cheap.clone()) });
+        let cheap = Tuple::new(
+            "cost",
+            NodeId(1),
+            vec![Value::node(2u64), Value::node(3u64), Value::Int(2)],
+        );
+        engine.handle(SmInput::Receive {
+            from: NodeId(3),
+            delta: TupleDelta::plus(cheap.clone()),
+        });
         assert!(engine.contains(&best_cost(1, 2, 2)));
-        engine.handle(SmInput::Receive { from: NodeId(3), delta: TupleDelta::minus(cheap) });
+        engine.handle(SmInput::Receive {
+            from: NodeId(3),
+            delta: TupleDelta::minus(cheap),
+        });
         assert!(engine.contains(&best_cost(1, 2, 5)), "falls back to the direct link");
     }
 
@@ -673,11 +786,16 @@ mod tests {
         let mut engine = Engine::new(NodeId(1), ruleset);
         let route = Tuple::new("route", NodeId(1), vec![Value::str("p1")]);
         engine.handle(SmInput::InsertBase(route));
-        assert!(!engine.contains(&Tuple::new("adv", NodeId(1), vec![Value::str("p1")])), "maybe rule must not fire on its own");
+        assert!(
+            !engine.contains(&Tuple::new("adv", NodeId(1), vec![Value::str("p1")])),
+            "maybe rule must not fire on its own"
+        );
         let guard = engine.maybe_guard("M1", vec![Value::str("p1")]);
         let outputs = engine.handle(SmInput::InsertBase(guard));
         assert!(engine.contains(&Tuple::new("adv", NodeId(1), vec![Value::str("p1")])));
-        assert!(outputs.iter().any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "M1")));
+        assert!(outputs
+            .iter()
+            .any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "M1")));
     }
 
     #[test]
@@ -691,12 +809,16 @@ mod tests {
 
     #[test]
     fn determinism_same_inputs_same_outputs() {
-        let inputs = vec![
+        let inputs = [
             SmInput::InsertBase(link(1, 2, 5)),
             SmInput::InsertBase(link(1, 3, 2)),
             SmInput::Receive {
                 from: NodeId(3),
-                delta: TupleDelta::plus(Tuple::new("cost", NodeId(1), vec![Value::node(2u64), Value::node(3u64), Value::Int(4)])),
+                delta: TupleDelta::plus(Tuple::new(
+                    "cost",
+                    NodeId(1),
+                    vec![Value::node(2u64), Value::node(3u64), Value::Int(4)],
+                )),
             },
             SmInput::DeleteBase(link(1, 2, 5)),
         ];

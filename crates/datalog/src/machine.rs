@@ -13,12 +13,11 @@
 //! serve all three provenance-extraction methods of §5.3.
 
 use crate::tuple::Tuple;
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use std::fmt;
 
 /// Whether a tuple notification announces appearance or disappearance.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Polarity {
     /// `+τ`: the tuple appeared on the sender.
     Plus,
@@ -37,7 +36,7 @@ impl fmt::Display for Polarity {
 
 /// A tuple-change notification `+τ` / `-τ` exchanged between nodes (§3.1:
 /// "the nodes must notify each other of relevant tuple changes").
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TupleDelta {
     /// Appearance or disappearance.
     pub polarity: Polarity,
@@ -48,12 +47,18 @@ pub struct TupleDelta {
 impl TupleDelta {
     /// A `+τ` notification.
     pub fn plus(tuple: Tuple) -> TupleDelta {
-        TupleDelta { polarity: Polarity::Plus, tuple }
+        TupleDelta {
+            polarity: Polarity::Plus,
+            tuple,
+        }
     }
 
     /// A `-τ` notification.
     pub fn minus(tuple: Tuple) -> TupleDelta {
-        TupleDelta { polarity: Polarity::Minus, tuple }
+        TupleDelta {
+            polarity: Polarity::Minus,
+            tuple,
+        }
     }
 
     /// Approximate wire size in bytes (1 byte polarity + encoded tuple).
@@ -69,7 +74,7 @@ impl fmt::Display for TupleDelta {
 }
 
 /// An input to the state machine.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SmInput {
     /// `ins(β)`: a base tuple was inserted locally.
     InsertBase(Tuple),
@@ -85,7 +90,7 @@ pub enum SmInput {
 }
 
 /// An output of the state machine.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SmOutput {
     /// `der(τ)`: a tuple was derived locally via `rule` from `body`.
     ///
@@ -133,7 +138,10 @@ impl SmOutput {
 /// Determinism (assumption 6 of §5.2) is essential: SNooPy's microquery
 /// module re-runs the machine from a checkpoint during replay and expects to
 /// obtain exactly the same outputs that were logged at runtime.
-pub trait StateMachine {
+///
+/// Machines must be `Send` so node handles can be shared with worker threads
+/// (future sharded deployments run node groups in parallel).
+pub trait StateMachine: Send {
     /// Feed one input and collect the outputs it produces.
     fn handle(&mut self, input: SmInput) -> Vec<SmOutput>;
 
@@ -174,9 +182,16 @@ mod tests {
     #[test]
     fn output_tuple_accessor() {
         let t = Tuple::new("x", NodeId(1), vec![]);
-        let out = SmOutput::Send { to: NodeId(2), delta: TupleDelta::plus(t.clone()) };
+        let out = SmOutput::Send {
+            to: NodeId(2),
+            delta: TupleDelta::plus(t.clone()),
+        };
         assert_eq!(out.tuple(), &t);
-        let der = SmOutput::Derive { tuple: t.clone(), rule: "R1".into(), body: vec![] };
+        let der = SmOutput::Derive {
+            tuple: t.clone(),
+            rule: "R1".into(),
+            body: vec![],
+        };
         assert_eq!(der.tuple(), &t);
     }
 }

@@ -85,7 +85,14 @@ pub fn parse_rule(statement: &str) -> Result<Rule, String> {
             r.constraints = constraints;
             r
         }
-        None => Rule { id: id.to_string(), kind: RuleKind::Standard, head, body, constraints, aggregate: None },
+        None => Rule {
+            id: id.to_string(),
+            kind: RuleKind::Standard,
+            head,
+            body,
+            constraints,
+            aggregate: None,
+        },
     };
     rule.kind = kind;
     Ok(rule)
@@ -142,7 +149,11 @@ fn parse_head(text: &str) -> Result<(Atom, Option<(AggKind, String)>), String> {
     let raw_args: Vec<String> = split_top_level(inner).iter().map(|s| s.trim().to_string()).collect();
     let mut aggregate = None;
     if let Some(last) = raw_args.last() {
-        for (prefix, kind) in [("min<", AggKind::Min), ("max<", AggKind::Max), ("count<", AggKind::Count)] {
+        for (prefix, kind) in [
+            ("min<", AggKind::Min),
+            ("max<", AggKind::Max),
+            ("count<", AggKind::Count),
+        ] {
             if let Some(rest) = last.strip_prefix(prefix) {
                 let var = rest.trim_end_matches('>').trim().to_string();
                 aggregate = Some((kind, var.clone()));
@@ -162,7 +173,9 @@ fn parse_head(text: &str) -> Result<(Atom, Option<(AggKind, String)>), String> {
 
 fn parse_atom(text: &str) -> Result<Atom, String> {
     let text = text.trim();
-    let open = text.find('(').ok_or_else(|| format!("atom must have arguments: {text}"))?;
+    let open = text
+        .find('(')
+        .ok_or_else(|| format!("atom must have arguments: {text}"))?;
     let close = text.rfind(')').ok_or_else(|| format!("atom missing ')': {text}"))?;
     let relation = text[..open].trim();
     if relation.is_empty() {
@@ -186,7 +199,11 @@ fn parse_atom(text: &str) -> Result<Atom, String> {
             args.push(parse_term(raw)?);
         }
     }
-    Ok(Atom { relation: relation.to_string(), location: location.expect("location parsed"), args })
+    Ok(Atom {
+        relation: relation.to_string(),
+        location: location.expect("location parsed"),
+        args,
+    })
 }
 
 fn parse_term(text: &str) -> Result<Term, String> {
@@ -195,7 +212,9 @@ fn parse_term(text: &str) -> Result<Term, String> {
         return Err("empty term".to_string());
     }
     if let Some(stripped) = text.strip_prefix('"') {
-        let content = stripped.strip_suffix('"').ok_or_else(|| format!("unterminated string: {text}"))?;
+        let content = stripped
+            .strip_suffix('"')
+            .ok_or_else(|| format!("unterminated string: {text}"))?;
         return Ok(Term::val(content));
     }
     if let Ok(int) = text.parse::<i64>() {
@@ -235,7 +254,10 @@ fn parse_expr(text: &str) -> Result<Expr, String> {
 fn parse_constraint(text: &str) -> Result<Constraint, String> {
     let text = text.trim();
     if let Some((var, expr)) = text.split_once(":=") {
-        return Ok(Constraint::Assign { var: var.trim().to_string(), expr: parse_expr(expr)? });
+        return Ok(Constraint::Assign {
+            var: var.trim().to_string(),
+            expr: parse_expr(expr)?,
+        });
     }
     for (symbol, op) in [
         ("!=", CmpOp::Ne),
@@ -246,7 +268,11 @@ fn parse_constraint(text: &str) -> Result<Constraint, String> {
         (">", CmpOp::Gt),
     ] {
         if let Some((l, r)) = text.split_once(symbol) {
-            return Ok(Constraint::Compare { lhs: parse_expr(l)?, op, rhs: parse_expr(r)? });
+            return Ok(Constraint::Compare {
+                lhs: parse_expr(l)?,
+                op,
+                rhs: parse_expr(r)?,
+            });
         }
     }
     Err(format!("unrecognized constraint: {text}"))
@@ -285,7 +311,11 @@ mod tests {
             NodeId(1),
             vec![Value::Node(NodeId(2)), Value::Int(7)],
         )));
-        assert!(engine.contains(&Tuple::new("bestCost", NodeId(1), vec![Value::Node(NodeId(2)), Value::Int(7)])));
+        assert!(engine.contains(&Tuple::new(
+            "bestCost",
+            NodeId(1),
+            vec![Value::Node(NodeId(2)), Value::Int(7)]
+        )));
     }
 
     #[test]

@@ -14,7 +14,6 @@
 
 use crate::tuple::Tuple;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -22,7 +21,7 @@ use std::fmt;
 pub type Bindings = BTreeMap<String, Value>;
 
 /// A term: either a variable or a constant.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Term {
     /// A variable, e.g. `X`.
     Var(String),
@@ -65,7 +64,7 @@ impl Term {
 }
 
 /// An arithmetic / value expression used in constraints and head arguments.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Expr {
     /// A term (variable or constant).
     Term(Term),
@@ -87,28 +86,36 @@ impl Expr {
     pub fn val(value: impl Into<Value>) -> Expr {
         Expr::Term(Term::val(value))
     }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
 
     /// `self + other`.
-    pub fn add(self, other: Expr) -> Expr {
+    fn add(self, other: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(other))
     }
+}
 
+impl Expr {
     /// Evaluate under a binding environment.  Arithmetic on non-integers
     /// yields `None` (the rule simply does not fire).
     pub fn eval(&self, bindings: &Bindings) -> Option<Value> {
         match self {
             Expr::Term(t) => t.resolve(bindings),
-            Expr::Add(a, b) => Some(Value::Int(a.eval(bindings)?.as_int()?.checked_add(b.eval(bindings)?.as_int()?)?)),
-            Expr::Sub(a, b) => Some(Value::Int(a.eval(bindings)?.as_int()?.checked_sub(b.eval(bindings)?.as_int()?)?)),
-            Expr::Min(a, b) => {
-                Some(Value::Int(a.eval(bindings)?.as_int()?.min(b.eval(bindings)?.as_int()?)))
-            }
+            Expr::Add(a, b) => Some(Value::Int(
+                a.eval(bindings)?.as_int()?.checked_add(b.eval(bindings)?.as_int()?)?,
+            )),
+            Expr::Sub(a, b) => Some(Value::Int(
+                a.eval(bindings)?.as_int()?.checked_sub(b.eval(bindings)?.as_int()?)?,
+            )),
+            Expr::Min(a, b) => Some(Value::Int(a.eval(bindings)?.as_int()?.min(b.eval(bindings)?.as_int()?))),
         }
     }
 }
 
 /// Comparison operators usable in constraints.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CmpOp {
     /// Equality.
     Eq,
@@ -126,7 +133,7 @@ pub enum CmpOp {
 
 /// A body constraint: either a comparison or an assignment that binds a new
 /// variable to the value of an expression.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Constraint {
     /// `lhs op rhs` must hold.
     Compare {
@@ -191,7 +198,7 @@ impl Constraint {
 }
 
 /// An atom `rel(@Loc, t1, …, tk)` appearing in a rule head or body.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Atom {
     /// Relation name.
     pub relation: String,
@@ -204,7 +211,11 @@ pub struct Atom {
 impl Atom {
     /// Construct an atom.
     pub fn new(relation: impl Into<String>, location: Term, args: Vec<Term>) -> Atom {
-        Atom { relation: relation.into(), location, args }
+        Atom {
+            relation: relation.into(),
+            location,
+            args,
+        }
     }
 
     /// Try to match this atom against a concrete tuple, extending `bindings`.
@@ -215,13 +226,20 @@ impl Atom {
         if !self.location.unify(&Value::Node(tuple.location), bindings) {
             return false;
         }
-        self.args.iter().zip(&tuple.args).all(|(term, value)| term.unify(value, bindings))
+        self.args
+            .iter()
+            .zip(&tuple.args)
+            .all(|(term, value)| term.unify(value, bindings))
     }
 
     /// Instantiate the atom into a tuple under complete bindings.
     pub fn instantiate(&self, bindings: &Bindings) -> Option<Tuple> {
         let location = self.location.resolve(bindings)?.as_node()?;
-        let args = self.args.iter().map(|t| t.resolve(bindings)).collect::<Option<Vec<_>>>()?;
+        let args = self
+            .args
+            .iter()
+            .map(|t| t.resolve(bindings))
+            .collect::<Option<Vec<_>>>()?;
         Some(Tuple::new(self.relation.clone(), location, args))
     }
 }
@@ -237,7 +255,7 @@ impl fmt::Display for Atom {
 }
 
 /// The kind of a rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum RuleKind {
     /// A standard rule: the head *must* be derived whenever the body holds.
     Standard,
@@ -247,7 +265,7 @@ pub enum RuleKind {
 }
 
 /// Aggregation functions supported by aggregation rules.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AggKind {
     /// Minimum of the aggregated column (e.g. `bestCost`).
     Min,
@@ -258,7 +276,7 @@ pub enum AggKind {
 }
 
 /// A derivation rule.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Rule {
     /// Rule identifier (e.g. `"R2"`); recorded in `derive` vertices.
     pub id: String,
@@ -279,12 +297,26 @@ pub struct Rule {
 impl Rule {
     /// Construct a standard (non-aggregate) rule.
     pub fn standard(id: impl Into<String>, head: Atom, body: Vec<Atom>, constraints: Vec<Constraint>) -> Rule {
-        Rule { id: id.into(), kind: RuleKind::Standard, head, body, constraints, aggregate: None }
+        Rule {
+            id: id.into(),
+            kind: RuleKind::Standard,
+            head,
+            body,
+            constraints,
+            aggregate: None,
+        }
     }
 
     /// Construct a `maybe` rule.
     pub fn maybe(id: impl Into<String>, head: Atom, body: Vec<Atom>, constraints: Vec<Constraint>) -> Rule {
-        Rule { id: id.into(), kind: RuleKind::Maybe, head, body, constraints, aggregate: None }
+        Rule {
+            id: id.into(),
+            kind: RuleKind::Maybe,
+            head,
+            body,
+            constraints,
+            aggregate: None,
+        }
     }
 
     /// Construct an aggregation rule (`Min`/`Max`/`Count` over `agg_var`).
@@ -367,7 +399,10 @@ mod tests {
     fn atom_matching_rejects_wrong_relation_or_arity() {
         let atom = link_atom();
         let mut b = Bindings::new();
-        assert!(!atom.matches(&Tuple::new("route", NodeId(2), vec![Value::Int(1), Value::Int(2)]), &mut b));
+        assert!(!atom.matches(
+            &Tuple::new("route", NodeId(2), vec![Value::Int(1), Value::Int(2)]),
+            &mut b
+        ));
         assert!(!atom.matches(&Tuple::new("link", NodeId(2), vec![Value::Int(1)]), &mut b));
     }
 
@@ -389,9 +424,15 @@ mod tests {
         let mut b = Bindings::new();
         b.insert("K1".into(), Value::Int(2));
         b.insert("K2".into(), Value::Int(3));
-        assert_eq!(Expr::var("K1").add(Expr::var("K2")).eval(&b), Some(Value::Int(5)));
-        assert_eq!(Expr::Sub(Box::new(Expr::val(10i64)), Box::new(Expr::var("K1"))).eval(&b), Some(Value::Int(8)));
-        assert_eq!(Expr::Min(Box::new(Expr::var("K1")), Box::new(Expr::var("K2"))).eval(&b), Some(Value::Int(2)));
+        assert_eq!((Expr::var("K1") + Expr::var("K2")).eval(&b), Some(Value::Int(5)));
+        assert_eq!(
+            Expr::Sub(Box::new(Expr::val(10i64)), Box::new(Expr::var("K1"))).eval(&b),
+            Some(Value::Int(8))
+        );
+        assert_eq!(
+            Expr::Min(Box::new(Expr::var("K1")), Box::new(Expr::var("K2"))).eval(&b),
+            Some(Value::Int(2))
+        );
         assert_eq!(Expr::var("missing").eval(&b), None);
     }
 
@@ -399,7 +440,7 @@ mod tests {
     fn arithmetic_on_strings_fails_gracefully() {
         let mut b = Bindings::new();
         b.insert("S".into(), Value::str("x"));
-        assert_eq!(Expr::var("S").add(Expr::val(1i64)).eval(&b), None);
+        assert_eq!((Expr::var("S") + Expr::val(1i64)).eval(&b), None);
     }
 
     #[test]
@@ -407,13 +448,35 @@ mod tests {
         let mut b = Bindings::new();
         b.insert("K1".into(), Value::Int(2));
         b.insert("K2".into(), Value::Int(3));
-        assert!(Constraint::Compare { lhs: Expr::var("K1"), op: CmpOp::Lt, rhs: Expr::var("K2") }.apply(&mut b));
-        assert!(!Constraint::Compare { lhs: Expr::var("K1"), op: CmpOp::Gt, rhs: Expr::var("K2") }.apply(&mut b));
-        assert!(Constraint::Assign { var: "K3".into(), expr: Expr::var("K1").add(Expr::var("K2")) }.apply(&mut b));
+        assert!(Constraint::Compare {
+            lhs: Expr::var("K1"),
+            op: CmpOp::Lt,
+            rhs: Expr::var("K2")
+        }
+        .apply(&mut b));
+        assert!(!Constraint::Compare {
+            lhs: Expr::var("K1"),
+            op: CmpOp::Gt,
+            rhs: Expr::var("K2")
+        }
+        .apply(&mut b));
+        assert!(Constraint::Assign {
+            var: "K3".into(),
+            expr: Expr::var("K1") + Expr::var("K2")
+        }
+        .apply(&mut b));
         assert_eq!(b["K3"], Value::Int(5));
         // Re-assigning to the same value is fine; to a different value fails.
-        assert!(Constraint::Assign { var: "K3".into(), expr: Expr::val(5i64) }.apply(&mut b));
-        assert!(!Constraint::Assign { var: "K3".into(), expr: Expr::val(6i64) }.apply(&mut b));
+        assert!(Constraint::Assign {
+            var: "K3".into(),
+            expr: Expr::val(5i64)
+        }
+        .apply(&mut b));
+        assert!(!Constraint::Assign {
+            var: "K3".into(),
+            expr: Expr::val(6i64)
+        }
+        .apply(&mut b));
     }
 
     #[test]
@@ -421,8 +484,18 @@ mod tests {
         let mut b = Bindings::new();
         b.insert("A".into(), Value::str("x"));
         b.insert("B".into(), Value::str("y"));
-        assert!(Constraint::Compare { lhs: Expr::var("A"), op: CmpOp::Ne, rhs: Expr::var("B") }.apply(&mut b));
-        assert!(!Constraint::Compare { lhs: Expr::var("A"), op: CmpOp::Lt, rhs: Expr::var("B") }.apply(&mut b));
+        assert!(Constraint::Compare {
+            lhs: Expr::var("A"),
+            op: CmpOp::Ne,
+            rhs: Expr::var("B")
+        }
+        .apply(&mut b));
+        assert!(!Constraint::Compare {
+            lhs: Expr::var("A"),
+            op: CmpOp::Lt,
+            rhs: Expr::var("B")
+        }
+        .apply(&mut b));
     }
 
     #[test]

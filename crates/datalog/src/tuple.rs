@@ -1,7 +1,6 @@
 //! Tuples: the unit of state in the system model.
 
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use snp_crypto::Digest;
 use std::fmt;
@@ -11,7 +10,7 @@ use std::fmt;
 /// Following the paper's notation, every tuple is homed at a specific node
 /// (`@loc`); the location is stored explicitly rather than as the first
 /// argument so that code cannot accidentally treat it as data.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tuple {
     /// Relation name, e.g. `link`, `route`, `bestCost`.
     pub relation: String,
@@ -24,7 +23,11 @@ pub struct Tuple {
 impl Tuple {
     /// Construct a tuple.
     pub fn new(relation: impl Into<String>, location: NodeId, args: Vec<Value>) -> Tuple {
-        Tuple { relation: relation.into(), location, args }
+        Tuple {
+            relation: relation.into(),
+            location,
+            args,
+        }
     }
 
     /// Stable byte encoding (used for hashing and for wire-size accounting).
@@ -137,7 +140,7 @@ mod tests {
 
     #[test]
     fn ordering_is_deterministic() {
-        let mut ts = vec![
+        let mut ts = [
             Tuple::new("b", NodeId(0), vec![]),
             Tuple::new("a", NodeId(1), vec![]),
             Tuple::new("a", NodeId(0), vec![Value::Int(2)]),

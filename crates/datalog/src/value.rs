@@ -1,6 +1,5 @@
 //! The value domain of tuple fields.
 
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use std::fmt;
 
@@ -10,7 +9,7 @@ use std::fmt;
 /// opaque digests cover every application in the paper (routing costs,
 /// prefixes/AS paths, Chord identifiers, MapReduce keys and values, file
 /// hashes).
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// A signed integer (costs, counts, Chord ids, offsets…).
     Int(i64),
@@ -180,7 +179,10 @@ mod tests {
         assert_eq!(format!("{}", Value::str("hello")), "hello");
         assert_eq!(format!("{:?}", Value::str("hello")), "\"hello\"");
         assert_eq!(format!("{}", Value::Int(7)), "7");
-        assert_eq!(format!("{:?}", Value::List(vec![Value::Int(1), Value::Int(2)])), "[1,2]");
+        assert_eq!(
+            format!("{:?}", Value::List(vec![Value::Int(1), Value::Int(2)])),
+            "[1,2]"
+        );
     }
 
     #[test]
@@ -197,6 +199,9 @@ mod tests {
     fn ordering_is_total_and_stable() {
         let mut values = vec![Value::str("b"), Value::Int(2), Value::Int(1), Value::str("a")];
         values.sort();
-        assert_eq!(values, vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::str("b")]);
+        assert_eq!(
+            values,
+            vec![Value::Int(1), Value::Int(2), Value::str("a"), Value::str("b")]
+        );
     }
 }

@@ -150,7 +150,13 @@ impl GraphBuilder {
             EventKind::Rcv(m) => {
                 self.handle_event_rcv(*node, m, *time);
                 if let MessageBody::Delta(delta) = &m.body {
-                    let outputs = self.feed_machine(*node, SmInput::Receive { from: m.from, delta: delta.clone() });
+                    let outputs = self.feed_machine(
+                        *node,
+                        SmInput::Receive {
+                            from: m.from,
+                            delta: delta.clone(),
+                        },
+                    );
                     self.handle_outputs(*node, outputs, *time);
                 }
             }
@@ -199,11 +205,20 @@ impl GraphBuilder {
 
     fn appear_local_tuple(&mut self, node: NodeId, tuple: &Tuple, vwhy: VertexId, time: Timestamp) {
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::Appear { node, tuple: tuple.clone(), time },
+            VertexKind::Appear {
+                node,
+                tuple: tuple.clone(),
+                time,
+            },
             Color::Black,
         ));
         let v2 = self.graph.upsert(Vertex::new(
-            VertexKind::Exist { node, tuple: tuple.clone(), from: time, until: None },
+            VertexKind::Exist {
+                node,
+                tuple: tuple.clone(),
+                from: time,
+                until: None,
+            },
             Color::Black,
         ));
         self.graph.add_edge(vwhy, v1);
@@ -212,7 +227,11 @@ impl GraphBuilder {
 
     fn disappear_local_tuple(&mut self, node: NodeId, tuple: &Tuple, vwhy: VertexId, time: Timestamp) {
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::Disappear { node, tuple: tuple.clone(), time },
+            VertexKind::Disappear {
+                node,
+                tuple: tuple.clone(),
+                time,
+            },
             Color::Black,
         ));
         self.graph.add_edge(vwhy, v1);
@@ -224,11 +243,22 @@ impl GraphBuilder {
 
     fn appear_remote_tuple(&mut self, node: NodeId, tuple: &Tuple, peer: NodeId, vwhy: VertexId, time: Timestamp) {
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::BelieveAppear { node, peer, tuple: tuple.clone(), time },
+            VertexKind::BelieveAppear {
+                node,
+                peer,
+                tuple: tuple.clone(),
+                time,
+            },
             Color::Black,
         ));
         let v2 = self.graph.upsert(Vertex::new(
-            VertexKind::Believe { node, peer, tuple: tuple.clone(), from: time, until: None },
+            VertexKind::Believe {
+                node,
+                peer,
+                tuple: tuple.clone(),
+                from: time,
+                until: None,
+            },
             Color::Black,
         ));
         self.graph.add_edge(vwhy, v1);
@@ -237,7 +267,12 @@ impl GraphBuilder {
 
     fn disappear_remote_tuple(&mut self, node: NodeId, tuple: &Tuple, peer: NodeId, vwhy: VertexId, time: Timestamp) {
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::BelieveDisappear { node, peer, tuple: tuple.clone(), time },
+            VertexKind::BelieveDisappear {
+                node,
+                peer,
+                tuple: tuple.clone(),
+                time,
+            },
             Color::Black,
         ));
         self.graph.add_edge(vwhy, v1);
@@ -250,7 +285,9 @@ impl GraphBuilder {
     fn flag_all_pending(&mut self, node: NodeId, time: Timestamp) {
         self.flag_ackpend(node);
         // Sends the machine produced that the node never actually transmitted.
-        let (stale, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending).into_iter().partition(|p| p.node == node);
+        let (stale, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.pending)
+            .into_iter()
+            .partition(|p| p.node == node);
         self.pending = keep;
         for entry in stale {
             self.graph.set_color(entry.vertex, Color::Red);
@@ -268,20 +305,38 @@ impl GraphBuilder {
     }
 
     fn flag_ackpend(&mut self, node: NodeId) {
-        let (stale, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.ackpend).into_iter().partition(|a| a.node == node);
+        let (stale, keep): (Vec<_>, Vec<_>) = std::mem::take(&mut self.ackpend)
+            .into_iter()
+            .partition(|a| a.node == node);
         self.ackpend = keep;
         for entry in stale {
             self.graph.set_color(entry.vertex, Color::Red);
         }
     }
 
-    fn add_send_vertex(&mut self, from: NodeId, to: NodeId, delta: &TupleDelta, vwhy: Option<VertexId>, time: Timestamp) -> VertexId {
-        let kind = VertexKind::Send { node: from, peer: to, delta: delta.clone(), time };
+    fn add_send_vertex(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        delta: &TupleDelta,
+        vwhy: Option<VertexId>,
+        time: Timestamp,
+    ) -> VertexId {
+        let kind = VertexKind::Send {
+            node: from,
+            peer: to,
+            delta: delta.clone(),
+            time,
+        };
         let id = kind.identity();
         if !self.graph.contains(&id) {
             self.graph.upsert(Vertex::new(kind, Color::Yellow));
             self.nopreds.push(id);
-            self.unacked.push(Unacked { node: from, vertex: id, sent_at: time });
+            self.unacked.push(Unacked {
+                node: from,
+                vertex: id,
+                sent_at: time,
+            });
         }
         if let Some(why) = vwhy {
             if let Some(pos) = self.nopreds.iter().position(|v| *v == id) {
@@ -297,12 +352,20 @@ impl GraphBuilder {
         // Ensure the remote send vertex exists (it may not, if the sender's
         // events are not part of the history we are replaying).
         self.add_send_vertex(m.from, m.to, &delta, None, m.sent_at);
-        let kind = VertexKind::Receive { node: m.to, peer: m.from, delta: delta.clone(), time };
+        let kind = VertexKind::Receive {
+            node: m.to,
+            peer: m.from,
+            delta: delta.clone(),
+            time,
+        };
         let id = kind.identity();
         if !self.graph.contains(&id) {
             self.graph.upsert(Vertex::new(kind, Color::Yellow));
         }
-        if let Some(send) = self.graph.find_send(m.from, m.to, &delta.tuple, delta.polarity, Some(m.sent_at)) {
+        if let Some(send) = self
+            .graph
+            .find_send(m.from, m.to, &delta.tuple, delta.polarity, Some(m.sent_at))
+        {
             self.graph.add_edge(send, id);
         }
         Some(id)
@@ -320,7 +383,11 @@ impl GraphBuilder {
     fn handle_event_ins(&mut self, node: NodeId, tuple: &Tuple, time: Timestamp) {
         self.flag_all_pending(node, time);
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::Insert { node, tuple: tuple.clone(), time },
+            VertexKind::Insert {
+                node,
+                tuple: tuple.clone(),
+                time,
+            },
             Color::Black,
         ));
         self.appear_local_tuple(node, tuple, v1, time);
@@ -329,7 +396,11 @@ impl GraphBuilder {
     fn handle_event_del(&mut self, node: NodeId, tuple: &Tuple, time: Timestamp) {
         self.flag_all_pending(node, time);
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::Delete { node, tuple: tuple.clone(), time },
+            VertexKind::Delete {
+                node,
+                tuple: tuple.clone(),
+                time,
+            },
             Color::Black,
         ));
         self.disappear_local_tuple(node, tuple, v1, time);
@@ -341,13 +412,21 @@ impl GraphBuilder {
             MessageBody::Ack { of } => {
                 // The node acknowledges a message it received earlier: the
                 // corresponding receive vertex turns black.
-                if let Some(pos) = self.ackpend.iter().position(|a| a.node == node && a.original_digest == *of) {
+                if let Some(pos) = self
+                    .ackpend
+                    .iter()
+                    .position(|a| a.node == node && a.original_digest == *of)
+                {
                     let entry = self.ackpend.remove(pos);
                     self.graph.set_color(entry.vertex, Color::Black);
                 }
             }
             MessageBody::Delta(delta) => {
-                match self.pending.iter().position(|p| p.node == node && p.to == m.to && p.delta == *delta) {
+                match self
+                    .pending
+                    .iter()
+                    .position(|p| p.node == node && p.to == m.to && p.delta == *delta)
+                {
                     Some(pos) => {
                         // Expected send: consume the pending entry.
                         self.pending.remove(pos);
@@ -370,14 +449,20 @@ impl GraphBuilder {
         self.seen_messages.insert(m.digest(), m.clone());
         match &m.body {
             MessageBody::Ack { of } => {
-                let Some(original) = self.seen_messages.get(of).cloned() else { return };
+                let Some(original) = self.seen_messages.get(of).cloned() else {
+                    return;
+                };
                 // Evidence that the peer received our message: create its
                 // receive vertex and turn our send vertex black.
                 self.add_receive_vertex(&original, m.sent_at);
                 if let Some(delta) = original.as_delta() {
-                    if let Some(send) =
-                        self.graph.find_send(original.from, original.to, &delta.tuple, delta.polarity, Some(original.sent_at))
-                    {
+                    if let Some(send) = self.graph.find_send(
+                        original.from,
+                        original.to,
+                        &delta.tuple,
+                        delta.polarity,
+                        Some(original.sent_at),
+                    ) {
                         if let Some(pos) = self.unacked.iter().position(|u| u.node == node && u.vertex == send) {
                             self.unacked.remove(pos);
                             self.graph.set_color(send, Color::Black);
@@ -387,7 +472,11 @@ impl GraphBuilder {
             }
             MessageBody::Delta(delta) => {
                 if let Some(v1) = self.add_receive_vertex(m, time) {
-                    self.ackpend.push(AckPending { node, original_digest: m.digest(), vertex: v1 });
+                    self.ackpend.push(AckPending {
+                        node,
+                        original_digest: m.digest(),
+                        vertex: v1,
+                    });
                     match delta.polarity {
                         Polarity::Plus => self.appear_remote_tuple(node, &delta.tuple, m.from, v1, time),
                         Polarity::Minus => self.disappear_remote_tuple(node, &delta.tuple, m.from, v1, time),
@@ -427,14 +516,24 @@ impl GraphBuilder {
         // only happens when replay starts from a checkpoint that did not
         // record the tuple's original appearance.
         self.graph.upsert(Vertex::new(
-            VertexKind::Exist { node, tuple: tuple.clone(), from: time, until: None },
+            VertexKind::Exist {
+                node,
+                tuple: tuple.clone(),
+                from: time,
+                until: None,
+            },
             Color::Black,
         ))
     }
 
     fn handle_output_der(&mut self, node: NodeId, tuple: &Tuple, rule: &str, body: &[Tuple], time: Timestamp) {
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::Derive { node, tuple: tuple.clone(), rule: rule.to_string(), time },
+            VertexKind::Derive {
+                node,
+                tuple: tuple.clone(),
+                rule: rule.to_string(),
+                time,
+            },
             Color::Black,
         ));
         for body_tuple in body {
@@ -446,7 +545,12 @@ impl GraphBuilder {
 
     fn handle_output_und(&mut self, node: NodeId, tuple: &Tuple, rule: &str, body: &[Tuple], time: Timestamp) {
         let v1 = self.graph.upsert(Vertex::new(
-            VertexKind::Underive { node, tuple: tuple.clone(), rule: rule.to_string(), time },
+            VertexKind::Underive {
+                node,
+                tuple: tuple.clone(),
+                rule: rule.to_string(),
+                time,
+            },
             Color::Black,
         ));
         for body_tuple in body {
@@ -462,7 +566,12 @@ impl GraphBuilder {
             Polarity::Minus => self.graph.disappear_at(node, &delta.tuple, time),
         };
         let v1 = self.add_send_vertex(node, to, &delta, vwhy, time);
-        self.pending.push(PendingSend { node, to, delta, vertex: v1 });
+        self.pending.push(PendingSend {
+            node,
+            to,
+            delta,
+            vertex: v1,
+        });
     }
 
     /// Appendix C / Figure 11: register a message that is *not* explained by
@@ -487,9 +596,9 @@ impl GraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snp_datalog::{Engine, RuleSet};
-    use snp_datalog::{AggKind, Atom, Rule, Term};
     use snp_datalog::Value;
+    use snp_datalog::{AggKind, Atom, Rule, Term};
+    use snp_datalog::{Engine, RuleSet};
 
     /// R1: reach(@X, Y) :- link(@X, Y)
     /// R2: reach(@Y, X) :- link(@X, Y)   (head homed on the neighbor → message)
@@ -543,11 +652,18 @@ mod tests {
     #[test]
     fn correct_history_has_no_red_vertices() {
         let graph = builder_for(&[1, 2]).build(&correct_history());
-        assert!(graph.faulty_nodes().is_empty(), "correct nodes must have no red vertices (Lemma 2)");
+        assert!(
+            graph.faulty_nodes().is_empty(),
+            "correct nodes must have no red vertices (Lemma 2)"
+        );
         assert!(graph.vertex_count() > 5);
         // The send and receive vertices are black (acknowledged).
-        let send = graph.find_send(NodeId(1), NodeId(2), &reach(2, 1), Polarity::Plus, None).expect("send vertex");
-        let recv = graph.find_receive(NodeId(2), NodeId(1), &reach(2, 1), Polarity::Plus).expect("receive vertex");
+        let send = graph
+            .find_send(NodeId(1), NodeId(2), &reach(2, 1), Polarity::Plus, None)
+            .expect("send vertex");
+        let recv = graph
+            .find_receive(NodeId(2), NodeId(1), &reach(2, 1), Polarity::Plus)
+            .expect("receive vertex");
         assert_eq!(graph.vertex(&send).unwrap().color, Color::Black);
         assert_eq!(graph.vertex(&recv).unwrap().color, Color::Black);
         assert!(graph.has_edge(&send, &recv));
@@ -565,9 +681,13 @@ mod tests {
             .expect("derive vertex for reach(@1,2)");
         let preds = graph.predecessors(&derive);
         assert!(!preds.is_empty());
-        assert!(preds.iter().any(|p| graph.vertex(p).unwrap().kind.tuple() == &link(1, 2)));
+        assert!(preds
+            .iter()
+            .any(|p| graph.vertex(p).unwrap().kind.tuple() == &link(1, 2)));
         let succs = graph.successors(&derive);
-        assert!(succs.iter().any(|s| matches!(&graph.vertex(s).unwrap().kind, VertexKind::Appear { tuple, .. } if *tuple == reach(1, 2))));
+        assert!(succs.iter().any(
+            |s| matches!(&graph.vertex(s).unwrap().kind, VertexKind::Appear { tuple, .. } if *tuple == reach(1, 2))
+        ));
     }
 
     #[test]
@@ -580,9 +700,13 @@ mod tests {
             .map(|(id, _)| *id)
             .expect("believe-appear on node 2");
         let preds = graph.predecessors(&believe_appear);
-        assert!(preds.iter().any(|p| matches!(graph.vertex(p).unwrap().kind, VertexKind::Receive { .. })));
+        assert!(preds
+            .iter()
+            .any(|p| matches!(graph.vertex(p).unwrap().kind, VertexKind::Receive { .. })));
         let succs = graph.successors(&believe_appear);
-        assert!(succs.iter().any(|s| matches!(graph.vertex(s).unwrap().kind, VertexKind::Believe { .. })));
+        assert!(succs
+            .iter()
+            .any(|s| matches!(graph.vertex(s).unwrap().kind, VertexKind::Believe { .. })));
     }
 
     #[test]
@@ -595,7 +719,10 @@ mod tests {
             Event::new(50, NodeId(1), EventKind::Ins(link(1, 3))),
         ]);
         let graph = builder_for(&[1, 2, 3]).build(&history);
-        assert!(graph.faulty_nodes().contains(&NodeId(1)), "suppressed send must produce a red vertex (Lemma 3 case 4)");
+        assert!(
+            graph.faulty_nodes().contains(&NodeId(1)),
+            "suppressed send must produce a red vertex (Lemma 3 case 4)"
+        );
     }
 
     #[test]
@@ -607,8 +734,14 @@ mod tests {
             Event::new(20, NodeId(2), EventKind::Rcv(msg)),
         ]);
         let graph = builder_for(&[1, 2]).build(&history);
-        assert!(graph.faulty_nodes().contains(&NodeId(1)), "fabricated send must be red (Lemma 3 cases 1/3)");
-        assert!(!graph.faulty_nodes().contains(&NodeId(2)), "the receiver is not at fault for the sender's lie");
+        assert!(
+            graph.faulty_nodes().contains(&NodeId(1)),
+            "fabricated send must be red (Lemma 3 cases 1/3)"
+        );
+        assert!(
+            !graph.faulty_nodes().contains(&NodeId(2)),
+            "the receiver is not at fault for the sender's lie"
+        );
     }
 
     #[test]
@@ -624,8 +757,14 @@ mod tests {
             Event::new(40, NodeId(2), EventKind::Ins(link(2, 3))),
         ]);
         let graph = builder_for(&[1, 2]).build(&history);
-        let recv = graph.find_receive(NodeId(2), NodeId(1), &reach(2, 1), Polarity::Plus).expect("receive vertex");
-        assert_eq!(graph.vertex(&recv).unwrap().color, Color::Red, "unacknowledged receive must be red (Lemma 3 case 2)");
+        let recv = graph
+            .find_receive(NodeId(2), NodeId(1), &reach(2, 1), Polarity::Plus)
+            .expect("receive vertex");
+        assert_eq!(
+            graph.vertex(&recv).unwrap().color,
+            Color::Red,
+            "unacknowledged receive must be red (Lemma 3 case 2)"
+        );
         assert!(graph.faulty_nodes().contains(&NodeId(2)));
     }
 
@@ -641,7 +780,9 @@ mod tests {
             Event::new(5_000_000, NodeId(1), EventKind::Ins(link(1, 3))),
         ]);
         let graph = builder_for(&[1, 2]).build(&history);
-        let send = graph.find_send(NodeId(1), NodeId(2), &reach(2, 1), Polarity::Plus, None).expect("send vertex");
+        let send = graph
+            .find_send(NodeId(1), NodeId(2), &reach(2, 1), Polarity::Plus, None)
+            .expect("send vertex");
         assert_eq!(graph.vertex(&send).unwrap().color, Color::Red);
     }
 
@@ -717,8 +858,12 @@ mod tests {
         // bestCost(…,3) must be derived, and bestCost(…,9) underived at t=20.
         let best3 = Tuple::new("bestCost", NodeId(1), vec![Value::node(2u64), Value::Int(3)]);
         let best9 = Tuple::new("bestCost", NodeId(1), vec![Value::node(2u64), Value::Int(9)]);
-        assert!(graph.vertices().any(|(_, v)| matches!(&v.kind, VertexKind::Derive { tuple, .. } if *tuple == best3)));
-        assert!(graph.vertices().any(|(_, v)| matches!(&v.kind, VertexKind::Underive { tuple, .. } if *tuple == best9)));
+        assert!(graph
+            .vertices()
+            .any(|(_, v)| matches!(&v.kind, VertexKind::Derive { tuple, .. } if *tuple == best3)));
+        assert!(graph
+            .vertices()
+            .any(|(_, v)| matches!(&v.kind, VertexKind::Underive { tuple, .. } if *tuple == best9)));
         assert!(graph.faulty_nodes().is_empty());
     }
 
@@ -743,7 +888,10 @@ mod tests {
             let prefix = history.prefix(cut);
             let g_prefix = builder_for(&[1, 2]).build(&prefix);
             let g_full = builder_for(&[1, 2]).build(&history);
-            assert!(g_prefix.is_subgraph_of(&g_full), "prefix of length {cut} must yield a subgraph");
+            assert!(
+                g_prefix.is_subgraph_of(&g_full),
+                "prefix of length {cut} must yield a subgraph"
+            );
         }
     }
 
@@ -757,10 +905,18 @@ mod tests {
             // Every vertex hosted on `node` in the full graph appears in the
             // per-node reconstruction and vice versa.
             for (id, v) in g_full.vertices_on(node) {
-                assert!(g_local.contains(id), "full-graph vertex {} missing from per-node run", v.kind);
+                assert!(
+                    g_local.contains(id),
+                    "full-graph vertex {} missing from per-node run",
+                    v.kind
+                );
             }
             for (id, v) in g_local.vertices_on(node) {
-                assert!(g_full.contains(id), "per-node vertex {} missing from full graph", v.kind);
+                assert!(
+                    g_full.contains(id),
+                    "per-node vertex {} missing from full graph",
+                    v.kind
+                );
             }
         }
     }

@@ -1,7 +1,6 @@
 //! The provenance graph and the operations from Appendix B.2.
 
 use crate::vertex::{Color, Timestamp, Vertex, VertexId, VertexKind};
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use snp_datalog::{Polarity, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
@@ -42,7 +41,7 @@ pub fn edge_allowed(from: &str, to: &str) -> bool {
 }
 
 /// The provenance graph `G = (V, E)`.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ProvenanceGraph {
     vertices: BTreeMap<VertexId, Vertex>,
     /// Forward edges `(v1, v2)`: v1 is part of the provenance of v2.
@@ -129,10 +128,8 @@ impl ProvenanceGraph {
     pub fn close_interval(&mut self, id: VertexId, end: Timestamp) {
         if let Some(vertex) = self.vertices.get_mut(&id) {
             match &mut vertex.kind {
-                VertexKind::Exist { until, .. } | VertexKind::Believe { until, .. } => {
-                    if until.is_none() {
-                        *until = Some(end);
-                    }
+                VertexKind::Exist { until, .. } | VertexKind::Believe { until, .. } if until.is_none() => {
+                    *until = Some(end);
                 }
                 _ => {}
             }
@@ -207,13 +204,21 @@ impl ProvenanceGraph {
 
     /// All vertices of a given color.
     pub fn vertices_with_color(&self, color: Color) -> Vec<VertexId> {
-        self.vertices.iter().filter(|(_, v)| v.color == color).map(|(id, _)| *id).collect()
+        self.vertices
+            .iter()
+            .filter(|(_, v)| v.color == color)
+            .map(|(id, _)| *id)
+            .collect()
     }
 
     /// Nodes that host at least one red vertex (Theorem 3: exactly the faulty
     /// nodes).
     pub fn faulty_nodes(&self) -> BTreeSet<NodeId> {
-        self.vertices.values().filter(|v| v.color == Color::Red).map(|v| v.host()).collect()
+        self.vertices
+            .values()
+            .filter(|v| v.color == Color::Red)
+            .map(|v| v.host())
+            .collect()
     }
 
     /// Nodes that host at least one red *or yellow* vertex — the set a
@@ -234,16 +239,16 @@ impl ProvenanceGraph {
 
     /// The open `exist` vertex for a tuple on a node, if any.
     pub fn open_exist(&self, node: NodeId, tuple: &Tuple) -> Option<VertexId> {
-        self.find_kind(|k| {
-            matches!(k, VertexKind::Exist { node: n, tuple: t, until: None, .. } if *n == node && t == tuple)
-        })
+        self.find_kind(
+            |k| matches!(k, VertexKind::Exist { node: n, tuple: t, until: None, .. } if *n == node && t == tuple),
+        )
     }
 
     /// The open `believe` vertex for a tuple on a node (from any peer).
     pub fn open_believe(&self, node: NodeId, tuple: &Tuple) -> Option<VertexId> {
-        self.find_kind(|k| {
-            matches!(k, VertexKind::Believe { node: n, tuple: t, until: None, .. } if *n == node && t == tuple)
-        })
+        self.find_kind(
+            |k| matches!(k, VertexKind::Believe { node: n, tuple: t, until: None, .. } if *n == node && t == tuple),
+        )
     }
 
     /// The `appear` vertex for a tuple on a node at exactly `time`.
@@ -277,18 +282,37 @@ impl ProvenanceGraph {
     /// The `exist` vertex (open or closed) covering a tuple at a given time.
     pub fn exist_covering(&self, node: NodeId, tuple: &Tuple, time: Timestamp) -> Option<VertexId> {
         self.find_kind(|k| match k {
-            VertexKind::Exist { node: n, tuple: t, from, until } if *n == node && t == tuple => {
-                *from <= time && until.map(|u| time <= u).unwrap_or(true)
-            }
+            VertexKind::Exist {
+                node: n,
+                tuple: t,
+                from,
+                until,
+            } if *n == node && t == tuple => *from <= time && until.map(|u| time <= u).unwrap_or(true),
             _ => false,
         })
     }
 
     /// Find a `send` vertex for a specific notification (any timestamp).
-    pub fn find_send(&self, node: NodeId, peer: NodeId, tuple: &Tuple, polarity: Polarity, time: Option<Timestamp>) -> Option<VertexId> {
+    pub fn find_send(
+        &self,
+        node: NodeId,
+        peer: NodeId,
+        tuple: &Tuple,
+        polarity: Polarity,
+        time: Option<Timestamp>,
+    ) -> Option<VertexId> {
         self.find_kind(|k| match k {
-            VertexKind::Send { node: n, peer: p, delta, time: t } => {
-                *n == node && *p == peer && delta.tuple == *tuple && delta.polarity == polarity && time.map(|x| x == *t).unwrap_or(true)
+            VertexKind::Send {
+                node: n,
+                peer: p,
+                delta,
+                time: t,
+            } => {
+                *n == node
+                    && *p == peer
+                    && delta.tuple == *tuple
+                    && delta.polarity == polarity
+                    && time.map(|x| x == *t).unwrap_or(true)
             }
             _ => false,
         })
@@ -297,9 +321,12 @@ impl ProvenanceGraph {
     /// Find a `receive` vertex for a specific notification (any timestamp).
     pub fn find_receive(&self, node: NodeId, peer: NodeId, tuple: &Tuple, polarity: Polarity) -> Option<VertexId> {
         self.find_kind(|k| match k {
-            VertexKind::Receive { node: n, peer: p, delta, .. } => {
-                *n == node && *p == peer && delta.tuple == *tuple && delta.polarity == polarity
-            }
+            VertexKind::Receive {
+                node: n,
+                peer: p,
+                delta,
+                ..
+            } => *n == node && *p == peer && delta.tuple == *tuple && delta.polarity == polarity,
             _ => false,
         })
     }
@@ -386,11 +413,26 @@ mod tests {
     }
 
     fn appear(n: u64, time: Timestamp) -> Vertex {
-        Vertex::new(VertexKind::Appear { node: NodeId(n), tuple: tup(n), time }, Color::Black)
+        Vertex::new(
+            VertexKind::Appear {
+                node: NodeId(n),
+                tuple: tup(n),
+                time,
+            },
+            Color::Black,
+        )
     }
 
     fn exist_open(n: u64, from: Timestamp) -> Vertex {
-        Vertex::new(VertexKind::Exist { node: NodeId(n), tuple: tup(n), from, until: None }, Color::Black)
+        Vertex::new(
+            VertexKind::Exist {
+                node: NodeId(n),
+                tuple: tup(n),
+                from,
+                until: None,
+            },
+            Color::Black,
+        )
     }
 
     #[test]
@@ -488,11 +530,21 @@ mod tests {
     fn projection_keeps_local_vertices_and_boundary_messages() {
         let mut g = ProvenanceGraph::new();
         let send = g.upsert(Vertex::new(
-            VertexKind::Send { node: NodeId(1), peer: NodeId(2), delta: snp_datalog::TupleDelta::plus(tup(1)), time: 3 },
+            VertexKind::Send {
+                node: NodeId(1),
+                peer: NodeId(2),
+                delta: snp_datalog::TupleDelta::plus(tup(1)),
+                time: 3,
+            },
             Color::Black,
         ));
         let recv = g.upsert(Vertex::new(
-            VertexKind::Receive { node: NodeId(2), peer: NodeId(1), delta: snp_datalog::TupleDelta::plus(tup(1)), time: 4 },
+            VertexKind::Receive {
+                node: NodeId(2),
+                peer: NodeId(1),
+                delta: snp_datalog::TupleDelta::plus(tup(1)),
+                time: 4,
+            },
             Color::Black,
         ));
         g.add_edge(send, recv);
@@ -502,7 +554,11 @@ mod tests {
         let proj = g.project(NodeId(2));
         assert!(proj.contains(&recv));
         assert!(proj.contains(&send), "boundary send vertex must be kept");
-        assert_eq!(proj.vertex(&send).unwrap().color, Color::Yellow, "remote boundary vertex is yellow");
+        assert_eq!(
+            proj.vertex(&send).unwrap().color,
+            Color::Yellow,
+            "remote boundary vertex is yellow"
+        );
         assert!(proj.contains(&appear2));
 
         let proj1 = g.project(NodeId(1));

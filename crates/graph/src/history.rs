@@ -6,7 +6,6 @@
 //! reconstructs per-node histories from tamper-evident logs.
 
 use crate::vertex::Timestamp;
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use snp_crypto::Digest;
 use snp_datalog::{Tuple, TupleDelta};
@@ -14,7 +13,7 @@ use std::fmt;
 
 /// The body of a message: either a tuple notification or an acknowledgment of
 /// a previously sent message (Appendix A.2).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum MessageBody {
     /// A `+τ` / `-τ` notification.
     Delta(TupleDelta),
@@ -26,7 +25,7 @@ pub enum MessageBody {
 }
 
 /// A message exchanged between two nodes.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Message {
     /// Sending node (`src(m)`).
     pub from: NodeId,
@@ -43,7 +42,13 @@ pub struct Message {
 impl Message {
     /// Build a tuple-notification message.
     pub fn delta(from: NodeId, to: NodeId, delta: TupleDelta, sent_at: Timestamp, seq: u64) -> Message {
-        Message { from, to, body: MessageBody::Delta(delta), sent_at, seq }
+        Message {
+            from,
+            to,
+            body: MessageBody::Delta(delta),
+            sent_at,
+            seq,
+        }
     }
 
     /// Build an acknowledgment for `original`.
@@ -107,14 +112,26 @@ impl Message {
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.body {
-            MessageBody::Delta(d) => write!(f, "{} -> {}: {} (t={}, seq={})", self.from, self.to, d, self.sent_at, self.seq),
-            MessageBody::Ack { of } => write!(f, "{} -> {}: ack({}) (t={}, seq={})", self.from, self.to, of.short(), self.sent_at, self.seq),
+            MessageBody::Delta(d) => write!(
+                f,
+                "{} -> {}: {} (t={}, seq={})",
+                self.from, self.to, d, self.sent_at, self.seq
+            ),
+            MessageBody::Ack { of } => write!(
+                f,
+                "{} -> {}: ack({}) (t={}, seq={})",
+                self.from,
+                self.to,
+                of.short(),
+                self.sent_at,
+                self.seq
+            ),
         }
     }
 }
 
 /// What happened in an event.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EventKind {
     /// The node sent a message.
     Snd(Message),
@@ -139,7 +156,7 @@ impl EventKind {
 }
 
 /// One event `e_k = (t_k, i_k, x_k)` of a history.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Event {
     /// Local time at the node.
     pub time: Timestamp,
@@ -158,7 +175,7 @@ impl Event {
 
 /// A history: a sequence of events ordered by time (ties broken by insertion
 /// order, which the `Vec` preserves).
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct History {
     events: Vec<Event>,
 }
@@ -197,12 +214,16 @@ impl History {
 
     /// The projection `h | i`: the subsequence of events on node `i`.
     pub fn project(&self, node: NodeId) -> History {
-        History { events: self.events.iter().filter(|e| e.node == node).cloned().collect() }
+        History {
+            events: self.events.iter().filter(|e| e.node == node).cloned().collect(),
+        }
     }
 
     /// The prefix consisting of the first `n` events.
     pub fn prefix(&self, n: usize) -> History {
-        History { events: self.events.iter().take(n).cloned().collect() }
+        History {
+            events: self.events.iter().take(n).cloned().collect(),
+        }
     }
 
     /// Whether `self` is a prefix of `other`.
@@ -278,7 +299,11 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.events()[0].time, 3);
         assert_eq!(a.events()[1].time, 5);
-        assert_eq!(a.events()[1].node, NodeId(1), "stable sort keeps original order among equal timestamps");
+        assert_eq!(
+            a.events()[1].node,
+            NodeId(1),
+            "stable sort keeps original order among equal timestamps"
+        );
     }
 
     #[test]

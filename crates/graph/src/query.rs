@@ -24,7 +24,11 @@ pub struct Traversal {
 impl Traversal {
     /// An empty traversal rooted at `root`.
     fn empty(root: VertexId) -> Traversal {
-        Traversal { depths: BTreeMap::new(), edges: BTreeSet::new(), root }
+        Traversal {
+            depths: BTreeMap::new(),
+            edges: BTreeSet::new(),
+            root,
+        }
     }
 }
 
@@ -82,8 +86,8 @@ pub fn traverse(graph: &ProvenanceGraph, root: VertexId, direction: Direction, s
                 Direction::Effects => (vertex, n),
             };
             out.edges.insert(edge);
-            if !out.depths.contains_key(&n) {
-                out.depths.insert(n, depth + 1);
+            if let std::collections::btree_map::Entry::Vacant(e) = out.depths.entry(n) {
+                e.insert(depth + 1);
                 queue.push_back((n, depth + 1));
             }
         }
@@ -183,15 +187,46 @@ mod tests {
     /// insert(base) -> appear(base) -> derive(derived) -> appear(derived) -> exist(derived)
     fn chain_graph() -> (ProvenanceGraph, Vec<VertexId>) {
         let mut g = ProvenanceGraph::new();
-        let insert = g.upsert(Vertex::new(VertexKind::Insert { node: NodeId(1), tuple: tup("base"), time: 1 }, Color::Black));
-        let appear_base = g.upsert(Vertex::new(VertexKind::Appear { node: NodeId(1), tuple: tup("base"), time: 1 }, Color::Black));
-        let derive = g.upsert(Vertex::new(
-            VertexKind::Derive { node: NodeId(1), tuple: tup("derived"), rule: "R1".into(), time: 1 },
+        let insert = g.upsert(Vertex::new(
+            VertexKind::Insert {
+                node: NodeId(1),
+                tuple: tup("base"),
+                time: 1,
+            },
             Color::Black,
         ));
-        let appear_derived = g.upsert(Vertex::new(VertexKind::Appear { node: NodeId(1), tuple: tup("derived"), time: 1 }, Color::Black));
+        let appear_base = g.upsert(Vertex::new(
+            VertexKind::Appear {
+                node: NodeId(1),
+                tuple: tup("base"),
+                time: 1,
+            },
+            Color::Black,
+        ));
+        let derive = g.upsert(Vertex::new(
+            VertexKind::Derive {
+                node: NodeId(1),
+                tuple: tup("derived"),
+                rule: "R1".into(),
+                time: 1,
+            },
+            Color::Black,
+        ));
+        let appear_derived = g.upsert(Vertex::new(
+            VertexKind::Appear {
+                node: NodeId(1),
+                tuple: tup("derived"),
+                time: 1,
+            },
+            Color::Black,
+        ));
         let exist = g.upsert(Vertex::new(
-            VertexKind::Exist { node: NodeId(1), tuple: tup("derived"), from: 1, until: None },
+            VertexKind::Exist {
+                node: NodeId(1),
+                tuple: tup("derived"),
+                from: 1,
+                until: None,
+            },
             Color::Black,
         ));
         g.add_edge(insert, appear_base);
@@ -242,7 +277,12 @@ mod tests {
         // A derive with no predecessors (dangling provenance) is suspicious.
         let mut g = ProvenanceGraph::new();
         let derive = g.upsert(Vertex::new(
-            VertexKind::Derive { node: NodeId(1), tuple: tup("derived"), rule: "R1".into(), time: 1 },
+            VertexKind::Derive {
+                node: NodeId(1),
+                tuple: tup("derived"),
+                rule: "R1".into(),
+                time: 1,
+            },
             Color::Black,
         ));
         let t = explain(&g, derive);
@@ -252,7 +292,12 @@ mod tests {
     #[test]
     fn traversal_of_missing_root_is_empty() {
         let (g, _) = chain_graph();
-        let bogus = VertexKind::Insert { node: NodeId(9), tuple: tup("zzz"), time: 9 }.identity();
+        let bogus = VertexKind::Insert {
+            node: NodeId(9),
+            tuple: tup("zzz"),
+            time: 9,
+        }
+        .identity();
         let t = explain(&g, bogus);
         assert_eq!(t.len(), 0);
     }

@@ -1,6 +1,5 @@
 //! Vertex types, colors and identities.
 
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use snp_crypto::Digest;
 use snp_datalog::{Polarity, Tuple, TupleDelta};
@@ -19,7 +18,7 @@ pub type Timestamp = u64;
 ///
 /// The order `red > black > yellow` is the *dominance* order of Appendix B.2;
 /// graph union keeps the dominant color.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Color {
     /// True color not yet known.
     Yellow,
@@ -51,7 +50,7 @@ impl fmt::Display for Color {
 /// `exist` and `believe` vertices carry an interval whose upper end is `None`
 /// while the tuple still exists / is still believed; all other kinds carry a
 /// single timestamp.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum VertexKind {
     /// Base tuple `tuple` was inserted on `node` at `time`.
     Insert {
@@ -294,22 +293,71 @@ impl VertexKind {
 impl fmt::Display for VertexKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            VertexKind::Exist { node, tuple, from, until } => {
-                write!(f, "EXIST({node}, {tuple}, [{from}, {}])", until.map(|u| u.to_string()).unwrap_or_else(|| "now".into()))
+            VertexKind::Exist {
+                node,
+                tuple,
+                from,
+                until,
+            } => {
+                write!(
+                    f,
+                    "EXIST({node}, {tuple}, [{from}, {}])",
+                    until.map(|u| u.to_string()).unwrap_or_else(|| "now".into())
+                )
             }
-            VertexKind::Believe { node, peer, tuple, from, until } => {
-                write!(f, "BELIEVE({node}, {peer}, {tuple}, [{from}, {}])", until.map(|u| u.to_string()).unwrap_or_else(|| "now".into()))
+            VertexKind::Believe {
+                node,
+                peer,
+                tuple,
+                from,
+                until,
+            } => {
+                write!(
+                    f,
+                    "BELIEVE({node}, {peer}, {tuple}, [{from}, {}])",
+                    until.map(|u| u.to_string()).unwrap_or_else(|| "now".into())
+                )
             }
-            VertexKind::Send { node, peer, delta, time } => write!(f, "SEND({node}, {peer}, {delta}, {time})"),
-            VertexKind::Receive { node, peer, delta, time } => write!(f, "RECEIVE({node}, {peer}, {delta}, {time})"),
-            VertexKind::BelieveAppear { node, peer, tuple, time } => {
+            VertexKind::Send {
+                node,
+                peer,
+                delta,
+                time,
+            } => write!(f, "SEND({node}, {peer}, {delta}, {time})"),
+            VertexKind::Receive {
+                node,
+                peer,
+                delta,
+                time,
+            } => write!(f, "RECEIVE({node}, {peer}, {delta}, {time})"),
+            VertexKind::BelieveAppear {
+                node,
+                peer,
+                tuple,
+                time,
+            } => {
                 write!(f, "BELIEVE-APPEAR({node}, {peer}, {tuple}, {time})")
             }
-            VertexKind::BelieveDisappear { node, peer, tuple, time } => {
+            VertexKind::BelieveDisappear {
+                node,
+                peer,
+                tuple,
+                time,
+            } => {
                 write!(f, "BELIEVE-DISAPPEAR({node}, {peer}, {tuple}, {time})")
             }
-            VertexKind::Derive { node, tuple, rule, time } => write!(f, "DERIVE({node}, {tuple}, {rule}, {time})"),
-            VertexKind::Underive { node, tuple, rule, time } => write!(f, "UNDERIVE({node}, {tuple}, {rule}, {time})"),
+            VertexKind::Derive {
+                node,
+                tuple,
+                rule,
+                time,
+            } => write!(f, "DERIVE({node}, {tuple}, {rule}, {time})"),
+            VertexKind::Underive {
+                node,
+                tuple,
+                rule,
+                time,
+            } => write!(f, "UNDERIVE({node}, {tuple}, {rule}, {time})"),
             other => write!(
                 f,
                 "{}({}, {}, {})",
@@ -323,7 +371,7 @@ impl fmt::Display for VertexKind {
 }
 
 /// A stable identifier for a vertex (content hash of its identity fields).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VertexId(pub Digest);
 
 impl fmt::Debug for VertexId {
@@ -333,7 +381,7 @@ impl fmt::Debug for VertexId {
 }
 
 /// A vertex: its kind (identity + interval) plus its current color.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Vertex {
     /// The vertex kind and payload.
     pub kind: VertexKind,
@@ -383,32 +431,75 @@ mod tests {
 
     #[test]
     fn exist_identity_ignores_interval_end() {
-        let open = VertexKind::Exist { node: NodeId(1), tuple: tuple(), from: 10, until: None };
-        let closed = VertexKind::Exist { node: NodeId(1), tuple: tuple(), from: 10, until: Some(99) };
+        let open = VertexKind::Exist {
+            node: NodeId(1),
+            tuple: tuple(),
+            from: 10,
+            until: None,
+        };
+        let closed = VertexKind::Exist {
+            node: NodeId(1),
+            tuple: tuple(),
+            from: 10,
+            until: Some(99),
+        };
         assert_eq!(open.identity(), closed.identity());
-        let different_start = VertexKind::Exist { node: NodeId(1), tuple: tuple(), from: 11, until: None };
+        let different_start = VertexKind::Exist {
+            node: NodeId(1),
+            tuple: tuple(),
+            from: 11,
+            until: None,
+        };
         assert_ne!(open.identity(), different_start.identity());
     }
 
     #[test]
     fn different_kinds_have_different_identities() {
-        let appear = VertexKind::Appear { node: NodeId(1), tuple: tuple(), time: 10 };
-        let insert = VertexKind::Insert { node: NodeId(1), tuple: tuple(), time: 10 };
+        let appear = VertexKind::Appear {
+            node: NodeId(1),
+            tuple: tuple(),
+            time: 10,
+        };
+        let insert = VertexKind::Insert {
+            node: NodeId(1),
+            tuple: tuple(),
+            time: 10,
+        };
         assert_ne!(appear.identity(), insert.identity());
     }
 
     #[test]
     fn send_identity_includes_polarity_and_peer() {
-        let plus = VertexKind::Send { node: NodeId(1), peer: NodeId(2), delta: TupleDelta::plus(tuple()), time: 5 };
-        let minus = VertexKind::Send { node: NodeId(1), peer: NodeId(2), delta: TupleDelta::minus(tuple()), time: 5 };
-        let other_peer = VertexKind::Send { node: NodeId(1), peer: NodeId(3), delta: TupleDelta::plus(tuple()), time: 5 };
+        let plus = VertexKind::Send {
+            node: NodeId(1),
+            peer: NodeId(2),
+            delta: TupleDelta::plus(tuple()),
+            time: 5,
+        };
+        let minus = VertexKind::Send {
+            node: NodeId(1),
+            peer: NodeId(2),
+            delta: TupleDelta::minus(tuple()),
+            time: 5,
+        };
+        let other_peer = VertexKind::Send {
+            node: NodeId(1),
+            peer: NodeId(3),
+            delta: TupleDelta::plus(tuple()),
+            time: 5,
+        };
         assert_ne!(plus.identity(), minus.identity());
         assert_ne!(plus.identity(), other_peer.identity());
     }
 
     #[test]
     fn host_and_tuple_accessors() {
-        let v = VertexKind::Derive { node: NodeId(7), tuple: tuple(), rule: "R1".into(), time: 3 };
+        let v = VertexKind::Derive {
+            node: NodeId(7),
+            tuple: tuple(),
+            rule: "R1".into(),
+            time: 3,
+        };
         assert_eq!(v.host(), NodeId(7));
         assert_eq!(v.tuple(), &tuple());
         assert_eq!(v.time(), 3);
@@ -417,7 +508,14 @@ mod tests {
 
     #[test]
     fn display_includes_kind_and_color() {
-        let v = Vertex::new(VertexKind::Appear { node: NodeId(1), tuple: tuple(), time: 4 }, Color::Black);
+        let v = Vertex::new(
+            VertexKind::Appear {
+                node: NodeId(1),
+                tuple: tuple(),
+                time: 4,
+            },
+            Color::Black,
+        );
         let s = v.to_string();
         assert!(s.contains("APPEAR"));
         assert!(s.contains("black"));
@@ -425,8 +523,18 @@ mod tests {
 
     #[test]
     fn derive_identity_includes_rule() {
-        let a = VertexKind::Derive { node: NodeId(1), tuple: tuple(), rule: "R1".into(), time: 3 };
-        let b = VertexKind::Derive { node: NodeId(1), tuple: tuple(), rule: "R2".into(), time: 3 };
+        let a = VertexKind::Derive {
+            node: NodeId(1),
+            tuple: tuple(),
+            rule: "R1".into(),
+            time: 3,
+        };
+        let b = VertexKind::Derive {
+            node: NodeId(1),
+            tuple: tuple(),
+            rule: "R2".into(),
+            time: 3,
+        };
         assert_ne!(a.identity(), b.identity());
     }
 }

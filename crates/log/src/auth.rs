@@ -6,7 +6,6 @@
 //! receive from a peer `j` in the set `U_{i,j}`; the querier uses them as
 //! evidence when invoking `retrieve`.
 
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::{KeyPair, NodeId};
 use snp_crypto::sign::{PublicKey, Signature, SIGNATURE_WIRE_BYTES};
 use snp_crypto::{hash_concat, Digest};
@@ -14,7 +13,7 @@ use snp_graph::vertex::Timestamp;
 use std::collections::BTreeMap;
 
 /// A signed commitment to a log prefix.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Authenticator {
     /// The node that issued the authenticator.
     pub node: NodeId,
@@ -43,7 +42,13 @@ impl Authenticator {
     /// Issue an authenticator with the node's keypair.
     pub fn issue(keys: &KeyPair, seq: u64, timestamp: Timestamp, head: Digest) -> Authenticator {
         let digest = Self::signed_digest(keys.node, seq, timestamp, &head);
-        Authenticator { node: keys.node, seq, timestamp, head, signature: keys.sign(&digest) }
+        Authenticator {
+            node: keys.node,
+            seq,
+            timestamp,
+            head,
+            signature: keys.sign(&digest),
+        }
     }
 
     /// Verify the authenticator against the issuer's public key.
@@ -170,7 +175,12 @@ mod tests {
         let keys = keypair(3);
         let mut set = AuthenticatorSet::new();
         for (seq, ts) in [(0u64, 10u64), (1, 20), (2, 30)] {
-            set.add(Authenticator::issue(&keys, seq, ts, snp_crypto::hash(&seq.to_be_bytes())));
+            set.add(Authenticator::issue(
+                &keys,
+                seq,
+                ts,
+                snp_crypto::hash(&seq.to_be_bytes()),
+            ));
         }
         assert_eq!(set.len(), 3);
         assert_eq!(set.latest(NodeId(3)).unwrap().seq, 2);

@@ -39,7 +39,10 @@ impl MessageBatcher {
     /// Create a batcher with window `t_batch` (microseconds).  A window of 0
     /// disables batching: every push flushes immediately.
     pub fn new(t_batch: Timestamp) -> MessageBatcher {
-        MessageBatcher { t_batch, queues: BTreeMap::new() }
+        MessageBatcher {
+            t_batch,
+            queues: BTreeMap::new(),
+        }
     }
 
     /// The configured window.
@@ -51,7 +54,11 @@ impl MessageBatcher {
     /// this push itself triggers an immediate flush (window 0).
     pub fn push(&mut self, to: NodeId, delta: TupleDelta, now: Timestamp) -> Option<Batch> {
         if self.t_batch == 0 {
-            return Some(Batch { to, deltas: vec![delta], flushed_at: now });
+            return Some(Batch {
+                to,
+                deltas: vec![delta],
+                flushed_at: now,
+            });
         }
         let entry = self.queues.entry(to).or_insert_with(|| (now, Vec::new()));
         entry.1.push(delta);
@@ -69,7 +76,11 @@ impl MessageBatcher {
             .collect();
         for to in expired {
             let (since, deltas) = self.queues.remove(&to).expect("present");
-            flushed.push(Batch { to, deltas, flushed_at: since + self.t_batch });
+            flushed.push(Batch {
+                to,
+                deltas,
+                flushed_at: since + self.t_batch,
+            });
         }
         flushed
     }
@@ -79,7 +90,11 @@ impl MessageBatcher {
         let mut flushed = Vec::new();
         for (to, (_, deltas)) in std::mem::take(&mut self.queues) {
             if !deltas.is_empty() {
-                flushed.push(Batch { to, deltas, flushed_at: now });
+                flushed.push(Batch {
+                    to,
+                    deltas,
+                    flushed_at: now,
+                });
             }
         }
         flushed

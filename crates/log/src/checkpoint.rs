@@ -6,7 +6,6 @@
 //! can download and verify only the entries relevant to a query instead of
 //! the whole checkpoint ("partial checkpoints").
 
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use snp_crypto::merkle::{MerkleProof, MerkleTree};
 use snp_crypto::Digest;
@@ -14,7 +13,7 @@ use snp_datalog::Tuple;
 use snp_graph::vertex::Timestamp;
 
 /// One checkpointed tuple: the tuple and the local time it appeared.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CheckpointEntry {
     /// The tuple that existed when the checkpoint was taken.
     pub tuple: Tuple,
@@ -31,7 +30,7 @@ impl CheckpointEntry {
 }
 
 /// A checkpoint of a node's state at a log position.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Checkpoint {
     /// The node the checkpoint belongs to.
     pub node: NodeId,
@@ -51,7 +50,13 @@ impl Checkpoint {
         entries.sort_by(|a, b| a.tuple.cmp(&b.tuple).then(a.appeared_at.cmp(&b.appeared_at)));
         let encoded: Vec<Vec<u8>> = entries.iter().map(|e| e.encode()).collect();
         let tree = MerkleTree::build(encoded.iter().map(|v| v.as_slice()));
-        Checkpoint { node, at_seq, timestamp, entries, root: tree.root() }
+        Checkpoint {
+            node,
+            at_seq,
+            timestamp,
+            entries,
+            root: tree.root(),
+        }
     }
 
     /// Number of tuples in the checkpoint.
@@ -81,7 +86,12 @@ impl Checkpoint {
                 selected.push((entry.clone(), proof));
             }
         }
-        PartialCheckpoint { node: self.node, at_seq: self.at_seq, root: self.root, entries: selected }
+        PartialCheckpoint {
+            node: self.node,
+            at_seq: self.at_seq,
+            root: self.root,
+            entries: selected,
+        }
     }
 
     /// Verify that the checkpoint's root matches its contents (a querier does
@@ -93,7 +103,7 @@ impl Checkpoint {
 }
 
 /// A partial checkpoint: a subset of entries with inclusion proofs.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PartialCheckpoint {
     /// The node the checkpoint belongs to.
     pub node: NodeId,
@@ -108,7 +118,9 @@ pub struct PartialCheckpoint {
 impl PartialCheckpoint {
     /// Verify every included entry against the root.
     pub fn verify(&self) -> bool {
-        self.entries.iter().all(|(entry, proof)| MerkleTree::verify(&self.root, &entry.encode(), proof))
+        self.entries
+            .iter()
+            .all(|(entry, proof)| MerkleTree::verify(&self.root, &entry.encode(), proof))
     }
 
     /// Serialized size in bytes (for Figure 8's download accounting).

@@ -1,6 +1,5 @@
 //! Log entry types (§5.4): `e_k := (t_k, y_k, c_k)`.
 
-use serde::{Deserialize, Serialize};
 use snp_crypto::Digest;
 use snp_datalog::Tuple;
 use snp_graph::history::Message;
@@ -12,7 +11,7 @@ use snp_graph::vertex::Timestamp;
 /// `ack` records acknowledgments, and `ins` and `del` record insertions and
 /// deletions of base tuples and, where applicable, tuples derived from
 /// 'maybe' rules."
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum EntryKind {
     /// The node sent `message`.
     Snd {
@@ -62,7 +61,7 @@ impl EntryKind {
 }
 
 /// A log entry `e_k := (t_k, y_k, c_k)` plus its position in the log.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogEntry {
     /// Position in the log (0-based `k`).
     pub seq: u64,
@@ -82,7 +81,10 @@ impl LogEntry {
         out.push(0);
         match &self.kind {
             EntryKind::Snd { message } => out.extend_from_slice(&message.encode()),
-            EntryKind::Rcv { message, sender_auth_digest } => {
+            EntryKind::Rcv {
+                message,
+                sender_auth_digest,
+            } => {
                 out.extend_from_slice(&message.encode());
                 out.extend_from_slice(sender_auth_digest.as_bytes());
             }
@@ -121,17 +123,31 @@ mod tests {
         assert_eq!(EntryKind::Ins { tuple: tuple() }.kind_name(), "ins");
         assert_eq!(EntryKind::Snd { message: message() }.kind_name(), "snd");
         assert_eq!(
-            EntryKind::Ack { of: Digest::ZERO, peer_auth_digest: Digest::ZERO }.kind_name(),
+            EntryKind::Ack {
+                of: Digest::ZERO,
+                peer_auth_digest: Digest::ZERO
+            }
+            .kind_name(),
             "ack"
         );
     }
 
     #[test]
     fn encoding_differs_by_seq_time_and_content() {
-        let base = LogEntry { seq: 0, timestamp: 10, kind: EntryKind::Ins { tuple: tuple() } };
+        let base = LogEntry {
+            seq: 0,
+            timestamp: 10,
+            kind: EntryKind::Ins { tuple: tuple() },
+        };
         let other_seq = LogEntry { seq: 1, ..base.clone() };
-        let other_time = LogEntry { timestamp: 11, ..base.clone() };
-        let other_kind = LogEntry { kind: EntryKind::Del { tuple: tuple() }, ..base.clone() };
+        let other_time = LogEntry {
+            timestamp: 11,
+            ..base.clone()
+        };
+        let other_kind = LogEntry {
+            kind: EntryKind::Del { tuple: tuple() },
+            ..base.clone()
+        };
         assert_ne!(base.encode(), other_seq.encode());
         assert_ne!(base.encode(), other_time.encode());
         assert_ne!(base.encode(), other_kind.encode());
@@ -139,9 +155,17 @@ mod tests {
 
     #[test]
     fn storage_size_tracks_payload() {
-        let small = LogEntry { seq: 0, timestamp: 0, kind: EntryKind::Ins { tuple: tuple() } };
+        let small = LogEntry {
+            seq: 0,
+            timestamp: 0,
+            kind: EntryKind::Ins { tuple: tuple() },
+        };
         let big_tuple = Tuple::new("data", NodeId(1), vec![Value::str("x".repeat(1000))]);
-        let big = LogEntry { seq: 0, timestamp: 0, kind: EntryKind::Ins { tuple: big_tuple } };
+        let big = LogEntry {
+            seq: 0,
+            timestamp: 0,
+            kind: EntryKind::Ins { tuple: big_tuple },
+        };
         assert!(big.storage_size() > small.storage_size() + 900);
     }
 }

@@ -2,7 +2,6 @@
 
 use crate::auth::Authenticator;
 use crate::entry::{EntryKind, LogEntry};
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::{KeyPair, NodeId};
 use snp_crypto::sign::{PublicKey, SIGNATURE_WIRE_BYTES};
 use snp_crypto::{Digest, HashChain};
@@ -18,7 +17,7 @@ pub struct SecureLog {
 
 /// A contiguous prefix (or sub-range starting at 0) of a node's log, returned
 /// by `retrieve` and replayed by the microquery module.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogSegment {
     /// The node whose log this is.
     pub node: NodeId,
@@ -28,7 +27,7 @@ pub struct LogSegment {
 
 /// Storage accounting for Figure 6: how many bytes of the log are message
 /// copies, authenticators, signatures, and index/metadata.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LogStats {
     /// Bytes of message payload copies (snd/rcv entries).
     pub message_bytes: u64,
@@ -60,7 +59,11 @@ impl LogStats {
 impl SecureLog {
     /// Create an empty log for the node owning `keys`.
     pub fn new(keys: KeyPair) -> SecureLog {
-        SecureLog { keys, entries: Vec::new(), chain: HashChain::new() }
+        SecureLog {
+            keys,
+            entries: Vec::new(),
+            chain: HashChain::new(),
+        }
     }
 
     /// The node that owns the log.
@@ -91,7 +94,11 @@ impl SecureLog {
     /// Append an entry and return it together with an authenticator covering
     /// the new prefix.
     pub fn append(&mut self, timestamp: Timestamp, kind: EntryKind) -> (LogEntry, Authenticator) {
-        let entry = LogEntry { seq: self.entries.len() as u64, timestamp, kind };
+        let entry = LogEntry {
+            seq: self.entries.len() as u64,
+            timestamp,
+            kind,
+        };
         let head = self.chain.append(&entry.encode());
         self.entries.push(entry.clone());
         let auth = Authenticator::issue(&self.keys, entry.seq, timestamp, head);
@@ -101,19 +108,30 @@ impl SecureLog {
     /// Issue a fresh authenticator for the current head without appending.
     pub fn authenticator(&self) -> Option<Authenticator> {
         let last = self.entries.last()?;
-        Some(Authenticator::issue(&self.keys, last.seq, last.timestamp, self.chain.head()))
+        Some(Authenticator::issue(
+            &self.keys,
+            last.seq,
+            last.timestamp,
+            self.chain.head(),
+        ))
     }
 
     /// The prefix of the log up to and including `seq` (inclusive), as
     /// returned by the `retrieve` primitive.
     pub fn segment_through(&self, seq: u64) -> LogSegment {
         let end = ((seq as usize) + 1).min(self.entries.len());
-        LogSegment { node: self.keys.node, entries: self.entries[..end].to_vec() }
+        LogSegment {
+            node: self.keys.node,
+            entries: self.entries[..end].to_vec(),
+        }
     }
 
     /// The complete log as a segment.
     pub fn full_segment(&self) -> LogSegment {
-        LogSegment { node: self.keys.node, entries: self.entries.clone() }
+        LogSegment {
+            node: self.keys.node,
+            entries: self.entries.clone(),
+        }
     }
 
     /// Storage accounting for Figure 6.
@@ -149,7 +167,11 @@ impl SecureLog {
     /// the ability to replay from the very beginning, so real deployments pair
     /// it with checkpoints.
     pub fn truncate_before(&mut self, horizon: Timestamp) -> usize {
-        let keep_from = self.entries.iter().position(|e| e.timestamp >= horizon).unwrap_or(self.entries.len());
+        let keep_from = self
+            .entries
+            .iter()
+            .position(|e| e.timestamp >= horizon)
+            .unwrap_or(self.entries.len());
         keep_from
         // Entries are retained in memory so that the hash chain stays intact;
         // a production implementation would archive them to cold storage.
@@ -173,7 +195,10 @@ impl LogSegment {
         }
         let needed = auth.seq as usize + 1;
         if self.entries.len() < needed {
-            return Err(SegmentError::TooShort { have: self.entries.len(), need: needed });
+            return Err(SegmentError::TooShort {
+                have: self.entries.len(),
+                need: needed,
+            });
         }
         // Sequence numbers must be consecutive from zero.
         for (i, entry) in self.entries.iter().enumerate() {
@@ -254,8 +279,20 @@ mod tests {
         let mut log = SecureLog::new(keys(1));
         log.append(10, EntryKind::Ins { tuple: tuple(1) });
         log.append(20, EntryKind::Snd { message: message(1) });
-        log.append(30, EntryKind::Rcv { message: message(2), sender_auth_digest: Digest::ZERO });
-        log.append(40, EntryKind::Ack { of: message(1).digest(), peer_auth_digest: Digest::ZERO });
+        log.append(
+            30,
+            EntryKind::Rcv {
+                message: message(2),
+                sender_auth_digest: Digest::ZERO,
+            },
+        );
+        log.append(
+            40,
+            EntryKind::Ack {
+                of: message(1).digest(),
+                peer_auth_digest: Digest::ZERO,
+            },
+        );
         log.append(50, EntryKind::Del { tuple: tuple(1) });
         log
     }
@@ -302,7 +339,10 @@ mod tests {
         let mut segment = log.full_segment();
         segment.entries.remove(2);
         let err = segment.verify(&auth, &keys(1).public).unwrap_err();
-        assert!(matches!(err, SegmentError::BadSequence { .. } | SegmentError::TooShort { .. } | SegmentError::HeadMismatch));
+        assert!(matches!(
+            err,
+            SegmentError::BadSequence { .. } | SegmentError::TooShort { .. } | SegmentError::HeadMismatch
+        ));
     }
 
     #[test]
@@ -310,7 +350,10 @@ mod tests {
         let log = sample_log();
         let auth = log.authenticator().unwrap();
         let segment = log.segment_through(2);
-        assert_eq!(segment.verify(&auth, &keys(1).public), Err(SegmentError::TooShort { have: 3, need: 5 }));
+        assert_eq!(
+            segment.verify(&auth, &keys(1).public),
+            Err(SegmentError::TooShort { have: 3, need: 5 })
+        );
     }
 
     #[test]
@@ -330,7 +373,10 @@ mod tests {
         let forged = Authenticator::issue(&keys(2), 4, 50, log.head());
         let mut forged = forged;
         forged.node = NodeId(1);
-        assert_eq!(log.full_segment().verify(&forged, &keys(1).public), Err(SegmentError::BadSignature));
+        assert_eq!(
+            log.full_segment().verify(&forged, &keys(1).public),
+            Err(SegmentError::BadSignature)
+        );
     }
 
     #[test]

@@ -83,7 +83,10 @@ impl<P> Default for EventQueue<P> {
 impl<P> EventQueue<P> {
     /// Create an empty queue.
     pub fn new() -> EventQueue<P> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedule an event.

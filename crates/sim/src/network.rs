@@ -2,12 +2,11 @@
 
 use crate::rng::DetRng;
 use crate::time::SimDuration;
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use std::collections::BTreeSet;
 
 /// Configuration of the simulated network.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NetworkConfig {
     /// Upper bound on one-way propagation delay (`Tprop` in §5.2).
     pub t_prop: SimDuration,
@@ -100,9 +99,7 @@ impl NetworkFaults {
 
     /// Whether a message from `from` to `to` should be delivered.
     pub fn allows(&self, from: NodeId, to: NodeId) -> bool {
-        !self.crashed.contains(&from)
-            && !self.crashed.contains(&to)
-            && !self.severed_links.contains(&(from, to))
+        !self.crashed.contains(&from) && !self.crashed.contains(&to) && !self.severed_links.contains(&(from, to))
     }
 }
 

@@ -69,7 +69,14 @@ pub struct Context<P> {
 
 impl<P: Payload> Context<P> {
     pub(crate) fn new(node: NodeId, now: SimTime, rng: DetRng) -> Context<P> {
-        Context { node, now, rng, outbox: Vec::new(), timers: Vec::new(), halted: false }
+        Context {
+            node,
+            now,
+            rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            halted: false,
+        }
     }
 
     /// Queue a message for delivery to another node.
@@ -79,7 +86,10 @@ impl<P: Payload> Context<P> {
 
     /// Request a timer callback after `delay` (relative to local time).
     pub fn set_timer(&mut self, delay: SimDuration, id: TimerId) {
-        self.timers.push(TimerRequest { fire_at: self.now + delay, id });
+        self.timers.push(TimerRequest {
+            fire_at: self.now + delay,
+            id,
+        });
     }
 
     /// Ask the simulator to stop delivering events to this node (crash-stop).

@@ -6,10 +6,8 @@
 //! adequate for simulation purposes (it is *not* used for key material; keys
 //! are derived from hashes in `snp-crypto`).
 
-use serde::{Deserialize, Serialize};
-
 /// A deterministic SplitMix64 pseudo-random number generator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DetRng {
     state: u64,
 }
@@ -29,7 +27,9 @@ impl DetRng {
         for byte in label.as_bytes() {
             mixed = mixed.wrapping_mul(0x100000001b3).wrapping_add(*byte as u64);
         }
-        DetRng { state: mixed ^ 0x9e3779b97f4a7c15 }
+        DetRng {
+            state: mixed ^ 0x9e3779b97f4a7c15,
+        }
     }
 
     /// Next raw 64-bit value.

@@ -53,8 +53,17 @@ impl<P: Payload> Simulator<P> {
 
     /// Add a node to the simulation.  Panics if the id is already taken.
     pub fn add_node(&mut self, id: NodeId, behavior: Box<dyn SimNode<P>>) {
-        let clock_offset = self.config.draw_clock_offset(&mut self.rng.fork(&format!("clock-{}", id.0)));
-        let previous = self.nodes.insert(id, NodeSlot { behavior, clock_offset, halted: false });
+        let clock_offset = self
+            .config
+            .draw_clock_offset(&mut self.rng.fork(&format!("clock-{}", id.0)));
+        let previous = self.nodes.insert(
+            id,
+            NodeSlot {
+                behavior,
+                clock_offset,
+                halted: false,
+            },
+        );
         assert!(previous.is_none(), "node {id} registered twice");
     }
 
@@ -159,9 +168,7 @@ impl<P: Payload> Simulator<P> {
     fn dispatch(&mut self, kind: EventKind<P>) {
         match kind {
             EventKind::Start { node } => self.run_callback(node, |behavior, ctx| behavior.on_start(ctx)),
-            EventKind::Timer { node, id } => {
-                self.run_callback(node, |behavior, ctx| behavior.on_timer(ctx, id))
-            }
+            EventKind::Timer { node, id } => self.run_callback(node, |behavior, ctx| behavior.on_timer(ctx, id)),
             EventKind::Deliver { from, to, payload } => {
                 if !self.faults.allows(from, to) {
                     return;
@@ -197,7 +204,14 @@ impl<P: Payload> Simulator<P> {
                 continue;
             }
             let delay = self.config.draw_delay(&mut self.rng);
-            self.queue.push(self.now + delay, EventKind::Deliver { from: node, to: out.to, payload: out.payload });
+            self.queue.push(
+                self.now + delay,
+                EventKind::Deliver {
+                    from: node,
+                    to: out.to,
+                    payload: out.payload,
+                },
+            );
         }
         for timer in timers {
             // Convert the node-local firing time back to global time.
@@ -240,7 +254,12 @@ mod tests {
         for i in 0..n {
             sim.add_node(
                 NodeId(i),
-                Box::new(RingNode { next: NodeId((i + 1) % n), hops_seen: 0, max_hops, is_origin: i == 0 }),
+                Box::new(RingNode {
+                    next: NodeId((i + 1) % n),
+                    hops_seen: 0,
+                    max_hops,
+                    is_origin: i == 0,
+                }),
             );
         }
         sim
@@ -315,8 +334,24 @@ mod tests {
     fn duplicate_node_registration_panics() {
         let result = std::panic::catch_unwind(|| {
             let mut sim: Simulator<Vec<u8>> = Simulator::new(NetworkConfig::default(), 1);
-            sim.add_node(NodeId(1), Box::new(RingNode { next: NodeId(1), hops_seen: 0, max_hops: 0, is_origin: false }));
-            sim.add_node(NodeId(1), Box::new(RingNode { next: NodeId(1), hops_seen: 0, max_hops: 0, is_origin: false }));
+            sim.add_node(
+                NodeId(1),
+                Box::new(RingNode {
+                    next: NodeId(1),
+                    hops_seen: 0,
+                    max_hops: 0,
+                    is_origin: false,
+                }),
+            );
+            sim.add_node(
+                NodeId(1),
+                Box::new(RingNode {
+                    next: NodeId(1),
+                    hops_seen: 0,
+                    max_hops: 0,
+                    is_origin: false,
+                }),
+            );
         });
         assert!(result.is_err());
     }

@@ -6,12 +6,11 @@
 //! simulator is attributed to one [`TrafficCategory`], and the simulator
 //! accumulates a [`TrafficStats`] that the benchmark harnesses read out.
 
-use serde::{Deserialize, Serialize};
 use snp_crypto::keys::NodeId;
 use std::collections::BTreeMap;
 
 /// The cause a byte on the wire is attributed to (Figure 5's legend).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TrafficCategory {
     /// Traffic the unmodified primary system would have sent anyway.
     Baseline,
@@ -48,7 +47,7 @@ impl TrafficCategory {
 }
 
 /// Accumulated traffic statistics for one simulation run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TrafficStats {
     /// Total bytes per category.
     pub bytes_by_category: BTreeMap<TrafficCategory, u64>,
@@ -173,8 +172,7 @@ mod tests {
 
     #[test]
     fn labels_are_unique() {
-        let labels: std::collections::BTreeSet<_> =
-            TrafficCategory::ALL.iter().map(|c| c.label()).collect();
+        let labels: std::collections::BTreeSet<_> = TrafficCategory::ALL.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), TrafficCategory::ALL.len());
     }
 }

@@ -6,7 +6,6 @@
 //! ```
 
 use snp::apps::bgp;
-use snp::core::query::MacroQuery;
 use snp::core::ByzantineConfig;
 use snp::crypto::keys::NodeId;
 use snp::datalog::TupleDelta;
@@ -14,7 +13,12 @@ use snp::sim::SimTime;
 
 fn hijack_investigation() {
     println!("=== Scenario 1: prefix hijack ===\n");
-    let scenario = bgp::BgpScenario { ases: 6, prefixes: 2, updates: 0, duration_s: 20 };
+    let scenario = bgp::BgpScenario {
+        ases: 6,
+        prefixes: 2,
+        updates: 0,
+        duration_s: 20,
+    };
     let mut tb = scenario.build(true, 7);
     let hijacker = NodeId(3);
     let victim = NodeId(1);
@@ -22,7 +26,10 @@ fn hijack_investigation() {
     // AS 3 advertises a prefix it has no route to.
     tb.set_byzantine(
         hijacker,
-        ByzantineConfig::fabricating(victim, TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker))),
+        ByzantineConfig::fabricating(
+            victim,
+            TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker)),
+        ),
     );
     tb.run_until(SimTime::from_secs(40));
 
@@ -32,7 +39,7 @@ fn hijack_investigation() {
         .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix))
         .expect("the hijacked route is installed at AS 1");
     println!("suspicious routing-table entry at AS 1: {bogus}\n");
-    let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus }, victim, None);
+    let result = tb.querier.why_exists(bogus).at(victim).run();
     println!("{}", result.render());
     println!("implicated nodes: {:?}\n", result.implicated_nodes());
 }
@@ -44,13 +51,16 @@ fn disappearance_investigation() {
     bgp::disappear_trigger(&mut tb, SimTime::from_secs(25));
     tb.run_until(SimTime::from_secs(60));
 
-    let result = tb.querier.macroquery(
-        MacroQuery::WhyDisappeared { tuple: bgp::adv_route(i, &prefix, &[j, NodeId(3), NodeId(5)], j) },
-        i,
-        None,
-    );
+    let result = tb
+        .querier
+        .why_disappeared(bgp::adv_route(i, &prefix, &[j, NodeId(3), NodeId(5)], j))
+        .at(i)
+        .run();
     println!("{}", result.render());
-    println!("implicated nodes: {:?} (none — this was a legitimate policy change)", result.implicated_nodes());
+    println!(
+        "implicated nodes: {:?} (none — this was a legitimate policy change)",
+        result.implicated_nodes()
+    );
 }
 
 fn main() {

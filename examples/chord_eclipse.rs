@@ -6,26 +6,36 @@
 //! ```
 
 use snp::apps::chord::{self, ChordRing, ChordScenario};
-use snp::core::query::MacroQuery;
 use snp::sim::SimTime;
 
 fn main() {
-    let scenario = ChordScenario { nodes: 12, lookups_per_minute: 0, ..ChordScenario::small(30) };
+    let scenario = ChordScenario {
+        nodes: 12,
+        lookups_per_minute: 0,
+        ..ChordScenario::small(30)
+    };
     let ring = ChordRing::new(scenario.nodes);
     let attacker = ring.members[4].1;
-    println!("building a {}-node Chord ring; node {attacker} mounts an Eclipse attack\n", scenario.nodes);
+    println!(
+        "building a {}-node Chord ring; node {attacker} mounts an Eclipse attack\n",
+        scenario.nodes
+    );
 
     let (mut tb, ring) = scenario.build(true, 3, Some(attacker));
     // A client (the attacker itself, in the simplest variant) issues a lookup.
     let key = (ring.members[8].0 + 3) % chord::ID_SPACE;
-    tb.insert_at(SimTime::from_secs(1), attacker, chord::lookup(attacker, key, attacker, 1));
+    tb.insert_at(
+        SimTime::from_secs(1),
+        attacker,
+        chord::lookup(attacker, key, attacker, 1),
+    );
     tb.run_until(SimTime::from_secs(60));
 
     let bogus = chord::lookup_result(attacker, 1, key, attacker, chord::chord_id(attacker));
     let (_, real_owner) = ring.owner_of(key);
     println!("key {key:#x} is really owned by {real_owner}, but the lookup returned {attacker}\n");
 
-    let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: bogus }, attacker, None);
+    let result = tb.querier.why_exists(bogus).at(attacker).run();
     println!("{}", result.render());
     println!("suspect nodes:    {:?}", result.suspect_nodes());
     println!("implicated nodes: {:?}", result.implicated_nodes());

@@ -6,14 +6,21 @@
 //! ```
 
 use snp::apps::mapreduce::{reduce_out, reducer_for, MapReduceScenario};
-use snp::core::query::MacroQuery;
 use snp::crypto::keys::NodeId;
 use snp::sim::SimTime;
 
 fn main() {
-    let scenario = MapReduceScenario { mappers: 8, reducers: 4, splits: 8, words_per_split: 200 };
+    let scenario = MapReduceScenario {
+        mappers: 8,
+        reducers: 4,
+        splits: 8,
+        words_per_split: 200,
+    };
     let corrupt = NodeId(3);
-    println!("running WordCount on {} mappers / {} reducers; mapper {corrupt} is corrupt\n", scenario.mappers, scenario.reducers);
+    println!(
+        "running WordCount on {} mappers / {} reducers; mapper {corrupt} is corrupt\n",
+        scenario.mappers, scenario.reducers
+    );
 
     let mut tb = scenario.build(true, 7, Some(corrupt), 93);
     tb.run_until(SimTime::from_secs(60));
@@ -27,7 +34,11 @@ fn main() {
         .expect("squirrel total");
     println!("suspicious output: (squirrel, {total}) at reducer {reducer} — that's a lot of squirrels\n");
 
-    let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: reduce_out(reducer, "squirrel", total) }, reducer, None);
+    let result = tb
+        .querier
+        .why_exists(reduce_out(reducer, "squirrel", total))
+        .at(reducer)
+        .run();
     println!("{}", result.render());
     println!("implicated nodes: {:?}", result.implicated_nodes());
     println!("\nThe red SEND vertex shows the shuffle pair whose provenance the corrupt");

@@ -5,18 +5,21 @@
 //! cargo run --example quickstart
 //! ```
 
-use snp::apps::mincost::{best_cost, build_scenario, C, D};
-use snp::core::query::MacroQuery;
+use snp::apps::mincost::{best_cost, MinCost, C, D};
+use snp::core::Deployment;
 use snp::sim::SimTime;
 
 fn main() {
     // 1. Build the five-router MinCost deployment with SNP enabled and run it.
-    let mut tb = build_scenario(true, 42);
-    tb.run_until(SimTime::from_secs(30));
+    let mut deployment = Deployment::builder()
+        .seed(42)
+        .secure(true)
+        .app(MinCost::example())
+        .build();
+    deployment.run_until(SimTime::from_secs(30));
 
     // 2. The operator notices bestCost(@c, d, 5) and asks: why does it exist?
-    let query = MacroQuery::WhyExists { tuple: best_cost(C, D, 5) };
-    let result = tb.querier.macroquery(query, C, None);
+    let result = deployment.querier.why_exists(best_cost(C, D, 5)).at(C).run();
 
     // 3. The answer is a provenance tree that bottoms out at base link tuples.
     println!("Why does {} exist?\n", best_cost(C, D, 5));

@@ -1,0 +1,180 @@
+//! Integration tests for the unified deployment API: `Application` +
+//! `DeploymentBuilder` + the fluent `QueryBuilder`, including the behaviours
+//! the old `Testbed` wiring could not express (builder defaults, audit-cache
+//! reuse across repeated queries) and the deprecated shims kept for one
+//! release.
+
+use snp::apps::mincost::{self, best_cost, link, MinCost};
+use snp::core::deploy::Deployment;
+use snp::crypto::keys::NodeId;
+use snp::sim::SimTime;
+
+/// The querier anchors a query at the tuple's own location when `.at()` is
+/// not given.
+#[test]
+fn query_builder_defaults_to_the_tuples_location() {
+    let mut deployment = mincost::build_scenario(true, 42);
+    deployment.run_until(SimTime::from_secs(30));
+    let anchored = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .at(mincost::C)
+        .run();
+    deployment.querier.clear_cache();
+    let defaulted = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .run();
+    assert_eq!(
+        anchored.root, defaulted.root,
+        "default host must equal the tuple's location"
+    );
+    assert!(defaulted.is_legitimate());
+}
+
+/// The structured result exposes the provenance tree without string
+/// rendering: vertices, their hosts and the tuples they mention.
+#[test]
+fn query_result_iterates_vertices_and_hosts() {
+    let mut deployment = mincost::build_scenario(true, 42);
+    deployment.run_until(SimTime::from_secs(30));
+    let result = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .run();
+    assert!(!result.is_empty());
+    assert_eq!(result.vertices().count(), result.len());
+    assert!(result.hosts().contains(&mincost::C));
+    // Every vertex host must be a node of the deployment.
+    for vertex in result.vertices() {
+        assert!(
+            deployment.handles.contains_key(&vertex.host()),
+            "unknown host {}",
+            vertex.host()
+        );
+    }
+    // The root is at depth 0.
+    assert!(result.vertices_with_depth().any(|(_, depth)| depth == 0));
+    assert!(result.mentions(&link(mincost::B, mincost::D, 3)) || result.mentions(&link(mincost::C, mincost::D, 5)));
+}
+
+/// Baseline and secure deployments run the same application to the same
+/// converged routing state (`bestCost`); only the SNP machinery (logs)
+/// differs.  Transient `cost` tuples can differ because SNP traffic shifts
+/// message timing.
+#[test]
+fn baseline_and_secure_deployments_agree_on_app_state() {
+    let mut secure = Deployment::builder().seed(42).app(MinCost::example()).build();
+    let mut baseline = Deployment::builder()
+        .seed(42)
+        .baseline()
+        .app(MinCost::example())
+        .build();
+    secure.run_until(SimTime::from_secs(30));
+    baseline.run_until(SimTime::from_secs(30));
+    let best_costs = |d: &Deployment, node: NodeId| {
+        let mut tuples: Vec<_> = d.handles[&node]
+            .with(|n| n.current_tuples())
+            .into_iter()
+            .filter(|t| t.relation == "bestCost")
+            .collect();
+        tuples.sort();
+        tuples
+    };
+    for node in [mincost::A, mincost::B, mincost::C, mincost::D, mincost::E] {
+        assert_eq!(
+            best_costs(&secure, node),
+            best_costs(&baseline, node),
+            "node {node} routes must not depend on SNP"
+        );
+    }
+    assert!(secure.total_log_bytes() > 0);
+    assert_eq!(baseline.total_log_bytes(), 0);
+}
+
+/// Re-running a query without simulation progress hits the audit cache: the
+/// second run downloads nothing and audits nobody (§5.6).
+#[test]
+fn repeated_queries_hit_the_audit_cache() {
+    let mut deployment = mincost::build_scenario(true, 42);
+    deployment.run_until(SimTime::from_secs(30));
+    let first = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .run();
+    assert!(first.stats.audits > 0);
+    assert!(first.stats.log_bytes > 0);
+    let second = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .run();
+    assert_eq!(second.stats.audits, 0, "second query must reuse cached audits");
+    assert_eq!(second.stats.log_bytes, 0, "second query must download no log data");
+    assert_eq!(second.root, first.root);
+    // A no-op run_until (same deadline, nothing to process) keeps the cache.
+    deployment.run_until(SimTime::from_secs(30));
+    let third = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .run();
+    assert_eq!(third.stats.audits, 0, "no-op runs must not invalidate the cache");
+}
+
+/// The deprecated `Testbed` / `add_node` / `macroquery` shims still produce
+/// the same answers as the new API.
+#[test]
+#[allow(deprecated)]
+fn deprecated_shims_still_answer_queries() {
+    use snp::apps::Testbed;
+    use snp::core::query::MacroQuery;
+    use snp::datalog::Engine;
+    use snp::sim::NetworkConfig;
+
+    let mut tb = Testbed::new(NetworkConfig::default(), 42, 6, true);
+    for node in [mincost::A, mincost::B, mincost::C, mincost::D, mincost::E] {
+        tb.add_node(
+            node,
+            Box::new(Engine::new(node, mincost::mincost_rules())),
+            Box::new(Engine::new(node, mincost::mincost_rules())),
+        );
+    }
+    for (i, (x, y, cost)) in mincost::example_topology().into_iter().enumerate() {
+        let at = SimTime::from_millis(10 + i as u64);
+        tb.insert_at(at, x, link(x, y, cost));
+        tb.insert_at(at, y, link(y, x, cost));
+    }
+    tb.run_until(SimTime::from_secs(30));
+    let old_style = tb.querier.macroquery(
+        MacroQuery::WhyExists {
+            tuple: best_cost(mincost::C, mincost::D, 5),
+        },
+        mincost::C,
+        None,
+    );
+    assert!(old_style.is_legitimate(), "{}", old_style.render());
+
+    let mut new_style = mincost::build_scenario(true, 42);
+    new_style.run_until(SimTime::from_secs(30));
+    let new_result = new_style.querier.why_exists(best_cost(mincost::C, mincost::D, 5)).run();
+    assert_eq!(old_style.root, new_result.root, "shim and builder must agree");
+    assert_eq!(old_style.len(), new_result.len());
+}
+
+/// `.scope(n)` bounds exploration exactly like the old positional argument.
+#[test]
+fn scope_bounds_exploration_through_the_builder() {
+    let mut deployment = mincost::build_scenario(true, 42);
+    deployment.run_until(SimTime::from_secs(30));
+    let narrow = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .scope(1)
+        .run();
+    deployment.querier.clear_cache();
+    let wide = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .unbounded()
+        .run();
+    assert!(narrow.len() < wide.len(), "narrow={} wide={}", narrow.len(), wide.len());
+}

@@ -5,7 +5,6 @@
 use snp::apps::bgp;
 use snp::apps::mincost;
 use snp::core::properties::{check_accuracy, check_completeness, check_forensics};
-use snp::core::query::MacroQuery;
 use snp::core::ByzantineConfig;
 use snp::crypto::keys::NodeId;
 use snp::datalog::TupleDelta;
@@ -16,25 +15,37 @@ use std::collections::BTreeSet;
 fn clean_mincost_run_satisfies_accuracy_and_legitimacy() {
     let mut tb = mincost::build_scenario(true, 1);
     tb.run_until(SimTime::from_secs(30));
-    let result = tb.querier.macroquery(
-        MacroQuery::WhyExists { tuple: mincost::best_cost(mincost::C, mincost::D, 5) },
-        mincost::C,
-        None,
+    let result = tb
+        .querier
+        .why_exists(mincost::best_cost(mincost::C, mincost::D, 5))
+        .at(mincost::C)
+        .run();
+    assert!(
+        check_forensics(&result, &BTreeSet::new()).is_ok(),
+        "{}",
+        result.render()
     );
-    assert!(check_forensics(&result, &BTreeSet::new()).is_ok(), "{}", result.render());
     assert!(check_accuracy(&result.graph, &BTreeSet::new()).is_ok());
 }
 
 #[test]
 fn route_hijack_is_detected_without_framing_correct_nodes() {
-    let scenario = bgp::BgpScenario { ases: 6, prefixes: 2, updates: 0, duration_s: 20 };
+    let scenario = bgp::BgpScenario {
+        ases: 6,
+        prefixes: 2,
+        updates: 0,
+        duration_s: 20,
+    };
     let mut tb = scenario.build(true, 7);
     let hijacker = NodeId(3);
     let victim = NodeId(1);
     let prefix = "192.0.2.0/24";
     tb.set_byzantine(
         hijacker,
-        ByzantineConfig::fabricating(victim, TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker))),
+        ByzantineConfig::fabricating(
+            victim,
+            TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker)),
+        ),
     );
     tb.run_until(SimTime::from_secs(40));
     let route = tb.handles[&victim]
@@ -42,7 +53,7 @@ fn route_hijack_is_detected_without_framing_correct_nodes() {
         .into_iter()
         .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix))
         .expect("hijacked route installed");
-    let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: route }, victim, None);
+    let result = tb.querier.why_exists(route).at(victim).run();
     let byzantine: BTreeSet<NodeId> = [hijacker].into();
     assert!(check_completeness(&result, &byzantine).is_ok());
     assert!(check_accuracy(&result.graph, &byzantine).is_ok());
@@ -54,7 +65,12 @@ fn suppression_attack_is_detected_on_the_suppressor() {
     // An AS silently stops propagating a route it is obliged to export:
     // passive evasion.  The effect observable at other nodes is the *absence*
     // of updates, but the suppressor's own log betrays it under replay.
-    let scenario = bgp::BgpScenario { ases: 4, prefixes: 1, updates: 0, duration_s: 20 };
+    let scenario = bgp::BgpScenario {
+        ases: 4,
+        prefixes: 1,
+        updates: 0,
+        duration_s: 20,
+    };
     let mut tb = scenario.build(true, 11);
     let suppressor = NodeId(2);
     let starved = NodeId(1);
@@ -74,7 +90,12 @@ fn suppression_attack_is_detected_on_the_suppressor() {
 
     // Auditing the suppressor reveals the withheld send.
     let audit = tb.querier.audit(suppressor);
-    assert_eq!(audit.color, snp::graph::Color::Red, "the suppressor's replay must reveal the missing send: {:?}", audit.notes);
+    assert_eq!(
+        audit.color,
+        snp::graph::Color::Red,
+        "the suppressor's replay must reveal the missing send: {:?}",
+        audit.notes
+    );
     // And auditing an honest node does not.
     let honest_audit = tb.querier.audit(NodeId(4));
     assert_eq!(honest_audit.color, snp::graph::Color::Black);
@@ -85,14 +106,26 @@ fn log_tampering_and_equivocation_are_both_detected() {
     let mut tb = mincost::build_scenario(true, 5);
     tb.run_until(SimTime::from_secs(30));
     // Node B tampers with its log before answering retrieve.
-    tb.set_byzantine(mincost::B, ByzantineConfig { tamper_log_drop_entry: Some(1), ..Default::default() });
+    tb.set_byzantine(
+        mincost::B,
+        ByzantineConfig {
+            tamper_log_drop_entry: Some(1),
+            ..Default::default()
+        },
+    );
     let audit = tb.querier.audit(mincost::B);
     assert_eq!(audit.color, snp::graph::Color::Red);
 
     // Node E equivocates: signs a shortened prefix inconsistent with
-    // authenticators that other routers already hold.
-    tb.querier.clear_cache();
-    tb.set_byzantine(mincost::E, ByzantineConfig { equivocate_truncate_to: Some(1), ..Default::default() });
+    // authenticators that other routers already hold.  No manual cache
+    // clearing needed: set_byzantine invalidates the node's cached audit.
+    tb.set_byzantine(
+        mincost::E,
+        ByzantineConfig {
+            equivocate_truncate_to: Some(1),
+            ..Default::default()
+        },
+    );
     let audit = tb.querier.audit(mincost::E);
     assert_eq!(audit.color, snp::graph::Color::Red, "{:?}", audit.notes);
 }
@@ -101,17 +134,26 @@ fn log_tampering_and_equivocation_are_both_detected() {
 fn refusing_to_answer_leaves_yellow_but_still_identifies_a_suspect() {
     let mut tb = mincost::build_scenario(true, 9);
     tb.run_until(SimTime::from_secs(30));
-    tb.set_byzantine(mincost::B, ByzantineConfig { refuse_retrieve: true, ..Default::default() });
-    let result = tb.querier.macroquery(
-        MacroQuery::WhyExists { tuple: mincost::best_cost(mincost::A, mincost::D, 7) },
-        mincost::A,
-        None,
+    tb.set_byzantine(
+        mincost::B,
+        ByzantineConfig {
+            refuse_retrieve: true,
+            ..Default::default()
+        },
     );
+    let result = tb
+        .querier
+        .why_exists(mincost::best_cost(mincost::A, mincost::D, 7))
+        .at(mincost::A)
+        .run();
     // The silent node shows up as a suspect (yellow), and no correct node is
     // implicated.
     assert!(result.implicated_nodes().is_empty() || result.implicated_nodes().iter().all(|n| *n == mincost::B));
-    assert!(result.suspect_nodes().contains(&mincost::B) || result.is_legitimate(),
-        "either the explanation avoided B entirely or B must be a suspect; suspects={:?}", result.suspect_nodes());
+    assert!(
+        result.suspect_nodes().contains(&mincost::B) || result.is_legitimate(),
+        "either the explanation avoided B entirely or B must be a suspect; suspects={:?}",
+        result.suspect_nodes()
+    );
 }
 
 #[test]
@@ -120,11 +162,11 @@ fn effects_query_supports_damage_assessment() {
     // state derived from a given tuple (§2.2).
     let mut tb = mincost::build_scenario(true, 13);
     tb.run_until(SimTime::from_secs(30));
-    let result = tb.querier.macroquery(
-        MacroQuery::Effects { tuple: mincost::link(mincost::B, mincost::D, 3) },
-        mincost::B,
-        None,
-    );
+    let result = tb
+        .querier
+        .effects_of(mincost::link(mincost::B, mincost::D, 3))
+        .at(mincost::B)
+        .run();
     assert!(result.root.is_some());
     let hosts: BTreeSet<NodeId> = result
         .traversal
@@ -134,5 +176,8 @@ fn effects_query_supports_damage_assessment() {
         .keys()
         .filter_map(|id| result.graph.vertex(id).map(|v| v.host()))
         .collect();
-    assert!(hosts.len() >= 2, "the link's effects must span several routers: {hosts:?}");
+    assert!(
+        hosts.len() >= 2,
+        "the link's effects must span several routers: {hosts:?}"
+    );
 }

@@ -1,85 +1,108 @@
-//! Property-based integration tests of the SNP theorems on randomly generated
+//! Property-style integration tests of the SNP theorems on randomly generated
 //! workloads (small MinCost-style deployments with randomized link sets and
 //! fault injection).
+//!
+//! The workloads are generated with the repo's own deterministic RNG
+//! (proptest is unavailable in the offline build environment), so every case
+//! is reproducible from its seed.
 
-use proptest::prelude::*;
 use snp::apps::mincost::{link, mincost_rules};
-use snp::apps::Testbed;
-use snp::core::query::MacroQuery;
+use snp::core::deploy::Deployment;
 use snp::core::ByzantineConfig;
 use snp::crypto::keys::NodeId;
 use snp::datalog::Engine;
 use snp::graph::Color;
-use snp::sim::{NetworkConfig, SimTime};
+use snp::sim::rng::DetRng;
+use snp::sim::SimTime;
 use std::collections::BTreeSet;
 
 /// Build a MinCost deployment over `n` routers with the given undirected
 /// links, optionally making one node refuse retrieval or suppress traffic.
-fn run_deployment(n: u64, links: &[(u64, u64, i64)], byzantine: Option<(u64, ByzantineConfig)>) -> Testbed {
-    let mut tb = Testbed::new(NetworkConfig::default(), 7, n + 1, true);
+fn run_deployment(n: u64, links: &[(u64, u64, i64)], byzantine: Option<(u64, ByzantineConfig)>) -> Deployment {
+    let mut builder = Deployment::builder().seed(7).secure(true);
     for i in 1..=n {
-        tb.add_node(
-            NodeId(i),
-            Box::new(Engine::new(NodeId(i), mincost_rules())),
-            Box::new(Engine::new(NodeId(i), mincost_rules())),
-        );
+        builder = builder.node(NodeId(i), |id| Box::new(Engine::new(id, mincost_rules())));
     }
     if let Some((node, cfg)) = byzantine {
-        tb.set_byzantine(NodeId(node), cfg);
+        builder = builder.byzantine(NodeId(node), cfg);
     }
     for (idx, (a, b, cost)) in links.iter().enumerate() {
         let at = SimTime::from_millis(10 + idx as u64);
-        tb.insert_at(at, NodeId(*a), link(NodeId(*a), NodeId(*b), *cost));
-        tb.insert_at(at, NodeId(*b), link(NodeId(*b), NodeId(*a), *cost));
+        builder = builder
+            .insert_at(at, NodeId(*a), link(NodeId(*a), NodeId(*b), *cost))
+            .insert_at(at, NodeId(*b), link(NodeId(*b), NodeId(*a), *cost));
     }
-    tb.run_until(SimTime::from_secs(25));
-    tb
+    let mut deployment = builder.build();
+    deployment.run_until(SimTime::from_secs(25));
+    deployment
 }
 
-fn arbitrary_links(n: u64) -> impl Strategy<Value = Vec<(u64, u64, i64)>> {
-    proptest::collection::vec((1..=n, 1..=n, 1i64..20), 2..10).prop_map(move |raw| {
-        raw.into_iter().filter(|(a, b, _)| a != b).collect()
-    })
+/// A random link set over routers `1..=n`: 2–9 links with costs in 1..20,
+/// self-loops filtered out.
+fn arbitrary_links(rng: &mut DetRng, n: u64) -> Vec<(u64, u64, i64)> {
+    let count = 2 + rng.next_below(8) as usize;
+    (0..count)
+        .map(|_| {
+            (
+                1 + rng.next_below(n),
+                1 + rng.next_below(n),
+                1 + rng.next_below(19) as i64,
+            )
+        })
+        .filter(|(a, b, _)| a != b)
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Accuracy (Theorem 5): with no Byzantine nodes, no audit ever comes back
-    /// red and no red vertex appears anywhere.
-    #[test]
-    fn prop_clean_runs_have_no_red_evidence(links in arbitrary_links(5)) {
+/// Accuracy (Theorem 5): with no Byzantine nodes, no audit ever comes back
+/// red and no red vertex appears anywhere.
+#[test]
+fn prop_clean_runs_have_no_red_evidence() {
+    for case in 0..8u64 {
+        let mut rng = DetRng::new(case);
+        let links = arbitrary_links(&mut rng, 5);
         let mut tb = run_deployment(5, &links, None);
         for node in 1..=5u64 {
             let audit = tb.querier.audit(NodeId(node));
-            prop_assert_eq!(audit.color, Color::Black, "audit of correct node {} was {:?}", node, audit.notes);
+            assert_eq!(
+                audit.color,
+                Color::Black,
+                "case {case}: audit of correct node {node} was {:?}",
+                audit.notes
+            );
             let graph = tb.querier.node_graph(NodeId(node));
-            prop_assert!(graph.faulty_nodes().is_empty());
+            assert!(graph.faulty_nodes().is_empty(), "case {case}");
         }
     }
+}
 
-    /// Completeness (Theorem 6, practical form): querying the state that a
-    /// suppressing node failed to propagate always leads to red/yellow
-    /// evidence on that node, and never implicates a correct node.
-    #[test]
-    fn prop_explanations_never_implicate_correct_nodes(links in arbitrary_links(4), victim in 1u64..=4) {
+/// Completeness (Theorem 6, practical form): querying the state that a
+/// suppressing node failed to propagate always leads to red/yellow evidence
+/// on that node, and never implicates a correct node.
+#[test]
+fn prop_explanations_never_implicate_correct_nodes() {
+    for case in 0..8u64 {
+        let mut rng = DetRng::new(case ^ 0xface);
+        let links = arbitrary_links(&mut rng, 4);
+        let victim = 1 + rng.next_below(4);
         let mut cfg = ByzantineConfig::honest();
         cfg.refuse_retrieve = true;
         let mut tb = run_deployment(4, &links, Some((victim, cfg)));
         // Query every bestCost tuple that exists anywhere.
         let mut queried = 0;
-        let ids: Vec<u64> = (1..=4).collect();
-        for i in ids {
+        for i in 1..=4u64 {
             let tuples = tb.handles[&NodeId(i)].with(|n| n.current_tuples());
             for t in tuples.into_iter().filter(|t| t.relation == "bestCost").take(2) {
-                let result = tb.querier.macroquery(MacroQuery::WhyExists { tuple: t }, NodeId(i), None);
+                let result = tb.querier.why_exists(t).at(NodeId(i)).run();
                 queried += 1;
                 let byz: BTreeSet<NodeId> = [NodeId(victim)].into();
                 for implicated in result.implicated_nodes() {
-                    prop_assert!(byz.contains(&implicated), "correct node {implicated} was implicated");
+                    assert!(
+                        byz.contains(&implicated),
+                        "case {case}: correct node {implicated} was implicated"
+                    );
                 }
             }
         }
-        prop_assert!(queried > 0 || links.is_empty());
+        assert!(queried > 0 || links.is_empty(), "case {case}");
     }
 }
