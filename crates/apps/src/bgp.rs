@@ -373,6 +373,84 @@ impl StateMachine for BgpSpeaker {
         all
     }
 
+    /// The snapshot covers the visible tuple set, the selected best routes
+    /// (with their justifying candidates) and the export table — everything
+    /// that influences how the speaker reacts to future updates.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut w = snp_datalog::SnapshotWriter::new();
+        w.u64(self.tuples.len() as u64);
+        for tuple in &self.tuples {
+            w.tuple(tuple);
+        }
+        w.u64(self.selected.len() as u64);
+        for (prefix, (route_tuple, candidate)) in &self.selected {
+            w.str(prefix);
+            w.tuple(route_tuple);
+            w.u64(candidate.path.len() as u64);
+            for hop in &candidate.path {
+                w.node(*hop);
+            }
+            w.node(candidate.via);
+            w.str(candidate.relation.as_str());
+            w.tuple(&candidate.witness);
+        }
+        w.u64(self.exported.len() as u64);
+        for ((peer, prefix), adv) in &self.exported {
+            w.node(*peer);
+            w.str(prefix);
+            w.tuple(adv);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<Box<dyn StateMachine>, String> {
+        let mut r = snp_datalog::SnapshotReader::new(snapshot);
+        let mut machine = BgpSpeaker::new(self.node);
+        (|| {
+            let tuples = r.read_len()?;
+            for _ in 0..tuples {
+                machine.tuples.insert(r.tuple()?);
+            }
+            let selected = r.read_len()?;
+            for _ in 0..selected {
+                let prefix = r.str()?;
+                let route_tuple = r.tuple()?;
+                let hops = r.read_len()?;
+                let mut path = Vec::with_capacity(hops);
+                for _ in 0..hops {
+                    path.push(r.node()?);
+                }
+                let via = r.node()?;
+                let relation_name = r.str()?;
+                let relation = Relation::from_str(&relation_name)
+                    .ok_or_else(|| snp_datalog::SnapshotError(format!("unknown relation {relation_name:?}")))?;
+                let witness = r.tuple()?;
+                machine.selected.insert(
+                    prefix,
+                    (
+                        route_tuple,
+                        Candidate {
+                            path,
+                            via,
+                            relation,
+                            witness,
+                        },
+                    ),
+                );
+            }
+            let exported = r.read_len()?;
+            for _ in 0..exported {
+                let peer = r.node()?;
+                let prefix = r.str()?;
+                let adv = r.tuple()?;
+                machine.exported.insert((peer, prefix), adv);
+            }
+            r.expect_exhausted()
+        })()
+        .map_err(|e: snp_datalog::SnapshotError| e.to_string())?;
+        Ok(Box::new(machine))
+    }
+
     fn name(&self) -> String {
         format!("bgp-as@{}", self.node)
     }

@@ -390,6 +390,37 @@ impl StateMachine for ChordMachine {
         self.tuples.iter().cloned().collect()
     }
 
+    /// The whole Chord state is the tuple set (`eclipse` is behaviour, not
+    /// state, and deliberately stays out of the snapshot: restoring an
+    /// attacker's snapshot into the honest expected machine must yield honest
+    /// suffix behaviour so the divergence shows up red).
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut w = snp_datalog::SnapshotWriter::new();
+        w.u64(self.tuples.len() as u64);
+        for tuple in &self.tuples {
+            w.tuple(tuple);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<Box<dyn StateMachine>, String> {
+        let mut r = snp_datalog::SnapshotReader::new(snapshot);
+        let mut machine = ChordMachine {
+            node: self.node,
+            eclipse: self.eclipse,
+            tuples: BTreeSet::new(),
+        };
+        (|| {
+            let n = r.read_len()?;
+            for _ in 0..n {
+                machine.tuples.insert(r.tuple()?);
+            }
+            r.expect_exhausted()
+        })()
+        .map_err(|e| e.to_string())?;
+        Ok(Box::new(machine))
+    }
+
     fn name(&self) -> String {
         format!("chord@{}", self.node)
     }

@@ -19,10 +19,9 @@
 //!   policies standing in for Quagga, driven through an external
 //!   specification proxy (§6.3); includes the BadGadget and
 //!   disappearing-route scenarios and a RouteViews-like update generator.
-//! * [`testbed`] — legacy shim: the shared scaffolding moved into `snp-core`
-//!   as the unified deployment API ([`snp_core::Deployment`]); every app in
-//!   this crate implements [`snp_core::Application`] so scenarios compose
-//!   through [`snp_core::DeploymentBuilder`].
+//!
+//! Every app in this crate implements [`snp_core::Application`], so scenarios
+//! compose through [`snp_core::DeploymentBuilder`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,7 +30,3 @@ pub mod bgp;
 pub mod chord;
 pub mod mapreduce;
 pub mod mincost;
-pub mod testbed;
-
-#[allow(deprecated)]
-pub use testbed::Testbed;

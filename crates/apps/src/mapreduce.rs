@@ -182,6 +182,19 @@ impl StateMachine for MapperMachine {
         Vec::new()
     }
 
+    /// Mappers are stateless between splits (`reducers` / `corrupt` are
+    /// configuration, not state), so the snapshot is empty.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<Box<dyn StateMachine>, String> {
+        if !snapshot.is_empty() {
+            return Err("mapper snapshots are empty".into());
+        }
+        Ok(self.fresh())
+    }
+
     fn name(&self) -> String {
         format!("mapper@{}", self.node)
     }
@@ -253,6 +266,52 @@ impl StateMachine for ReducerMachine {
             .iter()
             .map(|(word, total)| reduce_out(self.node, word, *total))
             .collect()
+    }
+
+    /// The snapshot covers the received shuffle tuples and the running
+    /// per-word totals.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        let mut w = snp_datalog::SnapshotWriter::new();
+        w.u64(self.received.len() as u64);
+        for (word, tuples) in &self.received {
+            w.str(word);
+            w.u64(tuples.len() as u64);
+            for tuple in tuples {
+                w.tuple(tuple);
+            }
+        }
+        w.u64(self.totals.len() as u64);
+        for (word, total) in &self.totals {
+            w.str(word);
+            w.i64(*total);
+        }
+        Some(w.finish())
+    }
+
+    fn restore(&self, snapshot: &[u8]) -> Result<Box<dyn StateMachine>, String> {
+        let mut r = snp_datalog::SnapshotReader::new(snapshot);
+        let mut machine = ReducerMachine::new(self.node);
+        (|| {
+            let words = r.read_len()?;
+            for _ in 0..words {
+                let word = r.str()?;
+                let count = r.read_len()?;
+                let mut tuples = Vec::with_capacity(count);
+                for _ in 0..count {
+                    tuples.push(r.tuple()?);
+                }
+                machine.received.insert(word, tuples);
+            }
+            let totals = r.read_len()?;
+            for _ in 0..totals {
+                let word = r.str()?;
+                let total = r.i64()?;
+                machine.totals.insert(word, total);
+            }
+            r.expect_exhausted()
+        })()
+        .map_err(|e| e.to_string())?;
+        Ok(Box::new(machine))
     }
 
     fn name(&self) -> String {

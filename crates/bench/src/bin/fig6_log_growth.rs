@@ -1,10 +1,62 @@
 //! Figure 6: per-node log growth (MB/minute), excluding checkpoints, broken
-//! down into messages / signatures / authenticators / index.
+//! down into messages / signatures / authenticators / index — plus the
+//! truncation series: with `retain_epochs(k)`, per-node log bytes plateau
+//! instead of growing linearly while checkpoints preserve tamper evidence.
+//!
+//! Emits `BENCH_fig6.json` with the same data in machine-readable form.
+//! Set `SNP_BENCH_SMOKE=1` to run a tiny configuration (used by CI).
 
+use snp_apps::chord::ChordScenario;
+use snp_bench::json::{write_json, Json};
 use snp_bench::{print_row, Config};
+use snp_core::Deployment;
 use snp_log::LogStats;
+use snp_sim::{SimDuration, SimTime};
+
+/// One sampled point of the truncation series.
+struct Sample {
+    at_s: u64,
+    retained_bytes: u64,
+    unbounded_bytes: u64,
+}
+
+/// Run the same steady Chord workload with and without `retain_epochs(k)`,
+/// sampling per-node log bytes over time.
+fn truncation_series(nodes: u64, duration_s: u64, epoch_s: u64, retain: usize, step_s: u64) -> Vec<Sample> {
+    let build = |retained: bool| {
+        let scenario = ChordScenario {
+            nodes,
+            lookups_per_minute: 0,
+            ..ChordScenario::small(duration_s)
+        };
+        let mut builder = Deployment::builder()
+            .seed(42)
+            .app(scenario.app(None))
+            .epoch_length(SimDuration::from_secs(epoch_s));
+        if retained {
+            builder = builder.retain_epochs(retain);
+        }
+        builder.build()
+    };
+    let mut retained = build(true);
+    let mut unbounded = build(false);
+    let mut samples = Vec::new();
+    let mut t = step_s;
+    while t <= duration_s {
+        retained.run_until(SimTime::from_secs(t));
+        unbounded.run_until(SimTime::from_secs(t));
+        samples.push(Sample {
+            at_s: t,
+            retained_bytes: retained.total_log_bytes() / nodes,
+            unbounded_bytes: unbounded.total_log_bytes() / nodes,
+        });
+        t += step_s;
+    }
+    samples
+}
 
 fn main() {
+    let smoke = snp_bench::smoke();
     println!("Figure 6 — per-node log growth (MB per simulated minute)\n");
     let widths = [14, 12, 12, 12, 12, 12, 14];
     print_row(
@@ -21,7 +73,9 @@ fn main() {
         .as_ref(),
         &widths,
     );
-    for config in Config::ALL {
+    let configs: &[Config] = if smoke { &[Config::ChordSmall] } else { &Config::ALL };
+    let mut config_rows = Vec::new();
+    for config in configs {
         let snp = config.run(true, 42);
         let mut combined = LogStats::default();
         for stats in &snp.per_node_log {
@@ -44,10 +98,78 @@ fn main() {
             ],
             &widths,
         );
+        config_rows.push(Json::obj([
+            ("config", Json::str(config.label())),
+            ("message_mb_per_min", Json::Num(per_node_mb(combined.message_bytes))),
+            ("signature_mb_per_min", Json::Num(per_node_mb(combined.signature_bytes))),
+            (
+                "authenticator_mb_per_min",
+                Json::Num(per_node_mb(combined.authenticator_bytes)),
+            ),
+            ("index_mb_per_min", Json::Num(per_node_mb(combined.index_bytes))),
+            ("total_mb_per_min", Json::Num(snp.per_node_log_mb_per_min())),
+            ("checkpoint_bytes", Json::Int(snp.checkpoint_bytes)),
+            ("nodes", Json::Int(snp.nodes as u64)),
+            ("duration_s", Json::Int(snp.duration_s)),
+        ]));
     }
+
+    // Truncation series (§5.6 / §7.5): same workload, with and without
+    // retain_epochs — the retained log plateaus, the unbounded one grows.
+    let (nodes, duration_s, epoch_s, retain, step_s) = if smoke {
+        (8, 40, 10, 2, 10)
+    } else {
+        (20, 120, 10, 2, 20)
+    };
+    println!(
+        "\nTruncation series — per-node log bytes, Chord {nodes} nodes, epoch {epoch_s}s, retain_epochs({retain})\n"
+    );
+    let series_widths = [8, 16, 16];
+    print_row(
+        ["t (s)", "retained B", "unbounded B"].map(String::from).as_ref(),
+        &series_widths,
+    );
+    let samples = truncation_series(nodes, duration_s, epoch_s, retain, step_s);
+    let mut series_rows = Vec::new();
+    for sample in &samples {
+        print_row(
+            &[
+                format!("{}", sample.at_s),
+                format!("{}", sample.retained_bytes),
+                format!("{}", sample.unbounded_bytes),
+            ],
+            &series_widths,
+        );
+        series_rows.push(Json::obj([
+            ("at_s", Json::Int(sample.at_s)),
+            ("retained_bytes", Json::Int(sample.retained_bytes)),
+            ("unbounded_bytes", Json::Int(sample.unbounded_bytes)),
+        ]));
+    }
+
     println!(
         "\nExpected shape (paper): the BGP-style config grows fastest (most messages);\n\
          Chord-Small grows slowest; MapReduce logs stay small because inputs are\n\
-         referenced by hash rather than copied."
+         referenced by hash rather than copied.  In the truncation series the\n\
+         retained column plateaus once k epochs are full while the unbounded\n\
+         column keeps growing linearly."
+    );
+
+    write_json(
+        "BENCH_fig6.json",
+        &Json::obj([
+            ("figure", Json::str("fig6_log_growth")),
+            ("smoke", Json::Bool(smoke)),
+            ("configs", Json::Arr(config_rows)),
+            (
+                "truncation_series",
+                Json::obj([
+                    ("nodes", Json::Int(nodes)),
+                    ("epoch_s", Json::Int(epoch_s)),
+                    ("retain_epochs", Json::Int(retain as u64)),
+                    ("samples", Json::Arr(series_rows)),
+                ]),
+            ),
+        ]),
     );
 }

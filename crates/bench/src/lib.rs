@@ -18,6 +18,7 @@
 //! `benches/`, and the tiny wall-clock [`harness`] those benchmarks run on.
 
 pub mod harness;
+pub mod json;
 
 use snp_apps::bgp::BgpScenario;
 use snp_apps::chord::ChordScenario;
@@ -165,6 +166,12 @@ pub fn normalized(snp_bytes: u64, baseline_bytes: u64) -> f64 {
     } else {
         snp_bytes as f64 / baseline_bytes as f64
     }
+}
+
+/// Whether the harness should run in CI-smoke mode (tiny configurations that
+/// finish in seconds); set `SNP_BENCH_SMOKE=1`.
+pub fn smoke() -> bool {
+    std::env::var("SNP_BENCH_SMOKE").map(|v| v != "0").unwrap_or(false)
 }
 
 /// Simple fixed-width table row printing used by all harness binaries.

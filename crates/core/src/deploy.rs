@@ -160,8 +160,8 @@ pub struct DeploymentBuilder {
     network: NetworkConfig,
     seed: u64,
     secure: bool,
-    checkpoint_interval: Option<SimDuration>,
-    capacity: Option<u64>,
+    epoch_length: Option<SimDuration>,
+    retain_epochs: Option<usize>,
     apps: Vec<Box<dyn Application>>,
     byzantine: Vec<(NodeId, ByzantineConfig)>,
     proxy: Vec<(NodeId, usize)>,
@@ -195,8 +195,8 @@ impl Default for DeploymentBuilder {
             network: NetworkConfig::default(),
             seed: 0,
             secure: true,
-            checkpoint_interval: None,
-            capacity: None,
+            epoch_length: None,
+            retain_epochs: None,
             apps: Vec::new(),
             byzantine: Vec::new(),
             proxy: Vec::new(),
@@ -237,16 +237,26 @@ impl DeploymentBuilder {
         self.secure(false)
     }
 
-    /// Enable periodic checkpoints on every node (§5.6).
-    pub fn checkpoints_every(mut self, interval: SimDuration) -> DeploymentBuilder {
-        self.checkpoint_interval = Some(interval);
+    /// Seal a log epoch (taking a checkpoint) on every node each `interval`
+    /// of simulated time (§5.6).  Checkpoint-anchored audits then replay only
+    /// the suffix after the relevant checkpoint.
+    pub fn epoch_length(mut self, interval: SimDuration) -> DeploymentBuilder {
+        self.epoch_length = Some(interval);
         self
     }
 
-    /// Reserve key material for node ids up to `max_id` even if no such node
-    /// is added yet (needed when nodes will be added after `build`).
-    pub fn capacity(mut self, max_id: u64) -> DeploymentBuilder {
-        self.capacity = Some(max_id);
+    /// Alias for [`DeploymentBuilder::epoch_length`], named after what the
+    /// cadence produces.
+    pub fn checkpoints_every(self, interval: SimDuration) -> DeploymentBuilder {
+        self.epoch_length(interval)
+    }
+
+    /// Keep the entries of at most `k` sealed epochs per node; older sealed
+    /// segments are truncated while their checkpoints are kept, so per-node
+    /// log storage plateaus instead of growing with total history (§5.6,
+    /// Figure 6's truncation series).  Requires an epoch length.
+    pub fn retain_epochs(mut self, k: usize) -> DeploymentBuilder {
+        self.retain_epochs = Some(k);
         self
     }
 
@@ -306,7 +316,12 @@ impl DeploymentBuilder {
     /// deploys (a typo'd id would otherwise silently disable the fault
     /// injection an experiment depends on).
     pub fn build(self) -> Deployment {
-        let mut max_id = self.capacity.unwrap_or(0);
+        assert!(
+            self.retain_epochs.is_none() || self.epoch_length.is_some(),
+            "retain_epochs without epoch_length would never truncate: truncation \
+             is applied when an epoch seals, and no epoch ever seals without a cadence"
+        );
+        let mut max_id = 0;
         for app in &self.apps {
             for id in app.nodes() {
                 assert_ne!(
@@ -352,8 +367,11 @@ impl DeploymentBuilder {
         for event in self.schedule {
             deployment.schedule(event);
         }
-        if let Some(interval) = self.checkpoint_interval {
-            deployment.enable_checkpoints(interval.as_micros());
+        if let Some(interval) = self.epoch_length {
+            deployment.set_epoch_length(interval.as_micros());
+        }
+        if let Some(k) = self.retain_epochs {
+            deployment.set_retain_epochs(k);
         }
         deployment
     }
@@ -361,9 +379,7 @@ impl DeploymentBuilder {
 
 /// A complete experimental setup: simulator, node handles and a querier.
 ///
-/// Built with [`Deployment::builder`]; the legacy [`Deployment::new`] /
-/// [`Deployment::add_node`] entry points remain as deprecated shims for one
-/// release.
+/// Built with [`Deployment::builder`].
 pub struct Deployment {
     /// The discrete-event simulator driving the run.
     pub sim: Simulator<SnoopyWire>,
@@ -381,35 +397,6 @@ impl Deployment {
     /// Start building a deployment.
     pub fn builder() -> DeploymentBuilder {
         DeploymentBuilder::new()
-    }
-
-    /// Create an empty deployment the old way.
-    #[deprecated(since = "0.2.0", note = "use `Deployment::builder()` instead")]
-    pub fn new(config: NetworkConfig, seed: u64, max_nodes: u64, secure: bool) -> Deployment {
-        let (_, _, registry) = KeyRegistry::deployment(max_nodes + 1);
-        let t_prop_micros = config.t_prop.as_micros();
-        Deployment {
-            sim: Simulator::new(config, seed),
-            handles: BTreeMap::new(),
-            querier: Querier::new(registry.clone(), t_prop_micros),
-            secure,
-            registry,
-            t_prop_micros,
-        }
-    }
-
-    /// Add a node running `app`, replayed with `expected`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "declare nodes up front with `DeploymentBuilder::node` / `DeploymentBuilder::app`"
-    )]
-    pub fn add_node(
-        &mut self,
-        id: NodeId,
-        app: Box<dyn StateMachine>,
-        expected: Box<dyn StateMachine>,
-    ) -> SnoopyHandle {
-        self.install(id, AppNode::with_expected(app, expected))
     }
 
     /// Wire one node into the simulator and the querier.
@@ -455,12 +442,32 @@ impl Deployment {
             .get(&id)
             .unwrap_or_else(|| panic!("proxy overhead for undeployed node {id}"));
         handle.with(|n| n.proxy_overhead_per_message = bytes);
+        // The node's traffic accounting — and with it the byte counts a
+        // future audit reports — changed without the simulation advancing;
+        // a cached audit would be stale (same staleness bug as the byzantine
+        // knob, other knob).
+        self.querier.invalidate(id);
     }
 
-    /// Enable periodic checkpoints on every node.
-    pub fn enable_checkpoints(&mut self, interval_micros: u64) {
+    /// Seal a log epoch on every node each `interval_micros` of simulated
+    /// time (§5.6's checkpoint cadence).
+    pub fn set_epoch_length(&mut self, interval_micros: u64) {
         for handle in self.handles.values() {
-            handle.with(|n| n.set_checkpoint_interval(interval_micros));
+            handle.with(|n| n.set_epoch_length(interval_micros));
+        }
+    }
+
+    /// Alias for [`Deployment::set_epoch_length`], named after what the
+    /// cadence produces.
+    pub fn enable_checkpoints(&mut self, interval_micros: u64) {
+        self.set_epoch_length(interval_micros);
+    }
+
+    /// Keep the entries of at most `k` sealed epochs on every node (§5.6's
+    /// truncation; checkpoints are kept so tamper evidence survives).
+    pub fn set_retain_epochs(&mut self, k: usize) {
+        for handle in self.handles.values() {
+            handle.with(|n| n.set_retain_epochs(k));
         }
     }
 
@@ -669,29 +676,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn capacity_reserves_key_material_for_late_nodes() {
-        // Key material is derived from the node ids present at build time;
-        // `capacity` reserves ids for nodes added afterwards via the
-        // deprecated shim so their certificates still verify.
-        let mut deployment = Deployment::builder().seed(3).app(Pair).capacity(7).build();
-        deployment.add_node(
-            NodeId(7),
-            Box::new(Engine::new(NodeId(7), rules())),
-            Box::new(Engine::new(NodeId(7), rules())),
-        );
-        deployment.insert_at(SimTime::from_millis(5), NodeId(7), link(7, 1));
-        deployment.run_until(SimTime::from_secs(2));
-        let audit = deployment.querier.audit(NodeId(7));
-        assert_eq!(
-            audit.color,
-            snp_graph::vertex::Color::Black,
-            "late node's log must verify against reserved key material: {:?}",
-            audit.notes
-        );
-    }
-
-    #[test]
     fn set_byzantine_invalidates_the_nodes_cached_audit() {
         let mut deployment = Deployment::builder().seed(3).app(Pair).build();
         deployment.run_until(SimTime::from_secs(2));
@@ -741,20 +725,44 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_testbed_shim_still_works() {
-        let mut tb = Deployment::new(NetworkConfig::default(), 3, 4, true);
-        for i in 1..=2u64 {
-            tb.add_node(
-                NodeId(i),
-                Box::new(Engine::new(NodeId(i), rules())),
-                Box::new(Engine::new(NodeId(i), rules())),
-            );
+    fn proxy_overhead_change_invalidates_the_nodes_cached_audit() {
+        let mut deployment = Deployment::builder().seed(3).app(Pair).build();
+        deployment.run_until(SimTime::from_secs(2));
+        // Warm the cache.
+        deployment.querier.audit(NodeId(1));
+        let audits_before = deployment.querier.stats.audits;
+        // Reconfiguring the node's proxy overhead changes what a fresh audit
+        // observes; the cached audit must not be served.
+        deployment.set_proxy_overhead(NodeId(1), 24);
+        deployment.querier.audit(NodeId(1));
+        assert!(
+            deployment.querier.stats.audits > audits_before,
+            "proxy reconfiguration must evict the cached audit"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "retain_epochs without epoch_length")]
+    fn retention_without_a_cadence_panics() {
+        let _ = Deployment::builder().app(Pair).retain_epochs(2).build();
+    }
+
+    #[test]
+    fn epoch_length_and_retention_reach_every_node() {
+        let mut deployment = Deployment::builder()
+            .seed(3)
+            .app(Pair)
+            .epoch_length(SimDuration::from_millis(200))
+            .retain_epochs(2)
+            .build();
+        deployment.run_until(SimTime::from_secs(2));
+        for handle in deployment.handles.values() {
+            let epochs = handle.with(|n| n.current_epoch());
+            assert!(epochs >= 3, "epochs must roll on the configured cadence");
+            let retained: u64 = handle.with(|n| n.log_len() as u64);
+            let appended = handle.with(|n| n.log_total_appended());
+            let dropped = handle.with(|n| n.log_dropped_entries());
+            assert_eq!(retained + dropped, appended);
         }
-        tb.insert_at(SimTime::from_millis(5), NodeId(1), link(1, 2));
-        tb.run_until(SimTime::from_secs(2));
-        assert_eq!(tb.node_count(), 2);
-        assert!(tb.total_traffic().total() > 0);
-        assert!(tb.total_log_bytes() > 0);
     }
 }

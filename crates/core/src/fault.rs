@@ -35,6 +35,10 @@ pub struct ByzantineConfig {
     /// return a *freshly signed* authenticator for the shorter prefix
     /// (equivocation: inconsistent with authenticators other nodes hold).
     pub equivocate_truncate_to: Option<usize>,
+    /// When answering an anchored `retrieve`, hand out a *forged* state
+    /// snapshot for the checkpoint (rewriting pre-truncation history; the
+    /// snapshot digest committed in the signed checkpoint exposes it).
+    pub forge_checkpoint_snapshot: bool,
 }
 
 impl ByzantineConfig {
@@ -51,6 +55,7 @@ impl ByzantineConfig {
             || self.refuse_retrieve
             || self.tamper_log_drop_entry.is_some()
             || self.equivocate_truncate_to.is_some()
+            || self.forge_checkpoint_snapshot
     }
 
     /// Convenience: suppress every data message to one destination.
@@ -101,6 +106,11 @@ mod tests {
         .is_byzantine());
         assert!(ByzantineConfig {
             equivocate_truncate_to: Some(1),
+            ..Default::default()
+        }
+        .is_byzantine());
+        assert!(ByzantineConfig {
+            forge_checkpoint_snapshot: true,
             ..Default::default()
         }
         .is_byzantine());

@@ -41,7 +41,7 @@ pub mod wire;
 
 pub use deploy::{AppNode, Application, Deployment, DeploymentBuilder, WorkloadEvent, WorkloadOp};
 pub use fault::ByzantineConfig;
-pub use node::{SnoopyHandle, SnoopyNode, OPERATOR};
-pub use query::{MacroQuery, Querier, QueryBuilder, QueryResult, QueryStats};
+pub use node::{RetrieveResponse, SnoopyHandle, SnoopyNode, OPERATOR};
+pub use query::{MacroQuery, Querier, QueryBuilder, QueryResult, QueryStats, SegmentFetch};
 pub use snp_crypto::keys::NodeId;
 pub use wire::SnoopyWire;

@@ -16,7 +16,7 @@ use crate::fault::ByzantineConfig;
 use crate::wire::SnoopyWire;
 use snp_crypto::counters;
 use snp_crypto::keys::{KeyPair, KeyRegistry, NodeId};
-use snp_crypto::Digest;
+use snp_crypto::{Digest, HashChain};
 use snp_datalog::{SmInput, SmOutput, StateMachine, Tuple, TupleDelta};
 use snp_graph::history::Message;
 use snp_graph::vertex::Timestamp;
@@ -32,10 +32,51 @@ use std::sync::Mutex;
 /// Pseudo node id used as the "from" of operator / workload commands.
 pub const OPERATOR: NodeId = NodeId(u64::MAX);
 
-/// Timer used for periodic checkpoints.
-const TIMER_CHECKPOINT: TimerId = TimerId(1);
+/// Timer used to seal log epochs (periodic checkpoints, §5.6).
+const TIMER_EPOCH: TimerId = TimerId(1);
 /// Timer used to check for missing acknowledgments (2·Tprop sweep).
 const TIMER_ACK_SWEEP: TimerId = TimerId(2);
+
+/// A node's answer to an anchored `retrieve` (§5.4 + §5.6): the checkpoint to
+/// anchor on (with the state snapshot it committed to), the suffix of sealed
+/// segments after it plus the active segment, and a fresh authenticator over
+/// the log head.  `anchor` is `None` when replay should start from genesis.
+#[derive(Clone, Debug)]
+pub struct RetrieveResponse {
+    /// The anchoring checkpoint and its state snapshot.
+    pub anchor: Option<(Checkpoint, Vec<u8>)>,
+    /// Evidence that the anchoring checkpoint's state is *reproducible*:
+    /// the previous checkpoint (with its snapshot) and the anchor epoch's
+    /// own segment, whose entries are pinned between the two signed chain
+    /// heads.  Present whenever the node still retains them; absent for a
+    /// genesis replay or when the linking epoch was truncated.
+    pub anchor_link: Option<AnchorLink>,
+    /// The suffix segments, oldest first (the last one is the active epoch).
+    pub segments: Vec<LogSegment>,
+    /// Authenticator covering the log head.
+    pub auth: Authenticator,
+}
+
+/// The chain link a querier uses to cross-check an anchoring checkpoint
+/// instead of trusting the node's self-signed state claim: restore the
+/// previous checkpoint's snapshot (or a fresh machine at genesis), replay
+/// the linking segment's inputs, and compare the resulting state digest with
+/// the one the anchor committed to.
+#[derive(Clone, Debug)]
+pub struct AnchorLink {
+    /// The checkpoint sealing the epoch before the anchor, with its state
+    /// snapshot; `None` when the anchor seals epoch 0 (link from genesis).
+    pub prev: Option<(Checkpoint, Vec<u8>)>,
+    /// The anchor epoch's sealed segment.
+    pub segment: LogSegment,
+}
+
+impl RetrieveResponse {
+    /// Total entries across the returned suffix segments.
+    pub fn entry_count(&self) -> usize {
+        self.segments.iter().map(|s| s.entries.len()).sum()
+    }
+}
 
 /// Per-node traffic counters, split the way Figure 5 stacks its bars.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -82,8 +123,9 @@ pub struct SnoopyNode {
     app: Box<dyn StateMachine>,
     log: SecureLog,
     auths: AuthenticatorSet,
-    checkpoints: Vec<Checkpoint>,
-    checkpoint_interval: Option<Timestamp>,
+    /// Seal a log epoch every this many microseconds (§5.6's checkpoint
+    /// cadence); `None` disables sealing.
+    epoch_length: Option<Timestamp>,
     seq: u64,
     /// Messages sent but not yet acknowledged: (message, digest, sent_at).
     unacked: Vec<(Message, Digest, Timestamp)>,
@@ -110,8 +152,7 @@ impl SnoopyNode {
             registry,
             app,
             auths: AuthenticatorSet::new(),
-            checkpoints: Vec::new(),
-            checkpoint_interval: None,
+            epoch_length: None,
             seq: 0,
             unacked: Vec::new(),
             maintainer_notified: BTreeSet::new(),
@@ -140,9 +181,17 @@ impl SnoopyNode {
         &self.byz
     }
 
-    /// Enable periodic checkpoints every `interval` microseconds (§5.6).
-    pub fn set_checkpoint_interval(&mut self, interval: Timestamp) {
-        self.checkpoint_interval = Some(interval);
+    /// Seal a log epoch (closing it with a checkpoint) every `interval`
+    /// microseconds (§5.6).
+    pub fn set_epoch_length(&mut self, interval: Timestamp) {
+        self.epoch_length = Some(interval);
+    }
+
+    /// Keep the entries of at most `k` sealed epochs; older sealed segments
+    /// are truncated at each seal while their checkpoints are kept (§5.6's
+    /// `Thist` truncation, epoch edition).
+    pub fn set_retain_epochs(&mut self, k: usize) {
+        self.log.retain_epochs(k);
     }
 
     /// The node's identity.
@@ -165,24 +214,58 @@ impl SnoopyNode {
         self.traffic
     }
 
-    /// Storage statistics of the log for Figure 6.
+    /// Storage statistics of the *retained* log entries for Figure 6.
     pub fn log_stats(&self) -> snp_log::LogStats {
         self.log.stats()
     }
 
-    /// Number of log entries.
+    /// Number of retained log entries.
     pub fn log_len(&self) -> usize {
         self.log.len()
     }
 
-    /// Total size of the node's checkpoints in bytes (§7.5).
+    /// Total log entries ever appended (retained or truncated).
+    pub fn log_total_appended(&self) -> u64 {
+        self.log.total_appended()
+    }
+
+    /// Entries dropped by epoch truncation.
+    pub fn log_dropped_entries(&self) -> u64 {
+        self.log.dropped_entries()
+    }
+
+    /// The currently open log epoch.
+    pub fn current_epoch(&self) -> u64 {
+        self.log.current_epoch()
+    }
+
+    /// The epoch whose checkpoint an audit for time `at` would anchor on
+    /// (`None` = replay from genesis).  This is the metadata half of the
+    /// `retrieve` handshake, used by the querier to key its audit cache.
+    pub fn anchor_epoch(&self, at: Option<Timestamp>) -> Option<u64> {
+        self.log.anchor_epoch(at)
+    }
+
+    /// Total size of the node's checkpoints and retained snapshots in bytes
+    /// (§7.5).
     pub fn checkpoint_bytes(&self) -> usize {
-        self.checkpoints.iter().map(|c| c.storage_size()).sum()
+        self.log.checkpoint_storage_bytes()
     }
 
     /// Latest checkpoint, if any.
     pub fn latest_checkpoint(&self) -> Option<&Checkpoint> {
-        self.checkpoints.last()
+        self.log.latest_checkpoint()
+    }
+
+    /// Current hash-chain head of the log (digest of the entire appended
+    /// history, surviving truncation).
+    pub fn log_head(&self) -> Digest {
+        self.log.head()
+    }
+
+    /// Merkle roots of every sealed checkpoint, oldest first.
+    pub fn checkpoint_roots(&self) -> Vec<Digest> {
+        self.log.checkpoints().map(|c| c.root).collect()
     }
 
     /// Digests of messages whose missing acks were reported to the maintainer.
@@ -204,40 +287,107 @@ impl SnoopyNode {
         self.auths.from_peer(peer).to_vec()
     }
 
-    /// The `retrieve` primitive (§5.4): return the log prefix through
-    /// `through_seq` (or the whole log) together with an authenticator that
-    /// covers it.  Byzantine nodes may refuse, tamper, or equivocate.
+    /// The `retrieve` primitive (§5.4): return the retained log prefix
+    /// through `through_seq` (or the whole retained log) flattened into one
+    /// segment, together with an authenticator that covers it.  Byzantine
+    /// nodes may refuse, tamper, or equivocate.
     pub fn retrieve(&self, through_seq: Option<u64>) -> Option<(LogSegment, Authenticator)> {
         if self.byz.refuse_retrieve {
             return None;
         }
-        let mut segment = match through_seq {
+        let segment = match through_seq {
             Some(seq) => self.log.segment_through(seq),
             None => self.log.full_segment(),
         };
-        let mut auth = self.log.authenticator()?;
+        let auth = self.log.authenticator()?;
+        let mut segments = vec![segment];
+        let auth = self.apply_retrieve_byzantine(&mut segments, auth);
+        Some((segments.pop().expect("one segment"), auth))
+    }
 
-        if let Some(truncate_to) = self.byz.equivocate_truncate_to {
-            // Equivocation: pretend the log ends earlier and sign that prefix.
-            segment.entries.truncate(truncate_to);
-            let mut chain = snp_crypto::HashChain::new();
-            for e in &segment.entries {
-                chain.append(&e.encode());
+    /// The anchored `retrieve` (§5.6): the latest checkpoint at-or-before
+    /// `at` (with its state snapshot), the suffix segments after it, and an
+    /// authenticator over the head.  Byzantine nodes may additionally forge
+    /// the snapshot.
+    pub fn retrieve_anchored(&self, at: Option<Timestamp>) -> Option<RetrieveResponse> {
+        if self.byz.refuse_retrieve {
+            return None;
+        }
+        let auth = self.log.authenticator()?;
+        let anchor_epoch = self.log.anchor_epoch(at);
+        let mut anchor = anchor_epoch.map(|e| {
+            (
+                self.log.checkpoint_for(e).expect("anchor epoch sealed").clone(),
+                self.log.snapshot_for(e).expect("anchor epoch has snapshot").to_vec(),
+            )
+        });
+        let anchor_link = anchor_epoch.and_then(|e| {
+            let segment = self.log.sealed_segment(e)?.clone();
+            let prev = if e == 0 {
+                None
+            } else {
+                Some((
+                    self.log.checkpoint_for(e - 1)?.clone(),
+                    self.log.snapshot_for(e - 1)?.to_vec(),
+                ))
+            };
+            Some(AnchorLink { prev, segment })
+        });
+        let mut segments = self.log.segments_after(anchor_epoch);
+        let auth = self.apply_retrieve_byzantine(&mut segments, auth);
+        if self.byz.forge_checkpoint_snapshot {
+            if let Some((_, snapshot)) = &mut anchor {
+                // Rewrite pre-truncation history: hand out different state
+                // bytes than the ones the signed checkpoint committed to.
+                snapshot.push(0xFF);
             }
-            let last = segment.entries.last();
+        }
+        Some(RetrieveResponse {
+            anchor,
+            anchor_link,
+            segments,
+            auth,
+        })
+    }
+
+    /// Apply log-level Byzantine behaviour (tampering, equivocation) to an
+    /// outgoing run of segments, returning the (possibly re-issued)
+    /// authenticator.
+    fn apply_retrieve_byzantine(&self, segments: &mut [LogSegment], auth: Authenticator) -> Authenticator {
+        let mut auth = auth;
+        if let Some(truncate_to) = self.byz.equivocate_truncate_to {
+            // Equivocation: pretend the log ends `truncate_to` entries after
+            // the start of the returned run, and sign that shorter history.
+            let mut budget = truncate_to;
+            for segment in segments.iter_mut() {
+                let keep = budget.min(segment.entries.len());
+                segment.entries.truncate(keep);
+                budget -= keep;
+            }
+            let start = segments.first().map(|s| s.start_head).unwrap_or(Digest::ZERO);
+            let encoded: Vec<Vec<u8>> = segments.iter().flat_map(|s| &s.entries).map(|e| e.encode()).collect();
+            let head = HashChain::replay_from(start, encoded.iter().map(|v| v.as_slice()));
+            let last = segments.iter().flat_map(|s| &s.entries).last();
             auth = Authenticator::issue(
                 &self.keys,
                 last.map(|e| e.seq).unwrap_or(0),
                 last.map(|e| e.timestamp).unwrap_or(0),
-                chain.head(),
+                head,
             );
         }
         if let Some(drop_at) = self.byz.tamper_log_drop_entry {
-            if drop_at < segment.entries.len() {
-                segment.entries.remove(drop_at);
+            // Evidence destruction: silently drop the entry at offset
+            // `drop_at` into the returned run.
+            let mut offset = drop_at;
+            for segment in segments.iter_mut() {
+                if offset < segment.entries.len() {
+                    segment.entries.remove(offset);
+                    break;
+                }
+                offset -= segment.entries.len();
             }
         }
-        Some((segment, auth))
+        auth
     }
 
     // ----- internal helpers ---------------------------------------------------
@@ -390,7 +540,9 @@ impl SnoopyNode {
         self.process_outputs(ctx, outputs);
     }
 
-    fn take_checkpoint(&mut self, now: Timestamp) {
+    /// Seal the current log epoch (§5.6): snapshot the machine, checkpoint
+    /// the tuple state, and let the log roll the epoch and apply retention.
+    fn seal_epoch(&mut self, now: Timestamp) {
         let entries: Vec<CheckpointEntry> = self
             .app
             .current_tuples()
@@ -400,8 +552,8 @@ impl SnoopyNode {
                 appeared_at: now,
             })
             .collect();
-        let checkpoint = Checkpoint::build(self.id, self.log.len() as u64, now, entries);
-        self.checkpoints.push(checkpoint);
+        let snapshot = self.app.snapshot();
+        self.log.seal_epoch(now, entries, snapshot);
     }
 
     fn sweep_unacked(&mut self, now: Timestamp) {
@@ -419,8 +571,8 @@ impl SnoopyNode {
 impl SimNode<SnoopyWire> for SnoopyNode {
     fn on_start(&mut self, ctx: &mut Context<SnoopyWire>) {
         if self.secure {
-            if let Some(interval) = self.checkpoint_interval {
-                ctx.set_timer(snp_sim::SimDuration::from_micros(interval), TIMER_CHECKPOINT);
+            if let Some(interval) = self.epoch_length {
+                ctx.set_timer(snp_sim::SimDuration::from_micros(interval), TIMER_EPOCH);
             }
             ctx.set_timer(snp_sim::SimDuration::from_micros(2 * self.t_prop), TIMER_ACK_SWEEP);
         }
@@ -448,10 +600,10 @@ impl SimNode<SnoopyWire> for SnoopyNode {
     fn on_timer(&mut self, ctx: &mut Context<SnoopyWire>, timer: TimerId) {
         let now = Self::now_micros(ctx);
         match timer {
-            TIMER_CHECKPOINT => {
-                self.take_checkpoint(now);
-                if let Some(interval) = self.checkpoint_interval {
-                    ctx.set_timer(snp_sim::SimDuration::from_micros(interval), TIMER_CHECKPOINT);
+            TIMER_EPOCH => {
+                self.seal_epoch(now);
+                if let Some(interval) = self.epoch_length {
+                    ctx.set_timer(snp_sim::SimDuration::from_micros(interval), TIMER_EPOCH);
                 }
             }
             TIMER_ACK_SWEEP => {
@@ -491,6 +643,16 @@ impl SnoopyHandle {
     /// `retrieve` as invoked by the querier.
     pub fn retrieve(&self, through_seq: Option<u64>) -> Option<(LogSegment, Authenticator)> {
         self.with(|n| n.retrieve(through_seq))
+    }
+
+    /// Anchored `retrieve` as invoked by the querier.
+    pub fn retrieve_anchored(&self, at: Option<Timestamp>) -> Option<RetrieveResponse> {
+        self.with(|n| n.retrieve_anchored(at))
+    }
+
+    /// The epoch an audit for time `at` would anchor on.
+    pub fn anchor_epoch(&self, at: Option<Timestamp>) -> Option<u64> {
+        self.with(|n| n.anchor_epoch(at))
     }
 
     /// Authenticators this node holds from `peer`.
@@ -702,7 +864,7 @@ mod tests {
     #[test]
     fn checkpoints_are_taken_periodically() {
         let (mut sim, n1, _) = build_pair();
-        n1.with(|n| n.set_checkpoint_interval(1_000_000)); // every simulated second
+        n1.with(|n| n.set_epoch_length(1_000_000)); // seal every simulated second
         sim.inject_message(
             snp_sim::SimTime::from_millis(10),
             OPERATOR,

@@ -17,18 +17,33 @@ use snp_datalog::{StateMachine, Tuple};
 use snp_graph::query::{self, Direction, Traversal};
 use snp_graph::vertex::{Color, Timestamp, VertexId, VertexKind};
 use snp_graph::ProvenanceGraph;
+use snp_log::log as snplog;
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
+/// Download accounting for one retrieved log segment (per-epoch breakdown of
+/// Figure 8's "log bytes" column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentFetch {
+    /// The node the segment came from.
+    pub node: NodeId,
+    /// The epoch the segment belongs to.
+    pub epoch: u64,
+    /// Serialized size of the segment.
+    pub bytes: u64,
+}
+
 /// Cumulative cost accounting for a query (Figure 8).
-#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct QueryStats {
     /// Bytes of log segments downloaded.
     pub log_bytes: u64,
     /// Bytes of authenticators downloaded.
     pub authenticator_bytes: u64,
-    /// Bytes of checkpoints downloaded.
+    /// Bytes of checkpoints downloaded (headers + tuple state).
     pub checkpoint_bytes: u64,
+    /// Bytes of machine state snapshots downloaded alongside checkpoints.
+    pub snapshot_bytes: u64,
     /// Wall-clock seconds spent verifying authenticators and hash chains.
     pub auth_check_seconds: f64,
     /// Wall-clock seconds spent in deterministic replay.
@@ -37,12 +52,24 @@ pub struct QueryStats {
     pub audits: u64,
     /// Number of individual microqueries issued.
     pub microqueries: u64,
+    /// Number of log segments fetched.
+    pub segments_fetched: u64,
+    /// Log entries actually replayed (suffix after the anchoring checkpoint).
+    pub replayed_entries: u64,
+    /// Log entries *not* replayed because they lie before the anchoring
+    /// checkpoint (what a from-genesis replay would additionally have paid).
+    pub skipped_entries: u64,
+    /// Per-segment download breakdown, in fetch order.  On the cumulative
+    /// [`Querier::stats`] this list grows with every fetch; a long-lived
+    /// querier can drain it (`stats.segment_bytes.clear()`) without
+    /// affecting the scalar counters or per-query deltas.
+    pub segment_bytes: Vec<SegmentFetch>,
 }
 
 impl QueryStats {
     /// Total bytes downloaded.
     pub fn total_bytes(&self) -> u64 {
-        self.log_bytes + self.authenticator_bytes + self.checkpoint_bytes
+        self.log_bytes + self.authenticator_bytes + self.checkpoint_bytes + self.snapshot_bytes
     }
 
     /// Estimated turnaround time given a download bandwidth in bits/s
@@ -63,6 +90,10 @@ pub struct NodeAudit {
     pub color: Color,
     /// Human-readable notes on what was found.
     pub notes: Vec<String>,
+    /// The epoch whose checkpoint the replay anchored on (`None` = genesis).
+    pub anchor_epoch: Option<u64>,
+    /// Log entries replayed during this audit.
+    pub replayed_entries: u64,
 }
 
 /// A macroquery (§3, §5.1).
@@ -255,10 +286,12 @@ pub struct Querier {
     nodes: BTreeMap<NodeId, SnoopyHandle>,
     expected: BTreeMap<NodeId, Box<dyn StateMachine>>,
     t_prop: Timestamp,
-    /// Cached per-node subgraphs from previous audits (§5.6: "the querier can
-    /// cache previously retrieved log segments … and even previously
-    /// regenerated provenance graphs").
-    cache: BTreeMap<NodeId, (ProvenanceGraph, NodeAudit)>,
+    /// Cached per-`(node, anchor epoch)` subgraphs from previous audits
+    /// (§5.6: "the querier can cache previously retrieved log segments … and
+    /// even previously regenerated provenance graphs").  Keying on the anchor
+    /// epoch lets quiescent re-queries and overlapping queries share verified
+    /// segments while queries anchored at different checkpoints stay apart.
+    cache: BTreeMap<(NodeId, Option<u64>), (ProvenanceGraph, NodeAudit)>,
     /// Cumulative statistics across all queries issued by this querier.
     pub stats: QueryStats,
 }
@@ -289,85 +322,199 @@ impl Querier {
         self.cache.clear();
     }
 
-    /// Forget the cached audit of a single node (e.g. after its behaviour
+    /// Forget the cached audits of a single node (e.g. after its behaviour
     /// was reconfigured while the simulation stood still).
     pub fn invalidate(&mut self, node: NodeId) {
-        self.cache.remove(&node);
+        self.cache.retain(|(n, _), _| *n != node);
     }
 
-    /// Audit a node: retrieve + verify + replay + consistency check.
-    /// Results are cached.
+    /// Audit a node against its latest state: retrieve + verify + replay +
+    /// consistency check.  Results are cached per `(node, anchor epoch)`.
     pub fn audit(&mut self, node: NodeId) -> NodeAudit {
-        if let Some((_, audit)) = self.cache.get(&node) {
+        self.audit_at(node, None)
+    }
+
+    /// Audit a node for a query about time `at` (`None` = now): the replay
+    /// anchors on the latest checkpoint at-or-before `at` and verifies only
+    /// the suffix segments after it.
+    pub fn audit_at(&mut self, node: NodeId, at: Option<Timestamp>) -> NodeAudit {
+        let key = self.audit_cache_key(node, at);
+        if let Some((_, audit)) = self.cache.get(&key) {
             return audit.clone();
         }
-        self.audit_uncached(node)
+        self.audit_uncached(node, at, key.1)
     }
 
-    fn audit_uncached(&mut self, node: NodeId) -> NodeAudit {
+    /// The `(node, anchor epoch)` key an audit for time `at` resolves to.
+    /// Asking the node which epoch it would anchor on is the metadata half of
+    /// the retrieve handshake; the *content* is verified after the download.
+    fn audit_cache_key(&self, node: NodeId, at: Option<Timestamp>) -> (NodeId, Option<u64>) {
+        let anchor = self.nodes.get(&node).and_then(|h| h.anchor_epoch(at));
+        (node, anchor)
+    }
+
+    fn audit_uncached(&mut self, node: NodeId, at: Option<Timestamp>, anchor_hint: Option<u64>) -> NodeAudit {
         self.stats.audits += 1;
         let mut notes = Vec::new();
+        let fail = |color: Color, notes: Vec<String>| NodeAudit {
+            node,
+            color,
+            notes,
+            anchor_epoch: anchor_hint,
+            replayed_entries: 0,
+        };
         let Some(handle) = self.nodes.get(&node).cloned() else {
-            let audit = NodeAudit {
-                node,
-                color: Color::Yellow,
-                notes: vec!["node unknown to querier".into()],
-            };
-            self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
+            let audit = fail(Color::Yellow, vec!["node unknown to querier".into()]);
+            self.cache
+                .insert((node, anchor_hint), (ProvenanceGraph::new(), audit.clone()));
             return audit;
         };
 
-        // retrieve(v, a): ask the node for its log prefix and authenticator.
-        let Some((segment, auth)) = handle.retrieve(None) else {
+        // retrieve(v, a): ask the node for its anchoring checkpoint, the log
+        // suffix after it, and an authenticator.
+        let Some(response) = handle.retrieve_anchored(at) else {
             // A node with an empty log has nothing to retrieve; that is not
             // suspicious by itself.
-            if handle.with(|n| n.log_len()) == 0 {
-                let audit = NodeAudit {
-                    node,
-                    color: Color::Black,
-                    notes: vec!["empty log".into()],
-                };
-                self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
-                return audit;
-            }
-            // No response: everything hosted here stays yellow (§4.2, fourth
-            // limitation).
-            let audit = NodeAudit {
-                node,
-                color: Color::Yellow,
-                notes: vec!["node did not respond to retrieve".into()],
+            let audit = if handle.with(|n| n.log_total_appended()) == 0 {
+                fail(Color::Black, vec!["empty log".into()])
+            } else {
+                // No response: everything hosted here stays yellow (§4.2,
+                // fourth limitation).
+                fail(Color::Yellow, vec!["node did not respond to retrieve".into()])
             };
-            self.cache.insert(node, (ProvenanceGraph::new(), audit.clone()));
+            self.cache
+                .insert((node, anchor_hint), (ProvenanceGraph::new(), audit.clone()));
             return audit;
         };
-        self.stats.log_bytes += segment.download_size() as u64;
-        self.stats.authenticator_bytes += auth.wire_size() as u64;
-
-        // Also download the latest checkpoint (counted for Figure 8).
-        let checkpoint_bytes = handle.with(|n| n.checkpoint_bytes());
-        self.stats.checkpoint_bytes += checkpoint_bytes as u64;
-
-        // Verify the segment against the authenticator.
-        let auth_started = Instant::now();
-        let public = self.registry.public_key(node);
-        let verification = match public {
-            Some(pk) => segment.verify(&auth, &pk).map_err(|e| e.to_string()),
-            None => Err("no certified public key for node".to_string()),
-        };
-        self.stats.auth_check_seconds += auth_started.elapsed().as_secs_f64();
-
-        let mut color = Color::Black;
-        if let Err(reason) = verification {
-            notes.push(format!("log verification failed: {reason}"));
-            color = Color::Red;
+        let anchor_epoch = response.anchor.as_ref().map(|(cp, _)| cp.epoch);
+        for segment in &response.segments {
+            let bytes = segment.download_size() as u64;
+            self.stats.log_bytes += bytes;
+            self.stats.segments_fetched += 1;
+            self.stats.segment_bytes.push(SegmentFetch {
+                node,
+                epoch: segment.epoch,
+                bytes,
+            });
+        }
+        self.stats.authenticator_bytes += response.auth.wire_size() as u64;
+        if let Some((checkpoint, snapshot)) = &response.anchor {
+            self.stats.checkpoint_bytes += checkpoint.storage_size() as u64;
+            self.stats.snapshot_bytes += snapshot.len() as u64;
+        }
+        if let Some(link) = &response.anchor_link {
+            let bytes = link.segment.download_size() as u64;
+            self.stats.log_bytes += bytes;
+            self.stats.segments_fetched += 1;
+            self.stats.segment_bytes.push(SegmentFetch {
+                node,
+                epoch: link.segment.epoch,
+                bytes,
+            });
+            if let Some((prev, prev_snapshot)) = &link.prev {
+                self.stats.checkpoint_bytes += prev.storage_size() as u64;
+                self.stats.snapshot_bytes += prev_snapshot.len() as u64;
+            }
         }
 
-        // Consistency check (§5.5): compare the retrieved log against
-        // authenticators other nodes hold from this node.
+        // Verify the anchoring checkpoint and the suffix chain against the
+        // authenticator.
+        let auth_started = Instant::now();
+        let public = self.registry.public_key(node);
+        let mut color = Color::Black;
+        let (anchor_seq, anchor_head) = match (&response.anchor, public) {
+            (_, None) => {
+                notes.push("no certified public key for node".into());
+                color = Color::Red;
+                (0, snp_crypto::Digest::ZERO)
+            }
+            (Some((checkpoint, snapshot)), Some(pk)) => {
+                if checkpoint.node != node || !checkpoint.verify_signature(&pk) {
+                    notes.push("checkpoint signature invalid".into());
+                    color = Color::Red;
+                } else if !checkpoint.verify_root() {
+                    notes.push("checkpoint contents do not match its Merkle root".into());
+                    color = Color::Red;
+                } else if !checkpoint.verify_snapshot(snapshot) {
+                    notes.push("state snapshot does not match the checkpoint's signed digest".into());
+                    color = Color::Red;
+                }
+                (checkpoint.at_seq, checkpoint.chain_head)
+            }
+            (None, _) => {
+                // Genesis replay: sound only if the suffix really starts at
+                // sequence zero (a node cannot silently truncate without
+                // presenting a signed checkpoint to anchor on).
+                if response.segments.first().map(|s| s.base_seq) != Some(0) {
+                    notes.push("log truncated without a checkpoint anchor".into());
+                    color = Color::Red;
+                }
+                (0, snp_crypto::Digest::ZERO)
+            }
+        };
+        if color == Color::Black {
+            let pk = public.expect("checked above");
+            if let Err(reason) = snplog::verify_suffix(&response.segments, anchor_seq, anchor_head, &response.auth, &pk)
+            {
+                notes.push(format!("log verification failed: {reason}"));
+                color = Color::Red;
+            }
+        }
+
+        // Cross-check the anchoring checkpoint against the previous one: the
+        // two signed chain heads pin the linking epoch's entries, so a forged
+        // checkpoint state cannot be reproduced from them.  This widens the
+        // verified-heads window back one epoch.  An anchor *without* a link
+        // cannot be cross-checked — legitimate at the truncation horizon, but
+        // also exactly what a node hiding forged state would claim — so the
+        // audit is downgraded to Yellow (suspect, never implicating) instead
+        // of silently trusting the self-signed anchor.
+        let mut window_start = (anchor_seq, anchor_head);
+        if color == Color::Black {
+            match (&response.anchor, &response.anchor_link, public) {
+                (Some((anchor_cp, _)), Some(link), Some(pk)) => {
+                    match self.verify_anchor_link(node, &pk, anchor_cp, link) {
+                        Ok(start) => window_start = start,
+                        Err(reason) => {
+                            notes.push(reason);
+                            color = Color::Red;
+                        }
+                    }
+                }
+                (Some(_), None, _) => {
+                    notes.push("checkpoint could not be cross-checked (linking epoch not served)".into());
+                    color = Color::Yellow;
+                }
+                _ => {}
+            }
+        }
+        self.stats.auth_check_seconds += auth_started.elapsed().as_secs_f64();
+
+        // Consistency check (§5.5): compare the retrieved history against
+        // authenticators other nodes hold from this node.  Following the
+        // paper, the check covers the *interval of interest* — here the
+        // verified window (linking epoch + suffix).  Authenticators covering
+        // older seqs are deliberately out of scope for this audit: they are
+        // checked by whichever audit's window contains them (historical
+        // queries via `audit_at`, the widening retry, or a full-history
+        // `audit_at(node, Some(0))` while the log is untruncated).
         let consistency_started = Instant::now();
         if color == Color::Black {
-            let mut chain = snp_crypto::HashChain::new();
-            let heads: Vec<snp_crypto::Digest> = segment.entries.iter().map(|e| chain.append(&e.encode())).collect();
+            // Heads over the verified window (already chain-checked above, so
+            // the walks cannot fail here).
+            let mut heads: BTreeMap<u64, snp_crypto::Digest> = BTreeMap::new();
+            let mut collect = |seq, head| {
+                heads.insert(seq, head);
+            };
+            if let Some(link) = &response.anchor_link {
+                let _ = snplog::chain_span(
+                    std::slice::from_ref(&link.segment),
+                    window_start.0,
+                    window_start.1,
+                    &mut collect,
+                );
+            }
+            let _ = snplog::chain_span(&response.segments, anchor_seq, anchor_head, &mut collect);
             'outer: for (peer_id, peer) in &self.nodes {
                 if *peer_id == node {
                     continue;
@@ -377,8 +524,10 @@ impl Querier {
                     if public.map(|pk| peer_auth.verify(&pk)) != Some(true) {
                         continue;
                     }
-                    let idx = peer_auth.seq as usize;
-                    match heads.get(idx) {
+                    if peer_auth.seq < window_start.0 {
+                        continue;
+                    }
+                    match heads.get(&peer_auth.seq) {
                         Some(head) if *head == peer_auth.head => {}
                         _ => {
                             notes.push(format!(
@@ -394,11 +543,39 @@ impl Querier {
         }
         self.stats.auth_check_seconds += consistency_started.elapsed().as_secs_f64();
 
-        // Deterministic replay through the expected state machine.
+        // Deterministic replay through the expected state machine, restored
+        // from the (digest-verified) snapshot when anchored.  Skipped when
+        // the evidence already failed verification: the graph would not be
+        // trustworthy and the node is red regardless.
         let replay_started = Instant::now();
-        let graph = match self.expected.get(&node) {
-            Some(machine) => replay::replay_segment(&segment, machine.fresh(), self.t_prop),
-            None => ProvenanceGraph::new(),
+        let mut replayed_entries = 0u64;
+        let graph = match (self.expected.get(&node), color) {
+            (Some(machine), Color::Black) => {
+                let restored = match &response.anchor {
+                    Some((_, snapshot)) => machine.restore(snapshot),
+                    None => Ok(machine.fresh()),
+                };
+                match restored {
+                    Ok(machine) => {
+                        replayed_entries = response.entry_count() as u64;
+                        self.stats.replayed_entries += replayed_entries;
+                        self.stats.skipped_entries += anchor_seq;
+                        replay::replay_suffix(
+                            node,
+                            response.anchor.as_ref().map(|(cp, _)| cp),
+                            machine,
+                            &response.segments,
+                            self.t_prop,
+                        )
+                    }
+                    Err(reason) => {
+                        notes.push(format!("state snapshot rejected: {reason}"));
+                        color = Color::Red;
+                        ProvenanceGraph::new()
+                    }
+                }
+            }
+            _ => ProvenanceGraph::new(),
         };
         self.stats.replay_seconds += replay_started.elapsed().as_secs_f64();
 
@@ -423,15 +600,83 @@ impl Querier {
             color = Color::Red;
         }
 
-        let audit = NodeAudit { node, color, notes };
-        self.cache.insert(node, (graph, audit.clone()));
+        let audit = NodeAudit {
+            node,
+            color,
+            notes,
+            anchor_epoch,
+            replayed_entries,
+        };
+        self.cache.insert((node, anchor_epoch), (graph, audit.clone()));
         audit
+    }
+
+    /// Verify an anchor link (§5.6): the previous checkpoint must be validly
+    /// signed with a matching snapshot, the linking segment must chain
+    /// exactly from its head to the anchor's head over
+    /// `prev.at_seq..anchor.at_seq`, and replaying the segment's *inputs*
+    /// through the expected machine restored from the previous snapshot must
+    /// reproduce the state digest the anchor committed to.  Returns the
+    /// `(seq, head)` the verified window now starts at.
+    fn verify_anchor_link(
+        &self,
+        node: NodeId,
+        pk: &snp_crypto::sign::PublicKey,
+        anchor: &snp_log::Checkpoint,
+        link: &crate::node::AnchorLink,
+    ) -> Result<(u64, snp_crypto::Digest), String> {
+        let (start_seq, start_head, machine) = match &link.prev {
+            Some((prev, prev_snapshot)) => {
+                if prev.node != node || prev.epoch + 1 != anchor.epoch || !prev.verify_signature(pk) {
+                    return Err("anchor link: previous checkpoint invalid".into());
+                }
+                if !prev.verify_snapshot(prev_snapshot) {
+                    return Err("anchor link: previous snapshot does not match its signed digest".into());
+                }
+                let machine = match self.expected.get(&node) {
+                    Some(m) => Some(m.restore(prev_snapshot).map_err(|e| format!("anchor link: {e}"))?),
+                    None => None,
+                };
+                (prev.at_seq, prev.chain_head, machine)
+            }
+            None => {
+                if anchor.epoch != 0 {
+                    return Err("anchor link: previous checkpoint missing".into());
+                }
+                (0, snp_crypto::Digest::ZERO, self.expected.get(&node).map(|m| m.fresh()))
+            }
+        };
+        if link.segment.node != node {
+            return Err("anchor link: segment belongs to a different node".into());
+        }
+        let (seq, head) = snplog::chain_span(std::slice::from_ref(&link.segment), start_seq, start_head, |_, _| {})
+            .map_err(|e| format!("anchor link: {e}"))?;
+        if seq != anchor.at_seq || head != anchor.chain_head {
+            return Err("anchor link: segment does not chain to the anchor head".into());
+        }
+        if let Some(mut machine) = machine {
+            replay::apply_inputs(machine.as_mut(), &link.segment.entries);
+            if let Some(snapshot) = machine.snapshot() {
+                if snp_crypto::hash(&snapshot) != anchor.state_digest {
+                    return Err("anchor link: checkpoint state is not reproducible from the previous epoch".into());
+                }
+            }
+        }
+        Ok((start_seq, start_head))
     }
 
     /// The subgraph reconstructed for a node (auditing it first if needed).
     pub fn node_graph(&mut self, node: NodeId) -> ProvenanceGraph {
-        self.audit(node);
-        self.cache.get(&node).map(|(g, _)| g.clone()).unwrap_or_default()
+        self.node_graph_at(node, None)
+    }
+
+    /// The subgraph reconstructed for a node for a query about time `at`.
+    fn node_graph_at(&mut self, node: NodeId, at: Option<Timestamp>) -> ProvenanceGraph {
+        let audit = self.audit_at(node, at);
+        self.cache
+            .get(&(node, audit.anchor_epoch))
+            .map(|(g, _)| g.clone())
+            .unwrap_or_default()
     }
 
     /// Issue a microquery for a vertex: returns its color and its direct
@@ -439,7 +684,7 @@ impl Querier {
     pub fn microquery(&mut self, vertex: VertexId, host: NodeId) -> (Color, Vec<VertexId>, Vec<VertexId>) {
         self.stats.microqueries += 1;
         let audit = self.audit(host);
-        let Some((graph, _)) = self.cache.get(&host) else {
+        let Some((graph, _)) = self.cache.get(&(host, audit.anchor_epoch)) else {
             return (Color::Yellow, Vec::new(), Vec::new());
         };
         match graph.vertex(&vertex) {
@@ -464,9 +709,10 @@ impl Querier {
         }
     }
 
-    /// Locate the anchor vertex for a macroquery in the host node's subgraph.
-    fn locate_root(&mut self, query: &MacroQuery, host: NodeId) -> Option<VertexId> {
-        let graph = self.node_graph(host);
+    /// Locate the anchor vertex for a macroquery in the host node's subgraph
+    /// reconstructed over the audit window `at`.
+    fn locate_root(&mut self, query: &MacroQuery, host: NodeId, at: Option<Timestamp>) -> Option<VertexId> {
+        let graph = self.node_graph_at(host, at);
         let find_last = |pred: &dyn Fn(&VertexKind) -> bool| -> Option<VertexId> {
             graph
                 .vertices()
@@ -532,29 +778,47 @@ impl Querier {
         self.query(MacroQuery::Effects { tuple })
     }
 
-    /// Run a macroquery anchored at `host`, exploring at most `scope` hops
-    /// (None = unbounded).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use the fluent QueryBuilder instead, e.g. `querier.why_exists(tuple).at(host).run()`"
-    )]
-    pub fn macroquery(&mut self, query: MacroQuery, host: NodeId, scope: Option<usize>) -> QueryResult {
-        self.run_macroquery(query, host, scope)
+    /// The macroquery processor (§5.1), with window widening: the first pass
+    /// anchors every audit on the checkpoint matching the query's time of
+    /// interest (latest, for non-historical queries), so only suffix segments
+    /// are fetched, verified and replayed.  If the anchor vertex cannot be
+    /// located in that window — e.g. a dynamic `why_disappeared` about an
+    /// event sealed into an earlier epoch — the query is retried once over
+    /// the widest retained window (the oldest anchorable checkpoint, or
+    /// genesis while the full log is retained).
+    fn run_macroquery(&mut self, query: MacroQuery, host: NodeId, scope: Option<usize>) -> QueryResult {
+        let at = query_time(&query);
+        let mut narrow = self.run_macroquery_at(query.clone(), host, scope, at);
+        if narrow.root.is_some() || at.is_some() {
+            return narrow;
+        }
+        let mut widened = self.run_macroquery_at(query, host, scope, Some(0));
+        if widened.root.is_none() {
+            // Still unanswered: report the combined cost of both passes.
+            merge_stats(&mut narrow.stats, &widened.stats);
+            return narrow;
+        }
+        merge_stats(&mut widened.stats, &narrow.stats);
+        widened
     }
 
-    /// The macroquery processor (§5.1): locate the anchor, then iteratively
-    /// traverse, audit frontier hosts and merge their subgraphs until
-    /// fixpoint or scope exhaustion.
-    fn run_macroquery(&mut self, query: MacroQuery, host: NodeId, scope: Option<usize>) -> QueryResult {
-        let stats_before = self.stats;
+    /// One pass of the macroquery processor at a fixed audit window.
+    fn run_macroquery_at(
+        &mut self,
+        query: MacroQuery,
+        host: NodeId,
+        scope: Option<usize>,
+        at: Option<Timestamp>,
+    ) -> QueryResult {
+        let stats_before = self.stats_mark();
         let direction = match query {
             MacroQuery::Effects { .. } => Direction::Effects,
             _ => Direction::Causes,
         };
-        let root = self.locate_root(&query, host);
-        let mut merged = self.node_graph(host);
+        let root = self.locate_root(&query, host, at);
+        let mut merged = self.node_graph_at(host, at);
         let mut audits = BTreeMap::new();
-        audits.insert(host, self.audit(host));
+        audits.insert(host, self.audit_at(host, at));
 
         let Some(root) = root else {
             let delta = diff_stats(&self.stats, &stats_before);
@@ -591,23 +855,93 @@ impl Querier {
                 };
             }
             for h in new_hosts {
-                audits.insert(h, self.audit(h));
-                let subgraph = self.node_graph(h);
+                audits.insert(h, self.audit_at(h, at));
+                let subgraph = self.node_graph_at(h, at);
                 merged = merged.union(&subgraph);
             }
         }
     }
 }
 
-fn diff_stats(after: &QueryStats, before: &QueryStats) -> QueryStats {
+/// The time of interest of a macroquery: historical queries anchor their
+/// audits at the checkpoint at-or-before the queried instant; all other
+/// queries audit against the latest checkpoint.
+fn query_time(query: &MacroQuery) -> Option<Timestamp> {
+    match query {
+        MacroQuery::WhyExistedAt { at, .. } => Some(*at),
+        _ => None,
+    }
+}
+
+/// Fold the cost of an earlier (unsuccessful) pass into a query's stats.
+fn merge_stats(into: &mut QueryStats, other: &QueryStats) {
+    into.log_bytes += other.log_bytes;
+    into.authenticator_bytes += other.authenticator_bytes;
+    into.checkpoint_bytes += other.checkpoint_bytes;
+    into.snapshot_bytes += other.snapshot_bytes;
+    into.auth_check_seconds += other.auth_check_seconds;
+    into.replay_seconds += other.replay_seconds;
+    into.audits += other.audits;
+    into.microqueries += other.microqueries;
+    into.segments_fetched += other.segments_fetched;
+    into.replayed_entries += other.replayed_entries;
+    into.skipped_entries += other.skipped_entries;
+    into.segment_bytes.extend(other.segment_bytes.iter().copied());
+}
+
+/// A cheap point-in-time snapshot of the cumulative counters: scalar copies
+/// plus a watermark into the append-only `segment_bytes` list, so taking a
+/// mark costs O(1) regardless of how much fetch history the querier has
+/// accumulated.
+#[derive(Clone, Copy)]
+struct StatsMark {
+    log_bytes: u64,
+    authenticator_bytes: u64,
+    checkpoint_bytes: u64,
+    snapshot_bytes: u64,
+    auth_check_seconds: f64,
+    replay_seconds: f64,
+    audits: u64,
+    microqueries: u64,
+    segments_fetched: u64,
+    replayed_entries: u64,
+    skipped_entries: u64,
+    segment_mark: usize,
+}
+
+impl Querier {
+    fn stats_mark(&self) -> StatsMark {
+        StatsMark {
+            log_bytes: self.stats.log_bytes,
+            authenticator_bytes: self.stats.authenticator_bytes,
+            checkpoint_bytes: self.stats.checkpoint_bytes,
+            snapshot_bytes: self.stats.snapshot_bytes,
+            auth_check_seconds: self.stats.auth_check_seconds,
+            replay_seconds: self.stats.replay_seconds,
+            audits: self.stats.audits,
+            microqueries: self.stats.microqueries,
+            segments_fetched: self.stats.segments_fetched,
+            replayed_entries: self.stats.replayed_entries,
+            skipped_entries: self.stats.skipped_entries,
+            segment_mark: self.stats.segment_bytes.len(),
+        }
+    }
+}
+
+fn diff_stats(after: &QueryStats, before: &StatsMark) -> QueryStats {
     QueryStats {
         log_bytes: after.log_bytes - before.log_bytes,
         authenticator_bytes: after.authenticator_bytes - before.authenticator_bytes,
         checkpoint_bytes: after.checkpoint_bytes - before.checkpoint_bytes,
+        snapshot_bytes: after.snapshot_bytes - before.snapshot_bytes,
         auth_check_seconds: after.auth_check_seconds - before.auth_check_seconds,
         replay_seconds: after.replay_seconds - before.replay_seconds,
         audits: after.audits - before.audits,
         microqueries: after.microqueries - before.microqueries,
+        segments_fetched: after.segments_fetched - before.segments_fetched,
+        replayed_entries: after.replayed_entries - before.replayed_entries,
+        skipped_entries: after.skipped_entries - before.skipped_entries,
+        segment_bytes: after.segment_bytes[before.segment_mark..].to_vec(),
     }
 }
 

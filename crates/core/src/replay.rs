@@ -1,4 +1,4 @@
-//! Deterministic replay of retrieved log segments (§5.5).
+//! Deterministic replay of retrieved log segments (§5.5, §5.6).
 //!
 //! The microquery module does not trust the contents of a log segment beyond
 //! what the hash chain and authenticator guarantee: it converts the segment
@@ -6,40 +6,53 @@
 //! machine with the graph construction algorithm.  Any divergence between
 //! what the node logged and what the correct machine would have done shows up
 //! as a red vertex.
+//!
+//! Replay comes in two shapes:
+//!
+//! * [`replay_segment`] — from genesis, over a single flattened segment.
+//! * [`replay_suffix`] — anchored at a verified epoch checkpoint: the
+//!   machine's state is [`StateMachine::restore`]d from the checkpoint's
+//!   snapshot, the graph is seeded with the checkpointed tuples, and only the
+//!   suffix segments after the checkpoint are replayed.
 
+use snp_crypto::keys::NodeId;
 use snp_crypto::Digest;
 use snp_datalog::StateMachine;
 use snp_graph::history::{Event, EventKind, History, Message, MessageBody};
 use snp_graph::vertex::Timestamp;
 use snp_graph::{GraphBuilder, ProvenanceGraph};
-use snp_log::entry::EntryKind;
+use snp_log::checkpoint::Checkpoint;
+use snp_log::entry::{EntryKind, LogEntry};
 use snp_log::log::LogSegment;
 use std::collections::BTreeMap;
 
-/// Convert a log segment into the node-local history it claims to describe.
+/// Convert a run of log entries into the node-local history they claim to
+/// describe.
 ///
 /// * `snd` entries become `Snd` events.
 /// * `rcv` entries become `Rcv` events, immediately followed by the `Snd` of
 ///   the acknowledgment (a correct node acknowledges right away, Appendix
 ///   A.3; the ack itself is not logged separately by the receiver).
-/// * `ack` entries become the `Rcv` of the acknowledgment.
+/// * `ack` entries become the `Rcv` of the acknowledgment (when the original
+///   send is part of the replayed run; acks of pre-checkpoint sends are
+///   skipped, their sends were already settled when the epoch sealed).
 /// * `ins` / `del` entries become `Ins` / `Del` events.
-pub fn history_from_segment(segment: &LogSegment) -> History {
+pub fn history_from_entries<'a>(node: NodeId, entries: impl IntoIterator<Item = &'a LogEntry>) -> History {
     let mut history = History::new();
     let mut sent: BTreeMap<Digest, Message> = BTreeMap::new();
     let mut ack_seq: u64 = 1_000_000; // synthetic sequence numbers for acks
-    for entry in &segment.entries {
+    for entry in entries {
         let t: Timestamp = entry.timestamp;
         match &entry.kind {
             EntryKind::Snd { message } => {
                 sent.insert(message.digest(), message.clone());
-                history.push(Event::new(t, segment.node, EventKind::Snd(message.clone())));
+                history.push(Event::new(t, node, EventKind::Snd(message.clone())));
             }
             EntryKind::Rcv { message, .. } => {
-                history.push(Event::new(t, segment.node, EventKind::Rcv(message.clone())));
+                history.push(Event::new(t, node, EventKind::Rcv(message.clone())));
                 let ack = Message::ack(message, t, ack_seq);
                 ack_seq += 1;
-                history.push(Event::new(t, segment.node, EventKind::Snd(ack)));
+                history.push(Event::new(t, node, EventKind::Snd(ack)));
             }
             EntryKind::Ack { of, .. } => {
                 // Reconstruct the acknowledgment we received for message `of`.
@@ -52,22 +65,80 @@ pub fn history_from_segment(segment: &LogSegment) -> History {
                         seq: ack_seq,
                     };
                     ack_seq += 1;
-                    history.push(Event::new(t, segment.node, EventKind::Rcv(ack)));
+                    history.push(Event::new(t, node, EventKind::Rcv(ack)));
                 }
             }
-            EntryKind::Ins { tuple } => history.push(Event::new(t, segment.node, EventKind::Ins(tuple.clone()))),
-            EntryKind::Del { tuple } => history.push(Event::new(t, segment.node, EventKind::Del(tuple.clone()))),
+            EntryKind::Ins { tuple } => history.push(Event::new(t, node, EventKind::Ins(tuple.clone()))),
+            EntryKind::Del { tuple } => history.push(Event::new(t, node, EventKind::Del(tuple.clone()))),
         }
     }
     history
 }
 
+/// Convert a log segment into the node-local history it claims to describe.
+pub fn history_from_segment(segment: &LogSegment) -> History {
+    history_from_entries(segment.node, &segment.entries)
+}
+
+/// Feed the primary-system *inputs* recorded in `entries` to `machine`:
+/// `ins` / `del` / `rcv` entries are inputs; `snd` / `ack` entries are
+/// outputs and acknowledgments that leave machine state untouched.  By
+/// determinism (assumption 6 of §5.2) this reproduces the machine state the
+/// node had after logging those entries — which is how the querier checks
+/// that a checkpoint's committed state is *reproducible* from the previous
+/// checkpoint rather than trusting the node's self-signed claim.
+pub fn apply_inputs<'a>(machine: &mut dyn StateMachine, entries: impl IntoIterator<Item = &'a LogEntry>) {
+    for entry in entries {
+        match &entry.kind {
+            EntryKind::Ins { tuple } => {
+                machine.handle(snp_datalog::SmInput::InsertBase(tuple.clone()));
+            }
+            EntryKind::Del { tuple } => {
+                machine.handle(snp_datalog::SmInput::DeleteBase(tuple.clone()));
+            }
+            EntryKind::Rcv { message, .. } => {
+                if let Some(delta) = message.as_delta() {
+                    machine.handle(snp_datalog::SmInput::Receive {
+                        from: message.from,
+                        delta: delta.clone(),
+                    });
+                }
+            }
+            EntryKind::Snd { .. } | EntryKind::Ack { .. } => {}
+        }
+    }
+}
+
 /// Replay a log segment through the node's expected state machine and return
 /// the reconstructed partition of the provenance graph.
 pub fn replay_segment(segment: &LogSegment, expected: Box<dyn StateMachine>, t_prop: Timestamp) -> ProvenanceGraph {
-    let history = history_from_segment(segment);
+    replay_suffix(segment.node, None, expected, std::slice::from_ref(segment), t_prop)
+}
+
+/// Replay a (possibly checkpoint-anchored) run of segments.
+///
+/// With `anchor = Some(checkpoint)`, `machine` must already be restored to
+/// the checkpointed state; the graph is seeded so that derivations and sends
+/// in the suffix can hang off pre-checkpoint tuples (their truncated
+/// provenance is vouched for by the verified checkpoint, which becomes the
+/// legitimate leaf of such explanations).
+pub fn replay_suffix(
+    node: NodeId,
+    anchor: Option<&Checkpoint>,
+    machine: Box<dyn StateMachine>,
+    segments: &[LogSegment],
+    t_prop: Timestamp,
+) -> ProvenanceGraph {
+    let history = history_from_entries(node, segments.iter().flat_map(|s| &s.entries));
     let mut builder = GraphBuilder::new(t_prop);
-    builder.register_machine(segment.node, expected);
+    if let Some(checkpoint) = anchor {
+        builder.seed_checkpoint(
+            node,
+            checkpoint.timestamp,
+            checkpoint.entries.iter().map(|e| (&e.tuple, e.appeared_at)),
+        );
+    }
+    builder.register_machine(node, machine);
     // A retrieved log prefix is complete up to the authenticator (log entries
     // for one event are appended atomically before the authenticator is
     // issued), so the history is quiescent: a send the expected machine

@@ -64,7 +64,16 @@ impl HashChain {
     /// the resulting head.  Used by verifiers that receive a log prefix and an
     /// authenticator and must check they match (§5.5).
     pub fn replay<'a>(entries: impl IntoIterator<Item = &'a [u8]>) -> Digest {
-        let mut head = Digest::ZERO;
+        Self::replay_from(Digest::ZERO, entries)
+    }
+
+    /// Recompute the chain over a *suffix* of a log, starting from a trusted
+    /// mid-chain head (the chain head recorded in a signed epoch checkpoint).
+    /// This is what makes auditing a suffix of history sound after older
+    /// segments have been truncated: the verifier anchors at the checkpoint's
+    /// head instead of `h_0 = 0`.
+    pub fn replay_from<'a>(start: Digest, entries: impl IntoIterator<Item = &'a [u8]>) -> Digest {
+        let mut head = start;
         for entry in entries {
             head = Self::link(head, entry);
         }
@@ -141,6 +150,29 @@ mod tests {
             }
             let prefix_head = HashChain::replay(entries[..=cut].iter().map(|v| v.as_slice()));
             assert_eq!(prefix_head, heads[cut], "seed={seed}");
+        }
+    }
+
+    /// Suffix verification: replaying a suffix from the head of the prefix
+    /// before it reproduces the full-chain head — the anchoring property that
+    /// checkpoint-based truncation relies on.
+    #[test]
+    fn prop_suffix_replay_from_midchain_head() {
+        for seed in 0..32u64 {
+            let entries = random_entries(seed, 2 + (seed as usize % 17), 32);
+            let cut = 1 + (seed as usize * 5) % (entries.len() - 1);
+            let full = HashChain::replay(entries.iter().map(|v| v.as_slice()));
+            let anchor = HashChain::replay(entries[..cut].iter().map(|v| v.as_slice()));
+            let suffix = HashChain::replay_from(anchor, entries[cut..].iter().map(|v| v.as_slice()));
+            assert_eq!(suffix, full, "seed={seed}, cut={cut}");
+            // A tampered suffix entry breaks the reconstruction.
+            let mut bad = entries[cut..].to_vec();
+            bad[0].push(0xFF);
+            assert_ne!(
+                HashChain::replay_from(anchor, bad.iter().map(|v| v.as_slice())),
+                full,
+                "seed={seed}"
+            );
         }
     }
 

@@ -17,6 +17,9 @@
 //!   *localized*: all body atoms of a rule must live on one node, and if the
 //!   head lives elsewhere the derived tuple is shipped there as a `+τ` / `-τ`
 //!   notification, exactly as in the paper's MinCost example (Figure 2).
+//! * [`snapshot`] — the deterministic byte codec machines use to serialize
+//!   their complete state when a log epoch is sealed, so queriers can restore
+//!   the state and replay only the suffix after a checkpoint (§5.6).
 //!
 //! The provenance of every derivation (rule id plus instantiated body tuples)
 //! is reported on the outputs, which is what `snp-graph`'s graph construction
@@ -29,12 +32,14 @@ pub mod engine;
 pub mod machine;
 pub mod parser;
 pub mod rule;
+pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
 pub use engine::{Engine, RuleSet};
 pub use machine::{Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
 pub use rule::{AggKind, Atom, Constraint, Expr, Rule, RuleKind, Term};
+pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use snp_crypto::keys::NodeId;
 pub use tuple::Tuple;
 pub use value::Value;

@@ -156,6 +156,32 @@ pub trait StateMachine: Send {
     /// Used for checkpointing (§5.6) and state inspection in tests.
     fn current_tuples(&self) -> Vec<Tuple>;
 
+    /// Serialize the machine's *complete* state into a deterministic byte
+    /// snapshot, or `None` if the machine does not support snapshots.
+    ///
+    /// Snapshots are taken when a node seals a log epoch: the checkpoint that
+    /// closes the epoch commits to `hash(snapshot)`, and a querier later
+    /// [`StateMachine::restore`]s the snapshot into its own *expected*
+    /// machine to replay only the log suffix after the checkpoint.  Two
+    /// machines in the same state must produce byte-identical snapshots
+    /// (determinism, assumption 6 of §5.2), and the snapshot must cover every
+    /// bit of state that can influence future outputs — a partial snapshot
+    /// would make an honest node's suffix replay diverge and frame it.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Build a machine of this type whose state is loaded from `snapshot`.
+    ///
+    /// Called on the querier's *expected* (honest) machine, so only state —
+    /// never behavior — comes from the audited node.  Implementations must
+    /// reject malformed input instead of panicking: the bytes come from a
+    /// potentially Byzantine node.
+    fn restore(&self, snapshot: &[u8]) -> Result<Box<dyn StateMachine>, String> {
+        let _ = snapshot;
+        Err(format!("{} does not support snapshot restore", self.name()))
+    }
+
     /// A short name identifying the machine type (for diagnostics).
     fn name(&self) -> String {
         "state-machine".to_string()

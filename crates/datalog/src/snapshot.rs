@@ -1,0 +1,297 @@
+//! Deterministic state-snapshot encoding (§5.6's checkpoints, epoch edition).
+//!
+//! When a node seals a log epoch it snapshots its state machine so that a
+//! querier can later *restore* the machine and replay only the log suffix
+//! after the checkpoint instead of the whole history.  The snapshot must be
+//!
+//! * **deterministic** — two machines in the same state produce byte-identical
+//!   snapshots, so the digest committed in the (signed) checkpoint is
+//!   reproducible, and
+//! * **self-contained data** — the querier loads the bytes into its own
+//!   *expected* machine; a compromised node can only forge state, never code.
+//!
+//! This module provides the little-endianless (everything big-endian) byte
+//! writer/reader both the rule [`crate::engine::Engine`] and the hand-written
+//! application machines use, plus decoding for [`Value`] and [`Tuple`]
+//! (their stable `encode` form already existed for hashing).
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use snp_crypto::keys::NodeId;
+
+/// Error produced while decoding a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotError(pub String);
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed snapshot: {}", self.0)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+fn err(what: &str) -> SnapshotError {
+    SnapshotError(what.to_string())
+}
+
+/// Append-only snapshot writer.
+#[derive(Default)]
+pub struct SnapshotWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Start an empty snapshot.
+    pub fn new() -> SnapshotWriter {
+        SnapshotWriter::default()
+    }
+
+    /// Finish and return the bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Write a u64.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write an i64.
+    pub fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a u32.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a single byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Write a node id.
+    pub fn node(&mut self, n: NodeId) {
+        self.buf.extend_from_slice(&n.to_bytes());
+    }
+
+    /// Write a length-prefixed string.
+    pub fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Write a value (tagged, same encoding as [`Value::encode`]).
+    pub fn value(&mut self, v: &Value) {
+        v.encode(&mut self.buf);
+    }
+
+    /// Write a tuple (same encoding as [`Tuple::encode`]).
+    pub fn tuple(&mut self, t: &Tuple) {
+        self.buf.extend_from_slice(&t.encode());
+    }
+}
+
+/// Cursor-based snapshot reader; every method fails cleanly on truncated or
+/// malformed input (snapshots cross a trust boundary).
+pub struct SnapshotReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapshotReader<'a> {
+    /// Read from `buf`.
+    pub fn new(buf: &'a [u8]) -> SnapshotReader<'a> {
+        SnapshotReader { buf, pos: 0 }
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    /// Fail unless the whole input was consumed (trailing garbage in a
+    /// snapshot is as suspicious as a short read).
+    pub fn expect_exhausted(&self) -> Result<(), SnapshotError> {
+        if self.is_exhausted() {
+            Ok(())
+        } else {
+            Err(err("trailing bytes"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| err("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(err("unexpected end of input"));
+        }
+        let slice = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// Read a u64.
+    pub fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a length field and sanity-check it against the remaining input so
+    /// a forged snapshot cannot trigger huge allocations.
+    pub fn read_len(&mut self) -> Result<usize, SnapshotError> {
+        let n = self.u64()?;
+        if n > self.buf.len() as u64 {
+            return Err(err("length exceeds input"));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read an i64.
+    pub fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_be_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Read a u32.
+    pub fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_be_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a node id.
+    pub fn node(&mut self) -> Result<NodeId, SnapshotError> {
+        Ok(NodeId(self.u64()?))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapshotError> {
+        let n = self.read_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err("invalid utf-8"))
+    }
+
+    /// Read a tagged [`Value`].
+    pub fn value(&mut self) -> Result<Value, SnapshotError> {
+        match self.u8()? {
+            0x01 => Ok(Value::Int(self.i64()?)),
+            0x02 => Ok(Value::Str(self.str_body()?)),
+            0x03 => Ok(Value::Node(self.node()?)),
+            0x04 => {
+                let n = self.read_len()?;
+                let mut items = Vec::with_capacity(n);
+                for _ in 0..n {
+                    items.push(self.value()?);
+                }
+                Ok(Value::List(items))
+            }
+            tag => Err(err(&format!("unknown value tag {tag:#x}"))),
+        }
+    }
+
+    fn str_body(&mut self) -> Result<String, SnapshotError> {
+        let n = self.read_len()?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| err("invalid utf-8"))
+    }
+
+    /// Read a [`Tuple`] (inverse of [`Tuple::encode`]).
+    pub fn tuple(&mut self) -> Result<Tuple, SnapshotError> {
+        let relation = self.str()?;
+        let location = self.node()?;
+        let argc = self.read_len()?;
+        let mut args = Vec::with_capacity(argc);
+        for _ in 0..argc {
+            args.push(self.value()?);
+        }
+        Ok(Tuple {
+            relation,
+            location,
+            args,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tuple() -> Tuple {
+        Tuple::new(
+            "route",
+            NodeId(3),
+            vec![
+                Value::Int(-7),
+                Value::str("10.0.0.0/8"),
+                Value::node(9u64),
+                Value::List(vec![Value::node(1u64), Value::node(2u64)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn tuple_roundtrips_through_its_stable_encoding() {
+        let t = sample_tuple();
+        let mut w = SnapshotWriter::new();
+        w.tuple(&t);
+        let bytes = w.finish();
+        assert_eq!(bytes, t.encode(), "writer must reuse the stable encoding");
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(r.tuple().unwrap(), t);
+        assert!(r.expect_exhausted().is_ok());
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        let mut w = SnapshotWriter::new();
+        w.u64(42);
+        w.i64(-42);
+        w.u32(7);
+        w.u8(255);
+        w.node(NodeId(5));
+        w.str("hello");
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u8().unwrap(), 255);
+        assert_eq!(r.node().unwrap(), NodeId(5));
+        assert_eq!(r.str().unwrap(), "hello");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncated_input_fails_cleanly() {
+        let mut w = SnapshotWriter::new();
+        w.tuple(&sample_tuple());
+        let bytes = w.finish();
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            let mut r = SnapshotReader::new(&bytes[..cut]);
+            assert!(r.tuple().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_without_allocation() {
+        let mut w = SnapshotWriter::new();
+        w.u64(u64::MAX);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        assert!(r.read_len().is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut w = SnapshotWriter::new();
+        w.u8(1);
+        w.u8(2);
+        let bytes = w.finish();
+        let mut r = SnapshotReader::new(&bytes);
+        r.u8().unwrap();
+        assert!(r.expect_exhausted().is_err());
+    }
+}

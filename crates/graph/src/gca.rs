@@ -105,6 +105,39 @@ impl GraphBuilder {
         self.quiescent = quiescent;
     }
 
+    /// Seed the graph with the tuple state recorded by a verified epoch
+    /// checkpoint sealed at `sealed_at` (§5.6): each `(tuple, appeared_at)`
+    /// gets a black `checkpoint` leaf feeding an open `exist` interval, so
+    /// that suffix replay can hang derivations and sends off pre-checkpoint
+    /// state without reconstructing its (truncated) provenance.
+    pub fn seed_checkpoint<'a>(
+        &mut self,
+        node: NodeId,
+        sealed_at: Timestamp,
+        entries: impl IntoIterator<Item = (&'a Tuple, Timestamp)>,
+    ) {
+        for (tuple, appeared_at) in entries {
+            let leaf = self.graph.upsert(Vertex::new(
+                VertexKind::Checkpoint {
+                    node,
+                    tuple: tuple.clone(),
+                    time: sealed_at,
+                },
+                Color::Black,
+            ));
+            let exist = self.graph.upsert(Vertex::new(
+                VertexKind::Exist {
+                    node,
+                    tuple: tuple.clone(),
+                    from: appeared_at,
+                    until: None,
+                },
+                Color::Black,
+            ));
+            self.graph.add_edge(leaf, exist);
+        }
+    }
+
     /// Run the algorithm over a full history and return the graph.
     pub fn build(mut self, history: &History) -> ProvenanceGraph {
         for event in history.events() {
@@ -878,6 +911,48 @@ mod tests {
         builder.handle_extra_msg(&extra);
         let graph = builder.finish();
         assert!(graph.faulty_nodes().contains(&NodeId(1)));
+    }
+
+    #[test]
+    fn checkpoint_seeded_replay_closes_seeded_intervals_without_red() {
+        // A suffix replay: the checkpoint recorded link(1,2) (appeared at 40,
+        // sealed at 100) and the restored machine already holds it, so the
+        // suffix history contains only the later delete.
+        let ruleset = RuleSet::new(vec![Rule::standard(
+            "R1",
+            Atom::new("reach", Term::var("X"), vec![Term::var("Y")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y")])],
+            vec![],
+        )])
+        .unwrap();
+        let mut machine = Engine::new(NodeId(1), ruleset);
+        machine.handle(snp_datalog::SmInput::InsertBase(link(1, 2)));
+        let mut builder = GraphBuilder::new(1_000_000);
+        let reach_tuple = Tuple::new("reach", NodeId(1), vec![Value::node(2u64)]);
+        builder.seed_checkpoint(NodeId(1), 100, [(&link(1, 2), 40u64), (&reach_tuple, 40u64)]);
+        builder.register_machine(NodeId(1), Box::new(machine));
+        let history = History::from_events(vec![Event::new(150, NodeId(1), EventKind::Del(link(1, 2)))]);
+        let graph = builder.build(&history);
+        assert!(graph.faulty_nodes().is_empty(), "clean suffix must stay clean");
+        // The seeded exist interval was closed by the delete.
+        let closed = graph.vertices().any(|(_, v)| {
+            matches!(&v.kind, VertexKind::Exist { tuple, from, until, .. }
+                if *tuple == link(1, 2) && *from == 40 && *until == Some(150))
+        });
+        assert!(closed, "delete must close the checkpoint-seeded exist interval");
+        // The underivation of reach hangs off checkpoint-seeded state, and the
+        // explanation of the disappearance bottoms out at checkpoint leaves.
+        let disappear = graph
+            .vertices()
+            .find(|(_, v)| matches!(&v.kind, VertexKind::Disappear { tuple, .. } if *tuple == reach_tuple))
+            .map(|(id, _)| *id)
+            .expect("reach must be underived");
+        let explanation = crate::query::explain(&graph, disappear);
+        assert!(crate::query::is_legitimate_explanation(&graph, &explanation));
+        let roots = crate::query::root_causes(&graph, &explanation);
+        assert!(roots
+            .iter()
+            .any(|id| matches!(graph.vertex(id).map(|v| &v.kind), Some(VertexKind::Delete { .. }))));
     }
 
     #[test]

@@ -37,6 +37,10 @@ pub fn edge_allowed(from: &str, to: &str) -> bool {
             // the appearance of the new tuple to the disappearance of the old.
             | ("disappear", "appear")
             | ("appear", "disappear")
+            // §5.6 checkpoint-anchored replay: a verified checkpoint vouches
+            // for pre-checkpoint state, standing in for its truncated
+            // appearance provenance.
+            | ("checkpoint", "exist")
     )
 }
 

@@ -109,7 +109,10 @@ pub fn affected(graph: &ProvenanceGraph, root: VertexId) -> Traversal {
 /// The leaves of an explanation: vertices with no further causes.  For a
 /// legitimate explanation these are base-tuple `insert` / `delete` vertices
 /// (§3.2: "The leaves of this subtree consist of base tuple insertions or
-/// deletions, which require no further explanation").
+/// deletions, which require no further explanation") or `checkpoint`
+/// vertices, whose pre-checkpoint provenance was truncated but whose
+/// existence at the epoch boundary is vouched for by a verified signed
+/// checkpoint (§5.6).
 pub fn root_causes(graph: &ProvenanceGraph, traversal: &Traversal) -> Vec<VertexId> {
     traversal
         .depths
@@ -132,7 +135,7 @@ pub fn is_legitimate_explanation(graph: &ProvenanceGraph, traversal: &Traversal)
     root_causes(graph, traversal).iter().all(|id| {
         matches!(
             graph.vertex(id).map(|v| &v.kind),
-            Some(VertexKind::Insert { .. }) | Some(VertexKind::Delete { .. })
+            Some(VertexKind::Insert { .. }) | Some(VertexKind::Delete { .. }) | Some(VertexKind::Checkpoint { .. })
         )
     })
 }

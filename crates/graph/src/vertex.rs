@@ -45,7 +45,8 @@ impl fmt::Display for Color {
     }
 }
 
-/// The twelve vertex kinds of the SNP provenance graph (§3.2).
+/// The twelve vertex kinds of the SNP provenance graph (§3.2), plus the
+/// `checkpoint` leaf produced by checkpoint-anchored suffix replay (§5.6).
 ///
 /// `exist` and `believe` vertices carry an interval whose upper end is `None`
 /// while the tuple still exists / is still believed; all other kinds carry a
@@ -178,6 +179,19 @@ pub enum VertexKind {
         /// End of the interval; `None` while the belief still holds.
         until: Option<Timestamp>,
     },
+    /// `tuple` was recorded on `node` by a verified epoch checkpoint sealed
+    /// at `time` (§5.6).  Checkpoint vertices are the legitimate leaves of
+    /// explanations produced by checkpoint-anchored suffix replay: the
+    /// tuple's pre-checkpoint provenance was truncated, but its existence at
+    /// the boundary is vouched for by the node's signed Merkle checkpoint.
+    Checkpoint {
+        /// Hosting node.
+        node: NodeId,
+        /// The checkpointed tuple.
+        tuple: Tuple,
+        /// Local time the checkpoint was sealed.
+        time: Timestamp,
+    },
 }
 
 impl VertexKind {
@@ -195,7 +209,8 @@ impl VertexKind {
             | VertexKind::Receive { node, .. }
             | VertexKind::BelieveAppear { node, .. }
             | VertexKind::BelieveDisappear { node, .. }
-            | VertexKind::Believe { node, .. } => *node,
+            | VertexKind::Believe { node, .. }
+            | VertexKind::Checkpoint { node, .. } => *node,
         }
     }
 
@@ -211,7 +226,8 @@ impl VertexKind {
             | VertexKind::Underive { tuple, .. }
             | VertexKind::BelieveAppear { tuple, .. }
             | VertexKind::BelieveDisappear { tuple, .. }
-            | VertexKind::Believe { tuple, .. } => tuple,
+            | VertexKind::Believe { tuple, .. }
+            | VertexKind::Checkpoint { tuple, .. } => tuple,
             VertexKind::Send { delta, .. } | VertexKind::Receive { delta, .. } => &delta.tuple,
         }
     }
@@ -229,7 +245,8 @@ impl VertexKind {
             | VertexKind::Send { time, .. }
             | VertexKind::Receive { time, .. }
             | VertexKind::BelieveAppear { time, .. }
-            | VertexKind::BelieveDisappear { time, .. } => *time,
+            | VertexKind::BelieveDisappear { time, .. }
+            | VertexKind::Checkpoint { time, .. } => *time,
             VertexKind::Exist { from, .. } | VertexKind::Believe { from, .. } => *from,
         }
     }
@@ -250,6 +267,7 @@ impl VertexKind {
             VertexKind::BelieveAppear { .. } => "believe-appear",
             VertexKind::BelieveDisappear { .. } => "believe-disappear",
             VertexKind::Believe { .. } => "believe",
+            VertexKind::Checkpoint { .. } => "checkpoint",
         }
     }
 

@@ -8,11 +8,15 @@
 //!   their stable byte encoding.
 //! * [`auth`] — authenticators `a_k := (t_k, h_k, σ_i(t_k || h_k))` and the
 //!   per-peer authenticator sets `U_{i,j}`.
-//! * [`log`] — the append-only [`log::SecureLog`], log segments, and segment
-//!   verification against an authenticator (the `retrieve` primitive's
-//!   integrity check).
-//! * [`checkpoint`] — periodic state checkpoints committed to with a Merkle
-//!   root so that queriers can verify partial checkpoints (§5.6, §7.7).
+//! * [`log`] — the epoch-segmented append-only [`log::SecureLog`]: sealed
+//!   [`log::LogSegment`]s keyed by epoch, flat-segment verification against
+//!   an authenticator (the `retrieve` primitive's integrity check), suffix
+//!   verification anchored at a signed checkpoint, and the
+//!   [`log::SecureLog::retain_epochs`] truncation policy.
+//! * [`checkpoint`] — signed epoch checkpoints committing to the node's tuple
+//!   state, its machine-snapshot digest and the chain head with a Merkle
+//!   root, so that queriers can verify partial checkpoints and replay only
+//!   the suffix after a checkpoint (§5.6, §7.7).
 //! * [`batch`] — the Nagle-style message batching optimization (`Tbatch`,
 //!   §5.6) that trades latency for fewer signatures.
 
@@ -26,7 +30,7 @@ pub mod entry;
 pub mod log;
 
 pub use auth::{Authenticator, AuthenticatorSet};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{Checkpoint, CheckpointEntry, PartialCheckpoint};
 pub use entry::{EntryKind, LogEntry};
-pub use log::{LogSegment, LogStats, SecureLog};
+pub use log::{chain_span, verify_suffix, LogSegment, LogStats, SecureLog, SegmentError};
 pub use snp_crypto::keys::NodeId;

@@ -1,8 +1,7 @@
 //! Integration tests for the unified deployment API: `Application` +
 //! `DeploymentBuilder` + the fluent `QueryBuilder`, including the behaviours
 //! the old `Testbed` wiring could not express (builder defaults, audit-cache
-//! reuse across repeated queries) and the deprecated shims kept for one
-//! release.
+//! reuse across repeated queries, epoch-sealed logs).
 
 use snp::apps::mincost::{self, best_cost, link, MinCost};
 use snp::core::deploy::Deployment;
@@ -120,44 +119,50 @@ fn repeated_queries_hit_the_audit_cache() {
     assert_eq!(third.stats.audits, 0, "no-op runs must not invalidate the cache");
 }
 
-/// The deprecated `Testbed` / `add_node` / `macroquery` shims still produce
-/// the same answers as the new API.
+/// With epoch sealing enabled, a query on a sealed deployment anchors its
+/// audits at checkpoints, replays only the suffix, and still answers
+/// legitimately — and overlapping queries share the per-(node, epoch) cache.
 #[test]
-#[allow(deprecated)]
-fn deprecated_shims_still_answer_queries() {
-    use snp::apps::Testbed;
-    use snp::core::query::MacroQuery;
-    use snp::datalog::Engine;
-    use snp::sim::NetworkConfig;
+fn epoch_sealed_deployment_answers_from_checkpoints() {
+    use snp::sim::SimDuration;
 
-    let mut tb = Testbed::new(NetworkConfig::default(), 42, 6, true);
-    for node in [mincost::A, mincost::B, mincost::C, mincost::D, mincost::E] {
-        tb.add_node(
-            node,
-            Box::new(Engine::new(node, mincost::mincost_rules())),
-            Box::new(Engine::new(node, mincost::mincost_rules())),
-        );
+    let mut deployment = snp::core::Deployment::builder()
+        .seed(42)
+        .app(snp::apps::mincost::MinCost::example())
+        .epoch_length(SimDuration::from_secs(5))
+        .build();
+    deployment.run_until(SimTime::from_secs(30));
+    for handle in deployment.handles.values() {
+        assert!(handle.with(|n| n.current_epoch()) >= 5, "epochs must have rolled");
     }
-    for (i, (x, y, cost)) in mincost::example_topology().into_iter().enumerate() {
-        let at = SimTime::from_millis(10 + i as u64);
-        tb.insert_at(at, x, link(x, y, cost));
-        tb.insert_at(at, y, link(y, x, cost));
+    let result = deployment
+        .querier
+        .why_exists(best_cost(mincost::C, mincost::D, 5))
+        .run();
+    assert!(result.is_legitimate(), "{}", result.render());
+    // Every audit anchored at a checkpoint and skipped the sealed prefix.
+    for audit in result.audits.values() {
+        assert!(audit.anchor_epoch.is_some(), "audit of {} not anchored", audit.node);
     }
-    tb.run_until(SimTime::from_secs(30));
-    let old_style = tb.querier.macroquery(
-        MacroQuery::WhyExists {
-            tuple: best_cost(mincost::C, mincost::D, 5),
-        },
-        mincost::C,
-        None,
+    assert!(
+        result.stats.skipped_entries > 0,
+        "anchored replay must skip pre-checkpoint entries"
     );
-    assert!(old_style.is_legitimate(), "{}", old_style.render());
+    assert_eq!(result.stats.segments_fetched as usize, result.stats.segment_bytes.len());
 
-    let mut new_style = mincost::build_scenario(true, 42);
-    new_style.run_until(SimTime::from_secs(30));
-    let new_result = new_style.querier.why_exists(best_cost(mincost::C, mincost::D, 5)).run();
-    assert_eq!(old_style.root, new_result.root, "shim and builder must agree");
-    assert_eq!(old_style.len(), new_result.len());
+    // A different overlapping query on the quiescent system shares the
+    // per-(node, epoch) audit cache: hosts audited by the first query are not
+    // re-audited, only genuinely new hosts are.
+    let first_hosts: std::collections::BTreeSet<_> = result.audits.keys().copied().collect();
+    let overlapping = deployment
+        .querier
+        .why_exists(best_cost(mincost::B, mincost::D, 3))
+        .run();
+    let new_hosts = overlapping.audits.keys().filter(|h| !first_hosts.contains(h)).count() as u64;
+    assert_eq!(
+        overlapping.stats.audits, new_hosts,
+        "audits of hosts shared with the first query must come from the cache"
+    );
 }
 
 /// `.scope(n)` bounds exploration exactly like the old positional argument.
