@@ -162,6 +162,7 @@ pub struct DeploymentBuilder {
     secure: bool,
     epoch_length: Option<SimDuration>,
     retain_epochs: Option<usize>,
+    query_threads: Option<usize>,
     apps: Vec<Box<dyn Application>>,
     byzantine: Vec<(NodeId, ByzantineConfig)>,
     proxy: Vec<(NodeId, usize)>,
@@ -197,6 +198,7 @@ impl Default for DeploymentBuilder {
             secure: true,
             epoch_length: None,
             retain_epochs: None,
+            query_threads: None,
             apps: Vec::new(),
             byzantine: Vec::new(),
             proxy: Vec::new(),
@@ -257,6 +259,17 @@ impl DeploymentBuilder {
     /// Figure 6's truncation series).  Requires an epoch length.
     pub fn retain_epochs(mut self, k: usize) -> DeploymentBuilder {
         self.retain_epochs = Some(k);
+        self
+    }
+
+    /// Execute the querier's audit plans on `threads` worker threads
+    /// (default: 1 = serial).  The environment variable `SNP_QUERY_THREADS`
+    /// overrides whatever the builder configures, so an experiment can be
+    /// re-run parallel without code changes.  Parallel and serial queries
+    /// produce byte-identical results and stats — only the measured
+    /// `*_seconds` timing fields differ.
+    pub fn query_threads(mut self, threads: usize) -> DeploymentBuilder {
+        self.query_threads = Some(threads);
         self
     }
 
@@ -373,8 +386,24 @@ impl DeploymentBuilder {
         if let Some(k) = self.retain_epochs {
             deployment.set_retain_epochs(k);
         }
+        let threads = std::env::var("SNP_QUERY_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .or(self.query_threads)
+            .unwrap_or(1);
+        deployment.querier.set_query_threads(threads);
         deployment
     }
+}
+
+/// How much of the querier's audit cache a node reconfiguration staled.
+enum Staleness {
+    /// One node now answers `retrieve` differently (its behaviour or
+    /// accounting changed): drop that node's entries — every anchor epoch.
+    Node(NodeId),
+    /// Every node's anchor-epoch layout changed (epoch cadence or retention
+    /// reconfigured): nothing cached can be trusted to be re-keyable.
+    All,
 }
 
 /// A complete experimental setup: simulator, node handles and a querier.
@@ -419,6 +448,20 @@ impl Deployment {
         handle
     }
 
+    /// The single eviction funnel every mutating knob goes through: a node
+    /// that was reconfigured while the simulation stood still answers
+    /// `retrieve` differently than when its cached audit was taken, so the
+    /// stale entries must be dropped — *all* of the node's anchor epochs,
+    /// not just the genesis one.  Funneling the knobs through one helper
+    /// keeps them from drifting apart (historically each hand-rolled its own
+    /// eviction, and `set_epoch_length` forgot to).
+    fn evict_stale_audits(&mut self, staleness: Staleness) {
+        match staleness {
+            Staleness::Node(id) => self.querier.invalidate(id),
+            Staleness::All => self.querier.clear_cache(),
+        }
+    }
+
     /// Configure Byzantine behaviour on a node.
     /// Panics if `id` is not a deployed node — a typo'd id would otherwise
     /// silently disable the fault injection an experiment depends on.
@@ -428,9 +471,7 @@ impl Deployment {
             .get(&id)
             .unwrap_or_else(|| panic!("byzantine config for undeployed node {id}"));
         handle.with(|n| n.set_byzantine(config));
-        // The node now answers retrieve differently even though the
-        // simulation has not advanced; a cached audit would be stale.
-        self.querier.invalidate(id);
+        self.evict_stale_audits(Staleness::Node(id));
     }
 
     /// Charge `bytes` of proxy re-encoding overhead per outgoing message on a
@@ -442,19 +483,17 @@ impl Deployment {
             .get(&id)
             .unwrap_or_else(|| panic!("proxy overhead for undeployed node {id}"));
         handle.with(|n| n.proxy_overhead_per_message = bytes);
-        // The node's traffic accounting — and with it the byte counts a
-        // future audit reports — changed without the simulation advancing;
-        // a cached audit would be stale (same staleness bug as the byzantine
-        // knob, other knob).
-        self.querier.invalidate(id);
+        self.evict_stale_audits(Staleness::Node(id));
     }
 
     /// Seal a log epoch on every node each `interval_micros` of simulated
-    /// time (§5.6's checkpoint cadence).
+    /// time (§5.6's checkpoint cadence).  Changes which epoch future audits
+    /// anchor on, so every cached audit is evicted.
     pub fn set_epoch_length(&mut self, interval_micros: u64) {
         for handle in self.handles.values() {
             handle.with(|n| n.set_epoch_length(interval_micros));
         }
+        self.evict_stale_audits(Staleness::All);
     }
 
     /// Alias for [`Deployment::set_epoch_length`], named after what the
@@ -465,10 +504,13 @@ impl Deployment {
 
     /// Keep the entries of at most `k` sealed epochs on every node (§5.6's
     /// truncation; checkpoints are kept so tamper evidence survives).
+    /// Changes which windows future audits can anchor on, so every cached
+    /// audit is evicted.
     pub fn set_retain_epochs(&mut self, k: usize) {
         for handle in self.handles.values() {
             handle.with(|n| n.set_retain_epochs(k));
         }
+        self.evict_stale_audits(Staleness::All);
     }
 
     /// Apply a workload event to the schedule.
@@ -738,6 +780,37 @@ mod tests {
         assert!(
             deployment.querier.stats.audits > audits_before,
             "proxy reconfiguration must evict the cached audit"
+        );
+    }
+
+    #[test]
+    fn query_threads_reach_the_querier() {
+        let deployment = Deployment::builder().app(Pair).query_threads(4).build();
+        // The environment override takes precedence when set; the test
+        // environment does not set it, so the builder value wins.
+        if std::env::var("SNP_QUERY_THREADS").is_err() {
+            assert_eq!(deployment.querier.query_threads(), 4);
+        }
+        let default = Deployment::builder().app(Pair).build();
+        if std::env::var("SNP_QUERY_THREADS").is_err() {
+            assert_eq!(default.querier.query_threads(), 1, "serial by default");
+        }
+    }
+
+    #[test]
+    fn epoch_length_change_invalidates_cached_audits() {
+        let mut deployment = Deployment::builder().seed(3).app(Pair).build();
+        deployment.run_until(SimTime::from_secs(2));
+        // Warm the cache while no epochs are sealed (genesis-anchored).
+        deployment.querier.audit(NodeId(1));
+        let audits_before = deployment.querier.stats.audits;
+        // Reconfiguring the cadence changes which epoch future audits anchor
+        // on; serving the stale genesis-keyed entry would be wrong.
+        deployment.set_epoch_length(500_000);
+        deployment.querier.audit(NodeId(1));
+        assert!(
+            deployment.querier.stats.audits > audits_before,
+            "epoch cadence change must evict cached audits"
         );
     }
 

@@ -19,7 +19,11 @@
 //!   its partition of the provenance graph (§5.5).
 //! * [`query`] — the microquery module and the macroquery processor
 //!   (causal, historical and dynamic queries with a scope parameter),
-//!   including the per-query cost accounting used by Figure 8.
+//!   including the per-query cost accounting used by Figure 8.  Structured
+//!   as a plan → parallel-execute → deterministic-merge pipeline: each
+//!   expansion wave is an [`query::AuditPlan`] of independent per-node
+//!   units, executed serially or on a scoped [`query::AuditPool`]
+//!   (`query_threads`), with byte-identical results either way.
 //! * [`evidence`] — the formal evidence/view model of Appendix C, used by the
 //!   property tests for monotonicity, accuracy and completeness.
 //! * [`fault`] — Byzantine fault injection knobs used by the attack
@@ -42,6 +46,9 @@ pub mod wire;
 pub use deploy::{AppNode, Application, Deployment, DeploymentBuilder, WorkloadEvent, WorkloadOp};
 pub use fault::ByzantineConfig;
 pub use node::{RetrieveResponse, SnoopyHandle, SnoopyNode, OPERATOR};
-pub use query::{MacroQuery, Querier, QueryBuilder, QueryResult, QueryStats, SegmentFetch};
+pub use query::{
+    AuditPlan, AuditPool, AuditUnit, MacroQuery, NodeAudit, Querier, QueryBuilder, QueryResult, QueryStats,
+    SegmentFetch,
+};
 pub use snp_crypto::keys::NodeId;
 pub use wire::SnoopyWire;

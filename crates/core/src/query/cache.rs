@@ -1,0 +1,150 @@
+//! The sharded audit cache.
+//!
+//! §5.6: "the querier can cache previously retrieved log segments … and even
+//! previously regenerated provenance graphs".  Entries are keyed per
+//! `(node, anchor epoch)` so quiescent re-queries and overlapping queries
+//! share verified evidence while queries anchored at different checkpoints
+//! stay apart.
+//!
+//! The cache is sharded behind `RwLock`s so that audit workers can look up
+//! and publish verified records concurrently: a worker auditing node *i*
+//! never contends with one auditing node *j* unless they hash to the same
+//! shard, and readers (microqueries, graph merges) never block each other.
+//! Records are reference-counted — handing a cached graph to a caller is an
+//! `Arc` clone, not a graph copy.
+
+use super::result::NodeAudit;
+use snp_crypto::keys::NodeId;
+use snp_graph::ProvenanceGraph;
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+/// Number of shards.  Audits are keyed by node id, which is dense and
+/// sequential in every deployment, so a simple modulo spreads load evenly.
+const SHARDS: usize = 16;
+
+/// A verified, cached audit: the reconstructed subgraph and the verdict.
+#[derive(Clone, Debug)]
+pub(crate) struct AuditRecord {
+    /// The node's reconstructed partition of the provenance graph.
+    pub graph: ProvenanceGraph,
+    /// The audit verdict.
+    pub audit: NodeAudit,
+}
+
+/// Cache key: the audited node and the epoch its replay anchored on
+/// (`None` = genesis).
+pub(crate) type AuditKey = (NodeId, Option<u64>);
+
+/// The sharded `(node, anchor epoch)` → [`AuditRecord`] map.
+#[derive(Debug)]
+pub(crate) struct AuditCache {
+    shards: Vec<RwLock<BTreeMap<AuditKey, Arc<AuditRecord>>>>,
+}
+
+impl AuditCache {
+    pub(crate) fn new() -> AuditCache {
+        AuditCache {
+            shards: (0..SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+        }
+    }
+
+    /// The shard a node's entries live in.  All anchor epochs of one node
+    /// map to the same shard, which keeps per-node invalidation a
+    /// single-shard operation.
+    fn shard(&self, node: NodeId) -> &RwLock<BTreeMap<AuditKey, Arc<AuditRecord>>> {
+        &self.shards[(node.0 % SHARDS as u64) as usize]
+    }
+
+    pub(crate) fn get(&self, key: &AuditKey) -> Option<Arc<AuditRecord>> {
+        self.shard(key.0)
+            .read()
+            .expect("audit cache poisoned")
+            .get(key)
+            .cloned()
+    }
+
+    pub(crate) fn insert(&self, key: AuditKey, record: Arc<AuditRecord>) {
+        self.shard(key.0)
+            .write()
+            .expect("audit cache poisoned")
+            .insert(key, record);
+    }
+
+    /// Drop every cached entry.
+    pub(crate) fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().expect("audit cache poisoned").clear();
+        }
+    }
+
+    /// Drop every entry of one node — *all* of its anchor epochs, including
+    /// the checkpoint-anchored ones, not just the genesis entry.
+    pub(crate) fn invalidate_node(&self, node: NodeId) {
+        self.shard(node)
+            .write()
+            .expect("audit cache poisoned")
+            .retain(|(n, _), _| *n != node);
+    }
+
+    /// Number of cached records (test/diagnostic helper).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().expect("audit cache poisoned").len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_graph::vertex::Color;
+
+    fn record(node: NodeId, epoch: Option<u64>) -> Arc<AuditRecord> {
+        Arc::new(AuditRecord {
+            graph: ProvenanceGraph::new(),
+            audit: NodeAudit {
+                node,
+                color: Color::Black,
+                notes: Vec::new(),
+                anchor_epoch: epoch,
+                replayed_entries: 0,
+            },
+        })
+    }
+
+    #[test]
+    fn invalidate_node_drops_every_anchor_epoch() {
+        let cache = AuditCache::new();
+        // Genesis entry plus two checkpoint-anchored entries for node 1, and
+        // one entry for the shard-colliding node 17 (17 % 16 == 1).
+        cache.insert((NodeId(1), None), record(NodeId(1), None));
+        cache.insert((NodeId(1), Some(3)), record(NodeId(1), Some(3)));
+        cache.insert((NodeId(1), Some(7)), record(NodeId(1), Some(7)));
+        cache.insert((NodeId(17), Some(3)), record(NodeId(17), Some(3)));
+        assert_eq!(cache.len(), 4);
+
+        cache.invalidate_node(NodeId(1));
+        assert!(cache.get(&(NodeId(1), None)).is_none());
+        assert!(cache.get(&(NodeId(1), Some(3))).is_none());
+        assert!(cache.get(&(NodeId(1), Some(7))).is_none());
+        assert!(
+            cache.get(&(NodeId(17), Some(3))).is_some(),
+            "shard neighbors must survive another node's invalidation"
+        );
+
+        cache.clear();
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn records_are_shared_not_copied() {
+        let cache = AuditCache::new();
+        let r = record(NodeId(2), None);
+        cache.insert((NodeId(2), None), r.clone());
+        let fetched = cache.get(&(NodeId(2), None)).expect("present");
+        assert!(Arc::ptr_eq(&r, &fetched));
+    }
+}

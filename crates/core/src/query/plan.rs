@@ -1,0 +1,91 @@
+//! Audit planning: enumerate the independent per-`(node, anchor-epoch)`
+//! units of work a macroquery needs.
+//!
+//! Each audited node's evidence is verified and replayed independently of
+//! every other node's — per-node evidence is causally disjoint until the
+//! graph join — so a macroquery wave decomposes into one [`AuditUnit`] per
+//! implicated host.  The planner performs the cheap metadata half of the
+//! `retrieve` handshake (asking each node which checkpoint an audit for the
+//! query's time of interest would anchor on) and emits the units in
+//! ascending node-id order; [`super::exec::AuditPool`] may execute them in
+//! any order, but their *results* are always merged in plan order, which is
+//! what makes serial and parallel runs byte-identical.
+
+use crate::node::SnoopyHandle;
+use snp_crypto::keys::NodeId;
+use snp_graph::vertex::Timestamp;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One independent unit of audit work: verify and replay one node's
+/// evidence over the audit window anchored at `anchor_epoch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AuditUnit {
+    /// The node to audit.
+    pub node: NodeId,
+    /// The epoch the node says this audit would anchor on (`None` = replay
+    /// from genesis).  This is a *hint* from the metadata handshake — the
+    /// retrieved content is verified after the download; a lying node is
+    /// caught by the checkpoint and suffix checks, not trusted here.
+    pub anchor_epoch: Option<u64>,
+    /// The query's time of interest (`None` = now).
+    pub at: Option<Timestamp>,
+}
+
+/// The per-wave audit plan of a macroquery: the units to execute, in
+/// ascending node-id order.
+#[derive(Clone, Debug, Default)]
+pub struct AuditPlan {
+    /// The units, sorted by node id (deduplicated).
+    pub units: Vec<AuditUnit>,
+}
+
+impl AuditPlan {
+    /// Plan the audits covering `hosts` for a query about time `at`:
+    /// resolve each host's anchor epoch via the metadata handshake and emit
+    /// one unit per host in ascending node-id order.  Hosts unknown to the
+    /// querier still get a unit (their audit comes back yellow — "node
+    /// unknown"), mirroring the serial path.
+    pub fn for_hosts(
+        hosts: impl IntoIterator<Item = NodeId>,
+        at: Option<Timestamp>,
+        nodes: &BTreeMap<NodeId, SnoopyHandle>,
+    ) -> AuditPlan {
+        let hosts: BTreeSet<NodeId> = hosts.into_iter().collect();
+        AuditPlan {
+            units: hosts
+                .into_iter()
+                .map(|node| AuditUnit {
+                    node,
+                    anchor_epoch: nodes.get(&node).and_then(|h| h.anchor_epoch(at)),
+                    at,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of units in the plan.
+    pub fn len(&self) -> usize {
+        self.units.len()
+    }
+
+    /// Whether the plan has no units.
+    pub fn is_empty(&self) -> bool {
+        self.units.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn units_are_sorted_and_deduplicated() {
+        let nodes = BTreeMap::new();
+        let plan = AuditPlan::for_hosts([NodeId(5), NodeId(2), NodeId(5), NodeId(9)], None, &nodes);
+        let order: Vec<NodeId> = plan.units.iter().map(|u| u.node).collect();
+        assert_eq!(order, vec![NodeId(2), NodeId(5), NodeId(9)]);
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert!(plan.units.iter().all(|u| u.anchor_epoch.is_none() && u.at.is_none()));
+    }
+}

@@ -1,0 +1,323 @@
+//! Query results and cost accounting: [`QueryResult`], [`QueryStats`],
+//! [`NodeAudit`] and the per-query stats bookkeeping (marks and deltas).
+
+use snp_crypto::keys::NodeId;
+use snp_datalog::Tuple;
+use snp_graph::query::{self, Direction, Traversal};
+use snp_graph::vertex::{Color, VertexId};
+use snp_graph::ProvenanceGraph;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Download accounting for one retrieved log segment (per-epoch breakdown of
+/// Figure 8's "log bytes" column).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentFetch {
+    /// The node the segment came from.
+    pub node: NodeId,
+    /// The epoch the segment belongs to.
+    pub epoch: u64,
+    /// Serialized size of the segment.
+    pub bytes: u64,
+}
+
+/// Cumulative cost accounting for a query (Figure 8).
+///
+/// The byte and entry counters are deterministic: serial and parallel
+/// executions of the same query produce identical values (audit-unit deltas
+/// are merged in plan order, never completion order).  The `*_seconds`
+/// fields are measured wall-clock costs and therefore *timing fields*: they
+/// vary run to run and are excluded from the determinism invariant — compare
+/// [`QueryStats::without_timing`] instead.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryStats {
+    /// Bytes of log segments downloaded.
+    pub log_bytes: u64,
+    /// Bytes of authenticators downloaded.
+    pub authenticator_bytes: u64,
+    /// Bytes of checkpoints downloaded (headers + tuple state).
+    pub checkpoint_bytes: u64,
+    /// Bytes of machine state snapshots downloaded alongside checkpoints.
+    pub snapshot_bytes: u64,
+    /// Seconds spent verifying authenticators and hash chains, *aggregated
+    /// across audit workers* (two workers verifying for 1 s each count 2 s).
+    pub auth_check_seconds: f64,
+    /// Seconds spent in deterministic replay, aggregated across workers.
+    pub replay_seconds: f64,
+    /// Wall-clock seconds spent executing audit plans.  Serial execution
+    /// makes this ≈ the aggregate verification time; parallel execution
+    /// makes it smaller — the ratio is the fig9 speedup curve (see
+    /// [`QueryStats::audit_speedup`]).
+    pub audit_wall_seconds: f64,
+    /// The audit schedule's critical path: the sum over expansion waves of
+    /// the most expensive unit in each wave.  This is what the wall-clock
+    /// audit time converges to with unbounded workers (and cores) — the
+    /// hardware-independent floor of the speedup curve.
+    pub audit_critical_seconds: f64,
+    /// Number of node audits (≈ microquery batches).
+    pub audits: u64,
+    /// Number of individual microqueries issued.
+    pub microqueries: u64,
+    /// Number of log segments fetched.
+    pub segments_fetched: u64,
+    /// Log entries actually replayed (suffix after the anchoring checkpoint).
+    pub replayed_entries: u64,
+    /// Log entries *not* replayed because they lie before the anchoring
+    /// checkpoint (what a from-genesis replay would additionally have paid).
+    pub skipped_entries: u64,
+    /// Per-segment download breakdown, in fetch order.  On the cumulative
+    /// [`crate::query::Querier::stats`] this list grows with every fetch; a
+    /// long-lived querier can drain it (`stats.segment_bytes.clear()`)
+    /// without affecting the scalar counters or per-query deltas.
+    pub segment_bytes: Vec<SegmentFetch>,
+}
+
+impl QueryStats {
+    /// Total bytes downloaded.
+    pub fn total_bytes(&self) -> u64 {
+        self.log_bytes + self.authenticator_bytes + self.checkpoint_bytes + self.snapshot_bytes
+    }
+
+    /// Estimated turnaround time given a download bandwidth in bits/s
+    /// (the paper assumes 10 Mbps in §7.7).
+    pub fn turnaround_seconds(&self, bandwidth_bps: f64) -> f64 {
+        let download = self.total_bytes() as f64 * 8.0 / bandwidth_bps;
+        download + self.auth_check_seconds + self.replay_seconds
+    }
+
+    /// Total verification work performed, summed across audit workers
+    /// (authenticator/chain checks plus replay).  Independent of how many
+    /// threads performed it.
+    pub fn aggregate_verification_seconds(&self) -> f64 {
+        self.auth_check_seconds + self.replay_seconds
+    }
+
+    /// Ratio of aggregate verification work to the wall-clock time the audit
+    /// plans took — the realized parallel speedup (≈ 1.0 for serial
+    /// execution, up to the worker count for a perfectly parallel query).
+    /// Returns 1.0 when no audit time was recorded.
+    pub fn audit_speedup(&self) -> f64 {
+        if self.audit_wall_seconds > 0.0 {
+            self.aggregate_verification_seconds() / self.audit_wall_seconds
+        } else {
+            1.0
+        }
+    }
+
+    /// The audit wall-clock a `threads`-worker pool would need on
+    /// unconstrained hardware, estimated from the measured unit costs with
+    /// the standard greedy-schedule bound: no schedule beats the critical
+    /// path, and `threads` workers cannot divide the aggregate faster than
+    /// evenly.  On a machine with at least `threads` idle cores the measured
+    /// [`QueryStats::audit_wall_seconds`] approaches this; on fewer cores
+    /// (e.g. single-CPU CI) this is the honest substitute for a wall
+    /// measurement that the hardware cannot exhibit.
+    pub fn modeled_audit_wall_seconds(&self, threads: usize) -> f64 {
+        let aggregate = self.aggregate_verification_seconds();
+        (aggregate / threads.max(1) as f64).max(self.audit_critical_seconds)
+    }
+
+    /// This accounting with the (non-deterministic) timing fields zeroed —
+    /// the quantity over which serial and parallel executions of a query are
+    /// byte-identical.
+    pub fn without_timing(&self) -> QueryStats {
+        QueryStats {
+            auth_check_seconds: 0.0,
+            replay_seconds: 0.0,
+            audit_wall_seconds: 0.0,
+            audit_critical_seconds: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// The outcome of auditing a single node.
+#[derive(Clone, Debug)]
+pub struct NodeAudit {
+    /// The audited node.
+    pub node: NodeId,
+    /// Overall color: black (clean), yellow (no response), red (tampering,
+    /// inconsistency, or replay divergence).
+    pub color: Color,
+    /// Human-readable notes on what was found.
+    pub notes: Vec<String>,
+    /// The epoch whose checkpoint the replay anchored on (`None` = genesis).
+    pub anchor_epoch: Option<u64>,
+    /// Log entries replayed during this audit.
+    pub replayed_entries: u64,
+}
+
+/// The result of a macroquery.
+#[derive(Clone, Debug)]
+pub struct QueryResult {
+    /// The vertex the query was anchored at (if it could be located).
+    pub root: Option<VertexId>,
+    /// The merged approximation `Gν` restricted to the audited nodes.
+    pub graph: ProvenanceGraph,
+    /// The traversal (explanation subtree or forward slice).
+    pub traversal: Option<Traversal>,
+    /// Audit outcome per node touched by the query.
+    pub audits: BTreeMap<NodeId, NodeAudit>,
+    /// Cost accounting.
+    pub stats: QueryStats,
+}
+
+impl QueryResult {
+    /// Nodes with red evidence (either a red vertex or a failed audit).
+    pub fn implicated_nodes(&self) -> BTreeSet<NodeId> {
+        let mut out = self.graph.faulty_nodes();
+        for (node, audit) in &self.audits {
+            if audit.color == Color::Red {
+                out.insert(*node);
+            }
+        }
+        out
+    }
+
+    /// Nodes that are red *or* yellow — the set Alice should investigate.
+    pub fn suspect_nodes(&self) -> BTreeSet<NodeId> {
+        let mut out = self.graph.suspect_nodes();
+        for (node, audit) in &self.audits {
+            if audit.color != Color::Black {
+                out.insert(*node);
+            }
+        }
+        out
+    }
+
+    /// Whether the explanation is complete and entirely legitimate.
+    pub fn is_legitimate(&self) -> bool {
+        match &self.traversal {
+            Some(t) => {
+                self.audits.values().all(|a| a.color == Color::Black)
+                    && query::is_legitimate_explanation(&self.graph, t)
+            }
+            None => false,
+        }
+    }
+
+    /// Render the explanation as an indented text tree.
+    pub fn render(&self) -> String {
+        match (&self.traversal, self.root) {
+            (Some(t), Some(_)) => query::render_tree(&self.graph, t, Direction::Causes),
+            _ => "(no explanation available)".to_string(),
+        }
+    }
+
+    /// Iterate over the vertices of the explanation (or forward slice)
+    /// together with their traversal depth, in vertex-id order.  Empty when
+    /// the query found no anchor.
+    pub fn vertices_with_depth(&self) -> impl Iterator<Item = (&snp_graph::vertex::Vertex, usize)> + '_ {
+        self.traversal
+            .iter()
+            .flat_map(|t| t.depths.iter())
+            .filter_map(move |(id, depth)| self.graph.vertex(id).map(|v| (v, *depth)))
+    }
+
+    /// Iterate over the vertices of the explanation (or forward slice).
+    pub fn vertices(&self) -> impl Iterator<Item = &snp_graph::vertex::Vertex> + '_ {
+        self.vertices_with_depth().map(|(v, _)| v)
+    }
+
+    /// The set of nodes hosting at least one vertex of the explanation.
+    pub fn hosts(&self) -> BTreeSet<NodeId> {
+        self.vertices().map(|v| v.host()).collect()
+    }
+
+    /// Whether the explanation mentions `tuple` anywhere (in any vertex kind:
+    /// exist, appear, believe, send, …).
+    pub fn mentions(&self, tuple: &Tuple) -> bool {
+        self.vertices().any(|v| v.kind.tuple() == tuple)
+    }
+
+    /// Number of vertices in the explanation (0 when no anchor was found).
+    pub fn len(&self) -> usize {
+        self.traversal.as_ref().map(|t| t.len()).unwrap_or(0)
+    }
+
+    /// Whether the explanation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Fold the cost of another accounting (a worker's audit-unit delta, or an
+/// earlier unsuccessful query pass) into `into`.
+pub(crate) fn merge_stats(into: &mut QueryStats, other: &QueryStats) {
+    into.log_bytes += other.log_bytes;
+    into.authenticator_bytes += other.authenticator_bytes;
+    into.checkpoint_bytes += other.checkpoint_bytes;
+    into.snapshot_bytes += other.snapshot_bytes;
+    into.auth_check_seconds += other.auth_check_seconds;
+    into.replay_seconds += other.replay_seconds;
+    into.audit_wall_seconds += other.audit_wall_seconds;
+    into.audit_critical_seconds += other.audit_critical_seconds;
+    into.audits += other.audits;
+    into.microqueries += other.microqueries;
+    into.segments_fetched += other.segments_fetched;
+    into.replayed_entries += other.replayed_entries;
+    into.skipped_entries += other.skipped_entries;
+    into.segment_bytes.extend(other.segment_bytes.iter().copied());
+}
+
+/// A cheap point-in-time snapshot of the cumulative counters: scalar copies
+/// plus a watermark into the append-only `segment_bytes` list, so taking a
+/// mark costs O(1) regardless of how much fetch history the querier has
+/// accumulated.
+#[derive(Clone, Copy)]
+pub(crate) struct StatsMark {
+    log_bytes: u64,
+    authenticator_bytes: u64,
+    checkpoint_bytes: u64,
+    snapshot_bytes: u64,
+    auth_check_seconds: f64,
+    replay_seconds: f64,
+    audit_wall_seconds: f64,
+    audit_critical_seconds: f64,
+    audits: u64,
+    microqueries: u64,
+    segments_fetched: u64,
+    replayed_entries: u64,
+    skipped_entries: u64,
+    segment_mark: usize,
+}
+
+impl StatsMark {
+    pub(crate) fn of(stats: &QueryStats) -> StatsMark {
+        StatsMark {
+            log_bytes: stats.log_bytes,
+            authenticator_bytes: stats.authenticator_bytes,
+            checkpoint_bytes: stats.checkpoint_bytes,
+            snapshot_bytes: stats.snapshot_bytes,
+            auth_check_seconds: stats.auth_check_seconds,
+            replay_seconds: stats.replay_seconds,
+            audit_wall_seconds: stats.audit_wall_seconds,
+            audit_critical_seconds: stats.audit_critical_seconds,
+            audits: stats.audits,
+            microqueries: stats.microqueries,
+            segments_fetched: stats.segments_fetched,
+            replayed_entries: stats.replayed_entries,
+            skipped_entries: stats.skipped_entries,
+            segment_mark: stats.segment_bytes.len(),
+        }
+    }
+}
+
+/// The per-query delta accumulated since `before` was taken.
+pub(crate) fn diff_stats(after: &QueryStats, before: &StatsMark) -> QueryStats {
+    QueryStats {
+        log_bytes: after.log_bytes - before.log_bytes,
+        authenticator_bytes: after.authenticator_bytes - before.authenticator_bytes,
+        checkpoint_bytes: after.checkpoint_bytes - before.checkpoint_bytes,
+        snapshot_bytes: after.snapshot_bytes - before.snapshot_bytes,
+        auth_check_seconds: after.auth_check_seconds - before.auth_check_seconds,
+        replay_seconds: after.replay_seconds - before.replay_seconds,
+        audit_wall_seconds: after.audit_wall_seconds - before.audit_wall_seconds,
+        audit_critical_seconds: after.audit_critical_seconds - before.audit_critical_seconds,
+        audits: after.audits - before.audits,
+        microqueries: after.microqueries - before.microqueries,
+        segments_fetched: after.segments_fetched - before.segments_fetched,
+        replayed_entries: after.replayed_entries - before.replayed_entries,
+        skipped_entries: after.skipped_entries - before.skipped_entries,
+        segment_bytes: after.segment_bytes[before.segment_mark..].to_vec(),
+    }
+}

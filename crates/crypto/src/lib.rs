@@ -37,7 +37,7 @@ pub use chain::HashChain;
 pub use digest::Digest;
 pub use keys::{CertificateAuthority, KeyPair, KeyRegistry, NodeCertificate};
 pub use sha256::{sha256, Sha256};
-pub use sign::{PublicKey, SecretKey, Signature};
+pub use sign::{verify_batch, BatchItem, PublicKey, SecretKey, Signature};
 
 /// Convenience: hash an arbitrary byte slice and return the digest.
 pub fn hash(data: &[u8]) -> Digest {

@@ -37,7 +37,7 @@ pub mod tuple;
 pub mod value;
 
 pub use engine::{Engine, RuleSet};
-pub use machine::{Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
+pub use machine::{MachineFactory, Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
 pub use rule::{AggKind, Atom, Constraint, Expr, Rule, RuleKind, Term};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use snp_crypto::keys::NodeId;

@@ -188,6 +188,32 @@ pub trait StateMachine: Send {
     }
 }
 
+/// Builds fresh instances of a node's *expected* machine.
+///
+/// [`StateMachine`] is `Send` but not `Sync`: a boxed machine can be moved
+/// into a worker thread, but a single instance cannot be shared between
+/// several.  A `MachineFactory` is the sharable half — it is `Send + Sync`,
+/// so the querier can hold one per node and let every audit worker build its
+/// *own* expected machine to replay on, instead of funnelling all replays
+/// through one instance.  Every machine a factory builds must be in the
+/// honest initial state (the same contract as [`StateMachine::fresh`]).
+///
+/// Any `Fn() -> Box<dyn StateMachine> + Send + Sync` closure is a factory:
+///
+/// ```ignore
+/// let factory = move || Box::new(Engine::new(id, rules())) as Box<dyn StateMachine>;
+/// ```
+pub trait MachineFactory: Send + Sync {
+    /// A new expected machine in its honest initial state.
+    fn build(&self) -> Box<dyn StateMachine>;
+}
+
+impl<F: Fn() -> Box<dyn StateMachine> + Send + Sync> MachineFactory for F {
+    fn build(&self) -> Box<dyn StateMachine> {
+        self()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

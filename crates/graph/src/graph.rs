@@ -341,12 +341,43 @@ impl ProvenanceGraph {
     /// intersected intervals), edges are unioned.
     pub fn union(&self, other: &ProvenanceGraph) -> ProvenanceGraph {
         let mut out = self.clone();
+        out.union_in_place(other);
+        out
+    }
+
+    /// In-place graph union `∪*` — the same semantics as
+    /// [`ProvenanceGraph::union`] without re-cloning the accumulated graph on
+    /// every merge step (the macroquery processor folds one subgraph per
+    /// audited node into its approximation `Gν`).
+    ///
+    /// Union is commutative and associative: vertex merge takes the dominant
+    /// color (a max) and intersects intervals (a min), and edge union is set
+    /// union, so the merged graph is independent of the order subgraphs
+    /// arrive in.
+    pub fn union_in_place(&mut self, other: &ProvenanceGraph) {
         for (_, vertex) in other.vertices() {
-            out.upsert(vertex.clone());
+            self.upsert(vertex.clone());
         }
         for (from, to) in other.edges() {
-            out.edges.insert((*from, *to));
-            out.reverse.insert((*to, *from));
+            self.edges.insert((*from, *to));
+            self.reverse.insert((*to, *from));
+        }
+    }
+
+    /// Deterministic merge of per-node partial graphs: the parts are merged
+    /// in ascending node-id order, no matter what order the audit workers
+    /// that produced them completed in.  Because the graph stores vertices
+    /// and edges in ordered maps and [`ProvenanceGraph::union_in_place`] is
+    /// commutative, the result — including its vertex iteration order — is a
+    /// pure function of the part *set*; the explicit sort makes that
+    /// independence obvious and keeps any future non-commutative merge step
+    /// honest.
+    pub fn merge_partials<'a>(parts: impl IntoIterator<Item = (NodeId, &'a ProvenanceGraph)>) -> ProvenanceGraph {
+        let mut parts: Vec<(NodeId, &ProvenanceGraph)> = parts.into_iter().collect();
+        parts.sort_by_key(|(node, _)| *node);
+        let mut out = ProvenanceGraph::new();
+        for (_, part) in parts {
+            out.union_in_place(part);
         }
         out
     }
@@ -516,6 +547,31 @@ mod tests {
             VertexKind::Exist { until, .. } => assert_eq!(*until, Some(42)),
             _ => panic!("wrong kind"),
         }
+    }
+
+    #[test]
+    fn merge_partials_is_independent_of_part_order() {
+        let mut g1 = ProvenanceGraph::new();
+        let a = g1.upsert(appear(1, 1));
+        let shared = g1.upsert(exist_open(1, 1));
+        g1.add_edge(a, shared);
+        let mut g2 = ProvenanceGraph::new();
+        let mut dominant = exist_open(1, 1);
+        dominant.color = Color::Red;
+        g2.upsert(dominant);
+        g2.upsert(appear(2, 2));
+        let mut g3 = ProvenanceGraph::new();
+        g3.upsert(appear(3, 3));
+
+        let forward = ProvenanceGraph::merge_partials([(NodeId(1), &g1), (NodeId(2), &g2), (NodeId(3), &g3)]);
+        let shuffled = ProvenanceGraph::merge_partials([(NodeId(3), &g3), (NodeId(1), &g1), (NodeId(2), &g2)]);
+        assert_eq!(forward.vertex_count(), shuffled.vertex_count());
+        assert_eq!(forward.edge_count(), shuffled.edge_count());
+        assert!(forward.is_subgraph_of(&shuffled) && shuffled.is_subgraph_of(&forward));
+        let order_a: Vec<VertexId> = forward.vertices().map(|(id, _)| *id).collect();
+        let order_b: Vec<VertexId> = shuffled.vertices().map(|(id, _)| *id).collect();
+        assert_eq!(order_a, order_b, "vertex iteration order must be stable");
+        assert_eq!(forward.vertex(&shared).unwrap().color, Color::Red);
     }
 
     #[test]

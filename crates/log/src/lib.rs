@@ -19,6 +19,9 @@
 //!   the suffix after a checkpoint (§5.6, §7.7).
 //! * [`batch`] — the Nagle-style message batching optimization (`Tbatch`,
 //!   §5.6) that trades latency for fewer signatures.
+//! * [`verifier`] — the pure, stateless [`verifier::SegmentVerifier`]
+//!   (checkpoint signature + Merkle root + `verify_suffix`) that audit
+//!   worker threads copy into their own stacks.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,9 +31,11 @@ pub mod batch;
 pub mod checkpoint;
 pub mod entry;
 pub mod log;
+pub mod verifier;
 
 pub use auth::{Authenticator, AuthenticatorSet};
 pub use checkpoint::{Checkpoint, CheckpointEntry, PartialCheckpoint};
 pub use entry::{EntryKind, LogEntry};
 pub use log::{chain_span, verify_suffix, LogSegment, LogStats, SecureLog, SegmentError};
 pub use snp_crypto::keys::NodeId;
+pub use verifier::SegmentVerifier;

@@ -1,0 +1,159 @@
+//! A pure, stateless verifier for one node's retrieved evidence.
+//!
+//! The querier's audit pipeline checks three kinds of evidence against a
+//! node's certified public key: the anchoring checkpoint (signature, Merkle
+//! root, snapshot digest), the suffix segments after it (hash-chain
+//! contiguity up to a signed authenticator), and arbitrary chain walks for
+//! cross-checks.  [`SegmentVerifier`] bundles those checks behind one value
+//! that owns nothing but the node identity and its public key, so audit
+//! workers can copy it into their threads and verify evidence without
+//! touching the querier, the node, or any shared mutable state.
+
+use crate::auth::Authenticator;
+use crate::checkpoint::Checkpoint;
+use crate::log::{chain_span, verify_suffix, LogSegment, SegmentError};
+use snp_crypto::keys::NodeId;
+use snp_crypto::sign::PublicKey;
+use snp_crypto::Digest;
+
+/// Stateless verification of a single node's evidence (checkpoint signature
+/// + Merkle root + snapshot digest, and [`verify_suffix`] over segment runs).
+///
+/// The verifier is `Copy`, `Send` and `Sync`: it captures only the audited
+/// node's identity and public key, and every method is a pure function of
+/// its arguments, so it can be handed to any worker thread.
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentVerifier {
+    /// The node whose evidence is being verified.
+    pub node: NodeId,
+    /// The node's certified public key.
+    pub public: PublicKey,
+}
+
+impl SegmentVerifier {
+    /// A verifier for `node`'s evidence under `public`.
+    pub fn new(node: NodeId, public: PublicKey) -> SegmentVerifier {
+        SegmentVerifier { node, public }
+    }
+
+    /// Verify an anchoring checkpoint end to end: it must belong to the
+    /// node, carry a valid signature, have contents matching its signed
+    /// Merkle root, and commit to exactly the state snapshot served with it.
+    pub fn verify_checkpoint(&self, checkpoint: &Checkpoint, snapshot: &[u8]) -> Result<(), String> {
+        if checkpoint.node != self.node || !checkpoint.verify_signature(&self.public) {
+            return Err("checkpoint signature invalid".into());
+        }
+        if !checkpoint.verify_root() {
+            return Err("checkpoint contents do not match its Merkle root".into());
+        }
+        if !checkpoint.verify_snapshot(snapshot) {
+            return Err("state snapshot does not match the checkpoint's signed digest".into());
+        }
+        Ok(())
+    }
+
+    /// Verify a contiguous run of segments as a suffix of the node's log,
+    /// anchored at a trusted `(anchor_seq, anchor_head)` (see
+    /// [`verify_suffix`]).
+    pub fn verify_suffix(
+        &self,
+        segments: &[LogSegment],
+        anchor_seq: u64,
+        anchor_head: Digest,
+        auth: &Authenticator,
+    ) -> Result<(), SegmentError> {
+        verify_suffix(segments, anchor_seq, anchor_head, auth, &self.public)
+    }
+
+    /// Walk a contiguous run of the node's segments from a trusted anchor,
+    /// observing the chain head after every entry (see [`chain_span`]).
+    pub fn chain_span(
+        &self,
+        segments: &[LogSegment],
+        anchor_seq: u64,
+        anchor_head: Digest,
+        on_link: impl FnMut(u64, Digest),
+    ) -> Result<(u64, Digest), SegmentError> {
+        for segment in segments {
+            if segment.node != self.node {
+                return Err(SegmentError::WrongNode);
+            }
+        }
+        chain_span(segments, anchor_seq, anchor_head, on_link)
+    }
+}
+
+// The whole point of the type: it must be freely movable into audit workers.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync + Copy>() {}
+    assert_send_sync::<SegmentVerifier>()
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::EntryKind;
+    use crate::log::SecureLog;
+    use snp_crypto::keys::KeyPair;
+    use snp_datalog::{Tuple, Value};
+
+    fn tuple(i: i64) -> Tuple {
+        Tuple::new("t", NodeId(1), vec![Value::Int(i)])
+    }
+
+    fn sealed_log() -> (SecureLog, KeyPair) {
+        let keys = KeyPair::for_node(NodeId(1));
+        let mut log = SecureLog::new(keys.clone());
+        log.append(10, EntryKind::Ins { tuple: tuple(1) });
+        log.append(20, EntryKind::Ins { tuple: tuple(2) });
+        log.seal_epoch(30, Vec::new(), Some(vec![1, 2, 3]));
+        log.append(40, EntryKind::Ins { tuple: tuple(3) });
+        (log, keys)
+    }
+
+    #[test]
+    fn accepts_honest_checkpoint_and_suffix() {
+        let (log, keys) = sealed_log();
+        let verifier = SegmentVerifier::new(NodeId(1), keys.public);
+        let checkpoint = log.latest_checkpoint().expect("sealed").clone();
+        let snapshot = log.snapshot_for(checkpoint.epoch).expect("snapshot");
+        assert_eq!(verifier.verify_checkpoint(&checkpoint, snapshot), Ok(()));
+        let segments = log.segments_after(Some(checkpoint.epoch));
+        let auth = log.authenticator().expect("auth");
+        assert!(verifier
+            .verify_suffix(&segments, checkpoint.at_seq, checkpoint.chain_head, &auth)
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_forged_snapshot_and_foreign_checkpoint() {
+        let (log, keys) = sealed_log();
+        let verifier = SegmentVerifier::new(NodeId(1), keys.public);
+        let checkpoint = log.latest_checkpoint().expect("sealed").clone();
+        let mut forged = log.snapshot_for(checkpoint.epoch).expect("snapshot").to_vec();
+        forged.push(0xFF);
+        assert!(verifier.verify_checkpoint(&checkpoint, &forged).is_err());
+        let other = SegmentVerifier::new(NodeId(2), keys.public);
+        let snapshot = log.snapshot_for(checkpoint.epoch).expect("snapshot");
+        assert!(other.verify_checkpoint(&checkpoint, snapshot).is_err());
+    }
+
+    #[test]
+    fn rejects_tampered_suffix_and_wrong_node_span() {
+        let (log, keys) = sealed_log();
+        let verifier = SegmentVerifier::new(NodeId(1), keys.public);
+        let checkpoint = log.latest_checkpoint().expect("sealed").clone();
+        let mut segments = log.segments_after(Some(checkpoint.epoch));
+        let auth = log.authenticator().expect("auth");
+        segments[0].entries.clear();
+        assert!(verifier
+            .verify_suffix(&segments, checkpoint.at_seq, checkpoint.chain_head, &auth)
+            .is_err());
+        let foreign = SegmentVerifier::new(NodeId(2), keys.public);
+        let honest = log.segments_after(Some(checkpoint.epoch));
+        assert_eq!(
+            foreign.chain_span(&honest, checkpoint.at_seq, checkpoint.chain_head, |_, _| {}),
+            Err(SegmentError::WrongNode)
+        );
+    }
+}

@@ -6,14 +6,16 @@
 //! (proptest is unavailable in the offline build environment), so every case
 //! is reproducible from its seed.
 
+use snp::apps::chord::{self, ChordScenario};
 use snp::apps::mincost::{link, mincost_rules};
 use snp::core::deploy::Deployment;
+use snp::core::query::QueryResult;
 use snp::core::ByzantineConfig;
 use snp::crypto::keys::NodeId;
 use snp::datalog::Engine;
 use snp::graph::Color;
 use snp::sim::rng::DetRng;
-use snp::sim::SimTime;
+use snp::sim::{SimDuration, SimTime};
 use std::collections::BTreeSet;
 
 /// Build a MinCost deployment over `n` routers with the given undirected
@@ -104,5 +106,163 @@ fn prop_explanations_never_implicate_correct_nodes() {
             }
         }
         assert!(queried > 0 || links.is_empty(), "case {case}");
+    }
+}
+
+/// The fault injections exercised by the serial/parallel equivalence
+/// property: clean runs, Byzantine nodes, and truncated logs must all
+/// produce the same answers at every thread count.
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    None,
+    /// One node silently drops a log entry when retrieving (red evidence).
+    Tamper(u64),
+    /// One node refuses `retrieve` entirely (yellow evidence).
+    Refuse(u64),
+}
+
+/// Build a MinCost deployment for `case`, run the same macroquery with the
+/// given worker count, and return the result.  Everything is derived
+/// deterministically from `case`, so two invocations differing only in
+/// `threads` observe byte-identical node states.
+fn mincost_query(case: u64, fault: Fault, truncate: bool, threads: usize) -> QueryResult {
+    let mut rng = DetRng::new(case.wrapping_mul(0x9e37));
+    let n = 4;
+    let links = arbitrary_links(&mut rng, n);
+    let mut builder = Deployment::builder().seed(7).secure(true);
+    if truncate {
+        builder = builder.epoch_length(SimDuration::from_millis(500)).retain_epochs(2);
+    }
+    for i in 1..=n {
+        builder = builder.node(NodeId(i), |id| Box::new(Engine::new(id, mincost_rules())));
+    }
+    match fault {
+        Fault::None => {}
+        Fault::Tamper(node) => {
+            builder = builder.byzantine(
+                NodeId(node),
+                ByzantineConfig {
+                    tamper_log_drop_entry: Some(0),
+                    ..Default::default()
+                },
+            );
+        }
+        Fault::Refuse(node) => {
+            builder = builder.byzantine(
+                NodeId(node),
+                ByzantineConfig {
+                    refuse_retrieve: true,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+    for (idx, (a, b, cost)) in links.iter().enumerate() {
+        let at = SimTime::from_millis(10 + idx as u64);
+        builder = builder
+            .insert_at(at, NodeId(*a), link(NodeId(*a), NodeId(*b), *cost))
+            .insert_at(at, NodeId(*b), link(NodeId(*b), NodeId(*a), *cost));
+    }
+    let mut tb = builder.build();
+    // Force the thread count past any `SNP_QUERY_THREADS` override: CI runs
+    // this suite a second time with the variable set, and the equivalence
+    // property is vacuous unless the serial reference really is serial.
+    tb.querier.set_query_threads(threads);
+    tb.run_until(SimTime::from_secs(25));
+    // Query the first bestCost tuple that exists anywhere (deterministic
+    // scan order), falling back to a never-derived tuple when the random
+    // link set produced nothing.
+    let target = (1..=n)
+        .flat_map(|i| tb.handles[&NodeId(i)].with(|node| node.current_tuples()))
+        .find(|t| t.relation == "bestCost");
+    match target {
+        Some(t) => {
+            let host = t.location;
+            tb.querier.why_exists(t).at(host).run()
+        }
+        None => tb.querier.why_exists(link(NodeId(1), NodeId(2), 1)).at(NodeId(1)).run(),
+    }
+}
+
+/// An 8-node Chord deployment queried with a forward slice (`effects_of` a
+/// hub's `me` tuple) — the fan-out shape the parallel pool accelerates.
+fn chord_query(seed: u64, threads: usize) -> QueryResult {
+    let scenario = ChordScenario {
+        nodes: 8,
+        lookups_per_minute: 12,
+        ..ChordScenario::small(30)
+    };
+    let (mut tb, ring) = scenario.build(true, seed, None);
+    tb.querier.set_query_threads(threads);
+    tb.run_until(SimTime::from_secs(45));
+    let (hub_id, hub) = ring.members[0];
+    tb.querier.effects_of(chord::me(hub, hub_id)).at(hub).run()
+}
+
+/// Everything externally observable about two query results must match.
+fn assert_equivalent(context: &str, reference: &QueryResult, other: &QueryResult) {
+    assert_eq!(reference.root, other.root, "{context}: root");
+    assert_eq!(reference.render(), other.render(), "{context}: render");
+    assert_eq!(
+        reference.implicated_nodes(),
+        other.implicated_nodes(),
+        "{context}: implicated"
+    );
+    assert_eq!(reference.suspect_nodes(), other.suspect_nodes(), "{context}: suspects");
+    assert_eq!(reference.hosts(), other.hosts(), "{context}: hosts");
+    assert_eq!(reference.len(), other.len(), "{context}: explanation size");
+    assert_eq!(
+        reference.stats.without_timing(),
+        other.stats.without_timing(),
+        "{context}: stats modulo timing"
+    );
+    let colors = |r: &QueryResult| -> Vec<(NodeId, Color)> { r.audits.iter().map(|(n, a)| (*n, a.color)).collect() };
+    assert_eq!(colors(reference), colors(other), "{context}: audit colors");
+}
+
+/// Determinism across worker counts (the tentpole invariant): for random
+/// seeds, apps and thread counts 1/2/8, the rendered explanation, the
+/// implicated/suspect sets and the non-timing stats are identical — under
+/// clean runs, Byzantine nodes and truncated logs alike.
+#[test]
+fn prop_parallel_and_serial_queries_are_identical() {
+    for case in 0..3u64 {
+        let victim = 1 + case % 4;
+        let scenarios = [
+            ("clean", Fault::None, false),
+            ("tampered", Fault::Tamper(victim), false),
+            ("refusing+truncated", Fault::Refuse(victim), true),
+            ("truncated", Fault::None, true),
+        ];
+        for (name, fault, truncate) in scenarios {
+            let reference = mincost_query(case, fault, truncate, 1);
+            for threads in [2usize, 8] {
+                let parallel = mincost_query(case, fault, truncate, threads);
+                assert_equivalent(&format!("case {case} {name} x{threads}"), &reference, &parallel);
+            }
+            // Faulty runs must still blame only the victim.
+            if let Fault::Tamper(v) | Fault::Refuse(v) = fault {
+                for implicated in reference.implicated_nodes() {
+                    assert_eq!(implicated, NodeId(v), "case {case} {name}: accuracy");
+                }
+            }
+        }
+    }
+}
+
+/// The same invariant on the Chord forward slice, whose first expansion wave
+/// fans out across many hosts (the shape the pool actually parallelizes).
+#[test]
+fn prop_chord_forward_slice_is_thread_count_invariant() {
+    for seed in [11u64, 29] {
+        let reference = chord_query(seed, 1);
+        assert!(
+            reference.root.is_some(),
+            "seed {seed}: the hub's me tuple must have a recorded appearance"
+        );
+        for threads in [2usize, 8] {
+            let parallel = chord_query(seed, threads);
+            assert_equivalent(&format!("chord seed {seed} x{threads}"), &reference, &parallel);
+        }
     }
 }
