@@ -7,7 +7,7 @@
 //! * route announcements and withdrawals carrying full AS paths,
 //! * per-prefix best-route selection (local preference by business
 //!   relationship, then shortest AS path, then lowest neighbor id),
-//! * optional per-prefix next-hop preferences (used to build BadGadget [11]),
+//! * optional per-prefix next-hop preferences (used to build BadGadget \[11\]),
 //! * Gao–Rexford-style export policies (routes learned from a provider or a
 //!   peer are only exported to customers).
 //!
@@ -600,9 +600,16 @@ impl Application for BgpApp {
     }
 }
 
-/// Build the classic BadGadget gadget [11]: ASes 1, 2, 3 around destination
+/// Build the classic BadGadget gadget \[11\]: ASes 1, 2, 3 around destination
 /// AS 0 (here AS 4 to keep ids positive), where each of the three prefers the
 /// route through its clockwise neighbor over its direct route.
+///
+/// The gadget is *designed* to diverge, and over the simulator's FIFO links
+/// it flutters persistently — the speakers have no MRAI-style damping, so
+/// the flap rate is limited only by link latency and the event count grows
+/// steeply with the horizon.  Run it for a bounded sub-second window (the
+/// callers use ~600 ms); the provenance assertions hold at any instant of
+/// the flutter.
 pub fn badgadget_scenario(secure: bool, seed: u64) -> (Deployment, NodeId, String) {
     let dest = NodeId(4);
     let prefix = "203.0.113.0/24".to_string();
@@ -808,10 +815,12 @@ mod tests {
     #[test]
     fn badgadget_routes_flutter_or_converge_with_provenance() {
         let (mut tb, dest, prefix) = badgadget_scenario(true, 5);
-        tb.run_until(SimTime::from_secs(30));
-        // Whatever the final state, node 1 must have processed announcements,
-        // and the provenance of its current (or last) route must reach the
-        // destination's originate tuple.
+        // Bounded horizon: the gadget never converges, and over FIFO links
+        // the flutter sustains itself indefinitely (see badgadget_scenario).
+        tb.run_until(SimTime::from_millis(600));
+        // Whatever the current flap state, node 1 must have processed
+        // announcements, and the provenance of its current route must reach
+        // the destination's originate tuple.
         let node1_routes: Vec<Tuple> = tb.handles[&NodeId(1)]
             .with(|n| n.current_tuples())
             .into_iter()

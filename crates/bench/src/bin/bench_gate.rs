@@ -1,0 +1,209 @@
+//! The CI bench-regression gate.
+//!
+//! Compares the `BENCH_*.json` files emitted by a smoke run of the figure
+//! harnesses against committed baselines (`ci/baselines/`), and fails when a
+//! *deterministic* cost metric — signature counts, replay-entry counts,
+//! retained log bytes — regresses by more than the tolerance (default 25%,
+//! override with `BENCH_GATE_TOLERANCE=0.40`).  Wall-clock metrics are never
+//! gated: they depend on the runner.  The gate also enforces the batching
+//! acceptance floor: the largest window must amortize ≥5x of the unbatched
+//! signature generations on the BGP workload.
+//!
+//! Usage: `bench_gate <baseline_dir> [current_dir]` (current defaults to the
+//! working directory, where the harness binaries write their JSON).
+
+use snp_bench::json::Json;
+use std::process::ExitCode;
+
+/// What kind of comparison a check performs.
+enum Check {
+    /// A deterministic cost: fail when `current > baseline * (1 + tol)`.
+    /// Drops are reported but do not fail (an improvement, or an intended
+    /// workload change that should come with a baseline refresh).
+    Cost,
+    /// A floor the current value must meet regardless of the baseline.
+    Min(f64),
+}
+
+/// One gated metric: figure file, dotted path (with `#last` for the final
+/// element of an array), and the comparison to run.
+struct Gate {
+    file: &'static str,
+    path: &'static str,
+    check: Check,
+}
+
+const GATES: &[Gate] = &[
+    // fig5: commitment signatures are deterministic per seed.
+    Gate {
+        file: "BENCH_fig5.json",
+        path: "batching.series.0.commitment_signatures",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig5.json",
+        path: "batching.series.#last.commitment_signatures",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig5.json",
+        path: "batching.series.#last.signature_gain_vs_unbatched",
+        check: Check::Min(5.0),
+    },
+    // fig6: retained log bytes of the truncation series plateau
+    // deterministically.
+    Gate {
+        file: "BENCH_fig6.json",
+        path: "truncation_series.samples.#last.retained_bytes",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig6.json",
+        path: "configs.0.checkpoint_bytes",
+        check: Check::Cost,
+    },
+    // fig7: signature/verification counts are deterministic; the measured
+    // per-op costs and CPU percentages are not gated.
+    Gate {
+        file: "BENCH_fig7.json",
+        path: "configs.0.signatures",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig7.json",
+        path: "batching.series.#last.signatures",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig7.json",
+        path: "batching.series.#last.signature_gain_vs_unbatched",
+        check: Check::Min(5.0),
+    },
+    // fig9: audit and replay-entry counts of the macroquery grid are
+    // deterministic (and identical across thread counts by construction).
+    Gate {
+        file: "BENCH_fig9.json",
+        path: "macroquery.rows.0.audits",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig9.json",
+        path: "macroquery.rows.0.replayed_entries",
+        check: Check::Cost,
+    },
+];
+
+/// Resolve a dotted path, expanding `#last` to the final index of the array
+/// reached so far.
+fn lookup(doc: &Json, path: &str) -> Option<f64> {
+    let mut current = doc;
+    for part in path.split('.') {
+        current = if part == "#last" {
+            let items = current.as_arr()?;
+            items.last()?
+        } else {
+            current.get(part)?
+        };
+    }
+    current.as_f64()
+}
+
+fn load(dir: &str, file: &str) -> Result<Json, String> {
+    let path = format!("{dir}/{file}");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(baseline_dir) = args.get(1) else {
+        eprintln!("usage: bench_gate <baseline_dir> [current_dir]");
+        return ExitCode::FAILURE;
+    };
+    let current_dir = args.get(2).map(String::as_str).unwrap_or(".");
+    let tolerance: f64 = std::env::var("BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.25);
+    println!(
+        "bench gate: baselines from {baseline_dir}, current from {current_dir}, tolerance {:.0}%\n",
+        tolerance * 100.0
+    );
+
+    let mut failures = 0usize;
+    let mut current_cache: Vec<(String, Result<Json, String>)> = Vec::new();
+    let mut baseline_cache: Vec<(String, Result<Json, String>)> = Vec::new();
+    let fetch = |cache: &mut Vec<(String, Result<Json, String>)>, dir: &str, file: &str| -> Result<Json, String> {
+        if let Some((_, cached)) = cache.iter().find(|(f, _)| f == file) {
+            return cached.clone();
+        }
+        let loaded = load(dir, file);
+        cache.push((file.to_string(), loaded.clone()));
+        loaded
+    };
+
+    for gate in GATES {
+        let label = format!("{}:{}", gate.file, gate.path);
+        let current = match fetch(&mut current_cache, current_dir, gate.file).map(|doc| lookup(&doc, gate.path)) {
+            Ok(Some(v)) => v,
+            Ok(None) => {
+                println!("FAIL {label}: metric missing from current output");
+                failures += 1;
+                continue;
+            }
+            Err(e) => {
+                println!("FAIL {label}: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match &gate.check {
+            Check::Min(floor) => {
+                if current >= *floor {
+                    println!("ok   {label}: {current:.2} >= floor {floor:.2}");
+                } else {
+                    println!("FAIL {label}: {current:.2} below the required floor {floor:.2}");
+                    failures += 1;
+                }
+            }
+            Check::Cost => {
+                let baseline =
+                    match fetch(&mut baseline_cache, baseline_dir, gate.file).map(|doc| lookup(&doc, gate.path)) {
+                        Ok(Some(v)) => v,
+                        Ok(None) => {
+                            println!("FAIL {label}: metric missing from baseline");
+                            failures += 1;
+                            continue;
+                        }
+                        Err(e) => {
+                            println!("FAIL {label}: baseline unreadable: {e}");
+                            failures += 1;
+                            continue;
+                        }
+                    };
+                let limit = baseline * (1.0 + tolerance);
+                if current > limit {
+                    println!(
+                        "FAIL {label}: {current:.2} regressed past {limit:.2} (baseline {baseline:.2} + {:.0}%)",
+                        tolerance * 100.0
+                    );
+                    failures += 1;
+                } else if current < baseline * (1.0 - tolerance) {
+                    println!(
+                        "note {label}: {current:.2} dropped well below baseline {baseline:.2} — refresh ci/baselines if intended"
+                    );
+                } else {
+                    println!("ok   {label}: {current:.2} (baseline {baseline:.2})");
+                }
+            }
+        }
+    }
+
+    if failures > 0 {
+        println!("\nbench gate: {failures} check(s) failed");
+        ExitCode::FAILURE
+    } else {
+        println!("\nbench gate: all checks passed");
+        ExitCode::SUCCESS
+    }
+}

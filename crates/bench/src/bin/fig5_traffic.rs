@@ -1,9 +1,18 @@
 //! Figure 5: network traffic with SNooPy, normalized to a baseline system
-//! without provenance, broken down by cause.
+//! without provenance, broken down by cause — plus the §5.6 batching
+//! ablation: the same BGP workload at increasing `Tbatch` windows, showing
+//! commitment signatures and authenticator bytes amortizing while the
+//! tuple traffic stays essentially flat (interleaving churn moves the
+//! message count by a few percent; the routing outcome is identical).
+//!
+//! Emits `BENCH_fig5.json` with the same data in machine-readable form.
+//! Set `SNP_BENCH_SMOKE=1` to run a tiny configuration (used by CI).
 
-use snp_bench::{normalized, print_row, Config};
+use snp_bench::json::{write_json, Json};
+use snp_bench::{batching_scenario, normalized, print_row, run_batching_point, Config, BATCH_WINDOWS_US};
 
 fn main() {
+    let smoke = snp_bench::smoke();
     println!("Figure 5 — runtime network traffic, normalized to baseline");
     println!("(columns are the stacked components of the paper's Figure 5)\n");
     let widths = [14, 10, 10, 10, 10, 10, 12, 12];
@@ -22,7 +31,9 @@ fn main() {
         .as_ref(),
         &widths,
     );
-    for config in Config::ALL {
+    let configs: &[Config] = if smoke { &[Config::Quagga] } else { &Config::ALL };
+    let mut config_rows = Vec::new();
+    for config in configs {
         let baseline = config.run(false, 42);
         let snp = config.run(true, 42);
         let t = snp.traffic;
@@ -39,10 +50,102 @@ fn main() {
             ],
             &widths,
         );
+        config_rows.push(Json::obj([
+            ("config", Json::str(config.label())),
+            ("baseline_bytes", Json::Int(baseline.traffic.total())),
+            ("proxy_bytes", Json::Int(t.proxy_bytes)),
+            ("provenance_bytes", Json::Int(t.provenance_bytes)),
+            ("authenticator_bytes", Json::Int(t.authenticator_bytes)),
+            ("ack_bytes", Json::Int(t.ack_bytes)),
+            ("total_bytes", Json::Int(t.total())),
+            ("normalized", Json::Num(normalized(t.total(), baseline.traffic.total()))),
+        ]));
     }
     println!(
         "\nExpected shape (paper): the BGP-style config has the largest relative overhead\n\
          (small messages → fixed per-message cost dominates); MapReduce overhead is\n\
          negligible relative to its large payloads; Chord sits in between."
+    );
+
+    // Batching ablation (§5.6): the BGP workload at increasing Tbatch.
+    let scenario = batching_scenario(smoke);
+    println!(
+        "\nBatching ablation — BGP, {} ASes, {} updates over {} s\n",
+        scenario.ases, scenario.updates, scenario.duration_s
+    );
+    let ab_widths = [12, 10, 12, 10, 10, 12, 12, 10];
+    print_row(
+        [
+            "window", "msgs", "batches", "sigs", "auth B", "ack B", "total B", "sig gain",
+        ]
+        .map(String::from)
+        .as_ref(),
+        &ab_widths,
+    );
+    let mut series_rows = Vec::new();
+    let mut unbatched_sigs = 0u64;
+    for window_us in BATCH_WINDOWS_US {
+        let point = run_batching_point(&scenario, window_us, 42);
+        let sigs = point.traffic.commitment_signatures();
+        if window_us == 0 {
+            unbatched_sigs = sigs;
+        }
+        let gain = if sigs == 0 {
+            0.0
+        } else {
+            unbatched_sigs as f64 / sigs as f64
+        };
+        print_row(
+            &[
+                if window_us == 0 {
+                    "off".to_string()
+                } else {
+                    format!("{} ms", window_us / 1_000)
+                },
+                format!("{}", point.traffic.data_messages),
+                format!("{}", point.traffic.batch_messages),
+                format!("{sigs}"),
+                format!("{}", point.traffic.authenticator_bytes),
+                format!("{}", point.traffic.ack_bytes),
+                format!("{}", point.traffic.total()),
+                format!("{gain:.2}x"),
+            ],
+            &ab_widths,
+        );
+        series_rows.push(Json::obj([
+            ("window_us", Json::Int(window_us)),
+            ("data_messages", Json::Int(point.traffic.data_messages)),
+            ("batch_messages", Json::Int(point.traffic.batch_messages)),
+            ("commitment_signatures", Json::Int(sigs)),
+            ("authenticator_bytes", Json::Int(point.traffic.authenticator_bytes)),
+            ("ack_bytes", Json::Int(point.traffic.ack_bytes)),
+            ("total_bytes", Json::Int(point.traffic.total())),
+            ("signature_gain_vs_unbatched", Json::Num(gain)),
+        ]));
+    }
+    println!(
+        "\nExpected shape: the message count stays essentially flat (delivery\n\
+         interleavings move the intermediate churn by a few percent) while\n\
+         signatures collapse to roughly one per (destination, window) — the\n\
+         1 s window amortizes an order of magnitude of signature traffic on\n\
+         the chatty BGP workload."
+    );
+
+    write_json(
+        "BENCH_fig5.json",
+        &Json::obj([
+            ("figure", Json::str("fig5_traffic")),
+            ("smoke", Json::Bool(smoke)),
+            ("configs", Json::Arr(config_rows)),
+            (
+                "batching",
+                Json::obj([
+                    ("ases", Json::Int(scenario.ases)),
+                    ("updates", Json::Int(scenario.updates as u64)),
+                    ("duration_s", Json::Int(scenario.duration_s)),
+                    ("series", Json::Arr(series_rows)),
+                ]),
+            ),
+        ]),
     );
 }

@@ -226,6 +226,7 @@ fn main() {
                 ("measured_speedup_vs_serial", Json::Num(measured)),
                 ("modeled_audit_speedup_vs_serial", Json::Num(modeled)),
                 ("audits", Json::Int(cell.result.stats.audits)),
+                ("replayed_entries", Json::Int(cell.result.stats.replayed_entries)),
                 ("identical_to_serial", Json::Bool(identical)),
             ]));
             assert!(

@@ -1,8 +1,11 @@
-//! A tiny JSON emitter for machine-readable benchmark results.
+//! A tiny JSON emitter *and parser* for machine-readable benchmark results.
 //!
 //! The build environment is offline (no serde), so the harness binaries
 //! serialize their results with this minimal value tree instead.  Output is
-//! deterministic: object keys are emitted in insertion order.
+//! deterministic: object keys are emitted in insertion order.  The parser
+//! exists for the CI bench-regression gate (`bench_gate`), which reads the
+//! emitted `BENCH_*.json` files back and compares them against committed
+//! baselines.
 
 use std::fmt::Write as _;
 
@@ -97,6 +100,246 @@ impl Json {
     }
 }
 
+impl Json {
+    /// Parse a JSON document (the subset this module emits: no exponents in
+    /// emitted output are *excluded* — the parser accepts standard JSON
+    /// numbers, strings, booleans, null, arrays and objects).
+    pub fn parse(input: &str) -> Result<Json, String> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_ws();
+        let value = parser.value()?;
+        parser.skip_ws();
+        if parser.pos != parser.bytes.len() {
+            return Err(format!("trailing data at byte {}", parser.pos));
+        }
+        Ok(value)
+    }
+
+    /// Look up a dotted path of object keys and array indices, e.g.
+    /// `batching.series.2.signatures`.  Returns `None` when any component is
+    /// missing.
+    pub fn get(&self, path: &str) -> Option<&Json> {
+        let mut current = self;
+        for part in path.split('.') {
+            current = match current {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == part).map(|(_, v)| v)?,
+                Json::Arr(items) => items.get(part.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(current)
+    }
+
+    /// The numeric value of this node, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The string value of this node, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements of this node, if it is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", byte as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            // Emitted for non-finite floats; round-trips as NaN.
+            Some(b'n') => self.literal("null", Json::Num(f64::NAN)),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(escape) = self.peek() else {
+                        return Err("unterminated escape".into());
+                    };
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(format!("unknown escape at byte {}", self.pos)),
+                    }
+                }
+                _ => {
+                    // Consume the full UTF-8 sequence starting at c.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| format!("invalid UTF-8 at byte {start}"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are UTF-8");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Json::Int(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+}
+
 /// Write a JSON document to `path` and report where it went.
 pub fn write_json(path: &str, value: &Json) {
     match std::fs::write(path, value.render() + "\n") {
@@ -130,5 +373,49 @@ mod tests {
     #[test]
     fn non_finite_numbers_become_null() {
         assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn parse_round_trips_emitted_documents() {
+        let doc = Json::obj([
+            ("name", Json::str("fig5")),
+            ("smoke", Json::Bool(false)),
+            (
+                "series",
+                Json::Arr(vec![
+                    Json::obj([("window_us", Json::Int(0)), ("signatures", Json::Int(812))]),
+                    Json::obj([("window_us", Json::Int(100000)), ("ratio", Json::Num(7.25))]),
+                ]),
+            ),
+            ("note", Json::str("a\"b\\c\nd")),
+        ]);
+        let parsed = Json::parse(&doc.render()).expect("round trip");
+        assert_eq!(parsed.render(), doc.render());
+    }
+
+    #[test]
+    fn get_walks_objects_and_arrays() {
+        let doc = Json::parse(r#"{"a":{"b":[{"c":41},{"c":42.5}]}}"#).unwrap();
+        assert_eq!(doc.get("a.b.1.c").and_then(Json::as_f64), Some(42.5));
+        assert_eq!(doc.get("a.b.0.c").and_then(Json::as_f64), Some(41.0));
+        assert!(doc.get("a.b.2.c").is_none());
+        assert!(doc.get("a.x").is_none());
+        assert_eq!(doc.get("a.b").and_then(Json::as_arr).map(<[Json]>::len), Some(2));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\":1} extra").is_err());
+        assert!(Json::parse("tru").is_err());
+    }
+
+    #[test]
+    fn parse_handles_negatives_null_and_unicode() {
+        let doc = Json::parse(r#"{"v":-3.5,"n":null,"s":"héllo A"}"#).unwrap();
+        assert_eq!(doc.get("v").and_then(Json::as_f64), Some(-3.5));
+        assert!(doc.get("n").and_then(Json::as_f64).unwrap().is_nan());
+        assert_eq!(doc.get("s").and_then(Json::as_str), Some("héllo A"));
     }
 }

@@ -162,6 +162,7 @@ pub struct DeploymentBuilder {
     secure: bool,
     epoch_length: Option<SimDuration>,
     retain_epochs: Option<usize>,
+    batch_window: Option<SimDuration>,
     query_threads: Option<usize>,
     apps: Vec<Box<dyn Application>>,
     byzantine: Vec<(NodeId, ByzantineConfig)>,
@@ -198,6 +199,7 @@ impl Default for DeploymentBuilder {
             secure: true,
             epoch_length: None,
             retain_epochs: None,
+            batch_window: None,
             query_threads: None,
             apps: Vec::new(),
             byzantine: Vec::new(),
@@ -259,6 +261,28 @@ impl DeploymentBuilder {
     /// Figure 6's truncation series).  Requires an epoch length.
     pub fn retain_epochs(mut self, k: usize) -> DeploymentBuilder {
         self.retain_epochs = Some(k);
+        self
+    }
+
+    /// Batch the commitment protocol (§5.6): every node buffers outgoing
+    /// tuple notifications per destination for up to `window` and flushes
+    /// each window as *one* wire packet carrying a single authenticator;
+    /// receivers verify once per batch and piggyback their acks on their own
+    /// next flush.  A zero window (the default) keeps the classic
+    /// one-signature-per-message protocol.  The environment variable
+    /// `SNP_BATCH_WINDOW` (microseconds) overrides whatever the builder
+    /// configures, so an experiment can be re-run batched without code
+    /// changes.
+    ///
+    /// For any window, the converged tuple state and every provenance query
+    /// verdict are identical to the unbatched run — only signature counts,
+    /// packet counts, and wire bytes change.  Sends are logged at *push*
+    /// time with their original timestamps, so logs are byte-identical too
+    /// on an in-order fixed-delay network; under delivery jitter the
+    /// interleavings (and hence intermediate churn) may differ in either
+    /// mode, never the outcome.
+    pub fn batch_window(mut self, window: SimDuration) -> DeploymentBuilder {
+        self.batch_window = Some(window);
         self
     }
 
@@ -348,13 +372,22 @@ impl DeploymentBuilder {
         }
         let (_, _, registry) = KeyRegistry::deployment(max_id + 1);
         let t_prop_micros = self.network.t_prop.as_micros();
+        let batch_window_micros = std::env::var("SNP_BATCH_WINDOW")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .or(self.batch_window.map(|w| w.as_micros()))
+            .unwrap_or(0);
+        // Under batching a message may wait a full window before it is even
+        // transmitted and its ack another at the receiver, so the replay
+        // bound the querier judges missing acks by is Tprop + Tbatch.
         let mut deployment = Deployment {
             sim: Simulator::new(self.network, self.seed),
             handles: BTreeMap::new(),
-            querier: Querier::new(registry.clone(), t_prop_micros),
+            querier: Querier::new(registry.clone(), t_prop_micros + batch_window_micros),
             secure: self.secure,
             registry,
             t_prop_micros,
+            batch_window_micros,
         };
 
         for app in &self.apps {
@@ -420,6 +453,7 @@ pub struct Deployment {
     pub secure: bool,
     registry: KeyRegistry,
     t_prop_micros: u64,
+    batch_window_micros: u64,
 }
 
 impl Deployment {
@@ -431,7 +465,9 @@ impl Deployment {
     /// Wire one node into the simulator and the querier.
     fn install(&mut self, id: NodeId, spec: AppNode) -> SnoopyHandle {
         let node = if self.secure {
-            SnoopyNode::new(id, spec.machine, self.registry.clone(), self.t_prop_micros)
+            let mut node = SnoopyNode::new(id, spec.machine, self.registry.clone(), self.t_prop_micros);
+            node.set_batch_window(self.batch_window_micros);
+            node
         } else {
             SnoopyNode::baseline(id, spec.machine)
         };
@@ -569,6 +605,12 @@ impl Deployment {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.handles.len()
+    }
+
+    /// The §5.6 batching window every node was configured with
+    /// (microseconds; 0 = unbatched).
+    pub fn batch_window_micros(&self) -> u64 {
+        self.batch_window_micros
     }
 }
 

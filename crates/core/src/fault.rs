@@ -1,7 +1,7 @@
 //! Byzantine fault injection (§2.1 threat model).
 //!
 //! The adversary "can change both the primary system and the provenance
-//! system on [compromised] nodes, and he can read, forge, tamper with, or
+//! system on \[compromised\] nodes, and he can read, forge, tamper with, or
 //! destroy any information they are holding."  [`ByzantineConfig`] exposes
 //! the concrete misbehaviours the evaluation needs; application-level
 //! misbehaviour (an Eclipse-attacking Chord node, a corrupt mapper) is
@@ -25,6 +25,13 @@ pub struct ByzantineConfig {
     pub fabricate_on_start: Vec<(NodeId, TupleDelta)>,
     /// Do not acknowledge received messages.
     pub suppress_acks: bool,
+    /// Ack withholding under batching (§5.6): process received *batches*
+    /// normally (apply the deltas, log the `rcv` entries) but never queue
+    /// the piggybacked acknowledgments for them.  Unlike `suppress_acks`
+    /// this node still acknowledges unbatched singleton messages, so the
+    /// fault is only visible on the batched commitment path — the sender's
+    /// 2·Tprop ack sweep must still expose it.
+    pub withhold_batch_acks: bool,
     /// Refuse to answer `retrieve` requests (the querier's vertices for this
     /// node stay yellow).
     pub refuse_retrieve: bool,
@@ -52,6 +59,7 @@ impl ByzantineConfig {
         !self.suppress_sends_to.is_empty()
             || !self.fabricate_on_start.is_empty()
             || self.suppress_acks
+            || self.withhold_batch_acks
             || self.refuse_retrieve
             || self.tamper_log_drop_entry.is_some()
             || self.equivocate_truncate_to.is_some()
@@ -96,6 +104,11 @@ mod tests {
         .is_byzantine());
         assert!(ByzantineConfig {
             suppress_acks: true,
+            ..Default::default()
+        }
+        .is_byzantine());
+        assert!(ByzantineConfig {
+            withhold_batch_acks: true,
             ..Default::default()
         }
         .is_byzantine());

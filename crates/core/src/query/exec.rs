@@ -3,7 +3,7 @@
 //! [`AuditPool`] executes the [`AuditUnit`]s of an [`super::plan::AuditPlan`]
 //! on a scoped `std::thread` worker pool.  Workers pull units off a shared
 //! index, audit their node (retrieve → verify → replay → consistency-check),
-//! publish the verified record to the shared [`AuditCache`], and deposit the
+//! publish the verified record to the shared `AuditCache`, and deposit the
 //! outcome into the unit's result slot.  The pool returns outcomes in *plan*
 //! order regardless of completion order, and every unit accounts its costs
 //! into a private [`QueryStats`] delta, so the querier's merge step is a

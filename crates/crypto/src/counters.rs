@@ -66,6 +66,17 @@ pub fn reset() {
     HASH_BYTES.store(0, Ordering::Relaxed);
 }
 
+/// Run a closure and return its result together with the crypto operations
+/// it performed (the difference of the global counters around the call).
+/// This is what Figure 7 and the batching ablations use to attribute
+/// signature generations to a run.
+pub fn with_counting<R>(f: impl FnOnce() -> R) -> (R, CryptoOpCounts) {
+    let before = snapshot();
+    let result = f();
+    let after = snapshot();
+    (result, after.since(&before))
+}
+
 /// Read the current counter values.
 pub fn snapshot() -> CryptoOpCounts {
     CryptoOpCounts {
@@ -79,6 +90,19 @@ pub fn snapshot() -> CryptoOpCounts {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_counting_attributes_ops_to_the_closure() {
+        let (value, ops) = with_counting(|| {
+            record_signature();
+            record_hash(10);
+            7
+        });
+        assert_eq!(value, 7);
+        assert_eq!(ops.signatures, 1);
+        assert_eq!(ops.hash_ops, 1);
+        assert_eq!(ops.hash_bytes, 10);
+    }
 
     #[test]
     fn counters_accumulate_and_diff() {

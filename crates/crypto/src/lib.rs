@@ -5,7 +5,7 @@
 //! RSA).  Because this reproduction must be self-contained, the primitives
 //! are implemented here from scratch:
 //!
-//! * [`sha256`] — a from-scratch SHA-256 implementation (FIPS 180-4),
+//! * [`sha256`](mod@sha256) — a from-scratch SHA-256 implementation (FIPS 180-4),
 //!   checked against the standard test vectors.
 //! * [`digest`] — the 32-byte [`digest::Digest`] type with hex helpers.
 //! * [`sign`] — Schnorr-style discrete-log signatures over the multiplicative

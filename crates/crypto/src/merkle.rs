@@ -84,7 +84,7 @@ impl MerkleTree {
         let mut siblings = Vec::new();
         let mut pos = index;
         for level in &self.levels[..self.levels.len().saturating_sub(1)] {
-            let sibling_pos = if pos.is_multiple_of(2) { pos + 1 } else { pos - 1 };
+            let sibling_pos = if pos % 2 == 0 { pos + 1 } else { pos - 1 };
             let sibling = level.get(sibling_pos).copied().unwrap_or(level[pos]);
             siblings.push(sibling);
             pos /= 2;
@@ -105,7 +105,7 @@ impl MerkleTree {
         let mut pos = proof.index;
         let mut width = proof.leaf_count;
         for sibling in &proof.siblings {
-            acc = if pos.is_multiple_of(2) {
+            acc = if pos % 2 == 0 {
                 node_hash(&acc, sibling)
             } else {
                 node_hash(sibling, &acc)

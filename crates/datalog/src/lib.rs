@@ -5,7 +5,7 @@
 //! algorithm is a set of *derivation rules* of the form
 //! `τ@n ← τ1@n1 ∧ τ2@n2 ∧ … ∧ τk@nk`.  This crate implements that model:
 //!
-//! * [`value`] / [`tuple`] — the data model ([`Value`], [`Tuple`]).
+//! * [`value`] / [`tuple`](mod@tuple) — the data model ([`Value`], [`Tuple`]).
 //! * [`rule`] — derivation rules, `maybe` rules (§3.4), aggregation rules and
 //!   the constraint/expression language.
 //! * [`parser`] — a small text syntax ("DDlog"-style) for writing rule sets.

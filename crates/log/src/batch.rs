@@ -7,38 +7,41 @@
 //! rate of signature generations/verifications is limited to `1/Tbatch` per
 //! destination."
 //!
-//! The batcher is a pure data structure: callers push outgoing notifications
-//! with their local timestamps and poll for flushes.  The Figure 5/7 batching
-//! ablation uses it to measure how many signatures and authenticator bytes
-//! batching saves on the BGP workload.
+//! The batcher is a pure data structure: callers push outgoing items with
+//! their local timestamps, ask for the next flush deadline (so a runtime can
+//! arm a timer that closes the window deterministically in virtual time), and
+//! poll for flushes.  It is generic over the queued item so that the runtime
+//! commitment protocol can batch full [`snp_graph::history::Message`]s
+//! (tuple notifications *and* piggybacked acknowledgments) while the
+//! Figure 5/7 ablations keep batching bare `TupleDelta`s.
 
 use snp_crypto::keys::NodeId;
 use snp_datalog::TupleDelta;
 use snp_graph::vertex::Timestamp;
 use std::collections::BTreeMap;
 
-/// A batch of notifications flushed to one destination.
+/// A batch of items flushed to one destination.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Batch {
+pub struct Batch<T = TupleDelta> {
     /// Destination node.
     pub to: NodeId,
-    /// The notifications in send order.
-    pub deltas: Vec<TupleDelta>,
+    /// The queued items in send order.
+    pub deltas: Vec<T>,
     /// The time at which the batch was flushed.
     pub flushed_at: Timestamp,
 }
 
 /// The Nagle-style batcher.
 #[derive(Clone, Debug)]
-pub struct MessageBatcher {
+pub struct MessageBatcher<T = TupleDelta> {
     t_batch: Timestamp,
-    queues: BTreeMap<NodeId, (Timestamp, Vec<TupleDelta>)>,
+    queues: BTreeMap<NodeId, (Timestamp, Vec<T>)>,
 }
 
-impl MessageBatcher {
+impl<T> MessageBatcher<T> {
     /// Create a batcher with window `t_batch` (microseconds).  A window of 0
     /// disables batching: every push flushes immediately.
-    pub fn new(t_batch: Timestamp) -> MessageBatcher {
+    pub fn new(t_batch: Timestamp) -> MessageBatcher<T> {
         MessageBatcher {
             t_batch,
             queues: BTreeMap::new(),
@@ -50,9 +53,9 @@ impl MessageBatcher {
         self.t_batch
     }
 
-    /// Queue a notification for `to` at local time `now`.  Returns a batch if
-    /// this push itself triggers an immediate flush (window 0).
-    pub fn push(&mut self, to: NodeId, delta: TupleDelta, now: Timestamp) -> Option<Batch> {
+    /// Queue an item for `to` at local time `now`.  Returns a batch if this
+    /// push itself triggers an immediate flush (window 0).
+    pub fn push(&mut self, to: NodeId, delta: T, now: Timestamp) -> Option<Batch<T>> {
         if self.t_batch == 0 {
             return Some(Batch {
                 to,
@@ -65,8 +68,21 @@ impl MessageBatcher {
         None
     }
 
-    /// Flush every queue whose window has expired at `now`.
-    pub fn poll(&mut self, now: Timestamp) -> Vec<Batch> {
+    /// The flush deadline of `to`'s open window, if one is open.
+    pub fn deadline_for(&self, to: NodeId) -> Option<Timestamp> {
+        self.queues.get(&to).map(|(since, _)| since + self.t_batch)
+    }
+
+    /// The earliest flush deadline over all open windows — what a runtime
+    /// arms its flush timer for.  `None` when nothing is pending.
+    pub fn next_deadline(&self) -> Option<Timestamp> {
+        self.queues.values().map(|(since, _)| since + self.t_batch).min()
+    }
+
+    /// Flush every queue whose window has expired at `now`.  Queues are
+    /// flushed in ascending destination order, so flushes that share a
+    /// deadline are emitted deterministically.
+    pub fn poll(&mut self, now: Timestamp) -> Vec<Batch<T>> {
         let mut flushed = Vec::new();
         let expired: Vec<NodeId> = self
             .queues
@@ -85,8 +101,9 @@ impl MessageBatcher {
         flushed
     }
 
-    /// Flush everything unconditionally (end of run).
-    pub fn flush_all(&mut self, now: Timestamp) -> Vec<Batch> {
+    /// Flush everything unconditionally (end of run), in ascending
+    /// destination order.
+    pub fn flush_all(&mut self, now: Timestamp) -> Vec<Batch<T>> {
         let mut flushed = Vec::new();
         for (to, (_, deltas)) in std::mem::take(&mut self.queues) {
             if !deltas.is_empty() {
@@ -100,7 +117,7 @@ impl MessageBatcher {
         flushed
     }
 
-    /// Notifications currently waiting.
+    /// Items currently waiting.
     pub fn pending(&self) -> usize {
         self.queues.values().map(|(_, v)| v.len()).sum()
     }
@@ -120,7 +137,9 @@ mod tests {
         let mut b = MessageBatcher::new(0);
         let batch = b.push(NodeId(1), delta(1), 100).expect("immediate flush");
         assert_eq!(batch.deltas.len(), 1);
+        assert_eq!(batch.flushed_at, 100);
         assert_eq!(b.pending(), 0);
+        assert_eq!(b.next_deadline(), None, "window 0 never leaves anything queued");
     }
 
     #[test]
@@ -137,6 +156,67 @@ mod tests {
         let batches2 = b.poll(160_000);
         assert_eq!(batches2.len(), 1);
         assert_eq!(batches2[0].to, NodeId(2));
+    }
+
+    #[test]
+    fn flush_happens_exactly_at_the_deadline() {
+        // The window closes at exactly t + t_batch: one tick earlier nothing
+        // flushes, at the deadline itself the whole queue goes out.
+        let mut b = MessageBatcher::new(10_000);
+        b.push(NodeId(1), delta(1), 1_000);
+        assert_eq!(b.deadline_for(NodeId(1)), Some(11_000));
+        assert_eq!(b.next_deadline(), Some(11_000));
+        assert!(b.poll(10_999).is_empty(), "one tick before the deadline");
+        let flushed = b.poll(11_000);
+        assert_eq!(flushed.len(), 1, "the deadline itself closes the window");
+        assert_eq!(flushed[0].flushed_at, 11_000);
+        assert_eq!(b.next_deadline(), None);
+    }
+
+    #[test]
+    fn later_pushes_do_not_extend_an_open_window() {
+        // Nagle-style: the deadline is anchored at the *first* push of the
+        // window, so a steady trickle cannot postpone the flush forever.
+        let mut b = MessageBatcher::new(10_000);
+        b.push(NodeId(1), delta(1), 0);
+        b.push(NodeId(1), delta(2), 9_999);
+        assert_eq!(b.deadline_for(NodeId(1)), Some(10_000));
+        let flushed = b.poll(10_000);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].deltas.len(), 2);
+    }
+
+    #[test]
+    fn interleaved_destinations_flush_in_deterministic_order() {
+        // Pushes interleave across destinations; when several windows expire
+        // by the same poll, the flush order is ascending by destination id —
+        // and `flush_all` follows the same order.
+        let mut b = MessageBatcher::new(5_000);
+        for i in 0..9u64 {
+            b.push(NodeId(3 - (i % 3)), delta(i as i64), 10 * i);
+        }
+        let flushed = b.poll(1_000_000);
+        let order: Vec<NodeId> = flushed.iter().map(|f| f.to).collect();
+        assert_eq!(order, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        for batch in &flushed {
+            assert_eq!(batch.deltas.len(), 3);
+        }
+        let mut b2 = MessageBatcher::new(5_000);
+        for i in 0..9u64 {
+            b2.push(NodeId(3 - (i % 3)), delta(i as i64), 10 * i);
+        }
+        let all: Vec<NodeId> = b2.flush_all(20).iter().map(|f| f.to).collect();
+        assert_eq!(all, vec![NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn next_deadline_is_the_earliest_open_window() {
+        let mut b = MessageBatcher::new(10_000);
+        b.push(NodeId(5), delta(1), 3_000);
+        b.push(NodeId(2), delta(2), 1_000);
+        assert_eq!(b.next_deadline(), Some(11_000));
+        b.poll(11_000);
+        assert_eq!(b.next_deadline(), Some(13_000));
     }
 
     #[test]
@@ -162,5 +242,16 @@ mod tests {
         let batches = b.flush_all(10);
         assert_eq!(batches.len(), 2);
         assert_eq!(b.pending(), 0);
+    }
+
+    #[test]
+    fn generic_items_batch_like_deltas() {
+        // The runtime batches full wire messages; any item type works.
+        let mut b: MessageBatcher<&'static str> = MessageBatcher::new(1_000);
+        b.push(NodeId(1), "delta", 0);
+        b.push(NodeId(1), "ack", 10);
+        let flushed = b.poll(1_000);
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].deltas, vec!["delta", "ack"]);
     }
 }

@@ -34,6 +34,7 @@ pub mod log;
 pub mod verifier;
 
 pub use auth::{Authenticator, AuthenticatorSet};
+pub use batch::{Batch, MessageBatcher};
 pub use checkpoint::{Checkpoint, CheckpointEntry, PartialCheckpoint};
 pub use entry::{EntryKind, LogEntry};
 pub use log::{chain_span, verify_suffix, LogSegment, LogStats, SecureLog, SegmentError};

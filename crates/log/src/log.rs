@@ -191,8 +191,21 @@ impl SecureLog {
     }
 
     /// Append an entry and return it together with an authenticator covering
-    /// the new prefix.
+    /// the new prefix.  The authenticator costs one signature; callers that
+    /// do not put it on the wire (or that amortize signing over a batch of
+    /// appends, §5.6) should use [`SecureLog::append_entry`] instead and
+    /// issue a single [`SecureLog::authenticator`] at the end of the span.
     pub fn append(&mut self, timestamp: Timestamp, kind: EntryKind) -> (LogEntry, Authenticator) {
+        let entry = self.append_entry(timestamp, kind);
+        let auth = Authenticator::issue(&self.keys, entry.seq, timestamp, self.head);
+        (entry, auth)
+    }
+
+    /// Append an entry *without* issuing an authenticator.  This is the
+    /// signature-free half of [`SecureLog::append`]: the hash chain is
+    /// extended, but the signed commitment is deferred — one authenticator
+    /// issued after a run of appends covers the whole span through the chain.
+    pub fn append_entry(&mut self, timestamp: Timestamp, kind: EntryKind) -> LogEntry {
         let entry = LogEntry {
             seq: self.next_seq,
             timestamp,
@@ -202,8 +215,7 @@ impl SecureLog {
         self.last_entry = Some((entry.seq, timestamp));
         self.next_seq += 1;
         self.active.push(entry.clone());
-        let auth = Authenticator::issue(&self.keys, entry.seq, timestamp, self.head);
-        (entry, auth)
+        entry
     }
 
     /// Issue a fresh authenticator for the current head without appending.
@@ -719,6 +731,28 @@ mod tests {
             // A longer segment also verifies (only the prefix is checked).
             assert_eq!(log.full_segment().verify(auth, &keys(1).public), Ok(()));
         }
+    }
+
+    #[test]
+    fn one_span_authenticator_covers_a_run_of_unsigned_appends() {
+        // The §5.6 batching path appends a whole batch with `append_entry`
+        // (no per-entry signature) and issues one authenticator at flush
+        // time; verification over the span must behave exactly as if every
+        // entry had been signed individually.
+        let mut signed = SecureLog::new(keys(1));
+        let mut amortized = SecureLog::new(keys(1));
+        for i in 0..8 {
+            signed.append(i * 10, EntryKind::Ins { tuple: tuple(i as i64) });
+            amortized.append_entry(i * 10, EntryKind::Ins { tuple: tuple(i as i64) });
+        }
+        assert_eq!(signed.head(), amortized.head(), "the chain is signature-independent");
+        let auth = amortized.authenticator().expect("non-empty");
+        assert_eq!(auth.seq, 7, "the deferred authenticator covers the whole span");
+        assert_eq!(amortized.full_segment().verify(&auth, &keys(1).public), Ok(()));
+        // Dropping any entry of the span still breaks verification.
+        let mut tampered = amortized.full_segment();
+        tampered.entries.remove(3);
+        assert!(tampered.verify(&auth, &keys(1).public).is_err());
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! them:
 //!
 //! * *Assumption 1* (reliable retransmission) — the default network delivers
-//!   every message; loss can be injected explicitly for fault experiments.
+//!   every message, and each directed link delivers *in order* (the TCP-like
+//!   transport the paper's deployments run on: a per-link FIFO horizon
+//!   prevents a retraction from overtaking the insertion it cancels); loss
+//!   can be injected explicitly for fault experiments.
 //! * *Assumption 4* (messages arrive within `Tprop`) — per-link delay is
 //!   bounded by [`network::NetworkConfig::t_prop`].
 //! * *Assumption 5* (clocks synchronized within `Δclock`) — each node has a

@@ -92,6 +92,17 @@ impl<P: Payload> Context<P> {
         });
     }
 
+    /// Request a timer callback at an absolute local time.  Deadlines in the
+    /// past fire immediately (at the current instant).  This is what
+    /// deadline-driven schedulers — the §5.6 batch-flush windows — use so a
+    /// window closes at exactly `t + Tbatch` in virtual time.
+    pub fn set_timer_at(&mut self, at: SimTime, id: TimerId) {
+        self.timers.push(TimerRequest {
+            fire_at: at.max(self.now),
+            id,
+        });
+    }
+
     /// Ask the simulator to stop delivering events to this node (crash-stop).
     pub fn halt(&mut self) {
         self.halted = true;
@@ -130,6 +141,16 @@ mod tests {
         assert_eq!(timers.len(), 1);
         assert_eq!(timers[0].fire_at, SimTime::from_secs(1) + SimDuration::from_millis(10));
         assert!(halted);
+    }
+
+    #[test]
+    fn absolute_timers_clamp_to_now() {
+        let mut ctx: Context<Vec<u8>> = Context::new(NodeId(1), SimTime::from_secs(10), DetRng::new(0));
+        ctx.set_timer_at(SimTime::from_secs(12), TimerId(1));
+        ctx.set_timer_at(SimTime::from_secs(3), TimerId(2));
+        let (_, timers, _) = ctx.take_outputs();
+        assert_eq!(timers[0].fire_at, SimTime::from_secs(12));
+        assert_eq!(timers[1].fire_at, SimTime::from_secs(10), "past deadlines fire now");
     }
 
     #[test]
