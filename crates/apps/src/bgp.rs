@@ -19,7 +19,7 @@
 
 use snp_core::deploy::{AppNode, Application, Deployment, WorkloadEvent};
 use snp_crypto::keys::NodeId;
-use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
+use snp_datalog::{AbsenceWitness, Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
 use snp_sim::rng::DetRng;
 use snp_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet};
@@ -107,6 +107,24 @@ pub fn route(asn: NodeId, prefix: &str, path: &[NodeId], via: NodeId) -> Tuple {
             Value::List(path.iter().map(|n| Value::Node(*n)).collect()),
             Value::Node(via),
         ],
+    )
+}
+
+/// `route(@a, prefix, *, *)` — the negative-query pattern for "a route to
+/// `prefix`, whatever its path": the blackhole question "why does my BGP
+/// table have *no* route to prefix P?" cannot know the AS path of the route
+/// it is missing.
+pub fn route_pattern(asn: NodeId, prefix: &str) -> Tuple {
+    Tuple::new("route", asn, vec![Value::str(prefix), Value::Wild, Value::Wild])
+}
+
+/// `advRoute(@a, prefix, *, from)` — the negative-query pattern for "an
+/// advertisement of `prefix` from neighbor `from`, whatever its path".
+pub fn adv_route_pattern(asn: NodeId, prefix: &str, from: NodeId) -> Tuple {
+    Tuple::new(
+        "advRoute",
+        asn,
+        vec![Value::str(prefix), Value::Wild, Value::Node(from)],
     )
 }
 
@@ -322,6 +340,111 @@ impl BgpSpeaker {
         }
     }
 
+    // ----- negative provenance (why_absent) --------------------------------
+
+    /// The neighbors recorded in an externally supplied tuple state.
+    fn neighbors_in(node: NodeId, present: &[Tuple]) -> Vec<(NodeId, Relation)> {
+        present
+            .iter()
+            .filter(|t| t.relation == "neighbor" && t.location == node)
+            .filter_map(|t| Some((t.node_arg(0)?, Relation::from_str(t.str_arg(1)?)?)))
+            .collect()
+    }
+
+    /// Why is there no selected route for `prefix` at this AS?  One witness
+    /// per missing candidate source: the AS never originated the prefix, and
+    /// each neighbor never advertised it.
+    fn absent_route(&self, pattern: &Tuple, prefix: &str, present: &[Tuple]) -> Vec<AbsenceWitness> {
+        let mut witnesses = Vec::new();
+        let candidates: Vec<&Tuple> = present
+            .iter()
+            .filter(|t| {
+                t.location == self.node
+                    && ((t.relation == "originate" || t.relation == "advRoute") && t.str_arg(0) == Some(prefix))
+            })
+            .collect();
+        if !candidates.is_empty() {
+            // Some candidate exists, yet no matching route is selected.  If
+            // the pattern is fully open this should be impossible for an
+            // honest node; with concrete path/via arguments the selection
+            // legitimately picked a different candidate.
+            let open = pattern.args.iter().skip(1).all(Value::is_wild);
+            witnesses.push(if open {
+                AbsenceWitness::Derivable {
+                    rule: "bgp-select".into(),
+                }
+            } else {
+                AbsenceWitness::ConstraintFailed {
+                    rule: "bgp-select".into(),
+                }
+            });
+            return witnesses;
+        }
+        witnesses.push(AbsenceWitness::MissingLocal {
+            rule: "bgp-select".into(),
+            missing: originate(self.node, prefix),
+        });
+        for (neighbor, _) in Self::neighbors_in(self.node, present) {
+            witnesses.push(AbsenceWitness::NeverReceived {
+                rule: "bgp-export".into(),
+                tuple: adv_route_pattern(self.node, prefix, neighbor),
+                senders: vec![neighbor],
+            });
+        }
+        witnesses
+    }
+
+    /// Why did this AS never advertise `prefix` to `peer`?  Either it has no
+    /// route itself (recurse), or its export policy legitimately withheld
+    /// the route (Gao–Rexford, or no back-propagation to the next hop).
+    fn absent_export(&self, prefix: &str, peer: NodeId, present: &[Tuple]) -> Vec<AbsenceWitness> {
+        let selected = present
+            .iter()
+            .find(|t| t.relation == "route" && t.location == self.node && t.str_arg(0) == Some(prefix));
+        let Some(selected) = selected else {
+            return vec![AbsenceWitness::MissingLocal {
+                rule: "bgp-export".into(),
+                missing: route_pattern(self.node, prefix),
+            }];
+        };
+        let Some(via) = selected.node_arg(2) else {
+            return vec![AbsenceWitness::ConstraintFailed {
+                rule: "bgp-export".into(),
+            }];
+        };
+        if via == peer {
+            // At most one route per prefix per neighbor, and never back to
+            // the AS the route came from.
+            return vec![AbsenceWitness::ConstraintFailed {
+                rule: "bgp-no-reexport-to-nexthop".into(),
+            }];
+        }
+        let neighbors = Self::neighbors_in(self.node, present);
+        let originated = via == self.node;
+        let learned = neighbors
+            .iter()
+            .find(|(n, _)| *n == via)
+            .map(|(_, r)| *r)
+            .unwrap_or(Relation::Customer);
+        let to_relation = neighbors.iter().find(|(n, _)| *n == peer).map(|(_, r)| *r);
+        match to_relation {
+            None => vec![AbsenceWitness::MissingLocal {
+                rule: "bgp-export".into(),
+                missing: Tuple::new("neighbor", self.node, vec![Value::Node(peer), Value::Wild]),
+            }],
+            Some(to_relation) if self.may_export(learned, to_relation, originated) => {
+                // Policy says the route should have been exported; its
+                // absence on the wire is unaccounted for.
+                vec![AbsenceWitness::Derivable {
+                    rule: "bgp-export".into(),
+                }]
+            }
+            Some(_) => vec![AbsenceWitness::ConstraintFailed {
+                rule: "bgp-export-policy".into(),
+            }],
+        }
+    }
+
     fn affected_prefix(tuple: &Tuple) -> Option<String> {
         match tuple.relation.as_str() {
             "originate" | "prefer" | "advRoute" => tuple.str_arg(0).map(|s| s.to_string()),
@@ -449,6 +572,29 @@ impl StateMachine for BgpSpeaker {
         })()
         .map_err(|e: snp_datalog::SnapshotError| e.to_string())?;
         Ok(Box::new(machine))
+    }
+
+    /// Negative provenance for the BGP proxy's external specification: a
+    /// missing `route` is traced to the missing origination and the
+    /// advertisements never received from each neighbor; a missing
+    /// `advRoute` (asked of the would-be advertiser) is traced to its own
+    /// missing route or to the export policy that legitimately withheld it.
+    fn absence_of(&self, pattern: &Tuple, present: &[Tuple], _peers: &[NodeId]) -> Vec<AbsenceWitness> {
+        match pattern.relation.as_str() {
+            "route" if pattern.location == self.node => match pattern.str_arg(0) {
+                Some(prefix) => self.absent_route(pattern, prefix, present),
+                None => Vec::new(),
+            },
+            "advRoute" if pattern.node_arg(2) == Some(self.node) && pattern.location != self.node => {
+                match pattern.str_arg(0) {
+                    Some(prefix) => self.absent_export(prefix, pattern.location, present),
+                    None => Vec::new(),
+                }
+            }
+            // Base tuples: never inserted is the whole explanation.
+            "originate" | "neighbor" | "prefer" => vec![AbsenceWitness::NoBaseInsertion],
+            _ => Vec::new(),
+        }
     }
 
     fn name(&self) -> String {
@@ -692,6 +838,39 @@ pub fn disappear_trigger(tb: &mut Deployment, at: SimTime) {
     tb.insert_at(at, j, prefer(j, prefix, provider));
 }
 
+/// Build the BGP *blackhole* scenario for the negative query "why does my
+/// BGP table have no route to prefix P?": the origin (AS 3, a customer of
+/// the transit AS 2) announces the prefix, and the transit AS — whose
+/// export policy says peers *do* get customer routes — silently withholds
+/// its advertisement to the victim peer (AS 1) when `suppress` is set.  The
+/// victim's table simply has no route; only `why_absent` can show that the
+/// transit logged state obliging it to advertise and never delivered.
+///
+/// Returns the deployment, the victim, the transit AS and the prefix.
+pub fn blackhole_scenario(secure: bool, seed: u64, suppress: bool) -> (Deployment, NodeId, NodeId, String) {
+    let victim = NodeId(1);
+    let transit = NodeId(2);
+    let origin = NodeId(3);
+    let prefix = "203.0.113.0/24".to_string();
+    let mut builder = Deployment::builder().seed(seed).secure(secure);
+    for n in [victim, transit, origin] {
+        builder = builder.node(n, |id| Box::new(BgpSpeaker::new(id)));
+    }
+    let at = SimTime::from_millis(5);
+    builder = builder
+        .insert_at(at, victim, neighbor(victim, transit, Relation::Peer))
+        .insert_at(at, transit, neighbor(transit, victim, Relation::Peer))
+        .insert_at(at, transit, neighbor(transit, origin, Relation::Customer))
+        .insert_at(at, origin, neighbor(origin, transit, Relation::Provider));
+    if suppress {
+        builder = builder.byzantine(transit, snp_core::ByzantineConfig::suppressing(victim));
+    }
+    let tb = builder
+        .insert_at(SimTime::from_millis(100), origin, originate(origin, &prefix))
+        .build();
+    (tb, victim, transit, prefix)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -870,7 +1049,8 @@ mod tests {
                 victim_view,
                 TupleDelta::plus(adv_route(victim_view, prefix, &[hijacker], hijacker)),
             ),
-        );
+        )
+        .expect("deployed node");
         tb.run_until(SimTime::from_secs(30));
         let bogus_route = tb.handles[&victim_view]
             .with(|n| n.current_tuples())
@@ -884,6 +1064,77 @@ mod tests {
             result.implicated_nodes()
         );
         assert!(!result.implicated_nodes().contains(&victim_view));
+    }
+
+    #[test]
+    fn blackhole_why_absent_implicates_the_withholding_transit() {
+        let (mut tb, victim, transit, prefix) = blackhole_scenario(true, 21, true);
+        tb.run_until(SimTime::from_secs(30));
+        let has_route = tb.handles[&victim]
+            .with(|n| n.current_tuples())
+            .iter()
+            .any(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()));
+        assert!(!has_route, "the victim must be blackholed");
+
+        let result = tb.querier.why_absent(route_pattern(victim, &prefix)).at(victim).run();
+        assert!(result.root.is_some(), "the absence must be explained");
+        assert!(!result.is_legitimate(), "a withheld advertisement is not clean");
+        assert!(
+            result.implicated_nodes().contains(&transit),
+            "the withholding transit must be implicated: {:?}",
+            result.implicated_nodes()
+        );
+        assert!(
+            !result.implicated_nodes().contains(&victim) && !result.implicated_nodes().contains(&NodeId(3)),
+            "correct ASes must not be implicated"
+        );
+        // The transit's undelivered advertisement shows up as red evidence.
+        let red_send = result.vertices().any(|v| {
+            matches!(&v.kind, snp_graph::VertexKind::Send { node, .. } if *node == transit)
+                && v.color == snp_graph::Color::Red
+        });
+        assert!(red_send, "signed evidence of the withheld send:\n{}", result.render());
+    }
+
+    #[test]
+    fn blackhole_why_absent_is_legitimate_when_nothing_was_announced() {
+        // Same topology, no suppression and no origination: the absence is
+        // genuine and must be fully explained without implicating anyone.
+        let victim = NodeId(1);
+        let transit = NodeId(2);
+        let origin = NodeId(3);
+        let prefix = "203.0.113.0/24";
+        let mut builder = Deployment::builder().seed(4).secure(true);
+        for n in [victim, transit, origin] {
+            builder = builder.node(n, |id| Box::new(BgpSpeaker::new(id)));
+        }
+        let at = SimTime::from_millis(5);
+        let mut tb = builder
+            .insert_at(at, victim, neighbor(victim, transit, Relation::Peer))
+            .insert_at(at, transit, neighbor(transit, victim, Relation::Peer))
+            .insert_at(at, transit, neighbor(transit, origin, Relation::Customer))
+            .insert_at(at, origin, neighbor(origin, transit, Relation::Provider))
+            .build();
+        tb.run_until(SimTime::from_secs(10));
+        let result = tb.querier.why_absent(route_pattern(victim, prefix)).at(victim).run();
+        assert!(result.root.is_some());
+        assert!(
+            result.is_legitimate(),
+            "a never-announced prefix is a clean absence:\n{}",
+            result.render()
+        );
+        assert!(result.implicated_nodes().is_empty());
+        // The recursion walked through the transit to the origin's missing
+        // origination.
+        assert!(result.audits.contains_key(&transit));
+        let reaches_missing_originate = result
+            .vertices()
+            .any(|v| matches!(&v.kind, snp_graph::VertexKind::Absence { tuple, .. } if tuple.relation == "originate"));
+        assert!(
+            reaches_missing_originate,
+            "the absence must bottom out at a missing origination:\n{}",
+            result.render()
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use snp_core::deploy::{AppNode, Application, Deployment, WorkloadEvent};
 use snp_crypto::keys::NodeId;
-use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
+use snp_datalog::{AbsenceWitness, Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta, Value};
 use snp_sim::SimTime;
 use std::collections::BTreeSet;
 
@@ -255,6 +255,156 @@ impl ChordMachine {
         out
     }
 
+    // ----- negative provenance (why_absent) --------------------------------
+
+    /// `me` / `succ` read from an externally supplied tuple state.
+    fn ring_state_in(node: NodeId, present: &[Tuple]) -> Option<(u64, u64, NodeId)> {
+        let my_id = present
+            .iter()
+            .find(|t| t.relation == "me" && t.location == node)
+            .and_then(|t| t.int_arg(0))? as u64;
+        let succ = present
+            .iter()
+            .find(|t| t.relation == "succ" && t.location == node)
+            .and_then(|t| Some((t.int_arg(0)? as u64, t.node_arg(1)?)))?;
+        Some((my_id, succ.0, succ.1))
+    }
+
+    /// The closest preceding finger for `key`, computed from an externally
+    /// supplied tuple state (mirrors [`ChordMachine::closest_preceding`]).
+    fn closest_preceding_in(node: NodeId, present: &[Tuple], key: u64) -> Option<NodeId> {
+        let (my_id, _, succ_node) = Self::ring_state_in(node, present)?;
+        let mut best: Option<(u64, NodeId)> = None;
+        for t in present {
+            if t.relation != "finger" || t.location != node {
+                continue;
+            }
+            let (Some(fid), Some(fnode)) = (t.int_arg(1).map(|v| v as u64), t.node_arg(2)) else {
+                continue;
+            };
+            if fnode == node {
+                continue;
+            }
+            if in_interval(fid, my_id, key.wrapping_sub(1) % ID_SPACE) {
+                let better = match &best {
+                    None => true,
+                    Some((bid, _)) => in_interval(fid, *bid, key.wrapping_sub(1) % ID_SPACE),
+                };
+                if better {
+                    best = Some((fid, fnode));
+                }
+            }
+        }
+        best.map(|(_, n)| n)
+            .or(if succ_node == node { None } else { Some(succ_node) })
+    }
+
+    /// The lookup-request pattern corresponding to a `lookupResult` pattern,
+    /// homed at `node` (wildcards are preserved).
+    fn lookup_pattern_for(pattern: &Tuple, node: NodeId) -> Option<Tuple> {
+        let key = pattern.args.get(1)?.clone();
+        let req = pattern.args.first()?.clone();
+        Some(Tuple::new(
+            "lookup",
+            node,
+            vec![key, Value::Node(pattern.location), req],
+        ))
+    }
+
+    /// Why does `origin` have no `lookupResult` matching the pattern?
+    /// Asked of the origin itself and of every candidate resolver.
+    fn absent_lookup_result(&self, pattern: &Tuple, present: &[Tuple], peers: &[NodeId]) -> Vec<AbsenceWitness> {
+        let Some(lookup_pat) = Self::lookup_pattern_for(pattern, self.node) else {
+            return Vec::new();
+        };
+        let have_lookup = present.iter().any(|t| lookup_pat.covers(t));
+        if !have_lookup {
+            // Whoever resolves the key must first hold the (forwarded)
+            // lookup request; this node never saw it.
+            let rule = if pattern.location == self.node {
+                "chord-lookup"
+            } else {
+                "chord-resolve"
+            };
+            return vec![AbsenceWitness::MissingLocal {
+                rule: rule.into(),
+                missing: lookup_pat,
+            }];
+        }
+        let key = match pattern.int_arg(1) {
+            Some(k) => k as u64,
+            None => return Vec::new(),
+        };
+        if let Some((my_id, succ_id, _)) = Self::ring_state_in(self.node, present) {
+            if in_interval(key, my_id, succ_id) {
+                // This node is the resolver and holds the lookup: the result
+                // should exist (or have been sent).
+                return vec![AbsenceWitness::Derivable {
+                    rule: "chord-resolve".into(),
+                }];
+            }
+        }
+        if pattern.location == self.node {
+            // The origin holds the request but is not the resolver: the
+            // answer would arrive from whichever node owns the key — over
+            // the known domain, any peer is a candidate.
+            vec![AbsenceWitness::NeverReceived {
+                rule: "chord-resolve".into(),
+                tuple: pattern.clone(),
+                senders: peers.iter().copied().filter(|p| *p != self.node).collect(),
+            }]
+        } else {
+            // A forwarder that is not the resolver legitimately produced no
+            // result of its own.
+            vec![AbsenceWitness::ConstraintFailed {
+                rule: "chord-resolve".into(),
+            }]
+        }
+    }
+
+    /// Why does this node (or the node the pattern is homed at) have no
+    /// `lookup` request matching the pattern?
+    fn absent_lookup(&self, pattern: &Tuple, present: &[Tuple], peers: &[NodeId]) -> Vec<AbsenceWitness> {
+        let origin = pattern.node_arg(1);
+        if pattern.location == self.node {
+            if origin == Some(self.node) {
+                // The origin inserts its own lookups as base tuples.
+                return vec![AbsenceWitness::NoBaseInsertion];
+            }
+            // A forwarded lookup could only arrive from a node routing the
+            // request; over the known domain, any peer is a candidate.
+            return vec![AbsenceWitness::NeverReceived {
+                rule: "chord-forward".into(),
+                tuple: pattern.clone(),
+                senders: peers.iter().copied().filter(|p| *p != self.node).collect(),
+            }];
+        }
+        // Asked as a candidate forwarder: would this node have forwarded the
+        // request to the pattern's home?  The same request on this node is
+        // the pattern re-homed here.
+        let mut own_lookup = pattern.clone();
+        own_lookup.location = self.node;
+        if !present.iter().any(|t| own_lookup.covers(t)) {
+            // It never held the request itself.
+            return vec![AbsenceWitness::MissingLocal {
+                rule: "chord-forward".into(),
+                missing: own_lookup,
+            }];
+        }
+        let key = match pattern.int_arg(0) {
+            Some(k) => k as u64,
+            None => return Vec::new(),
+        };
+        match Self::closest_preceding_in(self.node, present, key) {
+            Some(next) if next == pattern.location => vec![AbsenceWitness::Derivable {
+                rule: "chord-forward".into(),
+            }],
+            _ => vec![AbsenceWitness::ConstraintFailed {
+                rule: "chord-forward".into(),
+            }],
+        }
+    }
+
     /// React to a tuple that has just become visible on this node.
     fn on_tuple(&self, tuple: &Tuple) -> Vec<SmOutput> {
         let mut out = Vec::new();
@@ -421,6 +571,21 @@ impl StateMachine for ChordMachine {
         Ok(Box::new(machine))
     }
 
+    /// Negative provenance for the Chord workload: a missing `lookupResult`
+    /// is traced through the routing chain — either the resolver never held
+    /// the (forwarded) request, or a node on the path swallowed it; a
+    /// missing forwarded `lookup` is traced back hop by hop the same way.
+    /// Ring configuration (`me` / `succ` / `finger`) and locally originated
+    /// lookups are base tuples.
+    fn absence_of(&self, pattern: &Tuple, present: &[Tuple], peers: &[NodeId]) -> Vec<AbsenceWitness> {
+        match pattern.relation.as_str() {
+            "lookupResult" => self.absent_lookup_result(pattern, present, peers),
+            "lookup" => self.absent_lookup(pattern, present, peers),
+            "me" | "succ" | "finger" | "stabTick" | "keepTick" | "fixTick" => vec![AbsenceWitness::NoBaseInsertion],
+            _ => Vec::new(),
+        }
+    }
+
     fn name(&self) -> String {
         format!("chord@{}", self.node)
     }
@@ -550,6 +715,39 @@ impl ChordScenario {
         let deployment = Deployment::builder().seed(seed).secure(secure).app(app).build();
         (deployment, ring)
     }
+}
+
+/// Build the Chord *Eclipse* scenario for the negative query "why does no
+/// lookup result name the true owner?": a quiet `nodes`-member ring where
+/// the attacker is the queried key's resolver — the honest machine would
+/// resolve the key to the attacker's successor and send that result to the
+/// origin; the eclipse machine answers with itself, so the correct result
+/// never arrives.  The origin's lookup (request id 6) is injected at t = 1 s;
+/// run the deployment, then ask
+/// `why_absent(correct_result).at(origin)`.
+///
+/// Returns the deployment, the origin, the attacker, and the *correct*
+/// (absent) result tuple.  Requires `nodes >= 5`.
+pub fn eclipse_scenario(nodes: u64, seed: u64) -> (Deployment, NodeId, NodeId, Tuple) {
+    assert!(nodes >= 5, "the eclipse scenario needs a non-trivial ring");
+    let scenario = ChordScenario {
+        nodes,
+        stabilize_every_s: 1000,
+        fix_fingers_every_s: 1000,
+        keepalive_every_s: 1000,
+        lookups_per_minute: 0,
+        duration_s: 10,
+    };
+    let ring = ChordRing::new(nodes);
+    let origin = ring.members[0].1;
+    let (attacker_id, attacker) = ring.members[3];
+    let key = (attacker_id + 1) % ID_SPACE;
+    let (owner_id, owner) = ring.owner_of(key);
+    debug_assert_ne!(owner, origin);
+    debug_assert_ne!(owner, attacker);
+    let (mut tb, _) = scenario.build(true, seed, Some(attacker));
+    tb.insert_at(SimTime::from_secs(1), origin, lookup(origin, key, origin, 6));
+    (tb, origin, attacker, lookup_result(origin, 6, key, owner, owner_id))
 }
 
 /// The deployable Chord application: the static ring plus the maintenance and
@@ -723,6 +921,36 @@ mod tests {
             result.suspect_nodes().contains(&attacker) || result.implicated_nodes().contains(&attacker),
             "the Eclipse attacker must be implicated: {:?}",
             result.suspect_nodes()
+        );
+    }
+
+    #[test]
+    fn eclipse_why_absent_of_correct_result_implicates_the_attacker() {
+        // The attacker swallows a routed lookup and answers with itself, so
+        // the *correct* owner's result never reaches the origin.  The
+        // operator asks the negative question: why is there no
+        // lookupResult naming the true owner?
+        let (mut tb, origin, attacker, correct) = eclipse_scenario(10, 3);
+        let owner = correct.node_arg(2).expect("owner argument");
+        tb.run_until(SimTime::from_secs(60));
+
+        assert!(
+            !tb.handles[&origin].with(|n| n.has_tuple(&correct)),
+            "the eclipse must blackhole the correct result"
+        );
+        let result = tb.querier.why_absent(correct).at(origin).run();
+        assert!(result.root.is_some(), "the absence must be explained");
+        assert!(!result.is_legitimate(), "an eclipsed lookup is not a clean absence");
+        assert!(
+            result.implicated_nodes().contains(&attacker) || result.suspect_nodes().contains(&attacker),
+            "the Eclipse attacker must surface: implicated {:?}, suspects {:?}",
+            result.implicated_nodes(),
+            result.suspect_nodes()
+        );
+        assert!(
+            !result.implicated_nodes().contains(&origin) && !result.implicated_nodes().contains(&owner),
+            "correct nodes must not be implicated: {:?}",
+            result.implicated_nodes()
         );
     }
 

@@ -79,6 +79,30 @@ const GATES: &[Gate] = &[
         path: "batching.series.#last.signature_gain_vs_unbatched",
         check: Check::Min(5.0),
     },
+    // fig8: audit and replay-entry counts per query row are deterministic.
+    // The negative rows (`why_absent`) are gated so the cost of auditing an
+    // omission — one audit per candidate sender — cannot silently regress:
+    // row 6 is `BGP-NoRoute (neg)`, the last row is `Chord-Eclipse (neg)`.
+    Gate {
+        file: "BENCH_fig8.json",
+        path: "queries.6.audits",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig8.json",
+        path: "queries.6.replayed_entries",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig8.json",
+        path: "queries.#last.audits",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_fig8.json",
+        path: "queries.#last.replayed_entries",
+        check: Check::Cost,
+    },
     // fig9: audit and replay-entry counts of the macroquery grid are
     // deterministic (and identical across thread counts by construction).
     Gate {

@@ -3,15 +3,22 @@
 //! replayed-entries accounting before/after checkpoint anchoring: the
 //! `Chord-Lookup` query is run once from genesis and once on an epoch-sealed
 //! deployment, where the audit restores machine state from the latest
-//! checkpoint and replays only the suffix.
+//! checkpoint and replays only the suffix — plus two *negative* query rows
+//! (`why_absent`): the BGP blackhole ("why is there no route to prefix P?",
+//! where a transit AS withholds its advertisement) and the Chord eclipse
+//! ("why does no lookup result name the true owner?", where the resolver
+//! answers with itself).  Negative queries audit every candidate sender, so
+//! their audit counts bound the cost of auditing an omission.
 //!
 //! Emits `BENCH_fig8.json` with the same data in machine-readable form.
+//! `SNP_BENCH_SMOKE=1` shrinks the configurations so the CI regression gate
+//! can run the harness in seconds; the row set is identical in both modes.
 
 use snp_apps::bgp;
 use snp_apps::chord::{self, ChordScenario};
 use snp_apps::mapreduce::{reduce_out, reducer_for, MapReduceScenario};
 use snp_bench::json::{write_json, Json};
-use snp_bench::print_row;
+use snp_bench::{print_row, smoke};
 use snp_core::query::QueryResult;
 use snp_crypto::keys::NodeId;
 use snp_sim::SimTime;
@@ -127,12 +134,55 @@ fn chord_lookup(nodes: u64, epoch_s: Option<u64>) -> QueryResult {
     tb.querier.why_exists(result_tuple).at(origin).run()
 }
 
+/// The negative BGP blackhole row: the transit AS withholds its
+/// advertisement, the victim's table has no route, and `why_absent` audits
+/// the victim plus every candidate advertiser to produce the signed
+/// evidence of the withheld send.
+fn bgp_blackhole_neg() -> QueryResult {
+    let (mut tb, victim, transit, prefix) = bgp::blackhole_scenario(true, 21, true);
+    tb.run_until(SimTime::from_secs(30));
+    let result = tb
+        .querier
+        .why_absent(bgp::route_pattern(victim, &prefix))
+        .at(victim)
+        .run();
+    assert!(
+        result.implicated_nodes().contains(&transit),
+        "the withholding transit must be implicated"
+    );
+    result
+}
+
+/// The negative Chord eclipse row: the key's resolver mounts an Eclipse
+/// attack and answers lookups with itself; `why_absent` of the *correct*
+/// owner's result audits the routing candidates and surfaces the attacker.
+fn chord_eclipse_neg() -> QueryResult {
+    let nodes = if smoke() { 8 } else { 10 };
+    let (mut tb, origin, attacker, correct) = chord::eclipse_scenario(nodes, 3);
+    tb.run_until(SimTime::from_secs(60));
+    let result = tb.querier.why_absent(correct).at(origin).run();
+    assert!(
+        result.implicated_nodes().contains(&attacker) || result.suspect_nodes().contains(&attacker),
+        "the eclipse attacker must surface"
+    );
+    result
+}
+
 fn hadoop_squirrel() -> QueryResult {
-    let scenario = MapReduceScenario {
-        mappers: 8,
-        reducers: 4,
-        splits: 8,
-        words_per_split: 200,
+    let scenario = if smoke() {
+        MapReduceScenario {
+            mappers: 4,
+            reducers: 2,
+            splits: 4,
+            words_per_split: 50,
+        }
+    } else {
+        MapReduceScenario {
+            mappers: 8,
+            reducers: 4,
+            splits: 8,
+            words_per_split: 200,
+        }
     };
     let corrupt = NodeId(3);
     let mut tb = scenario.build(true, 7, Some(corrupt), 93);
@@ -170,13 +220,16 @@ fn main() {
         .as_ref(),
         &widths,
     );
+    let (small, large): (u64, u64) = if smoke() { (12, 24) } else { (50, 250) };
     let rows = vec![
         report("Quagga-Disappear", &quagga_disappear(), &widths),
         report("Quagga-BadGadget", &quagga_badgadget(), &widths),
-        report("Chord-Lookup (S)", &chord_lookup(50, None), &widths),
-        report("Chord-Lookup (S+ckpt)", &chord_lookup(50, Some(10)), &widths),
-        report("Chord-Lookup (L)", &chord_lookup(250, None), &widths),
+        report("Chord-Lookup (S)", &chord_lookup(small, None), &widths),
+        report("Chord-Lookup (S+ckpt)", &chord_lookup(small, Some(10)), &widths),
+        report("Chord-Lookup (L)", &chord_lookup(large, None), &widths),
         report("Hadoop-Squirrel", &hadoop_squirrel(), &widths),
+        report("BGP-NoRoute (neg)", &bgp_blackhole_neg(), &widths),
+        report("Chord-Eclipse (neg)", &chord_eclipse_neg(), &widths),
     ];
     println!(
         "\nExpected shape (paper): queries complete interactively (seconds); the\n\
@@ -184,7 +237,10 @@ fn main() {
          additionally pays for checkpoint verification.  The `+ckpt` row anchors at\n\
          the latest checkpoint: `skipped` entries were never downloaded nor\n\
          replayed, which is what makes audit cost proportional to the queried\n\
-         window instead of total history."
+         window instead of total history.  The `(neg)` rows are negative queries\n\
+         (`why_absent`): auditing an omission costs one audit per candidate\n\
+         sender, so their audit counts exceed the positive rows' on the same\n\
+         topology — the price of proving that nothing was withheld."
     );
     write_json(
         "BENCH_fig8.json",

@@ -39,7 +39,8 @@ fn main() {
                 victim,
                 TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker)),
             ),
-        );
+        )
+        .expect("deployed node");
         tb.run_until(SimTime::from_secs(40));
         let bogus = tb.handles[&victim]
             .with(|n| n.current_tuples())

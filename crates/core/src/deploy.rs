@@ -25,6 +25,7 @@
 //! deployment.run_until(snp_sim::SimTime::from_secs(1));
 //! ```
 
+use crate::error::ConfigError;
 use crate::node::{NodeTraffic, SnoopyHandle, SnoopyNode, OPERATOR};
 use crate::query::Querier;
 use crate::wire::SnoopyWire;
@@ -344,15 +345,29 @@ impl DeploymentBuilder {
         self.schedule(WorkloadEvent::delete(at, node, tuple))
     }
 
+    /// Assemble the deployment (see [`DeploymentBuilder::try_build`]),
+    /// panicking on configuration errors with the error's message.
+    ///
+    /// Panics if two applications claim the same node id, if a `byzantine` /
+    /// `proxy_overhead` override names a node no application deploys (a
+    /// typo'd id would otherwise silently disable the fault injection an
+    /// experiment depends on), or if an environment override
+    /// (`SNP_BATCH_WINDOW`, `SNP_QUERY_THREADS`) is malformed.
+    pub fn build(self) -> Deployment {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Assemble the deployment: derive the key registry from the node ids in
     /// use, install every application's nodes, apply fault/proxy overrides,
     /// and schedule all workloads.
     ///
-    /// Panics if two applications claim the same node id, or if a
-    /// `byzantine` / `proxy_overhead` override names a node no application
-    /// deploys (a typo'd id would otherwise silently disable the fault
-    /// injection an experiment depends on).
-    pub fn build(self) -> Deployment {
+    /// Unlike historical revisions, the `SNP_BATCH_WINDOW` /
+    /// `SNP_QUERY_THREADS` environment overrides are parsed *strictly*: a
+    /// malformed value (e.g. `SNP_BATCH_WINDOW=1s`) is a
+    /// [`ConfigError::InvalidEnvVar`], never a silent fallback to the
+    /// built-in default — an experiment must not quietly run with a
+    /// configuration the operator did not ask for.
+    pub fn try_build(self) -> Result<Deployment, ConfigError> {
         assert!(
             self.retain_epochs.is_none() || self.epoch_length.is_some(),
             "retain_epochs without epoch_length would never truncate: truncation \
@@ -372,11 +387,13 @@ impl DeploymentBuilder {
         }
         let (_, _, registry) = KeyRegistry::deployment(max_id + 1);
         let t_prop_micros = self.network.t_prop.as_micros();
-        let batch_window_micros = std::env::var("SNP_BATCH_WINDOW")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .or(self.batch_window.map(|w| w.as_micros()))
-            .unwrap_or(0);
+        let batch_window_micros = env_override::<u64>(
+            "SNP_BATCH_WINDOW",
+            "an integer number of microseconds (e.g. SNP_BATCH_WINDOW=100000 for a 100 ms window; \
+             unit suffixes like \"1s\" are not supported)",
+        )?
+        .or(self.batch_window.map(|w| w.as_micros()))
+        .unwrap_or(0);
         // Under batching a message may wait a full window before it is even
         // transmitted and its ack another at the receiver, so the replay
         // bound the querier judges missing acks by is Tprop + Tbatch.
@@ -403,12 +420,12 @@ impl DeploymentBuilder {
                 deployment.schedule(event);
             }
         }
-        // The setters panic on undeployed ids, covering builder typos too.
+        // The setters reject undeployed ids, covering builder typos too.
         for (id, config) in self.byzantine {
-            deployment.set_byzantine(id, config);
+            deployment.set_byzantine(id, config)?;
         }
         for (id, bytes) in self.proxy {
-            deployment.set_proxy_overhead(id, bytes);
+            deployment.set_proxy_overhead(id, bytes)?;
         }
         for event in self.schedule {
             deployment.schedule(event);
@@ -419,13 +436,32 @@ impl DeploymentBuilder {
         if let Some(k) = self.retain_epochs {
             deployment.set_retain_epochs(k);
         }
-        let threads = std::env::var("SNP_QUERY_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .or(self.query_threads)
-            .unwrap_or(1);
+        let threads = env_override::<usize>(
+            "SNP_QUERY_THREADS",
+            "an integer worker count (e.g. SNP_QUERY_THREADS=4)",
+        )?
+        .or(self.query_threads)
+        .unwrap_or(1);
         deployment.querier.set_query_threads(threads);
-        deployment
+        Ok(deployment)
+    }
+}
+
+/// Read an environment override, rejecting malformed values with a clear
+/// error instead of silently falling back (the historical `.parse().ok()`
+/// behaviour turned `SNP_BATCH_WINDOW=1s` into "batching off").
+fn env_override<T: std::str::FromStr>(var: &'static str, expected: &'static str) -> Result<Option<T>, ConfigError> {
+    match std::env::var(var) {
+        Err(_) => Ok(None),
+        Ok(raw) => raw
+            .trim()
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| ConfigError::InvalidEnvVar {
+                var,
+                value: raw,
+                expected,
+            }),
     }
 }
 
@@ -499,27 +535,31 @@ impl Deployment {
     }
 
     /// Configure Byzantine behaviour on a node.
-    /// Panics if `id` is not a deployed node — a typo'd id would otherwise
-    /// silently disable the fault injection an experiment depends on.
-    pub fn set_byzantine(&mut self, id: NodeId, config: ByzantineConfig) {
-        let handle = self
-            .handles
-            .get(&id)
-            .unwrap_or_else(|| panic!("byzantine config for undeployed node {id}"));
+    /// Fails with [`ConfigError::UndeployedNode`] if `id` is not a deployed
+    /// node — a typo'd id would otherwise silently disable the fault
+    /// injection an experiment depends on.
+    pub fn set_byzantine(&mut self, id: NodeId, config: ByzantineConfig) -> Result<(), ConfigError> {
+        let handle = self.handles.get(&id).ok_or(ConfigError::UndeployedNode {
+            id,
+            what: "byzantine config",
+        })?;
         handle.with(|n| n.set_byzantine(config));
         self.evict_stale_audits(Staleness::Node(id));
+        Ok(())
     }
 
     /// Charge `bytes` of proxy re-encoding overhead per outgoing message on a
     /// node (the Quagga proxy of §6.3).
-    /// Panics if `id` is not a deployed node.
-    pub fn set_proxy_overhead(&mut self, id: NodeId, bytes: usize) {
-        let handle = self
-            .handles
-            .get(&id)
-            .unwrap_or_else(|| panic!("proxy overhead for undeployed node {id}"));
+    /// Fails with [`ConfigError::UndeployedNode`] if `id` is not a deployed
+    /// node.
+    pub fn set_proxy_overhead(&mut self, id: NodeId, bytes: usize) -> Result<(), ConfigError> {
+        let handle = self.handles.get(&id).ok_or(ConfigError::UndeployedNode {
+            id,
+            what: "proxy overhead",
+        })?;
         handle.with(|n| n.proxy_overhead_per_message = bytes);
         self.evict_stale_audits(Staleness::Node(id));
+        Ok(())
     }
 
     /// Seal a log epoch on every node each `interval_micros` of simulated
@@ -546,6 +586,21 @@ impl Deployment {
         for handle in self.handles.values() {
             handle.with(|n| n.set_retain_epochs(k));
         }
+        self.evict_stale_audits(Staleness::All);
+    }
+
+    /// Reconfigure the §5.6 batching window on every node (`0` = unbatched).
+    /// This changes the querier's missing-ack replay bound (a message may
+    /// legitimately wait a full window before transmission and its ack
+    /// another at the receiver), so every cached audit verdict is stale and
+    /// is evicted.  Reconfiguring mid-run drops any queued-but-unflushed
+    /// messages on the nodes; prefer configuring before the run starts.
+    pub fn set_batch_window(&mut self, micros: u64) {
+        for handle in self.handles.values() {
+            handle.with(|n| n.set_batch_window(micros));
+        }
+        self.batch_window_micros = micros;
+        self.querier.set_replay_bound(self.t_prop_micros + micros);
         self.evict_stale_audits(Staleness::All);
     }
 
@@ -774,7 +829,7 @@ mod tests {
             tamper_log_drop_entry: Some(0),
             ..Default::default()
         };
-        deployment.set_byzantine(NodeId(1), config);
+        deployment.set_byzantine(NodeId(1), config).expect("node 1 is deployed");
         let audit = deployment.querier.audit(NodeId(1));
         assert_eq!(
             audit.color,
@@ -790,6 +845,89 @@ mod tests {
         let mut config = ByzantineConfig::honest();
         config.refuse_retrieve = true;
         let _ = Deployment::builder().app(Pair).byzantine(NodeId(9), config).build();
+    }
+
+    #[test]
+    fn setters_reject_undeployed_nodes_with_typed_errors() {
+        let mut deployment = Deployment::builder().app(Pair).build();
+        let mut config = ByzantineConfig::honest();
+        config.refuse_retrieve = true;
+        assert_eq!(
+            deployment.set_byzantine(NodeId(9), config),
+            Err(crate::ConfigError::UndeployedNode {
+                id: NodeId(9),
+                what: "byzantine config"
+            })
+        );
+        assert_eq!(
+            deployment.set_proxy_overhead(NodeId(9), 24),
+            Err(crate::ConfigError::UndeployedNode {
+                id: NodeId(9),
+                what: "proxy overhead"
+            })
+        );
+        // Valid ids still work.
+        assert!(deployment.set_proxy_overhead(NodeId(1), 24).is_ok());
+    }
+
+    #[test]
+    fn try_build_returns_err_for_builder_override_typos() {
+        let mut config = ByzantineConfig::honest();
+        config.refuse_retrieve = true;
+        let result = Deployment::builder().app(Pair).byzantine(NodeId(9), config).try_build();
+        assert!(matches!(
+            result,
+            Err(crate::ConfigError::UndeployedNode { id: NodeId(9), .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_env_overrides_are_rejected_not_ignored() {
+        // `env_override` is exercised directly rather than through
+        // `std::env::set_var`, which is unsound with the concurrent default
+        // test runner.
+        std::env::remove_var("SNP_TEST_ABSENT_VAR");
+        assert_eq!(env_override::<u64>("SNP_TEST_ABSENT_VAR", "µs").unwrap(), None);
+        // `build` wires the real variables through the same helper; a
+        // malformed value must produce the clear error, not a silent
+        // fallback (the historical `SNP_BATCH_WINDOW=1s` → "batching off").
+        std::env::set_var("SNP_TEST_BATCH_WINDOW_COPY", "1s");
+        let err = env_override::<u64>("SNP_TEST_BATCH_WINDOW_COPY", "an integer number of microseconds")
+            .expect_err("'1s' must be rejected");
+        let message = err.to_string();
+        assert!(
+            message.contains("1s") && message.contains("microseconds"),
+            "the error must say what was wrong and what is expected: {message}"
+        );
+        std::env::set_var("SNP_TEST_BATCH_WINDOW_COPY", " 250000 ");
+        assert_eq!(
+            env_override::<u64>("SNP_TEST_BATCH_WINDOW_COPY", "µs").unwrap(),
+            Some(250_000),
+            "surrounding whitespace is tolerated"
+        );
+        std::env::remove_var("SNP_TEST_BATCH_WINDOW_COPY");
+    }
+
+    #[test]
+    fn set_batch_window_updates_replay_bound_and_evicts_stale_audits() {
+        let mut deployment = Deployment::builder().seed(3).app(Pair).build();
+        deployment.run_until(SimTime::from_secs(2));
+        // Warm the cache.
+        deployment.querier.audit(NodeId(1));
+        let audits_before = deployment.querier.stats.audits;
+        // Reconfiguring the batching window widens the missing-ack bound the
+        // querier replays with; a cached verdict computed under the old
+        // bound must not be served.
+        deployment.set_batch_window(250_000);
+        assert_eq!(deployment.batch_window_micros(), 250_000);
+        for handle in deployment.handles.values() {
+            assert_eq!(handle.with(|n| n.batch_window()), 250_000);
+        }
+        deployment.querier.audit(NodeId(1));
+        assert!(
+            deployment.querier.stats.audits > audits_before,
+            "batch-window change must evict cached audits"
+        );
     }
 
     #[test]
@@ -817,7 +955,9 @@ mod tests {
         let audits_before = deployment.querier.stats.audits;
         // Reconfiguring the node's proxy overhead changes what a fresh audit
         // observes; the cached audit must not be served.
-        deployment.set_proxy_overhead(NodeId(1), 24);
+        deployment
+            .set_proxy_overhead(NodeId(1), 24)
+            .expect("node 1 is deployed");
         deployment.querier.audit(NodeId(1));
         assert!(
             deployment.querier.stats.audits > audits_before,
@@ -853,6 +993,26 @@ mod tests {
         assert!(
             deployment.querier.stats.audits > audits_before,
             "epoch cadence change must evict cached audits"
+        );
+    }
+
+    #[test]
+    fn retention_change_invalidates_cached_audits() {
+        let mut deployment = Deployment::builder()
+            .seed(3)
+            .app(Pair)
+            .epoch_length(SimDuration::from_millis(200))
+            .build();
+        deployment.run_until(SimTime::from_secs(2));
+        deployment.querier.audit(NodeId(1));
+        let audits_before = deployment.querier.stats.audits;
+        // Changing retention changes which windows an audit can anchor on;
+        // the cached verdict must not be served.
+        deployment.set_retain_epochs(2);
+        deployment.querier.audit(NodeId(1));
+        assert!(
+            deployment.querier.stats.audits > audits_before,
+            "retention change must evict cached audits"
         );
     }
 

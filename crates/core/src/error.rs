@@ -1,0 +1,72 @@
+//! Typed configuration errors for the deployment API.
+//!
+//! Historically the runtime-config surface had two failure modes that hurt
+//! operators: the post-deploy setters panicked on typo'd node ids, and the
+//! environment overrides (`SNP_BATCH_WINDOW`, `SNP_QUERY_THREADS`) were
+//! parsed with `.parse().ok()`, so a malformed value like
+//! `SNP_BATCH_WINDOW=1s` silently fell back to "batching off" — an
+//! experiment would run with a configuration the operator never asked for.
+//! Both now surface as a [`ConfigError`]: the setters return `Result`, and
+//! [`crate::deploy::DeploymentBuilder::try_build`] rejects malformed
+//! overrides instead of ignoring them.
+
+use snp_crypto::keys::NodeId;
+use std::fmt;
+
+/// A deployment / runtime configuration error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A per-node knob named a node no application deploys.
+    UndeployedNode {
+        /// The offending node id.
+        id: NodeId,
+        /// What was being configured (e.g. `"byzantine config"`).
+        what: &'static str,
+    },
+    /// An environment-variable override could not be parsed.
+    InvalidEnvVar {
+        /// The variable name.
+        var: &'static str,
+        /// The rejected value.
+        value: String,
+        /// What a valid value looks like.
+        expected: &'static str,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UndeployedNode { id, what } => {
+                write!(f, "{what} for undeployed node {id}")
+            }
+            ConfigError::InvalidEnvVar { var, value, expected } => {
+                write!(f, "invalid {var}={value:?}: expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = ConfigError::UndeployedNode {
+            id: NodeId(9),
+            what: "byzantine config",
+        };
+        assert!(e.to_string().contains("undeployed node"));
+        assert!(e.to_string().contains("n9"));
+        let e = ConfigError::InvalidEnvVar {
+            var: "SNP_BATCH_WINDOW",
+            value: "1s".into(),
+            expected: "an integer number of microseconds",
+        };
+        let s = e.to_string();
+        assert!(s.contains("SNP_BATCH_WINDOW") && s.contains("1s") && s.contains("microseconds"));
+    }
+}

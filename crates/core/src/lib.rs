@@ -18,12 +18,15 @@
 //!   replays it through the node's *expected* state machine to reconstruct
 //!   its partition of the provenance graph (§5.5).
 //! * [`query`] — the microquery module and the macroquery processor
-//!   (causal, historical and dynamic queries with a scope parameter),
-//!   including the per-query cost accounting used by Figure 8.  Structured
-//!   as a plan → parallel-execute → deterministic-merge pipeline: each
-//!   expansion wave is an [`query::AuditPlan`] of independent per-node
-//!   units, executed serially or on a scoped [`query::AuditPool`]
-//!   (`query_threads`), with byte-identical results either way.
+//!   (causal, historical, dynamic and *negative* queries with a scope
+//!   parameter), including the per-query cost accounting used by Figure 8.
+//!   Structured as a plan → parallel-execute → deterministic-merge
+//!   pipeline: each expansion wave is an [`query::AuditPlan`] of
+//!   independent per-node units, executed serially or on a scoped
+//!   [`query::AuditPool`] (`query_threads`), with byte-identical results
+//!   either way.  `query::absence` answers `why_absent` / `why_vanished`:
+//!   a verified explanation of why a tuple does *not* exist, with
+//!   cross-node recursion to the would-be senders.
 //! * [`evidence`] — the formal evidence/view model of Appendix C, used by the
 //!   property tests for monotonicity, accuracy and completeness.
 //! * [`fault`] — Byzantine fault injection knobs used by the attack
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod deploy;
+pub mod error;
 pub mod evidence;
 pub mod fault;
 pub mod node;
@@ -44,6 +48,7 @@ pub mod replay;
 pub mod wire;
 
 pub use deploy::{AppNode, Application, Deployment, DeploymentBuilder, WorkloadEvent, WorkloadOp};
+pub use error::ConfigError;
 pub use fault::ByzantineConfig;
 pub use node::{RetrieveResponse, SnoopyHandle, SnoopyNode, OPERATOR};
 pub use query::{

@@ -22,6 +22,7 @@
 //! the wall-clock time of plan execution, whose ratio to the aggregate
 //! verification time is the Figure 9 speedup curve.
 
+pub mod absence;
 pub mod cache;
 pub mod exec;
 pub mod plan;
@@ -38,7 +39,7 @@ use result::{diff_stats, merge_stats, StatsMark};
 use crate::node::SnoopyHandle;
 use snp_crypto::keys::{KeyRegistry, NodeId};
 use snp_datalog::{MachineFactory, StateMachine, Tuple};
-use snp_graph::query::{self, Direction};
+use snp_graph::query::{self, Direction, Traversal};
 use snp_graph::vertex::{Color, Timestamp, VertexId, VertexKind};
 use snp_graph::ProvenanceGraph;
 use std::collections::{BTreeMap, BTreeSet};
@@ -75,6 +76,26 @@ pub enum MacroQuery {
         /// The tuple in question.
         tuple: Tuple,
     },
+    /// "Why is there *no* tuple matching τ?" (negative query; τ may contain
+    /// [`snp_datalog::Value::Wild`] wildcards)
+    WhyAbsent {
+        /// The missing tuple (pattern).
+        tuple: Tuple,
+    },
+    /// "Why was there no tuple matching τ at time t?" (historical negative
+    /// query, answered from the replayed insertion/deletion intervals)
+    WhyAbsentAt {
+        /// The missing tuple (pattern).
+        tuple: Tuple,
+        /// The time of interest.
+        at: Timestamp,
+    },
+    /// "Why did τ vanish?" — like [`MacroQuery::WhyAbsent`], but only
+    /// anchors when the tuple verifiably existed and then disappeared.
+    WhyVanished {
+        /// The vanished tuple (pattern).
+        tuple: Tuple,
+    },
 }
 
 impl MacroQuery {
@@ -85,8 +106,19 @@ impl MacroQuery {
             | MacroQuery::WhyExistedAt { tuple, .. }
             | MacroQuery::WhyAppeared { tuple }
             | MacroQuery::WhyDisappeared { tuple }
-            | MacroQuery::Effects { tuple } => tuple,
+            | MacroQuery::Effects { tuple }
+            | MacroQuery::WhyAbsent { tuple }
+            | MacroQuery::WhyAbsentAt { tuple, .. }
+            | MacroQuery::WhyVanished { tuple } => tuple,
         }
+    }
+
+    /// Whether this is a negative (absence) query.
+    pub fn is_negative(&self) -> bool {
+        matches!(
+            self,
+            MacroQuery::WhyAbsent { .. } | MacroQuery::WhyAbsentAt { .. } | MacroQuery::WhyVanished { .. }
+        )
     }
 }
 
@@ -106,6 +138,7 @@ pub struct QueryBuilder<'q> {
     query: MacroQuery,
     host: Option<NodeId>,
     scope: Option<usize>,
+    when: Option<Timestamp>,
 }
 
 impl QueryBuilder<'_> {
@@ -113,6 +146,15 @@ impl QueryBuilder<'_> {
     /// to ask a node about a tuple it *believes* another node has).
     pub fn at(mut self, host: NodeId) -> Self {
         self.host = Some(host);
+        self
+    }
+
+    /// Ask about the historical instant `t` instead of "now":
+    /// `why_absent(τ).when(t)` is the historical negative query, and
+    /// `why_exists(τ).when(t)` is equivalent to `why_existed_at(τ, t)`.
+    /// Ignored by query kinds without a historical form.
+    pub fn when(mut self, t: Timestamp) -> Self {
+        self.when = Some(t);
         self
     }
 
@@ -130,8 +172,13 @@ impl QueryBuilder<'_> {
 
     /// Execute the macroquery.
     pub fn run(self) -> QueryResult {
-        let host = self.host.unwrap_or(self.query.tuple().location);
-        self.querier.run_macroquery(self.query, host, self.scope)
+        let query = match (self.query, self.when) {
+            (MacroQuery::WhyAbsent { tuple }, Some(at)) => MacroQuery::WhyAbsentAt { tuple, at },
+            (MacroQuery::WhyExists { tuple }, Some(at)) => MacroQuery::WhyExistedAt { tuple, at },
+            (query, _) => query,
+        };
+        let host = self.host.unwrap_or(query.tuple().location);
+        self.querier.run_macroquery(query, host, self.scope)
     }
 }
 
@@ -193,6 +240,15 @@ impl Querier {
     /// The configured audit worker count.
     pub fn query_threads(&self) -> usize {
         self.pool.threads()
+    }
+
+    /// Reconfigure the one-way commitment bound replay judges missing acks
+    /// by (`Tprop`, plus the batching window when §5.6 batching is on).
+    /// Callers that change it after audits were taken must also drop the
+    /// stale cache entries — [`crate::Deployment::set_batch_window`] funnels
+    /// both through one place.
+    pub fn set_replay_bound(&mut self, micros: Timestamp) {
+        self.t_prop = micros;
     }
 
     /// Register a node handle and the state machine the node is *expected*
@@ -353,6 +409,10 @@ impl Querier {
                 find_last(&|k| matches!(k, VertexKind::Appear { tuple: t, .. } if t == tuple))
                     .or_else(|| graph.open_exist(host, tuple))
             }
+            // Negative queries synthesize their own anchor; they never reach
+            // the positive processor (`run_macroquery` dispatches them to
+            // `run_negative_query` first).
+            MacroQuery::WhyAbsent { .. } | MacroQuery::WhyAbsentAt { .. } | MacroQuery::WhyVanished { .. } => None,
         }
     }
 
@@ -363,6 +423,7 @@ impl Querier {
             query,
             host: None,
             scope: None,
+            when: None,
         }
     }
 
@@ -392,6 +453,26 @@ impl Querier {
         self.query(MacroQuery::Effects { tuple })
     }
 
+    /// "Why is there *no* tuple matching τ?" (negative query).  τ may
+    /// contain [`snp_datalog::Value::Wild`] wildcards for the arguments the
+    /// operator cannot know — "why is there no route to prefix P at all?".
+    /// Chain [`QueryBuilder::when`] for the historical form.
+    pub fn why_absent(&mut self, tuple: Tuple) -> QueryBuilder<'_> {
+        self.query(MacroQuery::WhyAbsent { tuple })
+    }
+
+    /// "Why was there no tuple matching τ at time t?" (historical negative
+    /// query, answered from the replayed insertion/deletion intervals).
+    pub fn why_absent_at(&mut self, tuple: Tuple, at: Timestamp) -> QueryBuilder<'_> {
+        self.query(MacroQuery::WhyAbsentAt { tuple, at })
+    }
+
+    /// "Why did τ vanish?" — anchors only when the tuple verifiably existed
+    /// and then disappeared; a tuple that never existed yields no root.
+    pub fn why_vanished(&mut self, tuple: Tuple) -> QueryBuilder<'_> {
+        self.query(MacroQuery::WhyVanished { tuple })
+    }
+
     /// The macroquery processor (§5.1), with window widening: the first pass
     /// anchors every audit on the checkpoint matching the query's time of
     /// interest (latest, for non-historical queries), so only suffix segments
@@ -400,7 +481,37 @@ impl Querier {
     /// event sealed into an earlier epoch — the query is retried once over
     /// the widest retained window (the oldest anchorable checkpoint, or
     /// genesis while the full log is retained).
+    ///
+    /// Negative queries dispatch to the negative processor
+    /// ([`Querier::run_negative_query`]); `why_vanished` gets the same
+    /// widening treatment, since the disappearance it anchors on may lie in
+    /// an epoch before the narrow audit window.
     fn run_macroquery(&mut self, query: MacroQuery, host: NodeId, scope: Option<usize>) -> QueryResult {
+        match query {
+            MacroQuery::WhyAbsent { tuple } => {
+                return self.run_negative_query(tuple, host, None, None, scope, false);
+            }
+            MacroQuery::WhyAbsentAt { tuple, at } => {
+                return self.run_negative_query(tuple, host, Some(at), Some(at), scope, false);
+            }
+            MacroQuery::WhyVanished { tuple } => {
+                let mut narrow = self.run_negative_query(tuple.clone(), host, None, None, scope, true);
+                if narrow.root.is_some() {
+                    return narrow;
+                }
+                // Widen the *audit window* to the oldest retained anchor
+                // while still asking about now: a disappearance sealed into
+                // an earlier epoch is invisible to the narrow suffix replay.
+                let mut widened = self.run_negative_query(tuple, host, Some(0), None, scope, true);
+                if widened.root.is_none() {
+                    merge_stats(&mut narrow.stats, &widened.stats);
+                    return narrow;
+                }
+                merge_stats(&mut widened.stats, &narrow.stats);
+                return widened;
+            }
+            _ => {}
+        }
         let at = query_time(&query);
         let mut narrow = self.run_macroquery_at(query.clone(), host, scope, at);
         if narrow.root.is_some() || at.is_some() {
@@ -450,8 +561,33 @@ impl Querier {
             };
         };
 
+        let traversal = self.expand_traversal(&mut merged, root, direction, scope, at, &mut audits);
+        let delta = diff_stats(&self.stats, &stats_before);
+        QueryResult {
+            root: Some(root),
+            graph: merged,
+            traversal: Some(traversal),
+            audits,
+            stats: delta,
+        }
+    }
+
+    /// Iteratively plan → execute → merge expansion waves: traverse from
+    /// `root`, find frontier vertices hosted on nodes not yet audited, audit
+    /// them (in parallel when configured) and fold their subgraphs in, until
+    /// fixpoint or scope.  Shared by the positive macroquery processor and
+    /// the negative one (`query/absence.rs`).
+    pub(super) fn expand_traversal(
+        &mut self,
+        merged: &mut ProvenanceGraph,
+        root: VertexId,
+        direction: Direction,
+        scope: Option<usize>,
+        at: Option<Timestamp>,
+        audits: &mut BTreeMap<NodeId, NodeAudit>,
+    ) -> Traversal {
         loop {
-            let traversal = query::traverse(&merged, root, direction, scope);
+            let traversal = query::traverse(merged, root, direction, scope);
             let mut new_hosts = BTreeSet::new();
             for vertex_id in traversal.depths.keys() {
                 if let Some(vertex) = merged.vertex(vertex_id) {
@@ -462,14 +598,7 @@ impl Querier {
                 }
             }
             if new_hosts.is_empty() {
-                let delta = diff_stats(&self.stats, &stats_before);
-                return QueryResult {
-                    root: Some(root),
-                    graph: merged,
-                    traversal: Some(traversal),
-                    audits,
-                    stats: delta,
-                };
+                return traversal;
             }
             let outcomes = self.execute_plan(new_hosts, at);
             // Deterministic merge: outcomes arrive in plan order (ascending
@@ -490,7 +619,7 @@ impl Querier {
 /// queries audit against the latest checkpoint.
 fn query_time(query: &MacroQuery) -> Option<Timestamp> {
     match query {
-        MacroQuery::WhyExistedAt { at, .. } => Some(*at),
+        MacroQuery::WhyExistedAt { at, .. } | MacroQuery::WhyAbsentAt { at, .. } => Some(*at),
         _ => None,
     }
 }
@@ -890,6 +1019,229 @@ mod tests {
         let result = querier.why_exists(reach(2, 1)).at(NodeId(2)).run();
         assert!(result.root.is_some());
         assert!(result.is_legitimate(), "{}", result.render());
+    }
+
+    #[test]
+    fn why_absent_of_underivable_tuple_is_legitimate() {
+        // reach(@1, 3) never exists: node 1 has no link(1,3), and node 3 has
+        // no link(3,1) to derive it remotely.  The explanation must bottom
+        // out at base-tuple absences on both nodes — a verified negative.
+        let mut tb = testbed(3);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        let result = tb.querier.why_absent(reach(1, 3)).at(NodeId(1)).run();
+        assert!(result.root.is_some(), "absence root must be synthesized");
+        assert!(
+            result.is_legitimate(),
+            "a clean absence must be legitimate:\n{}",
+            result.render()
+        );
+        assert!(result.implicated_nodes().is_empty());
+        // The recursion crossed to the candidate sender.
+        assert!(result.audits.contains_key(&NodeId(3)), "would-be sender audited");
+        let has_remote_absence = result.vertices().any(
+            |v| matches!(&v.kind, VertexKind::Absence { node, tuple, .. } if *node == NodeId(3) && tuple.relation == "link"),
+        );
+        assert!(
+            has_remote_absence,
+            "cross-node recursion must bottom out at the sender's missing base tuple:\n{}",
+            result.render()
+        );
+    }
+
+    #[test]
+    fn why_absent_of_present_tuple_has_no_root() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        let result = tb.querier.why_absent(reach(2, 1)).at(NodeId(2)).run();
+        assert!(result.root.is_none(), "a present tuple is not absent");
+    }
+
+    #[test]
+    fn why_absent_exposes_a_withheld_send() {
+        // Node 1 suppresses its sends to node 2, so reach(@2, 1) never
+        // arrives.  The absence explanation must audit node 1 and surface
+        // the send its expected machine produced but it never delivered.
+        let mut tb = testbed(2);
+        tb.handles[&NodeId(1)].with(|n| n.set_byzantine(ByzantineConfig::suppressing(NodeId(2))));
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        assert!(!tb.handles[&NodeId(2)].with(|n| n.has_tuple(&reach(2, 1))));
+
+        let result = tb.querier.why_absent(reach(2, 1)).at(NodeId(2)).run();
+        assert!(result.root.is_some());
+        assert!(!result.is_legitimate(), "a withheld send is not a clean absence");
+        assert!(
+            result.implicated_nodes().contains(&NodeId(1)),
+            "the suppressor must be implicated: {:?}",
+            result.implicated_nodes()
+        );
+        assert!(!result.implicated_nodes().contains(&NodeId(2)));
+        // The red send vertex is part of the explanation.
+        let has_red_send = result
+            .vertices()
+            .any(|v| matches!(&v.kind, VertexKind::Send { node, .. } if *node == NodeId(1)) && v.color == Color::Red);
+        assert!(
+            has_red_send,
+            "the undelivered send must appear as red evidence:\n{}",
+            result.render()
+        );
+    }
+
+    #[test]
+    fn why_absent_marks_a_refusing_sender_suspect() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.run_until(SimTime::from_secs(5));
+        tb.handles[&NodeId(1)].with(|n| {
+            n.set_byzantine(ByzantineConfig {
+                refuse_retrieve: true,
+                ..Default::default()
+            })
+        });
+        // reach(@2, 3) is absent; node 1 is a candidate sender but refuses
+        // the absence audit — it must show up as a suspect, never as clean.
+        let result = tb.querier.why_absent(reach(2, 3)).at(NodeId(2)).run();
+        assert!(result.root.is_some());
+        assert!(!result.is_legitimate(), "a refused audit cannot be a clean absence");
+        assert!(
+            result.suspect_nodes().contains(&NodeId(1)),
+            "the refusing would-be sender must be suspect: {:?}",
+            result.suspect_nodes()
+        );
+        assert!(result.implicated_nodes().is_empty(), "refusal alone implicates nobody");
+    }
+
+    #[test]
+    fn why_absent_after_deletion_degenerates_into_why_disappeared() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.inject_message(
+            SimTime::from_secs(2),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator {
+                input: SmInput::DeleteBase(link(1, 2)),
+            },
+        );
+        tb.sim.run_until(SimTime::from_secs(5));
+
+        let absent = tb.querier.why_absent(reach(2, 1)).at(NodeId(2)).run();
+        assert!(absent.root.is_some());
+        let disappeared = tb.querier.why_disappeared(reach(2, 1)).at(NodeId(2)).run();
+        let disappear_root = disappeared.root.expect("disappearance must be found");
+        // Duality: the absence explanation contains the disappearance and,
+        // through it, the base-tuple delete that caused it.
+        assert!(
+            absent.traversal.as_ref().unwrap().depths.contains_key(&disappear_root),
+            "why_absent must contain the why_disappeared anchor:\n{}",
+            absent.render()
+        );
+        let has_delete = absent.vertices().any(|v| matches!(&v.kind, VertexKind::Delete { .. }));
+        assert!(has_delete, "the delete must explain the absence:\n{}", absent.render());
+        assert!(absent.is_legitimate(), "{}", absent.render());
+        assert!(absent.implicated_nodes().is_empty());
+
+        // why_vanished anchors on the same evidence; a never-existing tuple
+        // does not vanish.
+        let vanished = tb.querier.why_vanished(reach(2, 1)).at(NodeId(2)).run();
+        assert!(vanished.root.is_some());
+        assert!(vanished
+            .traversal
+            .as_ref()
+            .unwrap()
+            .depths
+            .contains_key(&disappear_root));
+        let never = tb.querier.why_vanished(reach(2, 9)).at(NodeId(2)).run();
+        assert!(never.root.is_none(), "nothing vanished if it never existed");
+    }
+
+    #[test]
+    fn why_vanished_widens_past_the_latest_checkpoint() {
+        // The disappearance is sealed into an early epoch: the narrow pass
+        // (anchored at the latest checkpoint) cannot see it — the tuple is
+        // simply missing from the checkpoint state — so the query must
+        // retry over the widest window and still anchor on the
+        // believe-disappear event.
+        let mut tb = testbed(2);
+        for handle in tb.handles.values() {
+            handle.with(|n| n.set_epoch_length(1_000_000));
+        }
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.inject_message(
+            SimTime::from_millis(500),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator {
+                input: SmInput::DeleteBase(link(1, 2)),
+            },
+        );
+        // Keep sealing epochs long after the deletion.
+        for s in 1..=8u64 {
+            insert(&mut tb.sim, s * 1000, 1, link(1, 9));
+        }
+        tb.sim.run_until(SimTime::from_secs(10));
+        let anchored = tb.querier.audit(NodeId(2));
+        assert!(
+            anchored.anchor_epoch.is_some(),
+            "epochs must have sealed for the widening to matter"
+        );
+
+        let result = tb.querier.why_vanished(reach(2, 1)).at(NodeId(2)).run();
+        assert!(
+            result.root.is_some(),
+            "the widened pass must find the pre-checkpoint disappearance"
+        );
+        assert!(
+            result.vertices().any(|v| matches!(
+                &v.kind,
+                VertexKind::BelieveDisappear { .. } | VertexKind::Disappear { .. }
+            )),
+            "{}",
+            result.render()
+        );
+        assert!(
+            result.vertices().any(|v| matches!(&v.kind, VertexKind::Delete { .. })),
+            "the explanation must reach the base-tuple delete:\n{}",
+            result.render()
+        );
+    }
+
+    #[test]
+    fn historical_why_absent_uses_replayed_intervals() {
+        let mut tb = testbed(2);
+        insert(&mut tb.sim, 10, 1, link(1, 2));
+        tb.sim.inject_message(
+            SimTime::from_secs(2),
+            OPERATOR,
+            NodeId(1),
+            SnoopyWire::Operator {
+                input: SmInput::DeleteBase(link(1, 2)),
+            },
+        );
+        tb.sim.run_until(SimTime::from_secs(5));
+        // While the link existed, it was not absent.
+        let during = tb.querier.why_absent(link(1, 2)).at(NodeId(1)).when(1_000_000).run();
+        assert!(during.root.is_none(), "the tuple existed at t=1s");
+        // After the deletion it is absent, explained by the delete.
+        let after = tb.querier.why_absent(link(1, 2)).at(NodeId(1)).when(4_000_000).run();
+        assert!(after.root.is_some());
+        assert!(
+            after.vertices().any(|v| matches!(&v.kind, VertexKind::Delete { .. })),
+            "{}",
+            after.render()
+        );
+        // Before the insertion it was also absent — but as a never-inserted
+        // base tuple, a legitimate leaf.
+        let before = tb.querier.why_absent(link(1, 2)).at(NodeId(1)).when(5).run();
+        assert!(before.root.is_some());
+        assert!(
+            !before.vertices().any(|v| matches!(&v.kind, VertexKind::Delete { .. })),
+            "{}",
+            before.render()
+        );
+        assert!(before.is_legitimate(), "{}", before.render());
     }
 
     #[test]

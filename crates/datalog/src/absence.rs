@@ -1,0 +1,427 @@
+//! Negative provenance: tracing why a tuple is *not* derivable.
+//!
+//! The positive half of the system explains how a tuple came to exist; this
+//! module answers the dual question — "why does my table have *no* such
+//! tuple?" — by enumerating, over the known constant domain, every rule
+//! instantiation that *could* have derived a tuple matching the queried
+//! pattern and reporting each one's first missing or failed precondition.
+//! This is the standard treatment of auditing a negative in fault detection:
+//! a correct node must be able to show that it followed the protocol and
+//! still did not derive the tuple.
+//!
+//! The entry point is [`crate::machine::StateMachine::absence_of`], which
+//! rule-driven machines implement via
+//! [`trace_absence`]; hand-written application machines (BGP, Chord)
+//! implement it with equivalent domain logic.  Either way the result is a
+//! list of [`AbsenceWitness`]es the querier turns into `absence` /
+//! `missing-precondition` vertices of the provenance graph, recursing across
+//! nodes when the missing precondition is a message that was never received.
+
+use crate::engine::RuleSet;
+use crate::rule::{Bindings, Rule, Term};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use snp_crypto::keys::NodeId;
+
+/// One reason a tuple matching the queried pattern does not exist on a node.
+///
+/// Witnesses are *claims about the node's visible state*: the querier
+/// verifies them against the node's replayed (tamper-evident) history, so a
+/// node cannot lie its way into a clean absence explanation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AbsenceWitness {
+    /// No rule can derive the pattern: it could only exist as a base tuple,
+    /// and no matching base tuple was ever inserted (or the insertion was
+    /// later deleted — the querier distinguishes the two from the replayed
+    /// insertion/deletion intervals).
+    NoBaseInsertion,
+    /// `rule` evaluates locally and could derive the pattern, but its body
+    /// join fails: `missing` is the first body atom with no matching present
+    /// tuple, grounded as far as the partial join allows (unjoined variables
+    /// become wildcards).
+    MissingLocal {
+        /// The rule that could have fired.
+        rule: String,
+        /// The first missing body atom, as a (possibly wildcarded) pattern.
+        missing: Tuple,
+    },
+    /// A tuple matching the pattern could only arrive as a `+τ` notification
+    /// derived at another node; no such notification was ever received.
+    /// `senders` are the candidate deriving nodes over the known constant
+    /// domain — the querier audits each one.
+    NeverReceived {
+        /// The rule whose remote evaluation would have produced the message.
+        rule: String,
+        /// The tuple (pattern) that would have been sent.
+        tuple: Tuple,
+        /// Candidate sending nodes, ascending.
+        senders: Vec<NodeId>,
+    },
+    /// `rule`'s body joined completely, but a constraint (or an aggregation /
+    /// export-policy decision) excluded every instantiation matching the
+    /// pattern.  This is a *legitimate* reason for absence — e.g. a BGP route
+    /// withheld by Gao–Rexford export policy.
+    ConstraintFailed {
+        /// The rule (or policy) that filtered the derivation.
+        rule: String,
+    },
+    /// The node's verified visible state *does* satisfy `rule`'s body, so a
+    /// tuple matching the pattern should exist — its absence is itself
+    /// evidence of misbehavior (the querier colors the absence vertex red).
+    Derivable {
+        /// The rule whose derivation is unaccountably missing.
+        rule: String,
+    },
+}
+
+/// Enumerate, over the constant domain of `present` ∪ `peers`, the rule
+/// instantiations that could derive a tuple matching `pattern` at `node`,
+/// reporting each one's first missing or failed precondition.
+///
+/// `present` is the node's visible tuple state at the instant of interest
+/// (base + derived + believed, as reconstructed from its verified log);
+/// `peers` is the set of known nodes, used as the candidate domain for
+/// unresolved evaluation sites.  Witnesses come back in rule-set order, so
+/// the output is deterministic.
+pub fn trace_absence(
+    ruleset: &RuleSet,
+    node: NodeId,
+    pattern: &Tuple,
+    present: &[Tuple],
+    peers: &[NodeId],
+) -> Vec<AbsenceWitness> {
+    let mut witnesses = Vec::new();
+    let mut head_matched = false;
+    for rule in ruleset.rules() {
+        let mut bindings = Bindings::new();
+        if !unify_pattern(&rule.head, pattern, &mut bindings) {
+            continue;
+        }
+        head_matched = true;
+        let site = match rule.evaluation_site() {
+            Ok(term) => term.clone(),
+            Err(_) => continue,
+        };
+        match site.resolve(&bindings).and_then(|v| v.as_node()) {
+            Some(s) if s == node => {
+                witnesses.extend(trace_local(rule, node, pattern, present, bindings));
+            }
+            Some(s) => {
+                // The body lives on another node: a matching tuple could only
+                // have arrived as a notification derived there.  Only the
+                // tuple's home node reasons about what it never received —
+                // a candidate sender is asked solely about its own
+                // derivations, so the recursion cannot bounce back and forth.
+                if pattern.location == node {
+                    witnesses.push(AbsenceWitness::NeverReceived {
+                        rule: rule.id.clone(),
+                        tuple: pattern.clone(),
+                        senders: vec![s],
+                    });
+                }
+            }
+            None => {
+                // Unresolved site.  At the tuple's home every peer is a
+                // candidate remote deriver; and the rule might also fire
+                // locally with the site bound to this node.
+                let mut local_bindings = bindings.clone();
+                if let Term::Var(name) = &site {
+                    local_bindings.insert(name.clone(), Value::Node(node));
+                }
+                witnesses.extend(trace_local(rule, node, pattern, present, local_bindings));
+                if pattern.location == node {
+                    let senders: Vec<NodeId> = peers.iter().copied().filter(|p| *p != node).collect();
+                    if !senders.is_empty() {
+                        witnesses.push(AbsenceWitness::NeverReceived {
+                            rule: rule.id.clone(),
+                            tuple: pattern.clone(),
+                            senders,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    if !head_matched {
+        witnesses.push(AbsenceWitness::NoBaseInsertion);
+    }
+    witnesses
+}
+
+/// Unify a rule-head atom with a queried pattern: wildcard arguments leave
+/// the corresponding head term unconstrained; concrete arguments unify
+/// normally, extending `bindings`.
+fn unify_pattern(head: &crate::rule::Atom, pattern: &Tuple, bindings: &mut Bindings) -> bool {
+    if head.relation != pattern.relation || head.args.len() != pattern.args.len() {
+        return false;
+    }
+    if !head.location.unify(&Value::Node(pattern.location), bindings) {
+        return false;
+    }
+    head.args.iter().zip(&pattern.args).all(|(term, value)| match value {
+        Value::Wild => true,
+        concrete => term.unify(concrete, bindings),
+    })
+}
+
+/// Trace one rule's local body join against the present tuples.
+fn trace_local(
+    rule: &Rule,
+    node: NodeId,
+    pattern: &Tuple,
+    present: &[Tuple],
+    bindings: Bindings,
+) -> Vec<AbsenceWitness> {
+    // Rule bodies only see tuples homed at the evaluation site.
+    let local: Vec<&Tuple> = present.iter().filter(|t| t.location == node).collect();
+    let mut partials: Vec<Bindings> = vec![bindings];
+    for atom in &rule.body {
+        let mut next = Vec::new();
+        for bound in &partials {
+            for candidate in &local {
+                let mut extended = bound.clone();
+                if atom.matches(candidate, &mut extended) {
+                    next.push(extended);
+                }
+            }
+        }
+        if next.is_empty() {
+            // First missing body atom: ground it under the (deterministic)
+            // first surviving partial, wildcarding unjoined variables.
+            let witness_bindings = partials.first().cloned().unwrap_or_default();
+            let missing = ground_atom(atom, node, &witness_bindings);
+            return vec![AbsenceWitness::MissingLocal {
+                rule: rule.id.clone(),
+                missing,
+            }];
+        }
+        partials = next;
+    }
+    // Every body atom joined.  Aggregation rules pick a single winner per
+    // group, so a complete join does not by itself imply the *queried* head
+    // value: report the aggregation as the filter unless the pattern is
+    // compatible with whatever the aggregate would produce (wild aggregate
+    // argument).
+    if rule.aggregate.is_some() {
+        let agg_is_wild = pattern.args.last().map(Value::is_wild).unwrap_or(false);
+        return vec![if agg_is_wild {
+            AbsenceWitness::Derivable { rule: rule.id.clone() }
+        } else {
+            AbsenceWitness::ConstraintFailed { rule: rule.id.clone() }
+        }];
+    }
+    // Standard rule: check the constraints per complete instantiation.
+    let mut any_passed = false;
+    for partial in &partials {
+        let mut env = partial.clone();
+        if rule.constraints.iter().all(|c| c.apply(&mut env)) {
+            if let Some(head) = rule.head.instantiate(&env) {
+                if pattern.covers(&head) {
+                    any_passed = true;
+                    break;
+                }
+            }
+        }
+    }
+    vec![if any_passed {
+        AbsenceWitness::Derivable { rule: rule.id.clone() }
+    } else {
+        AbsenceWitness::ConstraintFailed { rule: rule.id.clone() }
+    }]
+}
+
+/// Instantiate a body atom as far as `bindings` allow; unbound variables
+/// become wildcards.  The atom's location is the evaluation site, which is
+/// `node` by construction when this is called.
+fn ground_atom(atom: &crate::rule::Atom, node: NodeId, bindings: &Bindings) -> Tuple {
+    let args = atom
+        .args
+        .iter()
+        .map(|term| term.resolve(bindings).unwrap_or(Value::Wild))
+        .collect();
+    Tuple::new(atom.relation.clone(), node, args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{AggKind, Atom, CmpOp, Constraint, Expr, Rule};
+    use crate::value::Value;
+
+    /// The MinCost rule set from §3.3 (same as the engine's test fixture).
+    fn mincost_rules() -> RuleSet {
+        let r1 = Rule::standard(
+            "R1",
+            Atom::new(
+                "cost",
+                Term::var("X"),
+                vec![Term::var("Y"), Term::var("Y"), Term::var("K")],
+            ),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y"), Term::var("K")])],
+            vec![],
+        );
+        let r2 = Rule::standard(
+            "R2",
+            Atom::new(
+                "cost",
+                Term::var("C"),
+                vec![Term::var("D"), Term::var("B"), Term::var("K3")],
+            ),
+            vec![
+                Atom::new("link", Term::var("B"), vec![Term::var("C"), Term::var("K1")]),
+                Atom::new("bestCost", Term::var("B"), vec![Term::var("D"), Term::var("K2")]),
+            ],
+            vec![
+                Constraint::Assign {
+                    var: "K3".into(),
+                    expr: Expr::var("K1") + Expr::var("K2"),
+                },
+                Constraint::Compare {
+                    lhs: Expr::var("C"),
+                    op: CmpOp::Ne,
+                    rhs: Expr::var("D"),
+                },
+            ],
+        );
+        let r3 = Rule::aggregate(
+            "R3",
+            Atom::new("bestCost", Term::var("X"), vec![Term::var("Y"), Term::var("K")]),
+            Atom::new(
+                "cost",
+                Term::var("X"),
+                vec![Term::var("Y"), Term::var("Z"), Term::var("K")],
+            ),
+            AggKind::Min,
+            "K",
+        );
+        RuleSet::new(vec![r1, r2, r3]).expect("valid rules")
+    }
+
+    fn link(at: u64, to: u64, cost: i64) -> Tuple {
+        Tuple::new("link", NodeId(at), vec![Value::node(to), Value::Int(cost)])
+    }
+
+    fn best_cost_pattern(at: u64, to: u64) -> Tuple {
+        Tuple::new("bestCost", NodeId(at), vec![Value::node(to), Value::Wild])
+    }
+
+    #[test]
+    fn base_relation_absence_bottoms_out() {
+        let witnesses = trace_absence(
+            &mincost_rules(),
+            NodeId(1),
+            &Tuple::new("link", NodeId(1), vec![Value::node(2u64), Value::Wild]),
+            &[],
+            &[NodeId(1), NodeId(2)],
+        );
+        assert_eq!(witnesses, vec![AbsenceWitness::NoBaseInsertion]);
+    }
+
+    #[test]
+    fn aggregate_absence_traces_to_missing_body() {
+        // bestCost(@1, 4, *) absent on an empty store: R3's body cost(@1,4,…)
+        // is missing.
+        let witnesses = trace_absence(
+            &mincost_rules(),
+            NodeId(1),
+            &best_cost_pattern(1, 4),
+            &[],
+            &[NodeId(1), NodeId(2)],
+        );
+        let missing = witnesses.iter().find_map(|w| match w {
+            AbsenceWitness::MissingLocal { rule, missing } if rule == "R3" => Some(missing.clone()),
+            _ => None,
+        });
+        let missing = missing.expect("R3's body must be reported missing");
+        assert_eq!(missing.relation, "cost");
+        assert_eq!(missing.location, NodeId(1));
+        assert_eq!(missing.args[0], Value::node(4u64), "bound head vars are grounded");
+        assert!(missing.args[2].is_wild(), "unjoined vars become wildcards");
+    }
+
+    #[test]
+    fn remote_headed_rule_reports_candidate_senders() {
+        // cost(@1, 4, *, *): R2 evaluates at B (unbound) → any peer could
+        // have derived and shipped it; R1 evaluates locally → missing link.
+        let pattern = Tuple::new("cost", NodeId(1), vec![Value::node(4u64), Value::Wild, Value::Wild]);
+        let witnesses = trace_absence(
+            &mincost_rules(),
+            NodeId(1),
+            &pattern,
+            &[],
+            &[NodeId(1), NodeId(2), NodeId(3)],
+        );
+        assert!(witnesses
+            .iter()
+            .any(|w| matches!(w, AbsenceWitness::MissingLocal { rule, .. } if rule == "R1")));
+        let senders = witnesses.iter().find_map(|w| match w {
+            AbsenceWitness::NeverReceived { rule, senders, .. } if rule == "R2" => Some(senders.clone()),
+            _ => None,
+        });
+        assert_eq!(senders, Some(vec![NodeId(2), NodeId(3)]), "self is excluded");
+    }
+
+    #[test]
+    fn satisfied_body_is_reported_as_derivable() {
+        // With link(1,2,5) present, bestCost(@1, 2, *) is derivable: its
+        // absence would be evidence of misbehavior.
+        let present = [
+            link(1, 2, 5),
+            Tuple::new(
+                "cost",
+                NodeId(1),
+                vec![Value::node(2u64), Value::node(2u64), Value::Int(5)],
+            ),
+        ];
+        let witnesses = trace_absence(
+            &mincost_rules(),
+            NodeId(1),
+            &best_cost_pattern(1, 2),
+            &present,
+            &[NodeId(1), NodeId(2)],
+        );
+        assert!(witnesses
+            .iter()
+            .any(|w| matches!(w, AbsenceWitness::Derivable { rule } if rule == "R3")));
+    }
+
+    #[test]
+    fn failed_constraint_is_reported() {
+        // R2 has C != D; ask for cost(@2, 2, …) with a link(@B=1, C=2) and
+        // bestCost(@1, D=2) present — the body joins but C == D fails.
+        let present = [
+            link(1, 2, 1),
+            Tuple::new("bestCost", NodeId(1), vec![Value::node(2u64), Value::Int(4)]),
+        ];
+        let pattern = Tuple::new(
+            "cost",
+            NodeId(2),
+            vec![Value::node(2u64), Value::node(1u64), Value::Wild],
+        );
+        // Trace at node 1, the evaluation site (the head is homed at 2).
+        let witnesses = trace_absence(&mincost_rules(), NodeId(1), &pattern, &present, &[NodeId(1), NodeId(2)]);
+        assert!(
+            witnesses
+                .iter()
+                .any(|w| matches!(w, AbsenceWitness::ConstraintFailed { rule } if rule == "R2")),
+            "C != D must be reported as the failed constraint: {witnesses:?}"
+        );
+    }
+
+    #[test]
+    fn remote_sites_only_fan_out_at_the_tuples_home() {
+        // Tracing cost(@1, …) at node 2 (a candidate sender) must not emit
+        // NeverReceived again — node 2 either derives it locally or not.
+        let pattern = Tuple::new("cost", NodeId(1), vec![Value::node(4u64), Value::Wild, Value::Wild]);
+        let witnesses = trace_absence(&mincost_rules(), NodeId(2), &pattern, &[], &[NodeId(1), NodeId(2)]);
+        assert!(
+            !witnesses
+                .iter()
+                .any(|w| matches!(w, AbsenceWitness::NeverReceived { .. })),
+            "no fan-out away from the home node: {witnesses:?}"
+        );
+        assert!(witnesses
+            .iter()
+            .any(|w| matches!(w, AbsenceWitness::MissingLocal { rule, .. } if rule == "R2")));
+    }
+}

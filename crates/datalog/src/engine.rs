@@ -639,6 +639,14 @@ impl StateMachine for Engine {
         Ok(Box::new(engine))
     }
 
+    /// Rule-driven absence tracing: enumerate the rule instantiations that
+    /// could derive the pattern over the known constant domain and report
+    /// each one's first missing or failed body atom (see
+    /// [`crate::absence::trace_absence`]).
+    fn absence_of(&self, pattern: &Tuple, present: &[Tuple], peers: &[NodeId]) -> Vec<crate::absence::AbsenceWitness> {
+        crate::absence::trace_absence(&self.ruleset, self.node, pattern, present, peers)
+    }
+
     fn name(&self) -> String {
         format!("engine@{}", self.node)
     }

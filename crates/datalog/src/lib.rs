@@ -20,6 +20,10 @@
 //! * [`snapshot`] — the deterministic byte codec machines use to serialize
 //!   their complete state when a log epoch is sealed, so queriers can restore
 //!   the state and replay only the suffix after a checkpoint (§5.6).
+//! * [`absence`] — negative provenance: for a tuple that is *not* derivable,
+//!   enumerate the rule instantiations that could have derived it over the
+//!   known constant domain and report each one's first missing or failed
+//!   precondition (the `why_absent` query class).
 //!
 //! The provenance of every derivation (rule id plus instantiated body tuples)
 //! is reported on the outputs, which is what `snp-graph`'s graph construction
@@ -28,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absence;
 pub mod engine;
 pub mod machine;
 pub mod parser;
@@ -36,6 +41,7 @@ pub mod snapshot;
 pub mod tuple;
 pub mod value;
 
+pub use absence::{trace_absence, AbsenceWitness};
 pub use engine::{Engine, RuleSet};
 pub use machine::{MachineFactory, Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
 pub use rule::{AggKind, Atom, Constraint, Expr, Rule, RuleKind, Term};

@@ -12,6 +12,7 @@
 //! are written against it, which is what lets a single provenance pipeline
 //! serve all three provenance-extraction methods of §5.3.
 
+use crate::absence::AbsenceWitness;
 use crate::tuple::Tuple;
 use snp_crypto::keys::NodeId;
 use std::fmt;
@@ -180,6 +181,26 @@ pub trait StateMachine: Send {
     fn restore(&self, snapshot: &[u8]) -> Result<Box<dyn StateMachine>, String> {
         let _ = snapshot;
         Err(format!("{} does not support snapshot restore", self.name()))
+    }
+
+    /// Negative provenance (`why_absent`): enumerate the ways a tuple
+    /// matching `pattern` *could* have come to exist on this node, reporting
+    /// each one's first missing or failed precondition.
+    ///
+    /// This is a *pure* function of the machine's protocol applied to an
+    /// externally supplied state: `pattern` may contain [`crate::Value::Wild`]
+    /// wildcards, `present` is the node's visible tuple set at the instant of
+    /// interest (reconstructed by the querier from the node's verified log —
+    /// never from this instance's own, possibly corrupted, state), and
+    /// `peers` is the known node domain for candidate remote derivers.
+    /// Implementations must be deterministic; rule-driven machines delegate
+    /// to [`crate::absence::trace_absence`].
+    ///
+    /// The default returns no witnesses, which the querier renders as an
+    /// unexplained (leaf) absence.
+    fn absence_of(&self, pattern: &Tuple, present: &[Tuple], peers: &[NodeId]) -> Vec<AbsenceWitness> {
+        let _ = (pattern, present, peers);
+        Vec::new()
     }
 
     /// A short name identifying the machine type (for diagnostics).

@@ -69,6 +69,29 @@ impl Tuple {
     pub fn node_arg(&self, i: usize) -> Option<NodeId> {
         self.args.get(i).and_then(Value::as_node)
     }
+
+    /// Whether any argument is a [`Value::Wild`] wildcard, i.e. the tuple is
+    /// a query *pattern* rather than concrete state.
+    pub fn is_pattern(&self) -> bool {
+        fn any_wild(v: &Value) -> bool {
+            match v {
+                Value::Wild => true,
+                Value::List(items) => items.iter().any(any_wild),
+                _ => false,
+            }
+        }
+        self.args.iter().any(any_wild)
+    }
+
+    /// Whether this tuple, read as a pattern, covers a concrete tuple: same
+    /// relation, same location, and every argument matches (wildcards match
+    /// anything).  A fully concrete tuple covers exactly itself.
+    pub fn covers(&self, concrete: &Tuple) -> bool {
+        self.relation == concrete.relation
+            && self.location == concrete.location
+            && self.args.len() == concrete.args.len()
+            && self.args.iter().zip(&concrete.args).all(|(p, c)| p.matches(c))
+    }
 }
 
 impl fmt::Debug for Tuple {
@@ -136,6 +159,26 @@ mod tests {
         let small = Tuple::new("r", NodeId(0), vec![]);
         let big = Tuple::new("r", NodeId(0), vec![Value::str("x".repeat(100))]);
         assert!(big.wire_size() > small.wire_size() + 100);
+    }
+
+    #[test]
+    fn patterns_cover_concrete_tuples() {
+        let concrete = sample();
+        let mut pattern = sample();
+        pattern.args[1] = Value::Wild;
+        assert!(pattern.is_pattern());
+        assert!(!concrete.is_pattern());
+        assert!(pattern.covers(&concrete));
+        assert!(concrete.covers(&concrete), "a concrete tuple covers itself");
+        let mut other = sample();
+        other.args[0] = Value::node(9u64);
+        assert!(!pattern.covers(&other), "non-wild args still constrain");
+        let mut elsewhere = sample();
+        elsewhere.location = NodeId(7);
+        assert!(!pattern.covers(&elsewhere), "location is never a wildcard");
+        let mut short = sample();
+        short.args.pop();
+        assert!(!pattern.covers(&short));
     }
 
     #[test]

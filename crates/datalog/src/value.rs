@@ -19,6 +19,11 @@ pub enum Value {
     Node(NodeId),
     /// A list of values (e.g. a BGP AS path).
     List(Vec<Value>),
+    /// A wildcard, used only in query *patterns* (negative provenance asks
+    /// "why is there no `route(@i, P, …)` at all?" — the AS path and next
+    /// hop of the missing route are unknown by construction).  A wildcard
+    /// matches any concrete value; it never appears in stored tuples.
+    Wild,
 }
 
 impl Value {
@@ -64,6 +69,21 @@ impl Value {
         }
     }
 
+    /// Whether this value is the query wildcard.
+    pub fn is_wild(&self) -> bool {
+        matches!(self, Value::Wild)
+    }
+
+    /// Whether this (pattern) value matches a concrete value: wildcards match
+    /// anything, lists match element-wise, everything else by equality.
+    pub fn matches(&self, concrete: &Value) -> bool {
+        match (self, concrete) {
+            (Value::Wild, _) => true,
+            (Value::List(p), Value::List(c)) => p.len() == c.len() && p.iter().zip(c).all(|(a, b)| a.matches(b)),
+            (a, b) => a == b,
+        }
+    }
+
     /// Stable byte encoding used for hashing tuples into digests.
     pub fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -87,6 +107,7 @@ impl Value {
                     item.encode(out);
                 }
             }
+            Value::Wild => out.push(0x05),
         }
     }
 }
@@ -107,6 +128,7 @@ impl fmt::Debug for Value {
                 }
                 write!(f, "]")
             }
+            Value::Wild => write!(f, "*"),
         }
     }
 }
@@ -156,6 +178,22 @@ mod tests {
         assert_eq!(Value::Int(5).as_str(), None);
         let list = Value::List(vec![Value::Int(1)]);
         assert_eq!(list.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        assert!(Value::Wild.matches(&Value::Int(5)));
+        assert!(Value::Wild.matches(&Value::str("x")));
+        assert!(Value::Wild.matches(&Value::List(vec![Value::Int(1)])));
+        assert!(Value::Int(5).matches(&Value::Int(5)));
+        assert!(!Value::Int(5).matches(&Value::Int(6)));
+        // Lists match element-wise, so wildcards work inside paths.
+        let pattern = Value::List(vec![Value::node(1u64), Value::Wild]);
+        assert!(pattern.matches(&Value::List(vec![Value::node(1u64), Value::node(2u64)])));
+        assert!(!pattern.matches(&Value::List(vec![Value::node(3u64), Value::node(2u64)])));
+        assert!(!pattern.matches(&Value::List(vec![Value::node(1u64)])));
+        assert!(Value::Wild.is_wild());
+        assert!(!Value::Int(1).is_wild());
     }
 
     #[test]

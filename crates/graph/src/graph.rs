@@ -41,6 +41,20 @@ pub fn edge_allowed(from: &str, to: &str) -> bool {
             // for pre-checkpoint state, standing in for its truncated
             // appearance provenance.
             | ("checkpoint", "exist")
+            // Negative provenance: the dual edges of the `why_absent` /
+            // `why_vanished` query class.  An absence is explained either by
+            // the disappearance that ended the tuple's last existence
+            // interval, or by the missing preconditions of every rule that
+            // could have derived it; a missing precondition is in turn
+            // explained by the precondition's own absence (possibly on the
+            // would-be sender), or by the sender's `send` vertex when it
+            // logged a send it never delivered (lying by omission).
+            | ("disappear", "absence")
+            | ("believe-disappear", "absence")
+            | ("delete", "absence")
+            | ("missing-precondition", "absence")
+            | ("absence", "missing-precondition")
+            | ("send", "missing-precondition")
     )
 }
 
@@ -333,6 +347,147 @@ impl ProvenanceGraph {
             } => *n == node && *p == peer && delta.tuple == *tuple && delta.polarity == polarity,
             _ => false,
         })
+    }
+
+    // ----- pattern lookups used by negative provenance ----------------------
+
+    /// Whether an interval `[from, until]` covers the instant of interest:
+    /// `at = None` asks about "now", which only open intervals cover.
+    fn interval_covers(from: Timestamp, until: Option<Timestamp>, at: Option<Timestamp>) -> bool {
+        match at {
+            None => until.is_none(),
+            Some(t) => from <= t && until.map(|u| t <= u).unwrap_or(true),
+        }
+    }
+
+    /// An `exist` or `believe` vertex on `node` for a tuple covered by
+    /// `pattern` whose interval covers `at` (`None` = now).  This is the
+    /// querier's presence test for `why_absent`.
+    pub fn existence_matching(&self, node: NodeId, pattern: &Tuple, at: Option<Timestamp>) -> Option<VertexId> {
+        self.find_kind(|k| match k {
+            VertexKind::Exist {
+                node: n,
+                tuple,
+                from,
+                until,
+            }
+            | VertexKind::Believe {
+                node: n,
+                tuple,
+                from,
+                until,
+                ..
+            } => *n == node && pattern.covers(tuple) && Self::interval_covers(*from, *until, at),
+            _ => false,
+        })
+    }
+
+    /// The latest `disappear` / `believe-disappear` vertex on `node` for a
+    /// tuple covered by `pattern` at or before `before`, together with its
+    /// timestamp.  This is how `why_absent` bottoms out in `why_disappeared`
+    /// when the tuple once existed.
+    pub fn latest_disappearance_matching(
+        &self,
+        node: NodeId,
+        pattern: &Tuple,
+        before: Timestamp,
+    ) -> Option<(VertexId, Timestamp)> {
+        self.vertices
+            .iter()
+            .filter_map(|(id, v)| match &v.kind {
+                VertexKind::Disappear { node: n, tuple, time }
+                | VertexKind::BelieveDisappear {
+                    node: n, tuple, time, ..
+                } if *n == node && pattern.covers(tuple) && *time <= before => Some((*id, *time)),
+                _ => None,
+            })
+            .max_by_key(|(id, time)| (*time, *id))
+    }
+
+    /// Whether a tuple covered by `pattern` (re)appeared on `node` strictly
+    /// after `after` and at or before `until`.  Used to check that a found
+    /// disappearance is really the *last* word before the instant of
+    /// interest.
+    pub fn appearance_matching_in(&self, node: NodeId, pattern: &Tuple, after: Timestamp, until: Timestamp) -> bool {
+        self.vertices.values().any(|v| match &v.kind {
+            VertexKind::Appear { node: n, tuple, time }
+            | VertexKind::BelieveAppear {
+                node: n, tuple, time, ..
+            } => *n == node && pattern.covers(tuple) && *time > after && *time <= until,
+            _ => false,
+        })
+    }
+
+    /// The latest `send` vertex from `node` to `peer` whose notification
+    /// tuple is covered by `pattern`.  Negative provenance uses this to
+    /// check whether a would-be sender logged a send that the receiver never
+    /// saw — the lying-by-omission case.
+    pub fn find_send_matching(
+        &self,
+        node: NodeId,
+        peer: NodeId,
+        pattern: &Tuple,
+        polarity: Polarity,
+    ) -> Option<VertexId> {
+        self.vertices
+            .iter()
+            .filter_map(|(id, v)| match &v.kind {
+                VertexKind::Send {
+                    node: n,
+                    peer: p,
+                    delta,
+                    time,
+                } if *n == node && *p == peer && delta.polarity == polarity && pattern.covers(&delta.tuple) => {
+                    Some((*time, *id))
+                }
+                _ => None,
+            })
+            .max()
+            .map(|(_, id)| id)
+    }
+
+    /// The tuples visible on `node` at the instant of interest, reconstructed
+    /// from its existence and belief intervals (`at = None` = now).  Sorted
+    /// and deduplicated, so downstream absence tracing is deterministic.
+    pub fn present_tuples_at(&self, node: NodeId, at: Option<Timestamp>) -> Vec<Tuple> {
+        let set: BTreeSet<Tuple> = self
+            .vertices
+            .values()
+            .filter_map(|v| match &v.kind {
+                VertexKind::Exist {
+                    node: n,
+                    tuple,
+                    from,
+                    until,
+                }
+                | VertexKind::Believe {
+                    node: n,
+                    tuple,
+                    from,
+                    until,
+                    ..
+                } if *n == node && Self::interval_covers(*from, *until, at) => Some(tuple.clone()),
+                _ => None,
+            })
+            .collect();
+        set.into_iter().collect()
+    }
+
+    /// The latest timestamp mentioned anywhere in the graph (vertex times and
+    /// closed interval ends).  Negative queries about "now" stamp their
+    /// synthesized vertices with this horizon, which is a deterministic
+    /// function of the verified evidence.
+    pub fn horizon(&self) -> Timestamp {
+        self.vertices
+            .values()
+            .map(|v| match &v.kind {
+                VertexKind::Exist { from, until, .. } | VertexKind::Believe { from, until, .. } => {
+                    until.unwrap_or(*from)
+                }
+                other => other.time(),
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     // ----- Appendix B.2 graph operations ------------------------------------

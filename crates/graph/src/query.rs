@@ -112,7 +112,12 @@ pub fn affected(graph: &ProvenanceGraph, root: VertexId) -> Traversal {
 /// deletions, which require no further explanation") or `checkpoint`
 /// vertices, whose pre-checkpoint provenance was truncated but whose
 /// existence at the epoch boundary is vouched for by a verified signed
-/// checkpoint (§5.6).
+/// checkpoint (§5.6).  Negative explanations additionally bottom out at
+/// `absence` vertices (a base tuple that was never inserted needs no further
+/// explanation) and at `missing-precondition` vertices whose deriving rule
+/// was filtered by a constraint or policy; an *unverified* missing
+/// precondition never stays a black leaf — a refused or unknown would-be
+/// sender leaves yellow audit evidence that fails the all-black check.
 pub fn root_causes(graph: &ProvenanceGraph, traversal: &Traversal) -> Vec<VertexId> {
     traversal
         .depths
@@ -135,7 +140,11 @@ pub fn is_legitimate_explanation(graph: &ProvenanceGraph, traversal: &Traversal)
     root_causes(graph, traversal).iter().all(|id| {
         matches!(
             graph.vertex(id).map(|v| &v.kind),
-            Some(VertexKind::Insert { .. }) | Some(VertexKind::Delete { .. }) | Some(VertexKind::Checkpoint { .. })
+            Some(VertexKind::Insert { .. })
+                | Some(VertexKind::Delete { .. })
+                | Some(VertexKind::Checkpoint { .. })
+                | Some(VertexKind::Absence { .. })
+                | Some(VertexKind::MissingPrecondition { .. })
         )
     })
 }

@@ -192,6 +192,42 @@ pub enum VertexKind {
         /// Local time the checkpoint was sealed.
         time: Timestamp,
     },
+    /// No tuple matching `tuple` (a possibly wildcarded pattern) existed on
+    /// `node` at `time` — a *verified negative*, established by replaying the
+    /// node's tamper-evident log and finding no covering existence interval.
+    /// Negative provenance (`why_absent`) anchors at an `absence` vertex; its
+    /// predecessors are either the `disappear` event that ended the tuple's
+    /// last existence interval, or the `missing-precondition` vertices
+    /// explaining why it could never be derived.  An absence with no
+    /// predecessors is a base-tuple that was simply never inserted — a
+    /// legitimate leaf, the negative analogue of `insert`.
+    Absence {
+        /// The node the absence is about.
+        node: NodeId,
+        /// The missing tuple (pattern).
+        tuple: Tuple,
+        /// The instant of interest.
+        time: Timestamp,
+    },
+    /// A precondition that would have let a tuple be derived on `node` was
+    /// itself missing at `time`: `rule` could have fired, but no tuple
+    /// matching `tuple` was available — either never derivable locally
+    /// (`peer` = `None`; explained by a predecessor `absence` vertex) or
+    /// never received from the candidate sender `peer` (explained by the
+    /// sender's own `absence`, or by its red `send` vertex when it logged a
+    /// send it never delivered).
+    MissingPrecondition {
+        /// The node whose derivation was blocked.
+        node: NodeId,
+        /// The missing precondition tuple (pattern).
+        tuple: Tuple,
+        /// The rule (or policy) that could have fired, if known.
+        rule: Option<String>,
+        /// The candidate sender, for never-received message preconditions.
+        peer: Option<NodeId>,
+        /// The instant of interest.
+        time: Timestamp,
+    },
 }
 
 impl VertexKind {
@@ -210,7 +246,9 @@ impl VertexKind {
             | VertexKind::BelieveAppear { node, .. }
             | VertexKind::BelieveDisappear { node, .. }
             | VertexKind::Believe { node, .. }
-            | VertexKind::Checkpoint { node, .. } => *node,
+            | VertexKind::Checkpoint { node, .. }
+            | VertexKind::Absence { node, .. }
+            | VertexKind::MissingPrecondition { node, .. } => *node,
         }
     }
 
@@ -227,7 +265,9 @@ impl VertexKind {
             | VertexKind::BelieveAppear { tuple, .. }
             | VertexKind::BelieveDisappear { tuple, .. }
             | VertexKind::Believe { tuple, .. }
-            | VertexKind::Checkpoint { tuple, .. } => tuple,
+            | VertexKind::Checkpoint { tuple, .. }
+            | VertexKind::Absence { tuple, .. }
+            | VertexKind::MissingPrecondition { tuple, .. } => tuple,
             VertexKind::Send { delta, .. } | VertexKind::Receive { delta, .. } => &delta.tuple,
         }
     }
@@ -246,7 +286,9 @@ impl VertexKind {
             | VertexKind::Receive { time, .. }
             | VertexKind::BelieveAppear { time, .. }
             | VertexKind::BelieveDisappear { time, .. }
-            | VertexKind::Checkpoint { time, .. } => *time,
+            | VertexKind::Checkpoint { time, .. }
+            | VertexKind::Absence { time, .. }
+            | VertexKind::MissingPrecondition { time, .. } => *time,
             VertexKind::Exist { from, .. } | VertexKind::Believe { from, .. } => *from,
         }
     }
@@ -268,6 +310,8 @@ impl VertexKind {
             VertexKind::BelieveDisappear { .. } => "believe-disappear",
             VertexKind::Believe { .. } => "believe",
             VertexKind::Checkpoint { .. } => "checkpoint",
+            VertexKind::Absence { .. } => "absence",
+            VertexKind::MissingPrecondition { .. } => "missing-precondition",
         }
     }
 
@@ -301,6 +345,15 @@ impl VertexKind {
             }
             VertexKind::Derive { rule, .. } | VertexKind::Underive { rule, .. } => {
                 bytes.extend_from_slice(rule.as_bytes());
+            }
+            VertexKind::MissingPrecondition { rule, peer, .. } => {
+                if let Some(rule) = rule {
+                    bytes.extend_from_slice(rule.as_bytes());
+                }
+                bytes.push(0);
+                if let Some(peer) = peer {
+                    bytes.extend_from_slice(&peer.to_bytes());
+                }
             }
             _ => {}
         }
@@ -376,6 +429,22 @@ impl fmt::Display for VertexKind {
                 rule,
                 time,
             } => write!(f, "UNDERIVE({node}, {tuple}, {rule}, {time})"),
+            VertexKind::MissingPrecondition {
+                node,
+                tuple,
+                rule,
+                peer,
+                time,
+            } => {
+                write!(f, "MISSING-PRECONDITION({node}, {tuple}")?;
+                if let Some(rule) = rule {
+                    write!(f, ", rule {rule}")?;
+                }
+                if let Some(peer) = peer {
+                    write!(f, ", never received from {peer}")?;
+                }
+                write!(f, ", {time})")
+            }
             other => write!(
                 f,
                 "{}({}, {}, {})",

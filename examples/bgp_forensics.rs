@@ -30,7 +30,8 @@ fn hijack_investigation() {
             victim,
             TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker)),
         ),
-    );
+    )
+    .expect("deployed node");
     tb.run_until(SimTime::from_secs(40));
 
     let bogus = tb.handles[&victim]

@@ -46,7 +46,8 @@ fn route_hijack_is_detected_without_framing_correct_nodes() {
             victim,
             TupleDelta::plus(bgp::adv_route(victim, prefix, &[hijacker], hijacker)),
         ),
-    );
+    )
+    .expect("deployed node");
     tb.run_until(SimTime::from_secs(40));
     let route = tb.handles[&victim]
         .with(|n| n.current_tuples())
@@ -76,7 +77,7 @@ fn suppression_attack_is_detected_on_the_suppressor() {
     let starved = NodeId(1);
     let mut cfg = ByzantineConfig::honest();
     cfg.suppress_sends_to.insert(starved);
-    tb.set_byzantine(suppressor, cfg);
+    tb.set_byzantine(suppressor, cfg).expect("deployed node");
     let prefix = "10.0.0.0/16";
     tb.insert_at(SimTime::from_millis(500), NodeId(4), bgp::originate(NodeId(4), prefix));
     tb.run_until(SimTime::from_secs(40));
@@ -112,7 +113,8 @@ fn log_tampering_and_equivocation_are_both_detected() {
             tamper_log_drop_entry: Some(1),
             ..Default::default()
         },
-    );
+    )
+    .expect("deployed node");
     let audit = tb.querier.audit(mincost::B);
     assert_eq!(audit.color, snp::graph::Color::Red);
 
@@ -125,7 +127,8 @@ fn log_tampering_and_equivocation_are_both_detected() {
             equivocate_truncate_to: Some(1),
             ..Default::default()
         },
-    );
+    )
+    .expect("deployed node");
     let audit = tb.querier.audit(mincost::E);
     assert_eq!(audit.color, snp::graph::Color::Red, "{:?}", audit.notes);
 }
@@ -140,7 +143,8 @@ fn refusing_to_answer_leaves_yellow_but_still_identifies_a_suspect() {
             refuse_retrieve: true,
             ..Default::default()
         },
-    );
+    )
+    .expect("deployed node");
     let result = tb
         .querier
         .why_exists(mincost::best_cost(mincost::A, mincost::D, 7))

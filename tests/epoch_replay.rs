@@ -148,7 +148,8 @@ fn tampered_sealed_segment_is_detected_by_suffix_audit() {
             tamper_log_drop_entry: Some(0),
             ..Default::default()
         },
-    );
+    )
+    .expect("deployed node");
     // A historical audit anchors at the checkpoint sealed at t = 15 and
     // fetches the sealed segments after it — including the tampered one.
     let at = SimTime::from_secs(16).as_micros();
@@ -178,7 +179,8 @@ fn forged_checkpoint_snapshot_is_detected() {
             forge_checkpoint_snapshot: true,
             ..Default::default()
         },
-    );
+    )
+    .expect("deployed node");
     let audit = tb.querier.audit(mincost::C);
     assert_eq!(
         audit.color,

@@ -12,8 +12,8 @@ use snp::core::deploy::Deployment;
 use snp::core::query::QueryResult;
 use snp::core::ByzantineConfig;
 use snp::crypto::keys::NodeId;
-use snp::datalog::Engine;
-use snp::graph::Color;
+use snp::datalog::{Engine, Tuple, Value};
+use snp::graph::{Color, VertexKind};
 use snp::sim::rng::DetRng;
 use snp::sim::{SimDuration, SimTime};
 use std::collections::BTreeSet;
@@ -244,6 +244,196 @@ fn prop_parallel_and_serial_queries_are_identical() {
             if let Fault::Tamper(v) | Fault::Refuse(v) = fault {
                 for implicated in reference.implicated_nodes() {
                     assert_eq!(implicated, NodeId(v), "case {case} {name}: accuracy");
+                }
+            }
+        }
+    }
+}
+
+/// Positive/negative duality: after insert→delete, `why_absent(τ)` (now and
+/// at a historical instant after the deletion) agrees with
+/// `why_disappeared(τ)` — the absence explanation contains the
+/// disappearance anchor and, through it, the base-tuple delete; before the
+/// insertion the same query explains a never-inserted base tuple instead.
+#[test]
+fn prop_absence_and_disappearance_are_dual() {
+    for case in 0..4u64 {
+        let mut rng = DetRng::new(case ^ 0xd0a1);
+        let links = arbitrary_links(&mut rng, 4);
+        let mut builder = Deployment::builder().seed(7).secure(true);
+        for i in 1..=4u64 {
+            builder = builder.node(NodeId(i), |id| Box::new(Engine::new(id, mincost_rules())));
+        }
+        // A guaranteed direct link (so bestCost(@1, 2, 5) exists), plus the
+        // random background topology.
+        builder = builder.insert_at(SimTime::from_millis(10), NodeId(1), link(NodeId(1), NodeId(2), 5));
+        for (idx, (a, b, cost)) in links.iter().enumerate() {
+            let at = SimTime::from_millis(20 + idx as u64);
+            builder = builder
+                .insert_at(at, NodeId(*a), link(NodeId(*a), NodeId(*b), *cost))
+                .insert_at(at, NodeId(*b), link(NodeId(*b), NodeId(*a), *cost));
+        }
+        // Delete every link again so the derived state drains.
+        builder = builder.delete_at(SimTime::from_secs(10), NodeId(1), link(NodeId(1), NodeId(2), 5));
+        for (idx, (a, b, cost)) in links.iter().enumerate() {
+            let at = SimTime::from_millis(11_000 + idx as u64);
+            builder = builder
+                .delete_at(at, NodeId(*a), link(NodeId(*a), NodeId(*b), *cost))
+                .delete_at(at, NodeId(*b), link(NodeId(*b), NodeId(*a), *cost));
+        }
+        let mut tb = builder.build();
+        tb.run_until(SimTime::from_secs(25));
+
+        let vanished = Tuple::new("bestCost", NodeId(1), vec![Value::Node(NodeId(2)), Value::Int(5)]);
+        assert!(
+            !tb.handles[&NodeId(1)].with(|n| n.has_tuple(&vanished)),
+            "case {case}: the tuple must be gone"
+        );
+        let disappeared = tb.querier.why_disappeared(vanished.clone()).at(NodeId(1)).run();
+        let anchor = disappeared.root.expect("disappearance anchor");
+
+        for (label, result) in [
+            ("now", tb.querier.why_absent(vanished.clone()).at(NodeId(1)).run()),
+            (
+                "historical",
+                tb.querier
+                    .why_absent(vanished.clone())
+                    .at(NodeId(1))
+                    .when(20_000_000)
+                    .run(),
+            ),
+            (
+                "vanished",
+                tb.querier.why_vanished(vanished.clone()).at(NodeId(1)).run(),
+            ),
+        ] {
+            assert!(result.root.is_some(), "case {case} {label}: absence root");
+            assert!(
+                result.traversal.as_ref().unwrap().depths.contains_key(&anchor),
+                "case {case} {label}: why_absent must contain the why_disappeared anchor"
+            );
+            assert!(
+                result.vertices().any(|v| matches!(&v.kind, VertexKind::Delete { .. })),
+                "case {case} {label}: the delete must explain the absence"
+            );
+            assert_eq!(
+                result.implicated_nodes(),
+                disappeared.implicated_nodes(),
+                "case {case} {label}: dual queries agree on culprits"
+            );
+        }
+
+        // Before the insertion the tuple was absent as a never-derivable
+        // head over an empty store — no delete involved.
+        let before = tb.querier.why_absent(vanished).at(NodeId(1)).when(1).run();
+        assert!(before.root.is_some(), "case {case}: pre-insertion absence");
+        assert!(
+            !before.vertices().any(|v| matches!(&v.kind, VertexKind::Delete { .. })),
+            "case {case}: nothing was deleted before the insertion"
+        );
+    }
+}
+
+/// Build a MinCost deployment for `case`, run a `why_absent` macroquery of a
+/// never-derivable tuple with the given worker count, and return the result.
+/// The wildcarded pattern forces the full negative pipeline: a local missing
+/// body atom plus a cross-node never-received fan-out over every peer.
+fn mincost_negative_query(case: u64, fault: Fault, threads: usize) -> QueryResult {
+    let mut rng = DetRng::new(case.wrapping_mul(0x517c));
+    let n = 4;
+    let links = arbitrary_links(&mut rng, n);
+    let mut builder = Deployment::builder().seed(7).secure(true);
+    for i in 1..=n {
+        builder = builder.node(NodeId(i), |id| Box::new(Engine::new(id, mincost_rules())));
+    }
+    match fault {
+        Fault::None => {}
+        Fault::Tamper(node) => {
+            builder = builder.byzantine(
+                NodeId(node),
+                ByzantineConfig {
+                    tamper_log_drop_entry: Some(0),
+                    ..Default::default()
+                },
+            );
+        }
+        Fault::Refuse(node) => {
+            builder = builder.byzantine(
+                NodeId(node),
+                ByzantineConfig {
+                    refuse_retrieve: true,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+    // A ring of guaranteed links so every node logs activity (a refusing
+    // node with an empty log is legitimately excused), plus the random
+    // background topology.
+    for i in 1..=n {
+        builder = builder.insert_at(
+            SimTime::from_millis(i),
+            NodeId(i),
+            link(NodeId(i), NodeId(i % n + 1), 10),
+        );
+    }
+    for (idx, (a, b, cost)) in links.iter().enumerate() {
+        let at = SimTime::from_millis(10 + idx as u64);
+        builder = builder
+            .insert_at(at, NodeId(*a), link(NodeId(*a), NodeId(*b), *cost))
+            .insert_at(at, NodeId(*b), link(NodeId(*b), NodeId(*a), *cost));
+    }
+    let mut tb = builder.build();
+    tb.querier.set_query_threads(threads);
+    tb.run_until(SimTime::from_secs(25));
+    let pattern = Tuple::new("bestCost", NodeId(1), vec![Value::Node(NodeId(9)), Value::Wild]);
+    tb.querier.why_absent(pattern).at(NodeId(1)).run()
+}
+
+/// Serial/parallel identity for the negative query class: for random seeds,
+/// thread counts 1/2/8 and clean/tampered/refusing runs, `why_absent`
+/// renders byte-identically and reports identical verdicts and non-timing
+/// stats.
+#[test]
+fn prop_why_absent_is_thread_count_invariant() {
+    for case in 0..3u64 {
+        let victim = 1 + case % 4;
+        let scenarios = [
+            ("clean", Fault::None),
+            ("tampered", Fault::Tamper(victim)),
+            ("refusing", Fault::Refuse(victim)),
+        ];
+        for (name, fault) in scenarios {
+            let reference = mincost_negative_query(case, fault, 1);
+            assert!(
+                reference.root.is_some(),
+                "case {case} {name}: the absence must always anchor"
+            );
+            for threads in [2usize, 8] {
+                let parallel = mincost_negative_query(case, fault, threads);
+                assert_equivalent(&format!("case {case} neg {name} x{threads}"), &reference, &parallel);
+            }
+            // Accuracy on the negative path: faults surface, honest nodes
+            // stay clean.
+            match fault {
+                Fault::None => assert!(
+                    reference.implicated_nodes().is_empty(),
+                    "case {case}: clean runs implicate nobody"
+                ),
+                Fault::Tamper(v) => {
+                    for implicated in reference.implicated_nodes() {
+                        assert_eq!(implicated, NodeId(v), "case {case} {name}: accuracy");
+                    }
+                }
+                Fault::Refuse(v) => {
+                    assert!(
+                        reference.implicated_nodes().is_empty(),
+                        "case {case}: refusal alone implicates nobody"
+                    );
+                    assert!(
+                        reference.suspect_nodes().contains(&NodeId(v)),
+                        "case {case}: the refusing node must be suspect"
+                    );
                 }
             }
         }
