@@ -682,6 +682,8 @@ impl BgpScenario {
             let at = SimTime::from_millis(1_000 + (u as u64 * self.duration_s * 1_000) / self.updates.max(1) as u64);
             let withdraw = !originated.is_empty() && rng.chance(0.3);
             if withdraw {
+                // Lossless: `next_below(len)` is below `len`, itself a usize.
+                #[allow(clippy::cast_possible_truncation)]
                 let idx = rng.next_below(originated.len() as u64) as usize;
                 let (asn, prefix) = originated.remove(idx);
                 events.push(WorkloadEvent::delete(at, asn, originate(asn, &prefix)));
@@ -705,6 +707,7 @@ impl BgpScenario {
 
 /// The deployable BGP application: speakers over the [`BgpScenario`]
 /// topology, each behind a proxy, plus (optionally) the update trace.
+#[derive(Debug)]
 pub struct BgpApp {
     /// The experiment parameters.
     pub scenario: BgpScenario,

@@ -594,7 +594,7 @@ impl StateMachine for ChordMachine {
 // ---- scenario construction ----------------------------------------------------
 
 /// A constructed Chord ring: node ids sorted by Chord identifier.
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct ChordRing {
     /// `(chord id, node)` pairs sorted by id.
     pub members: Vec<(u64, NodeId)>,
@@ -752,6 +752,7 @@ pub fn eclipse_scenario(nodes: u64, seed: u64) -> (Deployment, NodeId, NodeId, T
 
 /// The deployable Chord application: the static ring plus the maintenance and
 /// lookup workload of a [`ChordScenario`].
+#[derive(Debug)]
 pub struct ChordApp {
     /// The experiment parameters.
     pub scenario: ChordScenario,
@@ -790,6 +791,8 @@ impl Application for ChordApp {
             if every_s == 0 {
                 return;
             }
+            // Experiment cadences are seconds-scale; they fit a usize.
+            #[allow(clippy::cast_possible_truncation)]
             for t in (every_s..=scenario.duration_s).step_by(every_s as usize) {
                 for (_, node) in &self.ring.members {
                     events.push(WorkloadEvent::insert(
@@ -809,6 +812,8 @@ impl Application for ChordApp {
         let mut rng = snp_sim::rng::DetRng::new(seed ^ 0xc0ffee);
         let total_lookups = scenario.lookups_per_minute * scenario.duration_s / 60;
         for req in 0..total_lookups {
+            // Lossless: `next_below(len)` is below `len`, itself a usize.
+            #[allow(clippy::cast_possible_truncation)]
             let origin = self.ring.members[rng.next_below(self.ring.members.len() as u64) as usize].1;
             let key = rng.next_below(ID_SPACE);
             let at = SimTime::from_millis(1_000 + rng.next_below(scenario.duration_s.saturating_mul(1_000).max(1)));

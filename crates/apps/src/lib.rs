@@ -24,6 +24,8 @@
 //! compose through [`snp_core::DeploymentBuilder`].
 
 #![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 pub mod bgp;

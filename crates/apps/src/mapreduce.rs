@@ -68,6 +68,8 @@ pub fn reduce_out(reducer: NodeId, word: &str, total: i64) -> Tuple {
 
 /// Which reducer is responsible for a word.
 pub fn reducer_for(word: &str, reducers: &[NodeId]) -> NodeId {
+    // Lossless: the modulus bounds the index below `reducers.len()`.
+    #[allow(clippy::cast_possible_truncation)]
     let idx = (snp_crypto::hash(word.as_bytes()).to_u64() % reducers.len() as u64) as usize;
     reducers[idx]
 }
@@ -355,6 +357,8 @@ pub fn generate_corpus(splits: usize, words_per_split: usize, seed: u64) -> Vec<
                 if rng.chance(0.002) {
                     words.push("squirrel");
                 } else {
+                    // Lossless: `next_below(len)` is below `len`.
+                    #[allow(clippy::cast_possible_truncation)]
                     words.push(VOCAB[rng.next_below(VOCAB.len() as u64) as usize]);
                 }
             }
@@ -429,6 +433,7 @@ impl MapReduceScenario {
 
 /// The deployable WordCount job: mapper and reducer machines plus the
 /// synthetic-corpus workload of a [`MapReduceScenario`].
+#[derive(Debug)]
 pub struct MapReduceJob {
     /// The job parameters.
     pub scenario: MapReduceScenario,

@@ -70,6 +70,7 @@ pub fn router() -> impl Fn(NodeId) -> Box<dyn StateMachine> {
 
 /// The MinCost routing application: a set of routers evaluating
 /// [`MINCOST_PROGRAM`] over a link topology installed as base tuples.
+#[derive(Debug)]
 pub struct MinCost {
     routers: Vec<NodeId>,
     topology: Vec<(NodeId, NodeId, i64)>,

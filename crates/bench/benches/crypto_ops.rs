@@ -1,5 +1,8 @@
 //! Microbenchmarks of the crypto substrate (feeds Figure 7's per-op costs).
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp_bench::harness::bench;
 use snp_crypto::keys::{KeyPair, NodeId};
 use std::hint::black_box;

@@ -1,6 +1,9 @@
 //! Benchmark of the graph construction algorithm over synthetic histories —
 //! the dominant cost of a microquery's replay phase (§7.7).
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp_bench::harness::bench;
 use snp_crypto::keys::NodeId;
 use snp_datalog::{Atom, Engine, Rule, RuleSet, Term, Tuple, Value};

@@ -1,6 +1,9 @@
 //! Microbenchmarks of the tamper-evident log: append (commit) and segment
 //! verification — the per-message runtime cost of the graph recorder (§7.4).
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp_bench::harness::{bench, bench_batched};
 use snp_crypto::keys::{KeyPair, NodeId};
 use snp_datalog::{Tuple, TupleDelta, Value};

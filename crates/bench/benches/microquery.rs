@@ -2,6 +2,9 @@
 //! small MinCost deployment — the interactive-forensics path of Figure 8 —
 //! comparing from-genesis replay against checkpoint-anchored suffix replay.
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp_apps::mincost::{best_cost, MinCost, C, D};
 use snp_bench::harness::bench;
 use snp_core::Deployment;

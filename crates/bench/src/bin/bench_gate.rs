@@ -23,6 +23,12 @@ enum Check {
     Cost,
     /// A floor the current value must meet regardless of the baseline.
     Min(f64),
+    /// A two-sided band: fail when the current value leaves
+    /// `[baseline * (1 - tol), baseline * (1 + tol)]`.  Used for metrics
+    /// where a *drop* is as suspicious as a rise — e.g. the model checker's
+    /// explored-state count, where a shrink means the checker silently
+    /// stopped covering interleavings it used to cover.
+    Band,
 }
 
 /// One gated metric: figure file, dotted path (with `#last` for the final
@@ -115,6 +121,43 @@ const GATES: &[Gate] = &[
         path: "macroquery.rows.0.replayed_entries",
         check: Check::Cost,
     },
+    // model checker: the deduplicated state count per scenario is fully
+    // deterministic, so a drift in either direction means the transition
+    // system changed — new interleavings (cost) or lost coverage (a checker
+    // that silently explores less).  Scenario order matches
+    // `snp_check::scenarios::all()`: mincost-fabrication, bgp-blackhole,
+    // chord-eclipse.  Violations must be zero, enforced as a floor of 0
+    // explored violations via Cost against a 0 baseline.
+    Gate {
+        file: "BENCH_check.json",
+        path: "rows.0.states",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_check.json",
+        path: "rows.0.violations",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_check.json",
+        path: "rows.1.states",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_check.json",
+        path: "rows.1.violations",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_check.json",
+        path: "rows.2.states",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_check.json",
+        path: "rows.2.violations",
+        check: Check::Cost,
+    },
 ];
 
 /// Resolve a dotted path, expanding `#last` to the final index of the array
@@ -190,7 +233,7 @@ fn main() -> ExitCode {
                     failures += 1;
                 }
             }
-            Check::Cost => {
+            Check::Cost | Check::Band => {
                 let baseline =
                     match fetch(&mut baseline_cache, baseline_dir, gate.file).map(|doc| lookup(&doc, gate.path)) {
                         Ok(Some(v)) => v,
@@ -205,6 +248,15 @@ fn main() -> ExitCode {
                             continue;
                         }
                     };
+                if matches!(gate.check, Check::Band) && current < baseline * (1.0 - tolerance) {
+                    println!(
+                        "FAIL {label}: {current:.2} fell below {:.2} (baseline {baseline:.2} - {:.0}%) — lost coverage",
+                        baseline * (1.0 - tolerance),
+                        tolerance * 100.0
+                    );
+                    failures += 1;
+                    continue;
+                }
                 let limit = baseline * (1.0 + tolerance);
                 if current > limit {
                     println!(

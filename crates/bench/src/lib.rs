@@ -17,6 +17,10 @@
 //! collection used both by the binaries and by the micro-benchmarks under
 //! `benches/`, and the tiny wall-clock [`harness`] those benchmarks run on.
 
+#![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 pub mod harness;
 pub mod json;
 
@@ -219,6 +223,8 @@ pub fn run_batching_point(scenario: &BgpScenario, window_us: u64, seed: u64) -> 
         window_us,
         traffic,
         crypto,
+        // Experiment sizes are tens of nodes; they fit a usize.
+        #[allow(clippy::cast_possible_truncation)]
         nodes: scenario.ases as usize,
         duration_s: scenario.duration_s,
     }

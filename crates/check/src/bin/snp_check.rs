@@ -1,0 +1,216 @@
+//! `snp_check` — the bounded adversary model checker.
+//!
+//! Default mode explores every selected scenario exhaustively (up to the
+//! depth/state caps), asserts the §4.3 evidence invariants at every terminal
+//! state, and writes `BENCH_check.json` with the exploration statistics for
+//! the CI regression gate.  On a violation it writes a minimized `.sched`
+//! schedule and a `.dot` provenance graph next to the JSON and exits 1.
+//!
+//! ```text
+//! snp_check [--scenario NAME|all] [--depth N] [--max-states N] [--out DIR]
+//! snp_check --replay FILE            # replay a committed schedule twice
+//! snp_check --emit-witness DIR       # regenerate witness schedules
+//! ```
+
+use snp_bench::json::{write_json, Json};
+use snp_check::{explorer, scenarios, Report, Scenario, Schedule};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    scenario: String,
+    depth: usize,
+    max_states: usize,
+    out: PathBuf,
+    replay: Option<PathBuf>,
+    emit_witness: Option<PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            scenario: "all".to_string(),
+            depth: 12,
+            max_states: 250_000,
+            out: PathBuf::from("."),
+            replay: None,
+            emit_witness: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: snp_check [--scenario NAME|all] [--depth N] [--max-states N] [--out DIR] \
+                     [--replay FILE] [--emit-witness DIR]";
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value\n{USAGE}"));
+        match arg.as_str() {
+            "--scenario" => opts.scenario = value("--scenario")?,
+            "--depth" => {
+                opts.depth = value("--depth")?.parse().map_err(|e| format!("--depth: {e}"))?;
+            }
+            "--max-states" => {
+                opts.max_states = value("--max-states")?
+                    .parse()
+                    .map_err(|e| format!("--max-states: {e}"))?;
+            }
+            "--out" => opts.out = PathBuf::from(value("--out")?),
+            "--replay" => opts.replay = Some(PathBuf::from(value("--replay")?)),
+            "--emit-witness" => opts.emit_witness = Some(PathBuf::from(value("--emit-witness")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn selected(selector: &str) -> Result<Vec<Box<dyn Scenario>>, String> {
+    if selector == "all" {
+        return Ok(scenarios::all());
+    }
+    let names: Vec<&'static str> = scenarios::all().iter().map(|s| s.name()).collect();
+    scenarios::by_name(selector)
+        .map(|s| vec![s])
+        .ok_or(format!("unknown scenario {selector:?}; known: {}", names.join(", ")))
+}
+
+/// Replay a committed schedule twice and insist on byte-identical
+/// fingerprint sequences — the determinism contract behind committed
+/// counterexamples.  If the schedule ends in a terminal state, the evidence
+/// invariants are re-checked there.
+fn replay(path: &Path) -> Result<(), String> {
+    let schedule = Schedule::load(path)?;
+    let scenario = scenarios::by_name(&schedule.scenario)
+        .ok_or(format!("schedule names unknown scenario {:?}", schedule.scenario))?;
+    let first = explorer::replay_fingerprints(scenario.as_ref(), &schedule)?;
+    let second = explorer::replay_fingerprints(scenario.as_ref(), &schedule)?;
+    for (step, (a, b)) in first.iter().zip(second.iter()).enumerate() {
+        if a != b {
+            return Err(format!("nondeterministic replay: fingerprints diverge at step {step}"));
+        }
+    }
+    println!(
+        "replayed {} choices on {}; final state {}",
+        schedule.choices.len(),
+        schedule.scenario,
+        first.last().map(|d| d.to_hex()).unwrap_or_default()
+    );
+    let mut inst = explorer::instantiate(scenario.as_ref());
+    for choice in &schedule.choices {
+        inst.apply(*choice)?;
+    }
+    if inst.enabled().is_empty() {
+        let fired = inst.fired(&schedule.choices);
+        let byzantine = inst.byzantine_set(scenario.as_ref(), &fired);
+        match explorer::check_invariants(scenario.as_ref(), &mut inst, &fired, &byzantine) {
+            Ok(()) => println!("terminal state satisfies the evidence invariants"),
+            Err(flaw) => return Err(format!("terminal state violates invariants: {}", flaw.message)),
+        }
+    } else {
+        println!("schedule ends in a non-terminal state (events still enabled)");
+    }
+    Ok(())
+}
+
+fn emit_witnesses(dir: &Path, picked: &[Box<dyn Scenario>]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    for scenario in picked {
+        let witness = explorer::witness_schedule(scenario.as_ref());
+        let path = dir.join(format!("{}.sched", scenario.name()));
+        witness.save(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("wrote {} ({} choices)", path.display(), witness.choices.len());
+    }
+    Ok(())
+}
+
+fn report_row(report: &Report) -> Json {
+    Json::obj([
+        ("scenario", Json::str(report.scenario.clone())),
+        ("states", Json::Int(report.states as u64)),
+        ("terminals", Json::Int(report.terminals as u64)),
+        ("transitions", Json::Int(report.transitions as u64)),
+        ("dedup_hits", Json::Int(report.dedup_hits as u64)),
+        ("truncated", Json::Int(report.truncated as u64)),
+        ("max_depth_seen", Json::Int(report.max_depth_seen as u64)),
+        ("depth_limit", Json::Int(report.depth_limit as u64)),
+        ("capped", Json::Bool(report.capped)),
+        ("violations", Json::Int(u64::from(report.counterexample.is_some()))),
+    ])
+}
+
+fn check(opts: &Options) -> Result<bool, String> {
+    let picked = selected(&opts.scenario)?;
+    std::fs::create_dir_all(&opts.out).map_err(|e| format!("{}: {e}", opts.out.display()))?;
+    let mut rows = Vec::new();
+    let mut violated = false;
+    for scenario in &picked {
+        let report = explorer::Explorer::new(scenario.as_ref(), opts.depth)
+            .max_states(opts.max_states)
+            .run();
+        println!(
+            "{}: {} states, {} terminals, {} transitions ({} dedup hits, {} truncated, depth {}/{}{})",
+            report.scenario,
+            report.states,
+            report.terminals,
+            report.transitions,
+            report.dedup_hits,
+            report.truncated,
+            report.max_depth_seen,
+            report.depth_limit,
+            if report.capped { ", state cap hit" } else { "" },
+        );
+        if let Some(ce) = &report.counterexample {
+            violated = true;
+            eprintln!("VIOLATION in {}: {}", report.scenario, ce.message);
+            let sched_path = opts.out.join(format!("{}-violation.sched", report.scenario));
+            ce.schedule
+                .save(&sched_path)
+                .map_err(|e| format!("{}: {e}", sched_path.display()))?;
+            eprintln!(
+                "  minimized schedule ({} choices): {}",
+                ce.schedule.choices.len(),
+                sched_path.display()
+            );
+            if let Some(dot) = &ce.dot {
+                let dot_path = opts.out.join(format!("{}-violation.dot", report.scenario));
+                std::fs::write(&dot_path, dot).map_err(|e| format!("{}: {e}", dot_path.display()))?;
+                eprintln!("  provenance graph: {}", dot_path.display());
+            }
+        }
+        rows.push(report_row(&report));
+    }
+    let json = Json::obj([("figure", Json::str("check")), ("rows", Json::Arr(rows))]);
+    let out_path = opts.out.join("BENCH_check.json");
+    write_json(&out_path.display().to_string(), &json);
+    Ok(violated)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = if let Some(path) = &opts.replay {
+        replay(path).map(|()| false)
+    } else if let Some(dir) = &opts.emit_witness {
+        selected(&opts.scenario)
+            .and_then(|picked| emit_witnesses(dir, &picked))
+            .map(|()| false)
+    } else {
+        check(&opts)
+    };
+    match outcome {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Graphviz rendering of counterexample provenance graphs.
+
+use snp_graph::vertex::Color;
+use snp_graph::ProvenanceGraph;
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Render a provenance graph as a DOT digraph, colour-coding vertices by
+/// their trust colour (red = evidence of misbehaviour, yellow = unverified,
+/// black/green = verified legitimate).
+pub fn render(graph: &ProvenanceGraph) -> String {
+    let mut out = String::from("digraph provenance {\n");
+    out.push_str("  rankdir=BT;\n");
+    out.push_str("  node [shape=box, style=filled, fontname=\"monospace\"];\n");
+    for (id, vertex) in graph.vertices() {
+        let fill = match vertex.color {
+            Color::Red => "#f4cccc",
+            Color::Yellow => "#fff2cc",
+            Color::Black => "#d9ead3",
+        };
+        out.push_str(&format!(
+            "  \"{id:?}\" [label=\"{}\", fillcolor=\"{fill}\"];\n",
+            escape(&vertex.to_string())
+        ));
+    }
+    for (from, to) in graph.edges() {
+        out.push_str(&format!("  \"{from:?}\" -> \"{to:?}\";\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_neutralizes_quotes_and_newlines() {
+        assert_eq!(escape("a\"b\nc\\d"), "a\\\"b\\nc\\\\d");
+    }
+
+    #[test]
+    fn empty_graph_renders_valid_dot() {
+        let dot = render(&ProvenanceGraph::default());
+        assert!(dot.starts_with("digraph provenance {"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,39 @@
+//! # snp-check — bounded explicit-state model checking for SNP deployments
+//!
+//! The paper's §4.3 guarantees are *universally quantified*: accuracy must
+//! hold for **every** message interleaving and **every** combination and
+//! timing of adversary actions, not just the schedules the integration
+//! tests happen to exercise.  This crate checks small deployments against
+//! that quantifier directly:
+//!
+//! * [`explorer`] — the deployment-as-LTS model: [`explorer::Scenario`]
+//!   describes how to build a deployment and which adversary actions to
+//!   schedule; [`explorer::Explorer`] runs a depth-first search over all
+//!   enabled interleavings (delivery order × adversary subset × timing),
+//!   deduplicating states by [`explorer::fingerprint`] and asserting the
+//!   evidence invariants at every terminal state.
+//! * [`scenarios`] — the seed scenarios: MinCost route fabrication (§3.3),
+//!   a BGP blackhole (§2.1) and a Chord eclipse attack, each 3–4 nodes so
+//!   the bounded state space is exhaustible.
+//! * [`schedule`] — replayable counterexample schedules; violations are
+//!   minimized to the shortest choice prefix whose deterministic completion
+//!   still fails, and can be committed as regression tests.
+//! * [`dot`] — Graphviz rendering of the offending provenance graph.
+//!
+//! The `snp_check` binary drives all of this from the command line.
+
+#![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+#![warn(missing_docs)]
+
+pub mod dot;
+pub mod explorer;
+pub mod scenarios;
+pub mod schedule;
+
+pub use explorer::{
+    check_invariants, fingerprint, instantiate, replay_fingerprints, witness_schedule, Counterexample, Explorer, Flaw,
+    Instance, Report, Scenario,
+};
+pub use schedule::{Choice, Schedule};

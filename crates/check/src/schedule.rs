@@ -1,0 +1,128 @@
+//! Replayable schedules: the serialized form of an explored execution.
+//!
+//! A schedule is a scenario name plus a sequence of [`Choice`]s; replaying it
+//! against a freshly instantiated scenario reproduces the exact same
+//! execution (and the exact same state fingerprints) because event sequence
+//! numbers are allocated deterministically.  Counterexamples found by the
+//! checker are saved in this format and committed under `tests/schedules/`
+//! as regression tests.
+
+use std::fmt;
+use std::path::Path;
+
+/// One transition of the model-checking LTS.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Choice {
+    /// Fire the pending event with this queue sequence number.
+    Deliver(u64),
+    /// Discard the pending event with this sequence number without firing
+    /// it.  Only legal for injected adversary events: dropping one explores
+    /// the execution in which that misbehaviour never happens, which is how
+    /// the checker covers every *subset* of the adversary's action set.
+    Drop(u64),
+}
+
+impl fmt::Display for Choice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Choice::Deliver(seq) => write!(f, "d{seq}"),
+            Choice::Drop(seq) => write!(f, "x{seq}"),
+        }
+    }
+}
+
+impl Choice {
+    /// Parse one schedule token (`d<seq>` or `x<seq>`).
+    pub fn parse(token: &str) -> Result<Choice, String> {
+        let (kind, digits) = token.split_at(1.min(token.len()));
+        let seq: u64 = digits.parse().map_err(|_| format!("bad choice token {token:?}"))?;
+        match kind {
+            "d" => Ok(Choice::Deliver(seq)),
+            "x" => Ok(Choice::Drop(seq)),
+            _ => Err(format!("bad choice token {token:?}")),
+        }
+    }
+}
+
+/// A named, replayable schedule.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    /// The scenario this schedule drives (see `scenarios::by_name`).
+    pub scenario: String,
+    /// The choice sequence, applied in order from the initial state.
+    pub choices: Vec<Choice>,
+}
+
+impl Schedule {
+    /// Serialize to the on-disk text format.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# snp-check schedule; replay with: snp_check --replay <file>\n");
+        out.push_str(&format!("scenario {}\n", self.scenario));
+        for choice in &self.choices {
+            out.push_str(&format!("{choice}\n"));
+        }
+        out
+    }
+
+    /// Parse the on-disk text format.
+    pub fn parse(text: &str) -> Result<Schedule, String> {
+        let mut scenario = None;
+        let mut choices = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix("scenario ") {
+                scenario = Some(name.trim().to_string());
+            } else {
+                choices.push(Choice::parse(line)?);
+            }
+        }
+        Ok(Schedule {
+            scenario: scenario.ok_or("schedule is missing a `scenario` line")?,
+            choices,
+        })
+    }
+
+    /// Write the schedule to a file.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.render())
+    }
+
+    /// Load a schedule from a file.
+    pub fn load(path: &Path) -> Result<Schedule, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Schedule::parse(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let schedule = Schedule {
+            scenario: "mincost-fabrication".into(),
+            choices: vec![Choice::Deliver(3), Choice::Drop(10), Choice::Deliver(0)],
+        };
+        let parsed = Schedule::parse(&schedule.render()).expect("round trip parses");
+        assert_eq!(parsed, schedule);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Schedule::parse("scenario x\nz12\n").is_err());
+        assert!(Schedule::parse("d1\n").is_err(), "scenario line required");
+        assert!(Choice::parse("d").is_err());
+        assert!(Choice::parse("").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# header\n\nscenario s\n# mid\nd7\n";
+        let parsed = Schedule::parse(text).expect("parses");
+        assert_eq!(parsed.choices, vec![Choice::Deliver(7)]);
+    }
+}

@@ -1,0 +1,99 @@
+//! Regression: every committed schedule under `tests/schedules/` must replay
+//! deterministically (byte-identical fingerprint sequences across two
+//! independent replays) and, when it ends in a terminal state, that state
+//! must satisfy the evidence invariants.
+//!
+//! The schedules are the witness executions of the three seed scenarios; a
+//! checker or simulator change that alters any step's fingerprint chain (or
+//! makes a witness non-terminal) fails here before it can silently invalidate
+//! a committed counterexample.
+
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
+use snp_check::{explorer, scenarios, Schedule};
+use std::path::PathBuf;
+
+fn schedule_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/schedules")
+}
+
+fn committed_schedules() -> Vec<PathBuf> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(schedule_dir())
+        .expect("tests/schedules must exist")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "sched"))
+        .collect();
+    paths.sort();
+    paths
+}
+
+#[test]
+fn one_schedule_per_seed_scenario_is_committed() {
+    let names: Vec<String> = committed_schedules()
+        .iter()
+        .map(|p| p.file_stem().unwrap().to_string_lossy().into_owned())
+        .collect();
+    for scenario in scenarios::all() {
+        assert!(
+            names.iter().any(|n| n == scenario.name()),
+            "no committed schedule for scenario {:?} (found: {names:?})",
+            scenario.name()
+        );
+    }
+}
+
+#[test]
+fn committed_schedules_replay_deterministically() {
+    for path in committed_schedules() {
+        let schedule = Schedule::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let scenario = scenarios::by_name(&schedule.scenario)
+            .unwrap_or_else(|| panic!("{}: unknown scenario {:?}", path.display(), schedule.scenario));
+        let first = explorer::replay_fingerprints(scenario.as_ref(), &schedule)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let second = explorer::replay_fingerprints(scenario.as_ref(), &schedule)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        // The initial state is fingerprinted too: one digest per prefix.
+        assert_eq!(
+            first.len(),
+            schedule.choices.len() + 1,
+            "{}: one fingerprint per prefix",
+            path.display()
+        );
+        for (step, (a, b)) in first.iter().zip(second.iter()).enumerate() {
+            assert_eq!(
+                a.to_hex(),
+                b.to_hex(),
+                "{}: fingerprints diverge at step {step}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn committed_witnesses_end_in_invariant_satisfying_terminals() {
+    for path in committed_schedules() {
+        let schedule = Schedule::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let scenario = scenarios::by_name(&schedule.scenario).unwrap();
+        let mut inst = explorer::instantiate(scenario.as_ref());
+        for choice in &schedule.choices {
+            inst.apply(*choice)
+                .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        }
+        assert!(
+            inst.enabled().is_empty(),
+            "{}: witness must end in a terminal state",
+            path.display()
+        );
+        let fired = inst.fired(&schedule.choices);
+        let byzantine = inst.byzantine_set(scenario.as_ref(), &fired);
+        if let Err(flaw) = explorer::check_invariants(scenario.as_ref(), &mut inst, &fired, &byzantine) {
+            panic!(
+                "{}: witness terminal violates invariants: {}",
+                path.display(),
+                flaw.message
+            );
+        }
+    }
+}

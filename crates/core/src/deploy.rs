@@ -91,6 +91,16 @@ pub struct AppNode {
     pub proxy_overhead_bytes: usize,
 }
 
+// Manual impl: both machines are trait objects without `Debug`.
+impl std::fmt::Debug for AppNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppNode")
+            .field("byzantine", &self.byzantine)
+            .field("proxy_overhead_bytes", &self.proxy_overhead_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
 impl AppNode {
     /// A node running `machine`, replayed with a fresh (correct) copy of it.
     ///
@@ -207,6 +217,20 @@ impl Default for DeploymentBuilder {
             proxy: Vec::new(),
             schedule: Vec::new(),
         }
+    }
+}
+
+// Manual impl: applications are trait objects without `Debug`.
+impl std::fmt::Debug for DeploymentBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeploymentBuilder")
+            .field("network", &self.network)
+            .field("seed", &self.seed)
+            .field("secure", &self.secure)
+            .field("apps", &self.apps.len())
+            .field("byzantine", &self.byzantine)
+            .field("schedule", &self.schedule.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -490,6 +514,17 @@ pub struct Deployment {
     registry: KeyRegistry,
     t_prop_micros: u64,
     batch_window_micros: u64,
+}
+
+// Manual impl: summarizes the testbed without dumping every node's state.
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("nodes", &self.handles.keys().collect::<Vec<_>>())
+            .field("secure", &self.secure)
+            .field("now", &self.sim.now())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Deployment {

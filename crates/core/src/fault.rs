@@ -48,6 +48,41 @@ pub struct ByzantineConfig {
     pub forge_checkpoint_snapshot: bool,
 }
 
+/// One schedulable adversary transition.
+///
+/// The model checker treats each [`ByzantineConfig`] knob as an *action* that
+/// may fire at any explored instant (or not at all), rather than a static
+/// property of the node: nodes start honest and become Byzantine when the
+/// corresponding action is delivered.  Each variant maps 1:1 to a config
+/// field; [`ByzantineConfig::actions`] is the enumerator, and both it and
+/// [`ByzantineConfig::is_byzantine`] destructure the full struct so that
+/// adding a fault knob without wiring it into them fails to compile.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdversaryAction {
+    /// Fabricate and send one unjustified notification (the classic "lie").
+    Fabricate {
+        /// Destination of the fabricated message.
+        to: NodeId,
+        /// The unjustified delta to send.
+        delta: TupleDelta,
+    },
+    /// Start suppressing data messages to one destination.
+    SuppressSendsTo(NodeId),
+    /// Stop acknowledging received messages.
+    SuppressAcks,
+    /// Stop acknowledging received *batches* (§5.6 path only).
+    WithholdBatchAcks,
+    /// Start refusing `retrieve` requests.
+    RefuseRetrieve,
+    /// Tamper with future `retrieve` answers: drop the entry at this index.
+    TamperLogDropEntry(usize),
+    /// Equivocate on future `retrieve` answers: truncate to this many entries
+    /// and re-sign the shorter prefix.
+    EquivocateTruncateTo(usize),
+    /// Forge the state snapshot in future anchored `retrieve` answers.
+    ForgeCheckpointSnapshot,
+}
+
 impl ByzantineConfig {
     /// A fully correct node.
     pub fn honest() -> ByzantineConfig {
@@ -55,15 +90,76 @@ impl ByzantineConfig {
     }
 
     /// Whether any misbehaviour is configured.
+    ///
+    /// Full-struct destructuring (no `..`) on purpose: adding a fault field
+    /// without deciding how it marks a node Byzantine must not compile.
     pub fn is_byzantine(&self) -> bool {
-        !self.suppress_sends_to.is_empty()
-            || !self.fabricate_on_start.is_empty()
-            || self.suppress_acks
-            || self.withhold_batch_acks
-            || self.refuse_retrieve
-            || self.tamper_log_drop_entry.is_some()
-            || self.equivocate_truncate_to.is_some()
-            || self.forge_checkpoint_snapshot
+        let ByzantineConfig {
+            suppress_sends_to,
+            fabricate_on_start,
+            suppress_acks,
+            withhold_batch_acks,
+            refuse_retrieve,
+            tamper_log_drop_entry,
+            equivocate_truncate_to,
+            forge_checkpoint_snapshot,
+        } = self;
+        !suppress_sends_to.is_empty()
+            || !fabricate_on_start.is_empty()
+            || *suppress_acks
+            || *withhold_batch_acks
+            || *refuse_retrieve
+            || tamper_log_drop_entry.is_some()
+            || equivocate_truncate_to.is_some()
+            || *forge_checkpoint_snapshot
+    }
+
+    /// Enumerate this config's misbehaviours as schedulable transitions.
+    ///
+    /// Every configured knob becomes one [`AdversaryAction`]; a config built
+    /// from the returned actions (each applied once) is equivalent to `self`.
+    /// Like [`is_byzantine`](Self::is_byzantine), this destructures the full
+    /// struct so a new fault field breaks the build until it is enumerated.
+    pub fn actions(&self) -> Vec<AdversaryAction> {
+        let ByzantineConfig {
+            suppress_sends_to,
+            fabricate_on_start,
+            suppress_acks,
+            withhold_batch_acks,
+            refuse_retrieve,
+            tamper_log_drop_entry,
+            equivocate_truncate_to,
+            forge_checkpoint_snapshot,
+        } = self;
+        let mut actions = Vec::new();
+        for to in suppress_sends_to {
+            actions.push(AdversaryAction::SuppressSendsTo(*to));
+        }
+        for (to, delta) in fabricate_on_start {
+            actions.push(AdversaryAction::Fabricate {
+                to: *to,
+                delta: delta.clone(),
+            });
+        }
+        if *suppress_acks {
+            actions.push(AdversaryAction::SuppressAcks);
+        }
+        if *withhold_batch_acks {
+            actions.push(AdversaryAction::WithholdBatchAcks);
+        }
+        if *refuse_retrieve {
+            actions.push(AdversaryAction::RefuseRetrieve);
+        }
+        if let Some(index) = tamper_log_drop_entry {
+            actions.push(AdversaryAction::TamperLogDropEntry(*index));
+        }
+        if let Some(len) = equivocate_truncate_to {
+            actions.push(AdversaryAction::EquivocateTruncateTo(*len));
+        }
+        if *forge_checkpoint_snapshot {
+            actions.push(AdversaryAction::ForgeCheckpointSnapshot);
+        }
+        actions
     }
 
     /// Convenience: suppress every data message to one destination.
@@ -127,5 +223,89 @@ mod tests {
             ..Default::default()
         }
         .is_byzantine());
+    }
+
+    /// Every single-fault config must (a) read as Byzantine and (b) enumerate
+    /// exactly one adversary action.  One case per `ByzantineConfig` field;
+    /// the exhaustive destructuring in `is_byzantine`/`actions` guarantees a
+    /// new field cannot be added without extending this list.
+    #[test]
+    fn each_single_fault_config_is_byzantine_and_yields_one_action() {
+        let delta = TupleDelta::plus(Tuple::new("r", NodeId(2), vec![Value::Int(1)]));
+        let cases: Vec<(ByzantineConfig, AdversaryAction)> = vec![
+            (
+                ByzantineConfig::suppressing(NodeId(2)),
+                AdversaryAction::SuppressSendsTo(NodeId(2)),
+            ),
+            (
+                ByzantineConfig::fabricating(NodeId(2), delta.clone()),
+                AdversaryAction::Fabricate { to: NodeId(2), delta },
+            ),
+            (
+                ByzantineConfig {
+                    suppress_acks: true,
+                    ..Default::default()
+                },
+                AdversaryAction::SuppressAcks,
+            ),
+            (
+                ByzantineConfig {
+                    withhold_batch_acks: true,
+                    ..Default::default()
+                },
+                AdversaryAction::WithholdBatchAcks,
+            ),
+            (
+                ByzantineConfig {
+                    refuse_retrieve: true,
+                    ..Default::default()
+                },
+                AdversaryAction::RefuseRetrieve,
+            ),
+            (
+                ByzantineConfig {
+                    tamper_log_drop_entry: Some(3),
+                    ..Default::default()
+                },
+                AdversaryAction::TamperLogDropEntry(3),
+            ),
+            (
+                ByzantineConfig {
+                    equivocate_truncate_to: Some(1),
+                    ..Default::default()
+                },
+                AdversaryAction::EquivocateTruncateTo(1),
+            ),
+            (
+                ByzantineConfig {
+                    forge_checkpoint_snapshot: true,
+                    ..Default::default()
+                },
+                AdversaryAction::ForgeCheckpointSnapshot,
+            ),
+        ];
+        for (config, expected) in cases {
+            assert!(config.is_byzantine(), "{config:?} must be Byzantine");
+            assert_eq!(config.actions(), vec![expected], "{config:?}");
+        }
+    }
+
+    #[test]
+    fn honest_config_enumerates_no_actions() {
+        assert!(ByzantineConfig::honest().actions().is_empty());
+    }
+
+    #[test]
+    fn multi_fault_config_enumerates_every_knob() {
+        let mut config = ByzantineConfig::suppressing(NodeId(4));
+        config.suppress_sends_to.insert(NodeId(5));
+        config.refuse_retrieve = true;
+        config.equivocate_truncate_to = Some(2);
+        let actions = config.actions();
+        assert_eq!(actions.len(), 4);
+        assert!(actions.contains(&AdversaryAction::SuppressSendsTo(NodeId(4))));
+        assert!(actions.contains(&AdversaryAction::SuppressSendsTo(NodeId(5))));
+        assert!(actions.contains(&AdversaryAction::RefuseRetrieve));
+        assert!(actions.contains(&AdversaryAction::EquivocateTruncateTo(2)));
     }
 }

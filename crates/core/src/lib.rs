@@ -35,6 +35,8 @@
 //!   tests and the usability experiment (E7).
 
 #![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 pub mod deploy;
@@ -49,7 +51,7 @@ pub mod wire;
 
 pub use deploy::{AppNode, Application, Deployment, DeploymentBuilder, WorkloadEvent, WorkloadOp};
 pub use error::ConfigError;
-pub use fault::ByzantineConfig;
+pub use fault::{AdversaryAction, ByzantineConfig};
 pub use node::{RetrieveResponse, SnoopyHandle, SnoopyNode, OPERATOR};
 pub use query::{
     AuditPlan, AuditPool, AuditUnit, MacroQuery, NodeAudit, Querier, QueryBuilder, QueryResult, QueryStats,

@@ -12,7 +12,7 @@
 //! [`SnoopyNode::baseline`], so that overhead comparisons use identical
 //! application logic.
 
-use crate::fault::ByzantineConfig;
+use crate::fault::{AdversaryAction, ByzantineConfig};
 use crate::wire::SnoopyWire;
 use snp_crypto::counters;
 use snp_crypto::keys::{KeyPair, KeyRegistry, NodeId};
@@ -164,6 +164,15 @@ pub struct SnoopyNode {
     byz: ByzantineConfig,
     traffic: NodeTraffic,
     t_prop: Timestamp,
+}
+
+// Manual impl: the application machine is a trait object without `Debug`.
+impl std::fmt::Debug for SnoopyNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnoopyNode")
+            .field("id", &self.id)
+            .finish_non_exhaustive()
+    }
 }
 
 impl SnoopyNode {
@@ -436,6 +445,78 @@ impl SnoopyNode {
             }
         }
         auth
+    }
+
+    /// Apply one scheduled adversary transition (a delivered
+    /// [`SnoopyWire::Adversary`] packet).
+    ///
+    /// Fabrication is an immediate act — the lie is sent (and logged) right
+    /// now, exactly as `fabricate_on_start` would have at startup.  Every
+    /// other action flips the corresponding [`ByzantineConfig`] knob on, so
+    /// the node misbehaves from this instant onward.  The exhaustive match
+    /// mirrors `ByzantineConfig::actions`: a new fault field cannot ship
+    /// without a transition that enables it.
+    fn apply_adversary_action(&mut self, ctx: &mut Context<SnoopyWire>, action: AdversaryAction) {
+        match action {
+            AdversaryAction::Fabricate { to, delta } => {
+                // A lying node still logs the send so its log remains
+                // internally consistent; replay then shows a send without a
+                // derivation.
+                self.send_data(ctx, to, delta);
+            }
+            AdversaryAction::SuppressSendsTo(to) => {
+                self.byz.suppress_sends_to.insert(to);
+            }
+            AdversaryAction::SuppressAcks => self.byz.suppress_acks = true,
+            AdversaryAction::WithholdBatchAcks => self.byz.withhold_batch_acks = true,
+            AdversaryAction::RefuseRetrieve => self.byz.refuse_retrieve = true,
+            AdversaryAction::TamperLogDropEntry(index) => self.byz.tamper_log_drop_entry = Some(index),
+            AdversaryAction::EquivocateTruncateTo(len) => self.byz.equivocate_truncate_to = Some(len),
+            AdversaryAction::ForgeCheckpointSnapshot => self.byz.forge_checkpoint_snapshot = true,
+        }
+    }
+
+    /// A deterministic digest of this node's complete protocol state, for
+    /// the model checker's visited-state deduplication.
+    ///
+    /// Covers everything that can influence future behaviour or future
+    /// evidence: the tamper-evident log (its head pins the whole entry
+    /// chain; length/total/epoch pin truncation and sealing state), protocol
+    /// counters, unacknowledged sends, maintainer notifications, held
+    /// authenticators, pending batches, the Byzantine configuration, traffic
+    /// counters, and the application state (via `snapshot` when the machine
+    /// supports it, else its sorted current tuples).
+    pub fn fingerprint(&self) -> Digest {
+        use std::fmt::Write as _;
+        let mut buf = String::new();
+        let _ = write!(
+            buf,
+            "id={};log={}/{}/{}/{};seq={};secure={};",
+            self.id.0,
+            self.log.head().to_hex(),
+            self.log.len(),
+            self.log.total_appended(),
+            self.log.current_epoch(),
+            self.seq,
+            self.secure,
+        );
+        let _ = write!(buf, "unacked={:?};", self.unacked);
+        let _ = write!(buf, "notified={:?};", self.maintainer_notified);
+        let _ = write!(buf, "byz={:?};", self.byz);
+        let _ = write!(buf, "auths={:?};", self.auths);
+        let _ = write!(buf, "batcher={:?};", self.batcher);
+        let _ = write!(buf, "traffic={:?};", self.traffic);
+        match self.app.snapshot() {
+            Some(bytes) => {
+                let _ = write!(buf, "app={};", snp_crypto::hash(&bytes).to_hex());
+            }
+            None => {
+                let mut tuples = self.app.current_tuples();
+                tuples.sort();
+                let _ = write!(buf, "app~={tuples:?};");
+            }
+        }
+        snp_crypto::hash(buf.as_bytes())
     }
 
     // ----- internal helpers ---------------------------------------------------
@@ -776,6 +857,7 @@ impl SimNode<SnoopyWire> for SnoopyNode {
             }
             SnoopyWire::Plain { message } => self.handle_plain(ctx, message),
             SnoopyWire::Batch { messages, auth } => self.handle_batch(ctx, messages, auth),
+            SnoopyWire::Adversary { action } => self.apply_adversary_action(ctx, action),
         }
     }
 
@@ -812,6 +894,13 @@ impl SimNode<SnoopyWire> for SnoopyNode {
 #[derive(Clone)]
 pub struct SnoopyHandle {
     inner: Arc<Mutex<SnoopyNode>>,
+}
+
+// Manual impl: locks the node briefly to print its identity.
+impl std::fmt::Debug for SnoopyHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SnoopyHandle").field(&self.with(|n| n.id())).finish()
+    }
 }
 
 impl SnoopyHandle {

@@ -53,6 +53,8 @@ impl AuditCache {
     /// map to the same shard, which keeps per-node invalidation a
     /// single-shard operation.
     fn shard(&self, node: NodeId) -> &RwLock<BTreeMap<AuditKey, Arc<AuditRecord>>> {
+        // Lossless: the modulus bounds the index below SHARDS.
+        #[allow(clippy::cast_possible_truncation)]
         &self.shards[(node.0 % SHARDS as u64) as usize]
     }
 

@@ -141,6 +141,18 @@ pub struct QueryBuilder<'q> {
     when: Option<Timestamp>,
 }
 
+// Manual impl: the querier reference itself is summarized, not recursed.
+impl std::fmt::Debug for QueryBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryBuilder")
+            .field("query", &self.query)
+            .field("host", &self.host)
+            .field("scope", &self.scope)
+            .field("when", &self.when)
+            .finish_non_exhaustive()
+    }
+}
+
 impl QueryBuilder<'_> {
     /// Anchor the query at `host` instead of the tuple's own location (e.g.
     /// to ask a node about a tuple it *believes* another node has).
@@ -214,6 +226,17 @@ pub struct Querier {
     pool: AuditPool,
     /// Cumulative statistics across all queries issued by this querier.
     pub stats: QueryStats,
+}
+
+// Manual impl: expected machines are factories/trait objects without
+// `Debug`; identity and reachable nodes are the useful parts.
+impl std::fmt::Debug for Querier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Querier")
+            .field("nodes", &self.nodes.keys().collect::<Vec<_>>())
+            .field("t_prop", &self.t_prop)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Querier {

@@ -1,5 +1,6 @@
 //! Wire packets of the commitment protocol (§5.4).
 
+use crate::fault::AdversaryAction;
 use snp_datalog::SmInput;
 use snp_graph::history::Message;
 use snp_log::Authenticator;
@@ -48,6 +49,19 @@ pub enum SnoopyWire {
         /// One authenticator over the sender's post-batch log head.
         auth: Authenticator,
     },
+    /// A model-checker transition: an adversary "corruption event" scheduled
+    /// against a node.  Delivery flips the corresponding [`ByzantineConfig`]
+    /// knob on (or, for fabrication, performs the lie immediately), so the
+    /// checker can explore *when* in an execution each misbehaviour begins.
+    /// Never part of a real deployment's traffic: it is injected from a
+    /// reserved pseudo-sender, carries zero wire bytes, and honest runs never
+    /// produce it.
+    ///
+    /// [`ByzantineConfig`]: crate::fault::ByzantineConfig
+    Adversary {
+        /// The misbehaviour to enable on the receiving node.
+        action: AdversaryAction,
+    },
 }
 
 /// Fixed per-message provenance metadata the paper charges to SNP: "22 bytes
@@ -67,6 +81,8 @@ impl Payload for SnoopyWire {
                 SmInput::Receive { delta, .. } => delta.wire_size() + 9,
             },
             SnoopyWire::Plain { message } => message.wire_size(),
+            // Corruption is a modelling artefact, not network traffic.
+            SnoopyWire::Adversary { .. } => 0,
             SnoopyWire::Batch { messages, auth } => {
                 let payload: usize = messages
                     .iter()
@@ -88,6 +104,7 @@ impl Payload for SnoopyWire {
             SnoopyWire::Ack { .. } => TrafficCategory::Acknowledgment,
             SnoopyWire::Operator { .. } => TrafficCategory::Baseline,
             SnoopyWire::Plain { .. } => TrafficCategory::Baseline,
+            SnoopyWire::Adversary { .. } => TrafficCategory::Baseline,
         }
     }
 }

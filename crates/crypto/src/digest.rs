@@ -38,7 +38,11 @@ impl Digest {
         for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
             let hi = (chunk[0] as char).to_digit(16)?;
             let lo = (chunk[1] as char).to_digit(16)?;
-            out[i] = ((hi << 4) | lo) as u8;
+            // Lossless: two hex digits compose a value below 256.
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                out[i] = ((hi << 4) | lo) as u8;
+            }
         }
         Some(Digest(out))
     }

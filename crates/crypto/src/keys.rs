@@ -178,6 +178,8 @@ impl KeyRegistry {
     pub fn deployment(num_nodes: u64) -> (CertificateAuthority, Vec<KeyPair>, KeyRegistry) {
         let ca = CertificateAuthority::new(b"deployment");
         let mut registry = KeyRegistry::new(ca.public);
+        // Capacity hint only; a clamped hint on 32-bit targets is harmless.
+        #[allow(clippy::cast_possible_truncation)]
         let mut keypairs = Vec::with_capacity(num_nodes as usize);
         for id in 0..num_nodes {
             let kp = KeyPair::for_node(NodeId(id));

@@ -23,6 +23,8 @@
 //!   reproduction (crypto CPU cost is estimated as `ops × measured cost`).
 
 #![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 pub mod chain;

@@ -32,7 +32,7 @@ const K: [u32; 64] = [
 /// h.update(b"world");
 /// assert_eq!(h.finalize(), snp_crypto::sha256::sha256(b"hello world"));
 /// ```
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 pub struct Sha256 {
     state: [u32; 8],
     /// Bytes buffered but not yet compressed (always < 64).

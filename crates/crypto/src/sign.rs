@@ -36,7 +36,11 @@ pub const SIGNATURE_WIRE_BYTES: usize = 128;
 
 /// Multiply two group elements modulo `P` without overflow.
 fn mul_mod(a: u64, b: u64) -> u64 {
-    ((a as u128 * b as u128) % P as u128) as u64
+    // Lossless: the remainder of `% P` always fits back in a u64.
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        ((a as u128 * b as u128) % P as u128) as u64
+    }
 }
 
 /// Modular exponentiation `base^exp mod P` by square-and-multiply.
@@ -131,6 +135,8 @@ impl SecretKey {
         let e_digest = hash_concat(&[b"snp-challenge", &r.to_be_bytes(), message.as_bytes()]);
         let e = e_digest.to_u64() % GROUP_ORDER;
         // s = k - x*e  (mod GROUP_ORDER)
+        // Lossless: the remainder of `% GROUP_ORDER` fits back in a u64.
+        #[allow(clippy::cast_possible_truncation)]
         let xe = ((self.x as u128 * e as u128) % GROUP_ORDER as u128) as u64;
         let s = (k + GROUP_ORDER - xe % GROUP_ORDER) % GROUP_ORDER;
         Signature { e, s }

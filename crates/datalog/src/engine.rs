@@ -112,6 +112,7 @@ enum Change {
 }
 
 /// The incremental evaluation engine for one node.
+#[derive(Debug)]
 pub struct Engine {
     node: NodeId,
     ruleset: RuleSet,

@@ -30,6 +30,8 @@
 //! algorithm consumes.
 
 #![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 pub mod absence;

@@ -41,6 +41,16 @@ pub struct SnapshotWriter {
     buf: Vec<u8>,
 }
 
+// Manual impl: dumping the raw buffer swamps test output; the length is
+// what matters when debugging.
+impl std::fmt::Debug for SnapshotWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotWriter")
+            .field("bytes", &self.buf.len())
+            .finish()
+    }
+}
+
 impl SnapshotWriter {
     /// Start an empty snapshot.
     pub fn new() -> SnapshotWriter {
@@ -101,6 +111,17 @@ pub struct SnapshotReader<'a> {
     pos: usize,
 }
 
+// Manual impl: the cursor position against the total length is the useful
+// part; the raw bytes are not.
+impl std::fmt::Debug for SnapshotReader<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotReader")
+            .field("pos", &self.pos)
+            .field("len", &self.buf.len())
+            .finish()
+    }
+}
+
 impl<'a> SnapshotReader<'a> {
     /// Read from `buf`.
     pub fn new(buf: &'a [u8]) -> SnapshotReader<'a> {
@@ -144,6 +165,8 @@ impl<'a> SnapshotReader<'a> {
         if n > self.buf.len() as u64 {
             return Err(err("length exceeds input"));
         }
+        // Lossless: bounded by `buf.len()`, itself a usize.
+        #[allow(clippy::cast_possible_truncation)]
         Ok(n as usize)
     }
 

@@ -76,6 +76,23 @@ pub struct GraphBuilder {
     quiescent: bool,
 }
 
+// Manual impl: the replay machines are trait objects without `Debug`; the
+// bookkeeping around them is what matters when inspecting a builder.
+impl std::fmt::Debug for GraphBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GraphBuilder")
+            .field("graph", &self.graph)
+            .field("machines", &self.machines.keys().collect::<Vec<_>>())
+            .field("t_prop", &self.t_prop)
+            .field("pending", &self.pending)
+            .field("ackpend", &self.ackpend)
+            .field("unacked", &self.unacked)
+            .field("nopreds", &self.nopreds)
+            .field("quiescent", &self.quiescent)
+            .finish_non_exhaustive()
+    }
+}
+
 impl GraphBuilder {
     /// Create a builder.  `machine_factory` must return the *initial-state*
     /// machine for a node; `t_prop` is the propagation bound in the same

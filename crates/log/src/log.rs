@@ -292,6 +292,9 @@ impl SecureLog {
         // root, state digest, chain head, signature — so checkpoint storage
         // plateaus along with the entries while tamper evidence survives.
         if let Some(oldest) = self.oldest_anchorable_epoch() {
+            // Lossless in practice: a Vec cannot hold more than usize::MAX
+            // sealed epochs, so the index fits.
+            #[allow(clippy::cast_possible_truncation)]
             for (checkpoint, snapshot) in self.checkpoints.iter_mut().take(oldest as usize) {
                 *snapshot = None;
                 checkpoint.prune();
@@ -307,12 +310,16 @@ impl SecureLog {
 
     /// The checkpoint sealing `epoch`, if that epoch has been sealed.
     pub fn checkpoint_for(&self, epoch: u64) -> Option<&Checkpoint> {
+        // Lossless in practice: epochs index a Vec, so they fit a usize.
+        #[allow(clippy::cast_possible_truncation)]
         self.checkpoints.get(epoch as usize).map(|(c, _)| c)
     }
 
     /// The state snapshot committed by `epoch`'s checkpoint, if the machine
     /// supported snapshots when the epoch was sealed.
     pub fn snapshot_for(&self, epoch: u64) -> Option<&[u8]> {
+        // Lossless in practice: epochs index a Vec, so they fit a usize.
+        #[allow(clippy::cast_possible_truncation)]
         self.checkpoints.get(epoch as usize).and_then(|(_, s)| s.as_deref())
     }
 
@@ -427,6 +434,8 @@ impl SecureLog {
             segment.entries.clear();
             return segment;
         }
+        // Clamped by `.min(len)` right below, so truncation cannot overrun.
+        #[allow(clippy::cast_possible_truncation)]
         let end = ((seq - segment.base_seq) as usize + 1).min(segment.entries.len());
         segment.entries.truncate(end);
         segment
@@ -570,6 +579,8 @@ pub fn verify_suffix(
         return Err(SegmentError::HeadMismatch);
     }
     if !covered {
+        // Diagnostic counts only; entry counts fit a usize by construction.
+        #[allow(clippy::cast_possible_truncation)]
         return Err(SegmentError::TooShort {
             have: end_seq.saturating_sub(anchor_seq) as usize,
             need: (auth.seq + 1).saturating_sub(anchor_seq) as usize,

@@ -115,6 +115,37 @@ impl<P> EventQueue<P> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// All pending events in deterministic `(at, seq)` order.
+    ///
+    /// This is the inspection surface the model checker uses to enumerate
+    /// candidate transitions without disturbing the queue.
+    pub fn events(&self) -> Vec<&Event<P>> {
+        let mut all: Vec<&Event<P>> = self.heap.iter().collect();
+        all.sort_by_key(|e| (e.at, e.seq));
+        all
+    }
+
+    /// Remove and return the event with the given sequence number.
+    ///
+    /// `BinaryHeap` has no random removal, so this drains and rebuilds the
+    /// heap — O(n), which is fine for the small queues a model-checked
+    /// deployment carries.  Returns `None` if no such event is pending.
+    pub fn remove(&mut self, seq: u64) -> Option<Event<P>> {
+        if !self.heap.iter().any(|e| e.seq == seq) {
+            return None;
+        }
+        let mut removed = None;
+        let drained = std::mem::take(&mut self.heap);
+        for event in drained.into_vec() {
+            if event.seq == seq {
+                removed = Some(event);
+            } else {
+                self.heap.push(event);
+            }
+        }
+        removed
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +180,25 @@ mod tests {
             })
             .collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_lists_in_order_and_remove_extracts_by_seq() {
+        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
+        q.push(SimTime::from_millis(30), EventKind::Start { node: NodeId(3) });
+        q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(1) });
+        q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(2) });
+        let seqs: Vec<u64> = q.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2, 0], "sorted by (at, seq)");
+
+        let removed = q.remove(2).expect("seq 2 is pending");
+        assert!(matches!(removed.kind, EventKind::Start { node: NodeId(2) }));
+        assert!(q.remove(2).is_none(), "already removed");
+        assert!(q.remove(99).is_none(), "never existed");
+        assert_eq!(q.len(), 2);
+        // Remaining events still pop in deterministic order.
+        assert_eq!(q.pop().map(|e| e.seq), Some(1));
+        assert_eq!(q.pop().map(|e| e.seq), Some(0));
     }
 
     #[test]

@@ -26,6 +26,8 @@
 //! (baseline, authenticator, acknowledgment, provenance, proxy).
 
 #![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 #![warn(missing_docs)]
 
 pub mod event;
@@ -38,7 +40,7 @@ pub mod time;
 
 pub use network::NetworkConfig;
 pub use node::{Context, Payload, SimNode, TimerId};
-pub use sim::Simulator;
+pub use sim::{PendingEvent, PendingKind, Simulator};
 pub use snp_crypto::keys::NodeId;
 pub use stats::{TrafficCategory, TrafficStats};
 pub use time::{SimDuration, SimTime};

@@ -67,6 +67,20 @@ pub struct Context<P> {
     pub(crate) halted: bool,
 }
 
+// Manual impl: `P` need not be `Debug`, and the outbox payloads are the
+// only fields that would require it.
+impl<P> std::fmt::Debug for Context<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Context")
+            .field("node", &self.node)
+            .field("now", &self.now)
+            .field("outbox", &self.outbox.len())
+            .field("timers", &self.timers)
+            .field("halted", &self.halted)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<P: Payload> Context<P> {
     pub(crate) fn new(node: NodeId, now: SimTime, rng: DetRng) -> Context<P> {
         Context {

@@ -74,6 +74,8 @@ impl DetRng {
         if items.is_empty() {
             None
         } else {
+            // Lossless: `next_below(len)` is below `len`, itself a usize.
+            #[allow(clippy::cast_possible_truncation)]
             let idx = self.next_below(items.len() as u64) as usize;
             items.get(idx)
         }
@@ -85,6 +87,8 @@ impl DetRng {
             return;
         }
         for i in (1..items.len()).rev() {
+            // Lossless: `next_below(i + 1)` is at most `i`, itself a usize.
+            #[allow(clippy::cast_possible_truncation)]
             let j = self.next_below(i as u64 + 1) as usize;
             items.swap(i, j);
         }

@@ -4,14 +4,69 @@
 //! traffic statistics, and advances simulated time by processing events in
 //! deterministic order.
 
-use crate::event::{EventKind, EventQueue};
+use crate::event::{Event, EventKind, EventQueue};
 use crate::network::{NetworkConfig, NetworkFaults};
 use crate::node::{Context, Payload, SimNode, TimerId};
 use crate::rng::DetRng;
 use crate::stats::TrafficStats;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use snp_crypto::keys::NodeId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What a pending event will do when stepped, without its payload.
+///
+/// The model checker works with these payload-free descriptions: the payload
+/// itself stays in the queue and is only moved when [`Simulator::step`]
+/// dispatches the event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PendingKind {
+    /// Delivery of a message on the directed link `from -> to`.
+    Deliver {
+        /// Sender of the pending message.
+        from: NodeId,
+        /// Recipient of the pending message.
+        to: NodeId,
+    },
+    /// A timer firing on `node`.
+    Timer {
+        /// Node whose timer is pending.
+        node: NodeId,
+        /// Timer identifier the node supplied.
+        id: TimerId,
+    },
+    /// The one-time start callback of `node`.
+    Start {
+        /// Node waiting to start.
+        node: NodeId,
+    },
+}
+
+/// A pending event as seen by the model checker.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingEvent {
+    /// Queue sequence number — the handle passed to [`Simulator::step`].
+    pub seq: u64,
+    /// Scheduled global firing time.
+    pub at: SimTime,
+    /// What the event does.
+    pub kind: PendingKind,
+}
+
+impl PendingEvent {
+    /// The FIFO class of this event.
+    ///
+    /// Events in the same class must fire in schedule order (a directed link
+    /// is FIFO; a node's timers fire in deadline order), so only the earliest
+    /// event of each class is a legal next transition.  Events in different
+    /// classes are concurrent and may be interleaved freely.
+    pub fn class(&self) -> (u8, u64, u64) {
+        match self.kind {
+            PendingKind::Deliver { from, to } => (0, from.0, to.0),
+            PendingKind::Timer { node, .. } => (1, node.0, 0),
+            PendingKind::Start { node } => (2, node.0, 0),
+        }
+    }
+}
 
 /// Per-node bookkeeping held by the simulator.
 struct NodeSlot<P: Payload> {
@@ -40,6 +95,17 @@ pub struct Simulator<P: Payload> {
     /// presumes.  Without it, a retraction could overtake the insertion it
     /// cancels and leak phantom state downstream.
     fifo_horizon: BTreeMap<(NodeId, NodeId), SimTime>,
+}
+
+impl<P: Payload> std::fmt::Debug for Simulator<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("nodes", &self.nodes.keys().collect::<Vec<_>>())
+            .field("pending_events", &self.queue.len())
+            .field("now", &self.now)
+            .field("events_processed", &self.events_processed)
+            .finish_non_exhaustive()
+    }
 }
 
 impl<P: Payload> Simulator<P> {
@@ -171,6 +237,99 @@ impl<P: Payload> Simulator<P> {
             self.events_processed += 1;
         }
         processed
+    }
+
+    /// All pending events in deterministic `(at, seq)` order, payload-free.
+    ///
+    /// Schedules the start events first so that a freshly built simulator
+    /// already exposes its initial transitions.
+    pub fn pending(&mut self) -> Vec<PendingEvent> {
+        self.ensure_started();
+        self.queue
+            .events()
+            .iter()
+            .map(|e| PendingEvent {
+                seq: e.seq,
+                at: e.at,
+                kind: Self::describe(&e.kind),
+            })
+            .collect()
+    }
+
+    /// The set of events a model checker may fire next.
+    ///
+    /// An event is *enabled* when it
+    ///
+    /// 1. fires at or before `horizon` (bounding exploration in virtual time
+    ///    — periodic timers re-arm forever, so some cutoff is required),
+    /// 2. is the earliest event of its FIFO [`class`](PendingEvent::class)
+    ///    (links deliver in order, a node's timers fire in deadline order),
+    ///    and
+    /// 3. fires within `slack` of the earliest pending event, so explored
+    ///    reorderings stay within the timing jitter the network model could
+    ///    actually produce (the §5.2 `Tprop` bound keeps holding).
+    ///
+    /// An empty result means the run is terminal within the horizon.
+    pub fn enabled_events(&mut self, slack: SimDuration, horizon: SimTime) -> Vec<PendingEvent> {
+        let pending = self.pending();
+        let in_horizon: Vec<PendingEvent> = pending.into_iter().filter(|e| e.at <= horizon).collect();
+        let Some(min_at) = in_horizon.iter().map(|e| e.at).min() else {
+            return Vec::new();
+        };
+        let cutoff = min_at + slack;
+        let mut taken_classes = BTreeSet::new();
+        let mut enabled = Vec::new();
+        // `in_horizon` is (at, seq)-sorted, so the first event seen per class
+        // is that class's earliest.
+        for event in in_horizon {
+            if !taken_classes.insert(event.class()) {
+                continue;
+            }
+            if event.at <= cutoff {
+                enabled.push(event);
+            }
+        }
+        enabled
+    }
+
+    /// Fire one pending event by sequence number, advancing time to its
+    /// scheduled instant (time never moves backwards).  Returns `false` if no
+    /// such event is pending.
+    pub fn step(&mut self, seq: u64) -> bool {
+        self.ensure_started();
+        let Some(event) = self.queue.remove(seq) else {
+            return false;
+        };
+        self.now = self.now.max(event.at);
+        self.dispatch(event.kind);
+        self.events_processed += 1;
+        true
+    }
+
+    /// Discard one pending event without firing it.  The model checker uses
+    /// this to explore adversary actions *not* taken.  Returns `false` if no
+    /// such event is pending.
+    pub fn drop_event(&mut self, seq: u64) -> bool {
+        self.queue.remove(seq).is_some()
+    }
+
+    /// Borrow all pending events (with payloads) in `(at, seq)` order, for
+    /// state fingerprinting.
+    pub fn queue_events(&self) -> Vec<&Event<P>> {
+        self.queue.events()
+    }
+
+    /// Whether a node has halted (crash-stopped itself).
+    pub fn is_halted(&self, node: NodeId) -> bool {
+        self.nodes.get(&node).map(|slot| slot.halted).unwrap_or(false) || self.faults.crashed.contains(&node)
+    }
+
+    fn describe(kind: &EventKind<P>) -> PendingKind {
+        match *kind {
+            EventKind::Deliver { from, to, .. } => PendingKind::Deliver { from, to },
+            EventKind::Timer { node, id } => PendingKind::Timer { node, id },
+            EventKind::Start { node } => PendingKind::Start { node },
+        }
     }
 
     fn dispatch(&mut self, kind: EventKind<P>) {
@@ -390,6 +549,86 @@ mod tests {
         sim.inject_message(SimTime::from_millis(1), NodeId(2), NodeId(1), vec![9u8; 4]);
         sim.run_until(SimTime::from_secs(5));
         assert!(sim.stats.total_messages() >= 1);
+    }
+
+    #[test]
+    fn enabled_events_respect_fifo_classes_and_slack() {
+        let mut sim: Simulator<Vec<u8>> = Simulator::new(NetworkConfig::instantaneous(), 7);
+        sim.add_node(NodeId(1), Box::new(Recorder::default()));
+        sim.add_node(NodeId(2), Box::new(Recorder::default()));
+        // Two messages on the same link (FIFO class) and one on another link.
+        sim.inject_message(SimTime::from_millis(10), NodeId(2), NodeId(1), vec![1]);
+        sim.inject_message(SimTime::from_millis(20), NodeId(2), NodeId(1), vec![2]);
+        sim.inject_message(SimTime::from_millis(15), NodeId(1), NodeId(2), vec![3]);
+
+        let horizon = SimTime::from_secs(1);
+        let enabled = sim.enabled_events(SimDuration::from_secs(1), horizon);
+        // Start events for both nodes plus the head of each link class — the
+        // second 2->1 message is blocked behind the first.
+        assert_eq!(enabled.len(), 4);
+        let classes: BTreeSet<_> = enabled.iter().map(|e| e.class()).collect();
+        assert_eq!(classes.len(), 4, "one enabled event per FIFO class");
+
+        // With zero slack only the earliest instant's events are enabled
+        // (both starts are at t=0).
+        let tight = sim.enabled_events(SimDuration::ZERO, horizon);
+        assert!(tight.iter().all(|e| e.at == SimTime::ZERO));
+        assert_eq!(tight.len(), 2);
+
+        // A horizon before every event means terminal.
+        let mut fresh: Simulator<Vec<u8>> = Simulator::new(NetworkConfig::instantaneous(), 7);
+        fresh.add_node(NodeId(1), Box::new(Recorder::default()));
+        fresh.inject_message(SimTime::from_secs(5), NodeId(2), NodeId(1), vec![0]);
+        // Starts fire at t=0, so step past them first.
+        let starts: Vec<u64> = fresh
+            .enabled_events(SimDuration::ZERO, SimTime::from_secs(1))
+            .iter()
+            .map(|e| e.seq)
+            .collect();
+        for seq in starts {
+            assert!(fresh.step(seq));
+        }
+        assert!(fresh
+            .enabled_events(SimDuration::from_secs(9), SimTime::from_secs(1))
+            .is_empty());
+    }
+
+    #[test]
+    fn step_fires_chosen_event_and_advances_clock() {
+        let mut sim: Simulator<Vec<u8>> = Simulator::new(NetworkConfig::instantaneous(), 7);
+        sim.add_node(NodeId(1), Box::new(Recorder::default()));
+        sim.inject_message(SimTime::from_millis(5), NodeId(9), NodeId(1), vec![42]);
+        let enabled = sim.enabled_events(SimDuration::from_secs(1), SimTime::from_secs(1));
+        let deliver = enabled
+            .iter()
+            .find(|e| matches!(e.kind, PendingKind::Deliver { .. }))
+            .expect("delivery pending");
+        assert!(sim.step(deliver.seq));
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+        assert!(!sim.step(deliver.seq), "an event fires at most once");
+        // Out-of-order firing never rewinds the clock.
+        let rest: Vec<u64> = sim.pending().iter().map(|e| e.seq).collect();
+        for seq in rest {
+            assert!(sim.step(seq));
+        }
+        assert_eq!(sim.now(), SimTime::from_millis(5), "start events at t=0 do not rewind");
+    }
+
+    #[test]
+    fn drop_event_discards_without_firing() {
+        let mut sim: Simulator<Vec<u8>> = Simulator::new(NetworkConfig::instantaneous(), 7);
+        sim.add_node(NodeId(1), Box::new(Recorder::default()));
+        sim.inject_message(SimTime::from_millis(5), NodeId(9), NodeId(1), vec![42]);
+        let before = sim.pending().len();
+        let deliver = sim
+            .pending()
+            .into_iter()
+            .find(|e| matches!(e.kind, PendingKind::Deliver { .. }))
+            .expect("delivery pending");
+        assert!(sim.drop_event(deliver.seq));
+        assert!(!sim.drop_event(deliver.seq));
+        assert_eq!(sim.pending().len(), before - 1);
+        assert_eq!(sim.stats.total_messages(), 0, "dropped events never dispatch");
     }
 
     #[test]

@@ -9,10 +9,16 @@
 //! * [`log`] — the tamper-evident log, authenticators and the commitment protocol.
 //! * [`core`] — the SNooPy runtime: graph recorder, microqueries and macroqueries.
 //! * [`apps`] — example applications: MinCost routing, Chord, MapReduce and BGP.
+//! * [`check`] — bounded explicit-state model checker for the evidence invariants.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
+#![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
+
 pub use snp_apps as apps;
+pub use snp_check as check;
 pub use snp_core as core;
 pub use snp_crypto as crypto;
 pub use snp_datalog as datalog;

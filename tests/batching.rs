@@ -15,6 +15,9 @@
 //! fixed-delay network, asserted by the FIFO pair test in `snp-core`'s
 //! node module.
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp::apps::bgp::BgpScenario;
 use snp::apps::mincost::{link, mincost_rules};
 use snp::core::deploy::Deployment;

@@ -3,6 +3,9 @@
 //! the old `Testbed` wiring could not express (builder defaults, audit-cache
 //! reuse across repeated queries, epoch-sealed logs).
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp::apps::mincost::{self, best_cost, link, MinCost};
 use snp::core::deploy::Deployment;
 use snp::crypto::keys::NodeId;

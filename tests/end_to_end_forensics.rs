@@ -2,6 +2,9 @@
 //! stack — simulator, datalog engine, SNooPy nodes, tamper-evident logs,
 //! querier — on the example applications.
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp::apps::bgp;
 use snp::apps::mincost;
 use snp::core::properties::{check_accuracy, check_completeness, check_forensics};

@@ -2,6 +2,9 @@
 //! replay, seeded determinism of digests/checkpoint roots, tamper evidence
 //! across truncation, and the truncated-window forensics (E7) guarantee.
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp::apps::chord::{self, ChordScenario};
 use snp::apps::mincost::{self, link, MinCost};
 use snp::core::deploy::Deployment;

@@ -6,9 +6,14 @@
 //! (proptest is unavailable in the offline build environment), so every case
 //! is reproducible from its seed.
 
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
 use snp::apps::chord::{self, ChordScenario};
 use snp::apps::mincost::{link, mincost_rules};
+use snp::apps::{bgp, mapreduce};
 use snp::core::deploy::Deployment;
+use snp::core::properties::{check_accuracy, check_completeness};
 use snp::core::query::QueryResult;
 use snp::core::ByzantineConfig;
 use snp::crypto::keys::NodeId;
@@ -455,4 +460,160 @@ fn prop_chord_forward_slice_is_thread_count_invariant() {
             assert_equivalent(&format!("chord seed {seed} x{threads}"), &reference, &parallel);
         }
     }
+}
+
+// ---------------------------------------------------------------------------
+// The §4.3 theorems over every Figure-8 scenario row.
+//
+// Figure 8's harness measures turnaround and bytes; these tests re-run the
+// same eight query rows (at smoke sizes) and assert the two formal
+// guarantees on each result: accuracy (`check_accuracy` over the returned
+// provenance graph — no red vertex on a correct node) and completeness
+// (`check_completeness` — every detectable fault leaves a red/yellow suspect
+// on a faulty node).  Positive (`why_exists`/`why_disappeared`) and negative
+// (`why_absent`) rows alike.
+// ---------------------------------------------------------------------------
+
+/// Assert both theorems (and the implication form of accuracy) on a result.
+fn assert_theorems(context: &str, result: &QueryResult, byzantine: &BTreeSet<NodeId>) {
+    assert!(result.root.is_some(), "{context}: the query must anchor");
+    if let Err(e) = check_accuracy(&result.graph, byzantine) {
+        panic!("{context}: accuracy violated: {e}");
+    }
+    if let Err(e) = check_completeness(result, byzantine) {
+        panic!("{context}: completeness violated: {e}");
+    }
+    for implicated in result.implicated_nodes() {
+        assert!(
+            byzantine.contains(&implicated),
+            "{context}: correct node {implicated} was implicated"
+        );
+    }
+}
+
+/// Fig. 8 row 1 — `Quagga-Disappear` (positive, clean run): the historical
+/// `why_disappeared` of a withdrawn route satisfies both theorems with an
+/// empty fault set.
+#[test]
+fn fig8_quagga_disappear_upholds_theorems() {
+    let (mut tb, i, _j, prefix) = bgp::disappear_scenario(true, 3);
+    tb.enable_checkpoints(30_000_000);
+    tb.run_until(SimTime::from_secs(20));
+    bgp::disappear_trigger(&mut tb, SimTime::from_secs(25));
+    tb.run_until(SimTime::from_secs(60));
+    let result = tb
+        .querier
+        .why_disappeared(bgp::adv_route(
+            i,
+            &prefix,
+            &[NodeId(2), NodeId(3), NodeId(5)],
+            NodeId(2),
+        ))
+        .at(i)
+        .run();
+    assert_theorems("Quagga-Disappear", &result, &BTreeSet::new());
+}
+
+/// Fig. 8 row 2 — `Quagga-BadGadget` (positive, clean run): mid-flutter
+/// `why_exists` of an oscillating route never produces red evidence.
+#[test]
+fn fig8_quagga_badgadget_upholds_theorems() {
+    let (mut tb, _dest, prefix) = bgp::badgadget_scenario(true, 5);
+    tb.run_until(SimTime::from_millis(600));
+    let route = tb.handles[&NodeId(1)]
+        .with(|n| n.current_tuples())
+        .into_iter()
+        .find(|t| t.relation == "route" && t.str_arg(0) == Some(prefix.as_str()))
+        .expect("AS 1 has a route to the gadget prefix");
+    let result = tb.querier.why_exists(route).at(NodeId(1)).run();
+    assert_theorems("Quagga-BadGadget", &result, &BTreeSet::new());
+}
+
+/// Fig. 8 rows 3–5 — the `Chord-Lookup` family (positive, clean runs): the
+/// genesis-replay row and the checkpoint-anchored row both satisfy the
+/// theorems with an empty fault set.
+#[test]
+fn fig8_chord_lookup_upholds_theorems() {
+    for (label, epoch_s) in [("Chord-Lookup (S)", None), ("Chord-Lookup (S+ckpt)", Some(10u64))] {
+        let scenario = ChordScenario {
+            nodes: 12,
+            lookups_per_minute: 0,
+            ..ChordScenario::small(60)
+        };
+        let (mut tb, ring) = scenario.build(true, 9, None);
+        if let Some(s) = epoch_s {
+            tb.set_epoch_length(s * 1_000_000);
+        }
+        let origin = ring.members[0].1;
+        let key = (ring.members[ring.members.len() / 2].0 + 1) % chord::ID_SPACE;
+        let (owner_id, owner) = ring.owner_of(key);
+        let (inject_s, audit_s) = if epoch_s.is_some() { (86, 89) } else { (1, 90) };
+        tb.insert_at(
+            SimTime::from_secs(inject_s),
+            origin,
+            chord::lookup(origin, key, origin, 1),
+        );
+        tb.run_until(SimTime::from_secs(audit_s));
+        let result = tb
+            .querier
+            .why_exists(chord::lookup_result(origin, 1, key, owner, owner_id))
+            .at(origin)
+            .run();
+        assert_theorems(label, &result, &BTreeSet::new());
+    }
+}
+
+/// Fig. 8 row 6 — `Hadoop-Squirrel` (positive, corrupt mapper): replaying the
+/// inflated count against the honest map function reds only the corrupt
+/// mapper, which must surface among the suspects.
+#[test]
+fn fig8_hadoop_squirrel_upholds_theorems() {
+    let scenario = mapreduce::MapReduceScenario {
+        mappers: 4,
+        reducers: 2,
+        splits: 4,
+        words_per_split: 50,
+    };
+    let corrupt = NodeId(3);
+    let mut tb = scenario.build(true, 7, Some(corrupt), 93);
+    tb.run_until(SimTime::from_secs(60));
+    let reducer = mapreduce::reducer_for("squirrel", &scenario.reducer_ids());
+    let total = tb.handles[&reducer]
+        .with(|n| n.current_tuples())
+        .into_iter()
+        .find(|t| t.relation == "reduceOut" && t.str_arg(0) == Some("squirrel"))
+        .and_then(|t| t.int_arg(1))
+        .expect("squirrel count");
+    let result = tb
+        .querier
+        .why_exists(mapreduce::reduce_out(reducer, "squirrel", total))
+        .at(reducer)
+        .run();
+    assert_theorems("Hadoop-Squirrel", &result, &[corrupt].into());
+}
+
+/// Fig. 8 row 7 — `BGP-NoRoute` (negative, withholding transit): the
+/// `why_absent` of the missing route implicates the transit AS and nobody
+/// else.
+#[test]
+fn fig8_bgp_blackhole_negative_upholds_theorems() {
+    let (mut tb, victim, transit, prefix) = bgp::blackhole_scenario(true, 21, true);
+    tb.run_until(SimTime::from_secs(30));
+    let result = tb
+        .querier
+        .why_absent(bgp::route_pattern(victim, &prefix))
+        .at(victim)
+        .run();
+    assert_theorems("BGP-NoRoute (neg)", &result, &[transit].into());
+}
+
+/// Fig. 8 row 8 — `Chord-Eclipse` (negative, lying resolver): the
+/// `why_absent` of the correct lookup result surfaces the eclipse attacker
+/// without implicating any honest ring member.
+#[test]
+fn fig8_chord_eclipse_negative_upholds_theorems() {
+    let (mut tb, origin, attacker, correct) = chord::eclipse_scenario(8, 3);
+    tb.run_until(SimTime::from_secs(60));
+    let result = tb.querier.why_absent(correct).at(origin).run();
+    assert_theorems("Chord-Eclipse (neg)", &result, &[attacker].into());
 }
