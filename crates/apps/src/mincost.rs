@@ -8,7 +8,7 @@
 use snp_core::deploy::{AppNode, Application, Deployment, WorkloadEvent};
 use snp_crypto::keys::NodeId;
 use snp_datalog::parser::parse_program;
-use snp_datalog::{Engine, RuleSet, StateMachine, Tuple, Value};
+use snp_datalog::{Engine, NaiveEngine, RuleSet, StateMachine, Tuple, Value};
 use snp_sim::SimTime;
 
 /// Router identifiers matching the figure: a=1, b=2, c=3, d=4, e=5.
@@ -66,6 +66,15 @@ pub fn example_topology() -> Vec<(NodeId, NodeId, i64)> {
 /// `Deployment::builder().node(C, mincost::router())`.
 pub fn router() -> impl Fn(NodeId) -> Box<dyn StateMachine> {
     |id| Box::new(Engine::new(id, mincost_rules()))
+}
+
+/// A router backed by the retained naive-scan reference engine — the
+/// differential baseline for [`router`].  Deployments built with this
+/// factory must be externally indistinguishable (outputs, snapshots, node
+/// fingerprints) from indexed ones; tests that assert so keep the indexed
+/// engine honest at the deployment level.
+pub fn naive_router() -> impl Fn(NodeId) -> Box<dyn StateMachine> {
+    |id| Box::new(NaiveEngine::new(id, mincost_rules()))
 }
 
 /// The MinCost routing application: a set of routers evaluating

@@ -5,9 +5,11 @@
 //! *deterministic* cost metric — signature counts, replay-entry counts,
 //! retained log bytes — regresses by more than the tolerance (default 25%,
 //! override with `BENCH_GATE_TOLERANCE=0.40`).  Wall-clock metrics are never
-//! gated: they depend on the runner.  The gate also enforces the batching
-//! acceptance floor: the largest window must amortize ≥5x of the unbatched
-//! signature generations on the BGP workload.
+//! gated: they depend on the runner.  The gate also enforces two acceptance
+//! floors: the largest batching window must amortize ≥5x of the unbatched
+//! signature generations on the BGP workload, and the indexed Datalog
+//! engine must sustain ≥10x the naive scan's maintenance and replay
+//! throughput at the 10^5-tuple store size.
 //!
 //! Usage: `bench_gate <baseline_dir> [current_dir]` (current defaults to the
 //! working directory, where the harness binaries write their JSON).
@@ -119,6 +121,36 @@ const GATES: &[Gate] = &[
     Gate {
         file: "BENCH_fig9.json",
         path: "macroquery.rows.0.replayed_entries",
+        check: Check::Cost,
+    },
+    // datalog: the indexed engine must beat the naive scan by the acceptance
+    // floor on the 10^5-tuple row (sizes.1 — present in smoke and full mode)
+    // for both hot loops.  The evaluation counters are fully deterministic:
+    // fires is pinned two-sided (a drop means the workload silently shrank),
+    // candidates one-sided (a rise means the index stopped being selective).
+    Gate {
+        file: "BENCH_datalog.json",
+        path: "sizes.1.maintenance.speedup",
+        check: Check::Min(10.0),
+    },
+    Gate {
+        file: "BENCH_datalog.json",
+        path: "sizes.1.replay.speedup",
+        check: Check::Min(10.0),
+    },
+    Gate {
+        file: "BENCH_datalog.json",
+        path: "sizes.0.fires",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_datalog.json",
+        path: "sizes.1.fires",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_datalog.json",
+        path: "sizes.1.indexed_candidates",
         check: Check::Cost,
     },
     // model checker: the deduplicated state count per scenario is fully

@@ -21,6 +21,7 @@
 // Unit tests may unwrap: a panic is the assertion.
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::cast_possible_truncation))]
 
+pub mod datalog_workload;
 pub mod harness;
 pub mod json;
 

@@ -34,7 +34,7 @@ pub fn lockstep_network(t_prop: SimDuration) -> NetworkConfig {
 /// Look up a scenario by its stable name.
 pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
     match name {
-        "mincost-fabrication" => Some(Box::new(MinCostFabrication)),
+        "mincost-fabrication" => Some(Box::new(MinCostFabrication::default())),
         "bgp-blackhole" => Some(Box::new(BgpBlackhole)),
         "chord-eclipse" => Some(Box::new(ChordEclipse)),
         _ => None,
@@ -44,7 +44,7 @@ pub fn by_name(name: &str) -> Option<Box<dyn Scenario>> {
 /// All seed scenarios, in reporting order.
 pub fn all() -> Vec<Box<dyn Scenario>> {
     vec![
-        Box::new(MinCostFabrication),
+        Box::new(MinCostFabrication::default()),
         Box::new(BgpBlackhole),
         Box::new(ChordEclipse),
     ]
@@ -66,7 +66,15 @@ fn flaw_with(graph: &snp_graph::ProvenanceGraph, message: String) -> Flaw {
 /// lie that gives `A` a phantom one-hop bargain — and/or suppress `B`'s
 /// updates towards `C`.
 #[derive(Debug, Clone, Copy, Default)]
-pub struct MinCostFabrication;
+pub struct MinCostFabrication {
+    /// Build the routers on the retained naive-scan reference engine
+    /// instead of the indexed one.  The explored state space must be
+    /// identical either way — the replay regression suite replays the
+    /// committed witness schedules under both and asserts byte-identical
+    /// fingerprint sequences, pinning the indexed store to the scan
+    /// semantics at the model-checker level.
+    pub naive_reference: bool,
+}
 
 impl MinCostFabrication {
     fn fabricated_cost() -> Tuple {
@@ -89,7 +97,11 @@ impl Scenario for MinCostFabrication {
             .secure(true)
             .network(lockstep_network(SimDuration::from_millis(10)));
         for n in [mincost::A, mincost::B, mincost::C] {
-            builder = builder.node(n, mincost::router());
+            builder = if self.naive_reference {
+                builder.node(n, mincost::naive_router())
+            } else {
+                builder.node(n, mincost::router())
+            };
         }
         builder
             .insert_at(

@@ -11,6 +11,7 @@
 // Test code may unwrap: a panic is the assertion.
 #![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
 
+use snp_check::scenarios::MinCostFabrication;
 use snp_check::{explorer, scenarios, Schedule};
 use std::path::PathBuf;
 
@@ -68,6 +69,30 @@ fn committed_schedules_replay_deterministically() {
                 path.display()
             );
         }
+    }
+}
+
+/// The indexed tuple store must not change what the model checker sees: the
+/// committed MinCost witness schedule replays to byte-identical fingerprint
+/// sequences whether the routers run the indexed engine or the retained
+/// naive-scan reference.  Node fingerprints hash the machine snapshot, so
+/// this pins the indexed store to the scan engine's behavior *and* snapshot
+/// bytes at every step of the witness execution — the other committed
+/// schedules drive hand-written machines and are engine-independent.
+#[test]
+fn mincost_witness_fingerprints_match_naive_scan_reference() {
+    let path = schedule_dir().join("mincost-fabrication.sched");
+    let schedule = Schedule::load(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+    let indexed = explorer::replay_fingerprints(&MinCostFabrication::default(), &schedule).expect("indexed replay");
+    let scan = explorer::replay_fingerprints(&MinCostFabrication { naive_reference: true }, &schedule)
+        .expect("naive-scan replay");
+    assert_eq!(indexed.len(), scan.len());
+    for (step, (a, b)) in indexed.iter().zip(scan.iter()).enumerate() {
+        assert_eq!(
+            a.to_hex(),
+            b.to_hex(),
+            "indexed and scan fingerprints diverge at step {step}"
+        );
     }
 }
 

@@ -395,13 +395,17 @@ fn audit_uncached(
                     replayed_entries = response.entry_count() as u64;
                     stats.replayed_entries += replayed_entries;
                     stats.skipped_entries += anchor_seq;
-                    replay::replay_suffix(
+                    let (graph, metrics) = replay::replay_suffix_traced(
                         node,
                         response.anchor.as_ref().map(|(cp, _)| cp),
                         machine,
                         &response.segments,
                         ctx.t_prop,
-                    )
+                    );
+                    for (id, eval) in &metrics.rules {
+                        stats.rule_evals.entry(id.clone()).or_default().merge(eval);
+                    }
+                    graph
                 }
                 Err(reason) => {
                     notes.push(format!("state snapshot rejected: {reason}"));

@@ -2,7 +2,7 @@
 //! [`NodeAudit`] and the per-query stats bookkeeping (marks and deltas).
 
 use snp_crypto::keys::NodeId;
-use snp_datalog::Tuple;
+use snp_datalog::{RuleEval, Tuple};
 use snp_graph::query::{self, Direction, Traversal};
 use snp_graph::vertex::{Color, VertexId};
 use snp_graph::ProvenanceGraph;
@@ -69,6 +69,12 @@ pub struct QueryStats {
     /// long-lived querier can drain it (`stats.segment_bytes.clear()`)
     /// without affecting the scalar counters or per-query deltas.
     pub segment_bytes: Vec<SegmentFetch>,
+    /// Per-rule evaluation counters (fires, index probes, candidates)
+    /// accumulated by the expected machines during replay.  Deterministic:
+    /// replay feeds each machine the same verified inputs regardless of audit
+    /// scheduling, so these counters — unlike the timing fields — are part of
+    /// the serial-vs-parallel equality invariant.
+    pub rule_evals: BTreeMap<String, RuleEval>,
 }
 
 impl QueryStats {
@@ -257,13 +263,17 @@ pub(crate) fn merge_stats(into: &mut QueryStats, other: &QueryStats) {
     into.replayed_entries += other.replayed_entries;
     into.skipped_entries += other.skipped_entries;
     into.segment_bytes.extend(other.segment_bytes.iter().copied());
+    for (id, eval) in &other.rule_evals {
+        into.rule_evals.entry(id.clone()).or_default().merge(eval);
+    }
 }
 
 /// A cheap point-in-time snapshot of the cumulative counters: scalar copies
 /// plus a watermark into the append-only `segment_bytes` list, so taking a
 /// mark costs O(1) regardless of how much fetch history the querier has
-/// accumulated.
-#[derive(Clone, Copy)]
+/// accumulated.  The per-rule counter map is cloned — it is bounded by the
+/// program's rule count, not by query history.
+#[derive(Clone)]
 pub(crate) struct StatsMark {
     log_bytes: u64,
     authenticator_bytes: u64,
@@ -279,6 +289,7 @@ pub(crate) struct StatsMark {
     replayed_entries: u64,
     skipped_entries: u64,
     segment_mark: usize,
+    rule_evals: BTreeMap<String, RuleEval>,
 }
 
 impl StatsMark {
@@ -298,6 +309,7 @@ impl StatsMark {
             replayed_entries: stats.replayed_entries,
             skipped_entries: stats.skipped_entries,
             segment_mark: stats.segment_bytes.len(),
+            rule_evals: stats.rule_evals.clone(),
         }
     }
 }
@@ -319,5 +331,20 @@ pub(crate) fn diff_stats(after: &QueryStats, before: &StatsMark) -> QueryStats {
         replayed_entries: after.replayed_entries - before.replayed_entries,
         skipped_entries: after.skipped_entries - before.skipped_entries,
         segment_bytes: after.segment_bytes[before.segment_mark..].to_vec(),
+        rule_evals: after
+            .rule_evals
+            .iter()
+            .map(|(id, eval)| {
+                let base = before.rule_evals.get(id).copied().unwrap_or_default();
+                (
+                    id.clone(),
+                    RuleEval {
+                        fires: eval.fires - base.fires,
+                        probes: eval.probes - base.probes,
+                        candidates: eval.candidates - base.candidates,
+                    },
+                )
+            })
+            .collect(),
     }
 }

@@ -129,6 +129,19 @@ pub fn replay_suffix(
     segments: &[LogSegment],
     t_prop: Timestamp,
 ) -> ProvenanceGraph {
+    replay_suffix_traced(node, anchor, machine, segments, t_prop).0
+}
+
+/// Like [`replay_suffix`], but also report the per-rule evaluation counters
+/// the expected machine accumulated while re-executing the suffix (empty for
+/// hand-written machines).  The querier folds these into its `QueryStats`.
+pub fn replay_suffix_traced(
+    node: NodeId,
+    anchor: Option<&Checkpoint>,
+    machine: Box<dyn StateMachine>,
+    segments: &[LogSegment],
+    t_prop: Timestamp,
+) -> (ProvenanceGraph, snp_datalog::EvalMetrics) {
     let history = history_from_entries(node, segments.iter().flat_map(|s| &s.entries));
     let mut builder = GraphBuilder::new(t_prop);
     if let Some(checkpoint) = anchor {
@@ -144,7 +157,7 @@ pub fn replay_suffix(
     // issued), so the history is quiescent: a send the expected machine
     // produces but the log never records is evidence of suppression.
     builder.set_quiescent(true);
-    builder.build(&history)
+    builder.build_traced(&history)
 }
 
 #[cfg(test)]

@@ -18,10 +18,12 @@
 //! nodes when the missing precondition is a message that was never received.
 
 use crate::engine::RuleSet;
-use crate::rule::{Bindings, Rule, Term};
+use crate::rule::{Atom, Bindings, Rule, Term};
+use crate::store::fnv1a;
 use crate::tuple::Tuple;
 use crate::value::Value;
 use snp_crypto::keys::NodeId;
+use std::collections::HashMap;
 
 /// One reason a tuple matching the queried pattern does not exist on a node.
 ///
@@ -90,6 +92,7 @@ pub fn trace_absence(
     present: &[Tuple],
     peers: &[NodeId],
 ) -> Vec<AbsenceWitness> {
+    let domain = LocalDomain::build(present, node);
     let mut witnesses = Vec::new();
     let mut head_matched = false;
     for rule in ruleset.rules() {
@@ -104,7 +107,7 @@ pub fn trace_absence(
         };
         match site.resolve(&bindings).and_then(|v| v.as_node()) {
             Some(s) if s == node => {
-                witnesses.extend(trace_local(rule, node, pattern, present, bindings));
+                witnesses.extend(trace_local(rule, node, pattern, &domain, bindings));
             }
             Some(s) => {
                 // The body lives on another node: a matching tuple could only
@@ -128,7 +131,7 @@ pub fn trace_absence(
                 if let Term::Var(name) = &site {
                     local_bindings.insert(name.clone(), Value::Node(node));
                 }
-                witnesses.extend(trace_local(rule, node, pattern, present, local_bindings));
+                witnesses.extend(trace_local(rule, node, pattern, &domain, local_bindings));
                 if pattern.location == node {
                     let senders: Vec<NodeId> = peers.iter().copied().filter(|p| *p != node).collect();
                     if !senders.is_empty() {
@@ -164,21 +167,83 @@ fn unify_pattern(head: &crate::rule::Atom, pattern: &Tuple, bindings: &mut Bindi
     })
 }
 
+/// Digest-bucketed view of the locally homed present tuples, built once per
+/// trace so body joins probe per-(relation, column, value) buckets instead of
+/// re-scanning the whole constant domain per atom per partial binding.
+///
+/// Buckets keep `present` insertion order, and a probe only ever skips
+/// candidates that `Atom::matches` would have rejected anyway (the bucket key
+/// mirrors `Term::unify`'s strict equality), so the sequence of surviving
+/// partials — including the `partials.first()` used to ground a missing atom
+/// — is identical to the former full scan's.  Keys are 64-bit digests; a
+/// collision merely widens a bucket with candidates `matches` then rejects.
+struct LocalDomain<'a> {
+    by_relation: HashMap<u64, Vec<&'a Tuple>>,
+    by_column: HashMap<u64, Vec<&'a Tuple>>,
+}
+
+fn relation_key(relation: &str) -> u64 {
+    fnv1a(relation.as_bytes())
+}
+
+fn column_key(relation: &str, col: usize, value: &Value) -> u64 {
+    let mut bytes = Vec::with_capacity(relation.len() + 16);
+    bytes.extend_from_slice(relation.as_bytes());
+    bytes.push(0xff);
+    bytes.extend_from_slice(&(col as u64).to_be_bytes());
+    value.encode(&mut bytes);
+    fnv1a(&bytes)
+}
+
+impl<'a> LocalDomain<'a> {
+    /// Index the tuples homed at `node` (rule bodies only see those).
+    fn build(present: &'a [Tuple], node: NodeId) -> LocalDomain<'a> {
+        let mut by_relation: HashMap<u64, Vec<&'a Tuple>> = HashMap::new();
+        let mut by_column: HashMap<u64, Vec<&'a Tuple>> = HashMap::new();
+        for tuple in present.iter().filter(|t| t.location == node) {
+            by_relation
+                .entry(relation_key(&tuple.relation))
+                .or_default()
+                .push(tuple);
+            for (col, value) in tuple.args.iter().enumerate() {
+                by_column
+                    .entry(column_key(&tuple.relation, col, value))
+                    .or_default()
+                    .push(tuple);
+            }
+        }
+        LocalDomain { by_relation, by_column }
+    }
+
+    /// Candidates for joining `atom` under `bindings`: the bucket of the
+    /// first bound argument column, or the whole relation when none is bound.
+    fn candidates(&self, atom: &Atom, bindings: &Bindings) -> &[&'a Tuple] {
+        let probe = atom
+            .args
+            .iter()
+            .enumerate()
+            .find_map(|(col, term)| term.resolve(bindings).map(|v| (col, v)));
+        let bucket = match probe {
+            Some((col, value)) => self.by_column.get(&column_key(&atom.relation, col, &value)),
+            None => self.by_relation.get(&relation_key(&atom.relation)),
+        };
+        bucket.map(Vec::as_slice).unwrap_or(&[])
+    }
+}
+
 /// Trace one rule's local body join against the present tuples.
 fn trace_local(
     rule: &Rule,
     node: NodeId,
     pattern: &Tuple,
-    present: &[Tuple],
+    domain: &LocalDomain<'_>,
     bindings: Bindings,
 ) -> Vec<AbsenceWitness> {
-    // Rule bodies only see tuples homed at the evaluation site.
-    let local: Vec<&Tuple> = present.iter().filter(|t| t.location == node).collect();
     let mut partials: Vec<Bindings> = vec![bindings];
     for atom in &rule.body {
         let mut next = Vec::new();
         for bound in &partials {
-            for candidate in &local {
+            for candidate in domain.candidates(atom, bound) {
                 let mut extended = bound.clone();
                 if atom.matches(candidate, &mut extended) {
                     next.push(extended);

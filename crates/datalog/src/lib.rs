@@ -17,6 +17,11 @@
 //!   *localized*: all body atoms of a rule must live on one node, and if the
 //!   head lives elsewhere the derived tuple is shipped there as a `+τ` / `-τ`
 //!   notification, exactly as in the paper's MinCost example (Figure 2).
+//! * [`store`] — the multi-index, copy-on-write tuple store behind the
+//!   engine: per-relation and per-(relation, column, value) indexes over an
+//!   `Arc`-swapped snapshot give lock-free readers and O(k) join probes.
+//! * [`naive`] — the retained naive-scan reference engine, kept as the
+//!   differential-test oracle and benchmark baseline for the indexed engine.
 //! * [`snapshot`] — the deterministic byte codec machines use to serialize
 //!   their complete state when a log epoch is sealed, so queriers can restore
 //!   the state and replay only the suffix after a checkpoint (§5.6).
@@ -37,17 +42,21 @@
 pub mod absence;
 pub mod engine;
 pub mod machine;
+pub mod naive;
 pub mod parser;
 pub mod rule;
 pub mod snapshot;
+pub mod store;
 pub mod tuple;
 pub mod value;
 
 pub use absence::{trace_absence, AbsenceWitness};
 pub use engine::{Engine, RuleSet};
 pub use machine::{MachineFactory, Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
+pub use naive::NaiveEngine;
 pub use rule::{AggKind, Atom, Constraint, Expr, Rule, RuleKind, Term};
 pub use snapshot::{SnapshotError, SnapshotReader, SnapshotWriter};
 pub use snp_crypto::keys::NodeId;
+pub use store::{EvalMetrics, RuleEval, StoreSnapshot, TupleStore};
 pub use tuple::Tuple;
 pub use value::Value;

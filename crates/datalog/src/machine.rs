@@ -13,6 +13,7 @@
 //! serve all three provenance-extraction methods of §5.3.
 
 use crate::absence::AbsenceWitness;
+use crate::store::EvalMetrics;
 use crate::tuple::Tuple;
 use snp_crypto::keys::NodeId;
 use std::fmt;
@@ -201,6 +202,17 @@ pub trait StateMachine: Send {
     fn absence_of(&self, pattern: &Tuple, present: &[Tuple], peers: &[NodeId]) -> Vec<AbsenceWitness> {
         let _ = (pattern, present, peers);
         Vec::new()
+    }
+
+    /// Per-rule evaluation counters (fires, index probes, candidates)
+    /// accumulated since construction or restore.
+    ///
+    /// Rule-driven machines report real counters; hand-written machines keep
+    /// the empty default.  The querier folds these into `QueryStats` after a
+    /// replay.  Counters must be deterministic (they are compared across
+    /// serial and parallel audits of the same history).
+    fn eval_metrics(&self) -> EvalMetrics {
+        EvalMetrics::default()
     }
 
     /// A short name identifying the machine type (for diagnostics).

@@ -24,7 +24,7 @@ use crate::history::{Event, EventKind, History, Message, MessageBody};
 use crate::vertex::{Color, Timestamp, Vertex, VertexId, VertexKind};
 use snp_crypto::keys::NodeId;
 use snp_crypto::Digest;
-use snp_datalog::{Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta};
+use snp_datalog::{EvalMetrics, Polarity, SmInput, SmOutput, StateMachine, Tuple, TupleDelta};
 use std::collections::BTreeMap;
 
 /// An entry of the `pending` set: a send the machine produced that has not
@@ -156,12 +156,24 @@ impl GraphBuilder {
     }
 
     /// Run the algorithm over a full history and return the graph.
-    pub fn build(mut self, history: &History) -> ProvenanceGraph {
+    pub fn build(self, history: &History) -> ProvenanceGraph {
+        self.build_traced(history).0
+    }
+
+    /// Like [`GraphBuilder::build`], but also report the per-rule evaluation
+    /// counters (fires, index probes, candidates) accumulated by the replay
+    /// machines while re-executing the history, summed across nodes.  The
+    /// querier folds these into its `QueryStats`.
+    pub fn build_traced(mut self, history: &History) -> (ProvenanceGraph, EvalMetrics) {
         for event in history.events() {
             self.step(event);
         }
         self.finalize();
-        self.graph
+        let mut metrics = EvalMetrics::default();
+        for machine in self.machines.values() {
+            metrics.merge(&machine.eval_metrics());
+        }
+        (self.graph, metrics)
     }
 
     /// Run the algorithm over a history, then register the given extra

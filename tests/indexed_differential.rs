@@ -1,0 +1,220 @@
+//! Deployment-level differential tests of the indexed engine against the
+//! retained naive-scan reference ([`snp::datalog::NaiveEngine`]).
+//!
+//! The unit-level differential in `snp-datalog` proves the two engines
+//! agree input-by-input; these tests pit them against each other through
+//! the *whole* pipeline — secure logging, commitment, checkpointing, audit
+//! replay (the querier's expected machines are swapped too), positive and
+//! negative macroqueries, serial and parallel audit scheduling.  Everything
+//! externally observable must be byte-identical: node fingerprints (which
+//! hash the machine snapshots), rendered explanations, audit colors,
+//! verdict sets, and the non-timing cost accounting.  The only permitted
+//! difference is `QueryStats::rule_evals`: the scan reference deliberately
+//! reports no evaluation counters.
+
+// Test code may unwrap: a panic is the assertion.
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
+use snp::apps::mincost::{link, mincost_rules};
+use snp::core::deploy::Deployment;
+use snp::core::query::QueryResult;
+use snp::core::ByzantineConfig;
+use snp::crypto::keys::NodeId;
+use snp::datalog::{Engine, NaiveEngine, Tuple, Value};
+use snp::sim::rng::DetRng;
+use snp::sim::SimTime;
+
+const N: u64 = 4;
+
+/// The fault injections the differential covers: clean runs, tampered logs
+/// (red evidence) and refused retrievals (yellow evidence).
+#[derive(Clone, Copy, Debug)]
+enum Fault {
+    None,
+    Tamper(u64),
+    Refuse(u64),
+}
+
+/// A random link set over routers `1..=n` derived from `case`.
+fn arbitrary_links(case: u64, salt: u64) -> Vec<(u64, u64, i64)> {
+    let mut rng = DetRng::new(case.wrapping_mul(0xa5a5).wrapping_add(salt));
+    let count = 3 + rng.next_below(6) as usize;
+    (0..count)
+        .map(|_| {
+            (
+                1 + rng.next_below(N),
+                1 + rng.next_below(N),
+                1 + rng.next_below(19) as i64,
+            )
+        })
+        .filter(|(a, b, _)| a != b)
+        .collect()
+}
+
+/// Build and run a MinCost deployment whose routers — and whose querier's
+/// expected replay machines — are either all indexed or all naive-scan.
+fn deployment(case: u64, fault: Fault, naive: bool, threads: usize) -> Deployment {
+    let mut builder = Deployment::builder().seed(7).secure(true);
+    for i in 1..=N {
+        builder = if naive {
+            builder.node(NodeId(i), |id| Box::new(NaiveEngine::new(id, mincost_rules())))
+        } else {
+            builder.node(NodeId(i), |id| Box::new(Engine::new(id, mincost_rules())))
+        };
+    }
+    match fault {
+        Fault::None => {}
+        Fault::Tamper(node) => {
+            builder = builder.byzantine(
+                NodeId(node),
+                ByzantineConfig {
+                    tamper_log_drop_entry: Some(0),
+                    ..Default::default()
+                },
+            );
+        }
+        Fault::Refuse(node) => {
+            builder = builder.byzantine(
+                NodeId(node),
+                ByzantineConfig {
+                    refuse_retrieve: true,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+    // A guaranteed ring so every node logs activity, plus random topology.
+    for i in 1..=N {
+        builder = builder.insert_at(
+            SimTime::from_millis(i),
+            NodeId(i),
+            link(NodeId(i), NodeId(i % N + 1), 10),
+        );
+    }
+    for (idx, (a, b, cost)) in arbitrary_links(case, 0).into_iter().enumerate() {
+        let at = SimTime::from_millis(10 + idx as u64);
+        builder = builder
+            .insert_at(at, NodeId(a), link(NodeId(a), NodeId(b), cost))
+            .insert_at(at, NodeId(b), link(NodeId(b), NodeId(a), cost));
+    }
+    let mut tb = builder.build();
+    tb.querier.set_query_threads(threads);
+    tb.run_until(SimTime::from_secs(25));
+    tb
+}
+
+/// The deterministic positive query target: the first `bestCost` tuple, in
+/// node order.  Both engines must agree it exists.
+fn positive_target(tb: &Deployment) -> Tuple {
+    (1..=N)
+        .flat_map(|i| tb.handles[&NodeId(i)].with(|node| node.current_tuples()))
+        .find(|t| t.relation == "bestCost")
+        .expect("the guaranteed ring always derives a bestCost")
+}
+
+/// Everything externally observable must match, modulo the evaluation
+/// counters the scan reference deliberately lacks.
+fn assert_matches(context: &str, indexed: &QueryResult, scan: &QueryResult) {
+    assert_eq!(indexed.root, scan.root, "{context}: root");
+    assert_eq!(indexed.render(), scan.render(), "{context}: render");
+    assert_eq!(
+        indexed.implicated_nodes(),
+        scan.implicated_nodes(),
+        "{context}: implicated"
+    );
+    assert_eq!(indexed.suspect_nodes(), scan.suspect_nodes(), "{context}: suspects");
+    let colors = |r: &QueryResult| -> Vec<(NodeId, String)> {
+        r.audits.iter().map(|(n, a)| (*n, format!("{:?}", a.color))).collect()
+    };
+    assert_eq!(colors(indexed), colors(scan), "{context}: audit colors");
+    let mut a = indexed.stats.without_timing();
+    let mut b = scan.stats.without_timing();
+    assert!(b.rule_evals.is_empty(), "{context}: the scan reference has no counters");
+    a.rule_evals.clear();
+    b.rule_evals.clear();
+    assert_eq!(a, b, "{context}: stats modulo timing and eval counters");
+}
+
+/// Node fingerprints — what snp-check's state hashing and the audit
+/// protocol's commitments are built from — must be byte-identical between
+/// the two engines after identical workloads, faults included.
+#[test]
+fn node_fingerprints_are_engine_independent() {
+    for case in 0..3u64 {
+        for fault in [Fault::None, Fault::Tamper(1 + case % N)] {
+            let indexed = deployment(case, fault, false, 1);
+            let scan = deployment(case, fault, true, 1);
+            for i in 1..=N {
+                assert_eq!(
+                    indexed.handles[&NodeId(i)].with(|n| n.fingerprint()).to_hex(),
+                    scan.handles[&NodeId(i)].with(|n| n.fingerprint()).to_hex(),
+                    "case {case} {fault:?}: node {i} fingerprint diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Positive macroqueries (`why_exists`) agree between the engines at every
+/// worker count, under clean and faulty runs alike — and the indexed
+/// engine's evaluation counters are themselves thread-count invariant.
+#[test]
+fn positive_queries_match_scan_reference_at_all_thread_counts() {
+    for case in 0..2u64 {
+        for fault in [
+            Fault::None,
+            Fault::Tamper(1 + case % N),
+            Fault::Refuse(1 + (case + 1) % N),
+        ] {
+            let mut reference_evals = None;
+            for threads in [1usize, 2, 8] {
+                let mut indexed = deployment(case, fault, false, threads);
+                let mut scan = deployment(case, fault, true, threads);
+                let target = positive_target(&indexed);
+                assert_eq!(target, positive_target(&scan), "case {case}: engines disagree on state");
+                let host = target.location;
+                let a = indexed.querier.why_exists(target.clone()).at(host).run();
+                let b = scan.querier.why_exists(target).at(host).run();
+                assert_matches(&format!("case {case} {fault:?} pos x{threads}"), &a, &b);
+                // Replay only runs on audits that are still clean after log
+                // verification, so only fault-free runs are guaranteed to
+                // surface evaluation counters.
+                if matches!(fault, Fault::None) {
+                    assert!(
+                        !a.stats.rule_evals.is_empty(),
+                        "case {case}: replay must surface evaluation counters"
+                    );
+                }
+                let evals = a.stats.rule_evals.clone();
+                match &reference_evals {
+                    None => reference_evals = Some(evals),
+                    Some(reference) => assert_eq!(
+                        reference, &evals,
+                        "case {case} {fault:?} x{threads}: rule_evals must not depend on scheduling"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Negative macroqueries (`why_absent` of a never-derivable wildcard
+/// pattern — the full absence pipeline, including the indexed candidate
+/// enumeration in the absence tracer) agree between the engines at every
+/// worker count.
+#[test]
+fn negative_queries_match_scan_reference_at_all_thread_counts() {
+    let pattern = || Tuple::new("bestCost", NodeId(1), vec![Value::Node(NodeId(9)), Value::Wild]);
+    for case in 0..2u64 {
+        for fault in [Fault::None, Fault::Refuse(1 + case % N)] {
+            for threads in [1usize, 2, 8] {
+                let mut indexed = deployment(case, fault, false, threads);
+                let mut scan = deployment(case, fault, true, threads);
+                let a = indexed.querier.why_absent(pattern()).at(NodeId(1)).run();
+                let b = scan.querier.why_absent(pattern()).at(NodeId(1)).run();
+                assert!(a.root.is_some(), "case {case}: the absence must anchor");
+                assert_matches(&format!("case {case} {fault:?} neg x{threads}"), &a, &b);
+            }
+        }
+    }
+}
