@@ -715,6 +715,82 @@ impl ChordScenario {
         let deployment = Deployment::builder().seed(seed).secure(secure).app(app).build();
         (deployment, ring)
     }
+
+    /// Draw a deterministic churn plan for this scenario: roughly `percent`%
+    /// of the ring (at least one node) crash-stops partway through the run
+    /// and recovers before it ends.
+    ///
+    /// The plan depends only on `(scenario, seed)`, so identical runs —
+    /// including the wheel-vs-heap scheduler differential and a CI re-run —
+    /// see byte-identical membership flips.
+    pub fn churn_plan(&self, seed: u64, percent: u64) -> ChurnPlan {
+        let mut rng = snp_sim::rng::DetRng::new(seed).fork("chord-churn");
+        let count = ((self.nodes * percent) / 100).max(1);
+        let mut victims = BTreeSet::new();
+        while (victims.len() as u64) < count.min(self.nodes) {
+            victims.insert(NodeId(1 + rng.next_below(self.nodes)));
+        }
+        let duration_ms = self.duration_s * 1000;
+        let mut events = Vec::new();
+        for node in victims {
+            // Down somewhere in the second quarter of the run, back up at
+            // least two seconds later and before the final quarter, so every
+            // victim exercises both the crashed and the recovered regime.
+            let down_ms = rng.next_range(duration_ms / 4, duration_ms / 2);
+            let up_ms = down_ms + 2000 + rng.next_below((duration_ms / 4).max(1));
+            events.push(ChurnEvent {
+                at: SimTime::from_millis(down_ms),
+                node,
+                up: false,
+            });
+            events.push(ChurnEvent {
+                at: SimTime::from_millis(up_ms),
+                node,
+                up: true,
+            });
+        }
+        events.sort_by_key(|e| (e.at, e.node, e.up));
+        ChurnPlan { events }
+    }
+}
+
+/// One membership flip in a [`ChurnPlan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// Global simulation time of the flip.
+    pub at: SimTime,
+    /// The node crashing or recovering.
+    pub node: NodeId,
+    /// `false` = crash-stop, `true` = recover.
+    pub up: bool,
+}
+
+/// A deterministic churn schedule: time-ordered crash/recover flips applied
+/// while a deployment runs (see [`run_with_churn`]).
+#[derive(Clone, Debug, Default)]
+pub struct ChurnPlan {
+    /// Flips sorted by `(at, node)`; each victim goes down exactly once and
+    /// comes back exactly once.
+    pub events: Vec<ChurnEvent>,
+}
+
+/// Run a deployment to `until`, applying the plan's membership flips at
+/// their scheduled instants.  Returns the number of simulator events
+/// processed.  Flips scheduled at or after `until` are skipped.
+pub fn run_with_churn(deployment: &mut Deployment, plan: &ChurnPlan, until: SimTime) -> u64 {
+    let mut processed = 0;
+    for flip in &plan.events {
+        if flip.at >= until {
+            break;
+        }
+        processed += deployment.run_until(flip.at);
+        if flip.up {
+            deployment.sim.faults.restore(flip.node);
+        } else {
+            deployment.sim.faults.crash(flip.node);
+        }
+    }
+    processed + deployment.run_until(until)
 }
 
 /// Build the Chord *Eclipse* scenario for the negative query "why does no
@@ -993,5 +1069,56 @@ mod tests {
             .filter_map(|id| result.graph.vertex(id).map(|v| v.host()))
             .collect();
         assert!(hosts.len() >= 2, "lookup provenance should span nodes: {hosts:?}");
+    }
+
+    #[test]
+    fn churn_plan_is_deterministic_and_well_formed() {
+        let scenario = ChordScenario::small(120);
+        let a = scenario.churn_plan(21, 10);
+        let b = scenario.churn_plan(21, 10);
+        assert_eq!(a.events, b.events, "same (scenario, seed) => same plan");
+        assert!(!a.events.is_empty());
+        // 10% of 50 nodes => 5 victims, each with one down and one up flip.
+        assert_eq!(a.events.len(), 10);
+        // Time-ordered, and every victim goes down before it comes back.
+        assert!(a.events.windows(2).all(|w| w[0].at <= w[1].at));
+        let mut down_at = std::collections::BTreeMap::new();
+        for flip in &a.events {
+            if flip.up {
+                let down = down_at.get(&flip.node).expect("up only after down");
+                assert!(flip.at > *down);
+            } else {
+                assert!(down_at.insert(flip.node, flip.at).is_none(), "one down per victim");
+            }
+        }
+        // A different seed draws a different plan.
+        let c = scenario.churn_plan(22, 10);
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn chord_run_with_churn_is_deterministic() {
+        let scenario = ChordScenario {
+            nodes: 20,
+            stabilize_every_s: 5,
+            fix_fingers_every_s: 10,
+            keepalive_every_s: 2,
+            lookups_per_minute: 30,
+            duration_s: 30,
+        };
+        let plan = scenario.churn_plan(21, 10);
+        let run = |plan: &ChurnPlan| {
+            let (mut tb, _) = scenario.build(false, 17, None);
+            let events = run_with_churn(&mut tb, plan, SimTime::from_secs(35));
+            (events, tb.sim.stats.clone())
+        };
+        let (events_a, stats_a) = run(&plan);
+        let (events_b, stats_b) = run(&plan);
+        assert!(events_a > 0);
+        assert_eq!(events_a, events_b);
+        assert_eq!(stats_a, stats_b, "churned runs replay byte-identically");
+        // Churn changes the execution: the fault-free run differs.
+        let (events_c, _) = run(&ChurnPlan::default());
+        assert_ne!(events_a, events_c, "crashed nodes must drop some events");
     }
 }

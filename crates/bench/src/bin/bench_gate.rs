@@ -190,6 +190,37 @@ const GATES: &[Gate] = &[
         path: "rows.2.violations",
         check: Check::Cost,
     },
+    // scheduler: the timing wheel must beat the binary-heap oracle by the
+    // acceptance floor on the mixed push/pop/cancel ramp, and the per-event
+    // step cost of a churned ring must stay within a 2x spread across
+    // deployment sizes (floor = min/max per_node_step_ns >= 0.5).  Event
+    // counts per scaling row are fully deterministic: a drift in either
+    // direction means the simulated workload itself changed.
+    Gate {
+        file: "BENCH_sched.json",
+        path: "throughput.speedup",
+        check: Check::Min(5.0),
+    },
+    Gate {
+        file: "BENCH_sched.json",
+        path: "scaling.flatness_floor",
+        check: Check::Min(0.5),
+    },
+    Gate {
+        file: "BENCH_sched.json",
+        path: "scaling.rows.0.events",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_sched.json",
+        path: "scaling.rows.1.events",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_sched.json",
+        path: "scaling.rows.2.events",
+        check: Check::Band,
+    },
 ];
 
 /// Resolve a dotted path, expanding `#last` to the final index of the array

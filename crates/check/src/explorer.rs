@@ -126,7 +126,7 @@ pub fn instantiate(scenario: &dyn Scenario) -> Instance {
     // per action, so the sender id identifies the action.  This also
     // schedules the start events, so the initial fingerprint is complete.
     let mut adversary_seqs = BTreeMap::new();
-    for event in deployment.sim.pending() {
+    for event in deployment.sim.pending_iter() {
         if let PendingKind::Deliver { from, .. } = event.kind {
             // `try_from` (not `as`) so an out-of-range id can never truncate
             // into a valid index on 32-bit targets.
@@ -163,13 +163,11 @@ impl Instance {
     ///   flips at the current clock), or be dropped.  This is what sweeps
     ///   the Byzantine action timing across the execution.
     pub fn enabled(&mut self) -> Vec<PendingEvent> {
-        let pending: Vec<PendingEvent> = self
-            .deployment
-            .sim
-            .pending()
-            .into_iter()
-            .filter(|e| e.at <= self.horizon)
-            .collect();
+        // Stream the queue's ordered cursor and filter while walking it, so
+        // each probe touches only the horizon's prefix bookkeeping instead of
+        // cloning and sorting the entire queue (the old `events()` cost).
+        let horizon = self.horizon;
+        let pending: Vec<PendingEvent> = self.deployment.sim.pending_iter().filter(|e| e.at <= horizon).collect();
         let min_protocol = pending
             .iter()
             .filter(|e| !self.adversary_seqs.contains_key(&e.seq))
@@ -271,7 +269,10 @@ pub fn fingerprint(deployment: &Deployment) -> Digest {
             buf.push_str("halted;");
         }
     }
-    let mut events = deployment.sim.queue_events();
+    // The cursor already yields (at, seq) order; the stable per-class re-sort
+    // over a presorted sequence is near-linear and keeps the digest text
+    // byte-identical to the pre-wheel fingerprints.
+    let mut events: Vec<_> = deployment.sim.queue_iter().collect();
     events.sort_by_key(|e| (e.at, event_class(&e.kind), e.seq));
     for event in events {
         let _ = write!(buf, "[{}:{:?}]", event.at.as_micros(), event.kind);

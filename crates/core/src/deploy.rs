@@ -175,6 +175,7 @@ pub struct DeploymentBuilder {
     retain_epochs: Option<usize>,
     batch_window: Option<SimDuration>,
     query_threads: Option<usize>,
+    sched: Option<snp_sim::SchedImpl>,
     apps: Vec<Box<dyn Application>>,
     byzantine: Vec<(NodeId, ByzantineConfig)>,
     proxy: Vec<(NodeId, usize)>,
@@ -212,6 +213,7 @@ impl Default for DeploymentBuilder {
             retain_epochs: None,
             batch_window: None,
             query_threads: None,
+            sched: None,
             apps: Vec::new(),
             byzantine: Vec::new(),
             proxy: Vec::new(),
@@ -308,6 +310,19 @@ impl DeploymentBuilder {
     /// mode, never the outcome.
     pub fn batch_window(mut self, window: SimDuration) -> DeploymentBuilder {
         self.batch_window = Some(window);
+        self
+    }
+
+    /// Run the simulator on an explicit event-queue implementation (the
+    /// timing wheel, or the binary-heap oracle it is differentially tested
+    /// against).  Defaults to the wheel.  The environment variable
+    /// `SNP_SCHED` (`wheel` / `heap`, strict-parsed) overrides whatever the
+    /// builder configures, so the whole suite can be re-run on the oracle
+    /// queue without code changes.  Either implementation produces
+    /// byte-identical runs — pop order, traffic, fingerprints — only the
+    /// scheduling cost differs.
+    pub fn sched(mut self, imp: snp_sim::SchedImpl) -> DeploymentBuilder {
+        self.sched = Some(imp);
         self
     }
 
@@ -411,6 +426,12 @@ impl DeploymentBuilder {
         }
         let (_, _, registry) = KeyRegistry::deployment(max_id + 1);
         let t_prop_micros = self.network.t_prop.as_micros();
+        // The scheduler selector: `SNP_SCHED` (strict-parsed, so a typo is a
+        // typed ConfigError rather than a panic deep inside `Simulator::new`)
+        // overrides the builder, which defaults to the wheel.
+        let sched = env_override::<snp_sim::SchedImpl>("SNP_SCHED", "\"wheel\" or \"heap\"")?
+            .or(self.sched)
+            .unwrap_or(snp_sim::SchedImpl::Wheel);
         let batch_window_micros = env_override::<u64>(
             "SNP_BATCH_WINDOW",
             "an integer number of microseconds (e.g. SNP_BATCH_WINDOW=100000 for a 100 ms window; \
@@ -422,7 +443,7 @@ impl DeploymentBuilder {
         // transmitted and its ack another at the receiver, so the replay
         // bound the querier judges missing acks by is Tprop + Tbatch.
         let mut deployment = Deployment {
-            sim: Simulator::new(self.network, self.seed),
+            sim: Simulator::with_sched(self.network, self.seed, sched),
             handles: BTreeMap::new(),
             querier: Querier::new(registry.clone(), t_prop_micros + batch_window_micros),
             secure: self.secure,

@@ -1,14 +1,24 @@
-//! The simulator's event queue.
+//! The simulator's event queue: a hierarchical timing wheel, with the
+//! historical binary heap retained as a differential oracle.
 //!
 //! Events are ordered by global simulation time with a monotonically
 //! increasing sequence number as a tiebreaker, which makes event processing
-//! fully deterministic even when many events share a timestamp.
+//! fully deterministic even when many events share a timestamp.  Both queue
+//! implementations pop in *exactly* the same `(at, seq)` order; the
+//! randomized lockstep test in `tests/sched_differential.rs` and the
+//! `SNP_SCHED=heap` CI leg hold them to it.
+//!
+//! The wheel ([`SchedImpl::Wheel`], the default) gives O(1) amortized
+//! push/pop and O(1) expected removal by sequence number; the heap
+//! ([`SchedImpl::Heap`]) pays O(log n) per operation and O(n) per removal
+//! scan, which is what capped fig9 at a few hundred nodes.  See DESIGN.md
+//! "Scheduler architecture" for the layout and the determinism argument.
 
 use crate::node::TimerId;
 use crate::time::SimTime;
 use snp_crypto::keys::NodeId;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 /// What happens when an event fires.
 #[derive(Clone, Debug)]
@@ -67,11 +77,66 @@ impl<P> Ord for Event<P> {
     }
 }
 
+/// Which event-queue implementation a simulator runs on.
+///
+/// Selected by the `SNP_SCHED` environment variable (`wheel` is the
+/// default; `heap` re-enables the historical binary-heap queue as a
+/// differential oracle).  Parsing is strict: a malformed value is an error,
+/// never a silent fallback — an experiment must not quietly run on a
+/// scheduler the operator did not ask for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SchedImpl {
+    /// Hierarchical timing wheel: O(1) amortized push/pop, O(1) expected
+    /// removal by seq.  The default.
+    Wheel,
+    /// Binary heap: the pre-wheel implementation, kept as an oracle until
+    /// retired.  O(log n) push/pop, O(n) removal scan.
+    Heap,
+}
+
+impl std::str::FromStr for SchedImpl {
+    type Err = String;
+    fn from_str(s: &str) -> Result<SchedImpl, String> {
+        match s {
+            "wheel" => Ok(SchedImpl::Wheel),
+            "heap" => Ok(SchedImpl::Heap),
+            other => Err(format!("unknown scheduler {other:?}")),
+        }
+    }
+}
+
+impl SchedImpl {
+    /// Read the `SNP_SCHED` override (default: [`SchedImpl::Wheel`]).
+    ///
+    /// A malformed value is an `Err` so callers can surface it loudly;
+    /// [`EventQueue::new`] panics on it rather than guessing.
+    pub fn from_env() -> Result<SchedImpl, String> {
+        match std::env::var("SNP_SCHED") {
+            Err(_) => Ok(SchedImpl::Wheel),
+            Ok(raw) => raw
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid SNP_SCHED={raw:?}: expected \"wheel\" or \"heap\"")),
+        }
+    }
+}
+
 /// A deterministic priority queue of events.
+///
+/// The façade owns sequence-number allocation (one monotone counter,
+/// assigned at push) so both implementations see identical `(at, seq)`
+/// keys for identical push histories — the bedrock of the lockstep
+/// differential oracle.
 #[derive(Debug)]
 pub struct EventQueue<P> {
-    heap: BinaryHeap<Event<P>>,
+    imp: QueueImpl<P>,
     next_seq: u64,
+}
+
+#[derive(Debug)]
+enum QueueImpl<P> {
+    Wheel(Wheel<P>),
+    Heap(HeapQueue<P>),
 }
 
 impl<P> Default for EventQueue<P> {
@@ -81,11 +146,32 @@ impl<P> Default for EventQueue<P> {
 }
 
 impl<P> EventQueue<P> {
-    /// Create an empty queue.
+    /// Create an empty queue on the scheduler selected by `SNP_SCHED`.
+    ///
+    /// Panics on a malformed `SNP_SCHED` value (strict parse, no silent
+    /// fallback); `snp-core`'s deployment builder pre-validates the variable
+    /// and reports the same condition as a typed `ConfigError`.
     pub fn new() -> EventQueue<P> {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
+        match SchedImpl::from_env() {
+            Ok(imp) => EventQueue::with_impl(imp),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Create an empty queue on an explicitly chosen implementation.
+    pub fn with_impl(imp: SchedImpl) -> EventQueue<P> {
+        let imp = match imp {
+            SchedImpl::Wheel => QueueImpl::Wheel(Wheel::new()),
+            SchedImpl::Heap => QueueImpl::Heap(HeapQueue::new()),
+        };
+        EventQueue { imp, next_seq: 0 }
+    }
+
+    /// Which implementation this queue runs on.
+    pub fn sched_impl(&self) -> SchedImpl {
+        match self.imp {
+            QueueImpl::Wheel(_) => SchedImpl::Wheel,
+            QueueImpl::Heap(_) => SchedImpl::Heap,
         }
     }
 
@@ -93,58 +179,635 @@ impl<P> EventQueue<P> {
     pub fn push(&mut self, at: SimTime, kind: EventKind<P>) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        let event = Event { at, seq, kind };
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.push(event),
+            QueueImpl::Heap(h) => h.push(event),
+        }
     }
 
     /// Pop the earliest event, if any.
     pub fn pop(&mut self) -> Option<Event<P>> {
-        self.heap.pop()
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.pop(),
+            QueueImpl::Heap(h) => h.pop(),
+        }
     }
 
     /// Time of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match &self.imp {
+            QueueImpl::Wheel(w) => w.peek_time(),
+            QueueImpl::Heap(h) => h.peek_time(),
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.imp {
+            QueueImpl::Wheel(w) => w.live,
+            QueueImpl::Heap(h) => h.live,
+        }
     }
 
     /// Whether the queue is empty.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
+    }
+
+    /// Iterate all pending events in deterministic `(at, seq)` order
+    /// without copying or sorting the whole queue.
+    ///
+    /// On the wheel this walks the due/ready stages and then the wheel's own
+    /// bucket order (levels near-to-far, slots in time order), sorting one
+    /// bucket at a time; on the heap oracle it falls back to collect-and-sort.
+    /// This is the inspection surface the model checker uses to enumerate
+    /// candidate transitions without disturbing the queue.
+    pub fn iter(&self) -> EventIter<'_, P> {
+        match &self.imp {
+            QueueImpl::Wheel(w) => w.iter(),
+            QueueImpl::Heap(h) => h.iter(),
+        }
     }
 
     /// All pending events in deterministic `(at, seq)` order.
     ///
-    /// This is the inspection surface the model checker uses to enumerate
-    /// candidate transitions without disturbing the queue.
+    /// Convenience wrapper collecting [`EventQueue::iter`]; callers on a hot
+    /// path should prefer the iterator.
     pub fn events(&self) -> Vec<&Event<P>> {
-        let mut all: Vec<&Event<P>> = self.heap.iter().collect();
-        all.sort_by_key(|e| (e.at, e.seq));
-        all
+        self.iter().collect()
+    }
+}
+
+impl<P: Clone> EventQueue<P> {
+    /// Remove and return the event with the given sequence number, or `None`
+    /// if no such event is pending.
+    ///
+    /// On the wheel this is O(1) expected: a seq → timestamp index locates
+    /// the bucket directly.  On the heap oracle the event is *tombstoned*
+    /// (lazy deletion): the entry stays in the heap, marked dead, and is
+    /// discarded when it surfaces — `len()` and pop order account for
+    /// tombstones immediately, and nothing is drained or rebuilt.
+    pub fn remove(&mut self, seq: u64) -> Option<Event<P>> {
+        match &mut self.imp {
+            QueueImpl::Wheel(w) => w.remove(seq),
+            QueueImpl::Heap(h) => h.remove(seq),
+        }
+    }
+}
+
+// ---- the heap oracle --------------------------------------------------------
+
+/// The historical binary-heap queue, kept verbatim in spirit as the
+/// differential oracle, with one fix: removal by seq now uses tombstoned
+/// lazy deletion instead of draining and rebuilding the heap.
+///
+/// Invariant: the heap's top entry is never a tombstone (tombstones are
+/// purged whenever they reach the top), so `peek_time` stays O(1) and
+/// borrow-free.
+#[derive(Debug)]
+struct HeapQueue<P> {
+    heap: BinaryHeap<Event<P>>,
+    /// Seqs removed but still physically present in the heap.
+    tombstones: BTreeSet<u64>,
+    /// Live (non-tombstoned) entry count.
+    live: usize,
+}
+
+impl<P> HeapQueue<P> {
+    fn new() -> HeapQueue<P> {
+        HeapQueue {
+            heap: BinaryHeap::new(),
+            tombstones: BTreeSet::new(),
+            live: 0,
+        }
     }
 
-    /// Remove and return the event with the given sequence number.
-    ///
-    /// `BinaryHeap` has no random removal, so this drains and rebuilds the
-    /// heap — O(n), which is fine for the small queues a model-checked
-    /// deployment carries.  Returns `None` if no such event is pending.
-    pub fn remove(&mut self, seq: u64) -> Option<Event<P>> {
-        if !self.heap.iter().any(|e| e.seq == seq) {
+    fn push(&mut self, event: Event<P>) {
+        self.heap.push(event);
+        self.live += 1;
+    }
+
+    /// Discard tombstoned entries sitting at the top of the heap.
+    fn purge_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if !self.tombstones.remove(&top.seq) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        let event = self.heap.pop()?;
+        debug_assert!(!self.tombstones.contains(&event.seq), "top is never a tombstone");
+        self.live -= 1;
+        self.purge_top();
+        Some(event)
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    fn iter(&self) -> EventIter<'_, P> {
+        let mut all: Vec<&Event<P>> = self.heap.iter().filter(|e| !self.tombstones.contains(&e.seq)).collect();
+        all.sort_by_key(|e| (e.at, e.seq));
+        EventIter {
+            inner: IterImpl::Sorted { events: all, pos: 0 },
+        }
+    }
+}
+
+impl<P: Clone> HeapQueue<P> {
+    fn remove(&mut self, seq: u64) -> Option<Event<P>> {
+        if self.tombstones.contains(&seq) {
             return None;
         }
-        let mut removed = None;
-        let drained = std::mem::take(&mut self.heap);
-        for event in drained.into_vec() {
-            if event.seq == seq {
-                removed = Some(event);
-            } else {
-                self.heap.push(event);
+        let event = self.heap.iter().find(|e| e.seq == seq)?.clone();
+        self.tombstones.insert(seq);
+        self.live -= 1;
+        self.purge_top();
+        Some(event)
+    }
+}
+
+// ---- the hierarchical timing wheel ------------------------------------------
+
+/// Bits per wheel level: 64 slots each.
+const SLOT_BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << SLOT_BITS;
+/// Levels covering the full 64-bit microsecond timeline (6 × 11 = 66 bits).
+const LEVELS: usize = 11;
+
+/// A hierarchical timing wheel keyed by absolute firing time in microseconds.
+///
+/// Level `l` partitions the timeline into slots of `64^l` ticks; an event
+/// lives at the lowest level whose slot, relative to the cursor `current`,
+/// still distinguishes it from `current` (tokio/Linux-timer style XOR
+/// indexing: `level = highest_differing_bit(at ^ current) / 6`).  Advancing
+/// the cursor into a level-`l ≥ 1` slot *cascades* its events down; a
+/// level-0 slot holds events of exactly one tick, which drain into `ready`
+/// in seq order.  Each event cascades at most `LEVELS - 1` times, so push
+/// and pop are O(1) amortized with no comparison sorting on the hot path.
+///
+/// Ordering invariants (the determinism argument):
+/// * every `due` event fires at or before `current`, every `ready` event at
+///   exactly `current`, every wheel event strictly after `current`;
+/// * within a level, occupied slots hold strictly increasing time ranges,
+///   and lower levels strictly precede higher ones;
+/// * a level-0 slot's events share one timestamp, so sorting the slot by
+///   `seq` alone reproduces the global `(at, seq)` order.
+#[derive(Debug)]
+struct Wheel<P> {
+    /// `LEVELS × SLOTS` buckets, row-major (`level * SLOTS + slot`).
+    slots: Vec<Vec<Event<P>>>,
+    /// Per-level occupancy bitmap (bit `s` ⇔ slot `s` non-empty).
+    occupied: [u64; LEVELS],
+    /// Summary of `occupied` (bit `l` ⇔ level `l` has a non-empty slot), so
+    /// finding the earliest event is two `trailing_zeros`, not a level scan.
+    level_mask: u16,
+    /// Events at or before `current` (late injections, and same-tick pushes
+    /// arriving after the cursor), in pop order.
+    due: BTreeMap<(SimTime, u64), Event<P>>,
+    /// Events at exactly `current`, sorted by seq *descending* (popped from
+    /// the back).
+    ready: Vec<Event<P>>,
+    /// The wheel cursor, in microseconds.
+    current: u64,
+    /// seq → firing time, for O(1) removal by sequence number.
+    seq_index: SeqIndex,
+    /// Recycled bucket allocation for cascades, so redistributing a slot
+    /// does not round-trip through the allocator.
+    cascade_buf: Vec<Event<P>>,
+    /// Live event count.
+    live: usize,
+}
+
+/// seq → firing time, for O(1) removal by sequence number.
+///
+/// The façade hands out seqs sequentially, so a dense table indexed by
+/// `seq - base` beats a hash map on the hot path: inserting is an append and
+/// lookup is one indexed load — no hashing, no probing.  Entries are *not*
+/// retired on pop (that would cost a random write per event); instead
+/// [`Wheel::remove`] treats "indexed but absent from every stage" as already
+/// fired, and [`SeqIndex::sweep`] lazily reclaims the dead prefix.  Memory
+/// is proportional to the span oldest-live-seq..newest-seq, the same bound
+/// eager retirement would give (the oldest live entry blocks trimming either
+/// way).
+#[derive(Debug, Default)]
+struct SeqIndex {
+    /// The seq stored at `at[0]`.
+    base: u64,
+    /// Firing time by `seq - base`; `None` once known dead.
+    at: Vec<Option<SimTime>>,
+    /// Length of the known-dead prefix of `at` (pending trim).
+    dead_prefix: usize,
+}
+
+impl SeqIndex {
+    fn insert(&mut self, seq: u64, at: SimTime) {
+        if self.dead_prefix == self.at.len() {
+            // Nothing retained: rebase so the table restarts at this seq.
+            self.at.clear();
+            self.dead_prefix = 0;
+            self.base = seq;
+        }
+        debug_assert!(seq >= self.base, "seqs are handed out in increasing order");
+        let idx = usize::try_from(seq - self.base).expect("seq span fits in memory");
+        if idx < self.at.len() {
+            self.at[idx] = Some(at);
+        } else {
+            self.at.resize(idx, None);
+            self.at.push(Some(at));
+        }
+    }
+
+    /// The recorded firing time of `seq`, if the entry has not been
+    /// reclaimed.  May be stale (the event already fired); the caller
+    /// disambiguates by looking in the stage the time names.
+    fn get(&self, seq: u64) -> Option<SimTime> {
+        let idx = usize::try_from(seq.checked_sub(self.base)?).ok()?;
+        *self.at.get(idx)?
+    }
+
+    /// Mark `seq` dead (called once an entry is known consumed).
+    fn clear(&mut self, seq: u64) {
+        if let Some(idx) = seq.checked_sub(self.base).and_then(|d| usize::try_from(d).ok()) {
+            if let Some(slot) = self.at.get_mut(idx) {
+                *slot = None;
             }
         }
-        removed
+    }
+
+    /// Lazily reclaim the dead prefix: entries whose time is strictly behind
+    /// `current` and which `is_live` disowns have fired.  Bounded work per
+    /// call; each entry is examined O(1) times across the queue's lifetime.
+    fn sweep(&mut self, current: u64, mut is_live: impl FnMut(SimTime, u64) -> bool) {
+        let mut checks = 0;
+        while self.dead_prefix < self.at.len() && checks < 4 {
+            let idx = self.dead_prefix;
+            match self.at[idx] {
+                None => self.dead_prefix += 1,
+                Some(at) if at.as_micros() < current => {
+                    checks += 1;
+                    if is_live(at, self.base + idx as u64) {
+                        break;
+                    }
+                    self.at[idx] = None;
+                    self.dead_prefix += 1;
+                }
+                // At or ahead of the cursor: possibly still pending — stop.
+                Some(_) => break,
+            }
+        }
+        if self.dead_prefix >= 4096 && self.dead_prefix * 2 >= self.at.len() {
+            self.at.drain(..self.dead_prefix);
+            self.base += self.dead_prefix as u64;
+            self.dead_prefix = 0;
+        }
+    }
+}
+
+/// The level an event at `at` occupies relative to cursor `current`.
+/// Requires `at > current`.
+#[inline]
+fn level_of(at: u64, current: u64) -> usize {
+    let diff = at ^ current;
+    debug_assert_ne!(diff, 0);
+    ((63 - diff.leading_zeros()) / SLOT_BITS) as usize
+}
+
+/// The slot index of `at` within `level` (depends only on `at`).
+#[inline]
+fn slot_of(at: u64, level: usize) -> usize {
+    // Lossless: the shifted value is masked to 6 bits.
+    #[allow(clippy::cast_possible_truncation)]
+    let slot = ((at >> (SLOT_BITS as usize * level)) & (SLOTS as u64 - 1)) as usize;
+    slot
+}
+
+impl<P> Wheel<P> {
+    fn new() -> Wheel<P> {
+        Wheel {
+            slots: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            level_mask: 0,
+            due: BTreeMap::new(),
+            ready: Vec::new(),
+            current: 0,
+            seq_index: SeqIndex::default(),
+            cascade_buf: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn push(&mut self, event: Event<P>) {
+        self.seq_index.insert(event.seq, event.at);
+        self.live += 1;
+        self.route(event);
+    }
+
+    /// Place an event into due (at ≤ cursor) or its wheel bucket (at > cursor).
+    fn route(&mut self, event: Event<P>) {
+        let at = event.at.as_micros();
+        if at <= self.current {
+            self.due.insert((event.at, event.seq), event);
+            return;
+        }
+        let level = level_of(at, self.current);
+        let slot = slot_of(at, level);
+        self.slots[level * SLOTS + slot].push(event);
+        self.occupied[level] |= 1 << slot;
+        self.level_mask |= 1 << level;
+    }
+
+    /// Advance the cursor to the earliest occupied slot, cascading
+    /// higher-level slots until a level-0 slot drains into `ready`.
+    /// Returns `false` when the wheel itself is empty.
+    fn advance(&mut self) -> bool {
+        debug_assert!(self.ready.is_empty() && self.due.is_empty());
+        loop {
+            let Some((level, slot)) = self.earliest_slot() else {
+                return false;
+            };
+            self.occupied[level] &= !(1u64 << slot);
+            if self.occupied[level] == 0 {
+                self.level_mask &= !(1 << level);
+            }
+            if level == 0 {
+                // One tick's worth of events: seq order IS (at, seq) order.
+                // Swapped (not taken) so the empty ready vector's allocation
+                // is recycled into the slot instead of hitting the allocator.
+                self.current = (self.current & !(SLOTS as u64 - 1)) | slot as u64;
+                std::mem::swap(&mut self.ready, &mut self.slots[slot]);
+                self.ready.sort_unstable_by_key(|e| std::cmp::Reverse(e.seq));
+                debug_assert!(self.ready.iter().all(|e| e.at.as_micros() == self.current));
+                return true;
+            }
+            let mut bucket = std::mem::take(&mut self.cascade_buf);
+            std::mem::swap(&mut bucket, &mut self.slots[level * SLOTS + slot]);
+            // Move the cursor to the start of the slot's time range, then
+            // redistribute its events into lower levels (or `due`, for the
+            // event landing exactly on the slot start).
+            let width = SLOT_BITS as usize * (level + 1);
+            let high = if width >= 64 {
+                0
+            } else {
+                self.current & !((1u64 << width) - 1)
+            };
+            let slot_start = high | ((slot as u64) << (SLOT_BITS as usize * level));
+            debug_assert!(slot_start >= self.current, "cursor never rewinds");
+            self.current = self.current.max(slot_start);
+            for event in bucket.drain(..) {
+                self.route(event);
+            }
+            self.cascade_buf = bucket;
+            // An event firing exactly at the slot start the cursor just
+            // reached lands in `due`; that is progress too, and it precedes
+            // everything still in the wheel.
+            if !self.due.is_empty() {
+                return true;
+            }
+        }
+    }
+
+    /// The `(level, slot)` of the earliest occupied bucket, if any.
+    ///
+    /// All live slots sit at or after the cursor's slot (events behind the
+    /// cursor are in `due`/`ready` by construction), so the lowest occupied
+    /// level's first slot is the earliest — no wraparound handling.
+    fn earliest_slot(&self) -> Option<(usize, usize)> {
+        if self.level_mask == 0 {
+            return None;
+        }
+        let level = self.level_mask.trailing_zeros() as usize;
+        let slot = self.occupied[level].trailing_zeros() as usize;
+        debug_assert!(
+            (0..LEVELS).all(|l| {
+                (self.level_mask & (1 << l) != 0) == (self.occupied[l] != 0)
+                    && self.occupied[l] & !(!0u64 << slot_of(self.current, l)) == 0
+            }),
+            "level mask mirrors occupancy and no slot is behind the cursor"
+        );
+        Some((level, slot))
+    }
+
+    fn pop(&mut self) -> Option<Event<P>> {
+        if self.live == 0 {
+            return None;
+        }
+        // Reclaim a little of the index's dead prefix on every pop; an entry
+        // strictly behind the cursor is dead unless `due` still holds it.
+        let (current, due) = (self.current, &self.due);
+        self.seq_index.sweep(current, |at, seq| due.contains_key(&(at, seq)));
+        loop {
+            // Fast path: nothing due at-or-behind the cursor (the common
+            // case), so the ready stage alone decides.
+            if self.due.is_empty() {
+                if let Some(event) = self.ready.pop() {
+                    self.live -= 1;
+                    return Some(event);
+                }
+                if !self.advance() {
+                    debug_assert_eq!(self.live, 0);
+                    return None;
+                }
+                continue;
+            }
+            let due_key = *self.due.keys().next().expect("due checked non-empty");
+            let event = match self.ready.last().map(|e| (e.at, e.seq)) {
+                Some(r) if r < due_key => self.ready.pop(),
+                _ => self.due.remove(&due_key),
+            }
+            .expect("selected stage holds an event");
+            // Due events left the wheel out of cascade order, so their index
+            // entries never reach the dead-prefix sweep cheaply; retire them
+            // eagerly (rare path).
+            self.seq_index.clear(event.seq);
+            self.live -= 1;
+            return Some(event);
+        }
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        if self.live == 0 {
+            return None;
+        }
+        // Due and ready events always precede everything still in the wheel.
+        let due = self.due.keys().next().map(|(at, _)| *at);
+        let ready = self.ready.last().map(|e| e.at);
+        match (due, ready) {
+            (Some(d), Some(r)) => Some(d.min(r)),
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (None, None) => {
+                let (level, slot) = self.earliest_slot()?;
+                if level == 0 {
+                    // A level-0 slot is a single tick.
+                    Some(SimTime((self.current & !(SLOTS as u64 - 1)) | slot as u64))
+                } else {
+                    // A coarser slot spans many ticks: scan it for the true
+                    // minimum (one O(bucket) scan per cascade, amortized away
+                    // by the cascade that follows).
+                    self.slots[level * SLOTS + slot].iter().map(|e| e.at).min()
+                }
+            }
+        }
+    }
+
+    fn iter(&self) -> EventIter<'_, P> {
+        EventIter {
+            inner: IterImpl::Wheel {
+                due: self.due.values().peekable(),
+                ready: &self.ready,
+                ready_pos: self.ready.len(),
+                wheel: self,
+                level: 0,
+                mask: self.occupied[0],
+                bucket: Vec::new(),
+                bucket_pos: 0,
+            },
+        }
+    }
+}
+
+impl<P: Clone> Wheel<P> {
+    fn remove(&mut self, seq: u64) -> Option<Event<P>> {
+        let at = self.seq_index.get(seq)?;
+        let micros = at.as_micros();
+        let event = if micros > self.current {
+            // Strictly ahead of the cursor, so it cannot have fired: the
+            // event is in the bucket its time names (an event's level/slot
+            // are stable until the cursor enters the slot's range).
+            let level = level_of(micros, self.current);
+            let slot = slot_of(micros, level);
+            let bucket = &mut self.slots[level * SLOTS + slot];
+            let pos = bucket
+                .iter()
+                .position(|e| e.seq == seq)
+                .expect("indexed future event must be in its bucket");
+            // Order within a bucket is irrelevant: level-0 drains sort by
+            // seq and the inspection cursor sorts per bucket, so swap_remove
+            // is safe.
+            let event = bucket.swap_remove(pos);
+            if bucket.is_empty() {
+                self.occupied[level] &= !(1u64 << slot);
+                if self.occupied[level] == 0 {
+                    self.level_mask &= !(1 << level);
+                }
+            }
+            event
+        } else if let Some(event) = self.due.remove(&(at, seq)) {
+            event
+        } else if let Some(pos) = self.ready.iter().position(|e| e.seq == seq) {
+            self.ready.remove(pos)
+        } else {
+            // Indexed but in no stage: the event already fired and its
+            // entry is simply awaiting the lazy sweep.
+            return None;
+        };
+        self.seq_index.clear(seq);
+        self.live -= 1;
+        Some(event)
+    }
+}
+
+// ---- the ordered inspection cursor ------------------------------------------
+
+/// Iterator over pending events in `(at, seq)` order; see
+/// [`EventQueue::iter`].
+pub struct EventIter<'a, P> {
+    inner: IterImpl<'a, P>,
+}
+
+enum IterImpl<'a, P> {
+    /// Pre-sorted snapshot (heap oracle).
+    Sorted { events: Vec<&'a Event<P>>, pos: usize },
+    /// Streaming walk of the wheel's stages and buckets.
+    Wheel {
+        due: std::iter::Peekable<std::collections::btree_map::Values<'a, (SimTime, u64), Event<P>>>,
+        ready: &'a [Event<P>],
+        /// Ready is seq-descending; iterate from the back.
+        ready_pos: usize,
+        wheel: &'a Wheel<P>,
+        level: usize,
+        /// Slots of `level` not yet visited.
+        mask: u64,
+        /// Current bucket's events, sorted ascending by `(at, seq)`.
+        bucket: Vec<&'a Event<P>>,
+        bucket_pos: usize,
+    },
+}
+
+impl<P> std::fmt::Debug for EventIter<'_, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventIter").finish_non_exhaustive()
+    }
+}
+
+impl<'a, P> Iterator for EventIter<'a, P> {
+    type Item = &'a Event<P>;
+
+    fn next(&mut self) -> Option<&'a Event<P>> {
+        match &mut self.inner {
+            IterImpl::Sorted { events, pos } => {
+                let event = events.get(*pos)?;
+                *pos += 1;
+                Some(event)
+            }
+            IterImpl::Wheel {
+                due,
+                ready,
+                ready_pos,
+                wheel,
+                level,
+                mask,
+                bucket,
+                bucket_pos,
+            } => {
+                // Stage 1: merge `due` and `ready` (both precede the wheel;
+                // neither is wholly before the other when timestamps tie).
+                let ready_next = ready_pos.checked_sub(1).map(|i| &ready[i]);
+                match (due.peek(), ready_next) {
+                    (Some(d), Some(r)) => {
+                        if (d.at, d.seq) < (r.at, r.seq) {
+                            return due.next();
+                        }
+                        *ready_pos -= 1;
+                        return Some(r);
+                    }
+                    (Some(_), None) => return due.next(),
+                    (None, Some(r)) => {
+                        *ready_pos -= 1;
+                        return Some(r);
+                    }
+                    (None, None) => {}
+                }
+                // Stage 2: walk wheel buckets level by level, slot by slot;
+                // each bucket is sorted on entry (buckets are small, and the
+                // whole queue is never materialized or sorted at once).
+                loop {
+                    if *bucket_pos < bucket.len() {
+                        let event = bucket[*bucket_pos];
+                        *bucket_pos += 1;
+                        return Some(event);
+                    }
+                    while *mask == 0 {
+                        *level += 1;
+                        if *level >= LEVELS {
+                            return None;
+                        }
+                        *mask = wheel.occupied[*level];
+                    }
+                    let slot = mask.trailing_zeros() as usize;
+                    *mask &= !(1u64 << slot);
+                    *bucket = wheel.slots[*level * SLOTS + slot].iter().collect();
+                    bucket.sort_unstable_by_key(|e| (e.at, e.seq));
+                    *bucket_pos = 0;
+                }
+            }
+        }
     }
 }
 
@@ -152,62 +815,187 @@ impl<P> EventQueue<P> {
 mod tests {
     use super::*;
 
+    fn both() -> [EventQueue<Vec<u8>>; 2] {
+        [
+            EventQueue::with_impl(SchedImpl::Wheel),
+            EventQueue::with_impl(SchedImpl::Heap),
+        ]
+    }
+
     #[test]
     fn events_pop_in_time_order() {
-        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
-        q.push(SimTime::from_millis(30), EventKind::Start { node: NodeId(3) });
-        q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(1) });
-        q.push(SimTime::from_millis(20), EventKind::Start { node: NodeId(2) });
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Start { node } => node.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for mut q in both() {
+            q.push(SimTime::from_millis(30), EventKind::Start { node: NodeId(3) });
+            q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(1) });
+            q.push(SimTime::from_millis(20), EventKind::Start { node: NodeId(2) });
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Start { node } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, vec![1, 2, 3]);
+        }
     }
 
     #[test]
     fn equal_times_preserve_insertion_order() {
-        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
-        for i in 0..10 {
-            q.push(SimTime::from_millis(5), EventKind::Start { node: NodeId(i) });
+        for mut q in both() {
+            for i in 0..10 {
+                q.push(SimTime::from_millis(5), EventKind::Start { node: NodeId(i) });
+            }
+            let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+                .map(|e| match e.kind {
+                    EventKind::Start { node } => node.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(order, (0..10).collect::<Vec<_>>());
         }
-        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
-            .map(|e| match e.kind {
-                EventKind::Start { node } => node.0,
-                _ => unreachable!(),
-            })
-            .collect();
-        assert_eq!(order, (0..10).collect::<Vec<_>>());
     }
 
     #[test]
     fn events_lists_in_order_and_remove_extracts_by_seq() {
-        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
-        q.push(SimTime::from_millis(30), EventKind::Start { node: NodeId(3) });
-        q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(1) });
-        q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(2) });
-        let seqs: Vec<u64> = q.events().iter().map(|e| e.seq).collect();
-        assert_eq!(seqs, vec![1, 2, 0], "sorted by (at, seq)");
+        for mut q in both() {
+            q.push(SimTime::from_millis(30), EventKind::Start { node: NodeId(3) });
+            q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(1) });
+            q.push(SimTime::from_millis(10), EventKind::Start { node: NodeId(2) });
+            let seqs: Vec<u64> = q.events().iter().map(|e| e.seq).collect();
+            assert_eq!(seqs, vec![1, 2, 0], "sorted by (at, seq)");
 
-        let removed = q.remove(2).expect("seq 2 is pending");
-        assert!(matches!(removed.kind, EventKind::Start { node: NodeId(2) }));
-        assert!(q.remove(2).is_none(), "already removed");
-        assert!(q.remove(99).is_none(), "never existed");
-        assert_eq!(q.len(), 2);
-        // Remaining events still pop in deterministic order.
-        assert_eq!(q.pop().map(|e| e.seq), Some(1));
-        assert_eq!(q.pop().map(|e| e.seq), Some(0));
+            let removed = q.remove(2).expect("seq 2 is pending");
+            assert!(matches!(removed.kind, EventKind::Start { node: NodeId(2) }));
+            assert!(q.remove(2).is_none(), "already removed");
+            assert!(q.remove(99).is_none(), "never existed");
+            assert_eq!(q.len(), 2);
+            // Remaining events still pop in deterministic order.
+            assert_eq!(q.pop().map(|e| e.seq), Some(1));
+            assert_eq!(q.pop().map(|e| e.seq), Some(0));
+        }
     }
 
     #[test]
     fn peek_and_len() {
-        let mut q: EventQueue<Vec<u8>> = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_secs(1), EventKind::Start { node: NodeId(0) });
-        assert_eq!(q.len(), 1);
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        for mut q in both() {
+            assert!(q.is_empty());
+            assert_eq!(q.peek_time(), None);
+            q.push(SimTime::from_secs(1), EventKind::Start { node: NodeId(0) });
+            assert_eq!(q.len(), 1);
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        }
+    }
+
+    /// Satellite regression: removal mid-run must preserve both the pop
+    /// order of the survivors and `len()` accuracy, on both implementations
+    /// (the heap's tombstones must never be counted or popped).
+    #[test]
+    fn removal_mid_run_preserves_pop_order_and_len() {
+        for mut q in both() {
+            for i in 0..20u64 {
+                q.push(
+                    SimTime::from_millis(100 + 10 * (i % 7)),
+                    EventKind::Start { node: NodeId(i) },
+                );
+            }
+            // Pop a few, then remove entries from the middle and the head.
+            let first = q.pop().expect("non-empty");
+            assert_eq!(q.len(), 19);
+            let head_seq = q.events()[0].seq;
+            assert!(q.remove(head_seq).is_some(), "remove the current head");
+            assert!(q.remove(13).is_some());
+            assert!(q.remove(17).is_some());
+            assert_eq!(q.len(), 16);
+            assert!(q.remove(first.seq).is_none(), "popped events are gone");
+
+            let mut popped = vec![(first.at, first.seq)];
+            while let Some(e) = q.pop() {
+                assert_ne!(e.seq, head_seq);
+                assert_ne!(e.seq, 13);
+                assert_ne!(e.seq, 17);
+                popped.push((e.at, e.seq));
+            }
+            assert_eq!(popped.len(), 17);
+            let mut sorted = popped.clone();
+            sorted.sort();
+            assert_eq!(popped, sorted, "survivors still pop in (at, seq) order");
+            assert_eq!(q.len(), 0);
+            assert_eq!(q.peek_time(), None);
+        }
+    }
+
+    /// Push times spanning every wheel level (including cascades, same-tick
+    /// bursts and late injections behind the cursor) and check total order.
+    #[test]
+    fn wheel_cascades_across_levels_in_order() {
+        let mut q: EventQueue<Vec<u8>> = EventQueue::with_impl(SchedImpl::Wheel);
+        let times = [
+            0u64,
+            1,
+            1,
+            63,
+            64,
+            65,
+            4_095,
+            4_096,
+            262_143,
+            262_144,
+            50_000,
+            50_000,
+            1 << 30,
+            (1 << 30) + 1,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        for (i, t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(*t), EventKind::Start { node: NodeId(i as u64) });
+        }
+        // Inspection order must match pop order exactly.
+        let listed: Vec<(u64, u64)> = q.events().iter().map(|e| (e.at.as_micros(), e.seq)).collect();
+        let mut popped = Vec::new();
+        // Interleave: pop half, inject one behind the cursor, drain.
+        for _ in 0..8 {
+            let e = q.pop().expect("events pending");
+            popped.push((e.at.as_micros(), e.seq));
+        }
+        q.push(SimTime::from_micros(2), EventKind::Start { node: NodeId(99) });
+        while let Some(e) = q.pop() {
+            popped.push((e.at.as_micros(), e.seq));
+        }
+        // The injected event fires immediately after the half-drain point
+        // (it is behind the cursor), and everything else in (at, seq) order.
+        let mut expected: Vec<(u64, u64)> = listed[..8].to_vec();
+        expected.push((2, 16));
+        expected.extend_from_slice(&listed[8..]);
+        assert_eq!(popped, expected);
+        let mut sorted8 = listed[..8].to_vec();
+        sorted8.sort();
+        assert_eq!(listed[..8].to_vec(), sorted8);
+    }
+
+    #[test]
+    fn sched_impl_parses_strictly() {
+        assert_eq!("wheel".parse::<SchedImpl>(), Ok(SchedImpl::Wheel));
+        assert_eq!("heap".parse::<SchedImpl>(), Ok(SchedImpl::Heap));
+        assert!("Heap".parse::<SchedImpl>().is_err(), "case-sensitive");
+        assert!("calendar".parse::<SchedImpl>().is_err());
+        assert!("".parse::<SchedImpl>().is_err());
+    }
+
+    #[test]
+    fn iter_is_lazy_and_ordered_on_both_impls() {
+        for mut q in both() {
+            let times = [500u64, 3, 3, 70_000, 70_000, 12, 1_000_000, 0];
+            for t in times {
+                q.push(SimTime::from_micros(t), EventKind::Start { node: NodeId(t) });
+            }
+            let via_iter: Vec<u64> = q.iter().map(|e| e.seq).collect();
+            let mut expected: Vec<(SimTime, u64)> = times
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (SimTime::from_micros(*t), i as u64))
+                .collect();
+            expected.sort();
+            assert_eq!(via_iter, expected.iter().map(|(_, s)| *s).collect::<Vec<_>>());
+        }
     }
 }

@@ -38,6 +38,7 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use event::SchedImpl;
 pub use network::NetworkConfig;
 pub use node::{Context, Payload, SimNode, TimerId};
 pub use sim::{PendingEvent, PendingKind, Simulator};

@@ -3,15 +3,21 @@
 //! [`Simulator`] owns the nodes, the event queue, the network model and the
 //! traffic statistics, and advances simulated time by processing events in
 //! deterministic order.
+//!
+//! Node state lives in a dense arena: each node gets a small integer index at
+//! registration (see [`Simulator::node_index`]) and its slot sits in a `Vec`,
+//! so the per-event hot path does one hash lookup and zero tree walks — the
+//! bookkeeping that, together with the heap queue, used to dominate per-event
+//! cost on large deployments (ROADMAP item 2).
 
-use crate::event::{Event, EventKind, EventQueue};
+use crate::event::{Event, EventIter, EventKind, EventQueue, SchedImpl};
 use crate::network::{NetworkConfig, NetworkFaults};
 use crate::node::{Context, Payload, SimNode, TimerId};
 use crate::rng::DetRng;
 use crate::stats::TrafficStats;
 use crate::time::{SimDuration, SimTime};
 use snp_crypto::keys::NodeId;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeSet, HashMap};
 
 /// What a pending event will do when stepped, without its payload.
 ///
@@ -68,16 +74,33 @@ impl PendingEvent {
     }
 }
 
-/// Per-node bookkeeping held by the simulator.
+/// Per-node bookkeeping held by the simulator's arena.
 struct NodeSlot<P: Payload> {
     behavior: Box<dyn SimNode<P>>,
     clock_offset: i64,
     halted: bool,
+    /// Per-receiver FIFO horizon: the latest delivery already scheduled on
+    /// each directed link out of this node.  Later sends on the same link are
+    /// clamped to at least this instant, so links deliver in order — the
+    /// reliable, in-order transport (TCP in the paper's deployments) that
+    /// assumption 1 of §5.2 presumes.  Without it, a retraction could
+    /// overtake the insertion it cancels and leak phantom state downstream.
+    ///
+    /// Keyed per sender (this slot) by receiver id, O(out-degree) memory per
+    /// node; point lookups only, so the `HashMap`'s iteration order cannot
+    /// leak into a run.
+    fifo: HashMap<NodeId, SimTime>,
 }
 
 /// The discrete-event simulator.
 pub struct Simulator<P: Payload> {
-    nodes: BTreeMap<NodeId, NodeSlot<P>>,
+    /// Dense node arena, indexed by registration order.
+    slots: Vec<NodeSlot<P>>,
+    /// NodeId → arena index.  Point lookups only (never iterated).
+    index: HashMap<NodeId, u32>,
+    /// All registered ids in ascending order, maintained at registration —
+    /// the deterministic iteration order for start-up and inspection.
+    sorted_ids: Vec<NodeId>,
     queue: EventQueue<P>,
     config: NetworkConfig,
     /// Fault-injection knobs (crashes, severed links).
@@ -88,19 +111,12 @@ pub struct Simulator<P: Payload> {
     now: SimTime,
     started: bool,
     events_processed: u64,
-    /// Per-link FIFO horizon: the latest delivery already scheduled on each
-    /// directed link.  Later sends on the same link are clamped to at least
-    /// this instant, so links deliver in order — the reliable, in-order
-    /// transport (TCP in the paper's deployments) that assumption 1 of §5.2
-    /// presumes.  Without it, a retraction could overtake the insertion it
-    /// cancels and leak phantom state downstream.
-    fifo_horizon: BTreeMap<(NodeId, NodeId), SimTime>,
 }
 
 impl<P: Payload> std::fmt::Debug for Simulator<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
-            .field("nodes", &self.nodes.keys().collect::<Vec<_>>())
+            .field("nodes", &self.sorted_ids)
             .field("pending_events", &self.queue.len())
             .field("now", &self.now)
             .field("events_processed", &self.events_processed)
@@ -109,11 +125,25 @@ impl<P: Payload> std::fmt::Debug for Simulator<P> {
 }
 
 impl<P: Payload> Simulator<P> {
-    /// Create a simulator with the given network model and RNG seed.
+    /// Create a simulator with the given network model and RNG seed, on the
+    /// event queue selected by `SNP_SCHED` (default: the timing wheel).
     pub fn new(config: NetworkConfig, seed: u64) -> Simulator<P> {
+        Self::with_queue(EventQueue::new(), config, seed)
+    }
+
+    /// Create a simulator on an explicitly chosen event-queue implementation,
+    /// ignoring `SNP_SCHED`.  The lockstep differential tests use this to run
+    /// the wheel and the heap oracle side by side in one process.
+    pub fn with_sched(config: NetworkConfig, seed: u64, imp: SchedImpl) -> Simulator<P> {
+        Self::with_queue(EventQueue::with_impl(imp), config, seed)
+    }
+
+    fn with_queue(queue: EventQueue<P>, config: NetworkConfig, seed: u64) -> Simulator<P> {
         Simulator {
-            nodes: BTreeMap::new(),
-            queue: EventQueue::new(),
+            slots: Vec::new(),
+            index: HashMap::new(),
+            sorted_ids: Vec::new(),
+            queue,
             config,
             faults: NetworkFaults::default(),
             stats: TrafficStats::default(),
@@ -121,8 +151,12 @@ impl<P: Payload> Simulator<P> {
             now: SimTime::ZERO,
             started: false,
             events_processed: 0,
-            fifo_horizon: BTreeMap::new(),
         }
+    }
+
+    /// Which event-queue implementation this simulator runs on.
+    pub fn sched_impl(&self) -> SchedImpl {
+        self.queue.sched_impl()
     }
 
     /// Add a node to the simulation.  Panics if the id is already taken.
@@ -130,20 +164,35 @@ impl<P: Payload> Simulator<P> {
         let clock_offset = self
             .config
             .draw_clock_offset(&mut self.rng.fork(&format!("clock-{}", id.0)));
-        let previous = self.nodes.insert(
-            id,
-            NodeSlot {
-                behavior,
-                clock_offset,
-                halted: false,
-            },
-        );
+        let idx = u32::try_from(self.slots.len()).expect("node arena overflow");
+        let previous = self.index.insert(id, idx);
         assert!(previous.is_none(), "node {id} registered twice");
+        match self.sorted_ids.binary_search(&id) {
+            Ok(_) => unreachable!("duplicate caught by the index"),
+            Err(pos) => self.sorted_ids.insert(pos, id),
+        }
+        self.slots.push(NodeSlot {
+            behavior,
+            clock_offset,
+            halted: false,
+            fifo: HashMap::new(),
+        });
     }
 
-    /// Ids of all registered nodes.
+    /// Ids of all registered nodes, in ascending order.
     pub fn node_ids(&self) -> Vec<NodeId> {
-        self.nodes.keys().copied().collect()
+        self.sorted_ids.clone()
+    }
+
+    /// Dense arena index assigned to `id` at registration, if registered.
+    /// Indexes are contiguous from 0 in registration order.
+    pub fn node_index(&self, id: NodeId) -> Option<usize> {
+        self.index.get(&id).map(|&i| i as usize)
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
     }
 
     /// Current global simulation time.
@@ -153,7 +202,11 @@ impl<P: Payload> Simulator<P> {
 
     /// Local clock reading of a node at the current global time.
     pub fn local_time(&self, node: NodeId) -> SimTime {
-        let offset = self.nodes.get(&node).map(|n| n.clock_offset).unwrap_or(0);
+        let offset = self
+            .index
+            .get(&node)
+            .map(|&i| self.slots[i as usize].clock_offset)
+            .unwrap_or(0);
         self.now.offset_by(offset)
     }
 
@@ -164,12 +217,13 @@ impl<P: Payload> Simulator<P> {
 
     /// Borrow a node's behavior (e.g. to inspect its state after a run).
     pub fn node(&self, id: NodeId) -> Option<&dyn SimNode<P>> {
-        self.nodes.get(&id).map(|slot| slot.behavior.as_ref())
+        self.index.get(&id).map(|&i| self.slots[i as usize].behavior.as_ref())
     }
 
     /// Mutably borrow a node's behavior (e.g. to inject inputs between runs).
     pub fn node_mut(&mut self, id: NodeId) -> Option<&mut (dyn SimNode<P> + 'static)> {
-        self.nodes.get_mut(&id).map(|slot| slot.behavior.as_mut())
+        let idx = *self.index.get(&id)?;
+        Some(self.slots[idx as usize].behavior.as_mut())
     }
 
     /// Visit a node's behavior with a typed closure.
@@ -177,7 +231,8 @@ impl<P: Payload> Simulator<P> {
     /// Convenience wrapper used by tests and benchmarks that know the
     /// concrete node type: `sim.with_node(id, |n: &mut MyNode| ...)`.
     pub fn with_node_box<R>(&mut self, id: NodeId, f: impl FnOnce(&mut Box<dyn SimNode<P>>) -> R) -> Option<R> {
-        self.nodes.get_mut(&id).map(|slot| f(&mut slot.behavior))
+        let idx = *self.index.get(&id)?;
+        Some(f(&mut self.slots[idx as usize].behavior))
     }
 
     /// Schedule the start events for all nodes (idempotent).
@@ -186,7 +241,7 @@ impl<P: Payload> Simulator<P> {
             return;
         }
         self.started = true;
-        let ids: Vec<NodeId> = self.nodes.keys().copied().collect();
+        let ids = self.sorted_ids.clone();
         for id in ids {
             self.queue.push(SimTime::ZERO, EventKind::Start { node: id });
         }
@@ -239,21 +294,24 @@ impl<P: Payload> Simulator<P> {
         processed
     }
 
-    /// All pending events in deterministic `(at, seq)` order, payload-free.
+    /// Stream all pending events in deterministic `(at, seq)` order,
+    /// payload-free, without materializing or sorting the queue.
     ///
     /// Schedules the start events first so that a freshly built simulator
     /// already exposes its initial transitions.
-    pub fn pending(&mut self) -> Vec<PendingEvent> {
+    pub fn pending_iter(&mut self) -> impl Iterator<Item = PendingEvent> + '_ {
         self.ensure_started();
-        self.queue
-            .events()
-            .iter()
-            .map(|e| PendingEvent {
-                seq: e.seq,
-                at: e.at,
-                kind: Self::describe(&e.kind),
-            })
-            .collect()
+        self.queue.iter().map(|e| PendingEvent {
+            seq: e.seq,
+            at: e.at,
+            kind: Self::describe(&e.kind),
+        })
+    }
+
+    /// All pending events in deterministic `(at, seq)` order, payload-free.
+    /// Convenience wrapper collecting [`Simulator::pending_iter`].
+    pub fn pending(&mut self) -> Vec<PendingEvent> {
+        self.pending_iter().collect()
     }
 
     /// The set of events a model checker may fire next.
@@ -271,8 +329,7 @@ impl<P: Payload> Simulator<P> {
     ///
     /// An empty result means the run is terminal within the horizon.
     pub fn enabled_events(&mut self, slack: SimDuration, horizon: SimTime) -> Vec<PendingEvent> {
-        let pending = self.pending();
-        let in_horizon: Vec<PendingEvent> = pending.into_iter().filter(|e| e.at <= horizon).collect();
+        let in_horizon: Vec<PendingEvent> = self.pending_iter().filter(|e| e.at <= horizon).collect();
         let Some(min_at) = in_horizon.iter().map(|e| e.at).min() else {
             return Vec::new();
         };
@@ -313,15 +370,25 @@ impl<P: Payload> Simulator<P> {
         self.queue.remove(seq).is_some()
     }
 
-    /// Borrow all pending events (with payloads) in `(at, seq)` order, for
-    /// state fingerprinting.
+    /// Stream all pending events (with payloads) in `(at, seq)` order, for
+    /// state fingerprinting, without copying the queue.
+    pub fn queue_iter(&self) -> EventIter<'_, P> {
+        self.queue.iter()
+    }
+
+    /// Borrow all pending events (with payloads) in `(at, seq)` order.
+    /// Convenience wrapper collecting [`Simulator::queue_iter`].
     pub fn queue_events(&self) -> Vec<&Event<P>> {
-        self.queue.events()
+        self.queue_iter().collect()
     }
 
     /// Whether a node has halted (crash-stopped itself).
     pub fn is_halted(&self, node: NodeId) -> bool {
-        self.nodes.get(&node).map(|slot| slot.halted).unwrap_or(false) || self.faults.crashed.contains(&node)
+        self.index
+            .get(&node)
+            .map(|&i| self.slots[i as usize].halted)
+            .unwrap_or(false)
+            || (!self.faults.crashed.is_empty() && self.faults.crashed.contains(&node))
     }
 
     fn describe(kind: &EventKind<P>) -> PendingKind {
@@ -346,13 +413,29 @@ impl<P: Payload> Simulator<P> {
     }
 
     fn run_callback(&mut self, node: NodeId, f: impl FnOnce(&mut Box<dyn SimNode<P>>, &mut Context<P>)) {
-        let local_now = self.local_time(node);
-        let Some(slot) = self.nodes.get_mut(&node) else { return };
-        if slot.halted || self.faults.crashed.contains(&node) {
+        let Some(&idx) = self.index.get(&node) else { return };
+        let idx = idx as usize;
+        let now = self.now;
+        let crashed = !self.faults.crashed.is_empty() && self.faults.crashed.contains(&node);
+        if self.slots[idx].halted || crashed {
             return;
         }
+        let local_now = now.offset_by(self.slots[idx].clock_offset);
         let rng = self.rng.fork(&format!("cb-{}-{}", node.0, self.events_processed));
         let mut ctx = Context::new(node, local_now, rng);
+        // Split the borrow: the slot (behavior + fifo horizons) on one side,
+        // the queue/stats/rng on the other, so the send loop needs no
+        // re-lookups.
+        let Simulator {
+            slots,
+            queue,
+            config,
+            faults,
+            stats,
+            rng: sim_rng,
+            ..
+        } = self;
+        let slot = &mut slots[idx];
         f(&mut slot.behavior, &mut ctx);
         let (outgoing, timers, halted) = ctx.take_outputs();
         if halted {
@@ -361,20 +444,20 @@ impl<P: Payload> Simulator<P> {
         let clock_offset = slot.clock_offset;
 
         for out in outgoing {
-            if self.faults.crashed.contains(&node) {
+            if !faults.crashed.is_empty() && faults.crashed.contains(&node) {
                 break;
             }
             let category = out.payload.category();
             let size = out.payload.wire_size();
-            self.stats.record(node, category, size);
-            if self.config.drop_probability > 0.0 && self.rng.chance(self.config.drop_probability) {
+            stats.record(node, category, size);
+            if config.drop_probability > 0.0 && sim_rng.chance(config.drop_probability) {
                 continue;
             }
-            let delay = self.config.draw_delay(&mut self.rng);
-            let horizon = self.fifo_horizon.entry((node, out.to)).or_insert(SimTime::ZERO);
-            let at = (self.now + delay).max(*horizon);
+            let delay = config.draw_delay(sim_rng);
+            let horizon = slot.fifo.entry(out.to).or_insert(SimTime::ZERO);
+            let at = (now + delay).max(*horizon);
             *horizon = at;
-            self.queue.push(
+            queue.push(
                 at,
                 EventKind::Deliver {
                     from: node,
@@ -386,8 +469,8 @@ impl<P: Payload> Simulator<P> {
         for timer in timers {
             // Convert the node-local firing time back to global time.
             let global = timer.fire_at.offset_by(-clock_offset);
-            let global = if global < self.now { self.now } else { global };
-            self.queue.push(global, EventKind::Timer { node, id: timer.id });
+            let global = if global < now { now } else { global };
+            queue.push(global, EventKind::Timer { node, id: timer.id });
         }
     }
 }
@@ -549,6 +632,31 @@ mod tests {
         sim.inject_message(SimTime::from_millis(1), NodeId(2), NodeId(1), vec![9u8; 4]);
         sim.run_until(SimTime::from_secs(5));
         assert!(sim.stats.total_messages() >= 1);
+    }
+
+    #[test]
+    fn arena_indexes_are_dense_and_ids_stay_sorted() {
+        let mut sim: Simulator<Vec<u8>> = Simulator::new(NetworkConfig::default(), 3);
+        // Register out of id order: indexes follow registration order, the
+        // id list (and thus start order) stays ascending like the old
+        // BTreeMap-backed simulator.
+        for id in [7u64, 2, 9, 4] {
+            sim.add_node(NodeId(id), Box::new(Recorder::default()));
+        }
+        assert_eq!(sim.node_count(), 4);
+        assert_eq!(sim.node_index(NodeId(7)), Some(0));
+        assert_eq!(sim.node_index(NodeId(4)), Some(3));
+        assert_eq!(sim.node_index(NodeId(5)), None);
+        assert_eq!(sim.node_ids(), vec![NodeId(2), NodeId(4), NodeId(7), NodeId(9)]);
+        let starts: Vec<PendingEvent> = sim.pending();
+        let start_order: Vec<NodeId> = starts
+            .iter()
+            .map(|e| match e.kind {
+                PendingKind::Start { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(start_order, sim.node_ids(), "starts fire in ascending id order");
     }
 
     #[test]

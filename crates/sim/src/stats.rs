@@ -7,7 +7,7 @@
 //! accumulates a [`TrafficStats`] that the benchmark harnesses read out.
 
 use snp_crypto::keys::NodeId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The cause a byte on the wire is attributed to (Figure 5's legend).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -47,16 +47,24 @@ impl TrafficCategory {
 }
 
 /// Accumulated traffic statistics for one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality compares the full per-category and per-sender breakdowns — the
+/// scheduler differential tests rely on it to assert that two queue
+/// implementations produced identical traffic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct TrafficStats {
     /// Total bytes per category.
     pub bytes_by_category: BTreeMap<TrafficCategory, u64>,
     /// Total messages per category.
     pub messages_by_category: BTreeMap<TrafficCategory, u64>,
     /// Bytes sent, per sending node (all categories).
-    pub bytes_by_sender: BTreeMap<NodeId, u64>,
+    ///
+    /// A `HashMap`: `record` sits on the simulator's per-send hot path, and
+    /// only point lookups and order-independent folds read these, so the
+    /// iteration order cannot leak into any deterministic output.
+    pub bytes_by_sender: HashMap<NodeId, u64>,
     /// Messages sent, per sending node.
-    pub messages_by_sender: BTreeMap<NodeId, u64>,
+    pub messages_by_sender: HashMap<NodeId, u64>,
 }
 
 impl TrafficStats {

@@ -1,0 +1,185 @@
+//! Randomized lockstep differential between the two event-queue
+//! implementations (PR 7's `NaiveEngine` discipline applied to the
+//! scheduler): the hierarchical timing wheel and the historical binary-heap
+//! oracle are driven by the same seeded push/pop/remove/timer script and
+//! must produce byte-identical observable behaviour — pop order, removal
+//! results, peeks, lengths — at 1e2, 1e4 and 1e6 operations, and identical
+//! end-to-end `TrafficStats` on a churned Chord deployment.
+
+#![allow(clippy::unwrap_used, clippy::cast_possible_truncation)]
+
+use snp_apps::chord::{run_with_churn, ChordScenario, ChurnPlan};
+use snp_sim::event::{EventKind, EventQueue, SchedImpl};
+use snp_sim::rng::DetRng;
+use snp_sim::{NodeId, SimTime, TimerId};
+
+/// FNV-1a style fold of one observation into the running digest.
+fn fold(digest: u64, value: u64) -> u64 {
+    (digest ^ value).wrapping_mul(0x0000_0100_0000_01b3)
+}
+
+fn fold_event(digest: u64, at: SimTime, seq: u64, kind: &EventKind<Vec<u8>>) -> u64 {
+    let kind_word = match kind {
+        EventKind::Deliver { from, to, payload } => 1u64
+            .wrapping_add(from.0.wrapping_mul(31))
+            .wrapping_add(to.0.wrapping_mul(131))
+            .wrapping_add(payload.len() as u64),
+        EventKind::Timer { node, id } => 2u64.wrapping_add(node.0.wrapping_mul(31)).wrapping_add(id.0),
+        EventKind::Start { node } => 3u64.wrapping_add(node.0.wrapping_mul(31)),
+    };
+    fold(fold(fold(digest, at.as_micros()), seq), kind_word)
+}
+
+/// Drive one queue implementation through `ops` seeded operations and digest
+/// every observable output.  The script never reads queue internals, so the
+/// digest captures exactly what a simulator could observe.
+fn drive(imp: SchedImpl, ops: u64, seed: u64) -> u64 {
+    let mut q: EventQueue<Vec<u8>> = EventQueue::with_impl(imp);
+    assert_eq!(q.sched_impl(), imp);
+    let mut rng = DetRng::new(seed);
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    let mut clock = 0u64; // time of the last popped event
+    let mut pushed = 0u64;
+    for _ in 0..ops {
+        match rng.next_below(10) {
+            // Push (~half the script): mixed horizons exercise every wheel
+            // level — same-tick bursts, near deliveries, far timers — and an
+            // occasional event behind the cursor (a "late injection").
+            0..=4 => {
+                let at = match rng.next_below(10) {
+                    0 => clock.saturating_sub(rng.next_below(5_000)),
+                    1..=3 => clock + rng.next_below(64),
+                    4..=7 => clock + rng.next_below(5_000_000),
+                    _ => clock + rng.next_below(1 << 31),
+                };
+                let kind = match rng.next_below(3) {
+                    0 => EventKind::Deliver {
+                        from: NodeId(rng.next_below(100)),
+                        to: NodeId(rng.next_below(100)),
+                        payload: vec![0u8; rng.next_below(32) as usize],
+                    },
+                    1 => EventKind::Timer {
+                        node: NodeId(rng.next_below(100)),
+                        id: TimerId(rng.next_below(1000)),
+                    },
+                    _ => EventKind::Start {
+                        node: NodeId(rng.next_below(100)),
+                    },
+                };
+                q.push(SimTime::from_micros(at), kind);
+                pushed += 1;
+            }
+            // Pop.
+            5..=7 => match q.pop() {
+                Some(e) => {
+                    clock = e.at.as_micros();
+                    digest = fold_event(digest, e.at, e.seq, &e.kind);
+                }
+                None => digest = fold(digest, u64::MAX),
+            },
+            // Remove a (possibly spent, possibly never-issued) seq.
+            8 => {
+                let seq = rng.next_below(pushed + 2);
+                match q.remove(seq) {
+                    Some(e) => digest = fold_event(fold(digest, 7), e.at, e.seq, &e.kind),
+                    None => digest = fold(digest, 11),
+                }
+            }
+            // Observe without mutating.
+            _ => {
+                digest = fold(digest, q.peek_time().map(|t| t.as_micros()).unwrap_or(u64::MAX));
+                digest = fold(digest, q.len() as u64);
+            }
+        }
+    }
+    // Drain what's left so the tail ordering is covered too.
+    digest = fold(digest, q.len() as u64);
+    while let Some(e) = q.pop() {
+        digest = fold_event(digest, e.at, e.seq, &e.kind);
+    }
+    assert!(q.is_empty());
+    assert_eq!(q.peek_time(), None);
+    digest
+}
+
+fn assert_lockstep(ops: u64, seed: u64) {
+    let wheel = drive(SchedImpl::Wheel, ops, seed);
+    let heap = drive(SchedImpl::Heap, ops, seed);
+    assert_eq!(
+        wheel, heap,
+        "wheel and heap diverged on the seeded script (ops={ops}, seed={seed})"
+    );
+}
+
+#[test]
+fn queue_differential_1e2_events() {
+    for seed in [1, 2, 3, 4, 5] {
+        assert_lockstep(100, seed);
+    }
+}
+
+#[test]
+fn queue_differential_1e4_events() {
+    for seed in [11, 12, 13] {
+        assert_lockstep(10_000, seed);
+    }
+}
+
+#[test]
+fn queue_differential_1e6_events() {
+    assert_lockstep(1_000_000, 42);
+}
+
+/// The ordered inspection cursor must agree across implementations at every
+/// probe point, not just the pop order.
+#[test]
+fn queue_listing_matches_across_impls() {
+    let mut rng = DetRng::new(9);
+    let mut wheel: EventQueue<Vec<u8>> = EventQueue::with_impl(SchedImpl::Wheel);
+    let mut heap: EventQueue<Vec<u8>> = EventQueue::with_impl(SchedImpl::Heap);
+    for round in 0..200 {
+        let at = SimTime::from_micros(rng.next_below(1 << 22));
+        let node = NodeId(rng.next_below(50));
+        wheel.push(at, EventKind::Start { node });
+        heap.push(at, EventKind::Start { node });
+        if round % 3 == 0 {
+            assert_eq!(wheel.pop().map(|e| (e.at, e.seq)), heap.pop().map(|e| (e.at, e.seq)));
+        }
+        if round % 7 == 0 {
+            let listed_wheel: Vec<(SimTime, u64)> = wheel.iter().map(|e| (e.at, e.seq)).collect();
+            let listed_heap: Vec<(SimTime, u64)> = heap.iter().map(|e| (e.at, e.seq)).collect();
+            assert_eq!(listed_wheel, listed_heap);
+        }
+    }
+}
+
+/// End-to-end: a churned Chord deployment run on each scheduler produces the
+/// same event count and byte-identical `TrafficStats`.
+#[test]
+fn chord_churn_traffic_identical_across_schedulers() {
+    let scenario = ChordScenario {
+        nodes: 30,
+        stabilize_every_s: 5,
+        fix_fingers_every_s: 10,
+        keepalive_every_s: 2,
+        lookups_per_minute: 30,
+        duration_s: 30,
+    };
+    let plan = scenario.churn_plan(21, 10);
+    let run = |imp: SchedImpl, plan: &ChurnPlan| {
+        let mut tb = snp_core::deploy::Deployment::builder()
+            .seed(17)
+            .secure(false)
+            .sched(imp)
+            .app(scenario.app(None))
+            .build();
+        let events = run_with_churn(&mut tb, plan, SimTime::from_secs(35));
+        (events, tb.sim.stats.clone(), tb.sim.events_processed())
+    };
+    let (events_w, stats_w, processed_w) = run(SchedImpl::Wheel, &plan);
+    let (events_h, stats_h, processed_h) = run(SchedImpl::Heap, &plan);
+    assert!(events_w > 0);
+    assert_eq!(events_w, events_h, "event counts must match");
+    assert_eq!(processed_w, processed_h);
+    assert_eq!(stats_w, stats_h, "traffic must be byte-identical across schedulers");
+}
