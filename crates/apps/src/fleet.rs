@@ -1,0 +1,101 @@
+//! The real-fleet demo application (ISSUE 9).
+//!
+//! A deliberately small workload for exercising SNooPy outside the
+//! simulator: a *single* router evaluating the MinCost rules (§3.3) over
+//! links the operator injects at runtime.  Because both `cost` and
+//! `bestCost` derive locally from `link` base tuples, one node suffices for
+//! an end-to-end provenance audit — which keeps the two-process loopback
+//! demo (`examples/real_fleet.rs`) down to exactly one peer process and one
+//! querier process, while still covering the full pipeline: durable
+//! segments, signed checkpoints, anchored retrieval over the audit RPC,
+//! replay, and tamper conviction.
+//!
+//! The same application runs unchanged in the simulator (the integration
+//! tests deploy it there), so fleet behaviour can always be
+//! differential-tested against the deterministic substrate.
+
+use crate::mincost::{self, mincost_rules};
+use snp_core::deploy::{AppNode, Application, WorkloadEvent};
+use snp_crypto::keys::NodeId;
+use snp_datalog::{Engine, Tuple, Value};
+
+/// The node the demo peer process hosts.
+pub const PEER: NodeId = NodeId(1);
+/// The destination "router" the demo links point at (never deployed — it
+/// only appears inside tuples, like an external prefix in BGP).
+pub const DEST: NodeId = NodeId(4);
+
+/// A `link(@PEER, y, cost)` base tuple — what the operator injects.
+pub fn peer_link(y: NodeId, cost: i64) -> Tuple {
+    mincost::link(PEER, y, cost)
+}
+
+/// The `bestCost(@PEER, DEST, cost)` tuple the demo queries for.
+pub fn peer_best_cost(cost: i64) -> Tuple {
+    Tuple::new("bestCost", PEER, vec![Value::Node(DEST), Value::Int(cost)])
+}
+
+/// The single-router fleet demo application.
+#[derive(Debug)]
+pub struct FleetDemo {
+    node: NodeId,
+}
+
+impl FleetDemo {
+    /// The demo on its default node, [`PEER`].
+    pub fn new() -> FleetDemo {
+        FleetDemo { node: PEER }
+    }
+
+    /// The demo hosted on a specific node id.
+    pub fn on(node: NodeId) -> FleetDemo {
+        FleetDemo { node }
+    }
+}
+
+impl Default for FleetDemo {
+    fn default() -> FleetDemo {
+        FleetDemo::new()
+    }
+}
+
+impl Application for FleetDemo {
+    fn name(&self) -> String {
+        "fleet-demo".into()
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        vec![self.node]
+    }
+
+    fn node(&self, id: NodeId) -> AppNode {
+        AppNode::new(Box::new(Engine::new(id, mincost_rules())))
+    }
+
+    // No scheduled workload: in fleet mode the operator drives the node
+    // over the wire (`SnoopyWire::Operator` frames), and the simulator
+    // tests inject the same tuples explicitly.
+    fn workload(&self, _seed: u64) -> Vec<WorkloadEvent> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snp_core::Deployment;
+    use snp_sim::SimTime;
+
+    #[test]
+    fn demo_derives_best_cost_in_the_simulator() {
+        let mut deployment = Deployment::builder()
+            .seed(1)
+            .app(FleetDemo::new())
+            .insert_at(SimTime::from_millis(10), PEER, peer_link(DEST, 5))
+            .insert_at(SimTime::from_millis(20), PEER, peer_link(NodeId(3), 9))
+            .build();
+        deployment.run_until(SimTime::from_secs(2));
+        let result = deployment.querier.why_exists(peer_best_cost(5)).at(PEER).run();
+        assert!(result.is_legitimate(), "{}", result.render());
+    }
+}

@@ -20,6 +20,10 @@
 //!   specification proxy (§6.3); includes the BadGadget and
 //!   disappearing-route scenarios and a RouteViews-like update generator.
 //!
+//! * [`fleet`] — the single-router real-fleet demo driven by
+//!   `examples/real_fleet.rs`: operator-injected links audited end-to-end
+//!   over the TCP transport and the durable segment store.
+//!
 //! Every app in this crate implements [`snp_core::Application`], so scenarios
 //! compose through [`snp_core::DeploymentBuilder`].
 
@@ -30,5 +34,6 @@
 
 pub mod bgp;
 pub mod chord;
+pub mod fleet;
 pub mod mapreduce;
 pub mod mincost;

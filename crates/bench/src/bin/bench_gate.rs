@@ -221,6 +221,39 @@ const GATES: &[Gate] = &[
         path: "scaling.rows.2.events",
         check: Check::Band,
     },
+    // store: the durable segment store's deterministic ledger.  Bytes on
+    // disk are pinned one-sided (the encodings are stable, so a rise means
+    // the store started writing more per entry); the sealed-epoch count and
+    // the crash-recovery report are pinned two-sided (a drift means the
+    // workload or the recovery semantics changed).  The resident-bytes
+    // ratio is the acceptance floor for `retain_epochs` truncation: the
+    // unbounded log must hold at least 3x the retained one at the largest
+    // size, or truncation has silently stopped bounding RAM.
+    Gate {
+        file: "BENCH_store.json",
+        path: "sizes.0.durable_bytes",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_store.json",
+        path: "sizes.0.sealed_epochs",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_store.json",
+        path: "sizes.#last.ram_ratio",
+        check: Check::Min(3.0),
+    },
+    Gate {
+        file: "BENCH_store.json",
+        path: "recovery.resumed_seq",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_store.json",
+        path: "recovery.lost_tail_entries",
+        check: Check::Band,
+    },
 ];
 
 /// Resolve a dotted path, expanding `#last` to the final index of the array

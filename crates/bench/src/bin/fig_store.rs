@@ -1,0 +1,184 @@
+//! Durable segment store benchmark (ISSUE 9): append / seal / reopen-verify
+//! throughput of the [`FileSegmentStore`], plus the RAM high-water story —
+//! with `retain_epochs(k)`, resident log bytes plateau (the store mirrors
+//! the truncation: dropped epochs lose their segment files while every
+//! signed checkpoint stays on disk, so recovery and anchored audits keep
+//! working at bounded space).
+//!
+//! Emits `BENCH_store.json`.  The throughput numbers are wall-clock and
+//! never gated; the gated metrics are the deterministic ones: entries
+//! appended, durable bytes written (stable byte encodings), the retained
+//! vs. unbounded resident ratio floor, and the crash-recovery ledger
+//! (lost-tail entries, resume sequence).
+//!
+//! Set `SNP_BENCH_SMOKE=1` to run a tiny configuration (used by CI).
+
+use snp_bench::json::{write_json, Json};
+use snp_crypto::keys::{KeyPair, NodeId};
+use snp_datalog::{Tuple, Value};
+use snp_log::store::FileSegmentStore;
+use snp_log::{CheckpointEntry, EntryKind, SecureLog};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+const NODE: NodeId = NodeId(7);
+/// Entries per sealed epoch (chosen so every size spans many segments).
+const PER_EPOCH: u64 = 500;
+/// The `retain_epochs` budget of the bounded-resident variant.
+const RETAIN: usize = 4;
+
+fn keys() -> KeyPair {
+    KeyPair::for_node(NODE)
+}
+
+fn tuple(i: u64) -> Tuple {
+    Tuple::new("flow", NODE, vec![Value::Int(i as i64), Value::str("bench-payload")])
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snp-fig-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Append `entries` entries (sealing every [`PER_EPOCH`]) into `log`.
+/// Returns the timestamp after the last operation.
+fn drive(log: &mut SecureLog, entries: u64) -> u64 {
+    let mut t = 0;
+    for i in 0..entries {
+        t += 10;
+        log.append_entry(t, EntryKind::Ins { tuple: tuple(i) });
+        if (i + 1) % PER_EPOCH == 0 {
+            t += 10;
+            let state = vec![CheckpointEntry {
+                tuple: tuple(i),
+                appeared_at: t,
+            }];
+            log.seal_epoch(t, state, Some(vec![0u8; 64]));
+        }
+    }
+    t
+}
+
+fn dir_stats(dir: &Path) -> (u64, u64) {
+    let mut files = 0;
+    let mut bytes = 0;
+    if let Ok(read) = std::fs::read_dir(dir) {
+        for entry in read.flatten() {
+            if let Ok(meta) = entry.metadata() {
+                if meta.is_file() {
+                    files += 1;
+                    bytes += meta.len();
+                }
+            }
+        }
+    }
+    (files, bytes)
+}
+
+/// One store-size measurement.
+fn measure(entries: u64) -> Json {
+    // Durable, truncated variant: the fleet-mode configuration.
+    let dir = bench_dir(&format!("size-{entries}"));
+    let store = FileSegmentStore::open(&dir, NODE).expect("open store");
+    let mut log = SecureLog::with_store(keys(), Box::new(store));
+    log.retain_epochs(RETAIN);
+    let started = Instant::now();
+    drive(&mut log, entries);
+    let append_seconds = started.elapsed().as_secs_f64();
+    assert!(log.store_error().is_none(), "store broke: {:?}", log.store_error());
+    let resident_retained = log.stats().total();
+    let sealed_epochs = entries / PER_EPOCH;
+
+    // Unbounded in-memory variant: what a simulator node keeps resident.
+    let mut unbounded = SecureLog::new(keys());
+    drive(&mut unbounded, entries);
+    let resident_unbounded = unbounded.stats().total();
+
+    // Crash + verified reopen: authenticate every checkpoint signature,
+    // Merkle root, snapshot digest and segment hash chain from disk.
+    let medium = log.into_store().expect("store attached");
+    let reopen_started = Instant::now();
+    let (recovered, report) = SecureLog::reopen(keys(), medium, true).expect("honest store reopens");
+    let reopen_seconds = reopen_started.elapsed().as_secs_f64();
+    let recovered_entries: u64 = report.retained_segments as u64 * PER_EPOCH;
+    assert_eq!(
+        report.resumed_seq,
+        sealed_epochs * PER_EPOCH,
+        "resumes at the last seal"
+    );
+    drop(recovered);
+
+    let (segment_files, durable_bytes) = dir_stats(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ram_ratio = resident_unbounded as f64 / resident_retained.max(1) as f64;
+    let per_sec = |n: u64, s: f64| if s > 0.0 { n as f64 / s } else { 0.0 };
+    println!(
+        "{entries:>8} entries: append+seal {:>12.0}/s, reopen-verify {:>12.0}/s, {} files, {:>9} durable bytes, resident {:>9}B (retain {RETAIN}) vs {:>9}B (unbounded), ratio {:.1}x",
+        per_sec(entries, append_seconds),
+        per_sec(recovered_entries, reopen_seconds),
+        segment_files,
+        durable_bytes,
+        resident_retained,
+        resident_unbounded,
+        ram_ratio,
+    );
+    Json::obj([
+        ("entries", Json::Num(entries as f64)),
+        ("sealed_epochs", Json::Num(sealed_epochs as f64)),
+        ("append_per_sec", Json::Num(per_sec(entries, append_seconds))),
+        (
+            "reopen_verify_per_sec",
+            Json::Num(per_sec(recovered_entries, reopen_seconds)),
+        ),
+        ("segment_files", Json::Num(segment_files as f64)),
+        ("durable_bytes", Json::Num(durable_bytes as f64)),
+        ("resident_bytes_retained", Json::Num(resident_retained as f64)),
+        ("resident_bytes_unbounded", Json::Num(resident_unbounded as f64)),
+        ("ram_ratio", Json::Num(ram_ratio)),
+    ])
+}
+
+/// The crash-recovery ledger: die mid-epoch with an unsealed tail, reopen,
+/// report what recovery found.  Fully deterministic.
+fn recovery_ledger() -> Json {
+    let dir = bench_dir("recovery");
+    let store = FileSegmentStore::open(&dir, NODE).expect("open store");
+    let mut log = SecureLog::with_store(keys(), Box::new(store));
+    drive(&mut log, 3 * PER_EPOCH);
+    // A tail the crash loses: appended but never sealed.
+    let mut t = 1_000_000;
+    for i in 0..17 {
+        t += 10;
+        log.append_entry(t, EntryKind::Del { tuple: tuple(i) });
+    }
+    let medium = log.into_store().expect("store attached");
+    let (_, report) = SecureLog::reopen(keys(), medium, true).expect("honest store reopens");
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "recovery: resumed epoch {} seq {}, {} tail entries ({} bytes) lost",
+        report.resumed_epoch, report.resumed_seq, report.lost_tail_entries, report.lost_tail_bytes,
+    );
+    Json::obj([
+        ("resumed_epoch", Json::Num(report.resumed_epoch as f64)),
+        ("resumed_seq", Json::Num(report.resumed_seq as f64)),
+        ("lost_tail_entries", Json::Num(report.lost_tail_entries as f64)),
+        ("lost_tail_bytes", Json::Num(report.lost_tail_bytes as f64)),
+        ("retained_segments", Json::Num(report.retained_segments as f64)),
+    ])
+}
+
+fn main() {
+    let smoke = snp_bench::smoke();
+    println!("Durable segment store — append/seal/reopen throughput and RAM high-water\n");
+    let sizes: &[u64] = if smoke { &[10_000, 20_000] } else { &[10_000, 100_000] };
+    let measured: Vec<Json> = sizes.iter().map(|&n| measure(n)).collect();
+    println!();
+    let recovery = recovery_ledger();
+    write_json(
+        "BENCH_store.json",
+        &Json::obj([("sizes", Json::Arr(measured)), ("recovery", recovery)]),
+    );
+    println!("\nwrote BENCH_store.json");
+}

@@ -26,14 +26,18 @@
 //! ```
 
 use crate::error::ConfigError;
+use crate::fleet::{FleetNode, RemotePeer};
 use crate::node::{NodeTraffic, SnoopyHandle, SnoopyNode, OPERATOR};
 use crate::query::Querier;
 use crate::wire::SnoopyWire;
 use crate::ByzantineConfig;
 use snp_crypto::keys::{KeyRegistry, NodeId};
 use snp_datalog::{SmInput, StateMachine, Tuple};
+use snp_log::{FileSegmentStore, RecoveryReport};
+use snp_sim::transport::Transport;
 use snp_sim::{NetworkConfig, SimDuration, SimTime, Simulator};
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// A scheduled base-tuple operation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -165,6 +169,22 @@ pub trait Application {
     }
 }
 
+/// Which substrate carries node-to-node traffic.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TransportChoice {
+    /// The deterministic discrete-event simulator (the default, and the
+    /// only substrate [`DeploymentBuilder::try_build`] can host: every node
+    /// lives in this process).
+    #[default]
+    Simulator,
+    /// Real TCP sockets — one OS process per node.  A builder configured
+    /// for TCP cannot `try_build` a single-process [`Deployment`]; each
+    /// process calls [`DeploymentBuilder::build_fleet_node`] for the node
+    /// it hosts, and the querier process calls
+    /// [`DeploymentBuilder::build_fleet_querier`].
+    Tcp,
+}
+
 /// Fluent builder for a [`Deployment`]; create one with
 /// [`Deployment::builder`].
 pub struct DeploymentBuilder {
@@ -180,6 +200,8 @@ pub struct DeploymentBuilder {
     byzantine: Vec<(NodeId, ByzantineConfig)>,
     proxy: Vec<(NodeId, usize)>,
     schedule: Vec<WorkloadEvent>,
+    segment_dir: Option<PathBuf>,
+    transport: TransportChoice,
 }
 
 /// A single-node [`Application`] wrapping a machine factory; what
@@ -218,6 +240,8 @@ impl Default for DeploymentBuilder {
             byzantine: Vec::new(),
             proxy: Vec::new(),
             schedule: Vec::new(),
+            segment_dir: None,
+            transport: TransportChoice::Simulator,
         }
     }
 }
@@ -246,6 +270,25 @@ impl DeploymentBuilder {
     /// Use this network model (latency, jitter, clock skew, loss).
     pub fn network(mut self, config: NetworkConfig) -> DeploymentBuilder {
         self.network = config;
+        self
+    }
+
+    /// Choose the traffic substrate.  [`TransportChoice::Simulator`] (the
+    /// default) builds the usual single-process deployment;
+    /// [`TransportChoice::Tcp`] marks this configuration as a real fleet,
+    /// which `try_build` refuses (each process builds its own node via
+    /// [`DeploymentBuilder::build_fleet_node`]).
+    pub fn transport(mut self, choice: TransportChoice) -> DeploymentBuilder {
+        self.transport = choice;
+        self
+    }
+
+    /// Persist every node's sealed segments and signed checkpoints under
+    /// `dir/node-<id>/` through a [`FileSegmentStore`].  A node built from
+    /// a directory that already holds sealed epochs *resumes* from its last
+    /// signed checkpoint instead of starting fresh.
+    pub fn segment_dir(mut self, dir: impl Into<PathBuf>) -> DeploymentBuilder {
+        self.segment_dir = Some(dir.into());
         self
     }
 
@@ -407,6 +450,9 @@ impl DeploymentBuilder {
     /// built-in default — an experiment must not quietly run with a
     /// configuration the operator did not ask for.
     pub fn try_build(self) -> Result<Deployment, ConfigError> {
+        if self.transport == TransportChoice::Tcp {
+            return Err(ConfigError::FleetTransport);
+        }
         assert!(
             self.retain_epochs.is_none() || self.epoch_length.is_some(),
             "retain_epochs without epoch_length would never truncate: truncation \
@@ -450,6 +496,7 @@ impl DeploymentBuilder {
             registry,
             t_prop_micros,
             batch_window_micros,
+            segment_dir: self.segment_dir,
         };
 
         for app in &self.apps {
@@ -459,7 +506,7 @@ impl DeploymentBuilder {
                     "node {id} deployed twice (second claim by application {})",
                     app.name()
                 );
-                deployment.install(id, app.node(id));
+                deployment.install(id, app.node(id))?;
             }
             for event in app.workload(self.seed) {
                 deployment.schedule(event);
@@ -489,6 +536,124 @@ impl DeploymentBuilder {
         .unwrap_or(1);
         deployment.querier.set_query_threads(threads);
         Ok(deployment)
+    }
+
+    /// The derived key registry: one deterministic keypair per node id up
+    /// to the highest id any application deploys (assumption 2 of §5.2 —
+    /// every process of a fleet derives the *same* registry, so no key
+    /// exchange is needed).
+    fn fleet_registry(&self) -> KeyRegistry {
+        let mut max_id = 0;
+        for app in &self.apps {
+            for id in app.nodes() {
+                max_id = max_id.max(id.0);
+            }
+        }
+        let (_, _, registry) = KeyRegistry::deployment(max_id + 1);
+        registry
+    }
+
+    /// Build the node this OS process hosts in a real fleet: the fleet-mode
+    /// counterpart of [`DeploymentBuilder::try_build`] for a single node.
+    ///
+    /// Applies the same configuration a simulator install would (secure
+    /// mode, batching window with `SNP_BATCH_WINDOW` override, epoch
+    /// cadence, retention, fault/proxy overrides) and wraps the node in a
+    /// [`FleetNode`] driving `transport`.  With
+    /// [`DeploymentBuilder::segment_dir`] configured, the node persists to
+    /// `dir/node-<id>/` — and if that directory already holds sealed
+    /// epochs, the node *resumes* from its last signed checkpoint
+    /// (`verify_store` controls whether recovery authenticates the store
+    /// against the node's own key; honest nodes pass `true`).  The second
+    /// return value reports what recovery found (`None` without a store).
+    pub fn build_fleet_node(
+        self,
+        id: NodeId,
+        transport: Box<dyn Transport>,
+        verify_store: bool,
+    ) -> Result<(FleetNode, Option<RecoveryReport>), ConfigError> {
+        let registry = self.fleet_registry();
+        let t_prop_micros = self.network.t_prop.as_micros();
+        let batch_window_micros = env_override::<u64>("SNP_BATCH_WINDOW", "an integer number of microseconds")?
+            .or(self.batch_window.map(|w| w.as_micros()))
+            .unwrap_or(0);
+        let spec = self
+            .apps
+            .iter()
+            .find(|app| app.nodes().contains(&id))
+            .map(|app| app.node(id))
+            .ok_or(ConfigError::UndeployedNode { id, what: "fleet node" })?;
+        let mut report = None;
+        let mut node = if !self.secure {
+            SnoopyNode::baseline(id, spec.machine)
+        } else if let Some(dir) = &self.segment_dir {
+            let store = FileSegmentStore::open(dir.join(format!("node-{}", id.0)), id)
+                .map_err(|e| ConfigError::Store { detail: e.to_string() })?;
+            // `resume` on an empty directory is exactly a fresh start
+            // (epoch 0, sequence 0, genesis head), so one path serves both.
+            let (node, recovered) =
+                SnoopyNode::resume(id, spec.machine, registry, t_prop_micros, Box::new(store), verify_store)
+                    .map_err(|e| ConfigError::Store { detail: e.to_string() })?;
+            report = Some(recovered);
+            node
+        } else {
+            SnoopyNode::new(id, spec.machine, registry, t_prop_micros)
+        };
+        if self.secure {
+            node.set_batch_window(batch_window_micros);
+        }
+        if let Some(interval) = self.epoch_length {
+            node.set_epoch_length(interval.as_micros());
+        }
+        if let Some(k) = self.retain_epochs {
+            node.set_retain_epochs(k);
+        }
+        for (byz_id, config) in self.byzantine {
+            if byz_id == id {
+                node.set_byzantine(config);
+            }
+        }
+        for (proxy_id, bytes) in self.proxy {
+            if proxy_id == id {
+                node.proxy_overhead_per_message = bytes;
+            }
+        }
+        Ok((FleetNode::new(node, transport), report))
+    }
+
+    /// Build the querier process of a real fleet: audits reach each node in
+    /// `peers` through its [`RemotePeer`] RPC client instead of a shared
+    /// in-process handle.  Each peer's *expected* replay machine comes from
+    /// the application that deploys it, exactly as in a simulator build;
+    /// the replay bound and `SNP_QUERY_THREADS` handling also match.
+    pub fn build_fleet_querier(self, peers: Vec<RemotePeer>) -> Result<Querier, ConfigError> {
+        let registry = self.fleet_registry();
+        let t_prop_micros = self.network.t_prop.as_micros();
+        let batch_window_micros = env_override::<u64>("SNP_BATCH_WINDOW", "an integer number of microseconds")?
+            .or(self.batch_window.map(|w| w.as_micros()))
+            .unwrap_or(0);
+        let mut querier = Querier::new(registry, t_prop_micros + batch_window_micros);
+        let threads = env_override::<usize>(
+            "SNP_QUERY_THREADS",
+            "an integer worker count (e.g. SNP_QUERY_THREADS=4)",
+        )?
+        .or(self.query_threads)
+        .unwrap_or(1);
+        querier.set_query_threads(threads);
+        for peer in peers {
+            let id = peer.id();
+            let spec = self
+                .apps
+                .iter()
+                .find(|app| app.nodes().contains(&id))
+                .map(|app| app.node(id))
+                .ok_or(ConfigError::UndeployedNode {
+                    id,
+                    what: "fleet querier peer",
+                })?;
+            querier.register_remote(peer, spec.expected);
+        }
+        Ok(querier)
     }
 }
 
@@ -535,6 +700,7 @@ pub struct Deployment {
     registry: KeyRegistry,
     t_prop_micros: u64,
     batch_window_micros: u64,
+    segment_dir: Option<PathBuf>,
 }
 
 // Manual impl: summarizes the testbed without dumping every node's state.
@@ -555,10 +721,15 @@ impl Deployment {
     }
 
     /// Wire one node into the simulator and the querier.
-    fn install(&mut self, id: NodeId, spec: AppNode) -> SnoopyHandle {
+    fn install(&mut self, id: NodeId, spec: AppNode) -> Result<SnoopyHandle, ConfigError> {
         let node = if self.secure {
             let mut node = SnoopyNode::new(id, spec.machine, self.registry.clone(), self.t_prop_micros);
             node.set_batch_window(self.batch_window_micros);
+            if let Some(dir) = &self.segment_dir {
+                let store = FileSegmentStore::open(dir.join(format!("node-{}", id.0)), id)
+                    .map_err(|e| ConfigError::Store { detail: e.to_string() })?;
+                node.attach_store(Box::new(store));
+            }
             node
         } else {
             SnoopyNode::baseline(id, spec.machine)
@@ -573,7 +744,7 @@ impl Deployment {
         self.sim.add_node(id, Box::new(handle.clone()));
         self.querier.register(handle.clone(), spec.expected);
         self.handles.insert(id, handle.clone());
-        handle
+        Ok(handle)
     }
 
     /// The single eviction funnel every mutating knob goes through: a node

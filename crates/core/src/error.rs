@@ -32,6 +32,14 @@ pub enum ConfigError {
         /// What a valid value looks like.
         expected: &'static str,
     },
+    /// `try_build` was asked for a transport the single-process
+    /// [`Deployment`](crate::Deployment) cannot host.
+    FleetTransport,
+    /// A durable segment store could not be opened or recovered.
+    Store {
+        /// The underlying [`snp_log::StoreError`], rendered.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -43,6 +51,12 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidEnvVar { var, value, expected } => {
                 write!(f, "invalid {var}={value:?}: expected {expected}")
             }
+            ConfigError::FleetTransport => write!(
+                f,
+                "the tcp transport deploys one OS process per node: build each process's node \
+                 with DeploymentBuilder::build_fleet_node and connect them with TcpTransport"
+            ),
+            ConfigError::Store { detail } => write!(f, "segment store: {detail}"),
         }
     }
 }

@@ -43,15 +43,17 @@ pub mod deploy;
 pub mod error;
 pub mod evidence;
 pub mod fault;
+pub mod fleet;
 pub mod node;
 pub mod properties;
 pub mod query;
 pub mod replay;
 pub mod wire;
 
-pub use deploy::{AppNode, Application, Deployment, DeploymentBuilder, WorkloadEvent, WorkloadOp};
+pub use deploy::{AppNode, Application, Deployment, DeploymentBuilder, TransportChoice, WorkloadEvent, WorkloadOp};
 pub use error::ConfigError;
 pub use fault::{AdversaryAction, ByzantineConfig};
+pub use fleet::{AuditRequest, AuditResponse, FleetNode, PeerLink, RemotePeer};
 pub use node::{RetrieveResponse, SnoopyHandle, SnoopyNode, OPERATOR};
 pub use query::{
     AuditPlan, AuditPool, AuditUnit, MacroQuery, NodeAudit, Querier, QueryBuilder, QueryResult, QueryStats,

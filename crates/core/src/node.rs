@@ -23,7 +23,9 @@ use snp_graph::vertex::Timestamp;
 use snp_log::checkpoint::CheckpointEntry;
 use snp_log::entry::EntryKind;
 use snp_log::log::LogSegment;
-use snp_log::{Authenticator, AuthenticatorSet, Checkpoint, MessageBatcher, SecureLog};
+use snp_log::{
+    Authenticator, AuthenticatorSet, Checkpoint, MessageBatcher, RecoveryReport, SecureLog, SegmentStore, StoreError,
+};
 use snp_sim::{Context, SimNode, SimTime, TimerId};
 use std::collections::BTreeSet;
 use std::sync::Arc;
@@ -204,6 +206,66 @@ impl SnoopyNode {
         let mut node = SnoopyNode::new(id, app, KeyRegistry::default(), 1);
         node.secure = false;
         node
+    }
+
+    /// Attach a durable segment store (fleet mode).  Must be called before
+    /// the node appends anything; returns `false` otherwise.
+    pub fn attach_store(&mut self, store: Box<dyn SegmentStore>) -> bool {
+        self.log.attach_store(store)
+    }
+
+    /// Resume a node from its durable store after a crash or restart:
+    /// reopen the log at the last sealed checkpoint (verifying signatures,
+    /// Merkle roots, snapshot digests and hash chains when `verify` is on)
+    /// and restore the application from that checkpoint's state snapshot.
+    /// Unsealed tail entries are reported lost in the [`RecoveryReport`] —
+    /// they were never committed to an authenticator the querier anchors
+    /// on.  In-flight protocol state (unacked sends, peer authenticators)
+    /// is *not* durable; peers retransmit per Assumption 1.
+    pub fn resume(
+        id: NodeId,
+        app: Box<dyn StateMachine>,
+        registry: KeyRegistry,
+        t_prop: Timestamp,
+        store: Box<dyn SegmentStore>,
+        verify: bool,
+    ) -> Result<(SnoopyNode, RecoveryReport), StoreError> {
+        let keys = KeyPair::for_node(id);
+        let (log, report) = SecureLog::reopen(keys.clone(), store, verify)?;
+        let app = match log.latest_checkpoint().map(|cp| cp.epoch) {
+            Some(epoch) => match log.snapshot_for(epoch) {
+                Some(snapshot) => app.restore(snapshot).map_err(|detail| StoreError::Corrupt {
+                    path: std::path::PathBuf::from(format!("checkpoint snapshot (epoch {epoch})")),
+                    detail,
+                })?,
+                // The machine did not support snapshots when the epoch was
+                // sealed; resume with the fresh state it would replay from.
+                None => app,
+            },
+            None => app,
+        };
+        // Message sequence numbers restart above anything the log committed
+        // (the log sequence is a monotone upper bound on messages sent).
+        let seq = log.total_appended();
+        let node = SnoopyNode {
+            id,
+            keys,
+            registry,
+            app,
+            log,
+            auths: AuthenticatorSet::new(),
+            batcher: MessageBatcher::new(0),
+            epoch_length: None,
+            seq,
+            unacked: Vec::new(),
+            maintainer_notified: BTreeSet::new(),
+            secure: true,
+            proxy_overhead_per_message: 0,
+            byz: ByzantineConfig::honest(),
+            traffic: NodeTraffic::default(),
+            t_prop,
+        };
+        Ok((node, report))
     }
 
     /// Configure Byzantine behaviour for this node.

@@ -11,15 +11,16 @@
 //! produces byte-identical results and stats.
 //!
 //! Everything a worker touches is either owned (its expected machine),
-//! shared immutably (`KeyRegistry`, the node handle map), internally
-//! synchronized (`SnoopyHandle`'s mutex, the sharded cache), or pure
+//! shared immutably (`KeyRegistry`, the peer-link map), internally
+//! synchronized (`SnoopyHandle`'s mutex or the remote peer's RPC client,
+//! the sharded cache), or pure
 //! (`SegmentVerifier`, `verify_batch`) — per-node evidence is causally
 //! disjoint until the graph join, which is what makes the fan-out safe.
 
 use super::cache::{AuditCache, AuditRecord};
 use super::plan::AuditUnit;
 use super::result::{NodeAudit, QueryStats, SegmentFetch};
-use crate::node::SnoopyHandle;
+use crate::fleet::PeerLink;
 use crate::replay;
 use snp_crypto::keys::{KeyRegistry, NodeId};
 use snp_crypto::sign::verify_batch;
@@ -110,7 +111,7 @@ pub(crate) struct AuditContext<'a> {
     pub registry: &'a KeyRegistry,
     /// Handles to every node — the unit's own for `retrieve`, the others for
     /// the §5.5 consistency check.
-    pub nodes: &'a BTreeMap<NodeId, SnoopyHandle>,
+    pub nodes: &'a BTreeMap<NodeId, PeerLink>,
     /// The shared audit cache workers publish verified records to.
     pub cache: &'a AuditCache,
     /// The deployment's propagation bound (graph construction needs it).
@@ -200,7 +201,7 @@ fn audit_uncached(
     let Some(response) = handle.retrieve_anchored(unit.at) else {
         // A node with an empty log has nothing to retrieve; that is not
         // suspicious by itself.
-        let audit = if handle.with(|n| n.log_total_appended()) == 0 {
+        let audit = if handle.log_total_appended() == 0 {
             fail(Color::Black, vec!["empty log".into()])
         } else {
             // No response: everything hosted here stays yellow (§4.2,
@@ -421,16 +422,15 @@ fn audit_uncached(
     // Excuse missing acks that the node reported to the maintainer (§5.4):
     // those sends are a known link problem, not forensic evidence.
     let mut graph = graph;
-    let excused: Vec<VertexId> = handle.with(|n| {
-        if n.maintainer_notifications().is_empty() {
-            return Vec::new();
-        }
+    let excused: Vec<VertexId> = if handle.maintainer_notified() {
         graph
             .vertices()
             .filter(|(_, v)| v.color == Color::Red && matches!(v.kind, VertexKind::Send { .. }) && v.host() == node)
             .map(|(id, _)| *id)
             .collect()
-    });
+    } else {
+        Vec::new()
+    };
     for id in excused {
         graph.force_color(id, Color::Black);
         notes.push("missing ack excused by maintainer notification".into());

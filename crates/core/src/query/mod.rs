@@ -36,6 +36,7 @@ use cache::{AuditCache, AuditRecord};
 use exec::{AuditContext, PlannedUnit, UnitOutcome};
 use result::{diff_stats, merge_stats, StatsMark};
 
+use crate::fleet::{PeerLink, RemotePeer};
 use crate::node::SnoopyHandle;
 use snp_crypto::keys::{KeyRegistry, NodeId};
 use snp_datalog::{MachineFactory, StateMachine, Tuple};
@@ -215,7 +216,7 @@ impl ExpectedMachine {
 /// The querier ("Alice").
 pub struct Querier {
     registry: KeyRegistry,
-    nodes: BTreeMap<NodeId, SnoopyHandle>,
+    nodes: BTreeMap<NodeId, PeerLink>,
     expected: BTreeMap<NodeId, ExpectedMachine>,
     t_prop: Timestamp,
     /// Cached per-`(node, anchor epoch)` audit records (§5.6), sharded so
@@ -279,7 +280,17 @@ impl Querier {
     /// fresh copy obtained via [`StateMachine::fresh`].
     pub fn register(&mut self, handle: SnoopyHandle, expected: Box<dyn StateMachine>) {
         let id = handle.id();
-        self.nodes.insert(id, handle);
+        self.nodes.insert(id, PeerLink::Local(handle));
+        self.expected.insert(id, ExpectedMachine::Template(expected));
+    }
+
+    /// Register a *remote* node (fleet mode): audits reach it through the
+    /// audit RPC instead of a shared in-process handle.  The verification
+    /// pipeline is identical — retrieved bytes are checked against the
+    /// node's certified key, so the transport is untrusted (§5.2).
+    pub fn register_remote(&mut self, peer: RemotePeer, expected: Box<dyn StateMachine>) {
+        let id = peer.id();
+        self.nodes.insert(id, PeerLink::Remote(peer));
         self.expected.insert(id, ExpectedMachine::Template(expected));
     }
 
@@ -288,7 +299,7 @@ impl Querier {
     /// for callers that already construct machines from closures.
     pub fn register_with_factory(&mut self, handle: SnoopyHandle, factory: impl MachineFactory + 'static) {
         let id = handle.id();
-        self.nodes.insert(id, handle);
+        self.nodes.insert(id, PeerLink::Local(handle));
         self.expected.insert(id, ExpectedMachine::Factory(Arc::new(factory)));
     }
 

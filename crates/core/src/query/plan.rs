@@ -11,7 +11,7 @@
 //! any order, but their *results* are always merged in plan order, which is
 //! what makes serial and parallel runs byte-identical.
 
-use crate::node::SnoopyHandle;
+use crate::fleet::PeerLink;
 use snp_crypto::keys::NodeId;
 use snp_graph::vertex::Timestamp;
 use std::collections::{BTreeMap, BTreeSet};
@@ -48,7 +48,7 @@ impl AuditPlan {
     pub fn for_hosts(
         hosts: impl IntoIterator<Item = NodeId>,
         at: Option<Timestamp>,
-        nodes: &BTreeMap<NodeId, SnoopyHandle>,
+        nodes: &BTreeMap<NodeId, PeerLink>,
     ) -> AuditPlan {
         let hosts: BTreeSet<NodeId> = hosts.into_iter().collect();
         AuditPlan {

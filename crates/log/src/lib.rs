@@ -31,8 +31,10 @@
 pub mod auth;
 pub mod batch;
 pub mod checkpoint;
+pub mod codec;
 pub mod entry;
 pub mod log;
+pub mod store;
 pub mod verifier;
 
 pub use auth::{Authenticator, AuthenticatorSet};
@@ -41,4 +43,5 @@ pub use checkpoint::{Checkpoint, CheckpointEntry, PartialCheckpoint};
 pub use entry::{EntryKind, LogEntry};
 pub use log::{chain_span, verify_suffix, LogSegment, LogStats, SecureLog, SegmentError};
 pub use snp_crypto::keys::NodeId;
+pub use store::{FileSegmentStore, MemSegmentStore, RecoveryReport, SegmentStore, StoreError, StoredLog};
 pub use verifier::SegmentVerifier;

@@ -14,10 +14,12 @@
 use crate::auth::Authenticator;
 use crate::checkpoint::{Checkpoint, CheckpointEntry};
 use crate::entry::{EntryKind, LogEntry};
+use crate::store::{RecoveryReport, SegmentStore, StoreError};
 use snp_crypto::keys::{KeyPair, NodeId};
 use snp_crypto::sign::{PublicKey, SIGNATURE_WIRE_BYTES};
 use snp_crypto::{Digest, HashChain};
 use snp_graph::vertex::Timestamp;
+use std::sync::Arc;
 
 /// A contiguous stretch of a node's log: either one sealed epoch or the
 /// retained portion returned by `retrieve`, replayed by the microquery
@@ -125,6 +127,13 @@ pub struct SecureLog {
     dropped_entries: u64,
     /// Bytes dropped by truncation (same accounting as [`LogStats`]).
     dropped_bytes: u64,
+    /// Optional durability sink; `None` keeps the log RAM-only (the
+    /// default, and what every simulator deployment uses).
+    store: Option<Box<dyn SegmentStore>>,
+    /// First store failure observed.  The log keeps serving from RAM (an
+    /// I/O error must not take the provenance system down with it); callers
+    /// inspect [`SecureLog::store_error`] to decide whether to fail over.
+    store_error: Option<Arc<StoreError>>,
 }
 
 impl SecureLog {
@@ -144,7 +153,101 @@ impl SecureLog {
             retain: None,
             dropped_entries: 0,
             dropped_bytes: 0,
+            store: None,
+            store_error: None,
         }
+    }
+
+    /// Create an empty log whose segments are persisted through `store`.
+    pub fn with_store(keys: KeyPair, store: Box<dyn SegmentStore>) -> SecureLog {
+        let mut log = SecureLog::new(keys);
+        log.store = Some(store);
+        log
+    }
+
+    /// Resume a log from `store`.  With `verify = true` (what every honest
+    /// node does) the store must authenticate everything it returns against
+    /// this node's own key — checkpoint signatures, Merkle roots, snapshot
+    /// digests and each segment's hash chain against its sealed head — and a
+    /// tampered or torn store yields a typed [`StoreError`], never a panic.
+    /// The node resumes in a fresh epoch at its last *sealed* checkpoint:
+    /// unsealed tail entries are dropped and reported in the
+    /// [`RecoveryReport`] (they were never committed, so the querier's
+    /// anchored replay never expected them).
+    pub fn reopen(
+        keys: KeyPair,
+        mut store: Box<dyn SegmentStore>,
+        verify: bool,
+    ) -> Result<(SecureLog, RecoveryReport), StoreError> {
+        let stored = store.load(if verify { Some(&keys.public) } else { None })?;
+        let (next_seq, head, epoch) = match stored.checkpoints.last() {
+            Some((cp, _)) => (cp.at_seq, cp.chain_head, cp.epoch + 1),
+            None => (0, Digest::ZERO, 0),
+        };
+        // Reconstruct the (seq, timestamp) pair behind `authenticator()`:
+        // exact when the final epoch's entries are retained, else the sealing
+        // checkpoint's timestamp bounds it.
+        let last_entry = if next_seq == 0 {
+            None
+        } else {
+            match stored.segments.last().and_then(|s| s.entries.last()) {
+                Some(e) if e.seq + 1 == next_seq => Some((e.seq, e.timestamp)),
+                _ => stored.checkpoints.last().map(|(cp, _)| (next_seq - 1, cp.timestamp)),
+            }
+        };
+        let report = RecoveryReport {
+            resumed_epoch: epoch,
+            resumed_seq: next_seq,
+            head,
+            lost_tail_entries: stored.lost_tail_entries,
+            lost_tail_bytes: stored.lost_tail_bytes,
+            retained_segments: stored.segments.len(),
+        };
+        let log = SecureLog {
+            keys,
+            sealed: stored.segments,
+            checkpoints: stored.checkpoints,
+            active: Vec::new(),
+            active_base_seq: next_seq,
+            active_start_head: head,
+            head,
+            next_seq,
+            last_entry,
+            epoch,
+            retain: None,
+            dropped_entries: 0,
+            dropped_bytes: 0,
+            store: Some(store),
+            store_error: None,
+        };
+        Ok((log, report))
+    }
+
+    /// Attach a durability sink to a log that has not appended anything
+    /// yet.  Returns `false` (and leaves the log unchanged) once entries
+    /// exist: attaching mid-stream would persist a chain with a missing
+    /// prefix, which `load` would then reject.
+    pub fn attach_store(&mut self, store: Box<dyn SegmentStore>) -> bool {
+        if self.next_seq != 0 {
+            return false;
+        }
+        self.store = Some(store);
+        true
+    }
+
+    /// The first store failure, if the durability sink has broken down.
+    pub fn store_error(&self) -> Option<&StoreError> {
+        self.store_error.as_deref()
+    }
+
+    /// Whether a durability sink is attached.
+    pub fn has_store(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Tear the log down into its store (test hook for crash simulations).
+    pub fn into_store(self) -> Option<Box<dyn SegmentStore>> {
+        self.store
     }
 
     /// The node that owns the log.
@@ -211,10 +314,19 @@ impl SecureLog {
             timestamp,
             kind,
         };
-        self.head = HashChain::link(self.head, &entry.encode());
+        let encoded = entry.encode();
+        self.head = HashChain::link(self.head, &encoded);
         self.last_entry = Some((entry.seq, timestamp));
         self.next_seq += 1;
         self.active.push(entry.clone());
+        // The store's tail record is the exact byte string the chain linked.
+        if self.store_error.is_none() {
+            if let Some(store) = self.store.as_mut() {
+                if let Err(e) = store.append_tail(&encoded) {
+                    self.store_error = Some(Arc::new(e));
+                }
+            }
+        }
         entry
     }
 
@@ -260,6 +372,17 @@ impl SecureLog {
         );
         self.sealed.push(segment);
         self.checkpoints.push((checkpoint, snapshot));
+        // Durability point: the seal must hit stable storage before the
+        // epoch rolls (recovery resumes exactly here).
+        if self.store_error.is_none() {
+            if let Some(store) = self.store.as_mut() {
+                let sealed = self.sealed.last().expect("just pushed");
+                let (cp, snap) = self.checkpoints.last().expect("just pushed");
+                if let Err(e) = store.seal(sealed, cp, snap.as_deref()) {
+                    self.store_error = Some(Arc::new(e));
+                }
+            }
+        }
         self.epoch += 1;
         self.active_base_seq = self.next_seq;
         self.active_start_head = self.head;
@@ -285,6 +408,13 @@ impl SecureLog {
             }
             self.dropped_entries += dropped.entries.len() as u64;
             self.dropped_bytes += stats.total();
+            if self.store_error.is_none() {
+                if let Some(store) = self.store.as_mut() {
+                    if let Err(e) = store.drop_segment_entries(dropped.epoch) {
+                        self.store_error = Some(Arc::new(e));
+                    }
+                }
+            }
         }
         // Snapshots and checkpointed tuple state strictly below the
         // anchorable horizon can never be used again (anchors clamp forward
@@ -296,8 +426,18 @@ impl SecureLog {
             // sealed epochs, so the index fits.
             #[allow(clippy::cast_possible_truncation)]
             for (checkpoint, snapshot) in self.checkpoints.iter_mut().take(oldest as usize) {
+                if checkpoint.pruned {
+                    continue;
+                }
                 *snapshot = None;
                 checkpoint.prune();
+                if self.store_error.is_none() {
+                    if let Some(store) = self.store.as_mut() {
+                        if let Err(e) = store.prune_checkpoint(checkpoint) {
+                            self.store_error = Some(Arc::new(e));
+                        }
+                    }
+                }
             }
         }
     }

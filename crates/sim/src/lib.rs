@@ -36,7 +36,9 @@ pub mod node;
 pub mod rng;
 pub mod sim;
 pub mod stats;
+pub mod tcp;
 pub mod time;
+pub mod transport;
 
 pub use event::SchedImpl;
 pub use network::NetworkConfig;
@@ -44,4 +46,6 @@ pub use node::{Context, Payload, SimNode, TimerId};
 pub use sim::{PendingEvent, PendingKind, Simulator};
 pub use snp_crypto::keys::NodeId;
 pub use stats::{TrafficCategory, TrafficStats};
+pub use tcp::{RetryPolicy, TcpTransport};
 pub use time::{SimDuration, SimTime};
+pub use transport::{Frame, InMemNet, InMemTransport, Transport, TransportError};

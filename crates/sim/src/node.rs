@@ -125,6 +125,22 @@ impl<P: Payload> Context<P> {
     pub(crate) fn take_outputs(self) -> (Vec<Outgoing<P>>, Vec<TimerRequest>, bool) {
         (self.outbox, self.timers, self.halted)
     }
+
+    /// Construct a context outside the simulator.  Real-fleet drivers (the
+    /// [`Transport`](crate::transport::Transport)-based runtime in
+    /// `snp-core`) run the *same* node callbacks against wall-clock time;
+    /// this is the seam that lets them, without exposing the simulator's
+    /// internal event plumbing.
+    pub fn for_driver(node: NodeId, now: SimTime, rng: DetRng) -> Context<P> {
+        Context::new(node, now, rng)
+    }
+
+    /// Drain the outputs a callback queued: `(sends, timer requests,
+    /// halted)`.  The driver-side counterpart of the simulator's internal
+    /// drain; consumes the context so outputs cannot be double-delivered.
+    pub fn into_outputs(self) -> (Vec<Outgoing<P>>, Vec<TimerRequest>, bool) {
+        self.take_outputs()
+    }
 }
 
 /// A node participating in the simulation.

@@ -1,0 +1,201 @@
+//! The pluggable node-I/O boundary for real-fleet mode (ISSUE 9).
+//!
+//! Inside the simulator, nodes never do I/O: the event loop hands them
+//! deliveries and drains their outboxes.  Real-fleet mode runs the *same*
+//! node state machines in separate OS processes, so the I/O surface the
+//! runtime needs — "send these bytes to that node", "give me the next
+//! arrived frame" — is factored behind the [`Transport`] trait:
+//!
+//! * [`InMemNet`] / [`InMemTransport`] — a deterministic in-process hub
+//!   (per-peer FIFO queues, no threads, no time).  This is what transport
+//!   unit tests and single-process fleet drivers use; the discrete-event
+//!   [`Simulator`](crate::sim::Simulator) itself is **unchanged** and
+//!   remains the default substrate for deployments.
+//! * [`crate::tcp::TcpTransport`] — real sockets over `std::net`, with
+//!   length-prefixed frames, per-peer reconnect and bounded retry/backoff.
+//!
+//! Frames are opaque byte strings: the codec (in `snp-core`, where
+//! `SnoopyWire` lives) stays above this boundary, so a transport can never
+//! partially decode a message.
+
+use snp_crypto::keys::NodeId;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// One received frame: the sender and its (still encoded) bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    /// The node that sent the frame (authenticated by the transport only in
+    /// the weak "this connection handshook as that node" sense — protocol
+    /// trust comes from the signatures *inside* the frame, per §5.2).
+    pub from: NodeId,
+    /// The encoded payload.
+    pub bytes: Vec<u8>,
+}
+
+/// Typed transport failures.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The destination is not in the peer table.
+    UnknownPeer(NodeId),
+    /// The peer could not be reached within the configured retry budget.
+    Disconnected {
+        /// The unreachable peer.
+        peer: NodeId,
+        /// Connection attempts made before giving up.
+        attempts: u32,
+        /// The last socket error observed.
+        last: std::io::Error,
+    },
+    /// A socket operation failed outside the connect path.
+    Io {
+        /// The peer involved (`None` for the local listener).
+        peer: Option<NodeId>,
+        /// The operation that failed.
+        op: &'static str,
+        /// The underlying error.
+        error: std::io::Error,
+    },
+    /// A frame exceeded the transport's size bound (protection against a
+    /// corrupt or hostile length prefix).
+    Oversized {
+        /// The claimed frame length.
+        len: u64,
+        /// The configured bound.
+        bound: u64,
+    },
+    /// The transport has been shut down.
+    Closed,
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownPeer(peer) => write!(f, "no address for peer {peer}"),
+            TransportError::Disconnected { peer, attempts, last } => {
+                write!(f, "peer {peer} unreachable after {attempts} attempts: {last}")
+            }
+            TransportError::Io { peer, op, error } => match peer {
+                Some(peer) => write!(f, "{op} to {peer}: {error}"),
+                None => write!(f, "{op}: {error}"),
+            },
+            TransportError::Oversized { len, bound } => {
+                write!(f, "frame of {len} bytes exceeds the {bound}-byte bound")
+            }
+            TransportError::Closed => write!(f, "transport is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Disconnected { last, .. } => Some(last),
+            TransportError::Io { error, .. } => Some(error),
+            _ => None,
+        }
+    }
+}
+
+/// The node-I/O surface a fleet driver runs against.
+pub trait Transport: std::fmt::Debug + Send {
+    /// The node this endpoint belongs to.
+    fn local(&self) -> NodeId;
+
+    /// Send `frame` to `to`.  Ordering is FIFO per destination; delivery is
+    /// reliable while the peer is reachable (Assumption 1 — the paper's
+    /// deployments run on TCP for the same reason).
+    fn send(&mut self, to: NodeId, frame: &[u8]) -> Result<(), TransportError>;
+
+    /// Wait up to `wait` for the next frame.  `Ok(None)` means the wait
+    /// elapsed quietly — the driver uses that to run its timer wheel.
+    fn poll(&mut self, wait: Duration) -> Result<Option<Frame>, TransportError>;
+
+    /// Release sockets/threads.  Idempotent; the default is a no-op for
+    /// transports with nothing to release.
+    fn shutdown(&mut self) {}
+}
+
+/// Shared state of an [`InMemNet`]: one FIFO mailbox per node.
+type Mailboxes = Arc<Mutex<BTreeMap<NodeId, VecDeque<Frame>>>>;
+
+/// A deterministic in-process transport hub.  Every endpoint shares the
+/// mailbox table; `send` is an immediate FIFO enqueue, `poll` a dequeue —
+/// no threads, no clocks, so driver tests stay exactly reproducible.
+#[derive(Clone, Debug, Default)]
+pub struct InMemNet {
+    mailboxes: Mailboxes,
+}
+
+impl InMemNet {
+    /// A fresh hub with no endpoints.
+    pub fn new() -> InMemNet {
+        InMemNet::default()
+    }
+
+    /// Create the endpoint for `node` (registering its mailbox).
+    pub fn endpoint(&self, node: NodeId) -> InMemTransport {
+        self.mailboxes.lock().expect("mailbox lock").entry(node).or_default();
+        InMemTransport {
+            node,
+            mailboxes: Arc::clone(&self.mailboxes),
+        }
+    }
+}
+
+/// One node's endpoint on an [`InMemNet`].
+#[derive(Clone, Debug)]
+pub struct InMemTransport {
+    node: NodeId,
+    mailboxes: Mailboxes,
+}
+
+impl Transport for InMemTransport {
+    fn local(&self) -> NodeId {
+        self.node
+    }
+
+    fn send(&mut self, to: NodeId, frame: &[u8]) -> Result<(), TransportError> {
+        let mut boxes = self.mailboxes.lock().expect("mailbox lock");
+        let mailbox = boxes.get_mut(&to).ok_or(TransportError::UnknownPeer(to))?;
+        mailbox.push_back(Frame {
+            from: self.node,
+            bytes: frame.to_vec(),
+        });
+        Ok(())
+    }
+
+    fn poll(&mut self, _wait: Duration) -> Result<Option<Frame>, TransportError> {
+        // Deterministic: no blocking, the "wait" is always instant.
+        let mut boxes = self.mailboxes.lock().expect("mailbox lock");
+        Ok(boxes.get_mut(&self.node).and_then(|m| m.pop_front()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_mem_net_is_fifo_per_destination() {
+        let net = InMemNet::new();
+        let mut a = net.endpoint(NodeId(1));
+        let mut b = net.endpoint(NodeId(2));
+        a.send(NodeId(2), b"first").unwrap();
+        a.send(NodeId(2), b"second").unwrap();
+        let f1 = b.poll(Duration::ZERO).unwrap().unwrap();
+        let f2 = b.poll(Duration::ZERO).unwrap().unwrap();
+        assert_eq!((f1.from, f1.bytes.as_slice()), (NodeId(1), &b"first"[..]));
+        assert_eq!(f2.bytes, b"second");
+        assert_eq!(b.poll(Duration::ZERO).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_peer_is_typed() {
+        let net = InMemNet::new();
+        let mut a = net.endpoint(NodeId(1));
+        let err = a.send(NodeId(9), b"x").unwrap_err();
+        assert!(matches!(err, TransportError::UnknownPeer(NodeId(9))), "{err}");
+    }
+}

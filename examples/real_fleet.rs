@@ -1,0 +1,289 @@
+//! Real-fleet demo (ISSUE 9): two OS processes on loopback TCP.
+//!
+//! The orchestrator process *is* the querier.  It spawns a peer process
+//! hosting the [`FleetDemo`](snp::apps::fleet::FleetDemo) node with a
+//! durable segment store, then runs the full forensic story:
+//!
+//! 1. **Green** — inject `link` base tuples over the wire (operator
+//!    frames), wait for the peer to seal an epoch, and audit
+//!    `why_exists(bestCost)` through the audit RPC: the verdict must be
+//!    legitimate.
+//! 2. **Crash + tamper** — SIGKILL the peer mid-epoch and flip one bit in a
+//!    sealed segment file on disk.
+//! 3. **Honest restart refuses** — a peer restarted with store verification
+//!    on must reject the tampered store with a typed error and exit.
+//! 4. **Red** — a *compromised* peer restarts with verification off and
+//!    serves the tampered bytes; the querier's anchored replay convicts it
+//!    (verdict not legitimate).
+//!
+//! ```text
+//! cargo run --release --example real_fleet            # orchestrator + peer
+//! SNP_FLEET_DIR=/tmp/fleet cargo run --example real_fleet
+//! ```
+//!
+//! Exit code 0 means the whole story held; anything else is a failure (CI
+//! runs this binary and archives `peer-*.log` from the fleet directory).
+
+use snp::apps::fleet::{peer_best_cost, peer_link, FleetDemo, DEST, PEER};
+use snp::core::deploy::DeploymentBuilder;
+use snp::core::{Deployment, RemotePeer, SnoopyWire};
+use snp::datalog::SmInput;
+use snp::sim::{NodeId, SimDuration, TcpTransport};
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+/// The querier process's transport identity (never a deployed node).
+const QUERIER: NodeId = NodeId(900);
+fn builder(dir: &Path) -> DeploymentBuilder {
+    // 100 ms epoch cadence (wall-clock: fleet time is real time).
+    Deployment::builder()
+        .app(FleetDemo::new())
+        .epoch_length(SimDuration::from_millis(100))
+        .segment_dir(dir)
+}
+
+fn fleet_dir() -> PathBuf {
+    std::env::var_os("SNP_FLEET_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("snp-real-fleet-{}", std::process::id())))
+}
+
+// ---------------------------------------------------------------------------
+// Peer process
+// ---------------------------------------------------------------------------
+
+/// `real_fleet peer <dir> <querier_addr> <verify>` — host the demo node.
+fn peer_main(dir: &Path, querier_addr: SocketAddr, verify: bool) -> i32 {
+    let peers = BTreeMap::from([(QUERIER, querier_addr)]);
+    let transport = match TcpTransport::bind(PEER, "127.0.0.1:0".parse().expect("loopback addr"), peers) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("peer: bind failed: {e}");
+            return 3;
+        }
+    };
+    let addr = transport.local_addr();
+    // A compromised restart (verification off) freezes sealing: the audit
+    // must anchor at the tampered epoch, and a node that keeps sealing
+    // pushes the corruption behind the latest chain link — that is the
+    // historical-audit case (see DESIGN.md), not this demo's story.
+    let builder = if verify {
+        builder(dir)
+    } else {
+        builder(dir).epoch_length(SimDuration::from_secs(3600))
+    };
+    let (mut node, report) = match builder.build_fleet_node(PEER, Box::new(transport), verify) {
+        Ok(built) => built,
+        Err(e) => {
+            // An honest node refusing a tampered store lands here — that
+            // refusal is step 3 of the demo, so report it loudly and exit.
+            eprintln!("peer: refusing to start: {e}");
+            return 2;
+        }
+    };
+    if let Some(report) = report {
+        println!(
+            "peer: resumed at epoch {} seq {} ({} segment(s) retained, {} tail entr{} lost)",
+            report.resumed_epoch,
+            report.resumed_seq,
+            report.retained_segments,
+            report.lost_tail_entries,
+            if report.lost_tail_entries == 1 { "y" } else { "ies" },
+        );
+    }
+    // Publish the bound address last: the orchestrator treats the file as
+    // the ready signal.
+    let addr_file = dir.join("peer.addr");
+    let tmp = dir.join("peer.addr.tmp");
+    if let Err(e) = std::fs::write(&tmp, addr.to_string()).and_then(|()| std::fs::rename(&tmp, &addr_file)) {
+        eprintln!("peer: cannot publish address: {e}");
+        return 3;
+    }
+    println!("peer: node {} listening on {addr}, store under {}", PEER, dir.display());
+    node.start();
+    loop {
+        node.run_for(Duration::from_millis(100));
+        for e in node.errors() {
+            eprintln!("peer: transport: {e}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Orchestrator / querier process
+// ---------------------------------------------------------------------------
+
+struct PeerHandle {
+    child: Child,
+    peer: RemotePeer,
+}
+
+/// Spawn the peer process and connect a fresh querier endpoint to it.
+fn spawn_peer(dir: &Path, verify: bool, log_name: &str) -> Result<PeerHandle, String> {
+    let mut querier_transport =
+        TcpTransport::bind(QUERIER, "127.0.0.1:0".parse().expect("loopback addr"), BTreeMap::new())
+            .map_err(|e| format!("querier bind: {e}"))?;
+    let addr_file = dir.join("peer.addr");
+    let _ = std::fs::remove_file(&addr_file);
+    let log = std::fs::File::create(dir.join(log_name)).map_err(|e| format!("create {log_name}: {e}"))?;
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let child = Command::new(exe)
+        .arg("peer")
+        .arg(dir)
+        .arg(querier_transport.local_addr().to_string())
+        .arg(if verify { "verify" } else { "trust" })
+        .stdout(Stdio::from(log.try_clone().map_err(|e| e.to_string())?))
+        .stderr(Stdio::from(log))
+        .spawn()
+        .map_err(|e| format!("spawn peer: {e}"))?;
+    // The peer writes its bound address once it is ready to serve.
+    let mut child = child;
+    let mut waited = 0;
+    let peer_addr: SocketAddr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        if let Ok(Some(status)) = child.try_wait() {
+            return Err(format!("peer exited before publishing its address ({status})"));
+        }
+        waited += 50;
+        if waited > 10_000 {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("peer never published its address".into());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    querier_transport.add_peer(PEER, peer_addr);
+    Ok(PeerHandle {
+        child,
+        peer: RemotePeer::new(PEER, Box::new(querier_transport), Duration::from_secs(5)),
+    })
+}
+
+/// Wait (bounded) until the peer has sealed at least one anchoring epoch.
+fn await_sealed_epoch(peer: &RemotePeer) -> Result<(), String> {
+    for _ in 0..200 {
+        if matches!(
+            peer.call(&snp::core::AuditRequest::AnchorEpoch { at: None }),
+            Some(snp::core::AuditResponse::AnchorEpoch(Some(_)))
+        ) {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err("peer never sealed an epoch".into())
+}
+
+/// Wait (bounded) until an entry-bearing segment is on disk — phase 2 needs
+/// sealed *content* to corrupt, not just an empty-epoch header.
+fn await_sealed_entries(node_dir: &Path) -> Result<(), String> {
+    for _ in 0..200 {
+        let sealed = std::fs::read_dir(node_dir).is_ok_and(|read| {
+            read.filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+                .any(|p| std::fs::metadata(&p).map(|m| m.len()).unwrap_or(0) > snp::log::store::SEG_HEADER_LEN)
+        });
+        if sealed {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    Err("links were never sealed into a segment".into())
+}
+
+fn audit(dir: &Path, peer: &RemotePeer) -> Result<snp::core::QueryResult, String> {
+    let mut querier = builder(dir)
+        .build_fleet_querier(vec![peer.clone()])
+        .map_err(|e| format!("build querier: {e}"))?;
+    Ok(querier.why_exists(peer_best_cost(5)).at(PEER).run())
+}
+
+fn orchestrate() -> Result<(), String> {
+    let dir = fleet_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    println!("fleet directory: {}", dir.display());
+
+    // Phase 1: live peer, operator workload over TCP, green audit.
+    let mut live = spawn_peer(&dir, true, "peer-live.log")?;
+    for (dest, cost) in [(DEST, 5), (NodeId(3), 9)] {
+        live.peer
+            .send_wire(&SnoopyWire::Operator {
+                input: SmInput::InsertBase(peer_link(dest, cost)),
+            })
+            .map_err(|e| format!("operator insert: {e}"))?;
+    }
+    await_sealed_epoch(&live.peer)?;
+    let node_dir = dir.join(format!("node-{}", PEER.0));
+    await_sealed_entries(&node_dir)?;
+    let result = audit(&dir, &live.peer)?;
+    println!("\n== phase 1: live audit ==\n{}", result.render());
+    if !result.is_legitimate() {
+        return Err("live audit should be green".into());
+    }
+    println!(
+        "verdict: GREEN (legitimate), {} bytes of evidence",
+        result.stats.total_bytes()
+    );
+
+    // Phase 2: crash the peer and flip one bit in the latest entry-bearing
+    // sealed segment (the epoch a fresh audit anchors on).
+    live.child.kill().map_err(|e| format!("kill peer: {e}"))?;
+    let _ = live.child.wait();
+    drop(live);
+    let seg = snp::core::fleet::tamper_latest_sealed_segment(&node_dir).map_err(|e| format!("tamper segment: {e}"))?;
+    println!("\n== phase 2: crashed peer, flipped 1 bit in {} ==", seg.display());
+
+    // Phase 3: an honest restart must refuse the tampered store.
+    match spawn_peer(&dir, true, "peer-honest-restart.log") {
+        Err(e) if e.contains("exited before publishing") => {
+            println!("honest restart refused the tampered store ({e})");
+        }
+        Err(e) => return Err(format!("honest restart failed unexpectedly: {e}")),
+        Ok(mut handle) => {
+            let status = handle.child.wait().map_err(|e| e.to_string())?;
+            if status.success() {
+                return Err("honest restart should have refused the tampered store".into());
+            }
+            println!("honest restart refused the tampered store (exit {status})");
+        }
+    }
+
+    // Phase 4: a compromised peer restarts without verification and serves
+    // the tampered bytes; the querier convicts it.
+    let mut compromised = spawn_peer(&dir, false, "peer-compromised.log")?;
+    let result = audit(&dir, &compromised.peer)?;
+    println!("\n== phase 4: audit of the compromised peer ==\n{}", result.render());
+    let red = !result.is_legitimate();
+    compromised.child.kill().map_err(|e| format!("kill peer: {e}"))?;
+    let _ = compromised.child.wait();
+    if !red {
+        return Err("tampered evidence audited green".into());
+    }
+    println!("verdict: RED (tamper evident)");
+    println!("\nreal-fleet demo: PASS");
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("peer") {
+        let dir = PathBuf::from(args.get(2).expect("peer <dir> <querier_addr> <verify|trust>"));
+        let querier_addr = args
+            .get(3)
+            .and_then(|a| a.parse().ok())
+            .expect("querier address argument");
+        let verify = args.get(4).map(String::as_str) != Some("trust");
+        std::process::exit(peer_main(&dir, querier_addr, verify));
+    }
+    if let Err(e) = orchestrate() {
+        eprintln!("real-fleet demo: FAIL: {e}");
+        std::process::exit(1);
+    }
+}
