@@ -64,6 +64,26 @@ impl Relation {
     }
 }
 
+/// The declarative companion of the BGP speaker: the external specification
+/// the proxy reports provenance against (§6.3), written as NDlog rules so
+/// the static analyzer and `DeploymentBuilder` can cross-check it against
+/// the tuples the machine actually produces.
+///
+/// The `maybe` rules are exactly the paper's device for a black-box
+/// protocol: selection among candidates (B2) and export policy (B3) are
+/// *nondeterministic choices* the hand-written machine makes — the rules
+/// only constrain what a legitimate choice may be derived from.  The
+/// machine's path-concatenation on export is not expressible without list
+/// constructors, so B3 carries the path through unchanged.
+pub const BGP_PROGRAM: &str = r#"
+    # B1: an advertisement received from a configured neighbor is a candidate
+    B1 candidate(@A, P, Path, V)      :- advRoute(@A, P, Path, V), neighbor(@A, V, Rel).
+    # B2: the speaker selects one candidate per prefix (policy choice)
+    B2 route(@A, P, Path, V)    maybe :- candidate(@A, P, Path, V).
+    # B3: a selected route may be exported to a neighbor (export policy)
+    B3 advRoute(@B, P, Path, A) maybe :- route(@A, P, Path, V), neighbor(@A, B, Rel).
+"#;
+
 // ---- tuple constructors -------------------------------------------------------
 
 /// `originate(@a, prefix)` — the AS originates the prefix (base tuple).
@@ -747,6 +767,10 @@ impl Application for BgpApp {
         }
         events
     }
+
+    fn program(&self) -> Option<String> {
+        Some(BGP_PROGRAM.into())
+    }
 }
 
 /// Build the classic BadGadget gadget \[11\]: ASes 1, 2, 3 around destination
@@ -876,6 +900,24 @@ pub fn blackhole_scenario(secure: bool, seed: u64, suppress: bool) -> (Deploymen
 
 #[cfg(test)]
 mod tests {
+
+    #[test]
+    fn declared_program_is_lint_clean_against_the_workload() {
+        use snp_core::deploy::WorkloadOp;
+        let app = BgpScenario::quagga_like().app(true);
+        let rules = snp_datalog::parser::parse_program(BGP_PROGRAM).expect("program parses");
+        let facts: Vec<Tuple> = app
+            .workload(7)
+            .into_iter()
+            .map(|e| match e.op {
+                WorkloadOp::Insert(t) | WorkloadOp::Delete(t) => t,
+            })
+            .collect();
+        for d in snp_datalog::analyze_with_facts(&rules, &facts) {
+            assert!(d.severity < snp_datalog::Severity::Warning, "{}", d.render());
+        }
+    }
+
     use super::*;
 
     #[test]

@@ -47,6 +47,24 @@ pub fn in_interval(x: u64, a: u64, b: u64) -> bool {
     }
 }
 
+/// The declarative companion of the Chord machine: the lookup protocol as
+/// NDlog rules, statically analyzable and cross-checked against the
+/// workload's base tuples by `DeploymentBuilder`.
+///
+/// C1 is the answer rule — a lookup whose key falls inside the node's
+/// `(me, succ]` arc is resolved by its successor and the result is shipped
+/// back to the origin.  C2 is the forwarding step: for any other key the
+/// machine routes the request onward (through the finger table when
+/// possible, to the successor otherwise), a choice the `maybe` rule leaves
+/// to the implementation.  The ring's modular wraparound arc is not
+/// expressible in plain comparisons and lives only in the machine.
+pub const CHORD_PROGRAM: &str = r#"
+    # C1: a key inside (me, succ] is owned by the successor
+    C1 lookupResult(@O, R, K, S, SI) :- lookup(@N, K, O, R), me(@N, MI), succ(@N, SI, S), K > MI, K <= SI.
+    # C2: any other lookup may be forwarded around the ring
+    C2 lookup(@S, K, O, R)     maybe :- lookup(@N, K, O, R), succ(@N, SI, S).
+"#;
+
 // ---- tuple constructors -----------------------------------------------------
 
 /// `me(@n, id)` — the node's own identifier (base tuple).
@@ -897,10 +915,32 @@ impl Application for ChordApp {
         }
         events
     }
+
+    fn program(&self) -> Option<String> {
+        Some(CHORD_PROGRAM.into())
+    }
 }
 
 #[cfg(test)]
 mod tests {
+
+    #[test]
+    fn declared_program_is_lint_clean_against_the_workload() {
+        use snp_core::deploy::WorkloadOp;
+        let app = ChordScenario::small(60).app(None);
+        let rules = snp_datalog::parser::parse_program(CHORD_PROGRAM).expect("program parses");
+        let facts: Vec<Tuple> = app
+            .workload(7)
+            .into_iter()
+            .map(|e| match e.op {
+                WorkloadOp::Insert(t) | WorkloadOp::Delete(t) => t,
+            })
+            .collect();
+        for d in snp_datalog::analyze_with_facts(&rules, &facts) {
+            assert!(d.severity < snp_datalog::Severity::Warning, "{}", d.render());
+        }
+    }
+
     use super::*;
 
     #[test]

@@ -78,6 +78,13 @@ impl Application for FleetDemo {
     fn workload(&self, _seed: u64) -> Vec<WorkloadEvent> {
         Vec::new()
     }
+
+    // The demo evaluates the MinCost rules verbatim, so its declared
+    // program is MinCost's — `build_fleet_node` statically re-checks it
+    // before bringing the peer process up.
+    fn program(&self) -> Option<String> {
+        Some(mincost::MINCOST_PROGRAM.into())
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,27 @@ use snp_sim::rng::DetRng;
 use snp_sim::SimTime;
 use std::collections::BTreeMap;
 
+/// The declarative companion of the MapReduce job: the dataflow from map
+/// output to reduced totals as NDlog rules, statically analyzable and
+/// cross-checked against the workload's base tuples by `DeploymentBuilder`.
+///
+/// The machines report provenance at key-value granularity (§6.2); these
+/// rules are the shape those reports follow.  M1 and M3 use `count` over
+/// the per-occurrence / per-combiner tuples (the engine's aggregates have
+/// no `sum`, so M3 counts contributions rather than totalling them — the
+/// hand-written reducer does the summing).  `reducerOf` models the word
+/// partitioning function [`reducer_for`]; tokenization of `mapInput` text
+/// into `mapOut` occurrences is not expressible in the rule language and
+/// lives only in the mapper machine.
+pub const MAPREDUCE_PROGRAM: &str = r#"
+    # M1: the combiner pre-aggregates each split's word occurrences
+    M1 combineOut(@M, S, W, count<O>) :- mapOut(@M, S, W, O).
+    # M2: each combined count is shuffled to the reducer owning the word
+    M2 shuffle(@R, W, C, M, S) maybe  :- combineOut(@M, S, W, C), reducerOf(@M, W, R).
+    # M3: a reducer folds the contributions shuffled to it for each word
+    M3 reduceOut(@R, W, count<C>)     :- shuffle(@R, W, C, M, S).
+"#;
+
 // ---- tuple constructors -------------------------------------------------------
 
 /// `mapInput(@m, splitId, text)`.
@@ -491,10 +512,32 @@ impl Application for MapReduceJob {
             })
             .collect()
     }
+
+    fn program(&self) -> Option<String> {
+        Some(MAPREDUCE_PROGRAM.into())
+    }
 }
 
 #[cfg(test)]
 mod tests {
+
+    #[test]
+    fn declared_program_is_lint_clean_against_the_workload() {
+        use snp_core::deploy::WorkloadOp;
+        let app = tiny().job(None, 0);
+        let rules = snp_datalog::parser::parse_program(MAPREDUCE_PROGRAM).expect("program parses");
+        let facts: Vec<Tuple> = app
+            .workload(7)
+            .into_iter()
+            .map(|e| match e.op {
+                WorkloadOp::Insert(t) | WorkloadOp::Delete(t) => t,
+            })
+            .collect();
+        for d in snp_datalog::analyze_with_facts(&rules, &facts) {
+            assert!(d.severity < snp_datalog::Severity::Warning, "{}", d.render());
+        }
+    }
+
     use super::*;
 
     fn tiny() -> MapReduceScenario {

@@ -125,6 +125,10 @@ impl Application for MinCost {
         }
         events
     }
+
+    fn program(&self) -> Option<String> {
+        Some(MINCOST_PROGRAM.into())
+    }
 }
 
 /// Build the five-router MinCost deployment with all link base tuples
@@ -139,6 +143,24 @@ pub fn build_scenario(secure: bool, seed: u64) -> Deployment {
 
 #[cfg(test)]
 mod tests {
+
+    #[test]
+    fn declared_program_is_lint_clean_against_the_workload() {
+        use snp_core::deploy::WorkloadOp;
+        let app = MinCost::example();
+        let rules = snp_datalog::parser::parse_program(MINCOST_PROGRAM).expect("program parses");
+        let facts: Vec<Tuple> = app
+            .workload(7)
+            .into_iter()
+            .map(|e| match e.op {
+                WorkloadOp::Insert(t) | WorkloadOp::Delete(t) => t,
+            })
+            .collect();
+        for d in snp_datalog::analyze_with_facts(&rules, &facts) {
+            assert!(d.severity < snp_datalog::Severity::Warning, "{}", d.render());
+        }
+    }
+
     use super::*;
 
     #[test]

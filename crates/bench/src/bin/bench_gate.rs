@@ -221,6 +221,33 @@ const GATES: &[Gate] = &[
         path: "scaling.rows.2.events",
         check: Check::Band,
     },
+    // rulecheck: the static rule analyzer's findings over the shipped app
+    // programs are fully deterministic.  Errors and warnings are pinned as
+    // one-sided costs against a 0 baseline, so a single new finding fails
+    // the gate; the advisory count and the program count are pinned
+    // two-sided — a silent drop in either means programs stopped being
+    // linted (or an analysis pass stopped firing), which is lost coverage,
+    // not an improvement.
+    Gate {
+        file: "BENCH_rulecheck.json",
+        path: "totals.errors",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_rulecheck.json",
+        path: "totals.warnings",
+        check: Check::Cost,
+    },
+    Gate {
+        file: "BENCH_rulecheck.json",
+        path: "totals.advice",
+        check: Check::Band,
+    },
+    Gate {
+        file: "BENCH_rulecheck.json",
+        path: "totals.programs",
+        check: Check::Band,
+    },
     // store: the durable segment store's deterministic ledger.  Bytes on
     // disk are pinned one-sided (the encodings are stable, so a rise means
     // the store started writing more per entry); the sealed-epoch count and

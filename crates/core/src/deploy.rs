@@ -167,6 +167,50 @@ pub trait Application {
         let _ = seed;
         Vec::new()
     }
+
+    /// The NDlog rule program this application's machines evaluate, in the
+    /// [`snp_datalog::parser`] text syntax, if it has one.
+    ///
+    /// When present, the builders ([`DeploymentBuilder::try_build`] and the
+    /// fleet-mode variants) parse the program and run the
+    /// [`snp_datalog::analysis`] passes over it — together with the base
+    /// tuples of [`Application::workload`], which contribute signature
+    /// evidence, so a program whose relations disagree with the tuples the
+    /// workload actually injects is caught at build time.  Error-level
+    /// diagnostics refuse the deployment with a typed
+    /// [`ConfigError::RuleProgram`].  Defaults to `None` for applications
+    /// whose machines are not rule-driven.
+    fn program(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Parse and statically analyze an application's declared rule program,
+/// cross-checking relation signatures against the base tuples its workload
+/// injects.  Error-level diagnostics become [`ConfigError::RuleProgram`].
+fn validate_app_program(app: &dyn Application, seed: u64) -> Result<(), ConfigError> {
+    let Some(source) = app.program() else {
+        return Ok(());
+    };
+    let rules = snp_datalog::parser::parse_program(&source).map_err(|e| ConfigError::RuleProgram {
+        app: app.name(),
+        detail: e,
+    })?;
+    let facts: Vec<Tuple> = app
+        .workload(seed)
+        .into_iter()
+        .map(|event| match event.op {
+            WorkloadOp::Insert(tuple) | WorkloadOp::Delete(tuple) => tuple,
+        })
+        .collect();
+    let diagnostics = snp_datalog::analyze_with_facts(&rules, &facts);
+    match snp_datalog::ProgramError::from_diagnostics(diagnostics) {
+        Some(err) => Err(ConfigError::RuleProgram {
+            app: app.name(),
+            detail: err.to_string(),
+        }),
+        None => Ok(()),
+    }
 }
 
 /// Which substrate carries node-to-node traffic.
@@ -500,6 +544,7 @@ impl DeploymentBuilder {
         };
 
         for app in &self.apps {
+            validate_app_program(app.as_ref(), self.seed)?;
             for id in app.nodes() {
                 assert!(
                     !deployment.handles.contains_key(&id),
@@ -577,12 +622,13 @@ impl DeploymentBuilder {
         let batch_window_micros = env_override::<u64>("SNP_BATCH_WINDOW", "an integer number of microseconds")?
             .or(self.batch_window.map(|w| w.as_micros()))
             .unwrap_or(0);
-        let spec = self
+        let app = self
             .apps
             .iter()
             .find(|app| app.nodes().contains(&id))
-            .map(|app| app.node(id))
             .ok_or(ConfigError::UndeployedNode { id, what: "fleet node" })?;
+        validate_app_program(app.as_ref(), self.seed)?;
+        let spec = app.node(id);
         let mut report = None;
         let mut node = if !self.secure {
             SnoopyNode::baseline(id, spec.machine)
@@ -642,16 +688,16 @@ impl DeploymentBuilder {
         querier.set_query_threads(threads);
         for peer in peers {
             let id = peer.id();
-            let spec = self
+            let app = self
                 .apps
                 .iter()
                 .find(|app| app.nodes().contains(&id))
-                .map(|app| app.node(id))
                 .ok_or(ConfigError::UndeployedNode {
                     id,
                     what: "fleet querier peer",
                 })?;
-            querier.register_remote(peer, spec.expected);
+            validate_app_program(app.as_ref(), self.seed)?;
+            querier.register_remote(peer, app.node(id).expected);
         }
         Ok(querier)
     }
@@ -938,6 +984,84 @@ mod tests {
         fn workload(&self, _seed: u64) -> Vec<WorkloadEvent> {
             vec![WorkloadEvent::insert(SimTime::from_millis(5), NodeId(1), link(1, 2))]
         }
+    }
+
+    /// An application declaring its rule program, used by the static
+    /// rule-analysis validation tests.
+    struct Declared {
+        program: &'static str,
+    }
+
+    impl Application for Declared {
+        fn name(&self) -> String {
+            "declared".into()
+        }
+
+        fn nodes(&self) -> Vec<NodeId> {
+            vec![NodeId(1)]
+        }
+
+        fn node(&self, id: NodeId) -> AppNode {
+            AppNode::new(Box::new(Engine::new(id, rules())))
+        }
+
+        fn workload(&self, _seed: u64) -> Vec<WorkloadEvent> {
+            vec![WorkloadEvent::insert(SimTime::from_millis(5), NodeId(1), link(1, 2))]
+        }
+
+        fn program(&self) -> Option<String> {
+            Some(self.program.into())
+        }
+    }
+
+    #[test]
+    fn build_refuses_an_application_with_an_unsafe_rule_program() {
+        // The head variable Z is bound nowhere in the body: an error-level
+        // safety diagnostic, surfaced as a typed ConfigError, not a panic.
+        let err = Deployment::builder()
+            .app(Declared {
+                program: "R1 out(@X, Z) :- link(@X, Y).",
+            })
+            .try_build()
+            .expect_err("an unsafe program must be refused");
+        match err {
+            ConfigError::RuleProgram { app, detail } => {
+                assert_eq!(app, "declared");
+                assert!(detail.contains("RC0101"), "{detail}");
+            }
+            other => panic!("wrong error kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn build_cross_checks_programs_against_workload_facts() {
+        // The workload injects link(@1, n2) — a Node payload — while the
+        // program does arithmetic on link's column, requiring an Int: a
+        // signature conflict between the rules and the actual base tuples.
+        let err = Deployment::builder()
+            .app(Declared {
+                program: "R1 out(@X, K2) :- link(@X, K), K2 := K + 1.",
+            })
+            .try_build()
+            .expect_err("a program contradicting its workload must be refused");
+        match err {
+            ConfigError::RuleProgram { detail, .. } => {
+                assert!(detail.contains("RC0202"), "{detail}");
+            }
+            other => panic!("wrong error kind: {other}"),
+        }
+    }
+
+    #[test]
+    fn a_clean_declared_program_builds_and_runs() {
+        let mut deployment = Deployment::builder()
+            .seed(3)
+            .app(Declared {
+                program: "R reach(@Y, X) :- link(@X, Y).",
+            })
+            .build();
+        deployment.run_until(SimTime::from_secs(1));
+        assert_eq!(deployment.node_count(), 1);
     }
 
     #[test]

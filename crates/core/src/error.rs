@@ -40,6 +40,15 @@ pub enum ConfigError {
         /// The underlying [`snp_log::StoreError`], rendered.
         detail: String,
     },
+    /// An application's declared rule program failed parsing or static
+    /// analysis (see `snp_datalog::analysis`): deploying it would either
+    /// panic the engine or silently compute the wrong thing.
+    RuleProgram {
+        /// The application's name.
+        app: String,
+        /// The parse error or the rendered error-level diagnostics.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -57,6 +66,9 @@ impl fmt::Display for ConfigError {
                  with DeploymentBuilder::build_fleet_node and connect them with TcpTransport"
             ),
             ConfigError::Store { detail } => write!(f, "segment store: {detail}"),
+            ConfigError::RuleProgram { app, detail } => {
+                write!(f, "application {app}: rule program rejected: {detail}")
+            }
         }
     }
 }

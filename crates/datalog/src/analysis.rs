@@ -1,0 +1,1091 @@
+//! Static analysis of NDlog rule programs (the `snp-rulecheck` core).
+//!
+//! Every SNooPy node's behaviour — and therefore the soundness of every
+//! provenance graph, absence trace and audit verdict — is defined by its
+//! rule program, yet a malformed program historically failed only at
+//! runtime or, worse, silently: an arity typo makes [`Atom::matches`]
+//! reject every tuple (the rule just never fires), an unbound head
+//! variable makes [`Atom::instantiate`] fall through, and a non-monotone
+//! aggregate in a recursive cycle can diverge.  This module is the static
+//! half of the checking story (PR 6's `snp-check` model-checks the
+//! *dynamic* adversary): a classic Datalog safety / stratification
+//! analyzer specialized to the NDlog dialect the engine evaluates.
+//!
+//! [`analyze`] runs seven passes over a (pre-rewrite) rule program and
+//! returns structured [`Diagnostic`]s with stable `RCxxxx` codes:
+//!
+//! | pass | codes | checks |
+//! |------|-------|--------|
+//! | structure | `RC0701`–`RC0703` | duplicate rule ids, empty bodies, aggregate body arity |
+//! | safety | `RC0101`–`RC0105` | range restriction: head/constraint/location variables bound by a positive body atom or a *prior* assignment |
+//! | signature | `RC0201`–`RC0203` | relation arity + per-column [`Value`] type lattice across rules and base facts |
+//! | stratification | `RC0301`–`RC0302` | predicate dependency graph: `count` in cycles, unbounded head arithmetic on cycles with no monotone aggregate cutting them |
+//! | location | `RC0401`–`RC0403` | NDlog link-restriction: one evaluation site, body-bound head location, node-typed location constants |
+//! | invertibility | `RC0501` | absence tracing: body atoms recoverable from head bindings (else `trace_absence` enumerates a cross product) |
+//! | index coverage | `RC0601` | joins whose probe atom has no bound argument column fall back to a per-relation scan (advisory; cross-check `EvalMetrics`) |
+//!
+//! Error-level diagnostics are *enforced*: [`RuleSet::new`] and the
+//! engines' `add_rule` refuse the program with a typed [`ProgramError`],
+//! and `DeploymentBuilder::build` refuses to deploy an application whose
+//! program fails analysis.  Warnings and advice are surfaced by the
+//! `snp_rulelint` CLI (crate `snp-rulecheck`).
+//!
+//! [`Atom::matches`]: crate::rule::Atom::matches
+//! [`Atom::instantiate`]: crate::rule::Atom::instantiate
+//! [`RuleSet::new`]: crate::engine::RuleSet::new
+
+use crate::rule::{AggKind, Atom, CmpOp, Constraint, Expr, Rule, Term};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// How serious a diagnostic is.  Ordered: `Advice < Warning < Error`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A performance observation; the program is correct as written.
+    Advice,
+    /// Likely a mistake or an operational hazard, but evaluation is sound.
+    Warning,
+    /// The program is rejected by the engines and the deployment builder.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in rendered diagnostics (`error[RC0101] …`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Advice => "advice",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The analysis pass that produced a diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Pass {
+    /// Program shape: duplicate ids, empty bodies, aggregate arity.
+    Structure,
+    /// Safety / range restriction (every variable bound).
+    Safety,
+    /// Relation signature consistency (arity + column types).
+    Signature,
+    /// Stratification & termination of recursive cycles.
+    Stratification,
+    /// Location well-formedness (link restriction).
+    Location,
+    /// Absence-query invertibility.
+    Invertibility,
+    /// Join index coverage (advisory).
+    IndexCoverage,
+}
+
+impl Pass {
+    /// Stable lower-case name, used in rendered diagnostics and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            Pass::Structure => "structure",
+            Pass::Safety => "safety",
+            Pass::Signature => "signature",
+            Pass::Stratification => "stratification",
+            Pass::Location => "location",
+            Pass::Invertibility => "invertibility",
+            Pass::IndexCoverage => "index-coverage",
+        }
+    }
+}
+
+/// A 1-based source position, attached when the program came from text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Span {
+    /// 1-based line of the statement that produced the diagnostic.
+    pub line: usize,
+    /// 1-based column of the statement that produced the diagnostic.
+    pub col: usize,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// One structured finding: stable code, pass, severity, offending rule and
+/// (when the program came from text) a source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code (`RC0101`, …) — golden tests and CI gates key on this.
+    pub code: &'static str,
+    /// The pass that produced the finding.
+    pub pass: Pass,
+    /// Error / warning / advice.
+    pub severity: Severity,
+    /// Id of the offending rule, if the finding is rule-specific.
+    pub rule: Option<String>,
+    /// Human-readable description of the defect and its consequence.
+    pub message: String,
+    /// Source position, when known (attached by `snp-rulecheck`).
+    pub span: Option<Span>,
+}
+
+impl Diagnostic {
+    fn new(code: &'static str, pass: Pass, severity: Severity, rule: Option<&str>, message: String) -> Diagnostic {
+        Diagnostic {
+            code,
+            pass,
+            severity,
+            rule: rule.map(str::to_owned),
+            message,
+            span: None,
+        }
+    }
+
+    /// Render the diagnostic as a single line:
+    /// `error[RC0101] safety (rule R2): … (line 3, column 1)`.
+    pub fn render(&self) -> String {
+        let mut out = format!("{}[{}] {}", self.severity.label(), self.code, self.pass.name());
+        if let Some(rule) = &self.rule {
+            out.push_str(&format!(" (rule {rule})"));
+        }
+        out.push_str(": ");
+        out.push_str(&self.message);
+        if let Some(span) = self.span {
+            out.push_str(&format!(" ({span})"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// The typed error the engines and the deployment builder return for a
+/// program with error-level diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramError {
+    /// The error-level diagnostics that caused the rejection (never empty).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl ProgramError {
+    /// Wrap the error-level subset of `diagnostics`; `None` when there is
+    /// no error-level finding (warnings and advice never reject).
+    pub fn from_diagnostics(diagnostics: Vec<Diagnostic>) -> Option<ProgramError> {
+        let errors: Vec<Diagnostic> = diagnostics
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect();
+        if errors.is_empty() {
+            None
+        } else {
+            Some(ProgramError { diagnostics: errors })
+        }
+    }
+
+    /// A rejection that did not come from an analysis pass (e.g. an internal
+    /// engine invariant); rendered under the synthetic code `RC0001`.
+    pub fn internal(detail: impl Into<String>) -> ProgramError {
+        ProgramError {
+            diagnostics: vec![Diagnostic::new(
+                "RC0001",
+                Pass::Structure,
+                Severity::Error,
+                None,
+                detail.into(),
+            )],
+        }
+    }
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rule program rejected by static analysis:")?;
+        for d in &self.diagnostics {
+            write!(f, "\n  {}", d.render())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Analyze a rule program (no base facts); see [`analyze_with_facts`].
+pub fn analyze(rules: &[Rule]) -> Vec<Diagnostic> {
+    analyze_with_facts(rules, &[])
+}
+
+/// Run all passes over `rules` (pre-`maybe`-rewrite) plus any known base
+/// `facts` (workload tuples contribute arity/type evidence to the
+/// signature pass, so a program/workload mismatch is caught at build time).
+/// Diagnostics are returned in pass order; severities are *not* filtered —
+/// use [`ProgramError::from_diagnostics`] to extract the rejecting subset.
+pub fn analyze_with_facts(rules: &[Rule], facts: &[Tuple]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_structure(rules, &mut diags);
+    check_safety(rules, &mut diags);
+    check_signatures(rules, facts, &mut diags);
+    check_stratification(rules, &mut diags);
+    check_locations(rules, &mut diags);
+    check_invertibility(rules, &mut diags);
+    check_index_coverage(rules, &mut diags);
+    diags
+}
+
+/// `true` when any diagnostic is error-level.
+pub fn has_errors(diags: &[Diagnostic]) -> bool {
+    diags.iter().any(|d| d.severity == Severity::Error)
+}
+
+// ---------------------------------------------------------------- helpers
+
+fn term_var(term: &Term) -> Option<&str> {
+    match term {
+        Term::Var(name) => Some(name.as_str()),
+        Term::Const(_) => None,
+    }
+}
+
+fn atom_vars(atom: &Atom) -> impl Iterator<Item = &str> {
+    term_var(&atom.location)
+        .into_iter()
+        .chain(atom.args.iter().filter_map(term_var))
+}
+
+fn expr_vars<'a>(expr: &'a Expr, out: &mut Vec<&'a str>) {
+    match expr {
+        Expr::Term(t) => {
+            if let Some(v) = term_var(t) {
+                out.push(v);
+            }
+        }
+        Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Min(a, b) => {
+            expr_vars(a, out);
+            expr_vars(b, out);
+        }
+    }
+}
+
+/// Whether the expression contains `+`/`-` (value-generating arithmetic;
+/// `min` is bounded by its operands and never grows).
+fn expr_grows(expr: &Expr) -> bool {
+    match expr {
+        Expr::Term(_) => false,
+        Expr::Add(_, _) | Expr::Sub(_, _) => true,
+        Expr::Min(a, b) => expr_grows(a) || expr_grows(b),
+    }
+}
+
+/// The concrete corner of the `Value` type lattice (`Wild` is ⊥/unknown).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Int,
+    Str,
+    Node,
+    List,
+}
+
+impl Kind {
+    fn of(value: &Value) -> Option<Kind> {
+        match value {
+            Value::Int(_) => Some(Kind::Int),
+            Value::Str(_) => Some(Kind::Str),
+            Value::Node(_) => Some(Kind::Node),
+            Value::List(_) => Some(Kind::List),
+            Value::Wild => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Int => "Int",
+            Kind::Str => "Str",
+            Kind::Node => "Node",
+            Kind::List => "List",
+        }
+    }
+}
+
+// --------------------------------------------------------- structure pass
+
+fn check_structure(rules: &[Rule], diags: &mut Vec<Diagnostic>) {
+    let mut seen: BTreeMap<&str, usize> = BTreeMap::new();
+    for (index, rule) in rules.iter().enumerate() {
+        if let Some(first) = seen.insert(rule.id.as_str(), index) {
+            diags.push(Diagnostic::new(
+                "RC0701",
+                Pass::Structure,
+                Severity::Error,
+                Some(&rule.id),
+                format!(
+                    "rule id `{}` is declared more than once (statements {} and {}); \
+                     metrics, provenance vertices and maybe-guards key on the id",
+                    rule.id,
+                    first + 1,
+                    index + 1
+                ),
+            ));
+        }
+        if rule.body.is_empty() {
+            diags.push(Diagnostic::new(
+                "RC0702",
+                Pass::Structure,
+                Severity::Error,
+                Some(&rule.id),
+                format!(
+                    "rule `{}` has an empty body; unconditional derivation is not supported",
+                    rule.id
+                ),
+            ));
+        }
+        if rule.aggregate.is_some() && rule.body.len() != 1 {
+            diags.push(Diagnostic::new(
+                "RC0703",
+                Pass::Structure,
+                Severity::Error,
+                Some(&rule.id),
+                format!(
+                    "aggregation rule `{}` must have exactly one body atom, found {}",
+                    rule.id,
+                    rule.body.len()
+                ),
+            ));
+        }
+    }
+}
+
+// ------------------------------------------------------------ safety pass
+
+fn check_safety(rules: &[Rule], diags: &mut Vec<Diagnostic>) {
+    for rule in rules {
+        if rule.body.is_empty() {
+            continue; // RC0702 already reported; everything would be unbound.
+        }
+        let mut bound: BTreeSet<&str> = rule.body.iter().flat_map(atom_vars).collect();
+        // Constraints run in order: an assignment binds its variable for
+        // every *later* constraint and for the head.
+        for constraint in &rule.constraints {
+            match constraint {
+                Constraint::Compare { lhs, rhs, .. } => {
+                    let mut vars = Vec::new();
+                    expr_vars(lhs, &mut vars);
+                    expr_vars(rhs, &mut vars);
+                    for var in vars {
+                        if !bound.contains(var) {
+                            diags.push(Diagnostic::new(
+                                "RC0103",
+                                Pass::Safety,
+                                Severity::Error,
+                                Some(&rule.id),
+                                format!(
+                                    "comparison uses variable `{var}` which no body atom or prior \
+                                     assignment binds; the constraint can never hold and the rule never fires"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Constraint::Assign { var, expr } => {
+                    let mut vars = Vec::new();
+                    expr_vars(expr, &mut vars);
+                    for used in vars {
+                        if !bound.contains(used) {
+                            diags.push(Diagnostic::new(
+                                "RC0104",
+                                Pass::Safety,
+                                Severity::Error,
+                                Some(&rule.id),
+                                format!(
+                                    "assignment to `{var}` reads variable `{used}` which no body atom \
+                                     or prior assignment binds; the expression never evaluates"
+                                ),
+                            ));
+                        }
+                    }
+                    bound.insert(var.as_str());
+                }
+            }
+        }
+        let agg = rule.aggregate.as_ref();
+        let head_args = match agg {
+            // The last head argument is the aggregate output, produced by
+            // the engine; RC0105 below checks the aggregated variable.
+            Some(_) => &rule.head.args[..rule.head.args.len().saturating_sub(1)],
+            None => &rule.head.args[..],
+        };
+        for var in head_args.iter().filter_map(term_var) {
+            if !bound.contains(var) {
+                diags.push(Diagnostic::new(
+                    "RC0101",
+                    Pass::Safety,
+                    Severity::Error,
+                    Some(&rule.id),
+                    format!(
+                        "head variable `{var}` is not bound by any body atom or assignment; \
+                         the head can never be instantiated"
+                    ),
+                ));
+            }
+        }
+        if let Some(var) = term_var(&rule.head.location) {
+            if !bound.contains(var) {
+                diags.push(Diagnostic::new(
+                    "RC0102",
+                    Pass::Safety,
+                    Severity::Error,
+                    Some(&rule.id),
+                    format!(
+                        "head location `@{var}` is not bound by any body atom or assignment; \
+                         the derived tuple has no home node"
+                    ),
+                ));
+            }
+        }
+        if let Some((_, agg_var)) = agg {
+            let in_body = rule
+                .body
+                .first()
+                .is_some_and(|atom| atom_vars(atom).any(|v| v == agg_var));
+            if !in_body {
+                diags.push(Diagnostic::new(
+                    "RC0105",
+                    Pass::Safety,
+                    Severity::Error,
+                    Some(&rule.id),
+                    format!(
+                        "aggregated variable `{agg_var}` does not appear in the body atom; \
+                         there is nothing to aggregate over"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------- signature pass
+
+/// Per-rule variable kind hints: `@locations` are nodes, arithmetic and
+/// ordered comparisons force `Int`, equality against a constant copies the
+/// constant's kind, the aggregated variable is `Int`.
+fn rule_var_kinds<'a>(rule: &'a Rule, diags: &mut Vec<Diagnostic>) -> BTreeMap<&'a str, (Kind, &'static str)> {
+    let mut kinds: BTreeMap<&str, (Kind, &'static str)> = BTreeMap::new();
+    let hint = |kinds: &mut BTreeMap<&'a str, (Kind, &'static str)>,
+                diags: &mut Vec<Diagnostic>,
+                var: &'a str,
+                kind: Kind,
+                why: &'static str| {
+        match kinds.get(var) {
+            Some((existing, first_why)) if *existing != kind => {
+                diags.push(Diagnostic::new(
+                    "RC0203",
+                    Pass::Signature,
+                    Severity::Error,
+                    Some(&rule.id),
+                    format!(
+                        "variable `{var}` is used both as {} ({first_why}) and as {} ({why}); \
+                         no tuple can satisfy the rule",
+                        existing.name(),
+                        kind.name()
+                    ),
+                ));
+            }
+            Some(_) => {}
+            None => {
+                kinds.insert(var, (kind, why));
+            }
+        }
+    };
+    for atom in std::iter::once(&rule.head).chain(&rule.body) {
+        if let Some(var) = term_var(&atom.location) {
+            hint(&mut kinds, diags, var, Kind::Node, "an @location");
+        }
+    }
+    let mut int_vars: Vec<&str> = Vec::new();
+    for constraint in &rule.constraints {
+        match constraint {
+            Constraint::Assign { var, expr } => {
+                if expr_is_arith(expr) {
+                    expr_vars(expr, &mut int_vars);
+                    hint(&mut kinds, diags, var.as_str(), Kind::Int, "assigned from arithmetic");
+                }
+            }
+            Constraint::Compare { lhs, op, rhs } => match op {
+                CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+                    expr_vars(lhs, &mut int_vars);
+                    expr_vars(rhs, &mut int_vars);
+                }
+                CmpOp::Eq | CmpOp::Ne => {
+                    if let (Expr::Term(Term::Var(var)), Expr::Term(Term::Const(value)))
+                    | (Expr::Term(Term::Const(value)), Expr::Term(Term::Var(var))) = (lhs, rhs)
+                    {
+                        if let Some(kind) = Kind::of(value) {
+                            hint(&mut kinds, diags, var.as_str(), kind, "compared with a constant");
+                        }
+                    }
+                }
+            },
+        }
+    }
+    for var in int_vars {
+        hint(
+            &mut kinds,
+            diags,
+            var,
+            Kind::Int,
+            "used in arithmetic or an ordered comparison",
+        );
+    }
+    if let Some((_, agg_var)) = &rule.aggregate {
+        hint(&mut kinds, diags, agg_var.as_str(), Kind::Int, "an aggregated column");
+    }
+    kinds
+}
+
+/// Whether the expression is real arithmetic (not a bare term copy).
+fn expr_is_arith(expr: &Expr) -> bool {
+    !matches!(expr, Expr::Term(_))
+}
+
+struct Signature {
+    arity: usize,
+    context: String,
+    // One slot per column: the first concretely-typed use wins, later
+    // conflicting uses are reported against it.
+    columns: Vec<Option<(Kind, String)>>,
+}
+
+/// Fold one atom/fact occurrence of `relation` into the signature map,
+/// reporting arity (`RC0201`) and column-type (`RC0202`) conflicts against
+/// the first recorded use.
+fn record_signature(
+    signatures: &mut BTreeMap<String, Signature>,
+    diags: &mut Vec<Diagnostic>,
+    rule: Option<&str>,
+    relation: &str,
+    column_kinds: Vec<Option<Kind>>,
+    context: &str,
+) {
+    use std::collections::btree_map::Entry;
+    match signatures.entry(relation.to_owned()) {
+        Entry::Vacant(slot) => {
+            slot.insert(Signature {
+                arity: column_kinds.len(),
+                context: context.to_owned(),
+                columns: column_kinds
+                    .into_iter()
+                    .map(|k| k.map(|k| (k, context.to_owned())))
+                    .collect(),
+            });
+        }
+        Entry::Occupied(mut slot) => {
+            let existing = slot.get_mut();
+            if existing.arity != column_kinds.len() {
+                diags.push(Diagnostic::new(
+                    "RC0201",
+                    Pass::Signature,
+                    Severity::Error,
+                    rule,
+                    format!(
+                        "relation `{relation}` is used with {} argument(s) ({context}) but {} ({}); \
+                         mismatched atoms can never match and the rule is silently dead",
+                        column_kinds.len(),
+                        existing.arity,
+                        existing.context
+                    ),
+                ));
+                return;
+            }
+            for (column, kind) in column_kinds.into_iter().enumerate() {
+                let Some(kind) = kind else { continue };
+                match &existing.columns[column] {
+                    Some((known, first_context)) if *known != kind => {
+                        diags.push(Diagnostic::new(
+                            "RC0202",
+                            Pass::Signature,
+                            Severity::Error,
+                            rule,
+                            format!(
+                                "column {column} of relation `{relation}` is {} ({context}) but {} \
+                                 ({first_context}); values of different kinds never unify",
+                                kind.name(),
+                                known.name()
+                            ),
+                        ));
+                    }
+                    Some(_) => {}
+                    None => existing.columns[column] = Some((kind, context.to_owned())),
+                }
+            }
+        }
+    }
+}
+
+fn check_signatures(rules: &[Rule], facts: &[Tuple], diags: &mut Vec<Diagnostic>) {
+    let mut signatures: BTreeMap<String, Signature> = BTreeMap::new();
+    for fact in facts {
+        let column_kinds: Vec<Option<Kind>> = fact.args.iter().map(Kind::of).collect();
+        let context = format!("a base fact at @{}", fact.location.0);
+        record_signature(&mut signatures, diags, None, &fact.relation, column_kinds, &context);
+    }
+    for rule in rules {
+        let kinds = rule_var_kinds(rule, diags);
+        let kind_of_term = |term: &Term| -> Option<Kind> {
+            match term {
+                Term::Const(value) => Kind::of(value),
+                Term::Var(name) => kinds.get(name.as_str()).map(|(k, _)| *k),
+            }
+        };
+        for (is_head, atom) in std::iter::once((true, &rule.head)).chain(rule.body.iter().map(|a| (false, a))) {
+            let mut column_kinds: Vec<Option<Kind>> = atom.args.iter().map(kind_of_term).collect();
+            if is_head && rule.aggregate.is_some() {
+                if let Some(last) = column_kinds.last_mut() {
+                    // min/max/count all produce integers.
+                    *last = Some(Kind::Int);
+                }
+            }
+            let context = format!("rule {}", rule.id);
+            record_signature(
+                &mut signatures,
+                diags,
+                Some(&rule.id),
+                &atom.relation,
+                column_kinds,
+                &context,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------- stratification pass
+
+fn check_stratification(rules: &[Rule], diags: &mut Vec<Diagnostic>) {
+    // Predicate dependency graph: body relation → head relation.
+    let mut relations: BTreeSet<&str> = BTreeSet::new();
+    for rule in rules {
+        relations.insert(rule.head.relation.as_str());
+        relations.extend(rule.body_relations());
+    }
+    let index: BTreeMap<&str, usize> = relations.iter().enumerate().map(|(i, r)| (*r, i)).collect();
+    let mut successors: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); relations.len()];
+    for rule in rules {
+        let head = index[rule.head.relation.as_str()];
+        for body in rule.body_relations() {
+            successors[index[body]].insert(head);
+        }
+    }
+    // reach[i] = relations reachable from i via ≥1 edge (so i ∈ reach[i]
+    // exactly when i sits on a cycle).
+    let mut reach: Vec<BTreeSet<usize>> = Vec::with_capacity(relations.len());
+    for start in 0..relations.len() {
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut queue: Vec<usize> = successors[start].iter().copied().collect();
+        while let Some(next) = queue.pop() {
+            if seen.insert(next) {
+                queue.extend(successors[next].iter().copied());
+            }
+        }
+        reach.push(seen);
+    }
+    let same_scc = |a: usize, b: usize| -> bool {
+        if a == b {
+            reach[a].contains(&a)
+        } else {
+            reach[a].contains(&b) && reach[b].contains(&a)
+        }
+    };
+    // A monotone aggregate "cuts" a cycle when both its head and its body
+    // relation sit on that cycle — the MinCost R2/R3 pattern, where
+    // `bestCost = min<cost>` keeps one value per group and recursion through
+    // `+` converges instead of enumerating ever-growing costs.
+    let cycle_cut_by_monotone_agg = |head: usize| -> bool {
+        rules.iter().any(|r| {
+            matches!(r.aggregate, Some((AggKind::Min, _)) | Some((AggKind::Max, _)))
+                && r.body.first().is_some_and(|b| {
+                    let rh = index[r.head.relation.as_str()];
+                    let rb = index[b.relation.as_str()];
+                    same_scc(head, rh) && same_scc(head, rb)
+                })
+        })
+    };
+    for rule in rules {
+        let head = index[rule.head.relation.as_str()];
+        let on_cycle = rule.body_relations().any(|b| reach[head].contains(&index[b]));
+        if !on_cycle {
+            continue;
+        }
+        if let Some((AggKind::Count, agg_var)) = &rule.aggregate {
+            diags.push(Diagnostic::new(
+                "RC0301",
+                Pass::Stratification,
+                Severity::Error,
+                Some(&rule.id),
+                format!(
+                    "`count<{agg_var}>` aggregates relation `{}` which depends on the rule's own \
+                     head `{}`; count is non-monotone and the fixpoint may never settle",
+                    rule.body[0].relation, rule.head.relation
+                ),
+            ));
+        }
+        // Head arithmetic feeding the cycle: `K := K1 + K2` with the result
+        // in the head generates fresh values every round; without a min/max
+        // aggregate on the cycle or an ordered comparison bounding the
+        // variable, evaluation diverges (the engine's 100k-step fuse blows).
+        let head_vars: BTreeSet<&str> = rule.head.args.iter().filter_map(term_var).collect();
+        for constraint in &rule.constraints {
+            let Constraint::Assign { var, expr } = constraint else {
+                continue;
+            };
+            if !expr_grows(expr) || !head_vars.contains(var.as_str()) {
+                continue;
+            }
+            let bounded = rule.constraints.iter().any(|c| match c {
+                Constraint::Compare { lhs, op, rhs } => {
+                    matches!(op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge) && {
+                        let mut vars = Vec::new();
+                        expr_vars(lhs, &mut vars);
+                        expr_vars(rhs, &mut vars);
+                        vars.contains(&var.as_str())
+                    }
+                }
+                Constraint::Assign { .. } => false,
+            });
+            if !bounded && !cycle_cut_by_monotone_agg(head) {
+                diags.push(Diagnostic::new(
+                    "RC0302",
+                    Pass::Stratification,
+                    Severity::Error,
+                    Some(&rule.id),
+                    format!(
+                        "`{var} := …` computes an unbounded value with `+`/`-` on a recursive cycle \
+                         through `{}`, and no min/max aggregate or comparison bounds it; \
+                         evaluation may diverge",
+                        rule.head.relation
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------- location pass
+
+fn check_locations(rules: &[Rule], diags: &mut Vec<Diagnostic>) {
+    for rule in rules {
+        if rule.body.is_empty() {
+            continue;
+        }
+        let site = &rule.body[0].location;
+        for atom in &rule.body[1..] {
+            if atom.location != *site {
+                diags.push(Diagnostic::new(
+                    "RC0401",
+                    Pass::Location,
+                    Severity::Error,
+                    Some(&rule.id),
+                    format!(
+                        "body atom `{}` is at a different location than `{}`; the engine evaluates \
+                         localized rules only (rewrite with explicit message relations first)",
+                        atom.relation, rule.body[0].relation
+                    ),
+                ));
+            }
+        }
+        // Link restriction: the head's destination must be a value some body
+        // atom carries — a *computed* destination (bound only by `:=`) would
+        // let a rule ship tuples to nodes no base tuple ever named.
+        if let Some(var) = term_var(&rule.head.location) {
+            let atom_bound = rule.body.iter().flat_map(atom_vars).any(|v| v == var);
+            let assigned = rule
+                .constraints
+                .iter()
+                .any(|c| matches!(c, Constraint::Assign { var: v, .. } if v == var));
+            if !atom_bound && assigned {
+                diags.push(Diagnostic::new(
+                    "RC0402",
+                    Pass::Location,
+                    Severity::Error,
+                    Some(&rule.id),
+                    format!(
+                        "head location `@{var}` is only bound by an assignment, not by a body atom; \
+                         NDlog link-restriction requires a body-carried destination"
+                    ),
+                ));
+            }
+        }
+        for (what, atom) in std::iter::once(("head", &rule.head)).chain(rule.body.iter().map(|a| ("body", a))) {
+            if let Term::Const(value) = &atom.location {
+                if !matches!(value, Value::Node(_)) {
+                    diags.push(Diagnostic::new(
+                        "RC0403",
+                        Pass::Location,
+                        Severity::Error,
+                        Some(&rule.id),
+                        format!(
+                            "{what} atom `{}` has the constant location `{value:?}` which is not a \
+                             node id; the atom can never match or instantiate",
+                            atom.relation
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------- invertibility pass
+
+fn check_invertibility(rules: &[Rule], diags: &mut Vec<Diagnostic>) {
+    for rule in rules {
+        if rule.body.is_empty() || rule.aggregate.is_some() {
+            continue; // aggregates group by head args; the body is recoverable.
+        }
+        // Absence tracing starts from the head bindings and re-enumerates the
+        // body; an atom with no bound term (no constant, no head-recoverable
+        // variable, not even its location) forces `trace_absence` to try every
+        // combination of stored tuples for it.
+        let mut bound: BTreeSet<&str> = atom_vars(&rule.head).collect();
+        let mut remaining: Vec<usize> = (0..rule.body.len()).collect();
+        while !remaining.is_empty() {
+            let anchored = |i: usize| -> usize {
+                let atom = &rule.body[i];
+                std::iter::once(&atom.location)
+                    .chain(&atom.args)
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => bound.contains(v.as_str()),
+                    })
+                    .count()
+            };
+            let best = remaining
+                .iter()
+                .copied()
+                .max_by_key(|&i| (anchored(i), std::cmp::Reverse(i)))
+                .unwrap_or(0);
+            if anchored(best) == 0 {
+                let atom = &rule.body[best];
+                diags.push(Diagnostic::new(
+                    "RC0501",
+                    Pass::Invertibility,
+                    Severity::Warning,
+                    Some(&rule.id),
+                    format!(
+                        "body atom `{}` shares no variable or constant with the head or earlier \
+                         atoms; `trace_absence` must enumerate every stored `{}` combination",
+                        atom.relation, atom.relation
+                    ),
+                ));
+            }
+            bound.extend(atom_vars(&rule.body[best]));
+            remaining.retain(|&i| i != best);
+        }
+    }
+}
+
+// --------------------------------------------------- index-coverage pass
+
+fn check_index_coverage(rules: &[Rule], diags: &mut Vec<Diagnostic>) {
+    for rule in rules {
+        if rule.body.len() < 2 || rule.aggregate.is_some() {
+            continue;
+        }
+        // Mirror the engine's greedy join order from every possible trigger
+        // atom: at each step the most-bound atom is joined next, probing the
+        // per-(relation, column, value) index with its first bound argument
+        // column.  A step with no bound argument column degenerates to the
+        // per-relation scan (only the local-index location pin applies).
+        let mut flagged: BTreeSet<usize> = BTreeSet::new();
+        for trigger in 0..rule.body.len() {
+            let mut bound: BTreeSet<&str> = atom_vars(&rule.body[trigger]).collect();
+            let mut remaining: Vec<usize> = (0..rule.body.len()).filter(|&i| i != trigger).collect();
+            while !remaining.is_empty() {
+                let score = |i: usize| -> usize {
+                    let atom = &rule.body[i];
+                    std::iter::once(&atom.location)
+                        .chain(&atom.args)
+                        .filter(|t| match t {
+                            Term::Const(_) => true,
+                            Term::Var(v) => bound.contains(v.as_str()),
+                        })
+                        .count()
+                };
+                let best = remaining
+                    .iter()
+                    .copied()
+                    .max_by_key(|&i| (score(i), std::cmp::Reverse(i)))
+                    .unwrap_or(0);
+                let has_probe_column = rule.body[best].args.iter().any(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v.as_str()),
+                });
+                if !has_probe_column {
+                    flagged.insert(best);
+                }
+                bound.extend(atom_vars(&rule.body[best]));
+                remaining.retain(|&i| i != best);
+            }
+        }
+        for i in flagged {
+            diags.push(Diagnostic::new(
+                "RC0601",
+                Pass::IndexCoverage,
+                Severity::Advice,
+                Some(&rule.id),
+                format!(
+                    "joining `{}` has no bound argument column for at least one trigger order; \
+                     the join falls back to a per-relation scan (watch EvalMetrics candidates)",
+                    rule.body[i].relation
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn analyze_text(program: &str) -> Vec<Diagnostic> {
+        analyze(&parse_program(program).expect("parse"))
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    const MINCOST: &str = "
+        R1 cost(@X, Y, K) :- link(@X, Y, K).
+        R2 cost(@C, D, K3) :- link(@B, C, K1), bestCost(@B, D, K2), K3 := K1 + K2, C != D.
+        R3 bestCost(@X, Y, min<K>) :- cost(@X, Y, K).
+    ";
+
+    #[test]
+    fn mincost_is_error_free() {
+        let diags = analyze_text(MINCOST);
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn unbound_head_variable_is_rc0101() {
+        let diags = analyze_text("R1 out(@X, Y, Z) :- in(@X, Y).");
+        assert!(codes(&diags).contains(&"RC0101"), "{diags:?}");
+    }
+
+    #[test]
+    fn unbound_comparison_is_rc0103() {
+        let diags = analyze_text("R1 out(@X, Y) :- in(@X, Y), Z < 3.");
+        assert!(codes(&diags).contains(&"RC0103"), "{diags:?}");
+    }
+
+    #[test]
+    fn arity_conflict_is_rc0201() {
+        let diags = analyze_text(
+            "R1 out(@X, Y) :- in(@X, Y).
+             R2 out(@X, Y, Y) :- in(@X, Y).",
+        );
+        assert!(codes(&diags).contains(&"RC0201"), "{diags:?}");
+    }
+
+    #[test]
+    fn column_type_conflict_is_rc0202() {
+        let diags = analyze_text(
+            "R1 out(@X, 3) :- in(@X, Y).
+             R2 out(@X, \"three\") :- in(@X, Y).",
+        );
+        assert!(codes(&diags).contains(&"RC0202"), "{diags:?}");
+    }
+
+    #[test]
+    fn count_on_a_cycle_is_rc0301() {
+        let diags = analyze_text(
+            "R1 p(@X, Y) :- q(@X, Y).
+             R2 q(@X, count<Y>) :- p(@X, Y).",
+        );
+        assert!(codes(&diags).contains(&"RC0301"), "{diags:?}");
+    }
+
+    #[test]
+    fn unbounded_cycle_arithmetic_is_rc0302() {
+        let diags = analyze_text("R1 p(@X, K2) :- p(@X, K), K2 := K + 1.");
+        assert!(codes(&diags).contains(&"RC0302"), "{diags:?}");
+    }
+
+    #[test]
+    fn mincost_aggregate_cuts_its_cycle() {
+        // Same shape as RC0302 but with min<> on the cycle — allowed.
+        let diags = analyze_text(MINCOST);
+        assert!(!codes(&diags).contains(&"RC0302"), "{diags:?}");
+    }
+
+    #[test]
+    fn split_evaluation_site_is_rc0401() {
+        let diags = analyze_text("R1 out(@X, Y) :- p(@X, Y), q(@Y, X).");
+        assert!(codes(&diags).contains(&"RC0401"), "{diags:?}");
+    }
+
+    #[test]
+    fn computed_head_location_is_rc0402() {
+        let diags = analyze_text("R1 out(@Z, Y) :- p(@X, Y), Z := X.");
+        assert!(codes(&diags).contains(&"RC0402"), "{diags:?}");
+    }
+
+    #[test]
+    fn unanchored_body_atom_is_rc0501() {
+        let diags = analyze_text("R1 out(@X, E) :- p(@X, Y), q(@X, A, B), E := A + Y.");
+        // q's variables A, B are folded into E; B is unrecoverable but q is
+        // still anchored via @X — so no warning here...
+        assert!(!codes(&diags).contains(&"RC0501"), "{diags:?}");
+        // ...whereas a head that shares nothing with the body (constant home
+        // node, constant payload) leaves the body atom unanchored: the tracer
+        // must enumerate every stored `sensor` tuple.
+        let diags = analyze_text("R1 alarm(@n1, \"fire\") :- sensor(@X, Y).");
+        assert!(!has_errors(&diags), "{diags:?}");
+        assert!(codes(&diags).contains(&"RC0501"), "{diags:?}");
+    }
+
+    #[test]
+    fn scan_fallback_join_is_rc0601_advice_only() {
+        let diags = analyze_text("R1 out(@X, Y, B) :- p(@X, Y), q(@X, A, B).");
+        let advice: Vec<&Diagnostic> = diags.iter().filter(|d| d.code == "RC0601").collect();
+        assert!(!advice.is_empty(), "{diags:?}");
+        assert!(advice.iter().all(|d| d.severity == Severity::Advice));
+        assert!(!has_errors(&diags), "{diags:?}");
+    }
+
+    #[test]
+    fn duplicate_rule_id_is_rc0701() {
+        let diags = analyze_text(
+            "R1 out(@X, Y) :- in(@X, Y).
+             R1 out(@X, Y) :- other(@X, Y).",
+        );
+        assert!(codes(&diags).contains(&"RC0701"), "{diags:?}");
+    }
+
+    #[test]
+    fn program_error_keeps_only_errors() {
+        let mut diags = analyze_text("R1 out(@X, Y, Z) :- in(@X, Y).");
+        diags.push(Diagnostic::new(
+            "RC0601",
+            Pass::IndexCoverage,
+            Severity::Advice,
+            None,
+            "advice".into(),
+        ));
+        let err = ProgramError::from_diagnostics(diags).expect("has errors");
+        assert!(err.diagnostics.iter().all(|d| d.severity == Severity::Error));
+        assert!(err.to_string().contains("RC0101"), "{err}");
+    }
+
+    #[test]
+    fn facts_contribute_signature_evidence() {
+        use snp_crypto::keys::NodeId;
+        let rules = parse_program("R1 out(@X, K2) :- in(@X, K), K2 := K + 1.").expect("parse");
+        // The rule wants in.0 : Int, the workload inserts a Str there.
+        let fact = Tuple::new("in", NodeId(1), vec![Value::str("oops")]);
+        let diags = analyze_with_facts(&rules, &[fact]);
+        assert!(codes(&diags).contains(&"RC0202"), "{diags:?}");
+    }
+}

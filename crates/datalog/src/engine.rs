@@ -43,6 +43,7 @@
 //! Per-rule counters (fires, probes, candidates) accumulate in
 //! [`EvalMetrics`] and surface through `QueryStats` during audits.
 
+use crate::analysis::{analyze, ProgramError};
 use crate::machine::{Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
 use crate::rule::{AggKind, Atom, Bindings, Rule, RuleKind, Term};
 use crate::snapshot::{SnapshotReader, SnapshotWriter};
@@ -64,34 +65,62 @@ pub struct RuleSet {
 }
 
 impl RuleSet {
-    /// Build a rule set, validating that every rule is localizable (all body
-    /// atoms at one site) and rewriting `maybe` rules into guarded standard
-    /// rules.
-    pub fn new(rules: Vec<Rule>) -> Result<RuleSet, String> {
+    /// Build a rule set: the program must pass static analysis with no
+    /// error-level diagnostics (see [`crate::analysis`]), every rule must be
+    /// localizable (all body atoms at one site), and `maybe` rules are
+    /// rewritten into guarded standard rules.
+    pub fn new(rules: Vec<Rule>) -> Result<RuleSet, ProgramError> {
+        if let Some(err) = ProgramError::from_diagnostics(analyze(&rules)) {
+            return Err(err);
+        }
         let mut out = Vec::with_capacity(rules.len());
-        for mut rule in rules {
-            if rule.body.is_empty() {
-                return Err(format!("rule {}: empty body is not allowed", rule.id));
-            }
-            if rule.kind == RuleKind::Maybe {
-                // Appendix A.1: replace the maybe rule with a standard rule
-                // guarded by an extra base tuple inserted by the application.
-                let site = rule.evaluation_site()?.clone();
-                let guard_args: Vec<Term> = rule.head.args.clone();
-                let guard = Atom::new(format!("{MAYBE_GUARD_PREFIX}{}", rule.id), site, guard_args);
-                rule.body.push(guard);
-                rule.kind = RuleKind::Standard;
-            }
-            rule.evaluation_site()?;
-            if rule.aggregate.is_some() && rule.body.len() != 1 {
-                return Err(format!(
-                    "rule {}: aggregation rules must have exactly one body atom",
-                    rule.id
-                ));
-            }
-            out.push(rule);
+        for rule in rules {
+            out.push(RuleSet::localize(rule)?);
         }
         Ok(RuleSet { rules: out })
+    }
+
+    /// Rewrite one analyzer-approved rule into its evaluated form (Appendix
+    /// A.1: a `maybe` rule becomes a standard rule guarded by an extra base
+    /// tuple the application inserts) and re-check the engine's structural
+    /// invariants as a defense in depth behind the analyzer.
+    fn localize(mut rule: Rule) -> Result<Rule, ProgramError> {
+        if rule.body.is_empty() {
+            return Err(ProgramError::internal(format!(
+                "rule {}: empty body is not allowed",
+                rule.id
+            )));
+        }
+        if rule.kind == RuleKind::Maybe {
+            let site = rule.evaluation_site().map_err(ProgramError::internal)?.clone();
+            let guard_args: Vec<Term> = rule.head.args.clone();
+            let guard = Atom::new(format!("{MAYBE_GUARD_PREFIX}{}", rule.id), site, guard_args);
+            rule.body.push(guard);
+            rule.kind = RuleKind::Standard;
+        }
+        rule.evaluation_site().map_err(ProgramError::internal)?;
+        if rule.aggregate.is_some() && rule.body.len() != 1 {
+            return Err(ProgramError::internal(format!(
+                "rule {}: aggregation rules must have exactly one body atom",
+                rule.id
+            )));
+        }
+        Ok(rule)
+    }
+
+    /// Extend the set with one more rule, re-running static analysis over
+    /// the whole extended program (so a duplicate id or a signature conflict
+    /// with existing rules is rejected).  Returns the localized form of the
+    /// accepted rule so callers can seed its evaluation.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<Rule, ProgramError> {
+        let mut program = self.rules.clone();
+        program.push(rule.clone());
+        if let Some(err) = ProgramError::from_diagnostics(analyze(&program)) {
+            return Err(err);
+        }
+        let localized = RuleSet::localize(rule)?;
+        self.rules.push(localized.clone());
+        Ok(localized)
     }
 
     /// The rules in the set (after `maybe` rewriting).
@@ -254,6 +283,54 @@ impl Engine {
     /// `rule_id` with the given head arguments (see [`RuleSet::new`]).
     pub fn maybe_guard(&self, rule_id: &str, args: Vec<Value>) -> Tuple {
         Tuple::new(RuleSet::maybe_guard_relation(rule_id), self.node, args)
+    }
+
+    /// Add one rule to a running engine.  The extended program must pass
+    /// static analysis (a duplicate id, unsafe head or signature conflict is
+    /// refused with a typed [`ProgramError`] and the engine is left
+    /// unchanged); on success the rule is seeded against the current store
+    /// and any new derivations propagate exactly as if the rule had always
+    /// been present.  Returns the resulting outputs.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<Vec<SmOutput>, ProgramError> {
+        let localized = self.ruleset.add_rule(rule)?;
+        let mut outputs = Vec::new();
+        let mut worklist = VecDeque::new();
+        let mut metrics = std::mem::take(&mut self.metrics);
+        if localized.aggregate.is_some() {
+            self.refresh_aggregate(&localized, &mut metrics, &mut outputs, &mut worklist);
+        } else {
+            for derivation in self.seed_derivations(&localized, &mut metrics) {
+                self.record_derivation(derivation, &mut outputs, &mut worklist);
+            }
+        }
+        self.metrics = metrics;
+        outputs.extend(self.process(worklist));
+        Ok(outputs)
+    }
+
+    /// All derivations of a newly added rule over the current store (the
+    /// join starts from no trigger: every body atom is index-probed).
+    fn seed_derivations(&self, rule: &Rule, metrics: &mut EvalMetrics) -> Vec<Derivation> {
+        let mut found = Vec::new();
+        let eval = metrics.rule(&rule.id);
+        for (mut complete, matched) in self.join_rest(rule, rule.body.len(), Bindings::new(), eval) {
+            if !rule.constraints.iter().all(|c| c.apply(&mut complete)) {
+                continue;
+            }
+            let Some(head) = rule.head.instantiate(&complete) else {
+                continue;
+            };
+            eval.fires += 1;
+            let body: Vec<Tuple> = matched.into_iter().map(|t| t.expect("all positions matched")).collect();
+            found.push(Derivation {
+                rule: rule.id.clone(),
+                head,
+                body,
+            });
+        }
+        found.sort();
+        found.dedup();
+        found
     }
 
     // ----- support management -------------------------------------------------
@@ -1136,6 +1213,95 @@ mod tests {
         assert!(RuleSet::new(vec![bad]).is_err());
     }
 
+    #[test]
+    fn add_rule_seeds_existing_state_and_stays_in_lockstep() {
+        let mut indexed = Engine::new(NodeId(1), mincost_rules());
+        let mut naive = NaiveEngine::new(NodeId(1), mincost_rules());
+        for input in [SmInput::InsertBase(link(1, 2, 5)), SmInput::InsertBase(link(1, 3, 2))] {
+            indexed.handle(input.clone());
+            naive.handle(input);
+        }
+        // A standard rule over existing relations: derivations are seeded
+        // from the current store, not just from future deltas.
+        let reach = Rule::standard(
+            "R4",
+            Atom::new("reach", Term::var("X"), vec![Term::var("Y")]),
+            vec![Atom::new("link", Term::var("X"), vec![Term::var("Y"), Term::var("K")])],
+            vec![],
+        );
+        let out_indexed = indexed.add_rule(reach.clone()).expect("accepted");
+        let out_naive = naive.add_rule(reach).expect("accepted");
+        assert_eq!(out_indexed, out_naive, "add_rule outputs must match the naive oracle");
+        assert!(out_indexed
+            .iter()
+            .any(|o| matches!(o, SmOutput::Derive { rule, .. } if rule == "R4")));
+        assert!(indexed.contains(&Tuple::new("reach", NodeId(1), vec![Value::node(2u64)])));
+
+        // An aggregation rule: the group winners are computed over the
+        // existing body tuples immediately.
+        let worst = Rule::aggregate(
+            "R5",
+            Atom::new("worstCost", Term::var("X"), vec![Term::var("Y"), Term::var("K")]),
+            Atom::new(
+                "cost",
+                Term::var("X"),
+                vec![Term::var("Y"), Term::var("Z"), Term::var("K")],
+            ),
+            AggKind::Max,
+            "K",
+        );
+        let out_indexed = indexed.add_rule(worst.clone()).expect("accepted");
+        let out_naive = naive.add_rule(worst).expect("accepted");
+        assert_eq!(out_indexed, out_naive);
+        assert!(indexed.contains(&Tuple::new(
+            "worstCost",
+            NodeId(1),
+            vec![Value::node(2u64), Value::Int(5)],
+        )));
+
+        // Both engines keep reacting identically after the additions.
+        for input in [SmInput::DeleteBase(link(1, 2, 5)), SmInput::InsertBase(link(1, 4, 1))] {
+            assert_eq!(indexed.handle(input.clone()), naive.handle(input));
+        }
+        assert_eq!(indexed.current_tuples(), naive.current_tuples());
+        assert_eq!(indexed.snapshot(), naive.snapshot());
+    }
+
+    #[test]
+    fn add_rule_rejects_bad_programs_with_typed_errors() {
+        let mut engine = Engine::new(NodeId(1), mincost_rules());
+        // Duplicate rule id (satellite bugfix: used to be silently accepted).
+        let dup = Rule::standard(
+            "R1",
+            Atom::new("x", Term::var("A"), vec![]),
+            vec![Atom::new("link", Term::var("A"), vec![Term::var("B"), Term::var("K")])],
+            vec![],
+        );
+        let err = engine.add_rule(dup).expect_err("duplicate id must be refused");
+        assert!(err.diagnostics.iter().any(|d| d.code == "RC0701"), "{err}");
+
+        // Unsafe head variable.
+        let unsafe_rule = Rule::standard(
+            "R9",
+            Atom::new("x", Term::var("A"), vec![Term::var("Z")]),
+            vec![Atom::new("link", Term::var("A"), vec![Term::var("B"), Term::var("K")])],
+            vec![],
+        );
+        let err = engine
+            .add_rule(unsafe_rule.clone())
+            .expect_err("unsafe rule must be refused");
+        assert!(err.diagnostics.iter().any(|d| d.code == "RC0101"), "{err}");
+
+        // The naive engine refuses identically, and neither engine mutated
+        // its rule set on the failed attempts.
+        let mut naive = NaiveEngine::new(NodeId(1), mincost_rules());
+        let naive_err = naive.add_rule(unsafe_rule).expect_err("same rejection");
+        assert_eq!(err, naive_err);
+        assert_eq!(engine.ruleset.rules().len(), 3);
+        engine.handle(SmInput::InsertBase(link(1, 2, 5)));
+        assert!(engine.contains(&best_cost(1, 2, 5)), "engine still evaluates normally");
+    }
+
     // ----- indexed-vs-naive differential coverage ---------------------------
 
     /// Tiny deterministic generator (SplitMix64) for the differential tests.
@@ -1219,6 +1385,145 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// Property: any random program the static analyzer accepts can be
+    /// loaded and driven — by both engines, in lockstep, without panics —
+    /// including rules added mid-run with `add_rule`.
+    ///
+    /// Programs draw from a fixed vocabulary (`p/1`, `q/2`, `r/2`, all-Int
+    /// columns, one shared location variable) so generated rules join,
+    /// recurse and feed each other; optional head arithmetic is always
+    /// paired with an ordering guard (`E := V + 1, E < 8`) so accepted
+    /// recursion through it stays bounded at runtime, exercising exactly
+    /// the boundedness reasoning RC0302 encodes.  Candidate programs the
+    /// analyzer rejects must fail *typed* (never panic) — that rejection
+    /// path is asserted too.
+    #[test]
+    fn property_analyzer_clean_random_programs_stay_in_lockstep() {
+        const RELS: [(&str, usize); 3] = [("p", 1), ("q", 2), ("r", 2)];
+        const VARS: [&str; 4] = ["A", "B", "C", "D"];
+
+        fn gen_rule(rng: &mut Rng, id: String) -> Rule {
+            let n_atoms = 1 + rng.below(2) as usize;
+            let mut bound: Vec<&str> = Vec::new();
+            let mut body = Vec::new();
+            for _ in 0..n_atoms {
+                let (rel, arity) = RELS[rng.below(3) as usize];
+                let args = (0..arity)
+                    .map(|_| {
+                        if rng.below(4) == 0 {
+                            Term::val(Value::Int(rng.below(4) as i64))
+                        } else {
+                            let v = VARS[rng.below(4) as usize];
+                            bound.push(v);
+                            Term::var(v)
+                        }
+                    })
+                    .collect();
+                body.push(Atom::new(rel, Term::var("L"), args));
+            }
+            let mut constraints = Vec::new();
+            let mut derived = None;
+            if !bound.is_empty() && rng.below(3) == 0 {
+                let v = bound[rng.below(bound.len() as u64) as usize];
+                constraints.push(Constraint::Assign {
+                    var: "E".into(),
+                    expr: Expr::var(v) + Expr::val(Value::Int(1)),
+                });
+                constraints.push(Constraint::Compare {
+                    lhs: Expr::var("E"),
+                    op: CmpOp::Lt,
+                    rhs: Expr::val(Value::Int(8)),
+                });
+                derived = Some("E");
+            }
+            let (head_rel, head_arity) = RELS[rng.below(3) as usize];
+            let head_args = (0..head_arity)
+                .map(|_| match derived {
+                    Some(e) if rng.below(2) == 0 => Term::var(e),
+                    _ if bound.is_empty() || rng.below(4) == 0 => Term::val(Value::Int(rng.below(4) as i64)),
+                    _ => Term::var(bound[rng.below(bound.len() as u64) as usize]),
+                })
+                .collect();
+            Rule::standard(id, Atom::new(head_rel, Term::var("L"), head_args), body, constraints)
+        }
+
+        fn rand_base(rng: &mut Rng) -> Tuple {
+            let (rel, arity) = RELS[rng.below(3) as usize];
+            let args = (0..arity).map(|_| Value::Int(rng.below(4) as i64)).collect();
+            Tuple::new(rel, NodeId(1), args)
+        }
+
+        let mut accepted = 0usize;
+        for seed in 0..24u64 {
+            let mut rng = Rng(0xfeed_f00d ^ seed.wrapping_mul(0x9e37_79b9));
+            let count = 2 + rng.below(2);
+            let candidate: Vec<Rule> = (0..count).map(|i| gen_rule(&mut rng, format!("G{i}"))).collect();
+            if crate::analysis::has_errors(&analyze(&candidate)) {
+                // A rejected program must fail with a typed error, not panic.
+                assert!(RuleSet::new(candidate).is_err(), "seed {seed}");
+                continue;
+            }
+            accepted += 1;
+            let ruleset = |rules: Vec<Rule>| RuleSet::new(rules).expect("analyzer-clean");
+            let mut indexed = Engine::new(NodeId(1), ruleset(candidate.clone()));
+            let mut naive = NaiveEngine::new(NodeId(1), ruleset(candidate));
+            let mut inserted: Vec<Tuple> = Vec::new();
+            for step in 0..60 {
+                if step == 20 || step == 40 {
+                    // Mid-run additions: a random standard rule, then a min
+                    // aggregate over live state.  Both engines must agree on
+                    // acceptance (or rejection) and stay in lockstep after.
+                    let added = if step == 40 {
+                        Rule::aggregate(
+                            "M40",
+                            Atom::new("lo", Term::var("L"), vec![Term::var("A"), Term::var("B")]),
+                            Atom::new("q", Term::var("L"), vec![Term::var("A"), Term::var("B")]),
+                            AggKind::Min,
+                            "B",
+                        )
+                    } else {
+                        gen_rule(&mut rng, format!("X{step}"))
+                    };
+                    let a = indexed.add_rule(added.clone());
+                    let b = naive.add_rule(added);
+                    match (&a, &b) {
+                        (Ok(out_a), Ok(out_b)) => {
+                            assert_eq!(out_a, out_b, "seed {seed} step {step}: add_rule outputs diverge");
+                        }
+                        (Err(ea), Err(eb)) => {
+                            assert_eq!(ea, eb, "seed {seed} step {step}: rejections diverge");
+                        }
+                        _ => panic!("seed {seed} step {step}: engines disagree on add_rule"),
+                    }
+                }
+                let input = if !inserted.is_empty() && rng.below(4) == 0 {
+                    let pick = inserted[rng.below(inserted.len() as u64) as usize].clone();
+                    SmInput::DeleteBase(pick)
+                } else {
+                    let tuple = rand_base(&mut rng);
+                    inserted.push(tuple.clone());
+                    SmInput::InsertBase(tuple)
+                };
+                let out_indexed = indexed.handle(input.clone());
+                let out_naive = naive.handle(input.clone());
+                assert_eq!(
+                    out_indexed, out_naive,
+                    "seed {seed} step {step}: outputs diverge on {input:?}"
+                );
+                assert_eq!(
+                    indexed.current_tuples(),
+                    naive.current_tuples(),
+                    "seed {seed} step {step}: stored tuples diverge"
+                );
+            }
+            assert_eq!(indexed.snapshot(), naive.snapshot(), "seed {seed}: snapshots diverge");
+        }
+        assert!(
+            accepted >= 12,
+            "generator too conservative: only {accepted}/24 programs accepted"
+        );
     }
 
     /// Snapshots cross between the engines in both directions: state built on

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod absence;
+pub mod analysis;
 pub mod engine;
 pub mod machine;
 pub mod naive;
@@ -51,6 +52,7 @@ pub mod tuple;
 pub mod value;
 
 pub use absence::{trace_absence, AbsenceWitness};
+pub use analysis::{analyze, analyze_with_facts, Diagnostic, Pass, ProgramError, Severity, Span};
 pub use engine::{Engine, RuleSet};
 pub use machine::{MachineFactory, Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
 pub use naive::NaiveEngine;

@@ -18,6 +18,7 @@
 //! The snapshot codec is shared with the indexed engine byte-for-byte, so a
 //! state built on either engine restores into the other.
 
+use crate::analysis::ProgramError;
 use crate::engine::RuleSet;
 use crate::machine::{Polarity, SmInput, SmOutput, StateMachine, TupleDelta};
 use crate::rule::{AggKind, Bindings, Rule};
@@ -165,6 +166,42 @@ impl NaiveEngine {
         })()
         .map_err(|e| e.to_string())?;
         Ok(engine)
+    }
+
+    /// Add one rule to the running engine — the naive mirror of
+    /// [`crate::engine::Engine::add_rule`], kept in lockstep for the
+    /// differential tests: same typed rejection, same seeded derivations
+    /// (sorted and deduplicated), same propagation.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<Vec<SmOutput>, ProgramError> {
+        let localized = self.ruleset.add_rule(rule)?;
+        let mut outputs = Vec::new();
+        let mut worklist = VecDeque::new();
+        if localized.aggregate.is_some() {
+            self.refresh_aggregate(&localized, &mut outputs, &mut worklist);
+        } else {
+            let mut found = Vec::new();
+            for (mut complete, matched) in self.join_rest(&localized, localized.body.len(), Bindings::new()) {
+                if !localized.constraints.iter().all(|c| c.apply(&mut complete)) {
+                    continue;
+                }
+                let Some(head) = localized.head.instantiate(&complete) else {
+                    continue;
+                };
+                let body: Vec<Tuple> = matched.into_iter().map(|t| t.expect("all positions matched")).collect();
+                found.push(Derivation {
+                    rule: localized.id.clone(),
+                    head,
+                    body,
+                });
+            }
+            found.sort();
+            found.dedup();
+            for derivation in found {
+                self.record_derivation(derivation, &mut outputs, &mut worklist);
+            }
+        }
+        outputs.extend(self.process(worklist));
+        Ok(outputs)
     }
 
     // ----- support management -------------------------------------------------

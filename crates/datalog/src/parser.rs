@@ -20,27 +20,90 @@
 //!   assignments (`X := A + B`).
 //! * A `maybe` marker before `:-` produces a [`RuleKind::Maybe`] rule.
 
+use crate::analysis::Span;
 use crate::rule::{AggKind, Atom, CmpOp, Constraint, Expr, Rule, RuleKind, Term};
 use crate::value::Value;
 use snp_crypto::keys::NodeId;
 
 /// Parse a whole rule program (one rule per `.`-terminated statement).
 pub fn parse_program(source: &str) -> Result<Vec<Rule>, String> {
+    Ok(parse_program_spanned(source)?
+        .into_iter()
+        .map(|(rule, _)| rule)
+        .collect())
+}
+
+/// Like [`parse_program`], but also return each rule's source [`Span`]
+/// (1-based line/column of the statement start) so `snp-rulecheck` can
+/// attach positions to its diagnostics.  Parse errors are prefixed with the
+/// offending statement's position.
+pub fn parse_program_spanned(source: &str) -> Result<Vec<(Rule, Span)>, String> {
     let mut rules = Vec::new();
-    // Strip comments, join lines, split on '.'
-    let cleaned: String = source
-        .lines()
-        .map(|l| l.split('#').next().unwrap_or(""))
-        .collect::<Vec<_>>()
-        .join("\n");
-    for statement in cleaned.split('.') {
-        let statement = statement.trim();
-        if statement.is_empty() {
-            continue;
-        }
-        rules.push(parse_rule(statement)?);
+    for (statement, span) in split_statements(source)? {
+        let rule = parse_rule(&statement).map_err(|e| format!("{span}: {e}"))?;
+        rules.push((rule, span));
     }
     Ok(rules)
+}
+
+/// Split a program into `.`-terminated statements, honouring `#` comments
+/// and quoted strings: a `#` or `.` inside `"…"` is content, not syntax.
+/// Each statement is returned with the position of its first character.
+fn split_statements(source: &str) -> Result<Vec<(String, Span)>, String> {
+    let mut statements = Vec::new();
+    let mut current = String::new();
+    let mut start: Option<Span> = None;
+    let mut in_quote = false;
+    let mut in_comment = false;
+    let mut line = 1usize;
+    let mut col = 0usize;
+    for c in source.chars() {
+        if c == '\n' {
+            line += 1;
+            col = 0;
+            in_comment = false;
+            if !current.is_empty() {
+                current.push(' ');
+            }
+            continue;
+        }
+        col += 1;
+        if in_comment {
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quote = !in_quote;
+                current.push(c);
+            }
+            '#' if !in_quote => in_comment = true,
+            '.' if !in_quote => {
+                if !current.trim().is_empty() {
+                    let span = start.take().unwrap_or(Span { line, col });
+                    statements.push((std::mem::take(&mut current), span));
+                } else {
+                    current.clear();
+                    start = None;
+                }
+            }
+            _ => {
+                if start.is_none() && !c.is_whitespace() {
+                    start = Some(Span { line, col });
+                }
+                current.push(c);
+            }
+        }
+    }
+    if in_quote {
+        return Err(format!("line {line}: unterminated string literal"));
+    }
+    // A trailing statement without the final '.' is accepted, matching the
+    // historical splitting behaviour.
+    if !current.trim().is_empty() {
+        let span = start.unwrap_or(Span { line, col });
+        statements.push((current, span));
+    }
+    Ok(statements)
 }
 
 /// Parse a single rule of the form `ID head [maybe] :- body`.
@@ -98,22 +161,65 @@ pub fn parse_rule(statement: &str) -> Result<Rule, String> {
     Ok(rule)
 }
 
-/// Split a rule body on commas that are not inside parentheses or `<>`.
+/// Whether `text` ends in an aggregate keyword (`min`/`max`/`count`) as a
+/// whole word — i.e. the `<` that follows opens an aggregate marker, not a
+/// less-than comparison.
+fn ends_with_agg_keyword(text: &str) -> bool {
+    let text = text.trim_end();
+    ["min", "max", "count"].iter().any(|kw| {
+        text.strip_suffix(kw).is_some_and(|prefix| {
+            prefix
+                .chars()
+                .next_back()
+                .map_or(true, |c| !c.is_ascii_alphanumeric() && c != '_')
+        })
+    })
+}
+
+/// Split a rule body on commas that are not inside parentheses, quoted
+/// strings, or `min<…>`-style aggregate markers.  A bare `<`/`>` comparison
+/// does *not* open a bracket (the historical parser miscounted it as one,
+/// so a comparison followed by a comma corrupted the split).
 fn split_top_level(text: &str) -> Vec<String> {
     let mut parts = Vec::new();
     let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut in_quote = false;
     let mut current = String::new();
     for c in text.chars() {
+        if in_quote {
+            if c == '"' {
+                in_quote = false;
+            }
+            current.push(c);
+            continue;
+        }
         match c {
-            '(' | '<' => {
+            '"' => {
+                in_quote = true;
+                current.push(c);
+            }
+            '(' => {
                 depth += 1;
                 current.push(c);
             }
-            ')' | '>' => {
+            ')' => {
                 depth -= 1;
                 current.push(c);
             }
-            ',' if depth == 0 => {
+            '<' => {
+                if ends_with_agg_keyword(&current) {
+                    angle += 1;
+                }
+                current.push(c);
+            }
+            '>' => {
+                if angle > 0 {
+                    angle -= 1;
+                }
+                current.push(c);
+            }
+            ',' if depth == 0 && angle == 0 => {
                 parts.push(std::mem::take(&mut current));
             }
             _ => current.push(c),
@@ -355,5 +461,44 @@ mod tests {
             Constraint::Assign { expr, .. } => assert!(matches!(expr, Expr::Sub(_, _))),
             other => panic!("unexpected constraint {other:?}"),
         }
+    }
+
+    #[test]
+    fn quoted_strings_may_contain_comment_and_statement_characters() {
+        // '#' and '.' inside a quoted constant are content, not syntax —
+        // the historical cleaner chopped the line at '#' and split on '.'.
+        let rules = parse_program("R1 tag(@X, \"a.b#c\") :- in(@X, Y).").expect("parse");
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].head.args[0], Term::val("a.b#c"));
+    }
+
+    #[test]
+    fn comparison_before_comma_splits_correctly() {
+        // A bare '<' used to be counted as an open bracket, swallowing the
+        // next comma and corrupting the body split.
+        let rule = parse_rule("R1 out(@X, Y) :- in(@X, Y), Y < 5, seen(@X, Y)").expect("parse");
+        assert_eq!(rule.body.len(), 2);
+        assert_eq!(rule.constraints.len(), 1);
+        assert!(matches!(rule.constraints[0], Constraint::Compare { op: CmpOp::Lt, .. }));
+    }
+
+    #[test]
+    fn parse_errors_carry_line_and_column() {
+        let err = parse_program("# header\nR1 ok(@X) :- in(@X).\n   broken statement.").expect_err("must fail");
+        assert!(err.contains("line 3, column 4"), "{err}");
+    }
+
+    #[test]
+    fn spans_point_at_statement_starts() {
+        let spanned = parse_program_spanned("# comment\nR1 out(@X, Y) :- in(@X, Y).\n  R2 out2(@X) :- in(@X, Y).")
+            .expect("parse");
+        let spans: Vec<(usize, usize)> = spanned.iter().map(|(_, s)| (s.line, s.col)).collect();
+        assert_eq!(spans, vec![(2, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn unterminated_string_is_a_parse_error() {
+        let err = parse_program("R1 out(@X, \"oops) :- in(@X, Y).").expect_err("must fail");
+        assert!(err.contains("unterminated string"), "{err}");
     }
 }

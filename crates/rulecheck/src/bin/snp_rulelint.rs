@@ -1,0 +1,93 @@
+//! `snp_rulelint` — lint NDlog rule programs with the static analyzer.
+//!
+//! ```text
+//! snp_rulelint --all-apps [--deny-warnings] [--json] [--out FILE]
+//! snp_rulelint [--deny-warnings] [--json] [--out FILE] FILE.dl ...
+//! ```
+//!
+//! `--all-apps` lints every shipped application's declared program against
+//! the base tuples its own workload injects — the same check
+//! `DeploymentBuilder::build` enforces, plus warnings and advisories.
+//! Positional arguments are read as textual NDlog programs (conventionally
+//! `.dl` files).  `--json` prints the machine-readable document instead of
+//! text; `--out FILE` additionally writes that document to `FILE` (the CI
+//! bench gate pins the `totals` counts of `BENCH_rulecheck.json`).
+//!
+//! Exit status: 0 clean, 1 when any error-level finding exists (or any
+//! warning under `--deny-warnings`), 2 on usage errors.  Advisories never
+//! fail the lint — they flag scan-fallback joins worth cross-checking
+//! against `EvalMetrics`, not defects.
+
+use snp_rulecheck::{lint_builtin_apps, lint_source, render_reports, reports_to_json, totals, LintReport};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: snp_rulelint (--all-apps | FILE.dl ...) [--deny-warnings] [--json] [--out FILE]";
+
+fn main() -> ExitCode {
+    let mut all_apps = false;
+    let mut deny_warnings = false;
+    let mut json = false;
+    let mut out_path: Option<String> = None;
+    let mut files: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--all-apps" => all_apps = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(path) => out_path = Some(path),
+                None => {
+                    eprintln!("--out requires a file path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            file => files.push(file.to_string()),
+        }
+    }
+    if !all_apps && files.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut reports: Vec<LintReport> = Vec::new();
+    if all_apps {
+        reports.extend(lint_builtin_apps());
+    }
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            // A standalone file has no workload, so no signature evidence.
+            Ok(source) => reports.push(lint_source(file, &source, &[])),
+            Err(e) => {
+                eprintln!("cannot read {file}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let document = reports_to_json(&reports);
+    if json {
+        println!("{}", document.render());
+    } else {
+        print!("{}", render_reports(&reports));
+    }
+    if let Some(path) = out_path {
+        snp_bench::json::write_json(&path, &document);
+    }
+
+    let (errors, warnings, _) = totals(&reports);
+    if errors > 0 || (deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,293 @@
+//! # snp-rulecheck — lint tooling over the `snp-datalog` static analyzer
+//!
+//! The analysis passes themselves live in [`snp_datalog::analysis`], where
+//! the engines and the deployment builder can enforce them without a
+//! dependency cycle.  This crate is the *tooling* half:
+//!
+//! * [`lint_source`] — parse a textual NDlog program with statement spans
+//!   ([`snp_datalog::parser::parse_program_spanned`]), run every analysis
+//!   pass (optionally with base-tuple signature evidence), and attach each
+//!   diagnostic to the source position of its rule.
+//! * [`builtin_apps`] / [`lint_builtin_apps`] — the registry of shipped
+//!   applications that declare a rule program ([`snp_core::Application`]'s
+//!   `program()`), each linted against the base tuples its own workload
+//!   injects.
+//! * [`LintReport`] / [`render_reports`] / [`reports_to_json`] — structured
+//!   results, the human-readable rendering and the machine-readable JSON the
+//!   CI gate pins counts on.
+//!
+//! The `snp_rulelint` binary is a thin argv wrapper over these functions.
+
+#![forbid(unsafe_code)]
+// Unit tests may unwrap: a panic is the assertion.
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+#![warn(missing_docs)]
+
+use snp_bench::json::Json;
+use snp_core::deploy::{Application, WorkloadOp};
+use snp_datalog::{analyze_with_facts, Diagnostic, Pass, Severity, Span, Tuple};
+use std::collections::BTreeMap;
+
+/// Code used for the synthetic diagnostic a parse failure is reported as:
+/// the program never reached the analyzer, but the CLI still renders it as
+/// one (error-severity) finding so every failure mode has one shape.
+pub const PARSE_ERROR_CODE: &str = "RC0002";
+
+/// The lint result for one program.
+#[derive(Clone, Debug)]
+pub struct LintReport {
+    /// Program name: the application name or the `.dl` file path.
+    pub name: String,
+    /// Number of parsed rules (0 when parsing failed).
+    pub rules: usize,
+    /// Every finding, most severe first, spans attached where known.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    fn count(&self, severity: Severity) -> usize {
+        self.diagnostics.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Number of error-level findings (parse failures included).
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warnings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warning)
+    }
+
+    /// Number of advisory findings.
+    pub fn advice(&self) -> usize {
+        self.count(Severity::Advice)
+    }
+
+    /// Human-readable rendering: a one-line summary plus one line per
+    /// finding, matching [`Diagnostic::render`].
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{}: {} rules, {} errors, {} warnings, {} advice\n",
+            self.name,
+            self.rules,
+            self.errors(),
+            self.warnings(),
+            self.advice()
+        );
+        for d in &self.diagnostics {
+            out.push_str("  ");
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The JSON object for this program, as emitted under `programs` in the
+    /// `snp_rulelint --json` document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::str(self.name.clone())),
+            ("rules", Json::Int(self.rules as u64)),
+            ("errors", Json::Int(self.errors() as u64)),
+            ("warnings", Json::Int(self.warnings() as u64)),
+            ("advice", Json::Int(self.advice() as u64)),
+            (
+                "diagnostics",
+                Json::Arr(self.diagnostics.iter().map(diagnostic_to_json).collect()),
+            ),
+        ])
+    }
+}
+
+fn diagnostic_to_json(d: &Diagnostic) -> Json {
+    let mut fields = vec![
+        ("code".to_string(), Json::str(d.code)),
+        ("pass".to_string(), Json::str(d.pass.name())),
+        ("severity".to_string(), Json::str(d.severity.label())),
+    ];
+    if let Some(rule) = &d.rule {
+        fields.push(("rule".to_string(), Json::str(rule.clone())));
+    }
+    if let Some(span) = d.span {
+        fields.push(("line".to_string(), Json::Int(span.line as u64)));
+        fields.push(("col".to_string(), Json::Int(span.col as u64)));
+    }
+    fields.push(("message".to_string(), Json::str(d.message.clone())));
+    Json::Obj(fields)
+}
+
+/// Lint one textual NDlog program: parse (with statement spans), analyze
+/// (with `facts` as base-tuple signature evidence), and attach each
+/// diagnostic to the source position of its rule.  A parse failure becomes
+/// a single [`PARSE_ERROR_CODE`] error-level diagnostic, so callers handle
+/// every failure mode through the same report shape.
+pub fn lint_source(name: &str, source: &str, facts: &[Tuple]) -> LintReport {
+    let spanned = match snp_datalog::parser::parse_program_spanned(source) {
+        Ok(spanned) => spanned,
+        Err(message) => {
+            return LintReport {
+                name: name.to_string(),
+                rules: 0,
+                diagnostics: vec![Diagnostic {
+                    code: PARSE_ERROR_CODE,
+                    pass: Pass::Structure,
+                    severity: Severity::Error,
+                    rule: None,
+                    message,
+                    span: None,
+                }],
+            }
+        }
+    };
+    let spans: BTreeMap<String, Span> = spanned.iter().map(|(rule, span)| (rule.id.clone(), *span)).collect();
+    let rules: Vec<_> = spanned.into_iter().map(|(rule, _)| rule).collect();
+    let mut diagnostics = analyze_with_facts(&rules, facts);
+    for d in &mut diagnostics {
+        if let Some(rule) = &d.rule {
+            d.span = spans.get(rule).copied();
+        }
+    }
+    // Most severe first; within a severity, keep analyzer order (pass order).
+    diagnostics.sort_by_key(|d| std::cmp::Reverse(d.severity));
+    LintReport {
+        name: name.to_string(),
+        rules: rules.len(),
+        diagnostics,
+    }
+}
+
+/// The shipped applications that declare a rule program, in deterministic
+/// order.  Each is linted against the base tuples its own workload injects
+/// (seed 0), exactly what `DeploymentBuilder` validates at build time.
+pub fn builtin_apps() -> Vec<Box<dyn Application>> {
+    vec![
+        Box::new(snp_apps::mincost::MinCost::example()),
+        Box::new(snp_apps::bgp::BgpScenario::quagga_like().app(true)),
+        Box::new(snp_apps::chord::ChordScenario::small(60).app(None)),
+        Box::new(snp_apps::mapreduce::MapReduceScenario::small().job(None, 0)),
+        Box::new(snp_apps::fleet::FleetDemo::new()),
+    ]
+}
+
+/// The base tuples an application's workload would inject, used as
+/// signature evidence when linting its program.
+pub fn workload_facts(app: &dyn Application, seed: u64) -> Vec<Tuple> {
+    app.workload(seed)
+        .into_iter()
+        .map(|event| match event.op {
+            WorkloadOp::Insert(tuple) | WorkloadOp::Delete(tuple) => tuple,
+        })
+        .collect()
+}
+
+/// Lint every [`builtin_apps`] program against its own workload.
+pub fn lint_builtin_apps() -> Vec<LintReport> {
+    builtin_apps()
+        .into_iter()
+        .filter_map(|app| {
+            let source = app.program()?;
+            let facts = workload_facts(app.as_ref(), 0);
+            Some(lint_source(&app.name(), &source, &facts))
+        })
+        .collect()
+}
+
+/// Render a batch of reports plus a totals line.
+pub fn render_reports(reports: &[LintReport]) -> String {
+    let mut out = String::new();
+    for report in reports {
+        out.push_str(&report.render());
+    }
+    let (errors, warnings, advice) = totals(reports);
+    out.push_str(&format!(
+        "total: {} programs, {errors} errors, {warnings} warnings, {advice} advice\n",
+        reports.len()
+    ));
+    out
+}
+
+/// Sum the `(errors, warnings, advice)` counts across reports.
+pub fn totals(reports: &[LintReport]) -> (usize, usize, usize) {
+    reports.iter().fold((0, 0, 0), |(e, w, a), r| {
+        (e + r.errors(), w + r.warnings(), a + r.advice())
+    })
+}
+
+/// The machine-readable document `snp_rulelint --json` emits; the CI gate
+/// (`bench_gate`) pins the `totals` counts.
+pub fn reports_to_json(reports: &[LintReport]) -> Json {
+    let (errors, warnings, advice) = totals(reports);
+    Json::obj([
+        ("programs", Json::Arr(reports.iter().map(LintReport::to_json).collect())),
+        (
+            "totals",
+            Json::obj([
+                ("programs", Json::Int(reports.len() as u64)),
+                ("errors", Json::Int(errors as u64)),
+                ("warnings", Json::Int(warnings as u64)),
+                ("advice", Json::Int(advice as u64)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_program_is_error_and_warning_free() {
+        let reports = lint_builtin_apps();
+        assert_eq!(reports.len(), 5, "all five shipped apps declare a program");
+        for report in &reports {
+            assert_eq!(report.errors(), 0, "{}", report.render());
+            assert_eq!(report.warnings(), 0, "{}", report.render());
+            assert!(report.rules > 0);
+        }
+    }
+
+    #[test]
+    fn diagnostics_carry_source_spans() {
+        let source = "R1 a(@X, Y) :- b(@X, Y).\nR2 out(@X, Z) :- b(@X, Y).";
+        let report = lint_source("test", source, &[]);
+        let rc0101 = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == "RC0101")
+            .expect("unbound head variable");
+        assert_eq!(rc0101.rule.as_deref(), Some("R2"));
+        let span = rc0101.span.expect("span attached");
+        assert_eq!((span.line, span.col), (2, 1));
+    }
+
+    #[test]
+    fn parse_failures_become_a_single_error_diagnostic() {
+        let report = lint_source("bad", "R1 broken(", &[]);
+        assert_eq!(report.rules, 0);
+        assert_eq!(report.errors(), 1);
+        assert_eq!(report.diagnostics[0].code, PARSE_ERROR_CODE);
+    }
+
+    #[test]
+    fn json_document_has_the_gated_totals() {
+        let reports = lint_builtin_apps();
+        let doc = reports_to_json(&reports);
+        assert_eq!(doc.get("totals.programs").and_then(Json::as_f64), Some(5.0));
+        assert_eq!(doc.get("totals.errors").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(doc.get("totals.warnings").and_then(Json::as_f64), Some(0.0));
+        // Round-trips through the bench JSON parser (what bench_gate reads).
+        let parsed = Json::parse(&doc.render()).expect("parses");
+        assert_eq!(parsed.render(), doc.render());
+    }
+
+    #[test]
+    fn reports_sort_errors_before_advice() {
+        // One safety error plus a scan-fallback advisory in one program.
+        let source = "R1 out(@X, Z) :- p(@X, A), q(@X, B).";
+        let report = lint_source("mixed", source, &[]);
+        assert!(report.errors() >= 1);
+        assert!(!report.diagnostics.is_empty());
+        assert_eq!(report.diagnostics[0].severity, Severity::Error);
+    }
+}

@@ -10,6 +10,7 @@
 //! * [`core`] — the SNooPy runtime: graph recorder, microqueries and macroqueries.
 //! * [`apps`] — example applications: MinCost routing, Chord, MapReduce and BGP.
 //! * [`check`] — bounded explicit-state model checker for the evidence invariants.
+//! * [`rulecheck`] — static rule-program lint tooling (the `snp_rulelint` CLI).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -24,6 +25,7 @@ pub use snp_crypto as crypto;
 pub use snp_datalog as datalog;
 pub use snp_graph as graph;
 pub use snp_log as log;
+pub use snp_rulecheck as rulecheck;
 pub use snp_sim as sim;
 
 /// Crate version of the facade, re-exported for convenience.
